@@ -1,0 +1,113 @@
+// Figure 4 reproduction: top-1 average test accuracy vs. communication
+// rounds for FedKEMF against FedAvg / FedProx / FedNova / SCAFFOLD, four
+// panels: 2-layer CNN on synth-MNIST, and VGG-11 / ResNet-20 / ResNet-32 on
+// synth-CIFAR (knowledge network: ResNet-20; for the CNN panel a second
+// 2-layer CNN, following the paper).
+//
+// Output: one accuracy-vs-round series table per panel (+ CSV), the same
+// curves the paper plots.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+struct Panel {
+  std::string title;
+  std::string dataset;       // "cifar" | "mnist"
+  std::string client_arch;
+  std::string knowledge_arch;
+};
+
+void run_panel(const Panel& panel, const BenchScale& scale, std::size_t clients,
+               double sample_ratio, double alpha, std::size_t eval_every,
+               std::uint64_t seed, const std::string& csv_dir) {
+  const data::SyntheticSpec data =
+      panel.dataset == "mnist" ? synth_mnist(scale) : synth_cifar(scale);
+
+  fl::FederationOptions fed_options;
+  fed_options.data = data;
+  fed_options.train_samples = scale.train_samples;
+  fed_options.test_samples = scale.test_samples;
+  fed_options.server_pool_samples = scale.server_pool;
+  fed_options.num_clients = clients;
+  fed_options.dirichlet_alpha = alpha;
+  fed_options.seed = seed;
+
+  const models::ModelSpec client_spec =
+      model_spec(panel.client_arch, data, scale.width_multiplier);
+  const models::ModelSpec knowledge_spec =
+      model_spec(panel.knowledge_arch, data, scale.width_multiplier);
+  const fl::LocalTrainConfig local = default_local(scale);
+
+  fl::RunOptions run;
+  run.rounds = scale.rounds;
+  run.sample_ratio = sample_ratio;
+  run.eval_every = eval_every;
+
+  const std::vector<std::string> algorithms = {"fedavg", "fedprox", "fednova",
+                                               "scaffold", "fedkemf"};
+  std::vector<fl::RunResult> results;
+  utils::Stopwatch clock;
+  for (const std::string& name : algorithms) {
+    fl::Federation federation(fed_options);
+    auto algorithm = make_algorithm(name, client_spec, knowledge_spec, local);
+    results.push_back(fl::run_federated(federation, *algorithm, run));
+  }
+
+  std::vector<std::string> header = {"Round"};
+  for (const std::string& name : algorithms) header.push_back(algorithm_label(name));
+  utils::Table table(header);
+  const std::size_t points = results.front().history.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    auto row = table.row();
+    row.cell(static_cast<std::int64_t>(results.front().history[i].round + 1));
+    for (const fl::RunResult& result : results) {
+      row.cell(result.history[i].accuracy * 100.0, 1);
+    }
+  }
+  emit("Figure 4 panel: " + panel.title + " (alpha=" + std::to_string(alpha) +
+           ", clients=" + std::to_string(clients) + ", " +
+           std::to_string(clock.seconds()) + "s)",
+       table, csv_dir.empty() ? "" : csv_dir + "/fig4_" + panel.client_arch + ".csv");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scale_name = "quick";
+  std::size_t clients = 10;
+  double sample_ratio = 0.5;
+  double alpha = 0.1;
+  std::size_t eval_every = 2;
+  std::size_t seed = 1;
+  std::string csv_dir = "results";
+  std::string only_panel;
+
+  fedkemf::utils::Cli cli("bench_fig4_learning_curves",
+                          "Reproduces Figure 4: accuracy vs communication rounds");
+  cli.flag("scale", &scale_name, "quick | standard | full");
+  cli.flag("clients", &clients, "number of clients (paper: 30-100)");
+  cli.flag("sample-ratio", &sample_ratio, "client sample ratio per round");
+  cli.flag("alpha", &alpha, "Dirichlet concentration (paper: 0.1)");
+  cli.flag("eval-every", &eval_every, "evaluate every N rounds");
+  cli.flag("seed", &seed, "experiment seed");
+  cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
+  cli.flag("panel", &only_panel, "run a single panel: cnn2|vgg11|resnet20|resnet32");
+  cli.parse(argc, argv);
+
+  const fedkemf::bench::BenchScale scale = fedkemf::bench::BenchScale::named(scale_name);
+  const std::vector<Panel> panels = {
+      {"2-layer CNN on synth-MNIST", "mnist", "cnn2", "cnn2"},
+      {"ResNet-20 on synth-CIFAR", "cifar", "resnet20", "resnet20"},
+      {"ResNet-32 on synth-CIFAR", "cifar", "resnet32", "resnet20"},
+      {"VGG-11 on synth-CIFAR", "cifar", "vgg11", "resnet20"},
+  };
+  for (const Panel& panel : panels) {
+    if (!only_panel.empty() && panel.client_arch != only_panel) continue;
+    run_panel(panel, scale, clients, sample_ratio, alpha, eval_every, seed, csv_dir);
+  }
+  return 0;
+}

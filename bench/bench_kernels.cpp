@@ -1,0 +1,157 @@
+// Substrate microbenchmarks (google-benchmark): GEMM, im2col/col2im, layer
+// forward/backward, losses, RNG, and model (de)serialization.  These are not
+// paper assets; they certify the compute substrate the FL experiments run on
+// and catch performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/channel.hpp"
+#include "core/rng.hpp"
+#include "core/tensor_ops.hpp"
+#include "models/zoo.hpp"
+#include "nn/conv.hpp"
+#include "nn/loss.hpp"
+#include "nn/norm.hpp"
+
+namespace {
+
+using namespace fedkemf;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(1);
+  core::Tensor a = core::Tensor::normal(core::Shape::matrix(n, n), rng);
+  core::Tensor b = core::Tensor::normal(core::Shape::matrix(n, n), rng);
+  core::Tensor c = core::Tensor::zeros(core::Shape::matrix(n, n));
+  for (auto _ : state) {
+    core::gemm(core::Transpose::kNo, core::Transpose::kNo, n, n, n, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(2);
+  core::Tensor a = core::Tensor::normal(core::Shape::matrix(n, n), rng);
+  core::Tensor b = core::Tensor::normal(core::Shape::matrix(n, n), rng);
+  core::Tensor c = core::Tensor::zeros(core::Shape::matrix(n, n));
+  for (auto _ : state) {
+    core::gemm(core::Transpose::kYes, core::Transpose::kNo, n, n, n, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  core::Conv2dGeometry geom{8, 16, size, size, 3, 1, 1};
+  core::Rng rng(3);
+  core::Tensor input = core::Tensor::normal(core::Shape::nchw(8, 16, size, size), rng);
+  core::Tensor columns(
+      core::Shape::matrix(16 * 9, 8 * geom.out_h() * geom.out_w()));
+  for (auto _ : state) {
+    core::im2col(input, geom, columns);
+    benchmark::DoNotOptimize(columns.data());
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dForwardBackward(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(4);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng, false);
+  core::Tensor x = core::Tensor::normal(core::Shape::nchw(8, 16, size, size), rng);
+  for (auto _ : state) {
+    core::Tensor y = conv.forward(x);
+    core::Tensor dx = conv.backward(y);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardBackward)->Arg(8)->Arg(16);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  core::Rng rng(5);
+  nn::BatchNorm2d bn(32);
+  core::Tensor x = core::Tensor::normal(core::Shape::nchw(16, 32, 16, 16), rng);
+  for (auto _ : state) {
+    core::Tensor y = bn.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  core::Rng rng(6);
+  core::Tensor logits = core::Tensor::normal(core::Shape::matrix(128, 10), rng);
+  std::vector<std::size_t> labels(128);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+  nn::SoftmaxCrossEntropy ce;
+  for (auto _ : state) {
+    nn::LossResult r = ce.compute(logits, labels);
+    benchmark::DoNotOptimize(r.grad.data());
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy);
+
+void BM_DistillationKl(benchmark::State& state) {
+  core::Rng rng(7);
+  core::Tensor student = core::Tensor::normal(core::Shape::matrix(128, 10), rng);
+  core::Tensor teacher = core::Tensor::normal(core::Shape::matrix(128, 10), rng);
+  nn::DistillationKl kd(2.0f);
+  for (auto _ : state) {
+    nn::LossResult r = kd.compute(student, teacher);
+    benchmark::DoNotOptimize(r.grad.data());
+  }
+}
+BENCHMARK(BM_DistillationKl);
+
+void BM_RngNormal(benchmark::State& state) {
+  core::Rng rng(8);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (int i = 0; i < 1024; ++i) total += rng.normal();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_ModelSerializeRoundTrip(benchmark::State& state) {
+  // The per-round marshalling cost of the knowledge network exchange.
+  core::Rng rng(9);
+  models::ModelSpec spec{.arch = "resnet20", .num_classes = 10, .in_channels = 3,
+                         .image_size = 16, .width_multiplier = 0.25};
+  auto src = models::build_model(spec, rng);
+  auto dst = models::build_model(spec, rng);
+  for (auto _ : state) {
+    const auto payload = comm::serialize_model(*src);
+    comm::deserialize_model(payload, *dst);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  core::Rng rng2(10);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(comm::model_wire_size(*src)));
+}
+BENCHMARK(BM_ModelSerializeRoundTrip);
+
+void BM_ResNet20Forward(benchmark::State& state) {
+  core::Rng rng(11);
+  models::ModelSpec spec{.arch = "resnet20", .num_classes = 10, .in_channels = 3,
+                         .image_size = 16, .width_multiplier = 0.25};
+  auto model = models::build_model(spec, rng);
+  model->set_training(false);
+  core::Tensor x = core::Tensor::normal(core::Shape::nchw(32, 3, 16, 16), rng);
+  for (auto _ : state) {
+    core::Tensor y = model->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_ResNet20Forward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Resource-aware deployment analysis (the paper's motivating claim).
+//
+// "Simply deploying a uniform model to all resource-heterogeneous edge
+// clients is inefficient, since some resource-poor clients will limit the FL
+// system's computational overhead."  This bench quantifies that with the
+// fl::resources device model: per-round wall-clock makespan of a three-tier
+// edge fleet (phone / gateway / workstation) under
+//   (a) uniform deployments of each zoo model + full-model exchange, and
+//   (b) FedKEMF's matched multi-model deployment + knowledge-net exchange.
+
+#include "bench_common.hpp"
+#include "fl/resources.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t shard_samples = 1600;  // paper-scale per-client shard (CIFAR/30)
+  std::size_t local_epochs = 2;
+  std::string csv_dir = "results";
+
+  utils::Cli cli("bench_resource_aware",
+                 "Round-makespan analysis: uniform vs multi-model deployment");
+  cli.flag("shard-samples", &shard_samples, "training samples per client");
+  cli.flag("local-epochs", &local_epochs, "local epochs per round");
+  cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
+  cli.parse(argc, argv);
+
+  const auto fleet = fl::DeviceClass::standard_fleet();
+  auto full_spec = [](const char* arch) {
+    return models::ModelSpec{.arch = arch, .num_classes = 10, .in_channels = 3,
+                             .image_size = 32, .width_multiplier = 1.0};
+  };
+
+  // Per-device detail for a uniform VGG-11 fleet vs the matched zoo.
+  utils::Table detail({"Device", "Deployment", "Model", "Compute (s)", "Transfer (s)",
+                       "Total (s)"});
+  const char* zoo[3] = {"resnet20", "resnet32", "resnet44"};
+  std::vector<fl::ClientRoundCost> uniform_costs;
+  std::vector<fl::ClientRoundCost> matched_costs;
+  for (std::size_t d = 0; d < fleet.size(); ++d) {
+    const fl::ClientRoundCost uniform = fl::estimate_client_round(
+        fleet[d], full_spec("vgg11"), shard_samples, local_epochs,
+        full_width_round_bytes("vgg11", "fedavg"));
+    const fl::ClientRoundCost matched = fl::estimate_client_round(
+        fleet[d], full_spec(zoo[d]), shard_samples, local_epochs,
+        full_width_round_bytes(zoo[d], "fedkemf"));
+    uniform_costs.push_back(uniform);
+    matched_costs.push_back(matched);
+    detail.row().cell(fleet[d].name).cell("uniform").cell("vgg11")
+        .cell(uniform.compute_seconds, 1).cell(uniform.transfer_seconds, 1)
+        .cell(uniform.total_seconds(), 1);
+    detail.row().cell(fleet[d].name).cell("matched").cell(zoo[d])
+        .cell(matched.compute_seconds, 1).cell(matched.transfer_seconds, 1)
+        .cell(matched.total_seconds(), 1);
+  }
+  emit("Per-device round cost: uniform VGG-11 + FedAvg exchange vs FedKEMF's "
+       "matched ResNet zoo + knowledge-net exchange",
+       detail, csv_dir.empty() ? "" : csv_dir + "/resource_aware_detail.csv");
+
+  // Fleet summary across uniform deployments of every model + matched.
+  utils::Table summary({"Deployment", "Makespan (s)", "Mean (s)", "Utilization",
+                        "Speedup vs uniform vgg11"});
+  const fl::FleetCostSummary uniform_summary = fl::summarize_fleet(uniform_costs);
+  auto add_uniform = [&](const char* arch) {
+    std::vector<fl::ClientRoundCost> costs;
+    for (const auto& device : fleet) {
+      costs.push_back(fl::estimate_client_round(
+          device, full_spec(arch), shard_samples, local_epochs,
+          full_width_round_bytes(arch, "fedavg")));
+    }
+    const auto s = fl::summarize_fleet(costs);
+    summary.row().cell(std::string("uniform ") + arch).cell(s.makespan_seconds, 1)
+        .cell(s.mean_seconds, 1).cell(s.utilization, 2)
+        .cell(utils::format_speedup(uniform_summary.makespan_seconds / s.makespan_seconds));
+  };
+  add_uniform("vgg11");
+  add_uniform("resnet44");
+  add_uniform("resnet20");
+  const fl::FleetCostSummary matched_summary = fl::summarize_fleet(matched_costs);
+  summary.row().cell("FedKEMF matched zoo").cell(matched_summary.makespan_seconds, 1)
+      .cell(matched_summary.mean_seconds, 1).cell(matched_summary.utilization, 2)
+      .cell(utils::format_speedup(uniform_summary.makespan_seconds /
+                                  matched_summary.makespan_seconds));
+  emit("Fleet round makespan (synchronous FL waits for the slowest client)", summary,
+       csv_dir.empty() ? "" : csv_dir + "/resource_aware_summary.csv");
+  return 0;
+}

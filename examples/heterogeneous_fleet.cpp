@@ -1,0 +1,88 @@
+// Heterogeneous fleet: the paper's headline scenario.
+//
+// Three edge resource classes (phone / gateway / workstation) get three
+// different architectures (ResNet-20 / ResNet-32 / ResNet-44).  FedKEMF
+// trains them all in one federation — only the tiny knowledge network crosses
+// the wire — and every client ends up with a personalized model evaluated on
+// its own local distribution.
+
+#include <cstdio>
+
+#include "fl/fedkemf.hpp"
+#include "fl/runner.hpp"
+#include "utils/cli.hpp"
+#include "utils/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedkemf;
+
+  int clients = 9;
+  int rounds = 12;
+  double alpha = 0.1;
+  double width = 0.25;
+  std::size_t seed = 7;
+
+  utils::Cli cli("heterogeneous_fleet",
+                 "FedKEMF with a ResNet-20/32/44 multi-model federation");
+  cli.flag("clients", &clients, "number of clients (split across 3 resource classes)");
+  cli.flag("rounds", &rounds, "communication rounds");
+  cli.flag("alpha", &alpha, "Dirichlet concentration (data skew)");
+  cli.flag("width", &width, "model width multiplier");
+  cli.flag("seed", &seed, "experiment seed");
+  cli.parse(argc, argv);
+
+  fl::FederationOptions fed_options;
+  fed_options.data = data::SyntheticSpec::cifar_like();
+  fed_options.data.image_size = 16;
+  fed_options.data.noise_stddev = 1.2;
+  fed_options.train_samples = 1200;
+  fed_options.test_samples = 400;
+  fed_options.num_clients = static_cast<std::size_t>(clients);
+  fed_options.dirichlet_alpha = alpha;
+  fed_options.seed = seed;
+  fl::Federation federation(fed_options);
+
+  auto spec = [&](const char* arch) {
+    return models::ModelSpec{.arch = arch,
+                             .num_classes = fed_options.data.num_classes,
+                             .in_channels = fed_options.data.channels,
+                             .image_size = fed_options.data.image_size,
+                             .width_multiplier = width};
+  };
+
+  // Client i gets zoo[i % 3]: the resource class assignment.
+  std::vector<models::ModelSpec> zoo = {spec("resnet20"), spec("resnet32"),
+                                        spec("resnet44")};
+  fl::FedKemfOptions kemf_options;
+  kemf_options.knowledge_spec = spec("resnet20");
+
+  fl::LocalTrainConfig local;
+  local.epochs = 2;
+
+  fl::FedKemf algorithm(zoo, local, kemf_options);
+  fl::RunOptions run;
+  run.rounds = static_cast<std::size_t>(rounds);
+  run.sample_ratio = 1.0;
+  run.eval_every = 4;
+  run.evaluate_client_models = true;
+  run.verbose = true;
+  const fl::RunResult result = fl::run_federated(federation, algorithm, run);
+
+  utils::Table table({"Client", "Deployed model", "Shard size", "Local test acc"});
+  for (std::size_t id = 0; id < federation.num_clients(); ++id) {
+    nn::Module* model = algorithm.client_model(id);
+    const fl::EvalResult eval = fl::evaluate_subset(*model, federation.test_set(),
+                                                    federation.client_test_indices(id));
+    table.row()
+        .cell(static_cast<std::int64_t>(id))
+        .cell(algorithm.client_spec(id).arch)
+        .cell(static_cast<std::int64_t>(federation.client_shard(id).size()))
+        .cell(utils::format_percent(eval.accuracy));
+  }
+  std::printf("\n%s\n", table.to_markdown().c_str());
+  std::printf("Mean per-client accuracy: %s | global knowledge net: %s | traffic: %s\n",
+              utils::format_percent(result.history.back().client_accuracy).c_str(),
+              utils::format_percent(result.final_accuracy).c_str(),
+              utils::format_bytes(static_cast<double>(result.total_bytes)).c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: run FedKEMF and FedAvg on the same small non-IID federation
+// and compare accuracy and measured communication.
+//
+//   ./examples/quickstart [--clients 8] [--rounds 10] ...
+//
+// This is the 60-second tour of the library: build a Federation (synthetic
+// non-IID data + metered channel), pick algorithms, call run_federated, and
+// read the round-by-round history.
+
+#include <cstdio>
+
+#include "fl/fedavg.hpp"
+#include "fl/fedkemf.hpp"
+#include "fl/runner.hpp"
+#include "utils/cli.hpp"
+#include "utils/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedkemf;
+
+  int clients = 8;
+  int rounds = 10;
+  int train_samples = 1200;
+  double alpha = 0.1;
+  double sample_ratio = 0.5;
+  std::string arch = "resnet20";
+  double width = 0.25;
+  int image_size = 16;
+  std::size_t seed = 1;
+
+  utils::Cli cli("quickstart", "FedKEMF vs FedAvg on a small non-IID federation");
+  cli.flag("clients", &clients, "number of federated clients");
+  cli.flag("rounds", &rounds, "communication rounds");
+  cli.flag("train-samples", &train_samples, "total training pool size");
+  cli.flag("alpha", &alpha, "Dirichlet concentration (lower = more skew)");
+  cli.flag("sample-ratio", &sample_ratio, "fraction of clients per round");
+  cli.flag("arch", &arch, "client/local model architecture");
+  cli.flag("width", &width, "model width multiplier");
+  cli.flag("image-size", &image_size, "synthetic image resolution");
+  cli.flag("seed", &seed, "experiment seed");
+  cli.parse(argc, argv);
+
+  // 1. Describe the federation: data distribution, population, skew.
+  fl::FederationOptions fed_options;
+  fed_options.data = data::SyntheticSpec::cifar_like();
+  fed_options.data.image_size = static_cast<std::size_t>(image_size);
+  fed_options.train_samples = static_cast<std::size_t>(train_samples);
+  fed_options.test_samples = 400;
+  fed_options.num_clients = static_cast<std::size_t>(clients);
+  fed_options.dirichlet_alpha = alpha;
+  fed_options.seed = seed;
+  fl::Federation federation(fed_options);
+
+  // 2. Model specs: clients train `arch`; the knowledge network that crosses
+  //    the wire is a ResNet-20 (the paper's choice).
+  models::ModelSpec local_spec{.arch = arch,
+                               .num_classes = fed_options.data.num_classes,
+                               .in_channels = fed_options.data.channels,
+                               .image_size = fed_options.data.image_size,
+                               .width_multiplier = width};
+  models::ModelSpec knowledge_spec = local_spec;
+  knowledge_spec.arch = "resnet20";
+
+  fl::LocalTrainConfig local_config;  // defaults: 1 epoch, batch 32, SGD 0.05/0.9
+
+  fl::RunOptions run_options;
+  run_options.rounds = static_cast<std::size_t>(rounds);
+  run_options.sample_ratio = sample_ratio;
+  run_options.verbose = true;
+
+  // 3. Run FedAvg, then FedKEMF, on the *same* federation.
+  fl::FedAvg fedavg(local_spec, local_config);
+  const fl::RunResult avg_result = fl::run_federated(federation, fedavg, run_options);
+
+  fl::FedKemfOptions kemf_options;
+  kemf_options.knowledge_spec = knowledge_spec;
+  fl::FedKemf fedkemf({local_spec}, local_config, kemf_options);
+  const fl::RunResult kemf_result = fl::run_federated(federation, fedkemf, run_options);
+
+  // 4. Report.
+  utils::Table table({"Algorithm", "Final acc", "Best acc", "Total comm", "Bytes/round"});
+  for (const fl::RunResult* r : {&avg_result, &kemf_result}) {
+    table.row()
+        .cell(r->algorithm)
+        .cell(utils::format_percent(r->final_accuracy))
+        .cell(utils::format_percent(r->best_accuracy))
+        .cell(utils::format_bytes(static_cast<double>(r->total_bytes)))
+        .cell(utils::format_bytes(r->mean_round_bytes()));
+  }
+  std::printf("\n%s\n", table.to_markdown().c_str());
+  std::printf("FedKEMF moved %.1fx %s bytes than FedAvg for the same rounds.\n",
+              avg_result.total_bytes >= kemf_result.total_bytes
+                  ? static_cast<double>(avg_result.total_bytes) /
+                        static_cast<double>(kemf_result.total_bytes)
+                  : static_cast<double>(kemf_result.total_bytes) /
+                        static_cast<double>(avg_result.total_bytes),
+              avg_result.total_bytes >= kemf_result.total_bytes ? "fewer" : "more");
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "comm/channel.hpp"
+
+#include <stdexcept>
+
+#include "comm/compression.hpp"
+#include "core/serialize.hpp"
+
+namespace fedkemf::comm {
+
+std::vector<std::uint8_t> serialize_model(nn::Module& model) {
+  core::ByteWriter writer;
+  writer.write_u32(kModelMagic);
+  writer.write_u32(kModelVersion);
+  const auto params = model.parameters();
+  const auto buffers = model.buffers();
+  writer.write_u32(static_cast<std::uint32_t>(params.size() + buffers.size()));
+  for (nn::Parameter* p : params) core::write_tensor(writer, p->value);
+  for (nn::Buffer* b : buffers) core::write_tensor(writer, b->value);
+  return writer.take();
+}
+
+void deserialize_model(std::span<const std::uint8_t> payload, nn::Module& model) {
+  core::ByteReader reader(payload);
+  if (reader.read_u32() != kModelMagic) {
+    throw std::runtime_error("deserialize_model: bad magic");
+  }
+  if (reader.read_u32() != kModelVersion) {
+    throw std::runtime_error("deserialize_model: unsupported version");
+  }
+  const std::uint32_t count = reader.read_u32();
+  const auto params = model.parameters();
+  const auto buffers = model.buffers();
+  if (count != params.size() + buffers.size()) {
+    throw std::invalid_argument("deserialize_model: tensor count mismatch (payload " +
+                                std::to_string(count) + ", model " +
+                                std::to_string(params.size() + buffers.size()) + ")");
+  }
+  for (nn::Parameter* p : params) {
+    core::Tensor t = core::read_tensor(reader);
+    if (t.shape() != p->value.shape()) {
+      throw std::invalid_argument("deserialize_model: parameter shape mismatch (" +
+                                  t.shape().to_string() + " vs " +
+                                  p->value.shape().to_string() + ")");
+    }
+    p->value = std::move(t);
+    p->grad = core::Tensor::zeros(p->value.shape());
+  }
+  for (nn::Buffer* b : buffers) {
+    core::Tensor t = core::read_tensor(reader);
+    if (t.shape() != b->value.shape()) {
+      throw std::invalid_argument("deserialize_model: buffer shape mismatch");
+    }
+    b->value = std::move(t);
+  }
+  if (!reader.exhausted()) {
+    throw std::runtime_error("deserialize_model: trailing bytes in payload");
+  }
+}
+
+std::size_t model_wire_size(nn::Module& model) {
+  std::size_t total = 12;  // magic + version + count
+  for (nn::Parameter* p : model.parameters()) total += core::tensor_wire_size(p->value);
+  for (nn::Buffer* b : model.buffers()) total += core::tensor_wire_size(b->value);
+  return total;
+}
+
+void TrafficMeter::record(const TrafficRecord& rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(rec);
+}
+
+std::size_t TrafficMeter::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& r : records_) total += r.bytes;
+  return total;
+}
+
+std::size_t TrafficMeter::uplink_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    if (r.direction == Direction::kUplink) total += r.bytes;
+  }
+  return total;
+}
+
+std::size_t TrafficMeter::downlink_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    if (r.direction == Direction::kDownlink) total += r.bytes;
+  }
+  return total;
+}
+
+std::size_t TrafficMeter::bytes_for_round(std::size_t round) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    if (r.round == round) total += r.bytes;
+  }
+  return total;
+}
+
+std::size_t TrafficMeter::bytes_for_client(std::size_t client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    if (r.client_id == client_id) total += r.bytes;
+  }
+  return total;
+}
+
+std::size_t TrafficMeter::num_transfers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+double TrafficMeter::mean_bytes_per_round() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.empty()) return 0.0;
+  std::size_t max_round = 0;
+  for (const auto& r : records_) max_round = std::max(max_round, r.round);
+  std::vector<std::size_t> per_round(max_round + 1, 0);
+  for (const auto& r : records_) per_round[r.round] += r.bytes;
+  std::size_t total = 0;
+  std::size_t active_rounds = 0;
+  for (std::size_t bytes : per_round) {
+    if (bytes > 0) {
+      total += bytes;
+      ++active_rounds;
+    }
+  }
+  return active_rounds == 0 ? 0.0
+                            : static_cast<double>(total) / static_cast<double>(active_rounds);
+}
+
+std::vector<TrafficRecord> TrafficMeter::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void TrafficMeter::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::size_t Channel::transfer(nn::Module& src, nn::Module& dst, std::size_t round,
+                              std::size_t client_id, Direction direction,
+                              const std::string& payload_name) {
+  const std::vector<std::uint8_t> payload = serialize_model(src);
+  deserialize_model(payload, dst);
+  if (meter_ != nullptr) {
+    meter_->record({round, client_id, direction, payload.size(), payload_name});
+  }
+  return payload.size();
+}
+
+std::size_t Channel::transfer_compressed(nn::Module& src, nn::Module& dst, std::size_t round,
+                                         std::size_t client_id, Direction direction,
+                                         const std::string& payload_name, Codec codec) {
+  const std::vector<std::uint8_t> payload = encode_model(src, codec);
+  decode_model(payload, dst);
+  if (meter_ != nullptr) {
+    meter_->record({round, client_id, direction, payload.size(),
+                    payload_name + "/" + to_string(codec)});
+  }
+  return payload.size();
+}
+
+std::size_t Channel::transfer_raw(std::size_t bytes, std::size_t round, std::size_t client_id,
+                                  Direction direction, const std::string& payload_name) {
+  if (meter_ != nullptr) {
+    meter_->record({round, client_id, direction, bytes, payload_name});
+  }
+  return bytes;
+}
+
+}  // namespace fedkemf::comm

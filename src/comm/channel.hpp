@@ -1,0 +1,122 @@
+#pragma once
+
+// Communication substrate.
+//
+// Every model that moves between server and clients in the simulator is
+// marshalled through Channel::transfer(), which serializes the source model
+// to a real byte buffer, meters the buffer size, and deserializes into the
+// destination.  The communication-cost tables are therefore *measured* from
+// actual wire payloads rather than computed from parameter counts (DESIGN.md
+// decision #3).  A bandwidth/latency LinkModel converts bytes into simulated
+// transfer time for the cost analyses.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fedkemf::comm {
+
+// ---- Model wire format ----
+// [magic u32 = 0xFEDC0DE5] [version u32 = 1] [tensor_count u32] tensors...
+// Tensor order: parameters in module order, then buffers in module order —
+// the same deterministic order Module::parameters()/buffers() guarantees.
+
+inline constexpr std::uint32_t kModelMagic = 0xFEDC0DE5;
+inline constexpr std::uint32_t kModelVersion = 1;
+
+/// Serializes parameters + buffers of `model`.
+std::vector<std::uint8_t> serialize_model(nn::Module& model);
+
+/// Loads a payload produced by serialize_model into `model` (architectures
+/// must match; throws std::runtime_error on malformed payloads and
+/// std::invalid_argument on shape mismatches).
+void deserialize_model(std::span<const std::uint8_t> payload, nn::Module& model);
+
+/// Exact number of bytes serialize_model would produce.
+std::size_t model_wire_size(nn::Module& model);
+
+// ---- Traffic metering ----
+
+enum class Direction { kDownlink, kUplink };
+
+struct TrafficRecord {
+  std::size_t round = 0;
+  std::size_t client_id = 0;
+  Direction direction = Direction::kDownlink;
+  std::size_t bytes = 0;
+  std::string payload;   ///< e.g. "knowledge_net", "model", "control_variate"
+};
+
+/// Thread-safe accumulator of every transfer in a run.
+class TrafficMeter {
+ public:
+  void record(const TrafficRecord& record);
+
+  std::size_t total_bytes() const;
+  std::size_t uplink_bytes() const;
+  std::size_t downlink_bytes() const;
+  std::size_t bytes_for_round(std::size_t round) const;
+  std::size_t bytes_for_client(std::size_t client_id) const;
+  std::size_t num_transfers() const;
+
+  /// Mean of (total bytes in round r) over rounds that had traffic.
+  double mean_bytes_per_round() const;
+
+  std::vector<TrafficRecord> records() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TrafficRecord> records_;
+};
+
+enum class Codec : std::uint8_t;  // comm/compression.hpp
+
+/// Marshalling channel bound to a meter.
+class Channel {
+ public:
+  explicit Channel(TrafficMeter* meter) : meter_(meter) {}
+
+  /// Serializes `src`, meters the payload, deserializes into `dst`.
+  /// Returns the payload size in bytes.
+  std::size_t transfer(nn::Module& src, nn::Module& dst, std::size_t round,
+                       std::size_t client_id, Direction direction,
+                       const std::string& payload_name);
+
+  /// Same, but through a lossy codec (comm/compression.hpp). kFp32 behaves
+  /// like transfer() except for a few header bytes.
+  std::size_t transfer_compressed(nn::Module& src, nn::Module& dst, std::size_t round,
+                                  std::size_t client_id, Direction direction,
+                                  const std::string& payload_name, Codec codec);
+
+  /// Meters a raw payload that is not a model (e.g. SCAFFOLD control
+  /// variates, FedNova step counts).  Returns `bytes` for convenience.
+  std::size_t transfer_raw(std::size_t bytes, std::size_t round, std::size_t client_id,
+                           Direction direction, const std::string& payload_name);
+
+  TrafficMeter* meter() const { return meter_; }
+
+ private:
+  TrafficMeter* meter_;
+};
+
+// ---- Link cost model ----
+
+/// Simple bandwidth+latency model used to translate measured bytes into
+/// simulated wall-clock transfer time.  Defaults approximate a WAN edge
+/// uplink (20 Mbit/s, 40 ms RTT).
+struct LinkModel {
+  double bandwidth_bytes_per_second = 20e6 / 8.0;
+  double latency_seconds = 0.04;
+
+  [[nodiscard]] double transfer_seconds(std::size_t bytes) const {
+    return latency_seconds + static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+};
+
+}  // namespace fedkemf::comm

@@ -1,0 +1,29 @@
+#include "comm/model_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fedkemf::comm {
+
+void save_model(nn::Module& model, const std::string& path, Codec codec) {
+  const std::vector<std::uint8_t> payload = encode_model(model, codec);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("save_model: cannot open '" + path + "'");
+  file.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  if (!file) throw std::runtime_error("save_model: write failed for '" + path + "'");
+}
+
+void load_model(const std::string& path, nn::Module& model) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) throw std::runtime_error("load_model: cannot open '" + path + "'");
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(payload.data()), size);
+  if (!file) throw std::runtime_error("load_model: read failed for '" + path + "'");
+  decode_model(payload, model);
+}
+
+}  // namespace fedkemf::comm

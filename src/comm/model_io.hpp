@@ -1,0 +1,23 @@
+#pragma once
+
+// Model checkpointing: save / load the wire-format payload to disk.
+//
+// The on-disk format is exactly the (optionally compressed) wire format, so
+// a checkpoint written on a server can be shipped to an edge device and
+// loaded there byte-for-byte — one format for transport and persistence.
+
+#include <string>
+
+#include "comm/compression.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::comm {
+
+/// Writes `model`'s state to `path`. Throws std::runtime_error on I/O error.
+void save_model(nn::Module& model, const std::string& path, Codec codec = Codec::kFp32);
+
+/// Loads a checkpoint written by save_model into `model` (architectures must
+/// match). Throws std::runtime_error on I/O or format errors.
+void load_model(const std::string& path, nn::Module& model);
+
+}  // namespace fedkemf::comm

@@ -1,0 +1,149 @@
+#include "core/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fedkemf::core {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  // Mix the parent seed with the tag through splitmix so nearby tags
+  // (client 0, client 1, ...) land on unrelated child seeds.
+  std::uint64_t sm = seed_ ^ (tag * 0xD1342543DE82EF95ULL + 0x63652362ED2A35F1ULL);
+  return Rng(splitmix64(sm));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_index: n must be > 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t value;
+  do {
+    value = next_u64();
+  } while (value >= limit);
+  return value % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::gamma(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("Rng::gamma: shape must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang trick).
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t dim) {
+  if (dim == 0) throw std::invalid_argument("Rng::dirichlet: dim must be > 0");
+  std::vector<double> sample(dim);
+  double total = 0.0;
+  for (double& v : sample) {
+    v = gamma(alpha);
+    total += v;
+  }
+  if (total <= 0.0) {
+    // Numerically possible for very small alpha: fall back to a one-hot draw,
+    // which is the correct Dirichlet(alpha -> 0) limit.
+    std::fill(sample.begin(), sample.end(), 0.0);
+    sample[static_cast<std::size_t>(uniform_index(dim))] = 1.0;
+    return sample;
+  }
+  for (double& v : sample) v /= total;
+  return sample;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  shuffle(indices);
+  return indices;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
+  std::vector<std::size_t> indices = permutation(n);
+  indices.resize(k);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+}  // namespace fedkemf::core

@@ -1,0 +1,85 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// Everything stochastic in the framework (weight init, data synthesis,
+// Dirichlet partitioning, client sampling, minibatch shuffles, DML noise)
+// draws from Rng so that a run is reproducible from a single seed across
+// platforms and thread counts.  std::mt19937 + std::*_distribution are
+// deliberately avoided: libstdc++/libc++ disagree on distribution algorithms,
+// and the simulator's determinism property tests require bit-stable streams.
+//
+// Generator: xoshiro256** (Blackman & Vigna), seeded through splitmix64.
+// Stream forking: fork(tag) derives an independent child generator from the
+// parent's seed material and a 64-bit tag; the federated simulator gives
+// every (round, client) pair its own stream, which makes parallel client
+// execution order-independent.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fedkemf::core {
+
+/// splitmix64 step; public because seeding/tag-mixing logic is unit-tested.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent generator from this generator's seed material
+  /// (not its current position) and `tag`. fork(a) and fork(b) with a != b
+  /// are decorrelated; forking is also independent of how many numbers the
+  /// parent has already produced.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const;
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform on [0, 1) with 53 random bits.
+  double uniform();
+
+  /// Uniform on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer on [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (stateful: generates pairs).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Gamma(shape, 1) via Marsaglia–Tsang; shape > 0.
+  double gamma(double shape);
+
+  /// Dirichlet(alpha) over `dim` categories; returns a probability vector.
+  std::vector<double> dirichlet(double alpha, std::size_t dim);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) in sorted order (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::array<std::uint64_t, 4> state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fedkemf::core

@@ -1,0 +1,134 @@
+#include "core/serialize.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::core {
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u32(bits);
+}
+
+void ByteWriter::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void ByteWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::write_f32_array(std::span<const float> values) {
+  const std::size_t offset = buffer_.size();
+  buffer_.resize(offset + values.size() * sizeof(float));
+  std::memcpy(buffer_.data() + offset, values.data(), values.size() * sizeof(float));
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (cursor_ + n > bytes_.size()) {
+    throw std::runtime_error("ByteReader: truncated input (need " + std::to_string(n) +
+                             " bytes, have " + std::to_string(bytes_.size() - cursor_) + ")");
+  }
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return bytes_[cursor_++];
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[cursor_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[cursor_++]) << (8 * i);
+  return v;
+}
+
+float ByteReader::read_f32() {
+  const std::uint32_t bits = read_u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::read_string() {
+  const std::uint32_t size = read_u32();
+  require(size);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + cursor_), size);
+  cursor_ += size;
+  return s;
+}
+
+void ByteReader::read_f32_array(std::span<float> out) {
+  require(out.size() * sizeof(float));
+  std::memcpy(out.data(), bytes_.data() + cursor_, out.size() * sizeof(float));
+  cursor_ += out.size() * sizeof(float);
+}
+
+void write_tensor(ByteWriter& writer, const Tensor& tensor) {
+  writer.write_u8(static_cast<std::uint8_t>(tensor.rank()));
+  for (std::size_t axis = 0; axis < tensor.rank(); ++axis) {
+    writer.write_u64(tensor.dim(axis));
+  }
+  writer.write_u64(tensor.numel());
+  writer.write_f32_array(tensor.values());
+}
+
+Tensor read_tensor(ByteReader& reader) {
+  const std::uint8_t rank = reader.read_u8();
+  if (rank > Shape::kMaxRank) throw std::runtime_error("read_tensor: bad rank");
+  Shape shape;
+  {
+    std::size_t dims[Shape::kMaxRank] = {};
+    for (std::size_t axis = 0; axis < rank; ++axis) {
+      dims[axis] = static_cast<std::size_t>(reader.read_u64());
+    }
+    switch (rank) {
+      case 0: shape = Shape{}; break;
+      case 1: shape = Shape{dims[0]}; break;
+      case 2: shape = Shape{dims[0], dims[1]}; break;
+      case 3: shape = Shape{dims[0], dims[1], dims[2]}; break;
+      case 4: shape = Shape{dims[0], dims[1], dims[2], dims[3]}; break;
+      default: throw std::runtime_error("read_tensor: unsupported rank");
+    }
+  }
+  const std::uint64_t numel = reader.read_u64();
+  if (numel != shape.numel()) throw std::runtime_error("read_tensor: numel mismatch");
+  Tensor tensor(shape);
+  reader.read_f32_array(tensor.values());
+  return tensor;
+}
+
+std::size_t tensor_wire_size(const Tensor& tensor) {
+  return 1 + 8 * tensor.rank() + 8 + 4 * tensor.numel();
+}
+
+}  // namespace fedkemf::core

@@ -1,0 +1,74 @@
+#pragma once
+
+// Binary (de)serialization.
+//
+// The communication substrate marshals every model exchanged between server
+// and clients through these writers so traffic is *measured*, not assumed.
+// Format: little-endian, length-prefixed, with a magic/version header at the
+// model level (added by comm::).  Floats are bit-copied (IEEE-754 assumed,
+// statically checked).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fedkemf::core {
+
+static_assert(sizeof(float) == 4, "fedkemf requires 32-bit IEEE floats");
+
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_bytes(std::span<const std::uint8_t> bytes);
+  void write_f32_array(std::span<const float> values);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Throws std::runtime_error on truncated/over-long input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  void read_f32_array(std::span<float> out);
+
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+/// Serializes shape + payload (9 + 8*rank + 4*numel bytes).
+void write_tensor(ByteWriter& writer, const Tensor& tensor);
+
+/// Deserializes a tensor written by write_tensor.
+Tensor read_tensor(ByteReader& reader);
+
+/// Number of bytes write_tensor will produce for `tensor`.
+std::size_t tensor_wire_size(const Tensor& tensor);
+
+}  // namespace fedkemf::core

@@ -1,0 +1,70 @@
+#pragma once
+
+// Dense tensor shape: a small fixed-capacity dimension list with the index
+// arithmetic the kernels need.  Rank <= 4 covers everything in this codebase
+// (NCHW activations, OIHW conv weights, matrices, vectors).
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace fedkemf::core {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::size_t> dims) {
+    if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank exceeds kMaxRank");
+    for (std::size_t d : dims) dims_[rank_++] = d;
+  }
+
+  static Shape vector(std::size_t n) { return Shape{n}; }
+  static Shape matrix(std::size_t rows, std::size_t cols) { return Shape{rows, cols}; }
+  static Shape nchw(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return Shape{n, c, h, w};
+  }
+
+  std::size_t rank() const { return rank_; }
+
+  std::size_t operator[](std::size_t axis) const {
+    if (axis >= rank_) throw std::out_of_range("Shape: axis out of range");
+    return dims_[axis];
+  }
+
+  /// Total number of elements (1 for rank-0).
+  std::size_t numel() const {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace fedkemf::core

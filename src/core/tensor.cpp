@@ -1,0 +1,244 @@
+#include "core/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace fedkemf::core {
+namespace {
+
+constexpr std::size_t kAlignment = 64;
+
+std::shared_ptr<float[]> allocate(std::size_t numel) {
+  if (numel == 0) return nullptr;
+  void* raw = ::operator new[](numel * sizeof(float), std::align_val_t{kAlignment});
+  return std::shared_ptr<float[]>(static_cast<float*>(raw), [](float* p) {
+    ::operator delete[](p, std::align_val_t{kAlignment});
+  });
+}
+
+}  // namespace
+
+Tensor::Tensor(const Shape& shape) : shape_(shape), data_(allocate(shape.numel())) {}
+
+Tensor::Tensor(const Shape& shape, float value) : Tensor(shape) { fill(value); }
+
+Tensor Tensor::from_values(const Shape& shape, std::span<const float> values) {
+  if (values.size() != shape.numel()) {
+    throw std::invalid_argument("Tensor::from_values: value count " +
+                                std::to_string(values.size()) + " != numel " +
+                                std::to_string(shape.numel()));
+  }
+  Tensor t(shape);
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::uniform(const Shape& shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
+  for (float& v : t.values()) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(const Shape& shape, Rng& rng, float mean, float stddev) {
+  Tensor t(shape);
+  for (float& v : t.values()) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= numel()) throw std::out_of_range("Tensor::at: index out of range");
+  return data_.get()[i];
+}
+
+float& Tensor::at_mut(std::size_t i) {
+  if (i >= numel()) throw std::out_of_range("Tensor::at_mut: index out of range");
+  return data_.get()[i];
+}
+
+float Tensor::at2(std::size_t i, std::size_t j) const {
+  if (rank() != 2) throw std::logic_error("Tensor::at2: rank != 2");
+  if (i >= dim(0) || j >= dim(1)) throw std::out_of_range("Tensor::at2: index out of range");
+  return data_.get()[i * dim(1) + j];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+  if (rank() != 4) throw std::logic_error("Tensor::at4: rank != 4");
+  if (n >= dim(0) || c >= dim(1) || h >= dim(2) || w >= dim(3)) {
+    throw std::out_of_range("Tensor::at4: index out of range");
+  }
+  return data_.get()[((n * dim(1) + c) * dim(2) + h) * dim(3) + w];
+}
+
+Tensor Tensor::clone() const {
+  Tensor copy(shape_);
+  if (numel() != 0) std::memcpy(copy.data(), data(), numel() * sizeof(float));
+  return copy;
+}
+
+Tensor Tensor::reshaped(const Shape& new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " + shape_.to_string() +
+                                " -> " + new_shape.to_string());
+  }
+  Tensor view;
+  view.shape_ = new_shape;
+  view.data_ = data_;
+  return view;
+}
+
+void Tensor::fill(float value) {
+  std::fill_n(data_.get(), numel(), value);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string("Tensor::") + op + ": shape mismatch " +
+                                shape_.to_string() + " vs " + other.shape_.to_string());
+  }
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  check_same_shape(other, "add_");
+  float* __restrict a = data();
+  const float* __restrict b = other.data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  check_same_shape(other, "sub_");
+  float* __restrict a = data();
+  const float* __restrict b = other.data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] -= b[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  check_same_shape(other, "mul_");
+  float* __restrict a = data();
+  const float* __restrict b = other.data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] *= b[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float s) {
+  check_same_shape(other, "add_scaled_");
+  float* __restrict a = data();
+  const float* __restrict b = other.data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] += s * b[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  float* __restrict a = data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] *= s;
+  return *this;
+}
+
+Tensor& Tensor::add_scalar_(float s) {
+  float* __restrict a = data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] += s;
+  return *this;
+}
+
+Tensor& Tensor::clamp_min_(float lo) {
+  float* __restrict a = data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) a[i] = a[i] < lo ? lo : a[i];
+  return *this;
+}
+
+Tensor Tensor::add(const Tensor& other) const { return clone().add_(other); }
+Tensor Tensor::sub(const Tensor& other) const { return clone().sub_(other); }
+Tensor Tensor::mul(const Tensor& other) const { return clone().mul_(other); }
+Tensor Tensor::scaled(float s) const { return clone().scale_(s); }
+
+float Tensor::sum() const {
+  // Pairwise-ish: accumulate in double to keep large reductions stable.
+  double total = 0.0;
+  const float* a = data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) total += a[i];
+  return static_cast<float>(total);
+}
+
+float Tensor::mean() const {
+  const std::size_t n = numel();
+  if (n == 0) throw std::logic_error("Tensor::mean: empty tensor");
+  return static_cast<float>(static_cast<double>(sum()) / static_cast<double>(n));
+}
+
+float Tensor::min() const {
+  const std::size_t n = numel();
+  if (n == 0) throw std::logic_error("Tensor::min: empty tensor");
+  return *std::min_element(data(), data() + n);
+}
+
+float Tensor::max() const {
+  const std::size_t n = numel();
+  if (n == 0) throw std::logic_error("Tensor::max: empty tensor");
+  return *std::max_element(data(), data() + n);
+}
+
+float Tensor::abs_max() const {
+  const std::size_t n = numel();
+  float best = 0.0f;
+  const float* a = data();
+  for (std::size_t i = 0; i < n; ++i) best = std::max(best, std::fabs(a[i]));
+  return best;
+}
+
+float Tensor::squared_norm() const {
+  double total = 0.0;
+  const float* a = data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) total += static_cast<double>(a[i]) * a[i];
+  return static_cast<float>(total);
+}
+
+float Tensor::dot(const Tensor& other) const {
+  check_same_shape(other, "dot");
+  double total = 0.0;
+  const float* a = data();
+  const float* b = other.data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) total += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(total);
+}
+
+bool Tensor::all_finite() const {
+  const float* a = data();
+  const std::size_t n = numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(a[i])) return false;
+  }
+  return true;
+}
+
+std::string Tensor::to_string(std::size_t max_entries) const {
+  std::ostringstream out;
+  out << "Tensor" << shape_.to_string() << " {";
+  const std::size_t n = std::min(numel(), max_entries);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out << ", ";
+    out << data_.get()[i];
+  }
+  if (numel() > max_entries) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace fedkemf::core

@@ -1,0 +1,113 @@
+#pragma once
+
+// Dense float32 tensor with shared, contiguous storage.
+//
+// Design notes (see DESIGN.md §"Key design decisions"):
+//  * Copying a Tensor is a cheap shallow copy (shared storage); clone() deep
+//    copies.  Modules hand activations around by value without allocation.
+//  * Storage is 64-byte aligned so the blocked GEMM and the conv kernels can
+//    assume cache-line-aligned rows.
+//  * Only float32 exists: the paper's workloads are all fp32, and a single
+//    dtype keeps every kernel branch-free.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/shape.hpp"
+
+namespace fedkemf::core {
+
+class Rng;
+
+class Tensor {
+ public:
+  /// Empty tensor (numel 0, rank 0); data() is nullptr.
+  Tensor() = default;
+
+  /// Allocates uninitialized storage of the given shape.
+  explicit Tensor(const Shape& shape);
+
+  /// Allocates and fills with `value`.
+  Tensor(const Shape& shape, float value);
+
+  static Tensor zeros(const Shape& shape) { return Tensor(shape, 0.0f); }
+  static Tensor ones(const Shape& shape) { return Tensor(shape, 1.0f); }
+  static Tensor full(const Shape& shape, float value) { return Tensor(shape, value); }
+
+  /// Copies values out of `values` (size must equal shape.numel()).
+  static Tensor from_values(const Shape& shape, std::span<const float> values);
+
+  /// i.i.d. U(lo, hi) entries.
+  static Tensor uniform(const Shape& shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  /// i.i.d. N(mean, stddev) entries.
+  static Tensor normal(const Shape& shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.rank(); }
+  std::size_t numel() const { return shape_.numel(); }
+  std::size_t dim(std::size_t axis) const { return shape_[axis]; }
+  bool defined() const { return data_ != nullptr; }
+
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+  std::span<float> values() { return {data_.get(), numel()}; }
+  std::span<const float> values() const { return {data_.get(), numel()}; }
+
+  float& operator[](std::size_t i) { return data_.get()[i]; }
+  float operator[](std::size_t i) const { return data_.get()[i]; }
+
+  /// Bounds-checked element access for tests and debugging.
+  float at(std::size_t i) const;
+  float at2(std::size_t i, std::size_t j) const;
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+  float& at_mut(std::size_t i);
+
+  /// Deep copy.
+  [[nodiscard]] Tensor clone() const;
+
+  /// Shares storage under a new shape with the same numel.
+  [[nodiscard]] Tensor reshaped(const Shape& new_shape) const;
+
+  /// True when both tensors share the same storage allocation.
+  bool shares_storage_with(const Tensor& other) const { return data_ == other.data_; }
+
+  // ---- In-place arithmetic (SIMD-friendly flat loops) ----
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  Tensor& add_(const Tensor& other);                ///< this += other
+  Tensor& sub_(const Tensor& other);                ///< this -= other
+  Tensor& mul_(const Tensor& other);                ///< this *= other (elementwise)
+  Tensor& add_scaled_(const Tensor& other, float s);///< this += s * other (axpy)
+  Tensor& scale_(float s);                          ///< this *= s
+  Tensor& add_scalar_(float s);                     ///< this += s
+  Tensor& clamp_min_(float lo);
+
+  // ---- Out-of-place helpers ----
+  [[nodiscard]] Tensor add(const Tensor& other) const;
+  [[nodiscard]] Tensor sub(const Tensor& other) const;
+  [[nodiscard]] Tensor mul(const Tensor& other) const;
+  [[nodiscard]] Tensor scaled(float s) const;
+
+  // ---- Reductions ----
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float min() const;
+  [[nodiscard]] float max() const;
+  [[nodiscard]] float abs_max() const;
+  [[nodiscard]] float squared_norm() const;
+  [[nodiscard]] float dot(const Tensor& other) const;
+  [[nodiscard]] bool all_finite() const;
+
+  std::string to_string(std::size_t max_entries = 16) const;
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::shared_ptr<float[]> data_;
+};
+
+}  // namespace fedkemf::core

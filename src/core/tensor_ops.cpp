@@ -1,0 +1,276 @@
+#include "core/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace fedkemf::core {
+namespace {
+
+// Cache-blocking parameters tuned for ~32 KiB L1 / 256 KiB-1 MiB L2.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 256;
+constexpr std::size_t kBlockK = 256;
+
+inline float load_a(const float* a, std::size_t lda, Transpose t,
+                    std::size_t row, std::size_t col) {
+  return t == Transpose::kNo ? a[row * lda + col] : a[col * lda + row];
+}
+
+// Reference kernel used for the transposed layouts; the hot path (no-trans x
+// no-trans, which is what forward conv/linear hit) gets a tiled kernel below.
+void gemm_generic(Transpose trans_a, Transpose trans_b,
+                  std::size_t m, std::size_t n, std::size_t k,
+                  float alpha, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb,
+                  float beta, float* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* c_row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill_n(c_row, n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = alpha * load_a(a, lda, trans_a, i, p);
+      if (a_ip == 0.0f) continue;
+      if (trans_b == Transpose::kNo) {
+        const float* b_row = b + p * ldb;
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+      } else {
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b[j * ldb + p];
+      }
+    }
+  }
+}
+
+// Blocked kernel for the row-major, non-transposed case.
+void gemm_nn_blocked(std::size_t m, std::size_t n, std::size_t k,
+                     float alpha, const float* a, std::size_t lda,
+                     const float* b, std::size_t ldb,
+                     float beta, float* c, std::size_t ldc) {
+  if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m; ++i) {
+      float* c_row = c + i * ldc;
+      if (beta == 0.0f) {
+        std::fill_n(c_row, n, 0.0f);
+      } else {
+        for (std::size_t j = 0; j < n; ++j) c_row[j] *= beta;
+      }
+    }
+  }
+#if defined(FEDKEMF_HAS_OPENMP)
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 18)
+#endif
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i_end = std::min(i0 + kBlockM, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p_end = std::min(p0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t j_end = std::min(j0 + kBlockN, n);
+        for (std::size_t i = i0; i < i_end; ++i) {
+          float* __restrict c_row = c + i * ldc;
+          const float* __restrict a_row = a + i * lda;
+          for (std::size_t p = p0; p < p_end; ++p) {
+            const float a_ip = alpha * a_row[p];
+            if (a_ip == 0.0f) continue;
+            const float* __restrict b_row = b + p * ldb;
+            for (std::size_t j = j0; j < j_end; ++j) c_row[j] += a_ip * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Transpose trans_a, Transpose trans_b,
+          std::size_t m, std::size_t n, std::size_t k,
+          float alpha, const Tensor& a, const Tensor& b,
+          float beta, Tensor& c) {
+  const std::size_t a_rows = trans_a == Transpose::kNo ? m : k;
+  const std::size_t a_cols = trans_a == Transpose::kNo ? k : m;
+  const std::size_t b_rows = trans_b == Transpose::kNo ? k : n;
+  const std::size_t b_cols = trans_b == Transpose::kNo ? n : k;
+  if (a.numel() != a_rows * a_cols) {
+    throw std::invalid_argument("gemm: A numel mismatch, got " + a.shape().to_string());
+  }
+  if (b.numel() != b_rows * b_cols) {
+    throw std::invalid_argument("gemm: B numel mismatch, got " + b.shape().to_string());
+  }
+  if (c.numel() != m * n) {
+    throw std::invalid_argument("gemm: C numel mismatch, got " + c.shape().to_string());
+  }
+  const std::size_t lda = a_cols;
+  const std::size_t ldb = b_cols;
+  const std::size_t ldc = n;
+  if (trans_a == Transpose::kNo && trans_b == Transpose::kNo) {
+    gemm_nn_blocked(m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c.data(), ldc);
+  } else {
+    gemm_generic(trans_a, trans_b, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                 beta, c.data(), ldc);
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Transpose trans_a, Transpose trans_b) {
+  if (a.rank() != 2 || b.rank() != 2) {
+    throw std::invalid_argument("matmul: both operands must be rank-2");
+  }
+  const std::size_t m = trans_a == Transpose::kNo ? a.dim(0) : a.dim(1);
+  const std::size_t k = trans_a == Transpose::kNo ? a.dim(1) : a.dim(0);
+  const std::size_t k2 = trans_b == Transpose::kNo ? b.dim(0) : b.dim(1);
+  const std::size_t n = trans_b == Transpose::kNo ? b.dim(1) : b.dim(0);
+  if (k != k2) {
+    throw std::invalid_argument("matmul: inner dimensions differ (" + std::to_string(k) +
+                                " vs " + std::to_string(k2) + ")");
+  }
+  Tensor c(Shape::matrix(m, n));
+  gemm(trans_a, trans_b, m, n, k, 1.0f, a, b, 0.0f, c);
+  return c;
+}
+
+void im2col(const Tensor& input, const Conv2dGeometry& geom, Tensor& columns) {
+  const std::size_t out_h = geom.out_h();
+  const std::size_t out_w = geom.out_w();
+  const std::size_t col_rows = geom.in_channels * geom.kernel * geom.kernel;
+  const std::size_t col_cols = geom.batch * out_h * out_w;
+  if (input.numel() != geom.batch * geom.in_channels * geom.in_h * geom.in_w) {
+    throw std::invalid_argument("im2col: input numel mismatch");
+  }
+  if (columns.numel() != col_rows * col_cols) {
+    throw std::invalid_argument("im2col: columns numel mismatch");
+  }
+  const float* __restrict src = input.data();
+  float* __restrict dst = columns.data();
+  const std::size_t in_hw = geom.in_h * geom.in_w;
+  const std::size_t in_chw = geom.in_channels * in_hw;
+  // Row index = (c, kh, kw); column index = (n, oh, ow).
+  for (std::size_t c = 0; c < geom.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < geom.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < geom.kernel; ++kw) {
+        const std::size_t row = (c * geom.kernel + kh) * geom.kernel + kw;
+        float* __restrict drow = dst + row * col_cols;
+        for (std::size_t n = 0; n < geom.batch; ++n) {
+          const float* __restrict img = src + n * in_chw + c * in_hw;
+          for (std::size_t oh = 0; oh < out_h; ++oh) {
+            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * geom.stride + kh) -
+                                      static_cast<std::ptrdiff_t>(geom.padding);
+            float* __restrict out = drow + (n * out_h + oh) * out_w;
+            if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(geom.in_h)) {
+              std::fill_n(out, out_w, 0.0f);
+              continue;
+            }
+            const float* __restrict in_row = img + static_cast<std::size_t>(ih) * geom.in_w;
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+              const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * geom.stride + kw) -
+                                        static_cast<std::ptrdiff_t>(geom.padding);
+              out[ow] = (iw < 0 || iw >= static_cast<std::ptrdiff_t>(geom.in_w))
+                            ? 0.0f
+                            : in_row[static_cast<std::size_t>(iw)];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& columns, const Conv2dGeometry& geom, Tensor& input_grad) {
+  const std::size_t out_h = geom.out_h();
+  const std::size_t out_w = geom.out_w();
+  const std::size_t col_rows = geom.in_channels * geom.kernel * geom.kernel;
+  const std::size_t col_cols = geom.batch * out_h * out_w;
+  if (columns.numel() != col_rows * col_cols) {
+    throw std::invalid_argument("col2im: columns numel mismatch");
+  }
+  if (input_grad.numel() != geom.batch * geom.in_channels * geom.in_h * geom.in_w) {
+    throw std::invalid_argument("col2im: input_grad numel mismatch");
+  }
+  input_grad.zero();
+  const float* __restrict src = columns.data();
+  float* __restrict dst = input_grad.data();
+  const std::size_t in_hw = geom.in_h * geom.in_w;
+  const std::size_t in_chw = geom.in_channels * in_hw;
+  for (std::size_t c = 0; c < geom.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < geom.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < geom.kernel; ++kw) {
+        const std::size_t row = (c * geom.kernel + kh) * geom.kernel + kw;
+        const float* __restrict srow = src + row * col_cols;
+        for (std::size_t n = 0; n < geom.batch; ++n) {
+          float* __restrict img = dst + n * in_chw + c * in_hw;
+          for (std::size_t oh = 0; oh < out_h; ++oh) {
+            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * geom.stride + kh) -
+                                      static_cast<std::ptrdiff_t>(geom.padding);
+            if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(geom.in_h)) continue;
+            const float* __restrict in = srow + (n * out_h + oh) * out_w;
+            float* __restrict grad_row = img + static_cast<std::size_t>(ih) * geom.in_w;
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+              const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * geom.stride + kw) -
+                                        static_cast<std::ptrdiff_t>(geom.padding);
+              if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(geom.in_w)) continue;
+              grad_row[static_cast<std::size_t>(iw)] += in[ow];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax_rows: rank != 2");
+  const std::size_t rows = logits.dim(0);
+  const std::size_t cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* __restrict in = logits.data() + r * cols;
+    float* __restrict o = out.data() + r * cols;
+    float max_v = in[0];
+    for (std::size_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
+    double total = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - max_v);
+      total += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (std::size_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("log_softmax_rows: rank != 2");
+  const std::size_t rows = logits.dim(0);
+  const std::size_t cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* __restrict in = logits.data() + r * cols;
+    float* __restrict o = out.data() + r * cols;
+    float max_v = in[0];
+    for (std::size_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
+    double total = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) total += std::exp(static_cast<double>(in[c]) - max_v);
+    const float log_z = max_v + static_cast<float>(std::log(total));
+    for (std::size_t c = 0; c < cols; ++c) o[c] = in[c] - log_z;
+  }
+  return out;
+}
+
+void argmax_rows(const Tensor& matrix, std::size_t* out_indices) {
+  if (matrix.rank() != 2) throw std::invalid_argument("argmax_rows: rank != 2");
+  const std::size_t rows = matrix.dim(0);
+  const std::size_t cols = matrix.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* __restrict in = matrix.data() + r * cols;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cols; ++c) {
+      if (in[c] > in[best]) best = c;
+    }
+    out_indices[r] = best;
+  }
+}
+
+}  // namespace fedkemf::core

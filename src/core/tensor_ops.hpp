@@ -1,0 +1,62 @@
+#pragma once
+
+// Compute kernels shared by the NN layers.
+//
+// GEMM is a cache-blocked, register-tiled kernel (optionally OpenMP-parallel
+// over row blocks); convolutions lower onto it through im2col/col2im.  All
+// kernels are deterministic for a fixed input regardless of thread count:
+// parallelism only ever splits *independent* output regions.
+
+#include <cstddef>
+
+#include "core/tensor.hpp"
+
+namespace fedkemf::core {
+
+enum class Transpose { kNo, kYes };
+
+/// C = alpha * op(A) @ op(B) + beta * C.
+/// op(A) is [M, K] and op(B) is [K, N] after the optional transposes; C is
+/// [M, N].  Shapes are validated against the logical dims.
+void gemm(Transpose trans_a, Transpose trans_b,
+          std::size_t m, std::size_t n, std::size_t k,
+          float alpha, const Tensor& a, const Tensor& b,
+          float beta, Tensor& c);
+
+/// Convenience: returns op(A) @ op(B) as a fresh [M, N] tensor.
+Tensor matmul(const Tensor& a, const Tensor& b,
+              Transpose trans_a = Transpose::kNo,
+              Transpose trans_b = Transpose::kNo);
+
+struct Conv2dGeometry {
+  std::size_t batch = 0;
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 0;   ///< square kernels only (all paper models use 3x3/1x1)
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  std::size_t out_h() const { return (in_h + 2 * padding - kernel) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * padding - kernel) / stride + 1; }
+};
+
+/// Lowers an NCHW image batch into the [C*K*K, N*outH*outW] column matrix
+/// used to express convolution as a GEMM.  `columns` must be pre-shaped.
+void im2col(const Tensor& input, const Conv2dGeometry& geom, Tensor& columns);
+
+/// Transpose of im2col: scatters the column matrix back into NCHW image
+/// gradients, accumulating where patches overlap.  `input_grad` must be
+/// pre-shaped and is overwritten.
+void col2im(const Tensor& columns, const Conv2dGeometry& geom, Tensor& input_grad);
+
+/// Row-wise softmax of a [rows, cols] matrix (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise log-softmax of a [rows, cols] matrix.
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// Index of the per-row maximum of a [rows, cols] matrix; ties break low.
+void argmax_rows(const Tensor& matrix, std::size_t* out_indices);
+
+}  // namespace fedkemf::core

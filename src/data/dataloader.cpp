@@ -1,0 +1,54 @@
+#include "data/dataloader.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace fedkemf::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::vector<std::size_t> indices,
+                       std::size_t batch_size, bool shuffle, core::Rng rng)
+    : dataset_(&dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(rng) {
+  if (batch_size_ == 0) throw std::invalid_argument("DataLoader: batch_size must be > 0");
+  if (indices_.empty()) throw std::invalid_argument("DataLoader: empty index list");
+  for (std::size_t index : indices_) {
+    if (index >= dataset.size()) throw std::out_of_range("DataLoader: index out of range");
+  }
+  order_.resize(indices_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  reset();
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size, bool shuffle,
+                       core::Rng rng)
+    : DataLoader(dataset,
+                 [&] {
+                   std::vector<std::size_t> all(dataset.size());
+                   std::iota(all.begin(), all.end(), std::size_t{0});
+                   return all;
+                 }(),
+                 batch_size, shuffle, rng) {}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+bool DataLoader::next(Batch& batch) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t count = std::min(batch_size_, order_.size() - cursor_);
+  std::vector<std::size_t> selection(count);
+  for (std::size_t i = 0; i < count; ++i) selection[i] = indices_[order_[cursor_ + i]];
+  dataset_->gather(selection, batch.images, batch.labels);
+  cursor_ += count;
+  return true;
+}
+
+std::size_t DataLoader::num_batches() const {
+  return (indices_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace fedkemf::data

@@ -1,0 +1,53 @@
+#pragma once
+
+// Minibatch iterator over a (subset of a) Dataset.
+//
+// Owns its Rng so that two loaders over the same shard with the same seed
+// produce identical batch sequences — the determinism the parallel-client
+// property tests rely on.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace fedkemf::data {
+
+struct Batch {
+  core::Tensor images;               ///< [B, C, H, W]
+  std::vector<std::size_t> labels;   ///< length B
+  std::size_t size() const { return labels.size(); }
+};
+
+class DataLoader {
+ public:
+  /// Iterates `indices` into `dataset` in minibatches of `batch_size`
+  /// (final partial batch included). If `shuffle`, the order is re-drawn
+  /// from `rng` at every reset().
+  DataLoader(const Dataset& dataset, std::vector<std::size_t> indices,
+             std::size_t batch_size, bool shuffle, core::Rng rng);
+
+  /// Loader over the whole dataset.
+  DataLoader(const Dataset& dataset, std::size_t batch_size, bool shuffle, core::Rng rng);
+
+  /// Starts a new epoch (reshuffles if enabled).
+  void reset();
+
+  /// Fills `batch`; returns false at end of epoch.
+  bool next(Batch& batch);
+
+  std::size_t num_samples() const { return indices_.size(); }
+  std::size_t num_batches() const;
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<std::size_t> indices_;
+  std::vector<std::size_t> order_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  core::Rng rng_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fedkemf::data

@@ -1,0 +1,53 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedkemf::data {
+
+Dataset::Dataset(core::Tensor images, std::vector<std::size_t> labels, std::size_t num_classes)
+    : images_(std::move(images)), labels_(std::move(labels)), num_classes_(num_classes) {
+  if (images_.rank() != 4) {
+    throw std::invalid_argument("Dataset: images must be [N, C, H, W], got " +
+                                images_.shape().to_string());
+  }
+  if (images_.dim(0) != labels_.size()) {
+    throw std::invalid_argument("Dataset: image/label count mismatch");
+  }
+  if (num_classes_ < 2) throw std::invalid_argument("Dataset: need >= 2 classes");
+  for (std::size_t label : labels_) {
+    if (label >= num_classes_) throw std::invalid_argument("Dataset: label out of range");
+  }
+}
+
+void Dataset::gather(std::span<const std::size_t> indices, core::Tensor& out_images,
+                     std::vector<std::size_t>& out_labels) const {
+  out_images = gather_images(indices);
+  out_labels.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) out_labels[i] = labels_.at(indices[i]);
+}
+
+core::Tensor Dataset::gather_images(std::span<const std::size_t> indices) const {
+  const std::size_t sample_numel = channels() * height() * width();
+  core::Tensor out(core::Shape::nchw(indices.size(), channels(), height(), width()));
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= size()) throw std::out_of_range("Dataset::gather: index out of range");
+    std::memcpy(out.data() + i * sample_numel, images_.data() + indices[i] * sample_numel,
+                sample_numel * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> histogram(num_classes_, 0);
+  for (std::size_t label : labels_) ++histogram[label];
+  return histogram;
+}
+
+std::vector<std::size_t> Dataset::class_histogram(std::span<const std::size_t> indices) const {
+  std::vector<std::size_t> histogram(num_classes_, 0);
+  for (std::size_t index : indices) ++histogram[labels_.at(index)];
+  return histogram;
+}
+
+}  // namespace fedkemf::data

@@ -1,0 +1,57 @@
+#pragma once
+
+// In-memory labelled image dataset.
+//
+// Images live in one contiguous [N, C, H, W] tensor; subsets (client shards,
+// minibatches) are index lists that gather into fresh tensors on demand.
+// This keeps per-client storage at zero-copy cost — with 100 simulated
+// clients, duplicating shards would dominate memory.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fedkemf::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// `images` must be [N, C, H, W]; `labels` length N with values < num_classes.
+  Dataset(core::Tensor images, std::vector<std::size_t> labels, std::size_t num_classes);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t num_classes() const { return num_classes_; }
+  bool empty() const { return labels_.empty(); }
+
+  std::size_t channels() const { return images_.dim(1); }
+  std::size_t height() const { return images_.dim(2); }
+  std::size_t width() const { return images_.dim(3); }
+
+  const core::Tensor& images() const { return images_; }
+  const std::vector<std::size_t>& labels() const { return labels_; }
+  std::size_t label(std::size_t index) const { return labels_.at(index); }
+
+  /// Copies the selected samples into a fresh [k, C, H, W] tensor + labels.
+  void gather(std::span<const std::size_t> indices, core::Tensor& out_images,
+              std::vector<std::size_t>& out_labels) const;
+
+  /// Gathers images only (used by the server's unlabeled distillation set).
+  core::Tensor gather_images(std::span<const std::size_t> indices) const;
+
+  /// Per-class sample counts (length num_classes).
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Per-class histogram restricted to `indices` — used to verify that the
+  /// Dirichlet partitioner actually produced skewed shards.
+  std::vector<std::size_t> class_histogram(std::span<const std::size_t> indices) const;
+
+ private:
+  core::Tensor images_;
+  std::vector<std::size_t> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace fedkemf::data

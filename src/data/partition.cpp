@@ -1,0 +1,138 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedkemf::data {
+namespace {
+
+void validate_common(std::size_t num_samples, std::size_t num_clients) {
+  if (num_clients == 0) throw std::invalid_argument("partition: num_clients must be > 0");
+  if (num_samples < num_clients) {
+    throw std::invalid_argument("partition: fewer samples than clients");
+  }
+}
+
+}  // namespace
+
+Partition partition_dirichlet(const std::vector<std::size_t>& labels, std::size_t num_classes,
+                              std::size_t num_clients, double alpha, core::Rng& rng,
+                              std::size_t min_per_client) {
+  validate_common(labels.size(), num_clients);
+  if (alpha <= 0.0) throw std::invalid_argument("partition_dirichlet: alpha must be > 0");
+
+  // Bucket indices by class, shuffled within each class.
+  std::vector<std::vector<std::size_t>> by_class(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= num_classes) throw std::invalid_argument("partition_dirichlet: bad label");
+    by_class[labels[i]].push_back(i);
+  }
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  Partition partition(num_clients);
+  for (std::size_t k = 0; k < num_classes; ++k) {
+    const auto& bucket = by_class[k];
+    if (bucket.empty()) continue;
+    const std::vector<double> proportions = rng.dirichlet(alpha, num_clients);
+    // Convert proportions to cumulative cut points over the bucket.
+    std::size_t start = 0;
+    double cumulative = 0.0;
+    for (std::size_t j = 0; j < num_clients; ++j) {
+      cumulative += proportions[j];
+      const std::size_t end =
+          j + 1 == num_clients
+              ? bucket.size()
+              : std::min(bucket.size(),
+                         static_cast<std::size_t>(cumulative * static_cast<double>(bucket.size())));
+      for (std::size_t i = start; i < end; ++i) partition[j].push_back(bucket[i]);
+      start = end;
+    }
+  }
+
+  // Rebalance: under small alpha some clients can end up empty, which would
+  // make their local update a no-op and divide-by-zero in weighting. Steal
+  // single samples from the largest shard until everyone has the minimum.
+  for (std::size_t j = 0; j < num_clients; ++j) {
+    while (partition[j].size() < min_per_client) {
+      const auto richest = std::max_element(
+          partition.begin(), partition.end(),
+          [](const auto& a, const auto& b) { return a.size() < b.size(); });
+      if (richest->size() <= min_per_client) {
+        throw std::runtime_error("partition_dirichlet: not enough samples to guarantee minimum");
+      }
+      partition[j].push_back(richest->back());
+      richest->pop_back();
+    }
+  }
+  for (auto& shard : partition) std::sort(shard.begin(), shard.end());
+  return partition;
+}
+
+Partition partition_iid(std::size_t num_samples, std::size_t num_clients, core::Rng& rng) {
+  validate_common(num_samples, num_clients);
+  std::vector<std::size_t> order = rng.permutation(num_samples);
+  Partition partition(num_clients);
+  for (std::size_t i = 0; i < num_samples; ++i) partition[i % num_clients].push_back(order[i]);
+  for (auto& shard : partition) std::sort(shard.begin(), shard.end());
+  return partition;
+}
+
+Partition partition_shards(const std::vector<std::size_t>& labels, std::size_t num_clients,
+                           std::size_t shards_per_client, core::Rng& rng) {
+  validate_common(labels.size(), num_clients);
+  if (shards_per_client == 0) {
+    throw std::invalid_argument("partition_shards: shards_per_client must be > 0");
+  }
+  const std::size_t total_shards = num_clients * shards_per_client;
+  if (labels.size() < total_shards) {
+    throw std::invalid_argument("partition_shards: fewer samples than shards");
+  }
+
+  // Sort indices by label (stable ordering), then deal contiguous shards.
+  std::vector<std::size_t> order(labels.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return labels[a] < labels[b]; });
+
+  std::vector<std::size_t> shard_ids = rng.permutation(total_shards);
+  const std::size_t shard_size = labels.size() / total_shards;
+  Partition partition(num_clients);
+  for (std::size_t s = 0; s < total_shards; ++s) {
+    const std::size_t client = s / shards_per_client;
+    const std::size_t shard = shard_ids[s];
+    const std::size_t begin = shard * shard_size;
+    const std::size_t end = shard + 1 == total_shards ? labels.size() : begin + shard_size;
+    for (std::size_t i = begin; i < end; ++i) partition[client].push_back(order[i]);
+  }
+  for (auto& shard : partition) std::sort(shard.begin(), shard.end());
+  return partition;
+}
+
+PartitionStats summarize_partition(const Partition& partition,
+                                   const std::vector<std::size_t>& labels,
+                                   std::size_t num_classes) {
+  PartitionStats stats;
+  if (partition.empty()) return stats;
+  stats.min_size = partition.front().size();
+  std::size_t total = 0;
+  double total_label_kinds = 0.0;
+  for (const auto& shard : partition) {
+    stats.min_size = std::min(stats.min_size, shard.size());
+    stats.max_size = std::max(stats.max_size, shard.size());
+    total += shard.size();
+    std::vector<bool> seen(num_classes, false);
+    std::size_t kinds = 0;
+    for (std::size_t index : shard) {
+      if (!seen[labels.at(index)]) {
+        seen[labels.at(index)] = true;
+        ++kinds;
+      }
+    }
+    total_label_kinds += static_cast<double>(kinds);
+  }
+  stats.mean_size = static_cast<double>(total) / static_cast<double>(partition.size());
+  stats.mean_labels_per_client = total_label_kinds / static_cast<double>(partition.size());
+  return stats;
+}
+
+}  // namespace fedkemf::data

@@ -1,0 +1,64 @@
+#pragma once
+
+// Synthetic class-conditional image data ("synth-cifar" / "synth-mnist").
+//
+// Substitution rationale (DESIGN.md): the paper's experiments measure FL
+// dynamics — non-IID degradation, rounds-to-accuracy, communication volume —
+// not absolute vision quality, and this offline environment has no dataset
+// files.  We therefore synthesize a learnable class-conditional distribution
+// that exercises the identical code path.
+//
+// Generative model per class c:
+//   prototype_c(h, w, ch) = sum of K random 2-D sinusoids + a Gaussian blob,
+//                           all drawn from a class-specific RNG stream;
+//   sample = separation * prototype_c shifted by a random (dx, dy) jitter
+//            + N(0, noise^2) pixel noise.
+//
+// Properties this buys us:
+//  * convolutional models beat linear ones (patterns are translation-jittered);
+//  * accuracy rises smoothly with training, and over-parameterized models can
+//    over-fit skewed shards — the regime FedKEMF's distillation targets;
+//  * `noise` / `separation` form a difficulty knob (ablated in tests);
+//  * two datasets built from the same spec are bit-identical (seeded), while
+//    different `split_tag`s (train/test/server) are disjoint draws from the
+//    same distribution.
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace fedkemf::data {
+
+struct SyntheticSpec {
+  std::size_t num_classes = 10;
+  std::size_t channels = 3;
+  std::size_t image_size = 32;
+  double noise_stddev = 0.8;       ///< pixel noise; higher = harder
+  double class_separation = 1.0;   ///< prototype amplitude; lower = harder
+  std::size_t jitter = 2;          ///< max |shift| in pixels applied per sample
+  std::size_t num_waves = 4;       ///< sinusoids per prototype
+  std::uint64_t seed = 42;         ///< distribution identity
+
+  /// "synth-mnist": 1x28x28, slightly easier than the default.
+  static SyntheticSpec mnist_like();
+  /// "synth-cifar": 3x32x32 (the default field values).
+  static SyntheticSpec cifar_like();
+};
+
+/// Split tags for disjoint draws from one distribution.
+inline constexpr std::uint64_t kTrainSplit = 0x7261494E;   // "traIN"
+inline constexpr std::uint64_t kTestSplit = 0x74657374;    // "test"
+inline constexpr std::uint64_t kServerSplit = 0x73727672;  // "srvr"
+
+/// Generates `num_samples` labelled samples (labels round-robin across
+/// classes so the pool is balanced; non-IID skew comes from partitioning).
+Dataset make_synthetic_dataset(const SyntheticSpec& spec, std::size_t num_samples,
+                               std::uint64_t split_tag);
+
+/// Generates an *unlabeled* pool drawn from the same class mixture — the
+/// public/unlabeled data the FedKEMF server distills on (Eq. 4 "using
+/// unlabeled data ... in the server").  Returned as a bare image tensor.
+core::Tensor make_unlabeled_pool(const SyntheticSpec& spec, std::size_t num_samples,
+                                 std::uint64_t split_tag);
+
+}  // namespace fedkemf::data

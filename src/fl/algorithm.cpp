@@ -1,0 +1,79 @@
+#include "fl/algorithm.hpp"
+
+#include <stdexcept>
+
+#include "data/dataloader.hpp"
+#include "nn/loss.hpp"
+
+namespace fedkemf::fl {
+
+LocalTrainResult supervised_local_update(nn::Module& model, const data::Dataset& train_set,
+                                         const std::vector<std::size_t>& shard,
+                                         const LocalTrainConfig& config, core::Rng rng,
+                                         const GradHook& hook) {
+  if (shard.empty()) throw std::invalid_argument("supervised_local_update: empty shard");
+  model.set_training(true);
+  nn::Sgd optimizer(model.parameters(),
+                    {.learning_rate = config.learning_rate,
+                     .momentum = config.momentum,
+                     .weight_decay = config.weight_decay});
+  nn::SoftmaxCrossEntropy ce;
+  data::DataLoader loader(train_set, shard,
+                          std::min(config.batch_size, shard.size()),
+                          /*shuffle=*/true, rng);
+  const auto params = model.parameters();
+
+  LocalTrainResult result;
+  double loss_total = 0.0;
+  std::size_t batches = 0;
+  data::Batch batch;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    loader.reset();
+    while (loader.next(batch)) {
+      optimizer.zero_grad();
+      core::Tensor logits = model.forward(batch.images);
+      nn::LossResult loss = ce.compute(logits, batch.labels);
+      model.backward(loss.grad);
+      if (hook) hook(params);
+      optimizer.step();
+      loss_total += loss.value;
+      ++batches;
+    }
+  }
+  result.steps = optimizer.steps_taken();
+  result.mean_loss = batches == 0 ? 0.0 : loss_total / static_cast<double>(batches);
+  return result;
+}
+
+core::Rng client_stream(const Federation& federation, std::size_t round_index,
+                        std::size_t client_id) {
+  // One fork level per coordinate keeps streams decorrelated across both axes.
+  return federation.root_rng().fork(0xC11E47ULL + round_index).fork(client_id);
+}
+
+void weighted_average_into(nn::Module& global, std::span<nn::Module* const> client_models,
+                           std::span<const std::size_t> sampled,
+                           const Federation& federation) {
+  if (client_models.size() != sampled.size() || sampled.empty()) {
+    throw std::invalid_argument("weighted_average_into: bad inputs");
+  }
+  double total_weight = 0.0;
+  for (std::size_t id : sampled) {
+    total_weight += static_cast<double>(federation.client_shard(id).size());
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("weighted_average_into: zero total shard size");
+  }
+
+  // Accumulate into zero-initialized state snapshots, then restore.
+  std::vector<core::Tensor> accumulator = nn::snapshot_state(global);
+  for (core::Tensor& t : accumulator) t.zero();
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    const float weight = static_cast<float>(
+        static_cast<double>(federation.client_shard(sampled[i]).size()) / total_weight);
+    nn::accumulate_state(*client_models[i], accumulator, weight);
+  }
+  nn::restore_state(global, accumulator);
+}
+
+}  // namespace fedkemf::fl

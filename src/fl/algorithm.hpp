@@ -1,0 +1,84 @@
+#pragma once
+
+// Algorithm interface + the shared client-side SGD pass.
+//
+// Each FL algorithm is a stateful object bound to one Federation.  The runner
+// (fl/runner.hpp) drives: setup() once, then round() per communication round
+// with the sampled client ids, evaluating global_model() in between.
+//
+// Threading contract for round(): implementations may run sampled clients in
+// parallel on the provided pool, but must (a) derive all client randomness
+// from fork(seed, round, client) streams and (b) aggregate in a fixed client
+// order, so results are independent of the pool size.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "fl/config.hpp"
+#include "fl/federation.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+#include "utils/thread_pool.hpp"
+
+namespace fedkemf::fl {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Binds to the federation and builds server-side state.
+  virtual void setup(Federation& federation) = 0;
+
+  /// Executes one communication round over `sampled` client ids.
+  /// Returns the mean local training loss across the sampled clients.
+  virtual double round(std::size_t round_index, std::span<const std::size_t> sampled,
+                       utils::ThreadPool& pool) = 0;
+
+  /// The model evaluated on the global test set between rounds.
+  virtual nn::Module& global_model() = 0;
+
+  /// The model deployed on client `id` for *local inference* (Table 3's
+  /// per-client evaluation).  Baselines deploy the global model; FedKEMF
+  /// returns the client's private local model once it exists.
+  virtual nn::Module* client_model(std::size_t id) {
+    (void)id;
+    return &global_model();
+  }
+};
+
+// ---- Shared local-update machinery ----
+
+/// Called after gradients are accumulated for a batch, before the optimizer
+/// step.  FedProx adds its proximal pull here; SCAFFOLD its variate
+/// correction.  Parameters are the client model's.
+using GradHook = std::function<void(const std::vector<nn::Parameter*>&)>;
+
+struct LocalTrainResult {
+  double mean_loss = 0.0;
+  std::size_t steps = 0;   ///< optimizer steps taken (FedNova's tau_i)
+};
+
+/// Standard supervised local pass (epochs of minibatch SGD over the client's
+/// shard).  `rng` seeds the batch shuffles; pass a fork(round, client) stream.
+LocalTrainResult supervised_local_update(nn::Module& model, const data::Dataset& train_set,
+                                         const std::vector<std::size_t>& shard,
+                                         const LocalTrainConfig& config, core::Rng rng,
+                                         const GradHook& hook = {});
+
+/// Deterministic per-(round, client) RNG stream derivation.
+core::Rng client_stream(const Federation& federation, std::size_t round_index,
+                        std::size_t client_id);
+
+/// Weighted average of the sampled clients' model states into `global`,
+/// weights proportional to shard sizes (the FedAvg rule).  `client_models`
+/// are in the same order as `sampled`.
+void weighted_average_into(nn::Module& global,
+                           std::span<nn::Module* const> client_models,
+                           std::span<const std::size_t> sampled,
+                           const Federation& federation);
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,115 @@
+#include "fl/class_metrics.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/tensor_ops.hpp"
+#include "data/dataloader.hpp"
+
+namespace fedkemf::fl {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes < 2) throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+}
+
+void ConfusionMatrix::add(std::size_t true_label, std::size_t predicted_label) {
+  if (true_label >= num_classes_ || predicted_label >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++counts_[true_label * num_classes_ + predicted_label];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::at(std::size_t true_label, std::size_t predicted_label) const {
+  if (true_label >= num_classes_ || predicted_label >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::at: label out of range");
+  }
+  return counts_[true_label * num_classes_ + predicted_label];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) correct += at(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t label) const {
+  std::size_t row_total = 0;
+  for (std::size_t p = 0; p < num_classes_; ++p) row_total += at(label, p);
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(at(label, label)) / static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::precision(std::size_t label) const {
+  std::size_t col_total = 0;
+  for (std::size_t t = 0; t < num_classes_; ++t) col_total += at(t, label);
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(at(label, label)) / static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double total = 0.0;
+  std::size_t represented = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    std::size_t row_total = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) row_total += at(c, p);
+    if (row_total == 0) continue;
+    total += recall(c);
+    ++represented;
+  }
+  return represented == 0 ? 0.0 : total / static_cast<double>(represented);
+}
+
+double ConfusionMatrix::worst_class_recall() const {
+  double worst = 1.0;
+  bool any = false;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    std::size_t row_total = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) row_total += at(c, p);
+    if (row_total == 0) continue;
+    worst = std::min(worst, recall(c));
+    any = true;
+  }
+  return any ? worst : 0.0;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "true\\pred";
+  for (std::size_t p = 0; p < num_classes_; ++p) out << '\t' << p;
+  out << '\n';
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    out << t;
+    for (std::size_t p = 0; p < num_classes_; ++p) out << '\t' << at(t, p);
+    out << '\n';
+  }
+  return out.str();
+}
+
+ConfusionMatrix evaluate_confusion(nn::Module& model, const data::Dataset& dataset,
+                                   std::size_t batch_size) {
+  const bool was_training = model.training();
+  model.set_training(false);
+  ConfusionMatrix matrix(dataset.num_classes());
+  std::vector<std::size_t> all(dataset.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  data::DataLoader loader(dataset, std::move(all), batch_size, /*shuffle=*/false,
+                          core::Rng(0));
+  data::Batch batch;
+  std::vector<std::size_t> predictions;
+  while (loader.next(batch)) {
+    core::Tensor logits = model.forward(batch.images);
+    predictions.resize(batch.size());
+    core::argmax_rows(logits, predictions.data());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      matrix.add(batch.labels[i], predictions[i]);
+    }
+  }
+  model.set_training(was_training);
+  return matrix;
+}
+
+}  // namespace fedkemf::fl

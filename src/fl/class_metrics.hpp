@@ -1,0 +1,60 @@
+#pragma once
+
+// Per-class evaluation: confusion matrix, per-class recall, and balanced
+// accuracy.  Under Dirichlet label skew the plain top-1 number hides *which*
+// classes a fused model serves; these metrics expose the fairness dimension
+// the paper's personalization discussion touches ("Are All Users Treated
+// Fairly in Federated Learning Systems?" is cited in the introduction).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::fl {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  std::size_t num_classes() const { return num_classes_; }
+
+  /// Adds one (true label, predicted label) observation.
+  void add(std::size_t true_label, std::size_t predicted_label);
+
+  /// Count of samples with true label t predicted as p.
+  std::size_t at(std::size_t true_label, std::size_t predicted_label) const;
+
+  std::size_t total() const { return total_; }
+
+  /// Overall top-1 accuracy.
+  double accuracy() const;
+
+  /// Recall of one class (0 when the class has no samples).
+  double recall(std::size_t label) const;
+
+  /// Precision of one class (0 when the class was never predicted).
+  double precision(std::size_t label) const;
+
+  /// Mean recall over classes that have samples — robust to class imbalance.
+  double balanced_accuracy() const;
+
+  /// Lowest per-class recall among represented classes: the fairness floor.
+  double worst_class_recall() const;
+
+  /// Multi-line human-readable rendering (rows = true, cols = predicted).
+  std::string to_string() const;
+
+ private:
+  std::size_t num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  ///< row-major [true][pred]
+};
+
+/// Evaluates `model` over `dataset` and returns the confusion matrix.
+ConfusionMatrix evaluate_confusion(nn::Module& model, const data::Dataset& dataset,
+                                   std::size_t batch_size = 64);
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,35 @@
+#include "fl/config.hpp"
+
+#include <cmath>
+
+namespace fedkemf::fl {
+
+LocalTrainConfig LocalTrainConfig::at_round(std::size_t round) const {
+  LocalTrainConfig config = *this;
+  if (lr_decay_every != 0) {
+    config.learning_rate =
+        learning_rate * std::pow(lr_decay_gamma, static_cast<double>(round / lr_decay_every));
+  }
+  return config;
+}
+
+
+std::string to_string(EnsembleStrategy strategy) {
+  switch (strategy) {
+    case EnsembleStrategy::kMaxLogits: return "max_logits";
+    case EnsembleStrategy::kAvgLogits: return "avg_logits";
+    case EnsembleStrategy::kMajorityVote: return "majority_vote";
+  }
+  return "unknown";
+}
+
+std::string to_string(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kDirichlet: return "dirichlet";
+    case PartitionKind::kIid: return "iid";
+    case PartitionKind::kShards: return "shards";
+  }
+  return "unknown";
+}
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,98 @@
+#pragma once
+
+// Shared configuration types for the federated-learning framework.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/compression.hpp"
+#include "data/synthetic.hpp"
+#include "models/zoo.hpp"
+
+namespace fedkemf::fl {
+
+/// How the training pool is split across clients.
+enum class PartitionKind {
+  kDirichlet,  ///< label-skew non-IID (Li et al. 2021) — the paper's setting
+  kIid,
+  kShards,     ///< McMahan pathological split
+};
+
+/// Server-side fusion of the client knowledge networks (paper §"Ensemble
+/// Knowledge": max logits is the default, average/vote are ablated).
+enum class EnsembleStrategy {
+  kMaxLogits,
+  kAvgLogits,
+  kMajorityVote,
+};
+
+std::string to_string(EnsembleStrategy strategy);
+std::string to_string(PartitionKind kind);
+
+/// Hyperparameters of one client-side SGD pass (Algorithm 1's inner loop).
+struct LocalTrainConfig {
+  std::size_t epochs = 1;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  /// Optional step decay of the learning rate over communication rounds:
+  /// lr(round) = learning_rate * gamma^(round / every). every == 0 disables.
+  double lr_decay_gamma = 0.5;
+  std::size_t lr_decay_every = 0;
+
+  /// The config for a given round, with the decay applied.
+  [[nodiscard]] LocalTrainConfig at_round(std::size_t round) const;
+};
+
+/// Environment: data distribution + client population.
+struct FederationOptions {
+  data::SyntheticSpec data;
+  std::size_t train_samples = 2000;
+  std::size_t test_samples = 512;
+  std::size_t server_pool_samples = 256;  ///< unlabeled distillation pool
+  std::size_t local_test_samples = 64;    ///< per-client test set (multi-model eval)
+  std::size_t num_clients = 8;
+  PartitionKind partition = PartitionKind::kDirichlet;
+  double dirichlet_alpha = 0.1;           ///< the paper's concentration
+  std::size_t shards_per_client = 2;      ///< only for PartitionKind::kShards
+  std::uint64_t seed = 1;
+};
+
+/// Round loop controls.
+struct RunOptions {
+  std::size_t rounds = 30;
+  double sample_ratio = 0.4;               ///< fraction of clients per round
+  std::string selector = "uniform";        ///< uniform | shard_weighted | round_robin
+  std::size_t eval_every = 1;
+  std::optional<double> stop_at_accuracy;  ///< early-exit once global acc >= target
+  std::size_t num_threads = 0;             ///< 0 = run clients inline
+  bool evaluate_client_models = false;     ///< also track mean per-client local acc
+  bool verbose = false;
+};
+
+/// FedKEMF-specific knobs (defaults follow the paper where it specifies and
+/// standard KD practice where it does not; see EXPERIMENTS.md).
+struct FedKemfOptions {
+  models::ModelSpec knowledge_spec;         ///< the tiny network that crosses the wire
+  EnsembleStrategy ensemble = EnsembleStrategy::kMaxLogits;
+  float dml_kl_weight = 1.0f;               ///< weight of D_KL in Eq. (3)
+  /// Gradient-norm clip for the DML optimizers (and the server distiller).
+  /// KL gradients between two sharp random networks can be enormous for
+  /// normalization-free architectures (e.g. cnn2); 0 disables.
+  double dml_clip_norm = 5.0;
+  float distill_temperature = 2.0f;         ///< server-side KD softening
+  std::size_t distill_epochs = 2;           ///< passes over the public pool per round
+  std::size_t distill_batch_size = 32;
+  double server_learning_rate = 0.02;
+  double server_momentum = 0.9;
+  bool fuse_by_weight_average = false;      ///< paper's alternative fusion mode
+  /// Wire codec for the knowledge-network exchange (fp32 = lossless; fp16 /
+  /// int8 quantization trade accuracy for a further 2x / 4x traffic cut —
+  /// ablated in bench_ablation_compression).
+  comm::Codec payload_codec = comm::Codec::kFp32;
+};
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,95 @@
+#include "fl/fedavg.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace fedkemf::fl {
+
+FedAvg::FedAvg(models::ModelSpec spec, LocalTrainConfig local_config)
+    : spec_(std::move(spec)), local_config_(local_config) {}
+
+void FedAvg::setup(Federation& federation) {
+  federation_ = &federation;
+  core::Rng init_rng = federation.root_rng().fork(0x91055E8FULL);
+  global_ = models::build_model(spec_, init_rng);
+  slots_.clear();
+  slots_.resize(federation.num_clients());
+}
+
+nn::Module& FedAvg::global_model() {
+  if (!global_) throw std::logic_error("FedAvg: setup() not called");
+  return *global_;
+}
+
+Federation& FedAvg::federation() {
+  if (federation_ == nullptr) throw std::logic_error("FedAvg: setup() not called");
+  return *federation_;
+}
+
+FedAvg::Slot& FedAvg::slot(std::size_t client_id) {
+  Slot& s = slots_.at(client_id);
+  if (!s.model) {
+    // Weights are immediately overwritten by the downlink transfer; the init
+    // rng only has to produce a valid instance.
+    core::Rng rng = federation().root_rng().fork(0x510700ULL + client_id);
+    s.model = models::build_model(spec_, rng);
+    s.staged = models::build_model(spec_, rng);
+  }
+  return s;
+}
+
+GradHook FedAvg::make_grad_hook(std::size_t client_id, nn::Module& client_model) {
+  (void)client_id;
+  (void)client_model;
+  return {};
+}
+
+void FedAvg::after_local_update(std::size_t round_index, std::size_t client_id,
+                                Slot& client_slot, const LocalTrainResult& result) {
+  (void)round_index;
+  (void)client_id;
+  (void)client_slot;
+  (void)result;
+}
+
+void FedAvg::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
+  (void)round_index;
+  std::vector<nn::Module*> staged;
+  staged.reserve(sampled.size());
+  for (std::size_t id : sampled) staged.push_back(slots_.at(id).staged.get());
+  weighted_average_into(*global_, staged, sampled, federation());
+}
+
+double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampled,
+                     utils::ThreadPool& pool) {
+  if (sampled.empty()) throw std::invalid_argument("FedAvg::round: no sampled clients");
+  Federation& fed = federation();
+  last_results_.assign(sampled.size(), {});
+
+  // Slots must exist before the parallel section (lazy build mutates the
+  // vector's elements; doing it up front keeps the loop body race-free).
+  for (std::size_t id : sampled) slot(id);
+
+  pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t id = sampled[i];
+    Slot& s = slots_[id];
+    fed.channel().transfer(*global_, *s.model, round_index, id,
+                           comm::Direction::kDownlink, "model");
+    const GradHook hook = make_grad_hook(id, *s.model);
+    const LocalTrainResult result = supervised_local_update(
+        *s.model, fed.train_set(), fed.client_shard(id),
+        local_config_.at_round(round_index), client_stream(fed, round_index, id), hook);
+    last_results_[i] = result;
+    fed.channel().transfer(*s.model, *s.staged, round_index, id,
+                           comm::Direction::kUplink, "model");
+    after_local_update(round_index, id, s, result);
+  });
+
+  aggregate(round_index, sampled);
+
+  double loss_total = 0.0;
+  for (const LocalTrainResult& r : last_results_) loss_total += r.mean_loss;
+  return loss_total / static_cast<double>(sampled.size());
+}
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,60 @@
+#pragma once
+
+// FedAvg (McMahan et al. 2017) and the shared machinery for all
+// weight-space baselines: per-client model slots, metered down/up transfers,
+// and shard-size-weighted aggregation.
+//
+// FedProx / FedNova / SCAFFOLD subclass this and override the gradient hook
+// and/or the aggregation rule.
+
+#include <memory>
+#include <vector>
+
+#include "fl/algorithm.hpp"
+
+namespace fedkemf::fl {
+
+class FedAvg : public Algorithm {
+ public:
+  FedAvg(models::ModelSpec spec, LocalTrainConfig local_config);
+
+  std::string name() const override { return "FedAvg"; }
+  void setup(Federation& federation) override;
+  double round(std::size_t round_index, std::span<const std::size_t> sampled,
+               utils::ThreadPool& pool) override;
+  nn::Module& global_model() override;
+
+  const models::ModelSpec& model_spec() const { return spec_; }
+  const LocalTrainConfig& local_config() const { return local_config_; }
+
+ protected:
+  /// Per-client working state, built lazily when a client is first sampled.
+  struct Slot {
+    std::unique_ptr<nn::Module> model;    ///< trains locally
+    std::unique_ptr<nn::Module> staged;   ///< server-side copy after upload
+  };
+
+  Slot& slot(std::size_t client_id);
+  Federation& federation();
+
+  /// Gradient hook applied during the client pass (FedProx overrides).
+  virtual GradHook make_grad_hook(std::size_t client_id, nn::Module& client_model);
+
+  /// Extra uplink payloads beyond the model (FedNova/SCAFFOLD override).
+  /// Returns bytes metered; default none.
+  virtual void after_local_update(std::size_t round_index, std::size_t client_id,
+                                  Slot& client_slot, const LocalTrainResult& result);
+
+  /// Folds the staged client models into the global model.  Default: FedAvg
+  /// shard-size-weighted average over parameters and buffers.
+  virtual void aggregate(std::size_t round_index, std::span<const std::size_t> sampled);
+
+  models::ModelSpec spec_;
+  LocalTrainConfig local_config_;
+  Federation* federation_ = nullptr;
+  std::unique_ptr<nn::Module> global_;
+  std::vector<Slot> slots_;
+  std::vector<LocalTrainResult> last_results_;  ///< per sampled index, this round
+};
+
+}  // namespace fedkemf::fl

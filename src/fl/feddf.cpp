@@ -1,0 +1,76 @@
+#include "fl/feddf.hpp"
+
+#include <cstring>
+
+#include "fl/fedkemf.hpp"  // ensemble_logits
+#include "nn/loss.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+core::Tensor gather_pool(const core::Tensor& pool, std::span<const std::size_t> indices) {
+  const std::size_t sample_numel = pool.numel() / pool.dim(0);
+  core::Tensor out(core::Shape::nchw(indices.size(), pool.dim(1), pool.dim(2), pool.dim(3)));
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(out.data() + i * sample_numel, pool.data() + indices[i] * sample_numel,
+                sample_numel * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+FedDf::FedDf(models::ModelSpec spec, LocalTrainConfig local_config, FedDfOptions options)
+    : FedAvg(std::move(spec), local_config), options_(options) {}
+
+void FedDf::setup(Federation& federation) {
+  FedAvg::setup(federation);
+  server_optimizer_ = std::make_unique<nn::Sgd>(
+      global_model().parameters(),
+      nn::SgdOptions{.learning_rate = options_.server_learning_rate,
+                     .momentum = options_.server_momentum});
+}
+
+void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
+  // Warm start from the FedAvg aggregate, then refine by distilling the
+  // client-model ensemble on the unlabeled server pool.
+  FedAvg::aggregate(round_index, sampled);
+
+  Federation& fed = federation();
+  const core::Tensor& pool = fed.server_pool();
+  const std::size_t pool_size = pool.dim(0);
+  const std::size_t batch_size = std::min(options_.distill_batch_size, pool_size);
+  if (batch_size == 0) return;
+
+  std::vector<nn::Module*> teachers;
+  teachers.reserve(sampled.size());
+  for (std::size_t id : sampled) {
+    nn::Module* teacher = slots_.at(id).staged.get();
+    teacher->set_training(false);
+    teachers.push_back(teacher);
+  }
+
+  nn::DistillationKl kd(options_.distill_temperature);
+  global_model().set_training(true);
+  core::Rng rng = fed.root_rng().fork(0xFEDD1F00ULL + round_index);
+  std::vector<core::Tensor> member_logits(teachers.size());
+  for (std::size_t epoch = 0; epoch < options_.distill_epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(pool_size);
+    for (std::size_t start = 0; start < pool_size; start += batch_size) {
+      const std::size_t count = std::min(batch_size, pool_size - start);
+      core::Tensor batch =
+          gather_pool(pool, std::span<const std::size_t>(order.data() + start, count));
+      for (std::size_t t = 0; t < teachers.size(); ++t) {
+        member_logits[t] = teachers[t]->forward(batch);
+      }
+      const core::Tensor teacher = ensemble_logits(options_.ensemble, member_logits);
+      core::Tensor student = global_model().forward(batch);
+      nn::LossResult loss = kd.compute(student, teacher);
+      server_optimizer_->zero_grad();
+      global_model().backward(loss.grad);
+      server_optimizer_->step();
+    }
+  }
+}
+
+}  // namespace fedkemf::fl

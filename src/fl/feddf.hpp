@@ -1,0 +1,49 @@
+#pragma once
+
+// FedDF (Lin et al. 2020): ensemble distillation for robust model fusion.
+//
+// The direct ancestor of FedKEMF's server update, included as a comparator
+// that isolates the two halves of FedKEMF's contribution:
+//   * FedDF  = full-model exchange + ensemble distillation fusion;
+//   * FedKEMF = tiny-knowledge-net exchange (DML extraction) + the same
+//     fusion machinery.
+// Comparing the two shows how much of FedKEMF's gain comes from distillation
+// fusion versus from the knowledge-extraction/communication design.
+//
+// Protocol: clients train the full model locally (plain SGD, as FedAvg);
+// the server weight-averages the returned models (warm start, as in the
+// original AvgLogits variant) and then distills the ensemble of client
+// models into the global model on the unlabeled server pool.
+
+#include "fl/fedavg.hpp"
+#include "nn/optim.hpp"
+
+namespace fedkemf::fl {
+
+struct FedDfOptions {
+  EnsembleStrategy ensemble = EnsembleStrategy::kAvgLogits;  ///< Lin et al. use averaging
+  float distill_temperature = 2.0f;
+  std::size_t distill_epochs = 2;
+  std::size_t distill_batch_size = 32;
+  double server_learning_rate = 0.02;
+  double server_momentum = 0.0;
+};
+
+class FedDf final : public FedAvg {
+ public:
+  FedDf(models::ModelSpec spec, LocalTrainConfig local_config, FedDfOptions options = {});
+
+  std::string name() const override { return "FedDF"; }
+  void setup(Federation& federation) override;
+
+  const FedDfOptions& options() const { return options_; }
+
+ protected:
+  void aggregate(std::size_t round_index, std::span<const std::size_t> sampled) override;
+
+ private:
+  FedDfOptions options_;
+  std::unique_ptr<nn::Sgd> server_optimizer_;
+};
+
+}  // namespace fedkemf::fl

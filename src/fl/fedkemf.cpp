@@ -1,0 +1,291 @@
+#include "fl/fedkemf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "data/dataloader.hpp"
+#include "core/tensor_ops.hpp"
+#include "nn/loss.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+/// Gathers rows of an unlabeled [M, C, H, W] pool into a batch tensor.
+core::Tensor gather_pool(const core::Tensor& pool, std::span<const std::size_t> indices) {
+  const std::size_t sample_numel = pool.numel() / pool.dim(0);
+  core::Tensor out(
+      core::Shape::nchw(indices.size(), pool.dim(1), pool.dim(2), pool.dim(3)));
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(out.data() + i * sample_numel, pool.data() + indices[i] * sample_numel,
+                sample_numel * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+core::Tensor ensemble_logits(EnsembleStrategy strategy,
+                             std::span<const core::Tensor> member_logits) {
+  if (member_logits.empty()) throw std::invalid_argument("ensemble_logits: no members");
+  const core::Shape shape = member_logits.front().shape();
+  for (const core::Tensor& m : member_logits) {
+    if (m.shape() != shape) throw std::invalid_argument("ensemble_logits: shape mismatch");
+  }
+  if (shape.rank() != 2) throw std::invalid_argument("ensemble_logits: expected [N, C]");
+  const std::size_t rows = shape[0];
+  const std::size_t cols = shape[1];
+
+  switch (strategy) {
+    case EnsembleStrategy::kMaxLogits: {
+      // Eq. (5): element-wise maxima across all member output vectors.
+      core::Tensor out = member_logits.front().clone();
+      for (std::size_t m = 1; m < member_logits.size(); ++m) {
+        float* __restrict o = out.data();
+        const float* __restrict v = member_logits[m].data();
+        for (std::size_t i = 0; i < out.numel(); ++i) o[i] = std::max(o[i], v[i]);
+      }
+      return out;
+    }
+    case EnsembleStrategy::kAvgLogits: {
+      core::Tensor out = core::Tensor::zeros(shape);
+      const float inv = 1.0f / static_cast<float>(member_logits.size());
+      for (const core::Tensor& m : member_logits) out.add_scaled_(m, inv);
+      return out;
+    }
+    case EnsembleStrategy::kMajorityVote: {
+      // Each member votes for its argmax class; the teacher distribution is
+      // the (smoothed) vote histogram expressed as log-probabilities so it
+      // plugs into the same KL distillation loss.
+      core::Tensor votes = core::Tensor::zeros(shape);
+      std::vector<std::size_t> winners(rows);
+      for (const core::Tensor& m : member_logits) {
+        core::argmax_rows(m, winners.data());
+        for (std::size_t r = 0; r < rows; ++r) votes.data()[r * cols + winners[r]] += 1.0f;
+      }
+      core::Tensor out(shape);
+      const float k = static_cast<float>(member_logits.size());
+      constexpr float kSmoothing = 0.1f;
+      for (std::size_t i = 0; i < out.numel(); ++i) {
+        out.data()[i] = std::log((votes.data()[i] + kSmoothing) /
+                                 (k + kSmoothing * static_cast<float>(cols)));
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("ensemble_logits: unknown strategy");
+}
+
+DmlResult deep_mutual_update(nn::Module& local_model, nn::Module& knowledge_net,
+                             const data::Dataset& train_set,
+                             const std::vector<std::size_t>& shard,
+                             const LocalTrainConfig& config, float kl_weight,
+                             core::Rng rng, double clip_norm) {
+  if (shard.empty()) throw std::invalid_argument("deep_mutual_update: empty shard");
+  local_model.set_training(true);
+  knowledge_net.set_training(true);
+  nn::Sgd local_opt(local_model.parameters(),
+                    {.learning_rate = config.learning_rate,
+                     .momentum = config.momentum,
+                     .weight_decay = config.weight_decay,
+                     .clip_norm = clip_norm});
+  nn::Sgd knowledge_opt(knowledge_net.parameters(),
+                        {.learning_rate = config.learning_rate,
+                         .momentum = config.momentum,
+                         .weight_decay = config.weight_decay,
+                         .clip_norm = clip_norm});
+  nn::SoftmaxCrossEntropy ce;
+  nn::DistillationKl dml_kl(/*temperature=*/1.0f);  // DML uses raw softmax outputs
+  data::DataLoader loader(train_set, shard, std::min(config.batch_size, shard.size()),
+                          /*shuffle=*/true, rng);
+
+  DmlResult result;
+  double local_loss_total = 0.0;
+  double knowledge_loss_total = 0.0;
+  std::size_t batches = 0;
+  data::Batch batch;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    loader.reset();
+    while (loader.next(batch)) {
+      // Forward both networks once; each module caches its own activations.
+      core::Tensor local_logits = local_model.forward(batch.images);
+      core::Tensor knowledge_logits = knowledge_net.forward(batch.images);
+
+      // Algorithm 1 line 6: theta's loss = CE + KL(theta_g || theta).
+      nn::LossResult local_ce = ce.compute(local_logits, batch.labels);
+      nn::LossResult local_kl = dml_kl.compute(local_logits, knowledge_logits);
+      core::Tensor local_grad = local_ce.grad;
+      local_grad.add_scaled_(local_kl.grad, kl_weight);
+
+      // Line 7: theta_g's loss = CE + KL(theta || theta_g).
+      nn::LossResult knowledge_ce = ce.compute(knowledge_logits, batch.labels);
+      nn::LossResult knowledge_kl = dml_kl.compute(knowledge_logits, local_logits);
+      core::Tensor knowledge_grad = knowledge_ce.grad;
+      knowledge_grad.add_scaled_(knowledge_kl.grad, kl_weight);
+
+      local_opt.zero_grad();
+      local_model.backward(local_grad);
+      local_opt.step();
+
+      knowledge_opt.zero_grad();
+      knowledge_net.backward(knowledge_grad);
+      knowledge_opt.step();
+
+      local_loss_total += local_ce.value + kl_weight * local_kl.value;
+      knowledge_loss_total += knowledge_ce.value + kl_weight * knowledge_kl.value;
+      ++batches;
+    }
+  }
+  result.steps = batches;
+  if (batches > 0) {
+    result.mean_local_loss = local_loss_total / static_cast<double>(batches);
+    result.mean_knowledge_loss = knowledge_loss_total / static_cast<double>(batches);
+  }
+  return result;
+}
+
+FedKemf::FedKemf(std::vector<models::ModelSpec> client_arch_pool,
+                 LocalTrainConfig local_config, FedKemfOptions options)
+    : arch_pool_(std::move(client_arch_pool)),
+      local_config_(local_config),
+      options_(std::move(options)) {
+  if (arch_pool_.empty()) throw std::invalid_argument("FedKemf: empty architecture pool");
+}
+
+void FedKemf::setup(Federation& federation) {
+  federation_ = &federation;
+  core::Rng init_rng = federation.root_rng().fork(0x6B4F5EEDULL);
+  global_knowledge_ = models::build_model(options_.knowledge_spec, init_rng);
+  server_optimizer_ = std::make_unique<nn::Sgd>(
+      global_knowledge_->parameters(),
+      nn::SgdOptions{.learning_rate = options_.server_learning_rate,
+                     .momentum = options_.server_momentum,
+                     .clip_norm = options_.dml_clip_norm});
+  slots_.clear();
+  slots_.resize(federation.num_clients());
+}
+
+nn::Module& FedKemf::global_model() {
+  if (!global_knowledge_) throw std::logic_error("FedKemf: setup() not called");
+  return *global_knowledge_;
+}
+
+nn::Module* FedKemf::client_model(std::size_t id) {
+  if (id < slots_.size() && slots_[id].local_model) return slots_[id].local_model.get();
+  return global_knowledge_.get();
+}
+
+const models::ModelSpec& FedKemf::client_spec(std::size_t id) const {
+  return arch_pool_[id % arch_pool_.size()];
+}
+
+FedKemf::Slot& FedKemf::slot(std::size_t client_id) {
+  Slot& s = slots_.at(client_id);
+  if (!s.local_model) {
+    core::Rng rng = federation_->root_rng().fork(0x51077EDULL + client_id);
+    s.local_model = models::build_model(client_spec(client_id), rng);
+    s.knowledge = models::build_model(options_.knowledge_spec, rng);
+    s.staged = models::build_model(options_.knowledge_spec, rng);
+  }
+  return s;
+}
+
+double FedKemf::round(std::size_t round_index, std::span<const std::size_t> sampled,
+                      utils::ThreadPool& pool) {
+  if (sampled.empty()) throw std::invalid_argument("FedKemf::round: no sampled clients");
+  Federation& fed = *federation_;
+  last_results_.assign(sampled.size(), {});
+  for (std::size_t id : sampled) slot(id);
+
+  pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t id = sampled[i];
+    Slot& s = slots_[id];
+    // Only the tiny knowledge network crosses the wire, in both directions.
+    if (options_.payload_codec == comm::Codec::kFp32) {
+      fed.channel().transfer(*global_knowledge_, *s.knowledge, round_index, id,
+                             comm::Direction::kDownlink, "knowledge_net");
+    } else {
+      fed.channel().transfer_compressed(*global_knowledge_, *s.knowledge, round_index, id,
+                                        comm::Direction::kDownlink, "knowledge_net",
+                                        options_.payload_codec);
+    }
+    last_results_[i] = deep_mutual_update(*s.local_model, *s.knowledge, fed.train_set(),
+                                          fed.client_shard(id),
+                                          local_config_.at_round(round_index),
+                                          options_.dml_kl_weight,
+                                          client_stream(fed, round_index, id),
+                                          options_.dml_clip_norm);
+    if (options_.payload_codec == comm::Codec::kFp32) {
+      fed.channel().transfer(*s.knowledge, *s.staged, round_index, id,
+                             comm::Direction::kUplink, "knowledge_net");
+    } else {
+      fed.channel().transfer_compressed(*s.knowledge, *s.staged, round_index, id,
+                                        comm::Direction::kUplink, "knowledge_net",
+                                        options_.payload_codec);
+    }
+  });
+
+  if (options_.fuse_by_weight_average) {
+    fuse_weight_average(sampled);
+  } else {
+    distill_ensemble(round_index, sampled);
+  }
+
+  double loss_total = 0.0;
+  for (const DmlResult& r : last_results_) loss_total += r.mean_local_loss;
+  return loss_total / static_cast<double>(sampled.size());
+}
+
+void FedKemf::fuse_weight_average(std::span<const std::size_t> sampled) {
+  std::vector<nn::Module*> staged;
+  staged.reserve(sampled.size());
+  for (std::size_t id : sampled) staged.push_back(slots_.at(id).staged.get());
+  weighted_average_into(*global_knowledge_, staged, sampled, *federation_);
+}
+
+void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::size_t> sampled) {
+  Federation& fed = *federation_;
+  const core::Tensor& pool = fed.server_pool();
+  const std::size_t pool_size = pool.dim(0);
+  const std::size_t batch_size = std::min(options_.distill_batch_size, pool_size);
+  if (batch_size == 0) throw std::logic_error("FedKemf: empty server pool");
+
+  // Teachers predict in eval mode with frozen statistics.
+  std::vector<nn::Module*> teachers;
+  teachers.reserve(sampled.size());
+  for (std::size_t id : sampled) {
+    nn::Module* t = slots_.at(id).staged.get();
+    t->set_training(false);
+    teachers.push_back(t);
+  }
+
+  // Warm start: average the client knowledge networks before distilling.
+  // This mirrors FedDF (Lin et al. 2020), which the paper's fusion step is
+  // modeled on, and stabilizes early rounds when the student is random.
+  fuse_weight_average(sampled);
+
+  nn::DistillationKl kd(options_.distill_temperature);
+  global_knowledge_->set_training(true);
+  core::Rng rng = fed.root_rng().fork(0xD157111ULL + round_index);
+  std::vector<core::Tensor> member_logits(teachers.size());
+  for (std::size_t epoch = 0; epoch < options_.distill_epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(pool_size);
+    for (std::size_t start = 0; start < pool_size; start += batch_size) {
+      const std::size_t count = std::min(batch_size, pool_size - start);
+      core::Tensor batch = gather_pool(
+          pool, std::span<const std::size_t>(order.data() + start, count));
+      for (std::size_t t = 0; t < teachers.size(); ++t) {
+        member_logits[t] = teachers[t]->forward(batch);
+      }
+      const core::Tensor teacher = ensemble_logits(options_.ensemble, member_logits);
+      core::Tensor student = global_knowledge_->forward(batch);
+      nn::LossResult loss = kd.compute(student, teacher);
+      server_optimizer_->zero_grad();
+      global_knowledge_->backward(loss.grad);
+      server_optimizer_->step();
+    }
+  }
+}
+
+}  // namespace fedkemf::fl

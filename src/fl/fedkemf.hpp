@@ -1,0 +1,94 @@
+#pragma once
+
+// FedKEMF — the paper's contribution (Algorithms 1 & 2).
+//
+// Client side ("knowledge extraction"): each client keeps a private local
+// model theta (architecture chosen per client — heterogeneous federations
+// are first-class) and receives the tiny knowledge network theta_g.  Both are
+// trained jointly with deep mutual learning:
+//     theta   <- theta   - lr * d(CE(theta)   + w * KL(theta_g || theta))
+//     theta_g <- theta_g - lr * d(CE(theta_g) + w * KL(theta || theta_g))
+// Only theta_g is uploaded — the local model never crosses the wire, which is
+// where the communication savings come from.
+//
+// Server side ("multi-model knowledge fusion"): the received knowledge
+// networks are ensembled (max-logits by default; average / majority-vote are
+// the paper's ablation) and distilled into the global knowledge network by
+// minimizing KL(ensemble || theta_g) on the unlabeled server pool.  The
+// alternative weight-average fusion mode the paper mentions is available via
+// FedKemfOptions::fuse_by_weight_average.
+
+#include <memory>
+#include <vector>
+
+#include "fl/algorithm.hpp"
+#include "nn/optim.hpp"
+
+namespace fedkemf::fl {
+
+/// Fuses per-member logits [N, C] into ensemble teacher logits (Eq. 5 for
+/// kMaxLogits). Exposed for unit tests and the ensemble-strategy ablation.
+core::Tensor ensemble_logits(EnsembleStrategy strategy,
+                             std::span<const core::Tensor> member_logits);
+
+/// One deep-mutual-learning pass over a client shard (Algorithm 1 lines 3-9).
+/// Both models are updated in place; returns the mean total loss of the
+/// *local* model (CE + KL), which is the training-progress signal the runner
+/// reports.
+struct DmlResult {
+  double mean_local_loss = 0.0;
+  double mean_knowledge_loss = 0.0;
+  std::size_t steps = 0;
+};
+
+DmlResult deep_mutual_update(nn::Module& local_model, nn::Module& knowledge_net,
+                             const data::Dataset& train_set,
+                             const std::vector<std::size_t>& shard,
+                             const LocalTrainConfig& config, float kl_weight,
+                             core::Rng rng, double clip_norm = 5.0);
+
+class FedKemf final : public Algorithm {
+ public:
+  /// `client_arch_pool` assigns architectures round-robin: client i gets
+  /// pool[i % pool.size()].  A single-element pool is the homogeneous
+  /// setting; {resnet20, resnet32, resnet44} reproduces Table 3's zoo.
+  FedKemf(std::vector<models::ModelSpec> client_arch_pool, LocalTrainConfig local_config,
+          FedKemfOptions options);
+
+  std::string name() const override { return "FedKEMF"; }
+  void setup(Federation& federation) override;
+  double round(std::size_t round_index, std::span<const std::size_t> sampled,
+               utils::ThreadPool& pool) override;
+
+  /// The global knowledge network (what baselines' global models compare to).
+  nn::Module& global_model() override;
+
+  /// The client's private local model (falls back to the global knowledge
+  /// network for clients that never participated).
+  nn::Module* client_model(std::size_t id) override;
+
+  const FedKemfOptions& options() const { return options_; }
+  const models::ModelSpec& client_spec(std::size_t id) const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<nn::Module> local_model;    ///< persists across rounds
+    std::unique_ptr<nn::Module> knowledge;      ///< working copy of theta_g
+    std::unique_ptr<nn::Module> staged;         ///< server-side copy after upload
+  };
+
+  Slot& slot(std::size_t client_id);
+  void distill_ensemble(std::size_t round_index, std::span<const std::size_t> sampled);
+  void fuse_weight_average(std::span<const std::size_t> sampled);
+
+  std::vector<models::ModelSpec> arch_pool_;
+  LocalTrainConfig local_config_;
+  FedKemfOptions options_;
+  Federation* federation_ = nullptr;
+  std::unique_ptr<nn::Module> global_knowledge_;
+  std::unique_ptr<nn::Sgd> server_optimizer_;
+  std::vector<Slot> slots_;
+  std::vector<DmlResult> last_results_;
+};
+
+}  // namespace fedkemf::fl

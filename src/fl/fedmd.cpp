@@ -1,0 +1,146 @@
+#include "fl/fedmd.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/serialize.hpp"
+#include "nn/loss.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+core::Tensor gather_pool(const core::Tensor& pool, std::span<const std::size_t> indices) {
+  const std::size_t sample_numel = pool.numel() / pool.dim(0);
+  core::Tensor out(core::Shape::nchw(indices.size(), pool.dim(1), pool.dim(2), pool.dim(3)));
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    std::memcpy(out.data() + i * sample_numel, pool.data() + indices[i] * sample_numel,
+                sample_numel * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+FedMd::FedMd(std::vector<models::ModelSpec> client_arch_pool, LocalTrainConfig local_config,
+             FedMdOptions options)
+    : arch_pool_(std::move(client_arch_pool)),
+      local_config_(local_config),
+      options_(std::move(options)) {
+  if (arch_pool_.empty()) throw std::invalid_argument("FedMd: empty architecture pool");
+}
+
+void FedMd::setup(Federation& federation) {
+  federation_ = &federation;
+  core::Rng init_rng = federation.root_rng().fork(0xFED3DBADULL);
+  server_student_ = models::build_model(options_.server_student, init_rng);
+  student_optimizer_ = std::make_unique<nn::Sgd>(
+      server_student_->parameters(),
+      nn::SgdOptions{.learning_rate = options_.student_learning_rate, .clip_norm = 5.0});
+  slots_.clear();
+  slots_.resize(federation.num_clients());
+}
+
+nn::Module& FedMd::global_model() {
+  if (!server_student_) throw std::logic_error("FedMd: setup() not called");
+  return *server_student_;
+}
+
+nn::Module* FedMd::client_model(std::size_t id) {
+  if (id < slots_.size() && slots_[id].model) return slots_[id].model.get();
+  return server_student_.get();
+}
+
+const models::ModelSpec& FedMd::client_spec(std::size_t id) const {
+  return arch_pool_[id % arch_pool_.size()];
+}
+
+FedMd::Slot& FedMd::slot(std::size_t client_id) {
+  Slot& s = slots_.at(client_id);
+  if (!s.model) {
+    core::Rng rng = federation_->root_rng().fork(0xFED3D001ULL + client_id);
+    s.model = models::build_model(client_spec(client_id), rng);
+  }
+  return s;
+}
+
+double FedMd::round(std::size_t round_index, std::span<const std::size_t> sampled,
+                    utils::ThreadPool& pool) {
+  if (sampled.empty()) throw std::invalid_argument("FedMd::round: no sampled clients");
+  Federation& fed = *federation_;
+  for (std::size_t id : sampled) slot(id);
+
+  // 1. Select this round's public batch (indices implied by the shared seed,
+  //    so only the logits cross the wire).
+  const core::Tensor& public_pool = fed.server_pool();
+  const std::size_t batch_count = std::min(options_.public_batch, public_pool.dim(0));
+  core::Rng pick_rng = fed.root_rng().fork(0xFED3B47CULL + round_index);
+  const std::vector<std::size_t> picks =
+      pick_rng.sample_without_replacement(public_pool.dim(0), batch_count);
+  const core::Tensor public_batch = gather_pool(public_pool, picks);
+  const std::size_t classes = arch_pool_.front().num_classes;
+  const std::size_t logits_bytes =
+      core::tensor_wire_size(core::Tensor(core::Shape::matrix(batch_count, classes)));
+
+  // 2. Every sampled client predicts on the public batch and uploads logits.
+  std::vector<core::Tensor> member_logits(sampled.size());
+  std::vector<double> losses(sampled.size(), 0.0);
+  pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t id = sampled[i];
+    nn::Module& model = *slots_[id].model;
+    model.set_training(false);
+    member_logits[i] = model.forward(public_batch);
+    fed.channel().transfer_raw(logits_bytes, round_index, id, comm::Direction::kUplink,
+                               "public_logits");
+  });
+
+  // 3. Consensus = mean of the uploaded logits (Li & Wang average class
+  //    scores); broadcast back to the sampled clients.
+  core::Tensor consensus = core::Tensor::zeros(member_logits.front().shape());
+  const float inv = 1.0f / static_cast<float>(member_logits.size());
+  for (const core::Tensor& logits : member_logits) consensus.add_scaled_(logits, inv);
+  for (std::size_t id : sampled) {
+    fed.channel().transfer_raw(logits_bytes, round_index, id, comm::Direction::kDownlink,
+                               "consensus_logits");
+  }
+
+  // 4. Digest (KD toward the consensus on the public batch) + revisit (local
+  //    supervised pass), per client, in parallel.
+  pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    const std::size_t id = sampled[i];
+    nn::Module& model = *slots_[id].model;
+    model.set_training(true);
+    nn::DistillationKl kd(options_.digest_temperature);
+    nn::Sgd digest_opt(model.parameters(),
+                       {.learning_rate = options_.digest_learning_rate, .clip_norm = 5.0});
+    for (std::size_t epoch = 0; epoch < options_.digest_epochs; ++epoch) {
+      core::Tensor student = model.forward(public_batch);
+      nn::LossResult loss = kd.compute(student, consensus);
+      digest_opt.zero_grad();
+      model.backward(loss.grad);
+      digest_opt.step();
+    }
+    const LocalTrainResult revisit = supervised_local_update(
+        model, fed.train_set(), fed.client_shard(id), local_config_.at_round(round_index),
+        client_stream(fed, round_index, id));
+    losses[i] = revisit.mean_loss;
+  });
+
+  // 5. Server-side evaluand: distill the consensus into the student model.
+  {
+    server_student_->set_training(true);
+    nn::DistillationKl kd(options_.digest_temperature);
+    for (std::size_t epoch = 0; epoch < options_.student_epochs; ++epoch) {
+      core::Tensor student = server_student_->forward(public_batch);
+      nn::LossResult loss = kd.compute(student, consensus);
+      student_optimizer_->zero_grad();
+      server_student_->backward(loss.grad);
+      student_optimizer_->step();
+    }
+  }
+
+  double loss_total = 0.0;
+  for (double loss : losses) loss_total += loss;
+  return loss_total / static_cast<double>(sampled.size());
+}
+
+}  // namespace fedkemf::fl

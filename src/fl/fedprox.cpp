@@ -1,0 +1,43 @@
+#include "fl/fedprox.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::fl {
+
+FedProx::FedProx(models::ModelSpec spec, LocalTrainConfig local_config, double mu)
+    : FedAvg(std::move(spec), local_config), mu_(mu) {
+  if (mu < 0.0) throw std::invalid_argument("FedProx: mu must be >= 0");
+}
+
+double FedProx::round(std::size_t round_index, std::span<const std::size_t> sampled,
+                      utils::ThreadPool& pool) {
+  // Snapshot the anchor before clients move; parameters only (the proximal
+  // term is over learnable weights, not BN statistics).
+  round_anchor_.clear();
+  for (nn::Parameter* p : global_model().parameters()) {
+    round_anchor_.push_back(p->value.clone());
+  }
+  return FedAvg::round(round_index, sampled, pool);
+}
+
+GradHook FedProx::make_grad_hook(std::size_t client_id, nn::Module& client_model) {
+  (void)client_id;
+  (void)client_model;
+  const float mu = static_cast<float>(mu_);
+  const std::vector<core::Tensor>* anchor = &round_anchor_;
+  return [mu, anchor](const std::vector<nn::Parameter*>& params) {
+    if (params.size() != anchor->size()) {
+      throw std::logic_error("FedProx hook: parameter count mismatch");
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      // grad += mu * (w - w_anchor)
+      float* __restrict g = params[i]->grad.data();
+      const float* __restrict w = params[i]->value.data();
+      const float* __restrict a = (*anchor)[i].data();
+      const std::size_t n = params[i]->grad.numel();
+      for (std::size_t j = 0; j < n; ++j) g[j] += mu * (w[j] - a[j]);
+    }
+  };
+}
+
+}  // namespace fedkemf::fl

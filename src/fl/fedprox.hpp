@@ -1,0 +1,31 @@
+#pragma once
+
+// FedProx (Li et al. 2020): FedAvg plus a proximal term mu/2 * ||w - w_t||^2
+// in the local objective, implemented as a gradient hook that pulls each
+// client parameter toward the round-start global weights.
+
+#include "fl/fedavg.hpp"
+
+namespace fedkemf::fl {
+
+class FedProx final : public FedAvg {
+ public:
+  FedProx(models::ModelSpec spec, LocalTrainConfig local_config, double mu);
+
+  std::string name() const override { return "FedProx"; }
+  double round(std::size_t round_index, std::span<const std::size_t> sampled,
+               utils::ThreadPool& pool) override;
+
+  double mu() const { return mu_; }
+
+ protected:
+  GradHook make_grad_hook(std::size_t client_id, nn::Module& client_model) override;
+
+ private:
+  double mu_;
+  /// Parameter values of the global model at round start (read-only during
+  /// the parallel client section).
+  std::vector<core::Tensor> round_anchor_;
+};
+
+}  // namespace fedkemf::fl

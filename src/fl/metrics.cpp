@@ -1,0 +1,100 @@
+#include "fl/metrics.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "data/dataloader.hpp"
+#include "nn/loss.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+EvalResult evaluate_indices(nn::Module& model, const data::Dataset& dataset,
+                            std::vector<std::size_t> indices, std::size_t batch_size) {
+  if (indices.empty()) throw std::invalid_argument("evaluate: empty index set");
+  const bool was_training = model.training();
+  model.set_training(false);
+  nn::SoftmaxCrossEntropy ce;
+  data::DataLoader loader(dataset, std::move(indices), batch_size, /*shuffle=*/false,
+                          core::Rng(0));
+  data::Batch batch;
+  double loss_total = 0.0;
+  std::size_t correct = 0;
+  std::size_t seen = 0;
+  while (loader.next(batch)) {
+    core::Tensor logits = model.forward(batch.images);
+    loss_total += static_cast<double>(ce.value(logits, batch.labels)) *
+                  static_cast<double>(batch.size());
+    correct += static_cast<std::size_t>(
+        nn::accuracy(logits, batch.labels) * static_cast<double>(batch.size()) + 0.5);
+    seen += batch.size();
+  }
+  model.set_training(was_training);
+  EvalResult result;
+  result.samples = seen;
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  result.loss = loss_total / static_cast<double>(seen);
+  return result;
+}
+
+}  // namespace
+
+EvalResult evaluate(nn::Module& model, const data::Dataset& dataset, std::size_t batch_size) {
+  std::vector<std::size_t> all(dataset.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return evaluate_indices(model, dataset, std::move(all), batch_size);
+}
+
+EvalResult evaluate_subset(nn::Module& model, const data::Dataset& dataset,
+                           const std::vector<std::size_t>& indices, std::size_t batch_size) {
+  return evaluate_indices(model, dataset, indices, batch_size);
+}
+
+std::optional<std::size_t> RunResult::rounds_to_accuracy(double target) const {
+  for (const RoundRecord& record : history) {
+    if (record.accuracy >= target) return record.round + 1;  // 1-based round count
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RunResult::bytes_to_accuracy(double target) const {
+  for (const RoundRecord& record : history) {
+    if (record.accuracy >= target) return record.cumulative_bytes;
+  }
+  return std::nullopt;
+}
+
+std::size_t RunResult::convergence_round(double tolerance) const {
+  if (history.empty()) return 0;
+  // Earliest round r such that max accuracy over (r, end] exceeds the
+  // accuracy at r by no more than `tolerance`.
+  std::vector<double> suffix_max(history.size());
+  double best = -1.0;
+  for (std::size_t i = history.size(); i-- > 0;) {
+    best = std::max(best, history[i].accuracy);
+    suffix_max[i] = best;
+  }
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (suffix_max[i] - history[i].accuracy <= tolerance) return history[i].round + 1;
+  }
+  return history.back().round + 1;
+}
+
+double RunResult::convergence_accuracy(double tolerance) const {
+  if (history.empty()) return 0.0;
+  const std::size_t round = convergence_round(tolerance);
+  for (const RoundRecord& record : history) {
+    if (record.round + 1 == round) return record.accuracy;
+  }
+  return history.back().accuracy;
+}
+
+double RunResult::mean_round_bytes() const {
+  if (history.empty()) return 0.0;
+  double total = 0.0;
+  for (const RoundRecord& record : history) total += static_cast<double>(record.round_bytes);
+  return total / static_cast<double>(history.size());
+}
+
+}  // namespace fedkemf::fl

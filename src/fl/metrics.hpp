@@ -1,0 +1,68 @@
+#pragma once
+
+// Evaluation helpers and per-run result records.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::fl {
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double loss = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Top-1 accuracy + mean cross-entropy of `model` (switched to eval mode and
+/// back) over the given samples.
+EvalResult evaluate(nn::Module& model, const data::Dataset& dataset,
+                    std::size_t batch_size = 64);
+
+/// Evaluation restricted to an index subset (per-client local test sets).
+EvalResult evaluate_subset(nn::Module& model, const data::Dataset& dataset,
+                           const std::vector<std::size_t>& indices,
+                           std::size_t batch_size = 64);
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double accuracy = 0.0;            ///< global model on the global test set
+  double client_accuracy = 0.0;     ///< mean per-client local accuracy (NaN if not tracked)
+  double train_loss = 0.0;          ///< mean local training loss this round
+  std::size_t round_bytes = 0;      ///< traffic metered during this round
+  std::size_t cumulative_bytes = 0;
+  double round_seconds = 0.0;       ///< wall-clock compute time of the round
+};
+
+struct RunResult {
+  std::string algorithm;
+  std::vector<RoundRecord> history;
+  std::size_t total_bytes = 0;
+  std::size_t rounds_completed = 0;
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  double wall_seconds = 0.0;
+
+  /// First round whose evaluated accuracy reached `target`; nullopt if never.
+  std::optional<std::size_t> rounds_to_accuracy(double target) const;
+
+  /// Traffic accumulated up to and including the first round that reached
+  /// `target` accuracy; nullopt if the target was never reached.
+  std::optional<std::size_t> bytes_to_accuracy(double target) const;
+
+  /// Convergence round: the earliest round after which accuracy never again
+  /// improves by more than `tolerance` over its running best.  Mirrors the
+  /// paper's "train to converge" protocol.
+  std::size_t convergence_round(double tolerance = 0.01) const;
+
+  /// Accuracy at convergence_round.
+  double convergence_accuracy(double tolerance = 0.01) const;
+
+  /// Mean of round_bytes over recorded rounds.
+  double mean_round_bytes() const;
+};
+
+}  // namespace fedkemf::fl

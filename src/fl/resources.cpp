@@ -1,0 +1,55 @@
+#include "fl/resources.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedkemf::fl {
+
+std::vector<DeviceClass> DeviceClass::standard_fleet() {
+  return {
+      {"phone", 0.5e9, comm::LinkModel{10e6 / 8.0, 0.08}},
+      {"gateway", 2e9, comm::LinkModel{50e6 / 8.0, 0.04}},
+      {"workstation", 5e9, comm::LinkModel{200e6 / 8.0, 0.02}},
+  };
+}
+
+ClientRoundCost estimate_client_round(const DeviceClass& device,
+                                      const models::ModelSpec& deployed_model,
+                                      std::size_t shard_samples, std::size_t local_epochs,
+                                      std::size_t round_bytes) {
+  if (device.flops_per_second <= 0.0) {
+    throw std::invalid_argument("estimate_client_round: non-positive device throughput");
+  }
+  const models::ModelCost model_cost = models::estimate_cost(deployed_model);
+  ClientRoundCost cost;
+  const double training_flops = static_cast<double>(model_cost.training_flops()) *
+                                static_cast<double>(shard_samples) *
+                                static_cast<double>(local_epochs);
+  cost.compute_seconds = training_flops / device.flops_per_second;
+  cost.transfer_seconds = device.link.transfer_seconds(round_bytes);
+  return cost;
+}
+
+double round_makespan(const std::vector<ClientRoundCost>& costs) {
+  double makespan = 0.0;
+  for (const ClientRoundCost& cost : costs) {
+    makespan = std::max(makespan, cost.total_seconds());
+  }
+  return makespan;
+}
+
+FleetCostSummary summarize_fleet(const std::vector<ClientRoundCost>& costs) {
+  FleetCostSummary summary;
+  if (costs.empty()) return summary;
+  double total = 0.0;
+  for (const ClientRoundCost& cost : costs) {
+    summary.makespan_seconds = std::max(summary.makespan_seconds, cost.total_seconds());
+    total += cost.total_seconds();
+  }
+  summary.mean_seconds = total / static_cast<double>(costs.size());
+  summary.utilization =
+      summary.makespan_seconds > 0.0 ? summary.mean_seconds / summary.makespan_seconds : 0.0;
+  return summary;
+}
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,61 @@
+#pragma once
+
+// Edge-resource model: the "resource-aware" half of the paper.
+//
+// Edge devices differ in compute throughput and link quality.  This module
+// defines device classes, estimates per-round client wall-clock time
+// (local training compute + up/down transfers), and computes the round
+// *makespan* — the time the server waits for the slowest sampled client.
+// It quantifies the paper's motivating claim that deploying one uniform
+// large model makes resource-poor clients the bottleneck, while FedKEMF's
+// multi-model deployment matches model cost to device capability.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "models/flops.hpp"
+
+namespace fedkemf::fl {
+
+/// A device capability class (edge heterogeneity).
+struct DeviceClass {
+  std::string name;                  ///< e.g. "phone", "gateway", "workstation"
+  double flops_per_second = 1e9;     ///< sustained training throughput
+  comm::LinkModel link;              ///< bandwidth + latency
+
+  /// Built-in three-tier fleet used by examples/benches: a slow phone-class
+  /// device, a mid gateway, and a fast workstation (10x spread, the typical
+  /// edge heterogeneity range the FL systems literature assumes).
+  static std::vector<DeviceClass> standard_fleet();
+};
+
+/// One client's simulated cost for one communication round.
+struct ClientRoundCost {
+  double compute_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double total_seconds() const { return compute_seconds + transfer_seconds; }
+};
+
+/// Estimates one client's round cost from its device class, deployed model,
+/// shard size, local epochs, and the bytes it exchanges per round.
+ClientRoundCost estimate_client_round(const DeviceClass& device,
+                                      const models::ModelSpec& deployed_model,
+                                      std::size_t shard_samples, std::size_t local_epochs,
+                                      std::size_t round_bytes);
+
+/// Round makespan: the slowest sampled client gates the round (synchronous
+/// FL).  `costs` are the sampled clients' per-round costs.
+double round_makespan(const std::vector<ClientRoundCost>& costs);
+
+/// Summary of a fleet assignment's cost profile.
+struct FleetCostSummary {
+  double makespan_seconds = 0.0;     ///< max over clients
+  double mean_seconds = 0.0;
+  double utilization = 0.0;          ///< mean / makespan: 1.0 = perfectly balanced
+};
+
+FleetCostSummary summarize_fleet(const std::vector<ClientRoundCost>& costs);
+
+}  // namespace fedkemf::fl

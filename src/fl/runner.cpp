@@ -1,0 +1,99 @@
+#include "fl/runner.hpp"
+
+#include "fl/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "utils/logging.hpp"
+#include "utils/stopwatch.hpp"
+
+namespace fedkemf::fl {
+
+std::vector<std::size_t> sample_clients(const Federation& federation, std::size_t round_index,
+                                        double ratio) {
+  if (ratio <= 0.0 || ratio > 1.0) {
+    throw std::invalid_argument("sample_clients: ratio must be in (0, 1]");
+  }
+  const std::size_t population = federation.num_clients();
+  std::size_t count = static_cast<std::size_t>(
+      std::lround(ratio * static_cast<double>(population)));
+  count = std::clamp<std::size_t>(count, 1, population);
+  core::Rng rng = federation.root_rng().fork(0x5A3B7E00ULL + round_index);
+  return rng.sample_without_replacement(population, count);
+}
+
+RunResult run_federated(Federation& federation, Algorithm& algorithm,
+                        const RunOptions& options) {
+  if (options.rounds == 0) throw std::invalid_argument("run_federated: zero rounds");
+  federation.meter().reset();
+  algorithm.setup(federation);
+  std::unique_ptr<ClientSelector> selector = make_selector(options.selector);
+  utils::ThreadPool pool(options.num_threads);
+  utils::Stopwatch run_clock;
+
+  RunResult result;
+  result.algorithm = algorithm.name();
+  std::size_t bytes_before_round = 0;
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    utils::Stopwatch round_clock;
+    const std::size_t population = federation.num_clients();
+    const std::size_t count = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::lround(options.sample_ratio *
+                                             static_cast<double>(population))),
+        1, population);
+    const std::vector<std::size_t> sampled = selector->select(federation, round, count);
+    const double train_loss = algorithm.round(round, sampled, pool);
+    result.rounds_completed = round + 1;
+
+    const bool last_round = round + 1 == options.rounds;
+    const std::size_t every = std::max<std::size_t>(1, options.eval_every);
+    const bool eval_now = last_round || ((round + 1) % every == 0);
+    if (!eval_now) continue;
+
+    RoundRecord record;
+    record.round = round;
+    record.train_loss = train_loss;
+    const std::size_t bytes_now = federation.meter().total_bytes();
+    record.cumulative_bytes = bytes_now;
+    record.round_bytes = bytes_now - bytes_before_round;
+    bytes_before_round = bytes_now;
+    record.round_seconds = round_clock.seconds();
+
+    const EvalResult eval = evaluate(algorithm.global_model(), federation.test_set());
+    record.accuracy = eval.accuracy;
+
+    if (options.evaluate_client_models) {
+      double acc_total = 0.0;
+      for (std::size_t id = 0; id < federation.num_clients(); ++id) {
+        nn::Module* model = algorithm.client_model(id);
+        const EvalResult local = evaluate_subset(*model, federation.test_set(),
+                                                 federation.client_test_indices(id));
+        acc_total += local.accuracy;
+      }
+      record.client_accuracy = acc_total / static_cast<double>(federation.num_clients());
+    } else {
+      record.client_accuracy = std::nan("");
+    }
+
+    result.best_accuracy = std::max(result.best_accuracy, record.accuracy);
+    result.final_accuracy = record.accuracy;
+    result.history.push_back(record);
+
+    if (options.verbose) {
+      utils::log_info("runner") << algorithm.name() << " round " << round + 1 << "/"
+                                << options.rounds << " acc=" << record.accuracy
+                                << " loss=" << train_loss
+                                << " bytes=" << record.cumulative_bytes;
+    }
+    if (options.stop_at_accuracy && record.accuracy >= *options.stop_at_accuracy) break;
+  }
+
+  result.total_bytes = federation.meter().total_bytes();
+  result.wall_seconds = run_clock.seconds();
+  return result;
+}
+
+}  // namespace fedkemf::fl

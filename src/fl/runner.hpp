@@ -1,0 +1,25 @@
+#pragma once
+
+// The round loop: client sampling, algorithm dispatch, evaluation, traffic
+// bookkeeping, and early stopping.
+
+#include "fl/algorithm.hpp"
+#include "fl/metrics.hpp"
+
+namespace fedkemf::fl {
+
+/// Runs `algorithm` against `federation` for options.rounds communication
+/// rounds (or until options.stop_at_accuracy is reached at an evaluation
+/// point).  The federation's traffic meter is reset at the start so results
+/// from consecutive runs don't mix.
+RunResult run_federated(Federation& federation, Algorithm& algorithm,
+                        const RunOptions& options);
+
+/// Uniform client sampling (the paper's protocol): `ratio` of the population
+/// (at least one client), drawn without replacement from the run's
+/// (seed, round) stream.  run_federated uses the equivalent UniformSelector
+/// by default; see fl/selection.hpp for the alternative strategies.
+std::vector<std::size_t> sample_clients(const Federation& federation, std::size_t round_index,
+                                        double ratio);
+
+}  // namespace fedkemf::fl

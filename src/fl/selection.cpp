@@ -1,0 +1,92 @@
+#include "fl/selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "fl/runner.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+void validate(const Federation& federation, std::size_t count) {
+  if (count == 0 || count > federation.num_clients()) {
+    throw std::invalid_argument("ClientSelector: count must be in [1, num_clients]");
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> UniformSelector::select(const Federation& federation,
+                                                 std::size_t round_index,
+                                                 std::size_t count) {
+  validate(federation, count);
+  core::Rng rng = federation.root_rng().fork(0x5A3B7E00ULL + round_index);
+  return rng.sample_without_replacement(federation.num_clients(), count);
+}
+
+std::vector<std::size_t> ShardWeightedSelector::select(const Federation& federation,
+                                                       std::size_t round_index,
+                                                       std::size_t count) {
+  validate(federation, count);
+  core::Rng rng = federation.root_rng().fork(0x57E16453ULL + round_index);
+  // Successive weighted draws without replacement.
+  std::vector<std::size_t> candidates(federation.num_clients());
+  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  std::vector<double> weights(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    weights[i] = static_cast<double>(federation.client_shard(i).size());
+  }
+  std::vector<std::size_t> selected;
+  selected.reserve(count);
+  for (std::size_t pick = 0; pick < count; ++pick) {
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0) {
+      // Degenerate (all remaining shards empty): fall back to uniform.
+      for (std::size_t i = 0; i < candidates.size() && selected.size() < count; ++i) {
+        if (std::find(selected.begin(), selected.end(), candidates[i]) == selected.end()) {
+          selected.push_back(candidates[i]);
+        }
+      }
+      break;
+    }
+    double point = rng.uniform() * total;
+    std::size_t chosen = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      point -= weights[i];
+      if (point <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    selected.push_back(candidates[chosen]);
+    weights[chosen] = 0.0;  // without replacement
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<std::size_t> RoundRobinSelector::select(const Federation& federation,
+                                                    std::size_t round_index,
+                                                    std::size_t count) {
+  validate(federation, count);
+  const std::size_t population = federation.num_clients();
+  std::vector<std::size_t> selected;
+  selected.reserve(count);
+  const std::size_t start = (round_index * count) % population;
+  for (std::size_t i = 0; i < count; ++i) {
+    selected.push_back((start + i) % population);
+  }
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()), selected.end());
+  return selected;
+}
+
+std::unique_ptr<ClientSelector> make_selector(const std::string& name) {
+  if (name == "uniform") return std::make_unique<UniformSelector>();
+  if (name == "shard_weighted") return std::make_unique<ShardWeightedSelector>();
+  if (name == "round_robin") return std::make_unique<RoundRobinSelector>();
+  throw std::invalid_argument("make_selector: unknown strategy '" + name + "'");
+}
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,60 @@
+#pragma once
+
+// Client selection strategies.
+//
+// The paper's server "chooses a random sample ratio of clients" each round
+// (uniform sampling, the default).  Real deployments also use weighted and
+// round-robin selection; all three are provided behind one interface so the
+// runner (and the Figure 7 stability sweeps) can swap them.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/federation.hpp"
+
+namespace fedkemf::fl {
+
+class ClientSelector {
+ public:
+  virtual ~ClientSelector() = default;
+
+  /// Returns `count` distinct client ids for `round_index`, sorted ascending.
+  virtual std::vector<std::size_t> select(const Federation& federation,
+                                          std::size_t round_index, std::size_t count) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform sampling without replacement from the (seed, round) stream — the
+/// paper's protocol and what fl::sample_clients implements.
+class UniformSelector final : public ClientSelector {
+ public:
+  std::vector<std::size_t> select(const Federation& federation, std::size_t round_index,
+                                  std::size_t count) override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Probability proportional to shard size (clients with more data are more
+/// likely to participate) — weighted sampling without replacement.
+class ShardWeightedSelector final : public ClientSelector {
+ public:
+  std::vector<std::size_t> select(const Federation& federation, std::size_t round_index,
+                                  std::size_t count) override;
+  std::string name() const override { return "shard_weighted"; }
+};
+
+/// Deterministic rotation: every client participates exactly once per
+/// ceil(N / count) rounds.  Maximizes coverage; no sampling noise.
+class RoundRobinSelector final : public ClientSelector {
+ public:
+  std::vector<std::size_t> select(const Federation& federation, std::size_t round_index,
+                                  std::size_t count) override;
+  std::string name() const override { return "round_robin"; }
+};
+
+/// Factory by name: "uniform" | "shard_weighted" | "round_robin".
+std::unique_ptr<ClientSelector> make_selector(const std::string& name);
+
+}  // namespace fedkemf::fl

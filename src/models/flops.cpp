@@ -1,0 +1,183 @@
+#include "models/flops.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::models {
+namespace {
+
+// The walkers below mirror the builder plans in zoo.cpp exactly (including
+// the skip-pool-at-1px rule).  tests/models_flops_test.cpp locks the two
+// files together by asserting the analytic parameter counts equal the ones
+// measured from real instances for every architecture/width/resolution.
+
+struct Walker {
+  ModelCost cost;
+
+  void add(const std::string& label, std::size_t flops, std::size_t activations,
+           std::size_t params) {
+    cost.layers.push_back({label, flops, activations});
+    cost.total_flops += flops;
+    cost.parameter_count += params;
+    if (activations > cost.peak_activations) cost.peak_activations = activations;
+  }
+
+  void conv(std::size_t in_c, std::size_t out_c, std::size_t k, std::size_t stride,
+            std::size_t padding, std::size_t& spatial, bool bias, const char* tag) {
+    const std::size_t out_spatial = (spatial + 2 * padding - k) / stride + 1;
+    const std::size_t out_act = out_c * out_spatial * out_spatial;
+    std::size_t flops = 2 * out_act * in_c * k * k;
+    std::size_t params = out_c * in_c * k * k;
+    if (bias) {
+      flops += out_act;
+      params += out_c;
+    }
+    add(std::string(tag) + " conv" + std::to_string(k) + "x" + std::to_string(k) + " " +
+            std::to_string(in_c) + "->" + std::to_string(out_c) +
+            (stride > 1 ? " /" + std::to_string(stride) : ""),
+        flops, out_act, params);
+    spatial = out_spatial;
+  }
+
+  void batchnorm(std::size_t channels, std::size_t spatial) {
+    const std::size_t act = channels * spatial * spatial;
+    add("bn " + std::to_string(channels), 4 * act, act, 2 * channels);
+  }
+
+  void relu(std::size_t channels, std::size_t spatial) {
+    const std::size_t act = channels * spatial * spatial;
+    add("relu", act, act, 0);
+  }
+
+  void maxpool(std::size_t channels, std::size_t k, std::size_t stride,
+               std::size_t& spatial) {
+    const std::size_t out_spatial = (spatial - k) / stride + 1;
+    const std::size_t act = channels * out_spatial * out_spatial;
+    add("maxpool" + std::to_string(k), act * k * k, act, 0);
+    spatial = out_spatial;
+  }
+
+  void global_avg_pool(std::size_t channels, std::size_t& spatial) {
+    add("gap", channels * spatial * spatial, channels, 0);
+    spatial = 1;
+  }
+
+  void linear(std::size_t in_features, std::size_t out_features, bool bias,
+              const char* tag) {
+    std::size_t flops = 2 * in_features * out_features;
+    std::size_t params = in_features * out_features;
+    if (bias) {
+      flops += out_features;
+      params += out_features;
+    }
+    add(std::string(tag) + " linear " + std::to_string(in_features) + "->" +
+            std::to_string(out_features),
+        flops, out_features, params);
+  }
+
+  void basic_block(std::size_t in_c, std::size_t out_c, std::size_t stride,
+                   std::size_t& spatial) {
+    const std::size_t in_spatial = spatial;
+    conv(in_c, out_c, 3, stride, 1, spatial, /*bias=*/false, "block");
+    batchnorm(out_c, spatial);
+    relu(out_c, spatial);
+    conv(out_c, out_c, 3, 1, 1, spatial, /*bias=*/false, "block");
+    batchnorm(out_c, spatial);
+    if (stride != 1 || in_c != out_c) {
+      std::size_t proj_spatial = in_spatial;
+      conv(in_c, out_c, 1, stride, 0, proj_spatial, /*bias=*/false, "proj");
+      batchnorm(out_c, proj_spatial);
+    }
+    const std::size_t act = out_c * spatial * spatial;
+    add("residual add + relu", 2 * act, act, 0);
+  }
+};
+
+ModelCost cost_cnn2(const ModelSpec& spec) {
+  Walker w;
+  std::size_t spatial = spec.image_size;
+  const std::size_t c1 = scaled_channels(32, spec.width_multiplier);
+  const std::size_t c2 = scaled_channels(64, spec.width_multiplier);
+  const std::size_t hidden = scaled_channels(512, spec.width_multiplier);
+  w.conv(spec.in_channels, c1, 5, 1, 2, spatial, true, "stem");
+  w.relu(c1, spatial);
+  w.maxpool(c1, 2, 2, spatial);
+  w.conv(c1, c2, 5, 1, 2, spatial, true, "stem");
+  w.relu(c2, spatial);
+  w.maxpool(c2, 2, 2, spatial);
+  w.linear(c2 * spatial * spatial, hidden, true, "fc");
+  w.relu(hidden, 1);
+  w.linear(hidden, spec.num_classes, true, "head");
+  return w.cost;
+}
+
+ModelCost cost_vgg11(const ModelSpec& spec) {
+  static constexpr std::size_t kPlan[] = {64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0};
+  Walker w;
+  std::size_t spatial = spec.image_size;
+  std::size_t channels = spec.in_channels;
+  for (std::size_t entry : kPlan) {
+    if (entry == 0) {
+      if (spatial >= 2) w.maxpool(channels, 2, 2, spatial);
+      continue;
+    }
+    const std::size_t out = scaled_channels(entry, spec.width_multiplier);
+    w.conv(channels, out, 3, 1, 1, spatial, /*bias=*/false, "vgg");
+    w.batchnorm(out, spatial);
+    w.relu(out, spatial);
+    channels = out;
+  }
+  // Dropout has no parameters and negligible cost.
+  w.linear(channels * spatial * spatial, spec.num_classes, true, "head");
+  return w.cost;
+}
+
+ModelCost cost_resnet(const ModelSpec& spec, std::size_t depth) {
+  const std::size_t blocks_per_stage = (depth - 2) / 6;
+  Walker w;
+  std::size_t spatial = spec.image_size;
+  const std::size_t widths[3] = {scaled_channels(16, spec.width_multiplier),
+                                 scaled_channels(32, spec.width_multiplier),
+                                 scaled_channels(64, spec.width_multiplier)};
+  w.conv(spec.in_channels, widths[0], 3, 1, 1, spatial, /*bias=*/false, "stem");
+  w.batchnorm(widths[0], spatial);
+  w.relu(widths[0], spatial);
+  std::size_t channels = widths[0];
+  for (std::size_t stage = 0; stage < 3; ++stage) {
+    for (std::size_t block = 0; block < blocks_per_stage; ++block) {
+      const std::size_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      w.basic_block(channels, widths[stage], stride, spatial);
+      channels = widths[stage];
+    }
+  }
+  w.global_avg_pool(channels, spatial);
+  w.linear(channels, spec.num_classes, true, "head");
+  return w.cost;
+}
+
+ModelCost cost_mlp(const ModelSpec& spec) {
+  Walker w;
+  const std::size_t input = spec.in_channels * spec.image_size * spec.image_size;
+  const std::size_t hidden = scaled_channels(128, spec.width_multiplier);
+  w.linear(input, hidden, true, "fc1");
+  w.relu(hidden, 1);
+  w.linear(hidden, hidden, true, "fc2");
+  w.relu(hidden, 1);
+  w.linear(hidden, spec.num_classes, true, "head");
+  return w.cost;
+}
+
+}  // namespace
+
+ModelCost estimate_cost(const ModelSpec& spec) {
+  if (spec.arch == "cnn2") return cost_cnn2(spec);
+  if (spec.arch == "vgg11") return cost_vgg11(spec);
+  if (spec.arch == "resnet20") return cost_resnet(spec, 20);
+  if (spec.arch == "resnet32") return cost_resnet(spec, 32);
+  if (spec.arch == "resnet44") return cost_resnet(spec, 44);
+  if (spec.arch == "mlp") return cost_mlp(spec);
+  throw std::invalid_argument("estimate_cost: unknown architecture '" + spec.arch + "'");
+}
+
+std::size_t forward_flops(const ModelSpec& spec) { return estimate_cost(spec).total_flops; }
+
+}  // namespace fedkemf::models

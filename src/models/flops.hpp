@@ -1,0 +1,44 @@
+#pragma once
+
+// Analytic compute-cost accounting for the model zoo.
+//
+// The paper's premise is *resource* heterogeneity: "it is infeasible to
+// deploy a large model on a resource-limited edge device".  To quantify that
+// in the simulator, this module computes the forward-pass FLOPs (multiply
+// counted as one FLOP, add as one) and peak activation footprint of every
+// ModelSpec analytically, layer by layer, following the standard conv/linear
+// cost formulas.  The fl::resources device model turns these into per-client
+// wall-clock estimates.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "models/zoo.hpp"
+
+namespace fedkemf::models {
+
+struct LayerCost {
+  std::string layer;            ///< e.g. "conv3x3 16->32 /2"
+  std::size_t flops = 0;        ///< forward FLOPs for ONE sample
+  std::size_t activations = 0;  ///< output activation scalars for one sample
+};
+
+struct ModelCost {
+  std::vector<LayerCost> layers;
+  std::size_t total_flops = 0;        ///< forward FLOPs per sample
+  std::size_t parameter_count = 0;
+  std::size_t peak_activations = 0;   ///< max single-layer output size
+
+  /// Training step cost per sample, using the standard ~3x forward rule
+  /// (forward + backward-to-input + backward-to-weights).
+  std::size_t training_flops() const { return 3 * total_flops; }
+};
+
+/// Analytic forward cost of `spec` (throws for unknown architectures).
+ModelCost estimate_cost(const ModelSpec& spec);
+
+/// Convenience: forward FLOPs per sample.
+std::size_t forward_flops(const ModelSpec& spec);
+
+}  // namespace fedkemf::models

@@ -1,0 +1,170 @@
+#include "models/zoo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace fedkemf::models {
+namespace {
+
+using nn::AvgPool2d;
+using nn::BasicBlock;
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Dropout;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::ReLU;
+using nn::Sequential;
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument("model zoo: " + message);
+}
+
+std::unique_ptr<nn::Module> build_cnn2(const ModelSpec& spec, core::Rng& rng) {
+  require(spec.image_size >= 8, "cnn2 needs image_size >= 8, got " +
+                                    std::to_string(spec.image_size));
+  const std::size_t c1 = scaled_channels(32, spec.width_multiplier);
+  const std::size_t c2 = scaled_channels(64, spec.width_multiplier);
+  const std::size_t hidden = scaled_channels(512, spec.width_multiplier);
+  auto net = std::make_unique<Sequential>();
+  std::size_t spatial = spec.image_size;
+  net->emplace<Conv2d>(spec.in_channels, c1, /*kernel=*/5, /*stride=*/1, /*padding=*/2, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2, 2);
+  spatial /= 2;
+  net->emplace<Conv2d>(c1, c2, /*kernel=*/5, /*stride=*/1, /*padding=*/2, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2, 2);
+  spatial /= 2;
+  net->emplace<Flatten>();
+  net->emplace<Linear>(c2 * spatial * spatial, hidden, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden, spec.num_classes, rng);
+  return net;
+}
+
+std::unique_ptr<nn::Module> build_vgg11(const ModelSpec& spec, core::Rng& rng) {
+  require(spec.image_size >= 2, "vgg11 needs image_size >= 2");
+  // VGG configuration A: 64 M 128 M 256 256 M 512 512 M 512 512 M.
+  static constexpr std::size_t kPlan[] = {64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0};
+  auto net = std::make_unique<Sequential>();
+  std::size_t channels = spec.in_channels;
+  std::size_t spatial = spec.image_size;
+  for (std::size_t entry : kPlan) {
+    if (entry == 0) {
+      if (spatial >= 2) {
+        net->emplace<MaxPool2d>(2, 2);
+        spatial /= 2;
+      }
+      // else: skip the pool — the feature map is already a single pixel.
+      continue;
+    }
+    const std::size_t out_channels = scaled_channels(entry, spec.width_multiplier);
+    net->emplace<Conv2d>(channels, out_channels, /*kernel=*/3, /*stride=*/1, /*padding=*/1,
+                         rng, /*with_bias=*/false);
+    net->emplace<BatchNorm2d>(out_channels);
+    net->emplace<ReLU>();
+    channels = out_channels;
+  }
+  net->emplace<Flatten>();
+  net->emplace<Dropout>(0.5f, rng);
+  net->emplace<Linear>(channels * spatial * spatial, spec.num_classes, rng);
+  return net;
+}
+
+std::unique_ptr<nn::Module> build_resnet(const ModelSpec& spec, std::size_t depth,
+                                         core::Rng& rng) {
+  require((depth - 2) % 6 == 0, "resnet depth must be 6n+2");
+  require(spec.image_size >= 4, "resnet needs image_size >= 4");
+  const std::size_t blocks_per_stage = (depth - 2) / 6;
+  const std::size_t w1 = scaled_channels(16, spec.width_multiplier);
+  const std::size_t w2 = scaled_channels(32, spec.width_multiplier);
+  const std::size_t w3 = scaled_channels(64, spec.width_multiplier);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(spec.in_channels, w1, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng,
+                       /*with_bias=*/false);
+  net->emplace<BatchNorm2d>(w1);
+  net->emplace<ReLU>();
+  std::size_t channels = w1;
+  const std::size_t widths[3] = {w1, w2, w3};
+  for (std::size_t stage = 0; stage < 3; ++stage) {
+    for (std::size_t block = 0; block < blocks_per_stage; ++block) {
+      const std::size_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      net->emplace<BasicBlock>(channels, widths[stage], stride, rng);
+      channels = widths[stage];
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Flatten>();
+  net->emplace<Linear>(channels, spec.num_classes, rng);
+  return net;
+}
+
+std::unique_ptr<nn::Module> build_mlp(const ModelSpec& spec, core::Rng& rng) {
+  const std::size_t input_dim = spec.in_channels * spec.image_size * spec.image_size;
+  const std::size_t hidden = scaled_channels(128, spec.width_multiplier);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  net->emplace<Linear>(input_dim, hidden, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden, hidden, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden, spec.num_classes, rng);
+  return net;
+}
+
+}  // namespace
+
+std::size_t scaled_channels(std::size_t base, double multiplier) {
+  require(multiplier > 0.0, "width multiplier must be > 0");
+  const double scaled = std::round(static_cast<double>(base) * multiplier);
+  return scaled < 1.0 ? 1 : static_cast<std::size_t>(scaled);
+}
+
+std::string ModelSpec::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s(w=%g, %zux%zux%zu -> %zu)", arch.c_str(),
+                width_multiplier, in_channels, image_size, image_size, num_classes);
+  return buf;
+}
+
+bool is_known_arch(const std::string& arch) {
+  return arch == "cnn2" || arch == "vgg11" || arch == "resnet20" || arch == "resnet32" ||
+         arch == "resnet44" || arch == "mlp";
+}
+
+std::unique_ptr<nn::Module> build_model(const ModelSpec& spec, core::Rng& rng) {
+  require(spec.num_classes >= 2, "need at least two classes");
+  require(spec.in_channels >= 1, "need at least one input channel");
+  if (spec.arch == "cnn2") return build_cnn2(spec, rng);
+  if (spec.arch == "vgg11") return build_vgg11(spec, rng);
+  if (spec.arch == "resnet20") return build_resnet(spec, 20, rng);
+  if (spec.arch == "resnet32") return build_resnet(spec, 32, rng);
+  if (spec.arch == "resnet44") return build_resnet(spec, 44, rng);
+  if (spec.arch == "mlp") return build_mlp(spec, rng);
+  throw std::invalid_argument("model zoo: unknown architecture '" + spec.arch + "'");
+}
+
+std::size_t parameter_count(const ModelSpec& spec) {
+  core::Rng rng(0);
+  return build_model(spec, rng)->parameter_count();
+}
+
+std::size_t state_count(const ModelSpec& spec) {
+  core::Rng rng(0);
+  auto model = build_model(spec, rng);
+  return nn::state_numel(*model);
+}
+
+}  // namespace fedkemf::models

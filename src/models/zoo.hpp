@@ -1,0 +1,58 @@
+#pragma once
+
+// Model zoo: every architecture the paper trains, parameterized so the same
+// code runs both at paper scale (CIFAR 32x32, full width) and at the
+// CPU-feasible bench scale (smaller images / width multipliers).
+//
+//  * cnn2      — the 2-layer CNN used on MNIST (FedAvg/LEAF convention):
+//                conv5x5(32) -> pool -> conv5x5(64) -> pool -> fc512 -> fc.
+//  * vgg11     — VGG-11 configuration A with the CIFAR-style classifier
+//                (single Linear after the conv stack).
+//  * resnet20/32/44 — CIFAR ResNets of He et al. 2016 (depth = 6n + 2,
+//                stages of width w/2w/4w).
+//  * mlp       — small fully-connected baseline, used in tests/examples.
+//
+// Width multipliers scale all channel counts (minimum 1 channel, classifier
+// width follows).  Pooling layers that would reduce a spatial dimension below
+// one pixel are skipped, so architectures stay valid at reduced resolutions.
+
+#include <memory>
+#include <string>
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::models {
+
+struct ModelSpec {
+  std::string arch = "resnet20";   ///< cnn2 | vgg11 | resnet20 | resnet32 | resnet44 | mlp
+  std::size_t num_classes = 10;
+  std::size_t in_channels = 3;
+  std::size_t image_size = 32;     ///< square inputs
+  double width_multiplier = 1.0;   ///< scales channel counts (1.0 = paper width)
+
+  /// e.g. "resnet20(w=1, 3x32x32 -> 10)".
+  std::string to_string() const;
+
+  bool operator==(const ModelSpec&) const = default;
+};
+
+/// Builds the model; weights are initialized from `rng` (kaiming for convs
+/// and linears).  Throws std::invalid_argument for unknown arch strings or
+/// geometry the architecture cannot consume.
+std::unique_ptr<nn::Module> build_model(const ModelSpec& spec, core::Rng& rng);
+
+/// Learnable parameter count for the spec (builds a throwaway instance).
+std::size_t parameter_count(const ModelSpec& spec);
+
+/// Parameters + buffers — the scalars that cross the wire in FL.
+std::size_t state_count(const ModelSpec& spec);
+
+/// True if `arch` names a known architecture.
+bool is_known_arch(const std::string& arch);
+
+/// Channel count helper shared by the builders: round(base * multiplier),
+/// clamped to >= 1.
+std::size_t scaled_channels(std::size_t base, double multiplier);
+
+}  // namespace fedkemf::models

@@ -1,0 +1,56 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+core::Tensor ReLU::forward(const core::Tensor& input) {
+  cached_input_ = input;
+  core::Tensor output(input.shape());
+  const float* __restrict x = input.data();
+  float* __restrict y = output.data();
+  const std::size_t n = input.numel();
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return output;
+}
+
+core::Tensor ReLU::backward(const core::Tensor& grad_output) {
+  if (!cached_input_.defined()) throw std::logic_error("ReLU::backward before forward");
+  if (grad_output.shape() != cached_input_.shape()) {
+    throw std::invalid_argument("ReLU::backward: bad grad shape");
+  }
+  core::Tensor input_grad(grad_output.shape());
+  const float* __restrict x = cached_input_.data();
+  const float* __restrict dy = grad_output.data();
+  float* __restrict dx = input_grad.data();
+  const std::size_t n = grad_output.numel();
+  for (std::size_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+  return input_grad;
+}
+
+core::Tensor Tanh::forward(const core::Tensor& input) {
+  core::Tensor output(input.shape());
+  const float* __restrict x = input.data();
+  float* __restrict y = output.data();
+  const std::size_t n = input.numel();
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+  cached_output_ = output;
+  return output;
+}
+
+core::Tensor Tanh::backward(const core::Tensor& grad_output) {
+  if (!cached_output_.defined()) throw std::logic_error("Tanh::backward before forward");
+  if (grad_output.shape() != cached_output_.shape()) {
+    throw std::invalid_argument("Tanh::backward: bad grad shape");
+  }
+  core::Tensor input_grad(grad_output.shape());
+  const float* __restrict y = cached_output_.data();
+  const float* __restrict dy = grad_output.data();
+  float* __restrict dx = input_grad.data();
+  const std::size_t n = grad_output.numel();
+  for (std::size_t i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+  return input_grad;
+}
+
+}  // namespace fedkemf::nn

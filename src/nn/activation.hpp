@@ -1,0 +1,33 @@
+#pragma once
+
+// Pointwise activations. ReLU caches the active mask; Tanh caches its output.
+
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+class ReLU final : public Module {
+ public:
+  ReLU() = default;
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  std::string kind() const override { return "ReLU"; }
+
+ private:
+  core::Tensor cached_input_;
+};
+
+class Tanh final : public Module {
+ public:
+  Tanh() = default;
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  std::string kind() const override { return "Tanh"; }
+
+ private:
+  core::Tensor cached_output_;
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,158 @@
+#include "nn/conv.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace fedkemf::nn {
+namespace {
+
+// Permutes GEMM output [oc, (n, oh, ow)] into NCHW, or back for gradients.
+void scatter_oc_major_to_nchw(const core::Tensor& src, core::Tensor& dst,
+                              std::size_t batch, std::size_t channels, std::size_t hw) {
+  const float* __restrict s = src.data();
+  float* __restrict d = dst.data();
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* __restrict row = s + (c * batch + n) * hw;
+      float* __restrict out = d + (n * channels + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) out[i] = row[i];
+    }
+  }
+}
+
+void gather_nchw_to_oc_major(const core::Tensor& src, core::Tensor& dst,
+                             std::size_t batch, std::size_t channels, std::size_t hw) {
+  const float* __restrict s = src.data();
+  float* __restrict d = dst.data();
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* __restrict in = s + (n * channels + c) * hw;
+      float* __restrict row = d + (c * batch + n) * hw;
+      for (std::size_t i = 0; i < hw; ++i) row[i] = in[i];
+    }
+  }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding, core::Rng& rng, bool with_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      with_bias_(with_bias),
+      weight_("weight",
+              core::Tensor(core::Shape::matrix(out_channels, in_channels * kernel * kernel))),
+      bias_("bias", core::Tensor::zeros(core::Shape::vector(with_bias ? out_channels : 0))) {
+  if (kernel == 0 || stride == 0) {
+    throw std::invalid_argument("Conv2d: kernel and stride must be > 0");
+  }
+  kaiming_normal(weight_.value, in_channels * kernel * kernel, rng);
+}
+
+core::Tensor Conv2d::forward(const core::Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: expected [N, " + std::to_string(in_channels_) +
+                                ", H, W], got " + input.shape().to_string());
+  }
+  geom_ = core::Conv2dGeometry{
+      .batch = input.dim(0),
+      .in_channels = in_channels_,
+      .in_h = input.dim(2),
+      .in_w = input.dim(3),
+      .kernel = kernel_,
+      .stride = stride_,
+      .padding = padding_,
+  };
+  if (geom_.in_h + 2 * padding_ < kernel_ || geom_.in_w + 2 * padding_ < kernel_) {
+    throw std::invalid_argument("Conv2d::forward: input " + input.shape().to_string() +
+                                " smaller than kernel " + std::to_string(kernel_));
+  }
+  const std::size_t out_h = geom_.out_h();
+  const std::size_t out_w = geom_.out_w();
+  const std::size_t cols = geom_.batch * out_h * out_w;
+  const std::size_t rows = in_channels_ * kernel_ * kernel_;
+
+  cached_columns_ = core::Tensor(core::Shape::matrix(rows, cols));
+  core::im2col(input, geom_, cached_columns_);
+
+  // [oc, cols] = W[oc, rows] @ columns[rows, cols]
+  core::Tensor oc_major(core::Shape::matrix(out_channels_, cols));
+  core::gemm(core::Transpose::kNo, core::Transpose::kNo, out_channels_, cols, rows, 1.0f,
+             weight_.value, cached_columns_, 0.0f, oc_major);
+
+  core::Tensor output(core::Shape::nchw(geom_.batch, out_channels_, out_h, out_w));
+  scatter_oc_major_to_nchw(oc_major, output, geom_.batch, out_channels_, out_h * out_w);
+  if (with_bias_) {
+    float* __restrict y = output.data();
+    const float* __restrict b = bias_.value.data();
+    const std::size_t hw = out_h * out_w;
+    for (std::size_t n = 0; n < geom_.batch; ++n) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        float* __restrict plane = y + (n * out_channels_ + c) * hw;
+        const float bc = b[c];
+        for (std::size_t i = 0; i < hw; ++i) plane[i] += bc;
+      }
+    }
+  }
+  return output;
+}
+
+core::Tensor Conv2d::backward(const core::Tensor& grad_output) {
+  if (!cached_columns_.defined()) {
+    throw std::logic_error("Conv2d::backward called before forward");
+  }
+  const std::size_t out_h = geom_.out_h();
+  const std::size_t out_w = geom_.out_w();
+  const std::size_t hw = out_h * out_w;
+  const std::size_t cols = geom_.batch * hw;
+  const std::size_t rows = in_channels_ * kernel_ * kernel_;
+  if (grad_output.shape() != core::Shape::nchw(geom_.batch, out_channels_, out_h, out_w)) {
+    throw std::invalid_argument("Conv2d::backward: bad grad shape " +
+                                grad_output.shape().to_string());
+  }
+
+  core::Tensor dy_oc_major(core::Shape::matrix(out_channels_, cols));
+  gather_nchw_to_oc_major(grad_output, dy_oc_major, geom_.batch, out_channels_, hw);
+
+  // dW[oc, rows] += dy[oc, cols] @ columns^T[cols, rows]
+  core::gemm(core::Transpose::kNo, core::Transpose::kYes, out_channels_, rows, cols, 1.0f,
+             dy_oc_major, cached_columns_, 1.0f, weight_.grad);
+
+  if (with_bias_) {
+    float* __restrict db = bias_.grad.data();
+    const float* __restrict dy = dy_oc_major.data();
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      double total = 0.0;
+      const float* __restrict row = dy + c * cols;
+      for (std::size_t i = 0; i < cols; ++i) total += row[i];
+      db[c] += static_cast<float>(total);
+    }
+  }
+
+  // dcolumns[rows, cols] = W^T[rows, oc] @ dy[oc, cols]
+  core::Tensor dcolumns(core::Shape::matrix(rows, cols));
+  core::gemm(core::Transpose::kYes, core::Transpose::kNo, rows, cols, out_channels_, 1.0f,
+             weight_.value, dy_oc_major, 0.0f, dcolumns);
+
+  core::Tensor input_grad(
+      core::Shape::nchw(geom_.batch, in_channels_, geom_.in_h, geom_.in_w));
+  core::col2im(dcolumns, geom_, input_grad);
+  return input_grad;
+}
+
+void Conv2d::append_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+std::string Conv2d::kind() const {
+  return "Conv2d(" + std::to_string(in_channels_) + "->" + std::to_string(out_channels_) +
+         ",k" + std::to_string(kernel_) + ",s" + std::to_string(stride_) + ",p" +
+         std::to_string(padding_) + ")";
+}
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,44 @@
+#pragma once
+
+// 2-D convolution over NCHW batches, lowered onto GEMM via im2col.
+//
+// The column matrix for the whole batch is cached between forward and
+// backward (recomputing it would double the im2col cost; at the simulator's
+// scales the memory is negligible).
+
+#include <cstddef>
+
+#include "core/rng.hpp"
+#include "core/tensor_ops.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+class Conv2d final : public Module {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t padding, core::Rng& rng, bool with_bias = true);
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  void append_parameters(std::vector<Parameter*>& out) override;
+  std::string kind() const override;
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  Parameter& weight() { return weight_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  bool with_bias_;
+  Parameter weight_;  ///< [out_c, in_c * k * k] (flattened OIHW)
+  Parameter bias_;    ///< [out_c]
+  core::Conv2dGeometry geom_;
+  core::Tensor cached_columns_;  ///< [in_c*k*k, N*outH*outW]
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,43 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+Dropout::Dropout(float probability, core::Rng& rng)
+    : probability_(probability), rng_(rng.fork(0x5D30C0DEULL)) {
+  if (probability < 0.0f || probability >= 1.0f) {
+    throw std::invalid_argument("Dropout: probability must be in [0, 1)");
+  }
+}
+
+core::Tensor Dropout::forward(const core::Tensor& input) {
+  if (!training_ || probability_ == 0.0f) {
+    cached_mask_ = core::Tensor();  // identity in backward
+    return input;
+  }
+  cached_mask_ = core::Tensor(input.shape());
+  const float keep_scale = 1.0f / (1.0f - probability_);
+  for (float& m : cached_mask_.values()) {
+    m = rng_.uniform() < probability_ ? 0.0f : keep_scale;
+  }
+  core::Tensor output = input.clone();
+  output.mul_(cached_mask_);
+  return output;
+}
+
+core::Tensor Dropout::backward(const core::Tensor& grad_output) {
+  if (!cached_mask_.defined()) return grad_output;
+  if (grad_output.shape() != cached_mask_.shape()) {
+    throw std::invalid_argument("Dropout::backward: bad grad shape");
+  }
+  core::Tensor input_grad = grad_output.clone();
+  input_grad.mul_(cached_mask_);
+  return input_grad;
+}
+
+std::string Dropout::kind() const {
+  return "Dropout(" + std::to_string(probability_) + ")";
+}
+
+}  // namespace fedkemf::nn

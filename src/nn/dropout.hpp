@@ -1,0 +1,27 @@
+#pragma once
+
+// Inverted dropout.  Each instance owns a forked Rng stream so that parallel
+// clients with their own model instances stay deterministic.
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+class Dropout final : public Module {
+ public:
+  Dropout(float probability, core::Rng& rng);
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  std::string kind() const override;
+
+  float probability() const { return probability_; }
+
+ private:
+  float probability_;
+  core::Rng rng_;
+  core::Tensor cached_mask_;  ///< pre-scaled keep mask (0 or 1/(1-p))
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,24 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+core::Tensor Flatten::forward(const core::Tensor& input) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten: expected rank >= 2, got " + input.shape().to_string());
+  }
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped(core::Shape::matrix(batch, input.numel() / batch));
+}
+
+core::Tensor Flatten::backward(const core::Tensor& grad_output) {
+  if (input_shape_.rank() == 0) throw std::logic_error("Flatten::backward before forward");
+  if (grad_output.numel() != input_shape_.numel()) {
+    throw std::invalid_argument("Flatten::backward: bad grad numel");
+  }
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,22 @@
+#pragma once
+
+// Flattens [N, C, H, W] (or [N, D]) into [N, C*H*W] and restores the shape in
+// backward.  Storage is shared (reshape), so this layer is free.
+
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+class Flatten final : public Module {
+ public:
+  Flatten() = default;
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  std::string kind() const override { return "Flatten"; }
+
+ private:
+  core::Shape input_shape_;
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,48 @@
+#pragma once
+
+// Numerical gradient verification.
+//
+// For a model and a scalar loss closure, compares the analytic parameter
+// gradients produced by backward() against central finite differences.  Used
+// by the test suite to certify every layer's backward pass, and exposed in
+// the public API because downstream users adding custom layers want it too.
+
+#include <functional>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+struct GradCheckOptions {
+  double epsilon = 2e-3;        ///< finite-difference half-step
+  double tolerance = 5e-2;      ///< max allowed relative error
+  /// fp32 losses carry ~1e-7 relative noise, so a central difference has
+  /// absolute derivative noise around eps_machine * |L| / epsilon.  Errors
+  /// below this floor are ignored rather than reported as mismatches.
+  double absolute_floor = 2e-3;
+  std::size_t max_entries_per_parameter = 64;  ///< probe at most this many entries
+  bool check_input_gradient = true;
+  /// When set, only parameters for which this returns true are probed.
+  /// Use with nn::GradProbe to check deep BatchNorm+ReLU compositions, whose
+  /// raw weight gradients cannot be measured reliably by finite differences
+  /// (see probe.hpp for why).
+  std::function<bool(const Parameter&)> parameter_filter;
+};
+
+struct GradCheckReport {
+  double max_relative_error = 0.0;
+  double max_absolute_error = 0.0;
+  std::size_t entries_checked = 0;
+  bool passed = false;
+};
+
+/// The loss closure maps model output logits to a LossResult whose grad field
+/// is d loss / d logits.  It must be deterministic (no dropout inside unless
+/// the mask is frozen).
+using LossFn = std::function<LossResult(const core::Tensor& logits)>;
+
+GradCheckReport check_gradients(Module& model, const core::Tensor& input,
+                                const LossFn& loss, const GradCheckOptions& options = {});
+
+}  // namespace fedkemf::nn

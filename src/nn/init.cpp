@@ -1,0 +1,21 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+void kaiming_normal(core::Tensor& weight, std::size_t fan_in, core::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("kaiming_normal: fan_in must be > 0");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& v : weight.values()) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void xavier_uniform(core::Tensor& weight, std::size_t fan_in, std::size_t fan_out,
+                    core::Rng& rng) {
+  if (fan_in + fan_out == 0) throw std::invalid_argument("xavier_uniform: zero fan");
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : weight.values()) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+}  // namespace fedkemf::nn

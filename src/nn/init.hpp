@@ -1,0 +1,21 @@
+#pragma once
+
+// Weight initializers.  Builders pass the client's deterministic Rng stream,
+// so two clients constructing "the same" model still start from different,
+// reproducible weights.
+
+#include <cstddef>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace fedkemf::nn {
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)). Standard for ReLU networks.
+void kaiming_normal(core::Tensor& weight, std::size_t fan_in, core::Rng& rng);
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(core::Tensor& weight, std::size_t fan_in, std::size_t fan_out,
+                    core::Rng& rng);
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,73 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "core/tensor_ops.hpp"
+#include "nn/init.hpp"
+
+namespace fedkemf::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, core::Rng& rng,
+               bool with_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      with_bias_(with_bias),
+      weight_("weight", core::Tensor(core::Shape::matrix(out_features, in_features))),
+      bias_("bias", core::Tensor::zeros(core::Shape::vector(with_bias ? out_features : 0))) {
+  kaiming_normal(weight_.value, in_features, rng);
+}
+
+core::Tensor Linear::forward(const core::Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != in_features_) {
+    throw std::invalid_argument("Linear::forward: expected [N, " + std::to_string(in_features_) +
+                                "], got " + input.shape().to_string());
+  }
+  cached_input_ = input;
+  // y[N, out] = x[N, in] @ W^T[in, out]
+  core::Tensor output = core::matmul(input, weight_.value, core::Transpose::kNo,
+                                     core::Transpose::kYes);
+  if (with_bias_) {
+    const std::size_t batch = output.dim(0);
+    float* __restrict y = output.data();
+    const float* __restrict b = bias_.value.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t o = 0; o < out_features_; ++o) y[n * out_features_ + o] += b[o];
+    }
+  }
+  return output;
+}
+
+core::Tensor Linear::backward(const core::Tensor& grad_output) {
+  if (!cached_input_.defined()) {
+    throw std::logic_error("Linear::backward called before forward");
+  }
+  if (grad_output.rank() != 2 || grad_output.dim(1) != out_features_ ||
+      grad_output.dim(0) != cached_input_.dim(0)) {
+    throw std::invalid_argument("Linear::backward: bad grad shape " +
+                                grad_output.shape().to_string());
+  }
+  // dW[out, in] += dy^T[out, N] @ x[N, in]
+  core::gemm(core::Transpose::kYes, core::Transpose::kNo, out_features_, in_features_,
+             grad_output.dim(0), 1.0f, grad_output, cached_input_, 1.0f, weight_.grad);
+  if (with_bias_) {
+    const std::size_t batch = grad_output.dim(0);
+    float* __restrict db = bias_.grad.data();
+    const float* __restrict dy = grad_output.data();
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t o = 0; o < out_features_; ++o) db[o] += dy[n * out_features_ + o];
+    }
+  }
+  // dx[N, in] = dy[N, out] @ W[out, in]
+  return core::matmul(grad_output, weight_.value);
+}
+
+void Linear::append_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (with_bias_) out.push_back(&bias_);
+}
+
+std::string Linear::kind() const {
+  return "Linear(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) + ")";
+}
+
+}  // namespace fedkemf::nn

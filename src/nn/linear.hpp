@@ -1,0 +1,36 @@
+#pragma once
+
+// Fully-connected layer: y = x W^T + b with x of shape [N, in_features].
+
+#include <cstddef>
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+class Linear final : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, core::Rng& rng,
+         bool with_bias = true);
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  void append_parameters(std::vector<Parameter*>& out) override;
+  std::string kind() const override;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  bool with_bias_;
+  Parameter weight_;  ///< [out, in]
+  Parameter bias_;    ///< [out]
+  core::Tensor cached_input_;
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,148 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/tensor_ops.hpp"
+
+namespace fedkemf::nn {
+namespace {
+
+void check_logits(const core::Tensor& logits, const char* who) {
+  if (logits.rank() != 2 || logits.dim(0) == 0 || logits.dim(1) == 0) {
+    throw std::invalid_argument(std::string(who) + ": expected non-empty [N, C] logits, got " +
+                                logits.shape().to_string());
+  }
+}
+
+}  // namespace
+
+LossResult SoftmaxCrossEntropy::compute(const core::Tensor& logits,
+                                        std::span<const std::size_t> labels) const {
+  check_logits(logits, "SoftmaxCrossEntropy");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  core::Tensor log_probs = core::log_softmax_rows(logits);
+  LossResult result;
+  result.grad = core::Tensor(logits.shape());
+  double total = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    if (labels[n] >= classes) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    const float* __restrict lp = log_probs.data() + n * classes;
+    float* __restrict g = result.grad.data() + n * classes;
+    total -= lp[labels[n]];
+    for (std::size_t c = 0; c < classes; ++c) {
+      g[c] = std::exp(lp[c]) * inv_batch;  // softmax / N
+    }
+    g[labels[n]] -= inv_batch;
+  }
+  result.value = static_cast<float>(total / static_cast<double>(batch));
+  return result;
+}
+
+float SoftmaxCrossEntropy::value(const core::Tensor& logits,
+                                 std::span<const std::size_t> labels) const {
+  check_logits(logits, "SoftmaxCrossEntropy");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  core::Tensor log_probs = core::log_softmax_rows(logits);
+  double total = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    if (labels[n] >= classes) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    total -= log_probs.data()[n * classes + labels[n]];
+  }
+  return static_cast<float>(total / static_cast<double>(batch));
+}
+
+DistillationKl::DistillationKl(float temperature) : temperature_(temperature) {
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("DistillationKl: temperature must be > 0");
+  }
+}
+
+LossResult DistillationKl::compute(const core::Tensor& student_logits,
+                                   const core::Tensor& teacher_logits) const {
+  check_logits(student_logits, "DistillationKl");
+  if (student_logits.shape() != teacher_logits.shape()) {
+    throw std::invalid_argument("DistillationKl: student/teacher shape mismatch " +
+                                student_logits.shape().to_string() + " vs " +
+                                teacher_logits.shape().to_string());
+  }
+  const std::size_t batch = student_logits.dim(0);
+  const std::size_t classes = student_logits.dim(1);
+  const float inv_t = 1.0f / temperature_;
+
+  core::Tensor student_scaled = student_logits.scaled(inv_t);
+  core::Tensor teacher_scaled = teacher_logits.scaled(inv_t);
+  core::Tensor student_logp = core::log_softmax_rows(student_scaled);
+  core::Tensor teacher_logp = core::log_softmax_rows(teacher_scaled);
+
+  LossResult result;
+  result.grad = core::Tensor(student_logits.shape());
+  double total = 0.0;
+  // d/dz_s [T^2 * mean_n KL(p_t || p_s)] = (T / N) * (p_s - p_t)
+  const float grad_scale = temperature_ / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* __restrict slp = student_logp.data() + n * classes;
+    const float* __restrict tlp = teacher_logp.data() + n * classes;
+    float* __restrict g = result.grad.data() + n * classes;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float pt = std::exp(tlp[c]);
+      const float ps = std::exp(slp[c]);
+      total += static_cast<double>(pt) * (tlp[c] - slp[c]);
+      g[c] = grad_scale * (ps - pt);
+    }
+  }
+  result.value = static_cast<float>(total / static_cast<double>(batch)) *
+                 temperature_ * temperature_;
+  return result;
+}
+
+float DistillationKl::value(const core::Tensor& student_logits,
+                            const core::Tensor& teacher_logits) const {
+  check_logits(student_logits, "DistillationKl");
+  if (student_logits.shape() != teacher_logits.shape()) {
+    throw std::invalid_argument("DistillationKl: student/teacher shape mismatch");
+  }
+  const std::size_t batch = student_logits.dim(0);
+  const std::size_t classes = student_logits.dim(1);
+  const float inv_t = 1.0f / temperature_;
+  core::Tensor student_logp = core::log_softmax_rows(student_logits.scaled(inv_t));
+  core::Tensor teacher_logp = core::log_softmax_rows(teacher_logits.scaled(inv_t));
+  double total = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* __restrict slp = student_logp.data() + n * classes;
+    const float* __restrict tlp = teacher_logp.data() + n * classes;
+    for (std::size_t c = 0; c < classes; ++c) {
+      total += static_cast<double>(std::exp(tlp[c])) * (tlp[c] - slp[c]);
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(batch)) * temperature_ * temperature_;
+}
+
+double accuracy(const core::Tensor& logits, std::span<const std::size_t> labels) {
+  check_logits(logits, "accuracy");
+  const std::size_t batch = logits.dim(0);
+  if (labels.size() != batch) throw std::invalid_argument("accuracy: label count mismatch");
+  std::vector<std::size_t> predicted(batch);
+  core::argmax_rows(logits, predicted.data());
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    if (predicted[n] == labels[n]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace fedkemf::nn

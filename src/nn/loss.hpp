@@ -1,0 +1,60 @@
+#pragma once
+
+// Loss functions.  Each returns the scalar loss (mean over the batch) plus
+// the gradient with respect to the logits, which is what the layer-wise
+// backward pass consumes.
+//
+// Paper mapping:
+//  * SoftmaxCrossEntropy          — Eq. (1), the supervised term L_c.
+//  * DistillationKl               — Eq. (2)/(4), D_KL(teacher || student),
+//    used both for deep mutual learning on the client (temperature 1) and for
+//    server-side ensemble distillation (softened by temperature > 1).
+
+#include <cstddef>
+#include <span>
+
+#include "core/tensor.hpp"
+
+namespace fedkemf::nn {
+
+struct LossResult {
+  float value = 0.0f;       ///< mean loss over the batch
+  core::Tensor grad;        ///< d loss / d logits, shape [N, C]
+};
+
+/// Mean softmax cross-entropy with integer class labels.
+class SoftmaxCrossEntropy {
+ public:
+  LossResult compute(const core::Tensor& logits, std::span<const std::size_t> labels) const;
+
+  /// Loss value only (no gradient allocation) — used by evaluation loops.
+  float value(const core::Tensor& logits, std::span<const std::size_t> labels) const;
+};
+
+/// Forward KL divergence D_KL(p_teacher || p_student) on softened logits.
+///
+/// The teacher distribution is treated as a constant (the DML update of
+/// Zhang et al. 2018 and the FedKEMF server distillation both detach the
+/// teacher).  Loss is scaled by temperature^2 per the standard KD convention
+/// so gradient magnitudes stay comparable across temperatures.
+class DistillationKl {
+ public:
+  explicit DistillationKl(float temperature = 1.0f);
+
+  /// Gradient is with respect to `student_logits`.
+  LossResult compute(const core::Tensor& student_logits,
+                     const core::Tensor& teacher_logits) const;
+
+  /// KL value only.
+  float value(const core::Tensor& student_logits, const core::Tensor& teacher_logits) const;
+
+  float temperature() const { return temperature_; }
+
+ private:
+  float temperature_;
+};
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const core::Tensor& logits, std::span<const std::size_t> labels);
+
+}  // namespace fedkemf::nn

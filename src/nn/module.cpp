@@ -1,0 +1,140 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  append_parameters(out);
+  return out;
+}
+
+std::vector<Buffer*> Module::buffers() {
+  std::vector<Buffer*> out;
+  append_buffers(out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->grad.zero();
+}
+
+std::size_t Module::parameter_count() {
+  std::size_t total = 0;
+  for (Parameter* p : parameters()) total += p->value.numel();
+  return total;
+}
+
+core::Tensor Sequential::forward(const core::Tensor& input) {
+  core::Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+core::Tensor Sequential::backward(const core::Tensor& grad_output) {
+  core::Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::append_parameters(std::vector<Parameter*>& out) {
+  for (auto& layer : layers_) layer->append_parameters(out);
+}
+
+void Sequential::append_buffers(std::vector<Buffer*>& out) {
+  for (auto& layer : layers_) layer->append_buffers(out);
+}
+
+void Sequential::set_training(bool training) {
+  training_ = training;
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+std::string Sequential::kind() const {
+  std::string out = "Sequential(";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += layers_[i]->kind();
+  }
+  out += ")";
+  return out;
+}
+
+void copy_state(Module& src, Module& dst) {
+  auto src_params = src.parameters();
+  auto dst_params = dst.parameters();
+  if (src_params.size() != dst_params.size()) {
+    throw std::invalid_argument("copy_state: parameter count mismatch");
+  }
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    if (src_params[i]->value.shape() != dst_params[i]->value.shape()) {
+      throw std::invalid_argument("copy_state: parameter shape mismatch at index " +
+                                  std::to_string(i));
+    }
+    dst_params[i]->value = src_params[i]->value.clone();
+    dst_params[i]->grad = core::Tensor::zeros(dst_params[i]->value.shape());
+  }
+  auto src_buffers = src.buffers();
+  auto dst_buffers = dst.buffers();
+  if (src_buffers.size() != dst_buffers.size()) {
+    throw std::invalid_argument("copy_state: buffer count mismatch");
+  }
+  for (std::size_t i = 0; i < src_buffers.size(); ++i) {
+    if (src_buffers[i]->value.shape() != dst_buffers[i]->value.shape()) {
+      throw std::invalid_argument("copy_state: buffer shape mismatch at index " +
+                                  std::to_string(i));
+    }
+    dst_buffers[i]->value = src_buffers[i]->value.clone();
+  }
+}
+
+std::vector<core::Tensor> snapshot_state(Module& model) {
+  std::vector<core::Tensor> state;
+  for (Parameter* p : model.parameters()) state.push_back(p->value.clone());
+  for (Buffer* b : model.buffers()) state.push_back(b->value.clone());
+  return state;
+}
+
+void restore_state(Module& model, const std::vector<core::Tensor>& state) {
+  auto params = model.parameters();
+  auto buffers = model.buffers();
+  if (state.size() != params.size() + buffers.size()) {
+    throw std::invalid_argument("restore_state: state size mismatch (" +
+                                std::to_string(state.size()) + " vs " +
+                                std::to_string(params.size() + buffers.size()) + ")");
+  }
+  std::size_t idx = 0;
+  for (Parameter* p : params) {
+    if (state[idx].shape() != p->value.shape()) {
+      throw std::invalid_argument("restore_state: shape mismatch at index " + std::to_string(idx));
+    }
+    p->value = state[idx++].clone();
+  }
+  for (Buffer* b : buffers) {
+    if (state[idx].shape() != b->value.shape()) {
+      throw std::invalid_argument("restore_state: shape mismatch at index " + std::to_string(idx));
+    }
+    b->value = state[idx++].clone();
+  }
+}
+
+void accumulate_state(Module& src, std::vector<core::Tensor>& accumulator, float scale) {
+  auto params = src.parameters();
+  auto buffers = src.buffers();
+  if (accumulator.size() != params.size() + buffers.size()) {
+    throw std::invalid_argument("accumulate_state: accumulator size mismatch");
+  }
+  std::size_t idx = 0;
+  for (Parameter* p : params) accumulator[idx++].add_scaled_(p->value, scale);
+  for (Buffer* b : buffers) accumulator[idx++].add_scaled_(b->value, scale);
+}
+
+std::size_t state_numel(Module& model) {
+  std::size_t total = 0;
+  for (Parameter* p : model.parameters()) total += p->value.numel();
+  for (Buffer* b : model.buffers()) total += b->value.numel();
+  return total;
+}
+
+}  // namespace fedkemf::nn

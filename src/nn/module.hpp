@@ -1,0 +1,138 @@
+#pragma once
+
+// Layer-wise neural-network module system.
+//
+// Every model in this codebase is a static graph, so instead of a tape-based
+// autograd we use explicit per-layer forward/backward: each Module caches
+// whatever it needs during forward() and consumes it in backward().  This is
+// deterministic, allocation-friendly, and directly gradient-checkable (see
+// nn/grad_check.hpp).  The trade-off — you must call backward() in exact
+// reverse order of forward() — is enforced structurally by Sequential and the
+// residual blocks, which own the ordering.
+//
+// Contract:
+//  * forward(x) returns the layer output and caches activations;
+//  * backward(dy) consumes the cache, ACCUMULATES into parameter .grad, and
+//    returns dx;
+//  * a second backward() without an intervening forward() is a logic error
+//    (layers may throw or return garbage — don't do it);
+//  * parameters() / buffers() enumerate state in a deterministic order that
+//    is identical across instances of the same architecture, which is what
+//    the FL weight exchange relies on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace fedkemf::nn {
+
+/// A learnable tensor and its gradient accumulator.
+struct Parameter {
+  std::string name;     ///< layer-local name, e.g. "weight"
+  core::Tensor value;
+  core::Tensor grad;    ///< same shape as value, zeroed by zero_grad()
+
+  Parameter() = default;
+  Parameter(std::string n, core::Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(core::Tensor::zeros(value.shape())) {}
+};
+
+/// Non-learnable state that still travels with the model (BN running stats).
+struct Buffer {
+  std::string name;
+  core::Tensor value;
+
+  Buffer() = default;
+  Buffer(std::string n, core::Tensor v) : name(std::move(n)), value(std::move(v)) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the layer output; caches activations needed by backward().
+  virtual core::Tensor forward(const core::Tensor& input) = 0;
+
+  /// Propagates `grad_output`, accumulating parameter gradients; returns the
+  /// gradient with respect to the forward input.
+  virtual core::Tensor backward(const core::Tensor& grad_output) = 0;
+
+  /// Appends this module's (and children's) parameters in deterministic order.
+  virtual void append_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  /// Appends this module's (and children's) buffers in deterministic order.
+  virtual void append_buffers(std::vector<Buffer*>& out) { (void)out; }
+
+  /// Recursive train/eval switch (affects BatchNorm statistics, Dropout).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Human-readable layer kind, e.g. "Conv2d(16->32,k3,s2)".
+  virtual std::string kind() const = 0;
+
+  // ---- Convenience wrappers ----
+  std::vector<Parameter*> parameters();
+  std::vector<Buffer*> buffers();
+  void zero_grad();
+  std::size_t parameter_count();
+
+ protected:
+  Module() = default;
+  bool training_ = true;
+};
+
+/// Ordered chain of sub-modules.
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a raw observer pointer for tests/introspection.
+  template <typename M, typename... Args>
+  M* emplace(Args&&... args) {
+    auto layer = std::make_unique<M>(std::forward<Args>(args)...);
+    M* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void append(std::unique_ptr<Module> layer) { layers_.push_back(std::move(layer)); }
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  void append_parameters(std::vector<Parameter*>& out) override;
+  void append_buffers(std::vector<Buffer*>& out) override;
+  void set_training(bool training) override;
+  std::string kind() const override;
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+// ---- Whole-model state helpers (used by the FL weight exchange) ----
+
+/// Copies all parameter values and buffers from `src` into `dst`.
+/// Both must have identical architectures; throws on shape mismatch.
+void copy_state(Module& src, Module& dst);
+
+/// Returns deep copies of all state tensors (parameters then buffers).
+std::vector<core::Tensor> snapshot_state(Module& model);
+
+/// Loads tensors produced by snapshot_state back into `model`.
+void restore_state(Module& model, const std::vector<core::Tensor>& state);
+
+/// dst_k += scale * src_k for every state tensor (weight-space arithmetic
+/// used by FedAvg-style aggregation).
+void accumulate_state(Module& src, std::vector<core::Tensor>& accumulator, float scale);
+
+/// Total number of scalar values in parameters + buffers.
+std::size_t state_numel(Module& model);
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,172 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_("gamma", core::Tensor::ones(core::Shape::vector(channels))),
+      beta_("beta", core::Tensor::zeros(core::Shape::vector(channels))),
+      running_mean_("running_mean", core::Tensor::zeros(core::Shape::vector(channels))),
+      running_var_("running_var", core::Tensor::ones(core::Shape::vector(channels))) {}
+
+core::Tensor BatchNorm2d::forward(const core::Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d::forward: expected [N, " +
+                                std::to_string(channels_) + ", H, W], got " +
+                                input.shape().to_string());
+  }
+  const std::size_t batch = input.dim(0);
+  const std::size_t hw = input.dim(2) * input.dim(3);
+  const std::size_t count = batch * hw;
+  cached_shape_ = input.shape();
+  cached_training_ = training_;
+
+  core::Tensor output(input.shape());
+  const float* __restrict x = input.data();
+  float* __restrict y = output.data();
+  const float* __restrict g = gamma_.value.data();
+  const float* __restrict b = beta_.value.data();
+
+  if (training_) {
+    cached_normalized_ = core::Tensor(input.shape());
+    cached_inv_std_ = core::Tensor(core::Shape::vector(channels_));
+    float* __restrict x_hat = cached_normalized_.data();
+    float* __restrict rm = running_mean_.value.data();
+    float* __restrict rv = running_var_.value.data();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      double sq_sum = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* __restrict plane = x + (n * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          sum += plane[i];
+          sq_sum += static_cast<double>(plane[i]) * plane[i];
+        }
+      }
+      const double mean = sum / static_cast<double>(count);
+      const double var = sq_sum / static_cast<double>(count) - mean * mean;
+      const double safe_var = var > 0.0 ? var : 0.0;
+      const float inv_std = static_cast<float>(1.0 / std::sqrt(safe_var + epsilon_));
+      cached_inv_std_[c] = inv_std;
+      // Unbiased variance for the running buffer (PyTorch convention).
+      const double unbiased =
+          count > 1 ? safe_var * static_cast<double>(count) / static_cast<double>(count - 1)
+                    : safe_var;
+      rm[c] = (1.0f - momentum_) * rm[c] + momentum_ * static_cast<float>(mean);
+      rv[c] = (1.0f - momentum_) * rv[c] + momentum_ * static_cast<float>(unbiased);
+      const float mean_f = static_cast<float>(mean);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* __restrict plane = x + (n * channels_ + c) * hw;
+        float* __restrict out = y + (n * channels_ + c) * hw;
+        float* __restrict hat = x_hat + (n * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          hat[i] = (plane[i] - mean_f) * inv_std;
+          out[i] = g[c] * hat[i] + b[c];
+        }
+      }
+    }
+  } else {
+    const float* __restrict rm = running_mean_.value.data();
+    const float* __restrict rv = running_var_.value.data();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(rv[c] + epsilon_);
+      const float scale = g[c] * inv_std;
+      const float shift = b[c] - rm[c] * scale;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* __restrict plane = x + (n * channels_ + c) * hw;
+        float* __restrict out = y + (n * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) out[i] = scale * plane[i] + shift;
+      }
+    }
+  }
+  return output;
+}
+
+core::Tensor BatchNorm2d::backward(const core::Tensor& grad_output) {
+  if (grad_output.shape() != cached_shape_) {
+    throw std::invalid_argument("BatchNorm2d::backward: bad grad shape " +
+                                grad_output.shape().to_string());
+  }
+  if (!cached_training_) {
+    // Eval-mode backward (used by the server distillation when the student is
+    // frozen-stats): dx = dy * gamma * inv_std with running statistics.
+    core::Tensor input_grad(cached_shape_);
+    const std::size_t batch = cached_shape_[0];
+    const std::size_t hw = cached_shape_[2] * cached_shape_[3];
+    const float* __restrict dy = grad_output.data();
+    float* __restrict dx = input_grad.data();
+    const float* __restrict g = gamma_.value.data();
+    const float* __restrict rv = running_var_.value.data();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float scale = g[c] / std::sqrt(rv[c] + epsilon_);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* __restrict in = dy + (n * channels_ + c) * hw;
+        float* __restrict out = dx + (n * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) out[i] = scale * in[i];
+      }
+    }
+    return input_grad;
+  }
+  if (!cached_normalized_.defined()) {
+    throw std::logic_error("BatchNorm2d::backward called before forward");
+  }
+  const std::size_t batch = cached_shape_[0];
+  const std::size_t hw = cached_shape_[2] * cached_shape_[3];
+  const std::size_t count = batch * hw;
+  core::Tensor input_grad(cached_shape_);
+  const float* __restrict dy = grad_output.data();
+  const float* __restrict x_hat = cached_normalized_.data();
+  float* __restrict dx = input_grad.data();
+  float* __restrict dg = gamma_.grad.data();
+  float* __restrict db = beta_.grad.data();
+  const float* __restrict g = gamma_.value.data();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* __restrict dyp = dy + (n * channels_ + c) * hw;
+      const float* __restrict hp = x_hat + (n * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_dy += dyp[i];
+        sum_dy_xhat += static_cast<double>(dyp[i]) * hp[i];
+      }
+    }
+    dg[c] += static_cast<float>(sum_dy_xhat);
+    db[c] += static_cast<float>(sum_dy);
+    const float inv_std = cached_inv_std_[c];
+    const float k = g[c] * inv_std / static_cast<float>(count);
+    const float mean_dy = static_cast<float>(sum_dy);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat);
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* __restrict dyp = dy + (n * channels_ + c) * hw;
+      const float* __restrict hp = x_hat + (n * channels_ + c) * hw;
+      float* __restrict dxp = dx + (n * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        dxp[i] = k * (static_cast<float>(count) * dyp[i] - mean_dy - hp[i] * mean_dy_xhat);
+      }
+    }
+  }
+  return input_grad;
+}
+
+void BatchNorm2d::append_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::append_buffers(std::vector<Buffer*>& out) {
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
+std::string BatchNorm2d::kind() const {
+  return "BatchNorm2d(" + std::to_string(channels_) + ")";
+}
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,46 @@
+#pragma once
+
+// Batch normalization over NCHW activations (per-channel statistics).
+//
+// Training mode normalizes with batch statistics and updates the running
+// mean/variance buffers (exponential moving average); eval mode normalizes
+// with the running buffers.  The running stats are Buffers, so they are part
+// of the state the FL algorithms exchange and average.
+
+#include <cstddef>
+
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f, float epsilon = 1e-5f);
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  void append_parameters(std::vector<Parameter*>& out) override;
+  void append_buffers(std::vector<Buffer*>& out) override;
+  std::string kind() const override;
+
+  std::size_t channels() const { return channels_; }
+  Buffer& running_mean() { return running_mean_; }
+  Buffer& running_var() { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float epsilon_;
+  Parameter gamma_;  ///< scale, init 1
+  Parameter beta_;   ///< shift, init 0
+  Buffer running_mean_;
+  Buffer running_var_;
+
+  // Forward cache (training mode).
+  core::Tensor cached_normalized_;  ///< x_hat
+  core::Tensor cached_inv_std_;     ///< [C]
+  core::Shape cached_shape_;
+  bool cached_training_ = false;
+};
+
+}  // namespace fedkemf::nn

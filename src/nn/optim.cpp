@@ -1,0 +1,77 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+Sgd::Sgd(std::vector<Parameter*> parameters, SgdOptions options)
+    : parameters_(std::move(parameters)), options_(options) {
+  if (options_.learning_rate <= 0.0) {
+    throw std::invalid_argument("Sgd: learning_rate must be > 0");
+  }
+  if (options_.momentum < 0.0 || options_.momentum >= 1.0) {
+    throw std::invalid_argument("Sgd: momentum must be in [0, 1)");
+  }
+  if (options_.nesterov && options_.momentum == 0.0) {
+    throw std::invalid_argument("Sgd: nesterov requires momentum > 0");
+  }
+  if (options_.momentum > 0.0) {
+    momentum_buffers_.reserve(parameters_.size());
+    for (Parameter* p : parameters_) {
+      momentum_buffers_.push_back(core::Tensor::zeros(p->value.shape()));
+    }
+  }
+}
+
+void Sgd::step() {
+  if (options_.clip_norm > 0.0) {
+    double squared = 0.0;
+    for (Parameter* p : parameters_) squared += static_cast<double>(p->grad.squared_norm());
+    const double norm = std::sqrt(squared);
+    if (norm > options_.clip_norm) {
+      const float scale = static_cast<float>(options_.clip_norm / norm);
+      for (Parameter* p : parameters_) p->grad.scale_(scale);
+    }
+  }
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float wd = static_cast<float>(options_.weight_decay);
+  const float mu = static_cast<float>(options_.momentum);
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    Parameter* p = parameters_[i];
+    float* __restrict w = p->value.data();
+    float* __restrict g = p->grad.data();
+    const std::size_t n = p->value.numel();
+    if (wd != 0.0f) {
+      for (std::size_t j = 0; j < n; ++j) g[j] += wd * w[j];
+    }
+    if (mu != 0.0f) {
+      float* __restrict v = momentum_buffers_[i].data();
+      if (options_.nesterov) {
+        for (std::size_t j = 0; j < n; ++j) {
+          v[j] = mu * v[j] + g[j];
+          w[j] -= lr * (g[j] + mu * v[j]);
+        }
+      } else {
+        for (std::size_t j = 0; j < n; ++j) {
+          v[j] = mu * v[j] + g[j];
+          w[j] -= lr * v[j];
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) w[j] -= lr * g[j];
+    }
+  }
+  ++steps_;
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : parameters_) p->grad.zero();
+}
+
+double StepLrSchedule::at(std::size_t round) const {
+  if (step_size_ == 0) return initial_lr_;
+  return initial_lr_ * std::pow(gamma_, static_cast<double>(round / step_size_));
+}
+
+}  // namespace fedkemf::nn

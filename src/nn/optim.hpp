@@ -1,0 +1,66 @@
+#pragma once
+
+// Stochastic gradient descent with momentum / Nesterov / weight decay.
+//
+// FL algorithms that modify the update rule do so by editing parameter
+// gradients *before* step() (FedProx adds the proximal pull, SCAFFOLD adds
+// control-variate corrections); the optimizer itself stays algorithm-neutral.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+struct SgdOptions {
+  double learning_rate = 0.01;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  bool nesterov = false;
+  /// Global gradient-norm clipping applied before each step (0 = disabled).
+  /// Needed by deep mutual learning on normalization-free architectures,
+  /// where the KL term between two sharp random networks produces gradients
+  /// orders of magnitude above the CE scale.
+  double clip_norm = 0.0;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> parameters, SgdOptions options);
+
+  /// Applies one update from the accumulated gradients.
+  void step();
+
+  void zero_grad();
+
+  double learning_rate() const { return options_.learning_rate; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+  /// Number of step() calls so far (FedNova needs the local step count).
+  std::size_t steps_taken() const { return steps_; }
+
+  const std::vector<Parameter*>& parameters() const { return parameters_; }
+
+ private:
+  std::vector<Parameter*> parameters_;
+  SgdOptions options_;
+  std::vector<core::Tensor> momentum_buffers_;
+  std::size_t steps_ = 0;
+};
+
+/// Multiplicative step decay: lr = initial * gamma^(floor(round / step_size)).
+class StepLrSchedule {
+ public:
+  StepLrSchedule(double initial_lr, std::size_t step_size, double gamma)
+      : initial_lr_(initial_lr), step_size_(step_size), gamma_(gamma) {}
+
+  [[nodiscard]] double at(std::size_t round) const;
+
+ private:
+  double initial_lr_;
+  std::size_t step_size_;
+  double gamma_;
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,206 @@
+#include "nn/pooling.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::nn {
+namespace {
+
+void check_poolable(const core::Tensor& input, std::size_t kernel, const char* who) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument(std::string(who) + ": expected NCHW input, got " +
+                                input.shape().to_string());
+  }
+  if (input.dim(2) < kernel || input.dim(3) < kernel) {
+    throw std::invalid_argument(std::string(who) + ": input " + input.shape().to_string() +
+                                " smaller than window " + std::to_string(kernel));
+  }
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  if (kernel == 0 || stride == 0) throw std::invalid_argument("MaxPool2d: zero kernel/stride");
+}
+
+core::Tensor MaxPool2d::forward(const core::Tensor& input) {
+  check_poolable(input, kernel_, "MaxPool2d");
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = input.dim(1);
+  const std::size_t in_h = input.dim(2);
+  const std::size_t in_w = input.dim(3);
+  const std::size_t out_h = (in_h - kernel_) / stride_ + 1;
+  const std::size_t out_w = (in_w - kernel_) / stride_ + 1;
+
+  core::Tensor output(core::Shape::nchw(batch, channels, out_h, out_w));
+  argmax_.assign(output.numel(), 0);
+  const float* __restrict x = input.data();
+  float* __restrict y = output.data();
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* __restrict plane = x + (n * channels + c) * in_h * in_w;
+      const std::size_t plane_off = (n * channels + c) * in_h * in_w;
+      for (std::size_t oh = 0; oh < out_h; ++oh) {
+        for (std::size_t ow = 0; ow < out_w; ++ow) {
+          const std::size_t h0 = oh * stride_;
+          const std::size_t w0 = ow * stride_;
+          float best = plane[h0 * in_w + w0];
+          std::size_t best_idx = h0 * in_w + w0;
+          for (std::size_t kh = 0; kh < kernel_; ++kh) {
+            for (std::size_t kw = 0; kw < kernel_; ++kw) {
+              const std::size_t idx = (h0 + kh) * in_w + (w0 + kw);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[out_idx] = best;
+          argmax_[out_idx] = plane_off + best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+core::Tensor MaxPool2d::backward(const core::Tensor& grad_output) {
+  if (argmax_.size() != grad_output.numel()) {
+    throw std::logic_error("MaxPool2d::backward: cache/grad mismatch (backward before forward?)");
+  }
+  core::Tensor input_grad = core::Tensor::zeros(input_shape_);
+  float* __restrict dx = input_grad.data();
+  const float* __restrict dy = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) dx[argmax_[i]] += dy[i];
+  return input_grad;
+}
+
+std::string MaxPool2d::kind() const {
+  return "MaxPool2d(k" + std::to_string(kernel_) + ",s" + std::to_string(stride_) + ")";
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  if (kernel == 0 || stride == 0) throw std::invalid_argument("AvgPool2d: zero kernel/stride");
+}
+
+core::Tensor AvgPool2d::forward(const core::Tensor& input) {
+  check_poolable(input, kernel_, "AvgPool2d");
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = input.dim(1);
+  const std::size_t in_h = input.dim(2);
+  const std::size_t in_w = input.dim(3);
+  const std::size_t out_h = (in_h - kernel_) / stride_ + 1;
+  const std::size_t out_w = (in_w - kernel_) / stride_ + 1;
+  const float inv_area = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  core::Tensor output(core::Shape::nchw(batch, channels, out_h, out_w));
+  const float* __restrict x = input.data();
+  float* __restrict y = output.data();
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* __restrict plane = x + (n * channels + c) * in_h * in_w;
+      for (std::size_t oh = 0; oh < out_h; ++oh) {
+        for (std::size_t ow = 0; ow < out_w; ++ow) {
+          float total = 0.0f;
+          for (std::size_t kh = 0; kh < kernel_; ++kh) {
+            for (std::size_t kw = 0; kw < kernel_; ++kw) {
+              total += plane[(oh * stride_ + kh) * in_w + (ow * stride_ + kw)];
+            }
+          }
+          y[out_idx++] = total * inv_area;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+core::Tensor AvgPool2d::backward(const core::Tensor& grad_output) {
+  if (input_shape_.rank() != 4) {
+    throw std::logic_error("AvgPool2d::backward called before forward");
+  }
+  const std::size_t batch = input_shape_[0];
+  const std::size_t channels = input_shape_[1];
+  const std::size_t in_h = input_shape_[2];
+  const std::size_t in_w = input_shape_[3];
+  const std::size_t out_h = (in_h - kernel_) / stride_ + 1;
+  const std::size_t out_w = (in_w - kernel_) / stride_ + 1;
+  if (grad_output.shape() != core::Shape::nchw(batch, channels, out_h, out_w)) {
+    throw std::invalid_argument("AvgPool2d::backward: bad grad shape");
+  }
+  const float inv_area = 1.0f / static_cast<float>(kernel_ * kernel_);
+  core::Tensor input_grad = core::Tensor::zeros(input_shape_);
+  float* __restrict dx = input_grad.data();
+  const float* __restrict dy = grad_output.data();
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      float* __restrict plane = dx + (n * channels + c) * in_h * in_w;
+      for (std::size_t oh = 0; oh < out_h; ++oh) {
+        for (std::size_t ow = 0; ow < out_w; ++ow) {
+          const float g = dy[out_idx++] * inv_area;
+          for (std::size_t kh = 0; kh < kernel_; ++kh) {
+            for (std::size_t kw = 0; kw < kernel_; ++kw) {
+              plane[(oh * stride_ + kh) * in_w + (ow * stride_ + kw)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return input_grad;
+}
+
+std::string AvgPool2d::kind() const {
+  return "AvgPool2d(k" + std::to_string(kernel_) + ",s" + std::to_string(stride_) + ")";
+}
+
+core::Tensor GlobalAvgPool::forward(const core::Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("GlobalAvgPool: expected NCHW, got " + input.shape().to_string());
+  }
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = input.dim(1);
+  const std::size_t hw = input.dim(2) * input.dim(3);
+  core::Tensor output(core::Shape::nchw(batch, channels, 1, 1));
+  const float* __restrict x = input.data();
+  float* __restrict y = output.data();
+  for (std::size_t nc = 0; nc < batch * channels; ++nc) {
+    double total = 0.0;
+    const float* __restrict plane = x + nc * hw;
+    for (std::size_t i = 0; i < hw; ++i) total += plane[i];
+    y[nc] = static_cast<float>(total / static_cast<double>(hw));
+  }
+  return output;
+}
+
+core::Tensor GlobalAvgPool::backward(const core::Tensor& grad_output) {
+  if (input_shape_.rank() != 4) {
+    throw std::logic_error("GlobalAvgPool::backward called before forward");
+  }
+  const std::size_t batch = input_shape_[0];
+  const std::size_t channels = input_shape_[1];
+  const std::size_t hw = input_shape_[2] * input_shape_[3];
+  if (grad_output.shape() != core::Shape::nchw(batch, channels, 1, 1)) {
+    throw std::invalid_argument("GlobalAvgPool::backward: bad grad shape");
+  }
+  core::Tensor input_grad(input_shape_);
+  const float inv = 1.0f / static_cast<float>(hw);
+  float* __restrict dx = input_grad.data();
+  const float* __restrict dy = grad_output.data();
+  for (std::size_t nc = 0; nc < batch * channels; ++nc) {
+    const float g = dy[nc] * inv;
+    float* __restrict plane = dx + nc * hw;
+    for (std::size_t i = 0; i < hw; ++i) plane[i] = g;
+  }
+  return input_grad;
+}
+
+}  // namespace fedkemf::nn

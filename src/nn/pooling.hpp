@@ -1,0 +1,56 @@
+#pragma once
+
+// Spatial pooling over NCHW batches.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+/// Max pooling with square window; stores argmax indices for backward.
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(std::size_t kernel, std::size_t stride);
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  std::string kind() const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  core::Shape input_shape_;
+  std::vector<std::size_t> argmax_;  ///< flat input index per output element
+};
+
+/// Average pooling with square window.
+class AvgPool2d final : public Module {
+ public:
+  AvgPool2d(std::size_t kernel, std::size_t stride);
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  std::string kind() const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  core::Shape input_shape_;
+};
+
+/// Collapses each channel plane to its mean: [N,C,H,W] -> [N,C,1,1].
+class GlobalAvgPool final : public Module {
+ public:
+  GlobalAvgPool() = default;
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  std::string kind() const override { return "GlobalAvgPool"; }
+
+ private:
+  core::Shape input_shape_;
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,35 @@
+#include "nn/probe.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+core::Tensor GradProbe::forward(const core::Tensor& input) {
+  if (!offset_.value.defined()) {
+    offset_ = Parameter("offset", core::Tensor::zeros(input.shape()));
+  } else if (offset_.value.shape() != input.shape()) {
+    throw std::invalid_argument("GradProbe: input shape changed between forwards (" +
+                                offset_.value.shape().to_string() + " vs " +
+                                input.shape().to_string() + ")");
+  }
+  core::Tensor output = input.clone();
+  output.add_(offset_.value);
+  return output;
+}
+
+core::Tensor GradProbe::backward(const core::Tensor& grad_output) {
+  if (!offset_.value.defined()) throw std::logic_error("GradProbe::backward before forward");
+  if (grad_output.shape() != offset_.value.shape()) {
+    throw std::invalid_argument("GradProbe::backward: bad grad shape");
+  }
+  offset_.grad.add_(grad_output);
+  return grad_output;
+}
+
+void GradProbe::append_parameters(std::vector<Parameter*>& out) {
+  // Only meaningful after the first forward; callers build nets and run a
+  // forward before collecting parameters for checking.
+  if (offset_.value.defined()) out.push_back(&offset_);
+}
+
+}  // namespace fedkemf::nn

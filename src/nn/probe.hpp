@@ -1,0 +1,34 @@
+#pragma once
+
+// GradProbe: identity layer with an additive, zero-initialized parameter,
+//   y = x + P.
+// Since dL/dP == dL/dx at the probe's position, finite-difference-checking P
+// verifies the exact gradient flowing through that interface.  This is the
+// reliable way to gradient-check compositions that stack BatchNorm + ReLU:
+// perturbing a *weight* upstream of a BatchNorm shifts a whole channel of
+// activations across ReLU kinks (BatchNorm keeps activations dense around
+// zero), which biases central differences no matter the step size; perturbing
+// a single probe entry barely moves the statistics and stays in the smooth
+// regime.
+
+#include "nn/module.hpp"
+
+namespace fedkemf::nn {
+
+class GradProbe final : public Module {
+ public:
+  GradProbe() = default;
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  void append_parameters(std::vector<Parameter*>& out) override;
+  std::string kind() const override { return "GradProbe"; }
+
+  /// The probe parameter ("offset"); undefined until the first forward.
+  Parameter& offset() { return offset_; }
+
+ private:
+  Parameter offset_;
+};
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,98 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::nn {
+
+BasicBlock::BasicBlock(std::size_t in_channels, std::size_t out_channels, std::size_t stride,
+                       core::Rng& rng)
+    : conv1_(in_channels, out_channels, /*kernel=*/3, stride, /*padding=*/1, rng,
+             /*with_bias=*/false),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, /*kernel=*/3, /*stride=*/1, /*padding=*/1, rng,
+             /*with_bias=*/false),
+      bn2_(out_channels) {
+  if (stride != 1 || in_channels != out_channels) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, /*kernel=*/1, stride,
+                                          /*padding=*/0, rng, /*with_bias=*/false);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+core::Tensor BasicBlock::forward(const core::Tensor& input) {
+  core::Tensor main = bn2_.forward(conv2_.forward(relu1_.forward(bn1_.forward(conv1_.forward(input)))));
+  core::Tensor shortcut =
+      proj_conv_ ? proj_bn_->forward(proj_conv_->forward(input)) : input;
+  main.add_(shortcut);
+  cached_sum_ = main;
+  // Final ReLU applied out-of-place so cached_sum_ keeps the pre-activation.
+  core::Tensor output(main.shape());
+  const float* __restrict s = main.data();
+  float* __restrict y = output.data();
+  const std::size_t n = main.numel();
+  for (std::size_t i = 0; i < n; ++i) y[i] = s[i] > 0.0f ? s[i] : 0.0f;
+  return output;
+}
+
+core::Tensor BasicBlock::backward(const core::Tensor& grad_output) {
+  if (!cached_sum_.defined()) throw std::logic_error("BasicBlock::backward before forward");
+  if (grad_output.shape() != cached_sum_.shape()) {
+    throw std::invalid_argument("BasicBlock::backward: bad grad shape");
+  }
+  // Through the final ReLU.
+  core::Tensor d_sum(grad_output.shape());
+  {
+    const float* __restrict s = cached_sum_.data();
+    const float* __restrict dy = grad_output.data();
+    float* __restrict d = d_sum.data();
+    const std::size_t n = grad_output.numel();
+    for (std::size_t i = 0; i < n; ++i) d[i] = s[i] > 0.0f ? dy[i] : 0.0f;
+  }
+  // Main branch.
+  core::Tensor dx =
+      conv1_.backward(bn1_.backward(relu1_.backward(conv2_.backward(bn2_.backward(d_sum)))));
+  // Shortcut branch.
+  if (proj_conv_) {
+    dx.add_(proj_conv_->backward(proj_bn_->backward(d_sum)));
+  } else {
+    dx.add_(d_sum);
+  }
+  return dx;
+}
+
+void BasicBlock::append_parameters(std::vector<Parameter*>& out) {
+  conv1_.append_parameters(out);
+  bn1_.append_parameters(out);
+  conv2_.append_parameters(out);
+  bn2_.append_parameters(out);
+  if (proj_conv_) {
+    proj_conv_->append_parameters(out);
+    proj_bn_->append_parameters(out);
+  }
+}
+
+void BasicBlock::append_buffers(std::vector<Buffer*>& out) {
+  bn1_.append_buffers(out);
+  bn2_.append_buffers(out);
+  if (proj_bn_) proj_bn_->append_buffers(out);
+}
+
+void BasicBlock::set_training(bool training) {
+  training_ = training;
+  conv1_.set_training(training);
+  bn1_.set_training(training);
+  relu1_.set_training(training);
+  conv2_.set_training(training);
+  bn2_.set_training(training);
+  if (proj_conv_) {
+    proj_conv_->set_training(training);
+    proj_bn_->set_training(training);
+  }
+}
+
+std::string BasicBlock::kind() const {
+  return "BasicBlock(" + std::to_string(conv1_.in_channels()) + "->" +
+         std::to_string(conv1_.out_channels()) + (proj_conv_ ? ",proj)" : ")");
+}
+
+}  // namespace fedkemf::nn

@@ -1,0 +1,45 @@
+#pragma once
+
+// CIFAR-style ResNet basic block:
+//   main:     conv3x3(stride) -> BN -> ReLU -> conv3x3(1) -> BN
+//   shortcut: identity, or conv1x1(stride) -> BN when the shape changes
+//   output:   ReLU(main + shortcut)
+//
+// This is the projection ("option B") shortcut of He et al. 2016, which is
+// what torchvision-style CIFAR ResNet-20/32/44 implementations use.
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+
+namespace fedkemf::nn {
+
+class BasicBlock final : public Module {
+ public:
+  BasicBlock(std::size_t in_channels, std::size_t out_channels, std::size_t stride,
+             core::Rng& rng);
+
+  core::Tensor forward(const core::Tensor& input) override;
+  core::Tensor backward(const core::Tensor& grad_output) override;
+  void append_parameters(std::vector<Parameter*>& out) override;
+  void append_buffers(std::vector<Buffer*>& out) override;
+  void set_training(bool training) override;
+  std::string kind() const override;
+
+  bool has_projection() const { return proj_conv_ != nullptr; }
+
+ private:
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  ReLU relu1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  std::unique_ptr<Conv2d> proj_conv_;   ///< nullptr for identity shortcut
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+  core::Tensor cached_sum_;  ///< pre-activation of the final ReLU
+};
+
+}  // namespace fedkemf::nn

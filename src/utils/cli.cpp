@@ -1,0 +1,160 @@
+#include "utils/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedkemf::utils {
+namespace {
+
+template <typename T>
+bool parse_number(const std::string& text, T* out) {
+  try {
+    std::size_t pos = 0;
+    if constexpr (std::is_same_v<T, double> || std::is_same_v<T, float>) {
+      const double v = std::stod(text, &pos);
+      if (pos != text.size()) return false;
+      *out = static_cast<T>(v);
+    } else {
+      const long long v = std::stoll(text, &pos);
+      if (pos != text.size()) return false;
+      if constexpr (std::is_unsigned_v<T>) {
+        if (v < 0) return false;
+      }
+      *out = static_cast<T>(v);
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_bool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::flag(const std::string& name, int* target, const std::string& help) {
+  options_.push_back({name, help, std::to_string(*target), false,
+                      [target](const std::string& v) { return parse_number(v, target); }});
+}
+
+void Cli::flag(const std::string& name, std::int64_t* target, const std::string& help) {
+  options_.push_back({name, help, std::to_string(*target), false,
+                      [target](const std::string& v) { return parse_number(v, target); }});
+}
+
+void Cli::flag(const std::string& name, std::size_t* target, const std::string& help) {
+  options_.push_back({name, help, std::to_string(*target), false,
+                      [target](const std::string& v) { return parse_number(v, target); }});
+}
+
+void Cli::flag(const std::string& name, double* target, const std::string& help) {
+  options_.push_back({name, help, std::to_string(*target), false,
+                      [target](const std::string& v) { return parse_number(v, target); }});
+}
+
+void Cli::flag(const std::string& name, float* target, const std::string& help) {
+  options_.push_back({name, help, std::to_string(*target), false,
+                      [target](const std::string& v) { return parse_number(v, target); }});
+}
+
+void Cli::flag(const std::string& name, bool* target, const std::string& help) {
+  options_.push_back({name, help, *target ? "true" : "false", true,
+                      [target](const std::string& v) { return parse_bool(v, target); }});
+}
+
+void Cli::flag(const std::string& name, std::string* target, const std::string& help) {
+  options_.push_back({name, help, *target, false, [target](const std::string& v) {
+                        *target = v;
+                        return true;
+                      }});
+}
+
+const Cli::Option* Cli::find(const std::string& name) const {
+  for (const Option& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  std::string error;
+  if (!try_parse(argc, argv, &error)) {
+    if (error == "help") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), error.c_str(), usage().c_str());
+    std::exit(2);
+  }
+}
+
+bool Cli::try_parse(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      if (error) *error = "help";
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      if (error) *error = "unexpected positional argument '" + arg + "'";
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Option* opt = find(arg);
+    if (opt == nullptr) {
+      if (error) *error = "unknown flag '--" + arg + "'";
+      return false;
+    }
+    if (!has_value) {
+      if (opt->is_bool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          if (error) *error = "flag '--" + arg + "' expects a value";
+          return false;
+        }
+        value = argv[++i];
+      }
+    }
+    if (!opt->assign(value)) {
+      if (error) *error = "invalid value '" + value + "' for flag '--" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const Option& opt : options_) {
+    out << "  --" << opt.name;
+    if (!opt.is_bool) out << " <value>";
+    out << "\n      " << opt.help << " (default: " << opt.default_value << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace fedkemf::utils

@@ -1,0 +1,58 @@
+#pragma once
+
+// Tiny declarative command-line parser used by every bench and example.
+//
+//   utils::Cli cli("bench_table1", "Reproduces Table 1");
+//   int clients = 30;
+//   cli.flag("clients", &clients, "number of federated clients");
+//   cli.parse(argc, argv);           // exits with usage on --help / bad args
+//
+// Accepted syntax: --name value, --name=value, and bare --name for bools
+// (sets true).  Unknown flags are an error so typos never silently fall back
+// to defaults in an experiment run.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fedkemf::utils {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  void flag(const std::string& name, int* target, const std::string& help);
+  void flag(const std::string& name, std::int64_t* target, const std::string& help);
+  void flag(const std::string& name, std::size_t* target, const std::string& help);
+  void flag(const std::string& name, double* target, const std::string& help);
+  void flag(const std::string& name, float* target, const std::string& help);
+  void flag(const std::string& name, bool* target, const std::string& help);
+  void flag(const std::string& name, std::string* target, const std::string& help);
+
+  /// Parses argv. On --help prints usage and exits(0); on error prints the
+  /// problem plus usage and exits(2). Returns normally otherwise.
+  void parse(int argc, const char* const* argv);
+
+  /// Like parse() but reports failure by return value (used in tests).
+  [[nodiscard]] bool try_parse(int argc, const char* const* argv, std::string* error);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    std::string default_value;
+    bool is_bool;
+    std::function<bool(const std::string&)> assign;
+  };
+
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace fedkemf::utils

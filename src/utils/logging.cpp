@@ -1,0 +1,70 @@
+#include "utils/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace fedkemf::utils {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("FEDKEMF_LOG_LEVEL");
+    return static_cast<int>(env != nullptr ? parse_log_level(env) : LogLevel::kInfo);
+  }();
+  return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void log_record(LogLevel level, std::string_view component, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch()).count();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fprintf(stderr, "[%lld.%03lld] [%s] [%.*s] %.*s\n",
+               static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
+               level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace fedkemf::utils

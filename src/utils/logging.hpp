@@ -1,0 +1,81 @@
+#pragma once
+
+// Minimal thread-safe leveled logger.
+//
+// The simulator runs many clients in parallel on a thread pool; interleaved
+// iostream writes would garble output, so every record is formatted into a
+// single string and written under one mutex.  Level is process-global and may
+// be set from the FEDKEMF_LOG_LEVEL environment variable (trace|debug|info|
+// warn|error|off).
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fedkemf::utils {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the current global log level (initialized once from the
+/// FEDKEMF_LOG_LEVEL environment variable, default kInfo).
+LogLevel log_level();
+
+/// Overrides the global log level for the rest of the process.
+void set_log_level(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unrecognized strings map to kInfo.
+LogLevel parse_log_level(std::string_view text);
+
+/// Emits one record; no-op when `level` is below the global threshold.
+void log_record(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+/// Stream-style record builder; flushes on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_record(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_trace(std::string_view component) {
+  return detail::LogStream(LogLevel::kTrace, component);
+}
+inline detail::LogStream log_debug(std::string_view component) {
+  return detail::LogStream(LogLevel::kDebug, component);
+}
+inline detail::LogStream log_info(std::string_view component) {
+  return detail::LogStream(LogLevel::kInfo, component);
+}
+inline detail::LogStream log_warn(std::string_view component) {
+  return detail::LogStream(LogLevel::kWarn, component);
+}
+inline detail::LogStream log_error(std::string_view component) {
+  return detail::LogStream(LogLevel::kError, component);
+}
+
+}  // namespace fedkemf::utils

@@ -1,0 +1,27 @@
+#pragma once
+
+// Monotonic wall-clock stopwatch used for per-round timing in the simulator
+// and for the benches' self-reported runtimes.
+
+#include <chrono>
+
+namespace fedkemf::utils {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fedkemf::utils

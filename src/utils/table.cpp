@@ -1,0 +1,140 @@
+#include "utils/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "utils/logging.hpp"
+
+namespace fedkemf::utils {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width " + std::to_string(cells.size()) +
+                                " does not match header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(const char* value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  cells_.emplace_back(buf);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::size_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(int value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder::~RowBuilder() { table_->add_row(std::move(cells_)); }
+
+std::string Table::to_markdown() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << ' ' << std::string(widths[c], '-') << " |";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    log_error("table") << "cannot open '" << path << "' for writing";
+    return false;
+  }
+  file << to_csv();
+  return static_cast<bool>(file);
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  double value = bytes;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0fB", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_speedup(double factor) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", factor);
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace fedkemf::utils

@@ -1,0 +1,70 @@
+#pragma once
+
+// Table builder shared by the bench harnesses so every reproduced paper table
+// prints the same way: a GitHub-markdown table on stdout and, optionally, a
+// CSV file for downstream plotting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fedkemf::utils {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t num_columns() const { return header_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row. Throws std::invalid_argument when the width mismatches.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats every cell with to_string-like rules.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table* table) : table_(table) {}
+    RowBuilder& cell(const std::string& value);
+    RowBuilder& cell(const char* value);
+    RowBuilder& cell(double value, int precision = 2);
+    RowBuilder& cell(std::int64_t value);
+    RowBuilder& cell(std::size_t value);
+    RowBuilder& cell(int value);
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(this); }
+
+  /// Renders a GitHub-flavored markdown table.
+  std::string to_markdown() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a byte count the way the paper reports communication volumes:
+/// "2.1MB", "4.01GB", ... (powers of 1024, two significant decimals).
+std::string format_bytes(double bytes);
+
+/// Formats "51.08x" style speed-up factors.
+std::string format_speedup(double factor);
+
+/// Formats "65.0%" style percentages from a [0,1] fraction.
+std::string format_percent(double fraction, int precision = 2);
+
+}  // namespace fedkemf::utils

@@ -1,0 +1,194 @@
+// Communication substrate tests: model wire format round trips, byte-exact
+// accounting, traffic metering, thread safety, and the link cost model.
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "comm/channel.hpp"
+#include "core/rng.hpp"
+#include "models/zoo.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+
+namespace fedkemf::comm {
+namespace {
+
+using core::Rng;
+using core::Shape;
+using core::Tensor;
+
+std::unique_ptr<nn::Module> small_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return models::build_model(
+      models::ModelSpec{.arch = "resnet20", .num_classes = 10, .in_channels = 3,
+                        .image_size = 8, .width_multiplier = 0.25},
+      rng);
+}
+
+TEST(ModelSerialize, RoundTripPreservesForwardPass) {
+  auto src = small_model(1);
+  auto dst = small_model(2);  // different weights initially
+  Rng rng(3);
+  Tensor x = Tensor::normal(Shape::nchw(2, 3, 8, 8), rng);
+  src->set_training(false);
+  dst->set_training(false);
+  Tensor before_src = src->forward(x);
+  Tensor before_dst = dst->forward(x);
+  bool differed = false;
+  for (std::size_t i = 0; i < before_src.numel(); ++i) {
+    if (before_src[i] != before_dst[i]) differed = true;
+  }
+  ASSERT_TRUE(differed);
+
+  const auto payload = serialize_model(*src);
+  deserialize_model(payload, *dst);
+  Tensor after_dst = dst->forward(x);
+  for (std::size_t i = 0; i < before_src.numel(); ++i) {
+    ASSERT_EQ(after_dst[i], before_src[i]);  // bit-identical, buffers included
+  }
+}
+
+TEST(ModelSerialize, WireSizeMatchesPayload) {
+  auto model = small_model(4);
+  const auto payload = serialize_model(*model);
+  EXPECT_EQ(payload.size(), model_wire_size(*model));
+}
+
+TEST(ModelSerialize, WireSizeTracksParameterCount) {
+  // Payload must be ~4 bytes per state scalar plus small headers.
+  auto model = small_model(5);
+  const std::size_t scalars = nn::state_numel(*model);
+  const std::size_t bytes = model_wire_size(*model);
+  EXPECT_GT(bytes, scalars * 4);
+  EXPECT_LT(bytes, scalars * 4 + scalars);  // generous header allowance
+}
+
+TEST(ModelSerialize, RejectsWrongArchitecture) {
+  auto src = small_model(6);
+  Rng rng(7);
+  nn::Sequential other;
+  other.emplace<nn::Linear>(4, 2, rng);
+  const auto payload = serialize_model(*src);
+  EXPECT_THROW(deserialize_model(payload, other), std::invalid_argument);
+}
+
+TEST(ModelSerialize, RejectsCorruptMagic) {
+  auto model = small_model(8);
+  auto payload = serialize_model(*model);
+  payload[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_model(payload, *model), std::runtime_error);
+}
+
+TEST(ModelSerialize, RejectsTrailingGarbage) {
+  auto model = small_model(9);
+  auto payload = serialize_model(*model);
+  payload.push_back(0);
+  EXPECT_THROW(deserialize_model(payload, *model), std::runtime_error);
+}
+
+TEST(TrafficMeter, AccumulatesByDirectionRoundAndClient) {
+  TrafficMeter meter;
+  meter.record({0, 1, Direction::kDownlink, 100, "model"});
+  meter.record({0, 2, Direction::kUplink, 200, "model"});
+  meter.record({1, 1, Direction::kUplink, 50, "tau"});
+  EXPECT_EQ(meter.total_bytes(), 350u);
+  EXPECT_EQ(meter.downlink_bytes(), 100u);
+  EXPECT_EQ(meter.uplink_bytes(), 250u);
+  EXPECT_EQ(meter.bytes_for_round(0), 300u);
+  EXPECT_EQ(meter.bytes_for_round(1), 50u);
+  EXPECT_EQ(meter.bytes_for_client(1), 150u);
+  EXPECT_EQ(meter.num_transfers(), 3u);
+  EXPECT_DOUBLE_EQ(meter.mean_bytes_per_round(), 175.0);
+}
+
+TEST(TrafficMeter, ResetClears) {
+  TrafficMeter meter;
+  meter.record({0, 0, Direction::kUplink, 10, "x"});
+  meter.reset();
+  EXPECT_EQ(meter.total_bytes(), 0u);
+  EXPECT_EQ(meter.num_transfers(), 0u);
+  EXPECT_DOUBLE_EQ(meter.mean_bytes_per_round(), 0.0);
+}
+
+TEST(TrafficMeter, ThreadSafeRecording) {
+  TrafficMeter meter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&meter, t] {
+      for (int i = 0; i < 500; ++i) {
+        meter.record({static_cast<std::size_t>(t), 0, Direction::kUplink, 1, "x"});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(meter.total_bytes(), 4000u);
+}
+
+TEST(Channel, TransferMovesStateAndMeters) {
+  TrafficMeter meter;
+  Channel channel(&meter);
+  auto src = small_model(10);
+  auto dst = small_model(11);
+  const std::size_t bytes =
+      channel.transfer(*src, *dst, /*round=*/3, /*client=*/7, Direction::kDownlink, "kn");
+  EXPECT_EQ(bytes, model_wire_size(*src));
+  EXPECT_EQ(meter.total_bytes(), bytes);
+  const auto records = meter.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].round, 3u);
+  EXPECT_EQ(records[0].client_id, 7u);
+  EXPECT_EQ(records[0].payload, "kn");
+  // Destination now matches source.
+  const auto ps = src->parameters();
+  const auto pd = dst->parameters();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::size_t j = 0; j < ps[i]->value.numel(); ++j) {
+      ASSERT_EQ(ps[i]->value[j], pd[i]->value[j]);
+    }
+  }
+}
+
+TEST(Channel, RawTransfersMeterWithoutMarshalling) {
+  TrafficMeter meter;
+  Channel channel(&meter);
+  EXPECT_EQ(channel.transfer_raw(1234, 0, 0, Direction::kUplink, "control"), 1234u);
+  EXPECT_EQ(meter.uplink_bytes(), 1234u);
+}
+
+TEST(Channel, NullMeterIsAllowed) {
+  Channel channel(nullptr);
+  auto src = small_model(12);
+  auto dst = small_model(13);
+  EXPECT_GT(channel.transfer(*src, *dst, 0, 0, Direction::kDownlink, "m"), 0u);
+}
+
+TEST(LinkModel, TransferTimeIsLatencyPlusSerialization) {
+  LinkModel link{.bandwidth_bytes_per_second = 1000.0, .latency_seconds = 0.5};
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0), 0.5);
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(2000), 2.5);
+}
+
+TEST(PaperByteAccounting, FullWidthModelsMatchPaperMagnitudes) {
+  // Table 1's per-round-per-client figures (down+up) for full-width models:
+  // ResNet-20 about 2.1 MB, ResNet-32 about 3.6 MB, VGG-11 tens of MB.
+  auto size_of = [](const char* arch) {
+    Rng rng(0);
+    auto model = models::build_model(
+        models::ModelSpec{.arch = arch, .num_classes = 10, .in_channels = 3,
+                          .image_size = 32, .width_multiplier = 1.0},
+        rng);
+    return static_cast<double>(model_wire_size(*model)) / (1024.0 * 1024.0);
+  };
+  const double r20 = 2 * size_of("resnet20");
+  const double r32 = 2 * size_of("resnet32");
+  const double vgg = 2 * size_of("vgg11");
+  EXPECT_NEAR(r20, 2.1, 0.3);
+  EXPECT_NEAR(r32, 3.6, 0.4);
+  EXPECT_GT(vgg, 30.0);
+  // The knowledge-network saving the paper reports: VGG-11 / ResNet-20 ~ 20x+.
+  EXPECT_GT(vgg / r20, 20.0);
+}
+
+}  // namespace
+}  // namespace fedkemf::comm

@@ -1,0 +1,349 @@
+// Data substrate tests: dataset container, synthetic generator statistics,
+// partitioners (IID / Dirichlet / shards), and the dataloader.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+
+namespace fedkemf::data {
+namespace {
+
+using core::Rng;
+using core::Shape;
+using core::Tensor;
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.channels = 1;
+  spec.image_size = 8;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(Dataset, ValidatesConstruction) {
+  Tensor images = Tensor::zeros(Shape::nchw(4, 1, 2, 2));
+  EXPECT_THROW(Dataset(images, {0, 1, 2}, 3), std::invalid_argument);   // count mismatch
+  EXPECT_THROW(Dataset(images, {0, 1, 2, 5}, 3), std::invalid_argument); // label range
+  EXPECT_THROW(Dataset(images, {0, 0, 0, 0}, 1), std::invalid_argument); // classes < 2
+  EXPECT_THROW(Dataset(Tensor::zeros(Shape::matrix(4, 4)), {0, 0, 0, 0}, 2),
+               std::invalid_argument);  // not NCHW
+}
+
+TEST(Dataset, GatherCopiesSelectedSamples) {
+  Tensor images(Shape::nchw(3, 1, 1, 2));
+  for (std::size_t i = 0; i < images.numel(); ++i) images[i] = static_cast<float>(i);
+  Dataset ds(images, {0, 1, 0}, 2);
+  Tensor out;
+  std::vector<std::size_t> labels;
+  const std::size_t idx[] = {2, 0};
+  ds.gather(idx, out, labels);
+  EXPECT_EQ(out.shape(), Shape::nchw(2, 1, 1, 2));
+  EXPECT_EQ(out[0], 4.0f);  // sample 2 starts at flat index 4
+  EXPECT_EQ(out[2], 0.0f);  // sample 0
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+}
+
+TEST(Dataset, GatherRejectsOutOfRange) {
+  Dataset ds(Tensor::zeros(Shape::nchw(2, 1, 1, 1)), {0, 1}, 2);
+  const std::size_t idx[] = {5};
+  Tensor out;
+  std::vector<std::size_t> labels;
+  EXPECT_THROW(ds.gather(idx, out, labels), std::out_of_range);
+}
+
+TEST(Dataset, ClassHistogram) {
+  Dataset ds(Tensor::zeros(Shape::nchw(5, 1, 1, 1)), {0, 1, 1, 2, 1}, 3);
+  const auto hist = ds.class_histogram();
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[2], 1u);
+  const std::vector<std::size_t> subset = {1, 2};
+  const auto sub = ds.class_histogram(subset);
+  EXPECT_EQ(sub[1], 2u);
+}
+
+TEST(Synthetic, DeterministicGeneration) {
+  const SyntheticSpec spec = small_spec();
+  const Dataset a = make_synthetic_dataset(spec, 40, kTrainSplit);
+  const Dataset b = make_synthetic_dataset(spec, 40, kTrainSplit);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.images().numel(); ++i) {
+    ASSERT_EQ(a.images()[i], b.images()[i]);
+  }
+}
+
+TEST(Synthetic, SplitsAreDisjointDraws) {
+  const SyntheticSpec spec = small_spec();
+  const Dataset train = make_synthetic_dataset(spec, 40, kTrainSplit);
+  const Dataset test = make_synthetic_dataset(spec, 40, kTestSplit);
+  // Same distribution, different noise draws: pixel values must differ.
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < train.images().numel(); ++i) {
+    if (train.images()[i] == test.images()[i]) ++identical;
+  }
+  EXPECT_LT(identical, train.images().numel() / 100);
+}
+
+TEST(Synthetic, LabelsAreBalanced) {
+  const SyntheticSpec spec = small_spec();
+  const Dataset ds = make_synthetic_dataset(spec, 40, kTrainSplit);
+  const auto hist = ds.class_histogram();
+  for (std::size_t count : hist) EXPECT_EQ(count, 10u);
+}
+
+TEST(Synthetic, SameClassSamplesCorrelateMoreThanCrossClass) {
+  // The class structure must be real: mean intra-class pixel correlation
+  // should exceed inter-class correlation.
+  SyntheticSpec spec = small_spec();
+  spec.noise_stddev = 0.4;
+  spec.jitter = 0;  // pure prototype + noise for this statistical check
+  const Dataset ds = make_synthetic_dataset(spec, 80, kTrainSplit);
+  const std::size_t numel = spec.image_size * spec.image_size;
+  auto dot_normalized = [&](std::size_t i, std::size_t j) {
+    const float* a = ds.images().data() + i * numel;
+    const float* b = ds.images().data() + j * numel;
+    double ab = 0.0;
+    double aa = 0.0;
+    double bb = 0.0;
+    for (std::size_t k = 0; k < numel; ++k) {
+      ab += static_cast<double>(a[k]) * b[k];
+      aa += static_cast<double>(a[k]) * a[k];
+      bb += static_cast<double>(b[k]) * b[k];
+    }
+    return ab / std::sqrt(aa * bb);
+  };
+  double intra = 0.0;
+  double inter = 0.0;
+  std::size_t intra_n = 0;
+  std::size_t inter_n = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = i + 1; j < 40; ++j) {
+      if (ds.label(i) == ds.label(j)) {
+        intra += dot_normalized(i, j);
+        ++intra_n;
+      } else {
+        inter += dot_normalized(i, j);
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_n, inter / inter_n + 0.1);
+}
+
+TEST(Synthetic, NoiseKnobControlsDifficulty) {
+  SyntheticSpec easy = small_spec();
+  easy.noise_stddev = 0.1;
+  SyntheticSpec hard = small_spec();
+  hard.noise_stddev = 3.0;
+  // Higher noise -> higher pixel variance.
+  const Dataset e = make_synthetic_dataset(easy, 20, kTrainSplit);
+  const Dataset h = make_synthetic_dataset(hard, 20, kTrainSplit);
+  auto variance = [](const Dataset& ds) {
+    double mean = ds.images().mean();
+    double total = 0.0;
+    for (std::size_t i = 0; i < ds.images().numel(); ++i) {
+      const double d = ds.images()[i] - mean;
+      total += d * d;
+    }
+    return total / static_cast<double>(ds.images().numel());
+  };
+  EXPECT_GT(variance(h), variance(e) * 2.0);
+}
+
+TEST(Synthetic, UnlabeledPoolMatchesGeometry) {
+  const SyntheticSpec spec = small_spec();
+  Tensor pool = make_unlabeled_pool(spec, 30, kServerSplit);
+  EXPECT_EQ(pool.shape(), Shape::nchw(30, 1, 8, 8));
+  EXPECT_TRUE(pool.all_finite());
+}
+
+TEST(Synthetic, ValidatesSpec) {
+  SyntheticSpec bad = small_spec();
+  bad.num_classes = 1;
+  EXPECT_THROW(make_synthetic_dataset(bad, 10, kTrainSplit), std::invalid_argument);
+  bad = small_spec();
+  bad.jitter = bad.image_size;
+  EXPECT_THROW(make_synthetic_dataset(bad, 10, kTrainSplit), std::invalid_argument);
+  EXPECT_THROW(make_synthetic_dataset(small_spec(), 0, kTrainSplit), std::invalid_argument);
+}
+
+// ---- Partitioners ----
+
+std::vector<std::size_t> make_labels(std::size_t n, std::size_t classes) {
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % classes;
+  return labels;
+}
+
+void expect_exact_cover(const Partition& partition, std::size_t n) {
+  std::vector<bool> seen(n, false);
+  for (const auto& shard : partition) {
+    for (std::size_t idx : shard) {
+      ASSERT_LT(idx, n);
+      ASSERT_FALSE(seen[idx]) << "index " << idx << " assigned twice";
+      seen[idx] = true;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) ASSERT_TRUE(seen[i]) << "index " << i << " unassigned";
+}
+
+TEST(Partition, IidCoversAllSamplesEvenly) {
+  Rng rng(1);
+  const auto partition = partition_iid(100, 7, rng);
+  expect_exact_cover(partition, 100);
+  for (const auto& shard : partition) {
+    EXPECT_GE(shard.size(), 14u);
+    EXPECT_LE(shard.size(), 15u);
+  }
+}
+
+class DirichletAlpha : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletAlpha, ExactCoverAndMinimumGuarantee) {
+  const double alpha = GetParam();
+  Rng rng(2);
+  const auto labels = make_labels(400, 10);
+  const auto partition = partition_dirichlet(labels, 10, 8, alpha, rng, 3);
+  expect_exact_cover(partition, 400);
+  for (const auto& shard : partition) EXPECT_GE(shard.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletAlpha, ::testing::Values(0.05, 0.1, 0.5, 1.0, 100.0));
+
+TEST(Partition, DirichletSkewDecreasesWithAlpha) {
+  Rng rng1(3);
+  Rng rng2(3);
+  const auto labels = make_labels(1000, 10);
+  const auto skewed = partition_dirichlet(labels, 10, 10, 0.05, rng1);
+  const auto flat = partition_dirichlet(labels, 10, 10, 100.0, rng2);
+  const auto skewed_stats = summarize_partition(skewed, labels, 10);
+  const auto flat_stats = summarize_partition(flat, labels, 10);
+  // alpha=0.05 -> each client sees few labels; alpha=100 -> nearly all.
+  EXPECT_LT(skewed_stats.mean_labels_per_client, 6.0);
+  EXPECT_GT(flat_stats.mean_labels_per_client, 9.0);
+}
+
+TEST(Partition, DirichletIsDeterministicGivenRng) {
+  const auto labels = make_labels(300, 5);
+  Rng rng1(4);
+  Rng rng2(4);
+  const auto a = partition_dirichlet(labels, 5, 6, 0.1, rng1);
+  const auto b = partition_dirichlet(labels, 5, 6, 0.1, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) EXPECT_EQ(a[c], b[c]);
+}
+
+TEST(Partition, DirichletValidation) {
+  Rng rng(5);
+  const auto labels = make_labels(100, 5);
+  EXPECT_THROW(partition_dirichlet(labels, 5, 0, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(partition_dirichlet(labels, 5, 8, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(partition_dirichlet(labels, 5, 200, 0.1, rng), std::invalid_argument);
+}
+
+TEST(Partition, ShardsProducePathologicalSkew) {
+  Rng rng(6);
+  const auto labels = make_labels(400, 10);
+  const auto partition = partition_shards(labels, 10, 2, rng);
+  expect_exact_cover(partition, 400);
+  const auto stats = summarize_partition(partition, labels, 10);
+  // Two shards per client -> at most ~3 distinct labels each.
+  EXPECT_LE(stats.mean_labels_per_client, 4.0);
+}
+
+TEST(Partition, SummaryStatistics) {
+  Partition partition = {{0, 1, 2}, {3}, {4, 5}};
+  const std::vector<std::size_t> labels = {0, 0, 1, 1, 2, 2};
+  const auto stats = summarize_partition(partition, labels, 3);
+  EXPECT_EQ(stats.min_size, 1u);
+  EXPECT_EQ(stats.max_size, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_size, 2.0);
+  EXPECT_NEAR(stats.mean_labels_per_client, (2.0 + 1.0 + 1.0) / 3.0, 1e-9);
+}
+
+// ---- DataLoader ----
+
+TEST(DataLoader, CoversEverySampleOncePerEpoch) {
+  const Dataset ds = make_synthetic_dataset(small_spec(), 25, kTrainSplit);
+  DataLoader loader(ds, 4, /*shuffle=*/true, Rng(7));
+  EXPECT_EQ(loader.num_batches(), 7u);
+  Batch batch;
+  std::size_t total = 0;
+  std::size_t batches = 0;
+  while (loader.next(batch)) {
+    total += batch.size();
+    ++batches;
+    EXPECT_LE(batch.size(), 4u);
+  }
+  EXPECT_EQ(total, 25u);
+  EXPECT_EQ(batches, 7u);
+}
+
+TEST(DataLoader, ShuffleChangesOrderAcrossEpochs) {
+  const Dataset ds = make_synthetic_dataset(small_spec(), 32, kTrainSplit);
+  DataLoader loader(ds, 32, /*shuffle=*/true, Rng(8));
+  Batch first;
+  loader.next(first);
+  loader.reset();
+  Batch second;
+  loader.next(second);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (first.labels[i] != second.labels[i]) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(DataLoader, NoShuffleIsSequential) {
+  const Dataset ds = make_synthetic_dataset(small_spec(), 8, kTrainSplit);
+  DataLoader loader(ds, 3, /*shuffle=*/false, Rng(9));
+  Batch batch;
+  loader.next(batch);
+  EXPECT_EQ(batch.labels[0], ds.label(0));
+  EXPECT_EQ(batch.labels[2], ds.label(2));
+}
+
+TEST(DataLoader, SameSeedSameBatches) {
+  const Dataset ds = make_synthetic_dataset(small_spec(), 20, kTrainSplit);
+  DataLoader a(ds, 4, true, Rng(10));
+  DataLoader b(ds, 4, true, Rng(10));
+  Batch ba;
+  Batch bb;
+  while (a.next(ba)) {
+    ASSERT_TRUE(b.next(bb));
+    ASSERT_EQ(ba.labels, bb.labels);
+  }
+  EXPECT_FALSE(b.next(bb));
+}
+
+TEST(DataLoader, SubsetLoaderRestrictsToIndices) {
+  const Dataset ds = make_synthetic_dataset(small_spec(), 20, kTrainSplit);
+  std::vector<std::size_t> subset = {0, 4, 8};  // all label 0 (round-robin labels)
+  DataLoader loader(ds, std::move(subset), 2, true, Rng(11));
+  Batch batch;
+  std::size_t total = 0;
+  while (loader.next(batch)) {
+    for (std::size_t label : batch.labels) EXPECT_EQ(label, 0u);
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(DataLoader, Validation) {
+  const Dataset ds = make_synthetic_dataset(small_spec(), 10, kTrainSplit);
+  EXPECT_THROW(DataLoader(ds, 0, false, Rng(0)), std::invalid_argument);
+  EXPECT_THROW(DataLoader(ds, {}, 2, false, Rng(0)), std::invalid_argument);
+  EXPECT_THROW(DataLoader(ds, {99}, 2, false, Rng(0)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fedkemf::data

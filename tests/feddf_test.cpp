@@ -1,0 +1,127 @@
+// FedDF comparator tests + FedKEMF compressed-payload mode.
+
+#include <gtest/gtest.h>
+
+#include "fl/feddf.hpp"
+#include "fl/fedkemf.hpp"
+#include "fl/runner.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+FederationOptions tiny_federation() {
+  FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.data.noise_stddev = 0.5;
+  options.train_samples = 160;
+  options.test_samples = 64;
+  options.server_pool_samples = 48;
+  options.num_clients = 4;
+  options.dirichlet_alpha = 0.5;
+  options.seed = 41;
+  return options;
+}
+
+models::ModelSpec tiny_spec() {
+  return models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 3,
+                           .image_size = 8, .width_multiplier = 0.25};
+}
+
+LocalTrainConfig tiny_local() {
+  LocalTrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 16;
+  config.learning_rate = 0.05;
+  config.momentum = 0.0;
+  config.weight_decay = 0.0;
+  return config;
+}
+
+TEST(FedDf, CommunicatesFullModelsLikeFedAvg) {
+  Federation fed_df(tiny_federation());
+  FedDf feddf(tiny_spec(), tiny_local());
+  RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 0.5;
+  run_federated(fed_df, feddf, run);
+
+  Federation fed_avg(tiny_federation());
+  FedAvg fedavg(tiny_spec(), tiny_local());
+  run_federated(fed_avg, fedavg, run);
+
+  // FedDF's distillation is server-local; its wire traffic equals FedAvg's.
+  EXPECT_EQ(fed_df.meter().total_bytes(), fed_avg.meter().total_bytes());
+}
+
+TEST(FedDf, LearnsAboveChance) {
+  Federation fed(tiny_federation());
+  FedDf algorithm(tiny_spec(), tiny_local());
+  RunOptions run;
+  run.rounds = 8;
+  run.sample_ratio = 1.0;
+  const RunResult result = run_federated(fed, algorithm, run);
+  EXPECT_GT(result.best_accuracy, 0.3);
+  EXPECT_EQ(result.algorithm, "FedDF");
+}
+
+TEST(FedDf, DistillationChangesTheAggregate) {
+  // With distillation epochs > 0 the post-round global model must differ
+  // from a pure FedAvg aggregate on the same federation/seed.
+  auto final_logit = [&](bool distill) {
+    Federation fed(tiny_federation());
+    std::unique_ptr<FedAvg> algorithm;
+    if (distill) {
+      algorithm = std::make_unique<FedDf>(tiny_spec(), tiny_local());
+    } else {
+      algorithm = std::make_unique<FedAvg>(tiny_spec(), tiny_local());
+    }
+    RunOptions run;
+    run.rounds = 1;
+    run.sample_ratio = 1.0;
+    run_federated(fed, *algorithm, run);
+    return algorithm->global_model().parameters()[0]->value[0];
+  };
+  EXPECT_NE(final_logit(true), final_logit(false));
+}
+
+TEST(FedKemfCompressed, QuantizedExchangeCutsTrafficAndStillLearns) {
+  auto run_with = [&](comm::Codec codec) {
+    Federation fed(tiny_federation());
+    FedKemfOptions options;
+    options.knowledge_spec = tiny_spec();
+    options.distill_epochs = 1;
+    options.payload_codec = codec;
+    FedKemf algorithm({tiny_spec()}, tiny_local(), options);
+    RunOptions run;
+    run.rounds = 6;
+    run.sample_ratio = 1.0;
+    const RunResult result = run_federated(fed, algorithm, run);
+    return std::make_pair(fed.meter().total_bytes(), result.best_accuracy);
+  };
+  const auto [fp32_bytes, fp32_acc] = run_with(comm::Codec::kFp32);
+  const auto [int8_bytes, int8_acc] = run_with(comm::Codec::kInt8);
+  EXPECT_LT(static_cast<double>(int8_bytes), static_cast<double>(fp32_bytes) * 0.35);
+  EXPECT_GT(int8_acc, 0.3);  // quantization must not destroy learning
+  EXPECT_GT(fp32_acc, 0.3);
+}
+
+TEST(FedKemfCompressed, PayloadNameCarriesCodecTag) {
+  Federation fed(tiny_federation());
+  FedKemfOptions options;
+  options.knowledge_spec = tiny_spec();
+  options.distill_epochs = 1;
+  options.payload_codec = comm::Codec::kFp16;
+  FedKemf algorithm({tiny_spec()}, tiny_local(), options);
+  RunOptions run;
+  run.rounds = 1;
+  run.sample_ratio = 0.5;
+  run_federated(fed, algorithm, run);
+  for (const auto& record : fed.meter().records()) {
+    EXPECT_EQ(record.payload, "knowledge_net/fp16");
+  }
+}
+
+}  // namespace
+}  // namespace fedkemf::fl

@@ -1,0 +1,124 @@
+// FedMD comparator tests: logits-only communication, heterogeneous fleets,
+// learning progress, and payload accounting.
+
+#include <gtest/gtest.h>
+
+#include "fl/fedmd.hpp"
+#include "fl/runner.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+FederationOptions tiny_federation() {
+  FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.data.noise_stddev = 0.5;
+  options.train_samples = 160;
+  options.test_samples = 64;
+  options.server_pool_samples = 64;
+  options.num_clients = 4;
+  options.dirichlet_alpha = 0.5;
+  options.seed = 51;
+  return options;
+}
+
+models::ModelSpec tiny_spec(const char* arch = "mlp") {
+  return models::ModelSpec{.arch = arch, .num_classes = 4, .in_channels = 3,
+                           .image_size = 8, .width_multiplier = 0.25};
+}
+
+LocalTrainConfig tiny_local() {
+  LocalTrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 16;
+  config.learning_rate = 0.05;
+  config.momentum = 0.0;
+  config.weight_decay = 0.0;
+  return config;
+}
+
+FedMdOptions tiny_options() {
+  FedMdOptions options;
+  options.server_student = tiny_spec();
+  options.public_batch = 32;
+  return options;
+}
+
+TEST(FedMd, CommunicatesOnlyLogits) {
+  Federation fed(tiny_federation());
+  FedMd algorithm({tiny_spec()}, tiny_local(), tiny_options());
+  RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 0.5;
+  run_federated(fed, algorithm, run);
+  // Payload per transfer: one [32, 4] logits tensor; never a model.
+  const std::size_t logits_bytes =
+      core::tensor_wire_size(core::Tensor(core::Shape::matrix(32, 4)));
+  for (const auto& record : fed.meter().records()) {
+    EXPECT_EQ(record.bytes, logits_bytes);
+    EXPECT_TRUE(record.payload == "public_logits" || record.payload == "consensus_logits")
+        << record.payload;
+  }
+  // 2 rounds x 2 sampled x (up + down).
+  EXPECT_EQ(fed.meter().num_transfers(), 8u);
+}
+
+TEST(FedMd, TrafficIsTinyComparedToModelExchange) {
+  Federation fed(tiny_federation());
+  FedMd algorithm({tiny_spec("resnet20")}, tiny_local(), tiny_options());
+  RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 1.0;
+  run_federated(fed, algorithm, run);
+  core::Rng rng(0);
+  auto model = models::build_model(tiny_spec("resnet20"), rng);
+  // A single model payload dwarfs an entire FedMD round's logits traffic.
+  EXPECT_LT(fed.meter().bytes_for_round(0), comm::model_wire_size(*model));
+}
+
+TEST(FedMd, LearnsAboveChance) {
+  Federation fed(tiny_federation());
+  FedMd algorithm({tiny_spec()}, tiny_local(), tiny_options());
+  RunOptions run;
+  run.rounds = 8;
+  run.sample_ratio = 1.0;
+  run.evaluate_client_models = true;
+  const RunResult result = run_federated(fed, algorithm, run);
+  // The clients' personalized models must clearly beat 4-class chance.
+  EXPECT_GT(result.history.back().client_accuracy, 0.35);
+  EXPECT_EQ(result.algorithm, "FedMD");
+}
+
+TEST(FedMd, SupportsHeterogeneousFleets) {
+  Federation fed(tiny_federation());
+  FedMd algorithm({tiny_spec("mlp"), tiny_spec("resnet20")}, tiny_local(), tiny_options());
+  EXPECT_EQ(algorithm.client_spec(0).arch, "mlp");
+  EXPECT_EQ(algorithm.client_spec(1).arch, "resnet20");
+  RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 1.0;
+  const RunResult result = run_federated(fed, algorithm, run);
+  EXPECT_EQ(result.rounds_completed, 2u);
+  EXPECT_NE(algorithm.client_model(0), algorithm.client_model(1));
+}
+
+TEST(FedMd, ClientModelsPersistAcrossRounds) {
+  Federation fed(tiny_federation());
+  FedMd algorithm({tiny_spec()}, tiny_local(), tiny_options());
+  algorithm.setup(fed);
+  utils::ThreadPool pool(0);
+  const std::size_t sampled_arr[] = {0, 1, 2, 3};
+  algorithm.round(0, sampled_arr, pool);
+  nn::Module* before = algorithm.client_model(0);
+  algorithm.round(1, sampled_arr, pool);
+  EXPECT_EQ(algorithm.client_model(0), before);
+}
+
+TEST(FedMd, RejectsEmptyPool) {
+  EXPECT_THROW(FedMd({}, tiny_local(), tiny_options()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedkemf::fl

@@ -1,0 +1,185 @@
+// Federation environment + metrics + runner plumbing.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fl/federation.hpp"
+#include "fl/metrics.hpp"
+#include "fl/runner.hpp"
+#include "models/zoo.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+FederationOptions small_options() {
+  FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.train_samples = 200;
+  options.test_samples = 80;
+  options.server_pool_samples = 40;
+  options.num_clients = 5;
+  options.dirichlet_alpha = 0.1;
+  options.seed = 3;
+  return options;
+}
+
+TEST(Federation, ConstructsConsistentEnvironment) {
+  Federation fed(small_options());
+  EXPECT_EQ(fed.num_clients(), 5u);
+  EXPECT_EQ(fed.num_classes(), 4u);
+  EXPECT_EQ(fed.train_set().size(), 200u);
+  EXPECT_EQ(fed.test_set().size(), 80u);
+  EXPECT_EQ(fed.server_pool().dim(0), 40u);
+}
+
+TEST(Federation, ShardsPartitionTheTrainSet) {
+  Federation fed(small_options());
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < fed.num_clients(); ++c) {
+    for (std::size_t idx : fed.client_shard(c)) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, fed.train_set().size());
+}
+
+TEST(Federation, LocalTestSetsMatchClientLabelSupport) {
+  Federation fed(small_options());
+  for (std::size_t c = 0; c < fed.num_clients(); ++c) {
+    const auto train_hist = fed.train_set().class_histogram(fed.client_shard(c));
+    const auto& local_test = fed.client_test_indices(c);
+    ASSERT_FALSE(local_test.empty());
+    for (std::size_t idx : local_test) {
+      const std::size_t label = fed.test_set().label(idx);
+      EXPECT_GT(train_hist[label], 0u)
+          << "client " << c << " given test label it never trains on";
+    }
+  }
+}
+
+TEST(Federation, SameSeedSameEnvironment) {
+  Federation a(small_options());
+  Federation b(small_options());
+  for (std::size_t c = 0; c < a.num_clients(); ++c) {
+    EXPECT_EQ(a.client_shard(c), b.client_shard(c));
+    EXPECT_EQ(a.client_test_indices(c), b.client_test_indices(c));
+  }
+}
+
+TEST(Federation, DifferentSeedDifferentPartition) {
+  FederationOptions options = small_options();
+  Federation a(options);
+  options.seed = 4;
+  Federation b(options);
+  bool any_diff = false;
+  for (std::size_t c = 0; c < a.num_clients(); ++c) {
+    if (a.client_shard(c) != b.client_shard(c)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Federation, IidPartitionOption) {
+  FederationOptions options = small_options();
+  options.partition = PartitionKind::kIid;
+  Federation fed(options);
+  const auto stats = fed.partition_stats();
+  EXPECT_GT(stats.mean_labels_per_client, 3.5);  // IID sees nearly all 4 labels
+}
+
+TEST(SampleClients, RespectsRatioAndDeterminism) {
+  Federation fed(small_options());
+  const auto s1 = sample_clients(fed, 0, 0.4);
+  const auto s2 = sample_clients(fed, 0, 0.4);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 2u);  // round(0.4 * 5)
+  const auto s3 = sample_clients(fed, 1, 0.4);
+  EXPECT_EQ(s3.size(), 2u);
+  // Across rounds the sample should eventually differ.
+  bool differs = false;
+  for (std::size_t r = 1; r < 10; ++r) {
+    if (sample_clients(fed, r, 0.4) != s1) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SampleClients, FullParticipationAndValidation) {
+  Federation fed(small_options());
+  EXPECT_EQ(sample_clients(fed, 0, 1.0).size(), 5u);
+  EXPECT_EQ(sample_clients(fed, 0, 0.01).size(), 1u);  // at least one
+  EXPECT_THROW(sample_clients(fed, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_clients(fed, 0, 1.5), std::invalid_argument);
+}
+
+TEST(Evaluate, RandomModelNearChance) {
+  Federation fed(small_options());
+  core::Rng rng(1);
+  auto model = models::build_model(
+      models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 3,
+                        .image_size = 8, .width_multiplier = 0.5},
+      rng);
+  const EvalResult result = evaluate(*model, fed.test_set());
+  EXPECT_EQ(result.samples, 80u);
+  EXPECT_NEAR(result.accuracy, 0.25, 0.2);
+  EXPECT_GT(result.loss, 0.5);
+}
+
+TEST(Evaluate, RestoresTrainingMode) {
+  Federation fed(small_options());
+  core::Rng rng(2);
+  auto model = models::build_model(
+      models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 3,
+                        .image_size = 8, .width_multiplier = 0.5},
+      rng);
+  model->set_training(true);
+  evaluate(*model, fed.test_set());
+  EXPECT_TRUE(model->training());
+}
+
+TEST(RunResult, RoundsToAccuracy) {
+  RunResult result;
+  result.history = {{.round = 0, .accuracy = 0.2},
+                    {.round = 1, .accuracy = 0.5},
+                    {.round = 2, .accuracy = 0.4},
+                    {.round = 3, .accuracy = 0.7}};
+  EXPECT_EQ(result.rounds_to_accuracy(0.5).value(), 2u);
+  EXPECT_EQ(result.rounds_to_accuracy(0.65).value(), 4u);
+  EXPECT_FALSE(result.rounds_to_accuracy(0.9).has_value());
+}
+
+TEST(RunResult, BytesToAccuracy) {
+  RunResult result;
+  result.history = {{.round = 0, .accuracy = 0.2, .cumulative_bytes = 100},
+                    {.round = 1, .accuracy = 0.6, .cumulative_bytes = 200}};
+  EXPECT_EQ(result.bytes_to_accuracy(0.5).value(), 200u);
+  EXPECT_FALSE(result.bytes_to_accuracy(0.9).has_value());
+}
+
+TEST(RunResult, ConvergenceRound) {
+  RunResult result;
+  result.history = {{.round = 0, .accuracy = 0.2},
+                    {.round = 1, .accuracy = 0.55},
+                    {.round = 2, .accuracy = 0.58},
+                    {.round = 3, .accuracy = 0.56}};
+  // Accuracy never improves on round 1's 0.55 by more than 0.05 afterwards.
+  EXPECT_EQ(result.convergence_round(0.05), 2u);
+  EXPECT_NEAR(result.convergence_accuracy(0.05), 0.55, 1e-9);
+  // With a tight tolerance, convergence is only at the peak.
+  EXPECT_EQ(result.convergence_round(0.001), 3u);
+}
+
+TEST(RunResult, MeanRoundBytes) {
+  RunResult result;
+  result.history = {{.round = 0, .round_bytes = 100}, {.round = 1, .round_bytes = 300}};
+  EXPECT_DOUBLE_EQ(result.mean_round_bytes(), 200.0);
+  RunResult empty;
+  EXPECT_DOUBLE_EQ(empty.mean_round_bytes(), 0.0);
+}
+
+}  // namespace
+}  // namespace fedkemf::fl

@@ -1,0 +1,204 @@
+// Tests for the framework extras: confusion-matrix metrics, client-selection
+// strategies, and per-round learning-rate decay.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fl/class_metrics.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/runner.hpp"
+#include "fl/selection.hpp"
+#include "models/zoo.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(0, 0);
+  m.add(0, 1);
+  m.add(1, 1);
+  m.add(2, 0);
+  EXPECT_EQ(m.total(), 5u);
+  EXPECT_EQ(m.at(0, 0), 2u);
+  EXPECT_EQ(m.at(0, 1), 1u);
+  EXPECT_NEAR(m.accuracy(), 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(m.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall(1), 1.0, 1e-12);
+  EXPECT_NEAR(m.recall(2), 0.0, 1e-12);
+  EXPECT_NEAR(m.precision(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.balanced_accuracy(), (2.0 / 3.0 + 1.0 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(m.worst_class_recall(), 0.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyClassesExcludedFromBalancedAccuracy) {
+  ConfusionMatrix m(4);
+  m.add(0, 0);
+  m.add(1, 1);
+  // Classes 2 and 3 unseen: balanced accuracy over represented classes only.
+  EXPECT_NEAR(m.balanced_accuracy(), 1.0, 1e-12);
+  EXPECT_NEAR(m.worst_class_recall(), 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, ToStringListsAllCells) {
+  ConfusionMatrix m(2);
+  m.add(0, 1);
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("true\\pred"), std::string::npos);
+}
+
+TEST(EvaluateConfusion, AgreesWithPlainAccuracy) {
+  FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.train_samples = 120;
+  options.test_samples = 80;
+  options.num_clients = 3;
+  options.seed = 5;
+  Federation fed(options);
+  core::Rng rng(1);
+  auto model = models::build_model(
+      models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 3,
+                        .image_size = 8, .width_multiplier = 0.25},
+      rng);
+  const ConfusionMatrix matrix = evaluate_confusion(*model, fed.test_set());
+  const EvalResult eval = evaluate(*model, fed.test_set());
+  EXPECT_EQ(matrix.total(), fed.test_set().size());
+  EXPECT_NEAR(matrix.accuracy(), eval.accuracy, 1e-9);
+}
+
+// ---- selectors ----
+
+FederationOptions selector_federation() {
+  FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.train_samples = 200;
+  options.test_samples = 40;
+  options.num_clients = 8;
+  options.seed = 9;
+  return options;
+}
+
+TEST(Selectors, UniformMatchesSampleClients) {
+  Federation fed(selector_federation());
+  UniformSelector selector;
+  for (std::size_t round = 0; round < 5; ++round) {
+    EXPECT_EQ(selector.select(fed, round, 3), sample_clients(fed, round, 3.0 / 8.0));
+  }
+}
+
+TEST(Selectors, RoundRobinCoversEveryoneInOrder) {
+  Federation fed(selector_federation());
+  RoundRobinSelector selector;
+  std::set<std::size_t> covered;
+  for (std::size_t round = 0; round < 4; ++round) {
+    const auto picks = selector.select(fed, round, 2);
+    EXPECT_EQ(picks.size(), 2u);
+    covered.insert(picks.begin(), picks.end());
+  }
+  EXPECT_EQ(covered.size(), 8u);  // 4 rounds x 2 clients = full population
+  // Deterministic: same round -> same picks.
+  EXPECT_EQ(selector.select(fed, 1, 2), selector.select(fed, 1, 2));
+}
+
+TEST(Selectors, ShardWeightedPrefersLargeShards) {
+  Federation fed(selector_federation());
+  ShardWeightedSelector selector;
+  // Count how often the largest shard's owner appears over many rounds.
+  std::size_t largest = 0;
+  for (std::size_t c = 1; c < fed.num_clients(); ++c) {
+    if (fed.client_shard(c).size() > fed.client_shard(largest).size()) largest = c;
+  }
+  std::size_t smallest = 0;
+  for (std::size_t c = 1; c < fed.num_clients(); ++c) {
+    if (fed.client_shard(c).size() < fed.client_shard(smallest).size()) smallest = c;
+  }
+  if (fed.client_shard(largest).size() < 3 * fed.client_shard(smallest).size()) {
+    GTEST_SKIP() << "partition not skewed enough for a sharp statistical test";
+  }
+  std::size_t largest_hits = 0;
+  std::size_t smallest_hits = 0;
+  for (std::size_t round = 0; round < 400; ++round) {
+    const auto picks = selector.select(fed, round, 2);
+    EXPECT_EQ(picks.size(), 2u);
+    for (std::size_t id : picks) {
+      if (id == largest) ++largest_hits;
+      if (id == smallest) ++smallest_hits;
+    }
+  }
+  EXPECT_GT(largest_hits, smallest_hits);
+}
+
+TEST(Selectors, SelectionsAreValidAndDistinct) {
+  Federation fed(selector_federation());
+  for (const char* name : {"uniform", "shard_weighted", "round_robin"}) {
+    auto selector = make_selector(name);
+    const auto picks = selector->select(fed, 3, 4);
+    EXPECT_LE(picks.size(), 4u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), picks.size()) << name;
+    for (std::size_t id : picks) EXPECT_LT(id, fed.num_clients()) << name;
+  }
+}
+
+TEST(Selectors, FactoryRejectsUnknown) {
+  EXPECT_THROW(make_selector("random_forest"), std::invalid_argument);
+}
+
+TEST(Selectors, RunnerAcceptsEveryStrategy) {
+  for (const char* name : {"uniform", "shard_weighted", "round_robin"}) {
+    Federation fed(selector_federation());
+    FedAvg algorithm(
+        models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 3,
+                          .image_size = 8, .width_multiplier = 0.25},
+        LocalTrainConfig{.epochs = 1, .batch_size = 16, .momentum = 0.0,
+                         .weight_decay = 0.0});
+    RunOptions run;
+    run.rounds = 2;
+    run.sample_ratio = 0.5;
+    run.selector = name;
+    const RunResult result = run_federated(fed, algorithm, run);
+    EXPECT_EQ(result.rounds_completed, 2u) << name;
+  }
+}
+
+// ---- LR decay ----
+
+TEST(LrDecay, AtRoundAppliesStepDecay) {
+  LocalTrainConfig config;
+  config.learning_rate = 0.1;
+  config.lr_decay_gamma = 0.5;
+  config.lr_decay_every = 10;
+  EXPECT_DOUBLE_EQ(config.at_round(0).learning_rate, 0.1);
+  EXPECT_DOUBLE_EQ(config.at_round(9).learning_rate, 0.1);
+  EXPECT_DOUBLE_EQ(config.at_round(10).learning_rate, 0.05);
+  EXPECT_DOUBLE_EQ(config.at_round(25).learning_rate, 0.025);
+  // Disabled by default.
+  LocalTrainConfig plain;
+  EXPECT_DOUBLE_EQ(plain.at_round(100).learning_rate, plain.learning_rate);
+}
+
+TEST(LrDecay, OtherFieldsUntouched) {
+  LocalTrainConfig config;
+  config.epochs = 3;
+  config.lr_decay_every = 5;
+  const LocalTrainConfig decayed = config.at_round(20);
+  EXPECT_EQ(decayed.epochs, 3u);
+  EXPECT_EQ(decayed.batch_size, config.batch_size);
+  EXPECT_DOUBLE_EQ(decayed.momentum, config.momentum);
+}
+
+}  // namespace
+}  // namespace fedkemf::fl

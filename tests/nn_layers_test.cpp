@@ -1,0 +1,358 @@
+// Forward-pass semantics of every layer: output shapes, known-value cases,
+// train/eval behaviour, parameter enumeration.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace fedkemf::nn {
+namespace {
+
+using core::Rng;
+using core::Shape;
+using core::Tensor;
+
+TEST(Linear, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::zeros(Shape::matrix(2, 4));
+  Tensor y = layer.forward(x);
+  EXPECT_EQ(y.shape(), Shape::matrix(2, 3));
+  // Zero input -> output equals bias (zero-initialized).
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 0.0f);
+}
+
+TEST(Linear, KnownValueForward) {
+  Rng rng(1);
+  Linear layer(2, 2, rng);
+  // Overwrite weights with a known matrix.
+  const float w[] = {1, 2, 3, 4};  // [[1,2],[3,4]]
+  layer.weight().value = Tensor::from_values(Shape::matrix(2, 2), w);
+  const float b[] = {10, 20};
+  layer.bias().value = Tensor::from_values(Shape::vector(2), b);
+  const float xv[] = {1, 1};
+  Tensor y = layer.forward(Tensor::from_values(Shape::matrix(1, 2), xv));
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 13.0f);  // 1*1 + 2*1 + 10
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 27.0f);  // 3*1 + 4*1 + 20
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_THROW(layer.forward(Tensor::zeros(Shape::matrix(2, 5))), std::invalid_argument);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_THROW(layer.backward(Tensor::zeros(Shape::matrix(2, 3))), std::logic_error);
+}
+
+TEST(Linear, ParameterEnumeration) {
+  Rng rng(1);
+  Linear with_bias(4, 3, rng);
+  Linear without_bias(4, 3, rng, /*with_bias=*/false);
+  EXPECT_EQ(with_bias.parameters().size(), 2u);
+  EXPECT_EQ(without_bias.parameters().size(), 1u);
+  EXPECT_EQ(with_bias.parameter_count(), 4u * 3u + 3u);
+}
+
+TEST(Conv2d, OutputGeometry) {
+  Rng rng(2);
+  Conv2d conv(3, 8, /*kernel=*/3, /*stride=*/2, /*padding=*/1, rng);
+  Tensor x = Tensor::zeros(Shape::nchw(2, 3, 9, 9));
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), Shape::nchw(2, 8, 5, 5));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(2);
+  Conv2d conv(1, 1, /*kernel=*/1, /*stride=*/1, /*padding=*/0, rng);
+  conv.weight().value.fill(1.0f);
+  Tensor x = Tensor::normal(Shape::nchw(1, 1, 4, 4), rng);
+  Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) ASSERT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, SumKernelComputesNeighborhoodSums) {
+  Rng rng(2);
+  Conv2d conv(1, 1, /*kernel=*/3, /*stride=*/1, /*padding=*/0, rng);
+  conv.weight().value.fill(1.0f);
+  Tensor x = Tensor::ones(Shape::nchw(1, 1, 5, 5));
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), Shape::nchw(1, 1, 3, 3));
+  for (std::size_t i = 0; i < y.numel(); ++i) ASSERT_FLOAT_EQ(y[i], 9.0f);
+}
+
+TEST(Conv2d, TooSmallInputThrows) {
+  Rng rng(2);
+  Conv2d conv(1, 1, /*kernel=*/5, /*stride=*/1, /*padding=*/0, rng);
+  EXPECT_THROW(conv.forward(Tensor::zeros(Shape::nchw(1, 1, 3, 3))), std::invalid_argument);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  const float v[] = {-2, -0.5f, 0, 0.5f, 2};
+  Tensor y = relu.forward(Tensor::from_values(Shape::vector(5), v));
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.0f);
+  EXPECT_EQ(y[3], 0.5f);
+  EXPECT_EQ(y[4], 2.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  const float v[] = {-1, 1};
+  relu.forward(Tensor::from_values(Shape::vector(2), v));
+  const float g[] = {5, 7};
+  Tensor dx = relu.backward(Tensor::from_values(Shape::vector(2), g));
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 7.0f);
+}
+
+TEST(Tanh, MatchesStdTanh) {
+  Tanh tanh_layer;
+  const float v[] = {-1.5f, 0.0f, 0.7f};
+  Tensor y = tanh_layer.forward(Tensor::from_values(Shape::vector(3), v));
+  for (int i = 0; i < 3; ++i) ASSERT_NEAR(y[i], std::tanh(v[i]), 1e-6f);
+}
+
+TEST(MaxPool2d, SelectsWindowMaxima) {
+  MaxPool2d pool(2, 2);
+  const float v[] = {1, 2, 3, 4,
+                     5, 6, 7, 8,
+                     9, 10, 11, 12,
+                     13, 14, 15, 16};
+  Tensor x = Tensor::from_values(Shape::nchw(1, 1, 4, 4), v);
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), Shape::nchw(1, 1, 2, 2));
+  EXPECT_EQ(y.at4(0, 0, 0, 0), 6.0f);
+  EXPECT_EQ(y.at4(0, 0, 0, 1), 8.0f);
+  EXPECT_EQ(y.at4(0, 0, 1, 0), 14.0f);
+  EXPECT_EQ(y.at4(0, 0, 1, 1), 16.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  const float v[] = {1, 2,
+                     4, 3};
+  Tensor x = Tensor::from_values(Shape::nchw(1, 1, 2, 2), v);
+  pool.forward(x);
+  const float g[] = {10};
+  Tensor dx = pool.backward(Tensor::from_values(Shape::nchw(1, 1, 1, 1), g));
+  EXPECT_EQ(dx.at4(0, 0, 1, 0), 10.0f);  // max was the 4
+  EXPECT_EQ(dx.at4(0, 0, 0, 0), 0.0f);
+}
+
+TEST(AvgPool2d, ComputesWindowMeans) {
+  AvgPool2d pool(2, 2);
+  const float v[] = {1, 3,
+                     5, 7};
+  Tensor x = Tensor::from_values(Shape::nchw(1, 1, 2, 2), v);
+  Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(GlobalAvgPool, CollapsesSpatialDims) {
+  GlobalAvgPool pool;
+  Tensor x = Tensor::full(Shape::nchw(2, 3, 4, 4), 2.5f);
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), Shape::nchw(2, 3, 1, 1));
+  for (std::size_t i = 0; i < y.numel(); ++i) ASSERT_FLOAT_EQ(y[i], 2.5f);
+}
+
+TEST(Flatten, ReshapesAndRestores) {
+  Flatten flatten;
+  Tensor x = Tensor::ones(Shape::nchw(2, 3, 4, 4));
+  Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), Shape::matrix(2, 48));
+  Tensor dx = flatten.backward(Tensor::zeros(Shape::matrix(2, 48)));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(BatchNorm2d, NormalizesBatchInTrainMode) {
+  BatchNorm2d bn(2);
+  Rng rng(3);
+  Tensor x = Tensor::normal(Shape::nchw(8, 2, 4, 4), rng, 5.0f, 3.0f);
+  Tensor y = bn.forward(x);
+  // Per-channel mean ~0, var ~1 after normalization with gamma=1, beta=0.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 8; ++n) {
+      for (std::size_t h = 0; h < 4; ++h) {
+        for (std::size_t w = 0; w < 4; ++w) {
+          const float v = y.at4(n, c, h, w);
+          sum += v;
+          sq += static_cast<double>(v) * v;
+          ++count;
+        }
+      }
+    }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  Rng rng(4);
+  for (int step = 0; step < 50; ++step) {
+    Tensor x = Tensor::normal(Shape::nchw(16, 1, 2, 2), rng, 3.0f, 2.0f);
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean().value[0], 3.0f, 0.5f);
+  EXPECT_NEAR(bn.running_var().value[0], 4.0f, 1.0f);
+}
+
+TEST(BatchNorm2d, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean().value[0] = 2.0f;
+  bn.running_var().value[0] = 4.0f;
+  bn.set_training(false);
+  Tensor x = Tensor::full(Shape::nchw(1, 1, 1, 1), 4.0f);
+  Tensor y = bn.forward(x);
+  // (4 - 2) / sqrt(4 + eps) ~= 1.
+  EXPECT_NEAR(y[0], 1.0f, 1e-3f);
+}
+
+TEST(BatchNorm2d, ParametersAndBuffers) {
+  BatchNorm2d bn(7);
+  EXPECT_EQ(bn.parameters().size(), 2u);
+  EXPECT_EQ(bn.buffers().size(), 2u);
+  EXPECT_EQ(bn.parameter_count(), 14u);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(5);
+  Dropout dropout(0.5f, rng);
+  dropout.set_training(false);
+  Tensor x = Tensor::ones(Shape::vector(100));
+  Tensor y = dropout.forward(x);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(y[i], 1.0f);
+}
+
+TEST(Dropout, TrainModeDropsApproximatelyP) {
+  Rng rng(6);
+  Dropout dropout(0.3f, rng);
+  Tensor x = Tensor::ones(Shape::vector(10000));
+  Tensor y = dropout.forward(x);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      ASSERT_NEAR(y[i], 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+  Rng rng(7);
+  EXPECT_THROW(Dropout(1.0f, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1f, rng), std::invalid_argument);
+}
+
+TEST(BasicBlock, IdentityShortcutShape) {
+  Rng rng(8);
+  BasicBlock block(8, 8, /*stride=*/1, rng);
+  EXPECT_FALSE(block.has_projection());
+  Tensor x = Tensor::normal(Shape::nchw(2, 8, 6, 6), rng);
+  Tensor y = block.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(BasicBlock, ProjectionShortcutShape) {
+  Rng rng(9);
+  BasicBlock block(8, 16, /*stride=*/2, rng);
+  EXPECT_TRUE(block.has_projection());
+  Tensor x = Tensor::normal(Shape::nchw(2, 8, 6, 6), rng);
+  Tensor y = block.forward(x);
+  EXPECT_EQ(y.shape(), Shape::nchw(2, 16, 3, 3));
+}
+
+TEST(BasicBlock, OutputIsNonNegative) {
+  Rng rng(10);
+  BasicBlock block(4, 4, 1, rng);
+  Tensor x = Tensor::normal(Shape::nchw(3, 4, 5, 5), rng);
+  Tensor y = block.forward(x);
+  EXPECT_GE(y.min(), 0.0f);  // final ReLU
+}
+
+TEST(Sequential, ChainsLayersAndEnumeratesState) {
+  Rng rng(11);
+  Sequential net;
+  net.emplace<Linear>(6, 4, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(4, 2, rng);
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.parameters().size(), 4u);
+  Tensor y = net.forward(Tensor::zeros(Shape::matrix(3, 6)));
+  EXPECT_EQ(y.shape(), Shape::matrix(3, 2));
+  net.set_training(false);
+  EXPECT_FALSE(net.layer(0).training());
+}
+
+TEST(ModuleState, SnapshotRestoreRoundTrip) {
+  Rng rng(12);
+  Sequential net;
+  net.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  net.emplace<BatchNorm2d>(2);
+  auto state = snapshot_state(net);
+  EXPECT_EQ(state.size(), net.parameters().size() + net.buffers().size());
+
+  // Perturb, then restore.
+  for (Parameter* p : net.parameters()) p->value.fill(0.0f);
+  restore_state(net, state);
+  EXPECT_NE(net.parameters()[0]->value.abs_max(), 0.0f);
+}
+
+TEST(ModuleState, CopyStateMakesModelsIdentical) {
+  Rng rng1(13);
+  Rng rng2(14);
+  Sequential a;
+  a.emplace<Linear>(5, 3, rng1);
+  Sequential b;
+  b.emplace<Linear>(5, 3, rng2);
+  copy_state(a, b);
+  Tensor x = Tensor::normal(Shape::matrix(2, 5), rng1);
+  Tensor ya = a.forward(x);
+  Tensor yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.numel(); ++i) ASSERT_EQ(ya[i], yb[i]);
+}
+
+TEST(ModuleState, CopyStateRejectsMismatchedArch) {
+  Rng rng(15);
+  Sequential a;
+  a.emplace<Linear>(5, 3, rng);
+  Sequential b;
+  b.emplace<Linear>(5, 4, rng);
+  EXPECT_THROW(copy_state(a, b), std::invalid_argument);
+}
+
+TEST(ModuleState, ZeroGradClearsAccumulators) {
+  Rng rng(16);
+  Linear layer(3, 2, rng);
+  layer.forward(Tensor::ones(Shape::matrix(1, 3)));
+  layer.backward(Tensor::ones(Shape::matrix(1, 2)));
+  EXPECT_NE(layer.weight().grad.abs_max(), 0.0f);
+  layer.zero_grad();
+  EXPECT_EQ(layer.weight().grad.abs_max(), 0.0f);
+}
+
+}  // namespace
+}  // namespace fedkemf::nn

@@ -1,0 +1,179 @@
+// Semantics of the loss functions: closed-form cases, invariances, and the
+// temperature behaviour the server distillation relies on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/tensor_ops.hpp"
+#include "nn/loss.hpp"
+
+namespace fedkemf::nn {
+namespace {
+
+using core::Rng;
+using core::Shape;
+using core::Tensor;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::zeros(Shape::matrix(4, 10));
+  std::vector<std::size_t> labels = {0, 3, 7, 9};
+  SoftmaxCrossEntropy ce;
+  const LossResult r = ce.compute(logits, labels);
+  EXPECT_NEAR(r.value, std::log(10.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionLossNearZero) {
+  Tensor logits = Tensor::zeros(Shape::matrix(2, 3));
+  logits.at_mut(0 * 3 + 1) = 50.0f;
+  logits.at_mut(1 * 3 + 2) = 50.0f;
+  std::vector<std::size_t> labels = {1, 2};
+  SoftmaxCrossEntropy ce;
+  EXPECT_NEAR(ce.value(logits, labels), 0.0f, 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehotOverN) {
+  Rng rng(1);
+  Tensor logits = Tensor::normal(Shape::matrix(3, 4), rng);
+  std::vector<std::size_t> labels = {2, 0, 1};
+  SoftmaxCrossEntropy ce;
+  const LossResult r = ce.compute(logits, labels);
+  Tensor probs = core::softmax_rows(logits);
+  for (std::size_t n = 0; n < 3; ++n) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const float expected =
+          (probs.at2(n, c) - (labels[n] == c ? 1.0f : 0.0f)) / 3.0f;
+      ASSERT_NEAR(r.grad.at2(n, c), expected, 1e-5f);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  Rng rng(2);
+  Tensor logits = Tensor::normal(Shape::matrix(5, 7), rng);
+  std::vector<std::size_t> labels = {0, 1, 2, 3, 4};
+  SoftmaxCrossEntropy ce;
+  const LossResult r = ce.compute(logits, labels);
+  for (std::size_t n = 0; n < 5; ++n) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) row_sum += r.grad.at2(n, c);
+    ASSERT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  Tensor logits = Tensor::zeros(Shape::matrix(1, 3));
+  std::vector<std::size_t> out_of_range = {3};
+  std::vector<std::size_t> wrong_count = {0, 1};
+  SoftmaxCrossEntropy ce;
+  EXPECT_THROW(ce.compute(logits, out_of_range), std::invalid_argument);
+  EXPECT_THROW(ce.compute(logits, wrong_count), std::invalid_argument);
+}
+
+TEST(DistillationKl, ZeroWhenDistributionsMatch) {
+  Rng rng(3);
+  Tensor logits = Tensor::normal(Shape::matrix(4, 6), rng);
+  DistillationKl kd(1.0f);
+  const LossResult r = kd.compute(logits, logits.clone());
+  EXPECT_NEAR(r.value, 0.0f, 1e-6f);
+  EXPECT_NEAR(r.grad.abs_max(), 0.0f, 1e-7f);
+}
+
+TEST(DistillationKl, NonNegative) {
+  Rng rng(4);
+  DistillationKl kd(1.0f);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor student = Tensor::normal(Shape::matrix(3, 5), rng);
+    Tensor teacher = Tensor::normal(Shape::matrix(3, 5), rng);
+    EXPECT_GE(kd.value(student, teacher), -1e-6f);
+  }
+}
+
+TEST(DistillationKl, ShiftInvariantInBothArguments) {
+  Rng rng(5);
+  Tensor student = Tensor::normal(Shape::matrix(2, 4), rng);
+  Tensor teacher = Tensor::normal(Shape::matrix(2, 4), rng);
+  DistillationKl kd(2.0f);
+  const float base = kd.value(student, teacher);
+  Tensor student_shift = student.clone();
+  student_shift.add_scalar_(3.0f);
+  Tensor teacher_shift = teacher.clone();
+  teacher_shift.add_scalar_(-5.0f);
+  EXPECT_NEAR(kd.value(student_shift, teacher_shift), base, 1e-4f);
+}
+
+TEST(DistillationKl, HigherTemperatureSoftensGradients) {
+  Rng rng(6);
+  Tensor student = Tensor::normal(Shape::matrix(2, 5), rng, 0.0f, 4.0f);
+  Tensor teacher = Tensor::normal(Shape::matrix(2, 5), rng, 0.0f, 4.0f);
+  DistillationKl sharp(1.0f);
+  DistillationKl soft(8.0f);
+  // With very high T both distributions approach uniform, so the raw
+  // (unscaled) divergence collapses; T^2 compensation keeps values
+  // comparable, but gradients should differ in structure.
+  const LossResult g1 = sharp.compute(student, teacher);
+  const LossResult g8 = soft.compute(student, teacher);
+  EXPECT_TRUE(g1.grad.all_finite());
+  EXPECT_TRUE(g8.grad.all_finite());
+  EXPECT_NE(g1.grad.abs_max(), g8.grad.abs_max());
+}
+
+TEST(DistillationKl, GradientPushesStudentTowardTeacher) {
+  // One gradient step on the student logits must reduce the KL.
+  Rng rng(7);
+  Tensor student = Tensor::normal(Shape::matrix(4, 6), rng);
+  Tensor teacher = Tensor::normal(Shape::matrix(4, 6), rng);
+  DistillationKl kd(1.0f);
+  const LossResult r = kd.compute(student, teacher);
+  Tensor stepped = student.clone();
+  stepped.add_scaled_(r.grad, -4.0f);
+  EXPECT_LT(kd.value(stepped, teacher), r.value);
+}
+
+TEST(DistillationKl, RejectsShapeMismatch) {
+  DistillationKl kd(1.0f);
+  Tensor a = Tensor::zeros(Shape::matrix(2, 3));
+  Tensor b = Tensor::zeros(Shape::matrix(2, 4));
+  EXPECT_THROW(kd.compute(a, b), std::invalid_argument);
+}
+
+TEST(DistillationKl, RejectsBadTemperature) {
+  EXPECT_THROW(DistillationKl(0.0f), std::invalid_argument);
+  EXPECT_THROW(DistillationKl(-1.0f), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  const float v[] = {1, 9, 0,   // pred 1
+                     8, 1, 1,   // pred 0
+                     0, 0, 5};  // pred 2
+  Tensor logits = Tensor::from_values(Shape::matrix(3, 3), v);
+  std::vector<std::size_t> labels = {1, 2, 2};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Accuracy, RejectsCountMismatch) {
+  Tensor logits = Tensor::zeros(Shape::matrix(2, 3));
+  std::vector<std::size_t> labels = {0};
+  EXPECT_THROW(accuracy(logits, labels), std::invalid_argument);
+}
+
+// Temperature sweep: KL value with T^2 scaling stays bounded and finite.
+class KlTemperature : public ::testing::TestWithParam<float> {};
+
+TEST_P(KlTemperature, FiniteAndNonNegative) {
+  Rng rng(8);
+  Tensor student = Tensor::normal(Shape::matrix(3, 10), rng, 0.0f, 3.0f);
+  Tensor teacher = Tensor::normal(Shape::matrix(3, 10), rng, 0.0f, 3.0f);
+  DistillationKl kd(GetParam());
+  const LossResult r = kd.compute(student, teacher);
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_GE(r.value, -1e-5f);
+  EXPECT_TRUE(r.grad.all_finite());
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, KlTemperature,
+                         ::testing::Values(0.5f, 1.0f, 2.0f, 3.0f, 5.0f, 10.0f));
+
+}  // namespace
+}  // namespace fedkemf::nn

@@ -1,0 +1,155 @@
+// SGD optimizer semantics: vanilla step, momentum, Nesterov, weight decay,
+// convergence on a quadratic, LR schedule.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/linear.hpp"
+#include "nn/optim.hpp"
+
+namespace fedkemf::nn {
+namespace {
+
+using core::Rng;
+using core::Shape;
+using core::Tensor;
+
+/// A single free parameter exposed as a Module-free Parameter for testing.
+Parameter make_param(std::initializer_list<float> values) {
+  std::vector<float> v(values);
+  Parameter p("w", Tensor::from_values(Shape::vector(v.size()), v));
+  return p;
+}
+
+TEST(Sgd, VanillaStep) {
+  Parameter p = make_param({1.0f, 2.0f});
+  p.grad[0] = 0.5f;
+  p.grad[1] = -1.0f;
+  Sgd opt({&p}, {.learning_rate = 0.1});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.1f);
+  EXPECT_EQ(opt.steps_taken(), 1u);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Parameter p = make_param({10.0f});
+  p.grad[0] = 0.0f;
+  Sgd opt({&p}, {.learning_rate = 0.1, .weight_decay = 0.5});
+  opt.step();
+  // g = 0 + 0.5*10 = 5; w = 10 - 0.1*5 = 9.5.
+  EXPECT_FLOAT_EQ(p.value[0], 9.5f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Parameter p = make_param({0.0f});
+  Sgd opt({&p}, {.learning_rate = 1.0, .momentum = 0.5});
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, NesterovLooksAhead) {
+  Parameter p = make_param({0.0f});
+  Sgd opt({&p}, {.learning_rate = 1.0, .momentum = 0.5, .nesterov = true});
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1, w -= (1 + 0.5*1) = -1.5
+  EXPECT_FLOAT_EQ(p.value[0], -1.5f);
+}
+
+TEST(Sgd, ValidatesOptions) {
+  Parameter p = make_param({0.0f});
+  EXPECT_THROW(Sgd({&p}, {.learning_rate = 0.0}), std::invalid_argument);
+  EXPECT_THROW(Sgd({&p}, {.learning_rate = 0.1, .momentum = 1.0}), std::invalid_argument);
+  EXPECT_THROW(Sgd({&p}, {.learning_rate = 0.1, .momentum = 0.0, .nesterov = true}),
+               std::invalid_argument);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Parameter p = make_param({0.0f});
+  p.grad[0] = 3.0f;
+  Sgd opt({&p}, {.learning_rate = 0.1});
+  opt.zero_grad();
+  EXPECT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // minimize f(w) = 0.5 * ||w - target||^2, grad = w - target.
+  Parameter p = make_param({5.0f, -3.0f, 0.5f});
+  const float target[3] = {1.0f, 2.0f, -1.0f};
+  Sgd opt({&p}, {.learning_rate = 0.2, .momentum = 0.9});
+  for (int iter = 0; iter < 200; ++iter) {
+    for (int i = 0; i < 3; ++i) p.grad[i] = p.value[i] - target[i];
+    opt.step();
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(p.value[i], target[i], 1e-3f);
+}
+
+TEST(Sgd, TrainsLinearRegressionThroughModule) {
+  // Fit y = 2x with a bias-free 1x1 Linear.
+  Rng rng(1);
+  Linear model(1, 1, rng, /*with_bias=*/false);
+  Sgd opt(model.parameters(), {.learning_rate = 0.1});
+  for (int iter = 0; iter < 300; ++iter) {
+    const float xv[] = {1.0f};
+    Tensor x = Tensor::from_values(Shape::matrix(1, 1), xv);
+    Tensor y = model.forward(x);
+    const float err = y[0] - 2.0f;
+    const float g[] = {err};
+    opt.zero_grad();
+    model.backward(Tensor::from_values(Shape::matrix(1, 1), g));
+    opt.step();
+  }
+  EXPECT_NEAR(model.weight().value[0], 2.0f, 1e-3f);
+}
+
+TEST(Sgd, ClipNormScalesLargeGradients) {
+  Parameter p = make_param({0.0f, 0.0f});
+  p.grad[0] = 3.0f;
+  p.grad[1] = 4.0f;  // norm 5
+  Sgd opt({&p}, {.learning_rate = 1.0, .clip_norm = 2.5});
+  opt.step();
+  // Gradient scaled by 2.5/5 = 0.5 -> update (-1.5, -2.0).
+  EXPECT_FLOAT_EQ(p.value[0], -1.5f);
+  EXPECT_FLOAT_EQ(p.value[1], -2.0f);
+}
+
+TEST(Sgd, ClipNormLeavesSmallGradientsAlone) {
+  Parameter p = make_param({0.0f});
+  p.grad[0] = 1.0f;
+  Sgd opt({&p}, {.learning_rate = 1.0, .clip_norm = 10.0});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+}
+
+TEST(Sgd, ClipNormIsGlobalAcrossParameters) {
+  Parameter a = make_param({0.0f});
+  Parameter b = make_param({0.0f});
+  a.grad[0] = 3.0f;
+  b.grad[0] = 4.0f;  // global norm 5
+  Sgd opt({&a, &b}, {.learning_rate = 1.0, .clip_norm = 1.0});
+  opt.step();
+  EXPECT_NEAR(a.value[0], -0.6f, 1e-6f);
+  EXPECT_NEAR(b.value[0], -0.8f, 1e-6f);
+}
+
+TEST(StepLrSchedule, DecaysByGammaEveryStepSize) {
+  StepLrSchedule schedule(0.1, 10, 0.5);
+  EXPECT_DOUBLE_EQ(schedule.at(0), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.at(9), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.at(10), 0.05);
+  EXPECT_DOUBLE_EQ(schedule.at(25), 0.025);
+}
+
+TEST(StepLrSchedule, ZeroStepSizeMeansConstant) {
+  StepLrSchedule schedule(0.3, 0, 0.5);
+  EXPECT_DOUBLE_EQ(schedule.at(100), 0.3);
+}
+
+}  // namespace
+}  // namespace fedkemf::nn

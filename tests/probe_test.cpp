@@ -1,0 +1,84 @@
+// GradProbe semantics: identity forward, gradient capture, reuse rules.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/linear.hpp"
+#include "nn/probe.hpp"
+
+namespace fedkemf::nn {
+namespace {
+
+using core::Rng;
+using core::Shape;
+using core::Tensor;
+
+TEST(GradProbe, ForwardIsIdentityWithZeroOffset) {
+  GradProbe probe;
+  Rng rng(1);
+  Tensor x = Tensor::normal(Shape::matrix(3, 4), rng);
+  Tensor y = probe.forward(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) ASSERT_EQ(y[i], x[i]);
+  EXPECT_FALSE(y.shares_storage_with(x));  // clone, so offset edits are isolated
+}
+
+TEST(GradProbe, OffsetShiftsOutput) {
+  GradProbe probe;
+  Tensor x = Tensor::ones(Shape::vector(4));
+  probe.forward(x);  // materialize
+  probe.offset().value[2] = 0.5f;
+  Tensor y = probe.forward(x);
+  EXPECT_FLOAT_EQ(y[2], 1.5f);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+}
+
+TEST(GradProbe, BackwardCapturesUpstreamGradient) {
+  GradProbe probe;
+  Tensor x = Tensor::ones(Shape::vector(3));
+  probe.forward(x);
+  const float g[] = {1.0f, -2.0f, 3.0f};
+  Tensor dy = Tensor::from_values(Shape::vector(3), g);
+  Tensor dx = probe.backward(dy);
+  EXPECT_EQ(probe.offset().grad[1], -2.0f);
+  EXPECT_EQ(dx[2], 3.0f);  // pass-through
+  // Accumulation semantics: a second backward adds.
+  probe.backward(dy);
+  EXPECT_EQ(probe.offset().grad[1], -4.0f);
+}
+
+TEST(GradProbe, ParametersAppearOnlyAfterFirstForward) {
+  GradProbe probe;
+  EXPECT_TRUE(probe.parameters().empty());
+  probe.forward(Tensor::ones(Shape::vector(2)));
+  EXPECT_EQ(probe.parameters().size(), 1u);
+  EXPECT_EQ(probe.parameters()[0]->name, "offset");
+}
+
+TEST(GradProbe, RejectsShapeChange) {
+  GradProbe probe;
+  probe.forward(Tensor::ones(Shape::vector(2)));
+  EXPECT_THROW(probe.forward(Tensor::ones(Shape::vector(3))), std::invalid_argument);
+}
+
+TEST(GradProbe, BackwardBeforeForwardThrows) {
+  GradProbe probe;
+  EXPECT_THROW(probe.backward(Tensor::ones(Shape::vector(2))), std::logic_error);
+}
+
+TEST(GradProbe, ComposesInSequential) {
+  Rng rng(2);
+  Sequential net;
+  net.emplace<Linear>(4, 4, rng);
+  GradProbe* probe = net.emplace<GradProbe>();
+  net.emplace<Linear>(4, 2, rng);
+  Tensor x = Tensor::normal(Shape::matrix(2, 4), rng);
+  net.forward(x);
+  net.zero_grad();
+  net.forward(x);
+  net.backward(Tensor::ones(Shape::matrix(2, 2)));
+  // The probe saw the gradient flowing between the two linears.
+  EXPECT_NE(probe->offset().grad.abs_max(), 0.0f);
+}
+
+}  // namespace
+}  // namespace fedkemf::nn

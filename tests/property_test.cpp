@@ -1,0 +1,190 @@
+// Cross-cutting property tests: wire-format fuzzing, partitioner sweeps,
+// RNG uniformity (chi-square), weight-exchange invariants under composition
+// with codecs, and determinism of the synthetic data pipeline end to end.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "comm/compression.hpp"
+#include "core/rng.hpp"
+#include "core/serialize.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "models/zoo.hpp"
+
+namespace fedkemf {
+namespace {
+
+// ---- Wire-format fuzzing: every truncation of a valid payload must be
+// rejected with an exception, never crash or silently succeed. ----
+
+std::unique_ptr<nn::Module> fuzz_model(std::uint64_t seed) {
+  core::Rng rng(seed);
+  return models::build_model(
+      models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 1,
+                        .image_size = 8, .width_multiplier = 0.25},
+      rng);
+}
+
+class PayloadTruncation : public ::testing::TestWithParam<double> {};
+
+TEST_P(PayloadTruncation, TruncatedPayloadsAreRejected) {
+  auto src = fuzz_model(1);
+  auto dst = fuzz_model(2);
+  auto payload = comm::encode_model(*src, comm::Codec::kFp32);
+  const std::size_t cut =
+      static_cast<std::size_t>(GetParam() * static_cast<double>(payload.size()));
+  if (cut >= payload.size()) GTEST_SKIP();
+  payload.resize(cut);
+  EXPECT_THROW(comm::decode_model(payload, *dst), std::exception);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, PayloadTruncation,
+                         ::testing::Values(0.0, 0.05, 0.3, 0.5, 0.9, 0.99));
+
+TEST(PayloadFuzz, RandomByteFlipsNeverCrash) {
+  auto src = fuzz_model(3);
+  auto dst = fuzz_model(4);
+  const auto clean = comm::encode_model(*src, comm::Codec::kInt8);
+  core::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = clean;
+    const std::size_t flips = 1 + rng.uniform_index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      corrupted[rng.uniform_index(corrupted.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    }
+    // Either decodes (payload bytes are mostly raw data, so most flips just
+    // change values) or throws — never crashes or corrupts unrelated state.
+    try {
+      comm::decode_model(corrupted, *dst);
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+// ---- Partitioner sweep: exact cover must hold for every population size. ----
+
+class PartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionSweep, DirichletExactCoverAcrossPopulations) {
+  const std::size_t clients = GetParam();
+  std::vector<std::size_t> labels(40 * clients);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+  core::Rng rng(7 + clients);
+  const auto partition = data::partition_dirichlet(labels, 10, clients, 0.1, rng);
+  ASSERT_EQ(partition.size(), clients);
+  std::vector<bool> seen(labels.size(), false);
+  std::size_t total = 0;
+  for (const auto& shard : partition) {
+    EXPECT_GE(shard.size(), 2u);
+    for (std::size_t idx : shard) {
+      ASSERT_FALSE(seen[idx]);
+      seen[idx] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, labels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, PartitionSweep,
+                         ::testing::Values(2, 3, 5, 10, 30, 50, 100));
+
+// ---- RNG uniformity: chi-square over 64 bins must not be absurd. ----
+
+TEST(RngProperty, ChiSquareUniformity) {
+  core::Rng rng(99);
+  constexpr std::size_t kBins = 64;
+  constexpr std::size_t kDraws = 64000;
+  std::vector<std::size_t> counts(kBins, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform() * kBins)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (std::size_t count : counts) {
+    const double d = static_cast<double>(count) - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 degrees of freedom: mean 63, stddev ~11.2; 5-sigma band.
+  EXPECT_GT(chi2, 63.0 - 5 * 11.3);
+  EXPECT_LT(chi2, 63.0 + 5 * 11.3);
+}
+
+TEST(RngProperty, LaggedAutocorrelationIsSmall) {
+  core::Rng rng(100);
+  constexpr std::size_t kDraws = 50000;
+  std::vector<double> values(kDraws);
+  for (double& v : values) v = rng.uniform() - 0.5;
+  for (std::size_t lag : {1u, 2u, 7u, 64u}) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i + lag < kDraws; ++i) {
+      num += values[i] * values[i + lag];
+      den += values[i] * values[i];
+    }
+    EXPECT_LT(std::fabs(num / den), 0.02) << "lag " << lag;
+  }
+}
+
+// ---- Codec composition: encode(fp16) of a decode(fp16) is a fixed point
+// (idempotent quantization). ----
+
+class CodecFixedPoint : public ::testing::TestWithParam<comm::Codec> {};
+
+TEST_P(CodecFixedPoint, QuantizationIsIdempotent) {
+  const comm::Codec codec = GetParam();
+  auto a = fuzz_model(11);
+  auto b = fuzz_model(12);
+  auto c = fuzz_model(13);
+  comm::decode_model(comm::encode_model(*a, codec), *b);  // b = Q(a)
+  comm::decode_model(comm::encode_model(*b, codec), *c);  // c = Q(Q(a))
+  const auto pb = b->parameters();
+  const auto pc = c->parameters();
+  for (std::size_t i = 0; i < pb.size(); ++i) {
+    for (std::size_t j = 0; j < pb[i]->value.numel(); ++j) {
+      ASSERT_EQ(pc[i]->value[j], pb[i]->value[j])
+          << comm::to_string(codec) << " param " << i << " entry " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecFixedPoint,
+                         ::testing::Values(comm::Codec::kFp32, comm::Codec::kFp16,
+                                           comm::Codec::kInt8));
+
+// ---- Synthetic pipeline determinism across resolutions/channels. ----
+
+struct SynthCase {
+  std::size_t classes, channels, size;
+};
+
+class SyntheticSweep : public ::testing::TestWithParam<SynthCase> {};
+
+TEST_P(SyntheticSweep, GenerationIsDeterministicAndFinite) {
+  const auto p = GetParam();
+  data::SyntheticSpec spec;
+  spec.num_classes = p.classes;
+  spec.channels = p.channels;
+  spec.image_size = p.size;
+  spec.jitter = std::min<std::size_t>(2, p.size - 1);
+  const data::Dataset a = data::make_synthetic_dataset(spec, 3 * p.classes,
+                                                       data::kTrainSplit);
+  const data::Dataset b = data::make_synthetic_dataset(spec, 3 * p.classes,
+                                                       data::kTrainSplit);
+  EXPECT_TRUE(a.images().all_finite());
+  for (std::size_t i = 0; i < a.images().numel(); ++i) {
+    ASSERT_EQ(a.images()[i], b.images()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, SyntheticSweep,
+                         ::testing::Values(SynthCase{2, 1, 4}, SynthCase{4, 1, 8},
+                                           SynthCase{10, 3, 12}, SynthCase{10, 3, 32},
+                                           SynthCase{7, 2, 15}));
+
+}  // namespace
+}  // namespace fedkemf

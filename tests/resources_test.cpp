@@ -1,0 +1,100 @@
+// Resource-model tests: device classes, per-client round cost estimation,
+// makespan math, and the paper's core resource-awareness claim — multi-model
+// deployment balances a heterogeneous fleet better than a uniform model.
+
+#include <gtest/gtest.h>
+
+#include "fl/resources.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+models::ModelSpec spec_of(const char* arch) {
+  return models::ModelSpec{.arch = arch, .num_classes = 10, .in_channels = 3,
+                           .image_size = 32, .width_multiplier = 1.0};
+}
+
+TEST(DeviceClass, StandardFleetIsOrderedByCapability) {
+  const auto fleet = DeviceClass::standard_fleet();
+  ASSERT_EQ(fleet.size(), 3u);
+  EXPECT_LT(fleet[0].flops_per_second, fleet[1].flops_per_second);
+  EXPECT_LT(fleet[1].flops_per_second, fleet[2].flops_per_second);
+  EXPECT_LT(fleet[0].link.bandwidth_bytes_per_second,
+            fleet[2].link.bandwidth_bytes_per_second);
+}
+
+TEST(ClientRoundCost, ComputeDominatesForBigModelOnSlowDevice) {
+  const auto fleet = DeviceClass::standard_fleet();
+  const ClientRoundCost cost = estimate_client_round(
+      fleet[0], spec_of("vgg11"), /*shard=*/1000, /*epochs=*/2, /*bytes=*/1 << 20);
+  EXPECT_GT(cost.compute_seconds, cost.transfer_seconds);
+  EXPECT_GT(cost.total_seconds(), cost.compute_seconds);
+}
+
+TEST(ClientRoundCost, ScalesLinearlyWithShardAndEpochs) {
+  const auto fleet = DeviceClass::standard_fleet();
+  const ClientRoundCost base =
+      estimate_client_round(fleet[1], spec_of("resnet20"), 100, 1, 0);
+  const ClientRoundCost double_shard =
+      estimate_client_round(fleet[1], spec_of("resnet20"), 200, 1, 0);
+  const ClientRoundCost double_epochs =
+      estimate_client_round(fleet[1], spec_of("resnet20"), 100, 2, 0);
+  EXPECT_DOUBLE_EQ(double_shard.compute_seconds, 2.0 * base.compute_seconds);
+  EXPECT_DOUBLE_EQ(double_epochs.compute_seconds, 2.0 * base.compute_seconds);
+}
+
+TEST(ClientRoundCost, FasterDeviceIsFaster) {
+  const auto fleet = DeviceClass::standard_fleet();
+  const ClientRoundCost slow =
+      estimate_client_round(fleet[0], spec_of("resnet20"), 100, 1, 1 << 20);
+  const ClientRoundCost fast =
+      estimate_client_round(fleet[2], spec_of("resnet20"), 100, 1, 1 << 20);
+  EXPECT_GT(slow.total_seconds(), fast.total_seconds());
+}
+
+TEST(ClientRoundCost, RejectsBrokenDevice) {
+  DeviceClass broken{"bad", 0.0, {}};
+  EXPECT_THROW(estimate_client_round(broken, spec_of("mlp"), 10, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(Makespan, MaxOverClients) {
+  std::vector<ClientRoundCost> costs = {{1.0, 0.5}, {3.0, 0.1}, {0.2, 0.2}};
+  EXPECT_DOUBLE_EQ(round_makespan(costs), 3.1);
+  EXPECT_DOUBLE_EQ(round_makespan({}), 0.0);
+}
+
+TEST(FleetSummary, UtilizationReflectsImbalance) {
+  const FleetCostSummary balanced = summarize_fleet({{1.0, 0.0}, {1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(balanced.utilization, 1.0);
+  const FleetCostSummary skewed = summarize_fleet({{4.0, 0.0}, {1.0, 0.0}});
+  EXPECT_NEAR(skewed.utilization, 2.5 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(skewed.makespan_seconds, 4.0);
+}
+
+TEST(ResourceAwareness, MultiModelDeploymentBeatsUniformLargeModel) {
+  // The paper's motivating claim: deploying one big model on every device
+  // makes the phone-class clients the bottleneck.  Matching models to device
+  // classes (FedKEMF's multi-model mode) reduces the round makespan.
+  const auto fleet = DeviceClass::standard_fleet();
+  const std::size_t shard = 500;
+  const std::size_t epochs = 1;
+  const std::size_t bytes = 4 << 20;
+
+  std::vector<ClientRoundCost> uniform;
+  std::vector<ClientRoundCost> matched;
+  const char* zoo[3] = {"resnet20", "resnet32", "resnet44"};  // small -> slow device
+  for (std::size_t device = 0; device < 3; ++device) {
+    uniform.push_back(
+        estimate_client_round(fleet[device], spec_of("resnet44"), shard, epochs, bytes));
+    matched.push_back(
+        estimate_client_round(fleet[device], spec_of(zoo[device]), shard, epochs, bytes));
+  }
+  const FleetCostSummary uniform_summary = summarize_fleet(uniform);
+  const FleetCostSummary matched_summary = summarize_fleet(matched);
+  EXPECT_LT(matched_summary.makespan_seconds, uniform_summary.makespan_seconds * 0.6);
+  EXPECT_GT(matched_summary.utilization, uniform_summary.utilization);
+}
+
+}  // namespace
+}  // namespace fedkemf::fl

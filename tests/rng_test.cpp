@@ -1,0 +1,228 @@
+// Unit + statistical property tests for the deterministic RNG.
+
+#include "core/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fedkemf::core {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(42);
+  Rng b(43);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::uint64_t all_or = 0;
+  for (int i = 0; i < 100; ++i) all_or |= rng.next_u64();
+  EXPECT_NE(all_or, 0u);
+}
+
+TEST(Rng, ForkIsIndependentOfParentPosition) {
+  Rng parent1(7);
+  Rng parent2(7);
+  parent2.next_u64();  // advance parent2 only
+  Rng child1 = parent1.fork(3);
+  Rng child2 = parent2.fork(3);
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkedStreamsDecorrelated) {
+  Rng parent(7);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NearbyTagsProduceDistinctStreams) {
+  // Client ids are small consecutive integers; forks must not collide.
+  Rng parent(1);
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t tag = 0; tag < 100; ++tag) {
+    first_draws.insert(parent.fork(tag).next_u64());
+  }
+  EXPECT_EQ(first_draws.size(), 100u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(10);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(11);
+  for (double shape : {0.1, 0.5, 1.0, 2.0, 7.5}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.1 + 0.02) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, GammaRejectsNonPositiveShape) {
+  Rng rng(12);
+  EXPECT_THROW(rng.gamma(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.gamma(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(13);
+  for (double alpha : {0.05, 0.1, 1.0, 10.0}) {
+    const auto p = rng.dirichlet(alpha, 10);
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaIsSkewed) {
+  // alpha = 0.05 should concentrate nearly all mass on few categories.
+  Rng rng(14);
+  double max_total = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = rng.dirichlet(0.05, 10);
+    max_total += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_GT(max_total / trials, 0.7);
+}
+
+TEST(Rng, DirichletLargeAlphaIsFlat) {
+  Rng rng(15);
+  double max_total = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = rng.dirichlet(100.0, 10);
+    max_total += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_LT(max_total / trials, 0.15);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(16);
+  const auto perm = rng.permutation(257);
+  std::vector<bool> seen(257, false);
+  for (std::size_t v : perm) {
+    ASSERT_LT(v, 257u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(17);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(18);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(19);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+// Parameterized sweep: the fork tree must be reproducible at any depth.
+class RngForkDepth : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngForkDepth, DeepForksReproducible) {
+  const int depth = GetParam();
+  auto make = [&] {
+    Rng rng(99);
+    for (int d = 0; d < depth; ++d) rng = rng.fork(static_cast<std::uint64_t>(d) * 31 + 1);
+    return rng;
+  };
+  Rng a = make();
+  Rng b = make();
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, RngForkDepth, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace fedkemf::core

@@ -1,0 +1,126 @@
+// Byte-level serialization tests: primitive round trips, tensor round trips,
+// wire-size accounting, and malformed-input rejection.
+
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace fedkemf::core {
+namespace {
+
+TEST(ByteWriter, PrimitiveRoundTrip) {
+  ByteWriter writer;
+  writer.write_u8(0xAB);
+  writer.write_u32(0xDEADBEEF);
+  writer.write_u64(0x0123456789ABCDEFULL);
+  writer.write_f32(3.14f);
+  writer.write_f64(-2.718281828);
+  writer.write_string("knowledge");
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.read_u8(), 0xAB);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.read_f32(), 3.14f);
+  EXPECT_EQ(reader.read_f64(), -2.718281828);
+  EXPECT_EQ(reader.read_string(), "knowledge");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.write_u32(0x01020304);
+  const auto& buf = writer.buffer();
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(ByteWriter, F32ArrayBulkCopy) {
+  ByteWriter writer;
+  const float values[] = {1.0f, -2.0f, 3.5f};
+  writer.write_f32_array(values);
+  ByteReader reader(writer.buffer());
+  float out[3];
+  reader.read_f32_array(out);
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(out[1], -2.0f);
+  EXPECT_EQ(out[2], 3.5f);
+}
+
+TEST(ByteReader, TruncatedInputThrows) {
+  ByteWriter writer;
+  writer.write_u32(7);
+  ByteReader reader(writer.buffer());
+  reader.read_u32();
+  EXPECT_THROW(reader.read_u8(), std::runtime_error);
+}
+
+TEST(ByteReader, TruncatedStringThrows) {
+  ByteWriter writer;
+  writer.write_u32(100);  // claims 100 bytes follow; none do
+  ByteReader reader(writer.buffer());
+  EXPECT_THROW(reader.read_string(), std::runtime_error);
+}
+
+TEST(TensorSerialize, RoundTripPreservesEverything) {
+  Rng rng(9);
+  for (const Shape& shape : {Shape{7}, Shape{3, 4}, Shape{2, 3, 4}, Shape{2, 3, 4, 5}}) {
+    Tensor original = Tensor::normal(shape, rng);
+    ByteWriter writer;
+    write_tensor(writer, original);
+    EXPECT_EQ(writer.size(), tensor_wire_size(original));
+
+    ByteReader reader(writer.buffer());
+    Tensor restored = read_tensor(reader);
+    ASSERT_EQ(restored.shape(), original.shape());
+    for (std::size_t i = 0; i < original.numel(); ++i) {
+      ASSERT_EQ(restored[i], original[i]);  // bit-exact
+    }
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST(TensorSerialize, WireSizeFormula) {
+  Tensor t = Tensor::zeros(Shape{3, 4});
+  // 1 (rank) + 2*8 (dims) + 8 (numel) + 12*4 (payload) = 73.
+  EXPECT_EQ(tensor_wire_size(t), 73u);
+}
+
+TEST(TensorSerialize, CorruptNumelRejected) {
+  Tensor t = Tensor::zeros(Shape{2, 2});
+  ByteWriter writer;
+  write_tensor(writer, t);
+  auto bytes = writer.take();
+  bytes[1 + 16] ^= 0xFF;  // flip low byte of numel
+  ByteReader reader(bytes);
+  EXPECT_THROW(read_tensor(reader), std::runtime_error);
+}
+
+TEST(TensorSerialize, BadRankRejected) {
+  std::vector<std::uint8_t> bytes = {9};  // rank 9 > kMaxRank
+  ByteReader reader(bytes);
+  EXPECT_THROW(read_tensor(reader), std::runtime_error);
+}
+
+TEST(TensorSerialize, MultipleTensorsSequential) {
+  Rng rng(10);
+  Tensor a = Tensor::normal(Shape{5}, rng);
+  Tensor b = Tensor::normal(Shape{2, 2}, rng);
+  ByteWriter writer;
+  write_tensor(writer, a);
+  write_tensor(writer, b);
+  ByteReader reader(writer.buffer());
+  Tensor a2 = read_tensor(reader);
+  Tensor b2 = read_tensor(reader);
+  EXPECT_EQ(a2.shape(), a.shape());
+  EXPECT_EQ(b2.shape(), b.shape());
+  EXPECT_EQ(b2[3], b[3]);
+}
+
+}  // namespace
+}  // namespace fedkemf::core

@@ -1,0 +1,231 @@
+// Kernel correctness tests: GEMM against a naive reference (all transpose
+// combinations, parameterized sizes), im2col/col2im adjointness, softmax.
+
+#include "core/tensor_ops.hpp"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace fedkemf::core {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb) {
+  const std::size_t m = ta == Transpose::kNo ? a.dim(0) : a.dim(1);
+  const std::size_t k = ta == Transpose::kNo ? a.dim(1) : a.dim(0);
+  const std::size_t n = tb == Transpose::kNo ? b.dim(1) : b.dim(0);
+  Tensor c = Tensor::zeros(Shape::matrix(m, n));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta == Transpose::kNo ? a.at2(i, p) : a.at2(p, i);
+        const float bv = tb == Transpose::kNo ? b.at2(p, j) : b.at2(j, p);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.data()[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_close(const Tensor& actual, const Tensor& expected, float tol = 1e-4f) {
+  ASSERT_EQ(actual.shape(), expected.shape());
+  for (std::size_t i = 0; i < actual.numel(); ++i) {
+    ASSERT_NEAR(actual[i], expected[i], tol + 1e-3f * std::fabs(expected[i]))
+        << "at index " << i;
+  }
+}
+
+using GemmCase = std::tuple<int, int, int, int, int>;  // m, n, k, trans_a, trans_b
+
+class GemmParam : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParam, MatchesNaiveReference) {
+  const auto [m, n, k, ta_i, tb_i] = GetParam();
+  const Transpose ta = ta_i != 0 ? Transpose::kYes : Transpose::kNo;
+  const Transpose tb = tb_i != 0 ? Transpose::kYes : Transpose::kNo;
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + n * 101 + k + ta_i * 7 + tb_i));
+  const Shape a_shape = ta == Transpose::kNo ? Shape::matrix(m, k) : Shape::matrix(k, m);
+  const Shape b_shape = tb == Transpose::kNo ? Shape::matrix(k, n) : Shape::matrix(n, k);
+  Tensor a = Tensor::normal(a_shape, rng);
+  Tensor b = Tensor::normal(b_shape, rng);
+  expect_close(matmul(a, b, ta, tb), naive_matmul(a, b, ta, tb));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmParam,
+    ::testing::Values(GemmCase{1, 1, 1, 0, 0}, GemmCase{3, 5, 7, 0, 0},
+                      GemmCase{17, 13, 9, 0, 0}, GemmCase{64, 64, 64, 0, 0},
+                      GemmCase{65, 129, 70, 0, 0},   // crosses block boundaries
+                      GemmCase{3, 5, 7, 1, 0}, GemmCase{3, 5, 7, 0, 1},
+                      GemmCase{3, 5, 7, 1, 1}, GemmCase{40, 33, 61, 1, 0},
+                      GemmCase{40, 33, 61, 0, 1}, GemmCase{40, 33, 61, 1, 1},
+                      GemmCase{1, 128, 256, 0, 0}, GemmCase{128, 1, 256, 0, 0}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  Rng rng(1);
+  Tensor a = Tensor::normal(Shape::matrix(4, 3), rng);
+  Tensor b = Tensor::normal(Shape::matrix(3, 5), rng);
+  Tensor c = Tensor::ones(Shape::matrix(4, 5));
+  Tensor expected = naive_matmul(a, b, Transpose::kNo, Transpose::kNo);
+  // c = 2*A@B + 3*c  where c was all-ones.
+  gemm(Transpose::kNo, Transpose::kNo, 4, 5, 3, 2.0f, a, b, 3.0f, c);
+  for (std::size_t i = 0; i < c.numel(); ++i) {
+    ASSERT_NEAR(c[i], 2.0f * expected[i] + 3.0f, 1e-4f);
+  }
+}
+
+TEST(Gemm, ShapeValidation) {
+  Tensor a = Tensor::ones(Shape::matrix(2, 3));
+  Tensor b = Tensor::ones(Shape::matrix(4, 5));
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  Tensor c = Tensor::ones(Shape::matrix(2, 2));
+  EXPECT_THROW(gemm(Transpose::kNo, Transpose::kNo, 2, 5, 3, 1.0f, a, b, 0.0f, c),
+               std::invalid_argument);
+}
+
+// ---- im2col / col2im ----
+
+struct ConvGeomCase {
+  std::size_t batch, channels, size, kernel, stride, padding;
+};
+
+class Im2ColParam : public ::testing::TestWithParam<ConvGeomCase> {};
+
+TEST_P(Im2ColParam, MatchesDirectPatchExtraction) {
+  const auto p = GetParam();
+  Conv2dGeometry geom{p.batch, p.channels, p.size, p.size, p.kernel, p.stride, p.padding};
+  Rng rng(7);
+  Tensor input = Tensor::normal(Shape::nchw(p.batch, p.channels, p.size, p.size), rng);
+  const std::size_t rows = p.channels * p.kernel * p.kernel;
+  const std::size_t cols = p.batch * geom.out_h() * geom.out_w();
+  Tensor columns(Shape::matrix(rows, cols));
+  im2col(input, geom, columns);
+
+  for (std::size_t c = 0; c < p.channels; ++c) {
+    for (std::size_t kh = 0; kh < p.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < p.kernel; ++kw) {
+        const std::size_t row = (c * p.kernel + kh) * p.kernel + kw;
+        for (std::size_t n = 0; n < p.batch; ++n) {
+          for (std::size_t oh = 0; oh < geom.out_h(); ++oh) {
+            for (std::size_t ow = 0; ow < geom.out_w(); ++ow) {
+              const std::size_t col = (n * geom.out_h() + oh) * geom.out_w() + ow;
+              const std::ptrdiff_t ih =
+                  static_cast<std::ptrdiff_t>(oh * p.stride + kh) -
+                  static_cast<std::ptrdiff_t>(p.padding);
+              const std::ptrdiff_t iw =
+                  static_cast<std::ptrdiff_t>(ow * p.stride + kw) -
+                  static_cast<std::ptrdiff_t>(p.padding);
+              float expected = 0.0f;
+              if (ih >= 0 && iw >= 0 && ih < static_cast<std::ptrdiff_t>(p.size) &&
+                  iw < static_cast<std::ptrdiff_t>(p.size)) {
+                expected = input.at4(n, c, static_cast<std::size_t>(ih),
+                                     static_cast<std::size_t>(iw));
+              }
+              ASSERT_EQ(columns.at2(row, col), expected);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(Im2ColParam, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property of
+  // the transpose, which is exactly what backward needs.
+  const auto p = GetParam();
+  Conv2dGeometry geom{p.batch, p.channels, p.size, p.size, p.kernel, p.stride, p.padding};
+  Rng rng(11);
+  Tensor x = Tensor::normal(Shape::nchw(p.batch, p.channels, p.size, p.size), rng);
+  const std::size_t rows = p.channels * p.kernel * p.kernel;
+  const std::size_t cols = p.batch * geom.out_h() * geom.out_w();
+  Tensor y = Tensor::normal(Shape::matrix(rows, cols), rng);
+
+  Tensor cols_x(Shape::matrix(rows, cols));
+  im2col(x, geom, cols_x);
+  Tensor img_y(x.shape());
+  col2im(y, geom, img_y);
+
+  EXPECT_NEAR(cols_x.dot(y), x.dot(img_y), 1e-2f + 1e-4f * std::fabs(cols_x.dot(y)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColParam,
+    ::testing::Values(ConvGeomCase{1, 1, 4, 3, 1, 1}, ConvGeomCase{2, 3, 8, 3, 1, 1},
+                      ConvGeomCase{2, 3, 8, 3, 2, 1}, ConvGeomCase{1, 2, 7, 1, 1, 0},
+                      ConvGeomCase{1, 2, 7, 1, 2, 0}, ConvGeomCase{3, 4, 5, 5, 1, 2},
+                      ConvGeomCase{1, 1, 6, 2, 2, 0}, ConvGeomCase{2, 2, 9, 3, 3, 1}));
+
+// ---- softmax / argmax ----
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(2);
+  Tensor logits = Tensor::normal(Shape::matrix(7, 11), rng, 0.0f, 5.0f);
+  Tensor probs = softmax_rows(logits);
+  for (std::size_t r = 0; r < 7; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 11; ++c) {
+      const float p = probs.at2(r, c);
+      ASSERT_GE(p, 0.0f);
+      total += p;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const float v[] = {1000.0f, 1001.0f, 999.0f};
+  Tensor logits = Tensor::from_values(Shape::matrix(1, 3), v);
+  Tensor probs = softmax_rows(logits);
+  EXPECT_TRUE(probs.all_finite());
+  EXPECT_GT(probs.at2(0, 1), probs.at2(0, 0));
+}
+
+TEST(Softmax, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(3);
+  Tensor logits = Tensor::normal(Shape::matrix(5, 6), rng);
+  Tensor probs = softmax_rows(logits);
+  Tensor log_probs = log_softmax_rows(logits);
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    ASSERT_NEAR(log_probs[i], std::log(probs[i]), 1e-5f);
+  }
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Rng rng(4);
+  Tensor logits = Tensor::normal(Shape::matrix(3, 4), rng);
+  Tensor shifted = logits.clone();
+  shifted.add_scalar_(17.5f);
+  Tensor p1 = softmax_rows(logits);
+  Tensor p2 = softmax_rows(shifted);
+  for (std::size_t i = 0; i < p1.numel(); ++i) ASSERT_NEAR(p1[i], p2[i], 1e-5f);
+}
+
+TEST(ArgmaxRows, FindsMaxima) {
+  const float v[] = {0, 5, 2,   // -> 1
+                     9, 1, 1,   // -> 0
+                     3, 3, 4};  // -> 2
+  Tensor m = Tensor::from_values(Shape::matrix(3, 3), v);
+  std::size_t idx[3];
+  argmax_rows(m, idx);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+  EXPECT_EQ(idx[2], 2u);
+}
+
+TEST(ArgmaxRows, TiesBreakLow) {
+  const float v[] = {2, 2, 2};
+  Tensor m = Tensor::from_values(Shape::matrix(1, 3), v);
+  std::size_t idx[1];
+  argmax_rows(m, idx);
+  EXPECT_EQ(idx[0], 0u);
+}
+
+}  // namespace
+}  // namespace fedkemf::core
