@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_distillation.dir/bench_ablation_distillation.cpp.o"
+  "CMakeFiles/bench_ablation_distillation.dir/bench_ablation_distillation.cpp.o.d"
+  "bench_ablation_distillation"
+  "bench_ablation_distillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_bytes.dir/bench_comm_bytes.cpp.o"
+  "CMakeFiles/bench_comm_bytes.dir/bench_comm_bytes.cpp.o.d"
+  "bench_comm_bytes"
+  "bench_comm_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

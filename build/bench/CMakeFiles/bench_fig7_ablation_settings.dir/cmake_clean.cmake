@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ablation_settings.dir/bench_fig7_ablation_settings.cpp.o"
+  "CMakeFiles/bench_fig7_ablation_settings.dir/bench_fig7_ablation_settings.cpp.o.d"
+  "bench_fig7_ablation_settings"
+  "bench_fig7_ablation_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ablation_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_aware.dir/bench_resource_aware.cpp.o"
+  "CMakeFiles/bench_resource_aware.dir/bench_resource_aware.cpp.o.d"
+  "bench_resource_aware"
+  "bench_resource_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

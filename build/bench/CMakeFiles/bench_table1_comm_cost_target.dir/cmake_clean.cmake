@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_comm_cost_target.dir/bench_table1_comm_cost_target.cpp.o"
+  "CMakeFiles/bench_table1_comm_cost_target.dir/bench_table1_comm_cost_target.cpp.o.d"
+  "bench_table1_comm_cost_target"
+  "bench_table1_comm_cost_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_comm_cost_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

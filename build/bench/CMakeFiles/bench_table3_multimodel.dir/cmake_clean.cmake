@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_multimodel.dir/bench_table3_multimodel.cpp.o"
+  "CMakeFiles/bench_table3_multimodel.dir/bench_table3_multimodel.cpp.o.d"
+  "bench_table3_multimodel"
+  "bench_table3_multimodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_multimodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

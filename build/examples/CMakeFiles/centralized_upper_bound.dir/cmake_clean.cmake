@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centralized_upper_bound.dir/centralized_upper_bound.cpp.o"
+  "CMakeFiles/centralized_upper_bound.dir/centralized_upper_bound.cpp.o.d"
+  "centralized_upper_bound"
+  "centralized_upper_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centralized_upper_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communication_budget.dir/communication_budget.cpp.o"
+  "CMakeFiles/communication_budget.dir/communication_budget.cpp.o.d"
+  "communication_budget"
+  "communication_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communication_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_report.dir/fairness_report.cpp.o"
+  "CMakeFiles/fairness_report.dir/fairness_report.cpp.o.d"
+  "fairness_report"
+  "fairness_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_and_resume.dir/save_and_resume.cpp.o"
+  "CMakeFiles/save_and_resume.dir/save_and_resume.cpp.o.d"
+  "save_and_resume"
+  "save_and_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_and_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedkemf_comm.dir/channel.cpp.o"
+  "CMakeFiles/fedkemf_comm.dir/channel.cpp.o.d"
+  "CMakeFiles/fedkemf_comm.dir/compression.cpp.o"
+  "CMakeFiles/fedkemf_comm.dir/compression.cpp.o.d"
+  "CMakeFiles/fedkemf_comm.dir/model_io.cpp.o"
+  "CMakeFiles/fedkemf_comm.dir/model_io.cpp.o.d"
+  "libfedkemf_comm.a"
+  "libfedkemf_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedkemf_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/fedkemf_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/fedkemf_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/fedkemf_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/fedkemf_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/core/CMakeFiles/fedkemf_core.dir/tensor.cpp.o" "gcc" "src/core/CMakeFiles/fedkemf_core.dir/tensor.cpp.o.d"
+  "/root/repo/src/core/tensor_ops.cpp" "src/core/CMakeFiles/fedkemf_core.dir/tensor_ops.cpp.o" "gcc" "src/core/CMakeFiles/fedkemf_core.dir/tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/utils/CMakeFiles/fedkemf_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedkemf_core.dir/rng.cpp.o"
+  "CMakeFiles/fedkemf_core.dir/rng.cpp.o.d"
+  "CMakeFiles/fedkemf_core.dir/serialize.cpp.o"
+  "CMakeFiles/fedkemf_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/fedkemf_core.dir/tensor.cpp.o"
+  "CMakeFiles/fedkemf_core.dir/tensor.cpp.o.d"
+  "CMakeFiles/fedkemf_core.dir/tensor_ops.cpp.o"
+  "CMakeFiles/fedkemf_core.dir/tensor_ops.cpp.o.d"
+  "libfedkemf_core.a"
+  "libfedkemf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedkemf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

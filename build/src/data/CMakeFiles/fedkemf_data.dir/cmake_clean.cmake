@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedkemf_data.dir/dataloader.cpp.o"
+  "CMakeFiles/fedkemf_data.dir/dataloader.cpp.o.d"
+  "CMakeFiles/fedkemf_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedkemf_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedkemf_data.dir/partition.cpp.o"
+  "CMakeFiles/fedkemf_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fedkemf_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedkemf_data.dir/synthetic.cpp.o.d"
+  "libfedkemf_data.a"
+  "libfedkemf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedkemf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

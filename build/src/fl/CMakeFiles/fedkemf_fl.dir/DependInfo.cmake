@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/algorithm.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/algorithm.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/algorithm.cpp.o.d"
+  "/root/repo/src/fl/class_metrics.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/class_metrics.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/class_metrics.cpp.o.d"
+  "/root/repo/src/fl/config.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/config.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/config.cpp.o.d"
+  "/root/repo/src/fl/fedavg.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/fedavg.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/fedavg.cpp.o.d"
+  "/root/repo/src/fl/feddf.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/feddf.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/feddf.cpp.o.d"
+  "/root/repo/src/fl/federation.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/federation.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/federation.cpp.o.d"
+  "/root/repo/src/fl/fedkemf.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/fedkemf.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/fedkemf.cpp.o.d"
+  "/root/repo/src/fl/fedmd.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/fedmd.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/fedmd.cpp.o.d"
+  "/root/repo/src/fl/fednova.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/fednova.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/fednova.cpp.o.d"
+  "/root/repo/src/fl/fedprox.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/fedprox.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/fedprox.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/metrics.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/metrics.cpp.o.d"
+  "/root/repo/src/fl/resources.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/resources.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/resources.cpp.o.d"
+  "/root/repo/src/fl/runner.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/runner.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/runner.cpp.o.d"
+  "/root/repo/src/fl/scaffold.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/scaffold.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/scaffold.cpp.o.d"
+  "/root/repo/src/fl/selection.cpp" "src/fl/CMakeFiles/fedkemf_fl.dir/selection.cpp.o" "gcc" "src/fl/CMakeFiles/fedkemf_fl.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedkemf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fedkemf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedkemf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fedkemf_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/fedkemf_utils.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedkemf_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedkemf_fl.dir/algorithm.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/algorithm.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/class_metrics.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/class_metrics.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/config.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/config.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/fedavg.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/fedavg.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/feddf.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/feddf.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/federation.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/federation.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/fedkemf.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/fedkemf.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/fedmd.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/fedmd.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/fednova.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/fednova.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/fedprox.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/fedprox.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/metrics.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/resources.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/resources.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/runner.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/runner.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/scaffold.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/scaffold.cpp.o.d"
+  "CMakeFiles/fedkemf_fl.dir/selection.cpp.o"
+  "CMakeFiles/fedkemf_fl.dir/selection.cpp.o.d"
+  "libfedkemf_fl.a"
+  "libfedkemf_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedkemf_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

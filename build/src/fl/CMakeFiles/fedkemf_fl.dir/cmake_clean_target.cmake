@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedkemf_fl.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedkemf_models.dir/flops.cpp.o"
+  "CMakeFiles/fedkemf_models.dir/flops.cpp.o.d"
+  "CMakeFiles/fedkemf_models.dir/zoo.cpp.o"
+  "CMakeFiles/fedkemf_models.dir/zoo.cpp.o.d"
+  "libfedkemf_models.a"
+  "libfedkemf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedkemf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/grad_check.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/grad_check.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/grad_check.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/probe.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/probe.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/probe.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/fedkemf_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/fedkemf_nn.dir/residual.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedkemf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/fedkemf_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

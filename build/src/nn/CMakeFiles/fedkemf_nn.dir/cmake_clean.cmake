@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedkemf_nn.dir/activation.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/conv.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/dropout.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/flatten.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/grad_check.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/grad_check.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/init.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/init.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/linear.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/module.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/module.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/norm.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/optim.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/pooling.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/probe.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/probe.cpp.o.d"
+  "CMakeFiles/fedkemf_nn.dir/residual.cpp.o"
+  "CMakeFiles/fedkemf_nn.dir/residual.cpp.o.d"
+  "libfedkemf_nn.a"
+  "libfedkemf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedkemf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedkemf_utils.dir/cli.cpp.o"
+  "CMakeFiles/fedkemf_utils.dir/cli.cpp.o.d"
+  "CMakeFiles/fedkemf_utils.dir/logging.cpp.o"
+  "CMakeFiles/fedkemf_utils.dir/logging.cpp.o.d"
+  "CMakeFiles/fedkemf_utils.dir/table.cpp.o"
+  "CMakeFiles/fedkemf_utils.dir/table.cpp.o.d"
+  "CMakeFiles/fedkemf_utils.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedkemf_utils.dir/thread_pool.cpp.o.d"
+  "libfedkemf_utils.a"
+  "libfedkemf_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedkemf_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

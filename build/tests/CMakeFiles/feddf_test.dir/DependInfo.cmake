@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/feddf_test.cpp" "tests/CMakeFiles/feddf_test.dir/feddf_test.cpp.o" "gcc" "tests/CMakeFiles/feddf_test.dir/feddf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/fedkemf_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fedkemf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedkemf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fedkemf_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedkemf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fedkemf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/utils/CMakeFiles/fedkemf_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feddf_test.dir/feddf_test.cpp.o"
+  "CMakeFiles/feddf_test.dir/feddf_test.cpp.o.d"
+  "feddf_test"
+  "feddf_test.pdb"
+  "feddf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feddf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

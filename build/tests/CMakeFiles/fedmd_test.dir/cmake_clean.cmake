@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedmd_test.dir/fedmd_test.cpp.o"
+  "CMakeFiles/fedmd_test.dir/fedmd_test.cpp.o.d"
+  "fedmd_test"
+  "fedmd_test.pdb"
+  "fedmd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

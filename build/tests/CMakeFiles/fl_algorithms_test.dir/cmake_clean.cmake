@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_algorithms_test.dir/fl_algorithms_test.cpp.o"
+  "CMakeFiles/fl_algorithms_test.dir/fl_algorithms_test.cpp.o.d"
+  "fl_algorithms_test"
+  "fl_algorithms_test.pdb"
+  "fl_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

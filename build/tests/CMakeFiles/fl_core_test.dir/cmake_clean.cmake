@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_core_test.dir/fl_core_test.cpp.o"
+  "CMakeFiles/fl_core_test.dir/fl_core_test.cpp.o.d"
+  "fl_core_test"
+  "fl_core_test.pdb"
+  "fl_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

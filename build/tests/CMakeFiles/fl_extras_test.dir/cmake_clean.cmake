@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_extras_test.dir/fl_extras_test.cpp.o"
+  "CMakeFiles/fl_extras_test.dir/fl_extras_test.cpp.o.d"
+  "fl_extras_test"
+  "fl_extras_test.pdb"
+  "fl_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_fedkemf_test.dir/fl_fedkemf_test.cpp.o"
+  "CMakeFiles/fl_fedkemf_test.dir/fl_fedkemf_test.cpp.o.d"
+  "fl_fedkemf_test"
+  "fl_fedkemf_test.pdb"
+  "fl_fedkemf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_fedkemf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

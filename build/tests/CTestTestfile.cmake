@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/utils_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_grad_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_optim_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_core_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_fedkemf_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/flops_test[1]_include.cmake")
+include("/root/repo/build/tests/compression_test[1]_include.cmake")
+include("/root/repo/build/tests/resources_test[1]_include.cmake")
+include("/root/repo/build/tests/feddf_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/fedmd_test[1]_include.cmake")
