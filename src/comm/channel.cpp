@@ -1,5 +1,6 @@
 #include "comm/channel.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "comm/compression.hpp"
@@ -7,25 +8,60 @@
 
 namespace fedkemf::comm {
 
+namespace {
+
+std::string hex_u32(std::uint32_t v) {
+  char buffer[11];
+  std::snprintf(buffer, sizeof(buffer), "0x%08X", v);
+  return buffer;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> serialize_model(nn::Module& model) {
   core::ByteWriter writer;
   writer.write_u32(kModelMagic);
   writer.write_u32(kModelVersion);
+  writer.write_u32(0);  // checksum placeholder, patched below
   const auto params = model.parameters();
   const auto buffers = model.buffers();
   writer.write_u32(static_cast<std::uint32_t>(params.size() + buffers.size()));
   for (nn::Parameter* p : params) core::write_tensor(writer, p->value);
   for (nn::Buffer* b : buffers) core::write_tensor(writer, b->value);
-  return writer.take();
+  std::vector<std::uint8_t> payload = writer.take();
+  // CRC covers everything after the checksum field (count + tensors).
+  const std::uint32_t crc =
+      core::crc32(std::span<const std::uint8_t>(payload).subspan(12));
+  for (int i = 0; i < 4; ++i) payload[8 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  return payload;
 }
 
 void deserialize_model(std::span<const std::uint8_t> payload, nn::Module& model) {
   core::ByteReader reader(payload);
-  if (reader.read_u32() != kModelMagic) {
-    throw std::runtime_error("deserialize_model: bad magic");
+  std::size_t offset = reader.position();
+  const std::uint32_t magic = reader.read_u32();
+  if (magic != kModelMagic) {
+    throw ChecksumError("deserialize_model: bad magic at offset " +
+                        std::to_string(offset) + " (expected " + hex_u32(kModelMagic) +
+                        ", got " + hex_u32(magic) + ")");
   }
-  if (reader.read_u32() != kModelVersion) {
-    throw std::runtime_error("deserialize_model: unsupported version");
+  offset = reader.position();
+  const std::uint32_t version = reader.read_u32();
+  if (version != 1 && version != kModelVersion) {
+    throw std::runtime_error("deserialize_model: unsupported version at offset " +
+                             std::to_string(offset) + " (expected 1 or " +
+                             std::to_string(kModelVersion) + ", got " +
+                             std::to_string(version) + ")");
+  }
+  if (version >= 2) {
+    offset = reader.position();
+    const std::uint32_t expected_crc = reader.read_u32();
+    const std::uint32_t actual_crc = core::crc32(payload.subspan(reader.position()));
+    if (expected_crc != actual_crc) {
+      throw ChecksumError("deserialize_model: checksum mismatch at offset " +
+                          std::to_string(offset) + " (expected " + hex_u32(expected_crc) +
+                          ", got " + hex_u32(actual_crc) + ")");
+    }
   }
   const std::uint32_t count = reader.read_u32();
   const auto params = model.parameters();
@@ -36,29 +72,35 @@ void deserialize_model(std::span<const std::uint8_t> payload, nn::Module& model)
                                 std::to_string(params.size() + buffers.size()) + ")");
   }
   for (nn::Parameter* p : params) {
+    offset = reader.position();
     core::Tensor t = core::read_tensor(reader);
     if (t.shape() != p->value.shape()) {
-      throw std::invalid_argument("deserialize_model: parameter shape mismatch (" +
-                                  t.shape().to_string() + " vs " +
-                                  p->value.shape().to_string() + ")");
+      throw std::invalid_argument("deserialize_model: parameter shape mismatch at offset " +
+                                  std::to_string(offset) + " (" + t.shape().to_string() +
+                                  " vs " + p->value.shape().to_string() + ")");
     }
     p->value = std::move(t);
     p->grad = core::Tensor::zeros(p->value.shape());
   }
   for (nn::Buffer* b : buffers) {
+    offset = reader.position();
     core::Tensor t = core::read_tensor(reader);
     if (t.shape() != b->value.shape()) {
-      throw std::invalid_argument("deserialize_model: buffer shape mismatch");
+      throw std::invalid_argument("deserialize_model: buffer shape mismatch at offset " +
+                                  std::to_string(offset) + " (" + t.shape().to_string() +
+                                  " vs " + b->value.shape().to_string() + ")");
     }
     b->value = std::move(t);
   }
   if (!reader.exhausted()) {
-    throw std::runtime_error("deserialize_model: trailing bytes in payload");
+    throw std::runtime_error("deserialize_model: " + std::to_string(reader.remaining()) +
+                             " trailing bytes at offset " +
+                             std::to_string(reader.position()));
   }
 }
 
 std::size_t model_wire_size(nn::Module& model) {
-  std::size_t total = 12;  // magic + version + count
+  std::size_t total = 16;  // magic + version + crc32 + count
   for (nn::Parameter* p : model.parameters()) total += core::tensor_wire_size(p->value);
   for (nn::Buffer* b : model.buffers()) total += core::tensor_wire_size(b->value);
   return total;
@@ -112,6 +154,15 @@ std::size_t TrafficMeter::bytes_for_client(std::size_t client_id) const {
   return total;
 }
 
+std::size_t TrafficMeter::bytes_for(std::size_t round, std::size_t client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    if (r.round == round && r.client_id == client_id) total += r.bytes;
+  }
+  return total;
+}
+
 std::size_t TrafficMeter::num_transfers() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return records_.size();
@@ -146,14 +197,52 @@ void TrafficMeter::reset() {
   records_.clear();
 }
 
+void Channel::deliver(const std::vector<std::uint8_t>& payload,
+                      const std::function<void(std::span<const std::uint8_t>)>& decode,
+                      std::size_t round, std::size_t client_id, Direction direction,
+                      const std::string& payload_name) {
+  const std::size_t max_attempts =
+      fault_hook_ != nullptr ? std::max<std::size_t>(1, retry_.max_attempts) : 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<std::uint8_t> wire = payload;
+    const FaultHook::Action action =
+        fault_hook_ != nullptr
+            ? fault_hook_->on_payload(round, client_id, direction, attempt, wire)
+            : FaultHook::Action::kDeliver;
+    // Every attempt is metered: dropped or corrupted payloads still consumed
+    // the link.
+    if (meter_ != nullptr) {
+      meter_->record({round, client_id, direction, wire.size(), payload_name});
+    }
+    switch (action) {
+      case FaultHook::Action::kDrop:
+        continue;
+      case FaultHook::Action::kDeliver:
+        decode(wire);  // genuine decode errors (arch mismatch, bugs) propagate
+        return;
+      case FaultHook::Action::kCorrupt:
+        try {
+          decode(wire);
+          // Corruption that escapes every integrity check is delivered as-is
+          // (cannot happen for wire format v2, whose CRC covers the payload).
+          return;
+        } catch (const std::exception&) {
+          continue;  // detected — retry per policy
+        }
+    }
+  }
+  throw TransferFailed("transfer failed: '" + payload_name + "' round " +
+                       std::to_string(round) + " client " + std::to_string(client_id) +
+                       " gave up after " + std::to_string(max_attempts) + " attempts");
+}
+
 std::size_t Channel::transfer(nn::Module& src, nn::Module& dst, std::size_t round,
                               std::size_t client_id, Direction direction,
                               const std::string& payload_name) {
   const std::vector<std::uint8_t> payload = serialize_model(src);
-  deserialize_model(payload, dst);
-  if (meter_ != nullptr) {
-    meter_->record({round, client_id, direction, payload.size(), payload_name});
-  }
+  deliver(payload,
+          [&dst](std::span<const std::uint8_t> bytes) { deserialize_model(bytes, dst); },
+          round, client_id, direction, payload_name);
   return payload.size();
 }
 
@@ -161,11 +250,9 @@ std::size_t Channel::transfer_compressed(nn::Module& src, nn::Module& dst, std::
                                          std::size_t client_id, Direction direction,
                                          const std::string& payload_name, Codec codec) {
   const std::vector<std::uint8_t> payload = encode_model(src, codec);
-  decode_model(payload, dst);
-  if (meter_ != nullptr) {
-    meter_->record({round, client_id, direction, payload.size(),
-                    payload_name + "/" + to_string(codec)});
-  }
+  deliver(payload,
+          [&dst](std::span<const std::uint8_t> bytes) { decode_model(bytes, dst); },
+          round, client_id, direction, payload_name + "/" + to_string(codec));
   return payload.size();
 }
 

@@ -9,10 +9,18 @@
 // actual wire payloads rather than computed from parameter counts (DESIGN.md
 // decision #3).  A bandwidth/latency LinkModel converts bytes into simulated
 // transfer time for the cost analyses.
+//
+// A Channel may carry a FaultHook (sim::FaultInjector implements it): each
+// delivery attempt is offered to the hook, which can drop or corrupt the
+// payload.  Corruption is *detected* — the wire format carries a CRC32 — and
+// failed attempts are retried per the channel's RetryPolicy; every attempt is
+// metered, because its bytes really crossed the (simulated) link.
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,18 +29,40 @@
 namespace fedkemf::comm {
 
 // ---- Model wire format ----
-// [magic u32 = 0xFEDC0DE5] [version u32 = 1] [tensor_count u32] tensors...
+// Version 2 (current):
+//   [magic u32 = 0xFEDC0DE5] [version u32 = 2] [crc32 u32] [tensor_count u32]
+//   tensors...
+// The crc32 covers every byte after the checksum field (tensor_count +
+// tensors), so any bit flip in the body — or in the checksum itself — is
+// detected on deserialization.
+// Version 1 (legacy, still readable):
+//   [magic u32] [version u32 = 1] [tensor_count u32] tensors...
 // Tensor order: parameters in module order, then buffers in module order —
 // the same deterministic order Module::parameters()/buffers() guarantees.
 
 inline constexpr std::uint32_t kModelMagic = 0xFEDC0DE5;
-inline constexpr std::uint32_t kModelVersion = 1;
+inline constexpr std::uint32_t kModelVersion = 2;
 
-/// Serializes parameters + buffers of `model`.
+/// A payload failed its CRC32 integrity check (or a fault-corrupted payload
+/// was caught by a structural check before the CRC could be verified).
+class ChecksumError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A transfer was abandoned after exhausting its retry budget (every attempt
+/// was dropped or corrupted in flight).
+class TransferFailed : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes parameters + buffers of `model` (wire format version 2).
 std::vector<std::uint8_t> serialize_model(nn::Module& model);
 
-/// Loads a payload produced by serialize_model into `model` (architectures
-/// must match; throws std::runtime_error on malformed payloads and
+/// Loads a payload produced by serialize_model — version 2 or legacy
+/// version 1 — into `model` (architectures must match; throws ChecksumError
+/// on integrity failures, std::runtime_error on malformed payloads and
 /// std::invalid_argument on shape mismatches).
 void deserialize_model(std::span<const std::uint8_t> payload, nn::Module& model);
 
@@ -61,6 +91,9 @@ class TrafficMeter {
   std::size_t downlink_bytes() const;
   std::size_t bytes_for_round(std::size_t round) const;
   std::size_t bytes_for_client(std::size_t client_id) const;
+  /// Bytes a single client moved during a single round (both directions) —
+  /// what the simulated round clock converts into transfer time.
+  std::size_t bytes_for(std::size_t round, std::size_t client_id) const;
   std::size_t num_transfers() const;
 
   /// Mean of (total bytes in round r) over rounds that had traffic.
@@ -77,13 +110,46 @@ class TrafficMeter {
 
 enum class Codec : std::uint8_t;  // comm/compression.hpp
 
+// ---- Fault injection hook ----
+
+/// Interposes on every delivery attempt of a payload.  Implementations must
+/// be thread-safe and derive all randomness from (round, client, direction,
+/// attempt) so fault schedules are deterministic regardless of the thread
+/// pool size.  sim::FaultInjector is the canonical implementation.
+class FaultHook {
+ public:
+  enum class Action {
+    kDeliver,  ///< payload arrives intact
+    kCorrupt,  ///< payload was mutated in flight (hook already flipped bits)
+    kDrop,     ///< payload lost; nothing arrives
+  };
+
+  virtual ~FaultHook() = default;
+
+  /// Called once per attempt, before delivery.  May mutate `payload` (and
+  /// must return kCorrupt if it did).
+  virtual Action on_payload(std::size_t round, std::size_t client_id,
+                            Direction direction, std::size_t attempt,
+                            std::vector<std::uint8_t>& payload) = 0;
+};
+
+/// How a channel reacts to dropped/corrupted attempts.  Backoff is simulated
+/// time, accounted by sim::Simulator — the process never sleeps.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;
+  double backoff_seconds = 0.05;    ///< wait before the first retry
+  double backoff_multiplier = 2.0;  ///< exponential growth per further retry
+};
+
 /// Marshalling channel bound to a meter.
 class Channel {
  public:
   explicit Channel(TrafficMeter* meter) : meter_(meter) {}
 
   /// Serializes `src`, meters the payload, deserializes into `dst`.
-  /// Returns the payload size in bytes.
+  /// Returns the payload size in bytes (one attempt's worth).  With a fault
+  /// hook installed, dropped/corrupted attempts are retried up to
+  /// RetryPolicy::max_attempts; throws TransferFailed once exhausted.
   std::size_t transfer(nn::Module& src, nn::Module& dst, std::size_t round,
                        std::size_t client_id, Direction direction,
                        const std::string& payload_name);
@@ -96,13 +162,33 @@ class Channel {
 
   /// Meters a raw payload that is not a model (e.g. SCAFFOLD control
   /// variates, FedNova step counts).  Returns `bytes` for convenience.
+  /// Raw payloads bypass the fault hook: they are bookkeeping stand-ins with
+  /// no real buffer to corrupt.
   std::size_t transfer_raw(std::size_t bytes, std::size_t round, std::size_t client_id,
                            Direction direction, const std::string& payload_name);
 
   TrafficMeter* meter() const { return meter_; }
 
+  /// Installs (or clears, with nullptr) the fault hook consulted on every
+  /// model transfer attempt.  Not thread-safe: install before the round loop.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
+  /// Shared attempt loop: offers `payload` to the fault hook, meters every
+  /// attempt, and calls `decode` on whatever arrives.  Throws TransferFailed
+  /// after max_attempts dropped/corrupted deliveries.
+  void deliver(const std::vector<std::uint8_t>& payload,
+               const std::function<void(std::span<const std::uint8_t>)>& decode,
+               std::size_t round, std::size_t client_id, Direction direction,
+               const std::string& payload_name);
+
   TrafficMeter* meter_;
+  FaultHook* fault_hook_ = nullptr;
+  RetryPolicy retry_;
 };
 
 // ---- Link cost model ----

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "comm/channel.hpp"  // ChecksumError
 #include "core/serialize.hpp"
 
 namespace fedkemf::comm {
@@ -177,22 +178,40 @@ float half_to_float(std::uint16_t half_bits) {
 std::vector<std::uint8_t> encode_model(nn::Module& model, Codec codec) {
   core::ByteWriter writer;
   writer.write_u32(kCompressedMagic);
-  writer.write_u32(1);  // version
+  writer.write_u32(2);  // version
+  writer.write_u32(0);  // checksum placeholder, patched below
   writer.write_u8(static_cast<std::uint8_t>(codec));
   const auto params = model.parameters();
   const auto buffers = model.buffers();
   writer.write_u32(static_cast<std::uint32_t>(params.size() + buffers.size()));
   for (nn::Parameter* p : params) encode_tensor(writer, p->value, codec);
   for (nn::Buffer* b : buffers) encode_tensor(writer, b->value, codec);
-  return writer.take();
+  std::vector<std::uint8_t> payload = writer.take();
+  const std::uint32_t crc =
+      core::crc32(std::span<const std::uint8_t>(payload).subspan(12));
+  for (int i = 0; i < 4; ++i) payload[8 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  return payload;
 }
 
 void decode_model(std::span<const std::uint8_t> payload, nn::Module& model) {
   core::ByteReader reader(payload);
   if (reader.read_u32() != kCompressedMagic) {
-    throw std::runtime_error("decode_model: bad magic");
+    throw ChecksumError("decode_model: bad magic");
   }
-  if (reader.read_u32() != 1) throw std::runtime_error("decode_model: unsupported version");
+  const std::uint32_t version = reader.read_u32();
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("decode_model: unsupported version " +
+                             std::to_string(version));
+  }
+  if (version >= 2) {
+    const std::uint32_t expected_crc = reader.read_u32();
+    const std::uint32_t actual_crc = core::crc32(payload.subspan(reader.position()));
+    if (expected_crc != actual_crc) {
+      throw ChecksumError("decode_model: checksum mismatch (expected " +
+                          std::to_string(expected_crc) + ", got " +
+                          std::to_string(actual_crc) + ")");
+    }
+  }
   const std::uint8_t codec_raw = reader.read_u8();
   if (codec_raw > static_cast<std::uint8_t>(Codec::kInt8)) {
     throw std::runtime_error("decode_model: unknown codec");
@@ -223,7 +242,7 @@ void decode_model(std::span<const std::uint8_t> payload, nn::Module& model) {
 }
 
 std::size_t encoded_model_size(nn::Module& model, Codec codec) {
-  std::size_t total = 4 + 4 + 1 + 4;
+  std::size_t total = 4 + 4 + 4 + 1 + 4;  // magic + version + crc32 + codec + count
   for (nn::Parameter* p : model.parameters()) total += tensor_encoded_size(p->value, codec);
   for (nn::Buffer* b : model.buffers()) total += tensor_encoded_size(b->value, codec);
   return total;

@@ -13,9 +13,12 @@
 //           to small weight perturbations (ablated in
 //           bench_ablation_compression).
 //
-// Encoded format: [magic u32 = 0xFEDC0DE6][version u32][codec u8]
-// [tensor_count u32] then per tensor: rank/dims/numel header (as core
-// serialize) followed by the codec payload (+ f32 scale for kInt8).
+// Encoded format (version 2): [magic u32 = 0xFEDC0DE6][version u32 = 2]
+// [crc32 u32][codec u8][tensor_count u32] then per tensor: rank/dims/numel
+// header (as core serialize) followed by the codec payload (+ f32 scale for
+// kInt8).  The crc32 covers everything after the checksum field, mirroring
+// the uncompressed model wire format; version-1 payloads (no checksum)
+// remain readable.
 
 #include <cstdint>
 #include <span>

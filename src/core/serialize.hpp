@@ -55,6 +55,10 @@ class ByteReader {
   std::size_t remaining() const { return bytes_.size() - cursor_; }
   bool exhausted() const { return remaining() == 0; }
 
+  /// Byte offset of the next read — used to report *where* a malformed
+  /// payload went wrong.
+  std::size_t position() const { return cursor_; }
+
  private:
   void require(std::size_t n) const;
 
@@ -70,5 +74,12 @@ Tensor read_tensor(ByteReader& reader);
 
 /// Number of bytes write_tensor will produce for `tensor`.
 std::size_t tensor_wire_size(const Tensor& tensor);
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) of `data`, continuing
+/// from `crc` so checksums can be computed incrementally over chunks:
+/// crc32(ab) == crc32(b, crc32(a)).  The model wire format (version 2)
+/// carries this checksum so corrupted payloads are *detected* rather than
+/// silently deserialized.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc = 0);
 
 }  // namespace fedkemf::core

@@ -22,6 +22,10 @@
 #include "nn/optim.hpp"
 #include "utils/thread_pool.hpp"
 
+namespace fedkemf::sim {
+class Simulator;
+}
+
 namespace fedkemf::fl {
 
 class Algorithm {
@@ -48,6 +52,17 @@ class Algorithm {
     (void)id;
     return &global_model();
   }
+
+  /// Installs (or clears, with nullptr) the network-realism simulator.  When
+  /// set, round() must consult it per client — availability gate before any
+  /// traffic, mid-round failure gate after training, deadline check after
+  /// upload — and aggregate only the clients that completed in time.  The
+  /// runner owns the simulator and clears the pointer before it dies.
+  void set_simulator(sim::Simulator* simulator) { simulator_ = simulator; }
+  sim::Simulator* simulator() const { return simulator_; }
+
+ protected:
+  sim::Simulator* simulator_ = nullptr;
 };
 
 // ---- Shared local-update machinery ----

@@ -10,6 +10,7 @@
 #include "comm/compression.hpp"
 #include "data/synthetic.hpp"
 #include "models/zoo.hpp"
+#include "sim/simulator.hpp"
 
 namespace fedkemf::fl {
 
@@ -71,6 +72,9 @@ struct RunOptions {
   std::size_t num_threads = 0;             ///< 0 = run clients inline
   bool evaluate_client_models = false;     ///< also track mean per-client local acc
   bool verbose = false;
+  /// Network-realism simulation (per-client links, dropout, payload faults,
+  /// round deadline).  Unset = the ideal lossless network of the baselines.
+  std::optional<sim::SimOptions> sim;
 };
 
 /// FedKEMF-specific knobs (defaults follow the paper where it specifies and

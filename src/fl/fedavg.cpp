@@ -3,6 +3,9 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "models/flops.hpp"
+#include "sim/simulator.hpp"
+
 namespace fedkemf::fl {
 
 FedAvg::FedAvg(models::ModelSpec spec, LocalTrainConfig local_config)
@@ -60,36 +63,85 @@ void FedAvg::aggregate(std::size_t round_index, std::span<const std::size_t> sam
   weighted_average_into(*global_, staged, sampled, federation());
 }
 
+std::vector<std::size_t> FedAvg::surviving_clients(
+    std::span<const std::size_t> sampled) const {
+  std::vector<std::size_t> survivors;
+  survivors.reserve(sampled.size());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    if (completed_[i] != 0) survivors.push_back(sampled[i]);
+  }
+  return survivors;
+}
+
+double FedAvg::client_training_flops(std::size_t client_id, std::size_t round_index) {
+  if (flops_per_sample_ < 0.0) {
+    flops_per_sample_ =
+        static_cast<double>(models::estimate_cost(spec_).training_flops());
+  }
+  const LocalTrainConfig config = local_config_.at_round(round_index);
+  const double samples = static_cast<double>(config.epochs) *
+                         static_cast<double>(federation().client_shard(client_id).size());
+  return flops_per_sample_ * samples;
+}
+
 double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampled,
                      utils::ThreadPool& pool) {
   if (sampled.empty()) throw std::invalid_argument("FedAvg::round: no sampled clients");
   Federation& fed = federation();
   last_results_.assign(sampled.size(), {});
+  completed_.assign(sampled.size(), 0);
 
   // Slots must exist before the parallel section (lazy build mutates the
   // vector's elements; doing it up front keeps the loop body race-free).
   for (std::size_t id : sampled) slot(id);
+  // Warm the FLOPs cache outside the parallel section too.
+  if (simulator_ != nullptr && !sampled.empty()) {
+    client_training_flops(sampled.front(), round_index);
+  }
 
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
     const std::size_t id = sampled[i];
+    if (simulator_ != nullptr && !simulator_->begin_client(round_index, id)) {
+      return;  // device offline this round: no traffic, no training
+    }
     Slot& s = slots_[id];
-    fed.channel().transfer(*global_, *s.model, round_index, id,
-                           comm::Direction::kDownlink, "model");
-    const GradHook hook = make_grad_hook(id, *s.model);
-    const LocalTrainResult result = supervised_local_update(
-        *s.model, fed.train_set(), fed.client_shard(id),
-        local_config_.at_round(round_index), client_stream(fed, round_index, id), hook);
-    last_results_[i] = result;
-    fed.channel().transfer(*s.model, *s.staged, round_index, id,
-                           comm::Direction::kUplink, "model");
-    after_local_update(round_index, id, s, result);
+    try {
+      fed.channel().transfer(*global_, *s.model, round_index, id,
+                             comm::Direction::kDownlink, "model");
+      const GradHook hook = make_grad_hook(id, *s.model);
+      const LocalTrainResult result = supervised_local_update(
+          *s.model, fed.train_set(), fed.client_shard(id),
+          local_config_.at_round(round_index), client_stream(fed, round_index, id), hook);
+      if (simulator_ != nullptr && simulator_->mid_round_failure(round_index, id)) {
+        return;  // died after training, before upload
+      }
+      fed.channel().transfer(*s.model, *s.staged, round_index, id,
+                             comm::Direction::kUplink, "model");
+      after_local_update(round_index, id, s, result);
+      if (simulator_ != nullptr &&
+          !simulator_->finish_client(round_index, id,
+                                     client_training_flops(id, round_index))) {
+        return;  // straggler: update arrives after the deadline
+      }
+      last_results_[i] = result;
+      completed_[i] = 1;
+    } catch (const comm::TransferFailed&) {
+      if (simulator_ == nullptr) throw;
+      simulator_->report_transfer_failure(round_index, id);
+    }
   });
 
-  aggregate(round_index, sampled);
+  const std::vector<std::size_t> survivors = surviving_clients(sampled);
+  if (!survivors.empty()) aggregate(round_index, survivors);
 
   double loss_total = 0.0;
-  for (const LocalTrainResult& r : last_results_) loss_total += r.mean_loss;
-  return loss_total / static_cast<double>(sampled.size());
+  std::size_t reported = 0;
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    if (completed_[i] == 0) continue;
+    loss_total += last_results_[i].mean_loss;
+    ++reported;
+  }
+  return reported > 0 ? loss_total / static_cast<double>(reported) : 0.0;
 }
 
 }  // namespace fedkemf::fl

@@ -46,8 +46,17 @@ class FedAvg : public Algorithm {
                                   Slot& client_slot, const LocalTrainResult& result);
 
   /// Folds the staged client models into the global model.  Default: FedAvg
-  /// shard-size-weighted average over parameters and buffers.
+  /// shard-size-weighted average over parameters and buffers.  Under
+  /// simulation `sampled` holds only the clients that completed in time.
   virtual void aggregate(std::size_t round_index, std::span<const std::size_t> sampled);
+
+  /// Subset of `sampled` whose round survived every simulator gate (all of
+  /// `sampled` when no simulator is installed).  Valid after the parallel
+  /// client section of round().
+  std::vector<std::size_t> surviving_clients(std::span<const std::size_t> sampled) const;
+
+  /// Simulated local training cost for one client this round, in FLOPs.
+  double client_training_flops(std::size_t client_id, std::size_t round_index);
 
   models::ModelSpec spec_;
   LocalTrainConfig local_config_;
@@ -55,6 +64,8 @@ class FedAvg : public Algorithm {
   std::unique_ptr<nn::Module> global_;
   std::vector<Slot> slots_;
   std::vector<LocalTrainResult> last_results_;  ///< per sampled index, this round
+  std::vector<std::uint8_t> completed_;         ///< per sampled index, this round
+  double flops_per_sample_ = -1.0;              ///< lazy models::estimate_cost cache
 };
 
 }  // namespace fedkemf::fl

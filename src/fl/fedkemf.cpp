@@ -7,7 +7,9 @@
 
 #include "data/dataloader.hpp"
 #include "core/tensor_ops.hpp"
+#include "models/flops.hpp"
 #include "nn/loss.hpp"
+#include "sim/simulator.hpp"
 
 namespace fedkemf::fl {
 namespace {
@@ -191,50 +193,105 @@ FedKemf::Slot& FedKemf::slot(std::size_t client_id) {
   return s;
 }
 
+double FedKemf::client_training_flops(std::size_t client_id, std::size_t round_index) {
+  if (arch_flops_per_sample_.empty()) {
+    // DML trains both networks on every sample, so a client's per-sample cost
+    // is its local architecture plus the knowledge network.
+    const double knowledge_flops = static_cast<double>(
+        models::estimate_cost(options_.knowledge_spec).training_flops());
+    arch_flops_per_sample_.reserve(arch_pool_.size());
+    for (const models::ModelSpec& spec : arch_pool_) {
+      arch_flops_per_sample_.push_back(
+          static_cast<double>(models::estimate_cost(spec).training_flops()) +
+          knowledge_flops);
+    }
+  }
+  const LocalTrainConfig config = local_config_.at_round(round_index);
+  const double samples =
+      static_cast<double>(config.epochs) *
+      static_cast<double>(federation_->client_shard(client_id).size());
+  return arch_flops_per_sample_[client_id % arch_pool_.size()] * samples;
+}
+
 double FedKemf::round(std::size_t round_index, std::span<const std::size_t> sampled,
                       utils::ThreadPool& pool) {
   if (sampled.empty()) throw std::invalid_argument("FedKemf::round: no sampled clients");
   Federation& fed = *federation_;
   last_results_.assign(sampled.size(), {});
+  completed_.assign(sampled.size(), 0);
   for (std::size_t id : sampled) slot(id);
+  if (simulator_ != nullptr && !sampled.empty()) {
+    client_training_flops(sampled.front(), round_index);  // warm cache, single thread
+  }
 
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
     const std::size_t id = sampled[i];
-    Slot& s = slots_[id];
-    // Only the tiny knowledge network crosses the wire, in both directions.
-    if (options_.payload_codec == comm::Codec::kFp32) {
-      fed.channel().transfer(*global_knowledge_, *s.knowledge, round_index, id,
-                             comm::Direction::kDownlink, "knowledge_net");
-    } else {
-      fed.channel().transfer_compressed(*global_knowledge_, *s.knowledge, round_index, id,
-                                        comm::Direction::kDownlink, "knowledge_net",
-                                        options_.payload_codec);
+    if (simulator_ != nullptr && !simulator_->begin_client(round_index, id)) {
+      return;  // device offline this round
     }
-    last_results_[i] = deep_mutual_update(*s.local_model, *s.knowledge, fed.train_set(),
-                                          fed.client_shard(id),
-                                          local_config_.at_round(round_index),
-                                          options_.dml_kl_weight,
-                                          client_stream(fed, round_index, id),
-                                          options_.dml_clip_norm);
-    if (options_.payload_codec == comm::Codec::kFp32) {
-      fed.channel().transfer(*s.knowledge, *s.staged, round_index, id,
-                             comm::Direction::kUplink, "knowledge_net");
-    } else {
-      fed.channel().transfer_compressed(*s.knowledge, *s.staged, round_index, id,
-                                        comm::Direction::kUplink, "knowledge_net",
-                                        options_.payload_codec);
+    Slot& s = slots_[id];
+    try {
+      // Only the tiny knowledge network crosses the wire, in both directions.
+      if (options_.payload_codec == comm::Codec::kFp32) {
+        fed.channel().transfer(*global_knowledge_, *s.knowledge, round_index, id,
+                               comm::Direction::kDownlink, "knowledge_net");
+      } else {
+        fed.channel().transfer_compressed(*global_knowledge_, *s.knowledge, round_index,
+                                          id, comm::Direction::kDownlink, "knowledge_net",
+                                          options_.payload_codec);
+      }
+      const DmlResult result = deep_mutual_update(*s.local_model, *s.knowledge,
+                                                  fed.train_set(), fed.client_shard(id),
+                                                  local_config_.at_round(round_index),
+                                                  options_.dml_kl_weight,
+                                                  client_stream(fed, round_index, id),
+                                                  options_.dml_clip_norm);
+      if (simulator_ != nullptr && simulator_->mid_round_failure(round_index, id)) {
+        return;  // crashed after DML, before the upload
+      }
+      if (options_.payload_codec == comm::Codec::kFp32) {
+        fed.channel().transfer(*s.knowledge, *s.staged, round_index, id,
+                               comm::Direction::kUplink, "knowledge_net");
+      } else {
+        fed.channel().transfer_compressed(*s.knowledge, *s.staged, round_index, id,
+                                          comm::Direction::kUplink, "knowledge_net",
+                                          options_.payload_codec);
+      }
+      if (simulator_ != nullptr &&
+          !simulator_->finish_client(round_index, id,
+                                     client_training_flops(id, round_index))) {
+        return;  // straggler: knowledge net arrives after the deadline
+      }
+      last_results_[i] = result;
+      completed_[i] = 1;
+    } catch (const comm::TransferFailed&) {
+      if (simulator_ == nullptr) throw;
+      simulator_->report_transfer_failure(round_index, id);
     }
   });
 
-  if (options_.fuse_by_weight_average) {
-    fuse_weight_average(sampled);
-  } else {
-    distill_ensemble(round_index, sampled);
+  std::vector<std::size_t> survivors;
+  survivors.reserve(sampled.size());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    if (completed_[i] != 0) survivors.push_back(sampled[i]);
+  }
+
+  if (!survivors.empty()) {
+    if (options_.fuse_by_weight_average) {
+      fuse_weight_average(survivors);
+    } else {
+      distill_ensemble(round_index, survivors);
+    }
   }
 
   double loss_total = 0.0;
-  for (const DmlResult& r : last_results_) loss_total += r.mean_local_loss;
-  return loss_total / static_cast<double>(sampled.size());
+  std::size_t reported = 0;
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    if (completed_[i] == 0) continue;
+    loss_total += last_results_[i].mean_local_loss;
+    ++reported;
+  }
+  return reported > 0 ? loss_total / static_cast<double>(reported) : 0.0;
 }
 
 void FedKemf::fuse_weight_average(std::span<const std::size_t> sampled) {

@@ -80,6 +80,7 @@ class FedKemf final : public Algorithm {
   Slot& slot(std::size_t client_id);
   void distill_ensemble(std::size_t round_index, std::span<const std::size_t> sampled);
   void fuse_weight_average(std::span<const std::size_t> sampled);
+  double client_training_flops(std::size_t client_id, std::size_t round_index);
 
   std::vector<models::ModelSpec> arch_pool_;
   LocalTrainConfig local_config_;
@@ -89,6 +90,8 @@ class FedKemf final : public Algorithm {
   std::unique_ptr<nn::Sgd> server_optimizer_;
   std::vector<Slot> slots_;
   std::vector<DmlResult> last_results_;
+  std::vector<std::uint8_t> completed_;        ///< per sampled index, this round
+  std::vector<double> arch_flops_per_sample_;  ///< lazy, indexed like arch_pool_
 };
 
 }  // namespace fedkemf::fl

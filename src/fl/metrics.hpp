@@ -35,6 +35,14 @@ struct RoundRecord {
   std::size_t round_bytes = 0;      ///< traffic metered during this round
   std::size_t cumulative_bytes = 0;
   double round_seconds = 0.0;       ///< wall-clock compute time of the round
+
+  // Cohort fate under network simulation (RunOptions::sim).  Without a
+  // simulator every sampled client completes and sim_seconds stays zero.
+  std::size_t clients_sampled = 0;
+  std::size_t clients_completed = 0;
+  std::size_t clients_dropped = 0;    ///< offline at round start or failed mid-round
+  std::size_t clients_straggled = 0;  ///< finished after the deadline; discarded
+  double sim_seconds = 0.0;           ///< simulated duration of this round
 };
 
 struct RunResult {
@@ -45,6 +53,12 @@ struct RunResult {
   double final_accuracy = 0.0;
   double best_accuracy = 0.0;
   double wall_seconds = 0.0;
+
+  // Simulation totals over every round (not just evaluated ones); all zero
+  // when no simulator was configured.
+  double sim_seconds = 0.0;           ///< total simulated run duration
+  std::size_t total_dropped = 0;      ///< offline + mid-round failures
+  std::size_t total_stragglers = 0;
 
   /// First round whose evaluated accuracy reached `target`; nullopt if never.
   std::optional<std::size_t> rounds_to_accuracy(double target) const;

@@ -4,22 +4,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "sim/simulator.hpp"
 #include "utils/logging.hpp"
 #include "utils/stopwatch.hpp"
 
 namespace fedkemf::fl {
 
+std::size_t sampled_client_count(std::size_t population, double ratio) {
+  if (population == 0) {
+    throw std::invalid_argument("sampled_client_count: empty population");
+  }
+  if (ratio <= 0.0 || ratio > 1.0) {
+    throw std::invalid_argument("sampled_client_count: ratio must be in (0, 1]");
+  }
+  const std::size_t count = static_cast<std::size_t>(
+      std::lround(ratio * static_cast<double>(population)));
+  return std::clamp<std::size_t>(count, 1, population);
+}
+
 std::vector<std::size_t> sample_clients(const Federation& federation, std::size_t round_index,
                                         double ratio) {
-  if (ratio <= 0.0 || ratio > 1.0) {
-    throw std::invalid_argument("sample_clients: ratio must be in (0, 1]");
-  }
   const std::size_t population = federation.num_clients();
-  std::size_t count = static_cast<std::size_t>(
-      std::lround(ratio * static_cast<double>(population)));
-  count = std::clamp<std::size_t>(count, 1, population);
+  const std::size_t count = sampled_client_count(population, ratio);
   core::Rng rng = federation.root_rng().fork(0x5A3B7E00ULL + round_index);
   return rng.sample_without_replacement(population, count);
 }
@@ -33,20 +42,35 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
   utils::ThreadPool pool(options.num_threads);
   utils::Stopwatch run_clock;
 
+  std::unique_ptr<sim::Simulator> simulator;
+  if (options.sim) {
+    simulator = std::make_unique<sim::Simulator>(
+        *options.sim, federation.num_clients(),
+        federation.root_rng().fork(0x51D07A1EULL));
+    simulator->attach(federation.channel());
+    algorithm.set_simulator(simulator.get());
+  }
+
   RunResult result;
   result.algorithm = algorithm.name();
   std::size_t bytes_before_round = 0;
 
   for (std::size_t round = 0; round < options.rounds; ++round) {
     utils::Stopwatch round_clock;
-    const std::size_t population = federation.num_clients();
-    const std::size_t count = std::clamp<std::size_t>(
-        static_cast<std::size_t>(std::lround(options.sample_ratio *
-                                             static_cast<double>(population))),
-        1, population);
+    const std::size_t count =
+        sampled_client_count(federation.num_clients(), options.sample_ratio);
     const std::vector<std::size_t> sampled = selector->select(federation, round, count);
+    if (simulator) simulator->begin_round(round, sampled.size());
     const double train_loss = algorithm.round(round, sampled, pool);
     result.rounds_completed = round + 1;
+
+    sim::RoundReport sim_report;
+    if (simulator) {
+      sim_report = simulator->round_report();
+      result.sim_seconds += sim_report.simulated_seconds;
+      result.total_dropped += sim_report.dropped();
+      result.total_stragglers += sim_report.stragglers;
+    }
 
     const bool last_round = round + 1 == options.rounds;
     const std::size_t every = std::max<std::size_t>(1, options.eval_every);
@@ -61,6 +85,15 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     record.round_bytes = bytes_now - bytes_before_round;
     bytes_before_round = bytes_now;
     record.round_seconds = round_clock.seconds();
+    record.clients_sampled = sampled.size();
+    if (simulator) {
+      record.clients_completed = sim_report.completed;
+      record.clients_dropped = sim_report.dropped();
+      record.clients_straggled = sim_report.stragglers;
+      record.sim_seconds = sim_report.simulated_seconds;
+    } else {
+      record.clients_completed = sampled.size();
+    }
 
     const EvalResult eval = evaluate(algorithm.global_model(), federation.test_set());
     record.accuracy = eval.accuracy;
@@ -83,16 +116,26 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     result.history.push_back(record);
 
     if (options.verbose) {
-      utils::log_info("runner") << algorithm.name() << " round " << round + 1 << "/"
-                                << options.rounds << " acc=" << record.accuracy
-                                << " loss=" << train_loss
-                                << " bytes=" << record.cumulative_bytes;
+      auto line = utils::log_info("runner");
+      line << algorithm.name() << " round " << round + 1 << "/" << options.rounds
+           << " acc=" << record.accuracy << " loss=" << train_loss
+           << " bytes=" << record.cumulative_bytes;
+      if (simulator) {
+        line << " completed=" << sim_report.completed << "/" << sim_report.sampled
+             << " dropped=" << sim_report.dropped()
+             << " stragglers=" << sim_report.stragglers
+             << " sim_s=" << sim_report.simulated_seconds;
+      }
     }
     if (options.stop_at_accuracy && record.accuracy >= *options.stop_at_accuracy) break;
   }
 
   result.total_bytes = federation.meter().total_bytes();
   result.wall_seconds = run_clock.seconds();
+  if (simulator) {
+    algorithm.set_simulator(nullptr);
+    simulator->detach();
+  }
   return result;
 }
 

@@ -22,4 +22,8 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
 std::vector<std::size_t> sample_clients(const Federation& federation, std::size_t round_index,
                                         double ratio);
 
+/// Cohort size a `ratio` sample draws from `population`: round(ratio * N)
+/// clamped to [1, N].  Throws unless ratio is in (0, 1] and population > 0.
+std::size_t sampled_client_count(std::size_t population, double ratio);
+
 }  // namespace fedkemf::fl

@@ -1,0 +1,55 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fedkemf::sim {
+
+RoundClock::RoundClock(double deadline_seconds) : deadline_(deadline_seconds) {
+  if (!(deadline_ > 0.0)) {
+    throw std::invalid_argument("RoundClock: deadline must be > 0 (use +inf to disable)");
+  }
+}
+
+void RoundClock::begin_round(std::size_t round, std::size_t sampled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = RoundReport{};
+  current_.round = round;
+  current_.sampled = sampled;
+  slowest_completion_ = 0.0;
+}
+
+void RoundClock::record_offline() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++current_.offline;
+}
+
+void RoundClock::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++current_.failed;
+}
+
+bool RoundClock::record_completion(double compute_seconds, double transfer_seconds) {
+  const double total = compute_seconds + transfer_seconds;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total > deadline_) {
+    ++current_.stragglers;
+    return false;
+  }
+  ++current_.completed;
+  slowest_completion_ = std::max(slowest_completion_, total);
+  return true;
+}
+
+RoundReport RoundClock::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RoundReport report = current_;
+  const bool cutoff_hit =
+      deadline_ != std::numeric_limits<double>::infinity() &&
+      (report.offline + report.failed + report.stragglers) > 0;
+  report.simulated_seconds = cutoff_hit ? deadline_ : slowest_completion_;
+  return report;
+}
+
+}  // namespace fedkemf::sim

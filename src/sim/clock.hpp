@@ -1,0 +1,61 @@
+#pragma once
+
+// Simulated round wall-clock.
+//
+// Each sampled client's round cost is compute time (local FLOPs at its
+// profile's throughput) plus transfer time (metered bytes over its link,
+// plus fault delays and retry backoff).  RoundClock collects those costs and
+// closes the round at an optional deadline: clients whose total exceeds the
+// deadline are *stragglers* — they trained, but their update arrives too
+// late to aggregate.  With no deadline the round simply lasts as long as its
+// slowest client.
+//
+// The clock is an accumulator, not a scheduler: clients report completion in
+// any order (the thread pool's order), and the resulting RoundReport depends
+// only on the set of reports, never on their interleaving.
+
+#include <cstddef>
+#include <mutex>
+
+namespace fedkemf::sim {
+
+/// What happened to one round's cohort, in simulated time.
+struct RoundReport {
+  std::size_t round = 0;
+  std::size_t sampled = 0;      ///< cohort size chosen by the selector
+  std::size_t completed = 0;    ///< made the deadline; aggregated
+  std::size_t offline = 0;      ///< never started (availability trace)
+  std::size_t failed = 0;       ///< died mid-round or exhausted retries
+  std::size_t stragglers = 0;   ///< finished after the deadline; discarded
+  double simulated_seconds = 0.0;
+
+  std::size_t dropped() const { return offline + failed; }
+};
+
+class RoundClock {
+ public:
+  /// `deadline_seconds` of +infinity disables straggler cutoff.
+  explicit RoundClock(double deadline_seconds);
+
+  double deadline_seconds() const { return deadline_; }
+
+  /// Resets the clock for a new round.
+  void begin_round(std::size_t round, std::size_t sampled);
+
+  void record_offline();
+  void record_failure();
+
+  /// Reports one client's simulated cost.  Returns true iff the client made
+  /// the deadline (counted completed); false marks it a straggler.
+  bool record_completion(double compute_seconds, double transfer_seconds);
+
+  RoundReport report() const;
+
+ private:
+  double deadline_;
+  mutable std::mutex mutex_;
+  RoundReport current_;
+  double slowest_completion_ = 0.0;
+};
+
+}  // namespace fedkemf::sim

@@ -1,0 +1,96 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sim/network.hpp"  // stream_tag
+
+namespace fedkemf::sim {
+namespace {
+
+constexpr std::uint64_t kFaultStream = 0xFA017D0AULL;
+constexpr std::uint64_t kDelayStream = 0xDE1A77D0ULL;
+
+void require_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultInjector: ") + what +
+                                " must be in [0, 1], got " + std::to_string(p));
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSpec& spec, core::Rng rng)
+    : spec_(spec), rng_(rng) {
+  require_probability(spec.drop_prob, "drop_prob");
+  require_probability(spec.corrupt_prob, "corrupt_prob");
+  require_probability(spec.delay_prob, "delay_prob");
+  if (spec.drop_prob + spec.corrupt_prob > 1.0) {
+    throw std::invalid_argument("FaultInjector: drop_prob + corrupt_prob > 1");
+  }
+  if (!(spec.max_delay_seconds >= 0.0)) {
+    throw std::invalid_argument("FaultInjector: max_delay_seconds must be >= 0");
+  }
+}
+
+FaultInjector::Action FaultInjector::on_payload(std::size_t round, std::size_t client_id,
+                                                comm::Direction direction,
+                                                std::size_t attempt,
+                                                std::vector<std::uint8_t>& payload) {
+  // One decision stream per attempt — a pure function of the identifying
+  // tuple, so schedules do not depend on which thread delivers which client.
+  core::Rng draw = rng_.fork(stream_tag(
+      {kFaultStream, round, client_id,
+       direction == comm::Direction::kUplink ? 1ULL : 0ULL, attempt}));
+
+  Action action = Action::kDeliver;
+  const double u = draw.uniform();
+  if (u < spec_.drop_prob) {
+    action = Action::kDrop;
+  } else if (u < spec_.drop_prob + spec_.corrupt_prob) {
+    action = Action::kCorrupt;
+    if (!payload.empty()) {
+      const std::size_t flips = std::max<std::size_t>(1, spec_.corrupt_bit_flips);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t bit =
+            static_cast<std::size_t>(draw.uniform_index(payload.size() * 8));
+        payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+  }
+
+  double delay = 0.0;
+  if (spec_.delay_prob > 0.0 && spec_.max_delay_seconds > 0.0) {
+    core::Rng delay_draw = rng_.fork(stream_tag(
+        {kDelayStream, round, client_id,
+         direction == comm::Direction::kUplink ? 1ULL : 0ULL, attempt}));
+    if (delay_draw.uniform() < spec_.delay_prob) {
+      delay = delay_draw.uniform(0.0, spec_.max_delay_seconds);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ClientStats& s = stats_[{round, client_id}];
+    ++s.attempts;
+    if (action == Action::kDrop) ++s.drops;
+    if (action == Action::kCorrupt) ++s.corruptions;
+    s.injected_delay_seconds += delay;
+  }
+  return action;
+}
+
+FaultInjector::ClientStats FaultInjector::stats(std::size_t round,
+                                                std::size_t client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stats_.find({round, client_id});
+  return it != stats_.end() ? it->second : ClientStats{};
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.clear();
+}
+
+}  // namespace fedkemf::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+// Deterministic payload fault injection.
+//
+// FaultInjector implements comm::FaultHook: every model transfer attempt can
+// be dropped (lost in flight), corrupted (random bit flips — caught by the
+// wire format's CRC32 on deserialization), or delayed (transient
+// congestion, charged to the client's simulated transfer time).  Decisions
+// are drawn from counter-based forks keyed on (round, client, direction,
+// attempt), so a fault schedule is reproducible from the run seed alone and
+// independent of thread interleaving.
+//
+// The injector also keeps per-(round, client) tallies — attempts, drops,
+// corruptions, injected delay — which sim::Simulator converts into retry
+// backoff and transfer time when the round clock closes over a client.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "comm/channel.hpp"
+#include "core/rng.hpp"
+
+namespace fedkemf::sim {
+
+struct FaultSpec {
+  double drop_prob = 0.0;           ///< per-attempt probability of payload loss
+  double corrupt_prob = 0.0;        ///< per-attempt probability of bit corruption
+  double delay_prob = 0.0;          ///< per-attempt probability of extra delay
+  double max_delay_seconds = 0.0;   ///< delay drawn uniform on [0, max]
+  std::size_t corrupt_bit_flips = 8;  ///< bits flipped per corruption event
+};
+
+class FaultInjector final : public comm::FaultHook {
+ public:
+  FaultInjector(const FaultSpec& spec, core::Rng rng);
+
+  Action on_payload(std::size_t round, std::size_t client_id, comm::Direction direction,
+                    std::size_t attempt, std::vector<std::uint8_t>& payload) override;
+
+  /// What one client suffered during one round, both directions combined.
+  struct ClientStats {
+    std::size_t attempts = 0;
+    std::size_t drops = 0;
+    std::size_t corruptions = 0;
+    double injected_delay_seconds = 0.0;
+    std::size_t failures() const { return drops + corruptions; }
+  };
+
+  ClientStats stats(std::size_t round, std::size_t client_id) const;
+
+  const FaultSpec& spec() const { return spec_; }
+
+  void reset();
+
+ private:
+  FaultSpec spec_;
+  core::Rng rng_;
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::size_t, std::size_t>, ClientStats> stats_;
+};
+
+}  // namespace fedkemf::sim

@@ -1,0 +1,91 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace fedkemf::sim {
+namespace {
+
+constexpr std::uint64_t kProfileStream = 0x9F0F11E5ULL;
+constexpr std::uint64_t kDropoutStream = 0xD90D0067ULL;
+constexpr std::uint64_t kFailureStream = 0xFA11D1EDULL;
+
+void require_range(double lo, double hi, const char* what) {
+  if (!(lo > 0.0) || !(hi >= lo)) {
+    throw std::invalid_argument(std::string("NetworkModel: invalid ") + what +
+                                " range [" + std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  }
+}
+
+void require_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("NetworkModel: ") + what +
+                                " must be in [0, 1], got " + std::to_string(p));
+  }
+}
+
+double log_uniform(core::Rng& rng, double lo, double hi) {
+  if (lo == hi) return lo;
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+std::uint64_t stream_tag(std::initializer_list<std::uint64_t> parts) {
+  std::uint64_t state = 0x51AB1E5EEDULL;
+  std::uint64_t hash = 0;
+  for (std::uint64_t part : parts) {
+    state ^= part + 0x9E3779B97F4A7C15ULL + (hash << 6) + (hash >> 2);
+    hash = core::splitmix64(state);
+  }
+  return hash;
+}
+
+NetworkModel::NetworkModel(const NetworkOptions& options, std::size_t num_clients,
+                           core::Rng rng)
+    : trace_rng_(rng) {
+  require_range(options.bandwidth_min_bps, options.bandwidth_max_bps, "bandwidth");
+  if (!(options.latency_min_seconds >= 0.0) ||
+      !(options.latency_max_seconds >= options.latency_min_seconds)) {
+    throw std::invalid_argument("NetworkModel: invalid latency range");
+  }
+  require_range(options.flops_min, options.flops_max, "flops");
+  require_probability(options.dropout_prob, "dropout_prob");
+  require_probability(options.mid_round_failure_prob, "mid_round_failure_prob");
+
+  profiles_.reserve(num_clients);
+  for (std::size_t id = 0; id < num_clients; ++id) {
+    core::Rng draw = rng.fork(stream_tag({kProfileStream, id}));
+    ClientProfile profile;
+    profile.link.bandwidth_bytes_per_second =
+        log_uniform(draw, options.bandwidth_min_bps, options.bandwidth_max_bps);
+    profile.link.latency_seconds =
+        draw.uniform(options.latency_min_seconds, options.latency_max_seconds);
+    profile.flops_per_second = log_uniform(draw, options.flops_min, options.flops_max);
+    profile.dropout_prob = options.dropout_prob;
+    profile.mid_round_failure_prob = options.mid_round_failure_prob;
+    profiles_.push_back(profile);
+  }
+}
+
+const ClientProfile& NetworkModel::profile(std::size_t client_id) const {
+  return profiles_.at(client_id);
+}
+
+bool NetworkModel::available(std::size_t round, std::size_t client_id) const {
+  const ClientProfile& p = profile(client_id);
+  if (p.dropout_prob <= 0.0) return true;
+  core::Rng draw = trace_rng_.fork(stream_tag({kDropoutStream, round, client_id}));
+  return draw.uniform() >= p.dropout_prob;
+}
+
+bool NetworkModel::fails_mid_round(std::size_t round, std::size_t client_id) const {
+  const ClientProfile& p = profile(client_id);
+  if (p.mid_round_failure_prob <= 0.0) return false;
+  core::Rng draw = trace_rng_.fork(stream_tag({kFailureStream, round, client_id}));
+  return draw.uniform() < p.mid_round_failure_prob;
+}
+
+}  // namespace fedkemf::sim

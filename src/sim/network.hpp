@@ -1,0 +1,78 @@
+#pragma once
+
+// Per-client network heterogeneity and availability.
+//
+// A fleet of millions of edge devices never behaves like the perfect network
+// the basic simulator assumes: links span orders of magnitude in bandwidth,
+// latency varies with geography, and clients come and go.  NetworkModel
+// assigns every client a seeded ClientProfile — a comm::LinkModel plus a
+// compute throughput drawn from configurable distributions — and provides a
+// deterministic availability trace (per-round dropout, mid-round failure).
+//
+// Determinism contract: every decision is a pure function of (seed, round,
+// client), derived through counter-based RNG forks.  The same seed produces
+// the same profiles and the same drop schedule regardless of thread-pool
+// size, call order, or how many rounds actually executed.
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "core/rng.hpp"
+
+namespace fedkemf::sim {
+
+/// Folds an arbitrary list of 64-bit values into one fork tag (splitmix64
+/// avalanche per part).  Shared by every sim component that derives
+/// per-(round, client, ...) decision streams.
+std::uint64_t stream_tag(std::initializer_list<std::uint64_t> parts);
+
+/// Distributions the per-client profiles are drawn from.  Bandwidth and
+/// compute are log-uniform (edge fleets are heavy-tailed); latency is
+/// uniform.  Defaults span a 20x bandwidth spread around the WAN edge uplink
+/// LinkModel assumes, and the 10x compute spread of DeviceClass's fleet.
+struct NetworkOptions {
+  double bandwidth_min_bps = 5e6 / 8.0;    ///< bytes/second
+  double bandwidth_max_bps = 100e6 / 8.0;
+  double latency_min_seconds = 0.01;
+  double latency_max_seconds = 0.15;
+  double flops_min = 1e9;                  ///< sustained training FLOP/s
+  double flops_max = 1e10;
+
+  /// Probability a sampled client never starts the round (device offline).
+  double dropout_prob = 0.0;
+  /// Probability a client that trained dies before its upload completes.
+  double mid_round_failure_prob = 0.0;
+};
+
+/// One client's fixed characteristics for a whole run.
+struct ClientProfile {
+  comm::LinkModel link;
+  double flops_per_second = 1e9;
+  double dropout_prob = 0.0;
+  double mid_round_failure_prob = 0.0;
+};
+
+class NetworkModel {
+ public:
+  /// Draws one profile per client from `rng` (validated: mins <= maxes,
+  /// probabilities in [0, 1]).
+  NetworkModel(const NetworkOptions& options, std::size_t num_clients, core::Rng rng);
+
+  std::size_t num_clients() const { return profiles_.size(); }
+  const ClientProfile& profile(std::size_t client_id) const;
+
+  /// Availability trace: false means the client is offline for this round.
+  bool available(std::size_t round, std::size_t client_id) const;
+
+  /// Mid-round failure trace: true means the client dies after local
+  /// training, before its upload completes.
+  bool fails_mid_round(std::size_t round, std::size_t client_id) const;
+
+ private:
+  core::Rng trace_rng_;
+  std::vector<ClientProfile> profiles_;
+};
+
+}  // namespace fedkemf::sim

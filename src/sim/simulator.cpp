@@ -1,0 +1,85 @@
+#include "sim/simulator.hpp"
+
+namespace fedkemf::sim {
+namespace {
+
+constexpr std::uint64_t kNetworkChild = 0x4E375EEDULL;
+constexpr std::uint64_t kFaultChild = 0xFA0175EEULL;
+
+double retry_backoff_seconds(const comm::RetryPolicy& policy, std::size_t failures) {
+  // Each failed attempt costs one backoff wait before its retry:
+  // backoff * multiplier^i for the i-th failure.
+  double total = 0.0;
+  double step = policy.backoff_seconds;
+  for (std::size_t i = 0; i < failures; ++i) {
+    total += step;
+    step *= policy.backoff_multiplier;
+  }
+  return total;
+}
+
+}  // namespace
+
+Simulator::Simulator(const SimOptions& options, std::size_t num_clients, core::Rng rng)
+    : options_(options),
+      network_(options.network, num_clients, rng.fork(kNetworkChild)),
+      injector_(options.faults, rng.fork(kFaultChild)),
+      clock_(options.deadline_seconds) {}
+
+void Simulator::attach(comm::Channel& channel) {
+  channel_ = &channel;
+  meter_ = channel.meter();
+  channel.set_fault_hook(&injector_);
+  channel.set_retry_policy(options_.retry);
+}
+
+void Simulator::detach() {
+  if (channel_ != nullptr) channel_->set_fault_hook(nullptr);
+  channel_ = nullptr;
+  meter_ = nullptr;
+}
+
+void Simulator::begin_round(std::size_t round, std::size_t sampled) {
+  clock_.begin_round(round, sampled);
+}
+
+bool Simulator::begin_client(std::size_t round, std::size_t client_id) {
+  if (network_.available(round, client_id)) return true;
+  clock_.record_offline();
+  return false;
+}
+
+bool Simulator::mid_round_failure(std::size_t round, std::size_t client_id) {
+  if (!network_.fails_mid_round(round, client_id)) return false;
+  clock_.record_failure();
+  return true;
+}
+
+void Simulator::report_transfer_failure(std::size_t /*round*/, std::size_t /*client_id*/) {
+  clock_.record_failure();
+}
+
+bool Simulator::finish_client(std::size_t round, std::size_t client_id,
+                              double training_flops) {
+  const ClientProfile& profile = network_.profile(client_id);
+  const double compute_seconds = training_flops / profile.flops_per_second;
+
+  const std::size_t bytes =
+      meter_ != nullptr ? meter_->bytes_for(round, client_id) : 0;
+  const FaultInjector::ClientStats stats = injector_.stats(round, client_id);
+  // Latency is paid once per delivery attempt; with no faults that is one
+  // downlink + one uplink, which profile.link.transfer_seconds approximates
+  // as attempts = max(2, recorded attempts).
+  const std::size_t attempts = stats.attempts > 0 ? stats.attempts : 2;
+  const double transfer_seconds =
+      static_cast<double>(bytes) / profile.link.bandwidth_bytes_per_second +
+      profile.link.latency_seconds * static_cast<double>(attempts) +
+      stats.injected_delay_seconds +
+      retry_backoff_seconds(channel_ != nullptr ? channel_->retry_policy()
+                                                : options_.retry,
+                            stats.failures());
+
+  return clock_.record_completion(compute_seconds, transfer_seconds);
+}
+
+}  // namespace fedkemf::sim

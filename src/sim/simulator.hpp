@@ -1,0 +1,83 @@
+#pragma once
+
+// Facade tying the network-realism pieces together.
+//
+// A Simulator owns a NetworkModel (per-client profiles + availability
+// traces), a FaultInjector (payload drop/corrupt/delay), and a RoundClock
+// (deadline-based partial aggregation).  An fl::Algorithm consults it at
+// three points per client:
+//
+//   begin_client()      — is the device online this round at all?
+//   fails_mid_round()   — does it die after training, before upload?
+//   finish_client()     — convert FLOPs + metered bytes into simulated time;
+//                         did the client make the round deadline?
+//
+// Everything is a pure function of (seed, round, client, attempt), so a
+// given seed yields one canonical failure schedule — bit-identical whether
+// the round runs on one thread or sixteen.
+
+#include <cstddef>
+#include <limits>
+
+#include "comm/channel.hpp"
+#include "core/rng.hpp"
+#include "sim/clock.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+
+namespace fedkemf::sim {
+
+struct SimOptions {
+  NetworkOptions network;
+  FaultSpec faults;
+  comm::RetryPolicy retry;
+  /// Round deadline in simulated seconds; +inf (default) disables the
+  /// straggler cutoff so every surviving client aggregates.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+};
+
+class Simulator {
+ public:
+  Simulator(const SimOptions& options, std::size_t num_clients, core::Rng rng);
+
+  /// Installs the fault hook + retry policy on `channel` and remembers its
+  /// meter for byte accounting.  Call once, before the round loop.
+  void attach(comm::Channel& channel);
+  void detach();
+
+  void begin_round(std::size_t round, std::size_t sampled);
+
+  /// Availability gate.  False: the client is offline this round (recorded);
+  /// the caller must skip it entirely.
+  bool begin_client(std::size_t round, std::size_t client_id);
+
+  /// Mid-round death gate, consulted after local training.  True: the client
+  /// crashed before upload (recorded); the caller must discard its update.
+  bool mid_round_failure(std::size_t round, std::size_t client_id);
+
+  /// Records a client whose upload exhausted its retry budget
+  /// (comm::TransferFailed); counted as failed.
+  void report_transfer_failure(std::size_t round, std::size_t client_id);
+
+  /// Converts `training_flops` plus this client's metered round traffic into
+  /// simulated time and checks it against the deadline.  Returns true iff
+  /// the client completed in time; false marks it a straggler and the caller
+  /// must discard its update.
+  bool finish_client(std::size_t round, std::size_t client_id, double training_flops);
+
+  RoundReport round_report() const { return clock_.report(); }
+
+  const NetworkModel& network() const { return network_; }
+  FaultInjector& injector() { return injector_; }
+  const SimOptions& options() const { return options_; }
+
+ private:
+  SimOptions options_;
+  NetworkModel network_;
+  FaultInjector injector_;
+  RoundClock clock_;
+  comm::Channel* channel_ = nullptr;
+  comm::TrafficMeter* meter_ = nullptr;
+};
+
+}  // namespace fedkemf::sim

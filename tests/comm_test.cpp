@@ -1,15 +1,20 @@
-// Communication substrate tests: model wire format round trips, byte-exact
-// accounting, traffic metering, thread safety, and the link cost model.
+// Communication substrate tests: model wire format round trips (versions 1
+// and 2), CRC32 integrity, byte-exact accounting, traffic metering, thread
+// safety, fault-hook retry behavior, and the link cost model.
 
+#include <cmath>
+#include <limits>
 #include <thread>
 
 #include <gtest/gtest.h>
 
 #include "comm/channel.hpp"
+#include "comm/compression.hpp"
 #include "core/rng.hpp"
 #include "models/zoo.hpp"
 #include "nn/linear.hpp"
 #include "nn/norm.hpp"
+#include "utils/thread_pool.hpp"
 
 namespace fedkemf::comm {
 namespace {
@@ -87,6 +92,57 @@ TEST(ModelSerialize, RejectsTrailingGarbage) {
   EXPECT_THROW(deserialize_model(payload, *model), std::runtime_error);
 }
 
+TEST(ModelSerialize, DetectsBodyCorruptionViaChecksum) {
+  auto src = small_model(20);
+  auto dst = small_model(21);
+  auto payload = serialize_model(*src);
+  payload[payload.size() / 2] ^= 0x10;  // flip one bit deep in the body
+  EXPECT_THROW(deserialize_model(payload, *dst), ChecksumError);
+}
+
+TEST(ModelSerialize, DetectsChecksumFieldCorruption) {
+  auto src = small_model(22);
+  auto dst = small_model(23);
+  auto payload = serialize_model(*src);
+  payload[9] ^= 0x01;  // the crc32 field itself (bytes 8..11)
+  EXPECT_THROW(deserialize_model(payload, *dst), ChecksumError);
+}
+
+TEST(ModelSerialize, ChecksumErrorMessageNamesOffsetAndValues) {
+  auto src = small_model(24);
+  auto payload = serialize_model(*src);
+  payload.back() ^= 0xFF;
+  try {
+    deserialize_model(payload, *src);
+    FAIL() << "expected ChecksumError";
+  } catch (const ChecksumError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelSerialize, LegacyVersion1PayloadStillReadable) {
+  auto src = small_model(25);
+  auto dst = small_model(26);
+  auto v2 = serialize_model(*src);
+  // A version-1 payload is the version-2 layout minus the crc32 field, with
+  // the version field rewritten.
+  std::vector<std::uint8_t> v1;
+  v1.insert(v1.end(), v2.begin(), v2.begin() + 8);
+  v1.insert(v1.end(), v2.begin() + 12, v2.end());
+  v1[4] = 1;  // version (little-endian u32)
+  v1[5] = v1[6] = v1[7] = 0;
+  ASSERT_NO_THROW(deserialize_model(v1, *dst));
+  const auto ps = src->parameters();
+  const auto pd = dst->parameters();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::size_t j = 0; j < ps[i]->value.numel(); ++j) {
+      ASSERT_EQ(ps[i]->value[j], pd[i]->value[j]);
+    }
+  }
+}
+
 TEST(TrafficMeter, AccumulatesByDirectionRoundAndClient) {
   TrafficMeter meter;
   meter.record({0, 1, Direction::kDownlink, 100, "model"});
@@ -109,6 +165,29 @@ TEST(TrafficMeter, ResetClears) {
   EXPECT_EQ(meter.total_bytes(), 0u);
   EXPECT_EQ(meter.num_transfers(), 0u);
   EXPECT_DOUBLE_EQ(meter.mean_bytes_per_round(), 0.0);
+}
+
+TEST(TrafficMeter, ConcurrentRecordingFromThreadPool) {
+  // The round loop meters transfers from worker threads; drive record() from
+  // the same pool abstraction the algorithms use and check per-(round,
+  // client) attribution survives the contention.
+  TrafficMeter meter;
+  utils::ThreadPool pool(4);
+  constexpr std::size_t kClients = 16;
+  constexpr std::size_t kPerClient = 200;
+  pool.parallel_for(kClients, [&meter](std::size_t client) {
+    for (std::size_t i = 0; i < kPerClient; ++i) {
+      meter.record({/*round=*/i % 2, client, Direction::kUplink, client + 1, "m"});
+    }
+  });
+  EXPECT_EQ(meter.num_transfers(), kClients * kPerClient);
+  std::size_t expected_total = 0;
+  for (std::size_t client = 0; client < kClients; ++client) {
+    expected_total += kPerClient * (client + 1);
+    EXPECT_EQ(meter.bytes_for_client(client), kPerClient * (client + 1));
+    EXPECT_EQ(meter.bytes_for(0, client), (kPerClient / 2) * (client + 1));
+  }
+  EXPECT_EQ(meter.total_bytes(), expected_total);
 }
 
 TEST(TrafficMeter, ThreadSafeRecording) {
@@ -167,6 +246,112 @@ TEST(LinkModel, TransferTimeIsLatencyPlusSerialization) {
   LinkModel link{.bandwidth_bytes_per_second = 1000.0, .latency_seconds = 0.5};
   EXPECT_DOUBLE_EQ(link.transfer_seconds(0), 0.5);
   EXPECT_DOUBLE_EQ(link.transfer_seconds(2000), 2.5);
+}
+
+TEST(LinkModel, ZeroBytesCostsExactlyTheLatency) {
+  LinkModel link{.bandwidth_bytes_per_second = 123.0, .latency_seconds = 0.0};
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0), 0.0);
+}
+
+TEST(LinkModel, HugePayloadsStayFiniteAndMonotonic) {
+  LinkModel link;  // WAN defaults
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  const double t_huge = link.transfer_seconds(huge);
+  EXPECT_TRUE(std::isfinite(t_huge));
+  EXPECT_GT(t_huge, link.transfer_seconds(huge / 2));
+  // A terabyte at 2.5 MB/s is ~4.6 days; sanity-check the magnitude.
+  const double t_tb = link.transfer_seconds(std::size_t{1} << 40);
+  EXPECT_NEAR(t_tb, static_cast<double>(std::size_t{1} << 40) / (20e6 / 8.0), 1.0);
+}
+
+// ---- Fault hook / retry behavior ----
+
+/// Deterministic scripted hook: applies a fixed list of actions, one per
+/// attempt, then delivers.  Counts calls.
+class ScriptedFaultHook final : public FaultHook {
+ public:
+  explicit ScriptedFaultHook(std::vector<Action> script) : script_(std::move(script)) {}
+
+  Action on_payload(std::size_t, std::size_t, Direction, std::size_t,
+                    std::vector<std::uint8_t>& payload) override {
+    const std::size_t call = calls_++;
+    const Action action =
+        call < script_.size() ? script_[call] : Action::kDeliver;
+    if (action == Action::kCorrupt && !payload.empty()) payload[payload.size() / 2] ^= 0x40;
+    return action;
+  }
+
+  std::size_t calls() const { return calls_; }
+
+ private:
+  std::vector<Action> script_;
+  std::size_t calls_ = 0;
+};
+
+TEST(ChannelFaults, CorruptedAttemptIsDetectedAndRetried) {
+  TrafficMeter meter;
+  Channel channel(&meter);
+  ScriptedFaultHook hook({FaultHook::Action::kCorrupt});
+  channel.set_fault_hook(&hook);
+  channel.set_retry_policy({.max_attempts = 3});
+  auto src = small_model(30);
+  auto dst = small_model(31);
+  ASSERT_NO_THROW(channel.transfer(*src, *dst, 0, 0, Direction::kDownlink, "model"));
+  EXPECT_EQ(hook.calls(), 2u);  // corrupt, then clean retry
+  EXPECT_EQ(meter.num_transfers(), 2u);  // both attempts consumed the link
+  const auto ps = src->parameters();
+  const auto pd = dst->parameters();
+  for (std::size_t j = 0; j < ps[0]->value.numel(); ++j) {
+    ASSERT_EQ(ps[0]->value[j], pd[0]->value[j]);
+  }
+}
+
+TEST(ChannelFaults, DroppedAttemptsAreRetriedPerPolicy) {
+  TrafficMeter meter;
+  Channel channel(&meter);
+  ScriptedFaultHook hook({FaultHook::Action::kDrop, FaultHook::Action::kDrop});
+  channel.set_fault_hook(&hook);
+  channel.set_retry_policy({.max_attempts = 3});
+  auto src = small_model(32);
+  auto dst = small_model(33);
+  ASSERT_NO_THROW(channel.transfer(*src, *dst, 1, 2, Direction::kUplink, "model"));
+  EXPECT_EQ(hook.calls(), 3u);
+  EXPECT_EQ(meter.bytes_for(1, 2), 3 * model_wire_size(*src));
+}
+
+TEST(ChannelFaults, ExhaustedRetriesThrowTransferFailed) {
+  Channel channel(nullptr);
+  ScriptedFaultHook hook({FaultHook::Action::kDrop, FaultHook::Action::kDrop,
+                          FaultHook::Action::kDrop});
+  channel.set_fault_hook(&hook);
+  channel.set_retry_policy({.max_attempts = 3});
+  auto src = small_model(34);
+  auto dst = small_model(35);
+  EXPECT_THROW(channel.transfer(*src, *dst, 0, 0, Direction::kUplink, "model"),
+               TransferFailed);
+  EXPECT_EQ(hook.calls(), 3u);
+}
+
+TEST(ChannelFaults, CompressedTransfersAreAlsoProtected) {
+  Channel channel(nullptr);
+  ScriptedFaultHook hook({FaultHook::Action::kCorrupt, FaultHook::Action::kCorrupt});
+  channel.set_fault_hook(&hook);
+  channel.set_retry_policy({.max_attempts = 3});
+  auto src = small_model(36);
+  auto dst = small_model(37);
+  ASSERT_NO_THROW(channel.transfer_compressed(*src, *dst, 0, 0, Direction::kDownlink,
+                                              "kn", Codec::kFp16));
+  EXPECT_EQ(hook.calls(), 3u);
+}
+
+TEST(ChannelFaults, NoHookMeansSingleAttemptSemantics) {
+  TrafficMeter meter;
+  Channel channel(&meter);
+  channel.set_retry_policy({.max_attempts = 5});  // irrelevant without a hook
+  auto src = small_model(38);
+  auto dst = small_model(39);
+  channel.transfer(*src, *dst, 0, 0, Direction::kDownlink, "model");
+  EXPECT_EQ(meter.num_transfers(), 1u);
 }
 
 TEST(PaperByteAccounting, FullWidthModelsMatchPaperMagnitudes) {

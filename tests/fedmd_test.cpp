@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/serialize.hpp"
 #include "fl/fedmd.hpp"
 #include "fl/runner.hpp"
 

@@ -107,6 +107,53 @@ TEST(TensorSerialize, BadRankRejected) {
   EXPECT_THROW(read_tensor(reader), std::runtime_error);
 }
 
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>(digits, 9)), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+  EXPECT_EQ(crc32(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  Rng rng(42);
+  std::vector<std::uint8_t> data(1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  const std::uint32_t one_shot = crc32(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{512},
+                            std::size_t{1023}, std::size_t{1024}}) {
+    const std::uint32_t first =
+        crc32(std::span<const std::uint8_t>(data).subspan(0, split));
+    const std::uint32_t chained =
+        crc32(std::span<const std::uint8_t>(data).subspan(split), first);
+    EXPECT_EQ(chained, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t bit : {std::size_t{0}, std::size_t{100}, std::size_t{511}}) {
+    std::vector<std::uint8_t> flipped = data;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(flipped), clean) << "bit " << bit;
+  }
+}
+
+TEST(ByteReaderPosition, TracksCursor) {
+  ByteWriter writer;
+  writer.write_u32(7);
+  writer.write_u64(9);
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.position(), 0u);
+  reader.read_u32();
+  EXPECT_EQ(reader.position(), 4u);
+  reader.read_u64();
+  EXPECT_EQ(reader.position(), 12u);
+}
+
 TEST(TensorSerialize, MultipleTensorsSequential) {
   Rng rng(10);
   Tensor a = Tensor::normal(Shape{5}, rng);

@@ -1,0 +1,427 @@
+// Network-realism subsystem tests: per-client profiles, availability traces,
+// deterministic fault injection, the simulated round clock, and the
+// end-to-end acceptance properties — corrupted payloads are rejected and
+// retried, FedKEMF tolerates 30% dropout, and fault schedules are identical
+// across thread-pool sizes.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "comm/channel.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/fedkemf.hpp"
+#include "fl/runner.hpp"
+#include "models/zoo.hpp"
+#include "sim/simulator.hpp"
+
+namespace fedkemf::sim {
+namespace {
+
+using core::Rng;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+models::ModelSpec tiny_spec(const char* arch = "mlp") {
+  return models::ModelSpec{.arch = arch, .num_classes = 4, .in_channels = 3,
+                           .image_size = 8, .width_multiplier = 0.25};
+}
+
+std::unique_ptr<nn::Module> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return models::build_model(tiny_spec(), rng);
+}
+
+fl::FederationOptions tiny_federation(std::uint64_t seed = 21) {
+  fl::FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.data.noise_stddev = 0.5;
+  options.train_samples = 160;
+  options.test_samples = 64;
+  options.server_pool_samples = 48;
+  options.num_clients = 4;
+  options.dirichlet_alpha = 0.5;
+  options.seed = seed;
+  return options;
+}
+
+fl::LocalTrainConfig tiny_local() {
+  fl::LocalTrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  config.learning_rate = 0.05;
+  config.momentum = 0.0;
+  config.weight_decay = 0.0;
+  return config;
+}
+
+// ---- stream_tag ----
+
+TEST(StreamTag, DistinguishesPartsAndOrder) {
+  EXPECT_NE(stream_tag({1, 2}), stream_tag({2, 1}));
+  EXPECT_NE(stream_tag({1, 2}), stream_tag({1, 3}));
+  EXPECT_NE(stream_tag({1}), stream_tag({1, 0}));
+  EXPECT_EQ(stream_tag({7, 8, 9}), stream_tag({7, 8, 9}));
+}
+
+// ---- NetworkModel ----
+
+TEST(NetworkModel, ProfilesRespectConfiguredRanges) {
+  NetworkOptions options;
+  options.bandwidth_min_bps = 1e5;
+  options.bandwidth_max_bps = 1e7;
+  options.latency_min_seconds = 0.01;
+  options.latency_max_seconds = 0.2;
+  options.flops_min = 1e8;
+  options.flops_max = 1e11;
+  NetworkModel net(options, 64, Rng(5));
+  ASSERT_EQ(net.num_clients(), 64u);
+  double bw_lo = kInf, bw_hi = 0.0;
+  for (std::size_t id = 0; id < 64; ++id) {
+    const ClientProfile& p = net.profile(id);
+    EXPECT_GE(p.link.bandwidth_bytes_per_second, options.bandwidth_min_bps);
+    EXPECT_LE(p.link.bandwidth_bytes_per_second, options.bandwidth_max_bps);
+    EXPECT_GE(p.link.latency_seconds, options.latency_min_seconds);
+    EXPECT_LE(p.link.latency_seconds, options.latency_max_seconds);
+    EXPECT_GE(p.flops_per_second, options.flops_min);
+    EXPECT_LE(p.flops_per_second, options.flops_max);
+    bw_lo = std::min(bw_lo, p.link.bandwidth_bytes_per_second);
+    bw_hi = std::max(bw_hi, p.link.bandwidth_bytes_per_second);
+  }
+  EXPECT_GT(bw_hi / bw_lo, 5.0);  // heterogeneous, not collapsed to one value
+}
+
+TEST(NetworkModel, SameSeedSameProfilesAndTraces) {
+  NetworkOptions options;
+  options.dropout_prob = 0.4;
+  options.mid_round_failure_prob = 0.2;
+  NetworkModel a(options, 16, Rng(9));
+  NetworkModel b(options, 16, Rng(9));
+  for (std::size_t id = 0; id < 16; ++id) {
+    EXPECT_DOUBLE_EQ(a.profile(id).link.bandwidth_bytes_per_second,
+                     b.profile(id).link.bandwidth_bytes_per_second);
+    for (std::size_t round = 0; round < 8; ++round) {
+      EXPECT_EQ(a.available(round, id), b.available(round, id));
+      EXPECT_EQ(a.fails_mid_round(round, id), b.fails_mid_round(round, id));
+    }
+  }
+}
+
+TEST(NetworkModel, DropoutRateMatchesProbability) {
+  NetworkOptions options;
+  options.dropout_prob = 0.3;
+  NetworkModel net(options, 50, Rng(11));
+  std::size_t offline = 0;
+  const std::size_t trials = 50 * 40;
+  for (std::size_t round = 0; round < 40; ++round) {
+    for (std::size_t id = 0; id < 50; ++id) {
+      if (!net.available(round, id)) ++offline;
+    }
+  }
+  const double rate = static_cast<double>(offline) / static_cast<double>(trials);
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+TEST(NetworkModel, ZeroProbabilitiesNeverDrop) {
+  NetworkModel net(NetworkOptions{}, 8, Rng(3));
+  for (std::size_t round = 0; round < 10; ++round) {
+    for (std::size_t id = 0; id < 8; ++id) {
+      EXPECT_TRUE(net.available(round, id));
+      EXPECT_FALSE(net.fails_mid_round(round, id));
+    }
+  }
+}
+
+TEST(NetworkModel, RejectsInvalidOptions) {
+  NetworkOptions bad_range;
+  bad_range.bandwidth_min_bps = 100.0;
+  bad_range.bandwidth_max_bps = 10.0;
+  EXPECT_THROW(NetworkModel(bad_range, 4, Rng(0)), std::invalid_argument);
+  NetworkOptions bad_prob;
+  bad_prob.dropout_prob = 1.5;
+  EXPECT_THROW(NetworkModel(bad_prob, 4, Rng(0)), std::invalid_argument);
+}
+
+// ---- FaultInjector ----
+
+TEST(FaultInjector, DeterministicPerAttemptDecisions) {
+  FaultSpec spec;
+  spec.drop_prob = 0.3;
+  spec.corrupt_prob = 0.3;
+  FaultInjector a(spec, Rng(7));
+  FaultInjector b(spec, Rng(7));
+  std::vector<std::uint8_t> pa(64, 0x55), pb(64, 0x55);
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t client = 0; client < 4; ++client) {
+      for (std::size_t attempt = 0; attempt < 3; ++attempt) {
+        pa.assign(64, 0x55);
+        pb.assign(64, 0x55);
+        const auto action_a =
+            a.on_payload(round, client, comm::Direction::kUplink, attempt, pa);
+        const auto action_b =
+            b.on_payload(round, client, comm::Direction::kUplink, attempt, pb);
+        EXPECT_EQ(action_a, action_b);
+        EXPECT_EQ(pa, pb);  // identical corruption, bit for bit
+      }
+    }
+  }
+}
+
+TEST(FaultInjector, CorruptMutatesPayloadAndTallies) {
+  FaultSpec spec;
+  spec.corrupt_prob = 1.0;
+  spec.corrupt_bit_flips = 4;
+  FaultInjector injector(spec, Rng(13));
+  std::vector<std::uint8_t> payload(128, 0);
+  const auto action =
+      injector.on_payload(2, 5, comm::Direction::kDownlink, 0, payload);
+  EXPECT_EQ(action, comm::FaultHook::Action::kCorrupt);
+  std::size_t flipped_bits = 0;
+  for (std::uint8_t byte : payload) {
+    for (int bit = 0; bit < 8; ++bit) flipped_bits += (byte >> bit) & 1;
+  }
+  EXPECT_GE(flipped_bits, 1u);
+  EXPECT_LE(flipped_bits, 4u);  // flips may collide on the same bit
+  const auto stats = injector.stats(2, 5);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.corruptions, 1u);
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(injector.stats(0, 0).attempts, 0u);  // untouched pair
+}
+
+TEST(FaultInjector, RejectsInvalidSpec) {
+  FaultSpec over;
+  over.drop_prob = 0.7;
+  over.corrupt_prob = 0.7;
+  EXPECT_THROW(FaultInjector(over, Rng(0)), std::invalid_argument);
+  FaultSpec negative_delay;
+  negative_delay.max_delay_seconds = -1.0;
+  EXPECT_THROW(FaultInjector(negative_delay, Rng(0)), std::invalid_argument);
+}
+
+// ---- RoundClock ----
+
+TEST(RoundClock, NoDeadlineLastsAsLongAsSlowestClient) {
+  RoundClock clock(kInf);
+  clock.begin_round(0, 3);
+  EXPECT_TRUE(clock.record_completion(1.0, 0.5));
+  EXPECT_TRUE(clock.record_completion(2.0, 1.0));
+  EXPECT_TRUE(clock.record_completion(0.1, 0.1));
+  const RoundReport report = clock.report();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.stragglers, 0u);
+  EXPECT_DOUBLE_EQ(report.simulated_seconds, 3.0);
+}
+
+TEST(RoundClock, DeadlineCutsOffStragglers) {
+  RoundClock clock(2.0);
+  clock.begin_round(4, 4);
+  EXPECT_TRUE(clock.record_completion(1.0, 0.5));
+  EXPECT_FALSE(clock.record_completion(1.5, 1.0));  // 2.5 > 2.0
+  clock.record_offline();
+  clock.record_failure();
+  const RoundReport report = clock.report();
+  EXPECT_EQ(report.round, 4u);
+  EXPECT_EQ(report.sampled, 4u);
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.stragglers, 1u);
+  EXPECT_EQ(report.offline, 1u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.dropped(), 2u);
+  // The round lasted its full deadline: the server waited for the missing.
+  EXPECT_DOUBLE_EQ(report.simulated_seconds, 2.0);
+}
+
+TEST(RoundClock, BeginRoundResetsState) {
+  RoundClock clock(1.0);
+  clock.begin_round(0, 2);
+  clock.record_offline();
+  clock.begin_round(1, 2);
+  const RoundReport report = clock.report();
+  EXPECT_EQ(report.round, 1u);
+  EXPECT_EQ(report.offline, 0u);
+}
+
+TEST(RoundClock, RejectsNonPositiveDeadline) {
+  EXPECT_THROW(RoundClock(0.0), std::invalid_argument);
+  EXPECT_THROW(RoundClock(-1.0), std::invalid_argument);
+}
+
+// ---- Simulator ----
+
+TEST(Simulator, FaultFreeTransferTimeMatchesLinkFormula) {
+  SimOptions options;  // no faults, no deadline
+  Simulator simulator(options, 4, Rng(17));
+  comm::TrafficMeter meter;
+  comm::Channel channel(&meter);
+  simulator.attach(channel);
+  simulator.begin_round(0, 1);
+  ASSERT_TRUE(simulator.begin_client(0, 2));
+  auto src = tiny_model(1);
+  auto dst = tiny_model(2);
+  const std::size_t bytes =
+      channel.transfer(*src, *dst, 0, 2, comm::Direction::kDownlink, "model");
+  EXPECT_FALSE(simulator.mid_round_failure(0, 2));
+  const double flops = 1e9;
+  ASSERT_TRUE(simulator.finish_client(0, 2, flops));
+  const ClientProfile& profile = simulator.network().profile(2);
+  const double expected = flops / profile.flops_per_second +
+                          static_cast<double>(bytes) /
+                              profile.link.bandwidth_bytes_per_second +
+                          profile.link.latency_seconds;  // one delivery attempt
+  const RoundReport report = simulator.round_report();
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_NEAR(report.simulated_seconds, expected, 1e-12);
+  simulator.detach();
+  EXPECT_EQ(channel.fault_hook(), nullptr);
+}
+
+// ---- Acceptance (a): corruption rejected via checksum, retried per policy ----
+
+TEST(Acceptance, CorruptedPayloadRejectedWithChecksumError) {
+  FaultSpec spec;
+  spec.corrupt_prob = 1.0;
+  FaultInjector injector(spec, Rng(23));
+  auto src = tiny_model(3);
+  auto payload = comm::serialize_model(*src);
+  const auto action =
+      injector.on_payload(0, 0, comm::Direction::kUplink, 0, payload);
+  ASSERT_EQ(action, comm::FaultHook::Action::kCorrupt);
+  EXPECT_THROW(comm::deserialize_model(payload, *src), comm::ChecksumError);
+}
+
+TEST(Acceptance, InjectedCorruptionIsRetriedPerPolicyThenFails) {
+  FaultSpec spec;
+  spec.corrupt_prob = 1.0;  // every attempt corrupted
+  FaultInjector injector(spec, Rng(29));
+  comm::Channel channel(nullptr);
+  channel.set_fault_hook(&injector);
+  channel.set_retry_policy({.max_attempts = 4});
+  auto src = tiny_model(4);
+  auto dst = tiny_model(5);
+  EXPECT_THROW(
+      channel.transfer(*src, *dst, 1, 3, comm::Direction::kUplink, "model"),
+      comm::TransferFailed);
+  const auto stats = injector.stats(1, 3);
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(stats.corruptions, 4u);
+}
+
+TEST(Acceptance, TransientCorruptionRecoversWithinBudget) {
+  // 50% corruption: with 6 attempts the transfer should almost surely land;
+  // the chosen seed makes it deterministic.
+  FaultSpec spec;
+  spec.corrupt_prob = 0.5;
+  FaultInjector injector(spec, Rng(31));
+  comm::TrafficMeter meter;
+  comm::Channel channel(&meter);
+  channel.set_fault_hook(&injector);
+  channel.set_retry_policy({.max_attempts = 6});
+  auto src = tiny_model(6);
+  auto dst = tiny_model(7);
+  ASSERT_NO_THROW(
+      channel.transfer(*src, *dst, 0, 1, comm::Direction::kDownlink, "model"));
+  const auto stats = injector.stats(0, 1);
+  EXPECT_GE(stats.attempts, 1u);
+  EXPECT_LE(stats.attempts, 6u);
+  EXPECT_EQ(meter.num_transfers(), stats.attempts);  // every attempt metered
+  // Delivered intact despite the in-flight corruption.
+  const auto ps = src->parameters();
+  const auto pd = dst->parameters();
+  for (std::size_t j = 0; j < ps[0]->value.numel(); ++j) {
+    ASSERT_EQ(ps[0]->value[j], pd[0]->value[j]);
+  }
+}
+
+// ---- Acceptance (b): FedKEMF tolerates 30% dropout ----
+
+TEST(Acceptance, FedKemfSurvives30PercentDropout) {
+  fl::FedKemfOptions kemf_options;
+  kemf_options.knowledge_spec = tiny_spec();
+  kemf_options.distill_epochs = 1;
+  kemf_options.distill_batch_size = 16;
+
+  fl::RunOptions run;
+  run.rounds = 8;
+  run.sample_ratio = 1.0;
+  run.eval_every = 1;
+
+  fl::Federation clean_fed(tiny_federation());
+  fl::FedKemf clean_algo({tiny_spec()}, tiny_local(), kemf_options);
+  const fl::RunResult clean = run_federated(clean_fed, clean_algo, run);
+
+  run.sim = SimOptions{};
+  run.sim->network.dropout_prob = 0.3;
+  fl::Federation lossy_fed(tiny_federation());
+  fl::FedKemf lossy_algo({tiny_spec()}, tiny_local(), kemf_options);
+  const fl::RunResult lossy = run_federated(lossy_fed, lossy_algo, run);
+
+  // The run must complete every round even when entire cohorts vanish.
+  EXPECT_EQ(lossy.rounds_completed, run.rounds);
+  EXPECT_GT(lossy.total_dropped, 0u);
+  EXPECT_GT(lossy.sim_seconds, 0.0);
+
+  // Only survivors aggregate: each record's completed count reflects the
+  // dropout trace, never exceeding the cohort.
+  bool saw_partial_cohort = false;
+  for (const fl::RoundRecord& record : lossy.history) {
+    EXPECT_EQ(record.clients_completed + record.clients_dropped +
+                  record.clients_straggled,
+              record.clients_sampled);
+    if (record.clients_completed < record.clients_sampled) saw_partial_cohort = true;
+  }
+  EXPECT_TRUE(saw_partial_cohort);
+
+  // Within 5 accuracy points of the zero-dropout run.
+  EXPECT_GE(lossy.best_accuracy, clean.best_accuracy - 0.05);
+}
+
+// ---- Acceptance (c): identical schedules at pool sizes 1 and 4 ----
+
+TEST(Acceptance, FaultScheduleIndependentOfThreadPoolSize) {
+  SimOptions sim;
+  sim.network.dropout_prob = 0.25;
+  sim.network.mid_round_failure_prob = 0.15;
+  sim.faults.drop_prob = 0.1;
+  sim.faults.corrupt_prob = 0.1;
+  sim.faults.delay_prob = 0.5;
+  sim.faults.max_delay_seconds = 0.2;
+  sim.deadline_seconds = 1.0;
+
+  auto run_with_threads = [&](std::size_t num_threads) {
+    fl::Federation fed(tiny_federation(33));
+    fl::FedAvg algorithm(tiny_spec(), tiny_local());
+    fl::RunOptions run;
+    run.rounds = 6;
+    run.sample_ratio = 1.0;
+    run.eval_every = 1;
+    run.num_threads = num_threads;
+    run.sim = sim;
+    return run_federated(fed, algorithm, run);
+  };
+
+  const fl::RunResult serial = run_with_threads(0);   // inline, pool size 1
+  const fl::RunResult parallel = run_with_threads(4);
+
+  EXPECT_GT(serial.total_dropped, 0u);  // the schedule actually bites
+  EXPECT_EQ(serial.total_dropped, parallel.total_dropped);
+  EXPECT_EQ(serial.total_stragglers, parallel.total_stragglers);
+  EXPECT_DOUBLE_EQ(serial.sim_seconds, parallel.sim_seconds);
+  ASSERT_EQ(serial.history.size(), parallel.history.size());
+  for (std::size_t i = 0; i < serial.history.size(); ++i) {
+    const fl::RoundRecord& a = serial.history[i];
+    const fl::RoundRecord& b = parallel.history[i];
+    EXPECT_EQ(a.clients_completed, b.clients_completed) << "round " << i;
+    EXPECT_EQ(a.clients_dropped, b.clients_dropped) << "round " << i;
+    EXPECT_EQ(a.clients_straggled, b.clients_straggled) << "round " << i;
+    EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds) << "round " << i;
+    // Same survivors + order-independent aggregation => identical model.
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy) << "round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedkemf::sim
