@@ -1,0 +1,103 @@
+// Byzantine-resilience sweep (robustness extension of the paper's fusion
+// study): FedKEMF under 0% / 10% / 30% sign-flip poisoners, with the full
+// defense stack (trimmed-mean fusion + upload sanitation + reputation
+// screening + divergence watchdog) against the undefended max-logits
+// configuration the paper reports.  The claim under test: defended
+// knowledge fusion holds >= 90% of its clean-run accuracy at a 30% attacker
+// fraction, while the undefended ensemble collapses.
+
+#include "bench_common.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scale_name = "quick";
+  std::size_t clients = 10;
+  double sample_ratio = 1.0;
+  // Moderate heterogeneity by default: at extreme non-IID (alpha ~ 0.1)
+  // honest specialists are mutual outliers, so coordinate-wise trimming
+  // discards real knowledge along with the poison and the defended arm pays
+  // a steep clean-accuracy tax.  alpha = 1 isolates the Byzantine effect;
+  // pass --alpha 0.1 to study the confounded regime.
+  double alpha = 1.0;
+  std::size_t seed = 1;
+  std::string poison_mode = "sign_flip";
+  std::string csv_dir = "results";
+
+  utils::Cli cli("bench_byzantine",
+                 "FedKEMF defended vs undefended under weight-poisoning clients");
+  cli.flag("scale", &scale_name, "quick | standard | full");
+  cli.flag("clients", &clients, "number of clients");
+  cli.flag("sample-ratio", &sample_ratio, "client sample ratio");
+  cli.flag("alpha", &alpha, "Dirichlet concentration");
+  cli.flag("seed", &seed, "experiment seed");
+  cli.flag("poison-mode", &poison_mode, "sign_flip | gaussian");
+  cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
+  cli.parse(argc, argv);
+
+  const BenchScale scale = BenchScale::named(scale_name);
+  const data::SyntheticSpec data = synth_cifar(scale);
+  const fl::LocalTrainConfig local = default_local(scale);
+  const models::ModelSpec spec = model_spec("resnet20", data, scale.width_multiplier);
+  const models::ModelSpec knowledge = model_spec("mlp", data, scale.width_multiplier);
+
+  utils::Table table({"Defense", "Attackers", "Final Acc.", "Best Acc.",
+                      "Rejected", "Rollbacks"});
+  for (const bool defended : {true, false}) {
+    for (double fraction : {0.0, 0.1, 0.3}) {
+      fl::FederationOptions fed_options;
+      fed_options.data = data;
+      fed_options.train_samples = scale.train_samples;
+      fed_options.test_samples = scale.test_samples;
+      fed_options.server_pool_samples = scale.server_pool;
+      fed_options.num_clients = clients;
+      fed_options.dirichlet_alpha = alpha;
+      fed_options.seed = seed;
+      fl::Federation federation(fed_options);
+
+      fl::FedKemfOptions options = default_kemf(knowledge);
+      if (defended) {
+        options.ensemble = fl::EnsembleStrategy::kTrimmedMean;
+        options.sanitize.enabled = true;
+      } else {
+        options.ensemble = fl::EnsembleStrategy::kMaxLogits;
+      }
+      fl::FedKemf algorithm({spec}, local, options);
+
+      fl::RunOptions run;
+      run.rounds = scale.rounds;
+      run.sample_ratio = sample_ratio;
+      run.eval_every = 2;
+      if (fraction > 0.0) {
+        run.sim = sim::SimOptions{};
+        run.sim->adversary.poison_fraction = fraction;
+        run.sim->adversary.poison_mode = poison_mode == "gaussian"
+                                             ? sim::PoisonMode::kGaussianNoise
+                                             : sim::PoisonMode::kSignFlip;
+      }
+      if (defended) run.watchdog = fl::WatchdogOptions{};
+      const fl::RunResult result = fl::run_federated(federation, algorithm, run);
+
+      char attackers[16];
+      std::snprintf(attackers, sizeof(attackers), "%.0f%%", 100.0 * fraction);
+      table.row()
+          .cell(defended ? "trimmed+sanitize+watchdog" : "none (max logits)")
+          .cell(attackers)
+          .cell(utils::format_percent(result.final_accuracy))
+          .cell(utils::format_percent(result.best_accuracy))
+          .cell(result.total_rejected_updates)
+          .cell(result.total_rolled_back);
+    }
+  }
+
+  emit("Byzantine resilience: FedKEMF defended vs undefended under weight poisoning",
+       table, csv_dir.empty() ? "" : csv_dir + "/byzantine.csv");
+  return 0;
+}

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   std::size_t seed = 1;
   double drop_prob = 0.05;
   double corrupt_prob = 0.02;
+  double adversary_fraction = 0.0;
   std::string csv_dir = "results";
 
   utils::Cli cli("bench_fault_tolerance",
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
   cli.flag("seed", &seed, "experiment seed");
   cli.flag("drop-prob", &drop_prob, "per-attempt payload drop probability");
   cli.flag("corrupt-prob", &corrupt_prob, "per-attempt payload corruption probability");
+  cli.flag("adversary-fraction", &adversary_fraction,
+           "fraction of clients that sign-flip their uploads");
   cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
   cli.parse(argc, argv);
 
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
       run.sim->network.dropout_prob = dropout;
       run.sim->faults.drop_prob = drop_prob;
       run.sim->faults.corrupt_prob = corrupt_prob;
+      run.sim->adversary.poison_fraction = adversary_fraction;
+      run.sim->adversary.poison_mode = sim::PoisonMode::kSignFlip;
       const fl::RunResult result = fl::run_federated(federation, *algorithm, run);
 
       std::size_t sampled_total = 0;

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   double drop_prob = 0.05;
   double corrupt_prob = 0.05;
   double deadline = 0.0;  // 0 = no deadline
+  double adversary_fraction = 0.0;
   std::size_t seed = 1;
 
   utils::Cli cli("lossy_network", "FedKEMF on an unreliable, heterogeneous network");
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
   cli.flag("drop-prob", &drop_prob, "per-attempt payload loss probability");
   cli.flag("corrupt-prob", &corrupt_prob, "per-attempt payload corruption probability");
   cli.flag("deadline", &deadline, "round deadline in simulated seconds (0 = none)");
+  cli.flag("adversary-fraction", &adversary_fraction,
+           "fraction of clients that sign-flip their uploads");
   cli.flag("seed", &seed, "experiment seed");
   cli.parse(argc, argv);
 
@@ -75,6 +78,8 @@ int main(int argc, char** argv) {
   run.sim->faults.corrupt_prob = corrupt_prob;
   run.sim->deadline_seconds =
       deadline > 0.0 ? deadline : std::numeric_limits<double>::infinity();
+  run.sim->adversary.poison_fraction = adversary_fraction;
+  run.sim->adversary.poison_mode = sim::PoisonMode::kSignFlip;
 
   const fl::RunResult result = fl::run_federated(federation, algorithm, run);
 

@@ -1,5 +1,6 @@
 #include "comm/model_io.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <vector>
@@ -7,12 +8,25 @@
 namespace fedkemf::comm {
 
 void save_model(nn::Module& model, const std::string& path, Codec codec) {
+  // Crash-safe write: stage into `<path>.tmp`, then atomically rename over
+  // the destination, so a crash mid-write never leaves a truncated
+  // checkpoint at `path`.  A stale .tmp from an earlier crash is simply
+  // overwritten.
   const std::vector<std::uint8_t> payload = encode_model(model, codec);
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) throw std::runtime_error("save_model: cannot open '" + path + "'");
-  file.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(payload.size()));
-  if (!file) throw std::runtime_error("save_model: write failed for '" + path + "'");
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("save_model: cannot open '" + tmp_path + "'");
+    file.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+    file.flush();
+    if (!file) throw std::runtime_error("save_model: write failed for '" + tmp_path + "'");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw std::runtime_error("save_model: cannot rename '" + tmp_path + "' to '" + path +
+                             "'");
+  }
 }
 
 void load_model(const std::string& path, nn::Module& model) {
@@ -23,7 +37,12 @@ void load_model(const std::string& path, nn::Module& model) {
   std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
   file.read(reinterpret_cast<char*>(payload.data()), size);
   if (!file) throw std::runtime_error("load_model: read failed for '" + path + "'");
-  decode_model(payload, model);
+  try {
+    decode_model(payload, model);
+  } catch (const std::exception& error) {
+    throw std::runtime_error("load_model: '" + path +
+                             "' is corrupt or truncated: " + error.what());
+  }
 }
 
 }  // namespace fedkemf::comm

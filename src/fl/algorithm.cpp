@@ -4,13 +4,27 @@
 
 #include "data/dataloader.hpp"
 #include "nn/loss.hpp"
+#include "sim/simulator.hpp"
 
 namespace fedkemf::fl {
+
+const sim::AdversaryModel* Algorithm::adversary_model() const {
+  if (simulator_ == nullptr) return nullptr;
+  const sim::AdversaryModel& adversary = simulator_->adversary();
+  return adversary.spec().any() ? &adversary : nullptr;
+}
+
+void apply_label_map(std::vector<std::size_t>& labels,
+                     const std::vector<std::size_t>& label_map) {
+  if (label_map.empty()) return;
+  for (std::size_t& label : labels) label = label_map.at(label);
+}
 
 LocalTrainResult supervised_local_update(nn::Module& model, const data::Dataset& train_set,
                                          const std::vector<std::size_t>& shard,
                                          const LocalTrainConfig& config, core::Rng rng,
-                                         const GradHook& hook) {
+                                         const GradHook& hook,
+                                         const std::vector<std::size_t>& label_map) {
   if (shard.empty()) throw std::invalid_argument("supervised_local_update: empty shard");
   model.set_training(true);
   nn::Sgd optimizer(model.parameters(),
@@ -30,6 +44,7 @@ LocalTrainResult supervised_local_update(nn::Module& model, const data::Dataset&
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     loader.reset();
     while (loader.next(batch)) {
+      apply_label_map(batch.labels, label_map);
       optimizer.zero_grad();
       core::Tensor logits = model.forward(batch.images);
       nn::LossResult loss = ce.compute(logits, batch.labels);

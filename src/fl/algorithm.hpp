@@ -23,6 +23,7 @@
 #include "utils/thread_pool.hpp"
 
 namespace fedkemf::sim {
+class AdversaryModel;
 class Simulator;
 }
 
@@ -61,7 +62,20 @@ class Algorithm {
   void set_simulator(sim::Simulator* simulator) { simulator_ = simulator; }
   sim::Simulator* simulator() const { return simulator_; }
 
+  /// Mean server-side loss of the last round (distillation KL for the
+  /// fusion algorithms; 0 for algorithms without a server training step).
+  /// The runner's divergence watchdog checks it for finiteness.
+  virtual double last_server_loss() const { return 0.0; }
+
+  /// Uploads the server refused to fuse in the last round (sanitation
+  /// rejections + reputation exclusions); 0 for undefended algorithms.
+  virtual std::size_t last_rejected_updates() const { return 0; }
+
  protected:
+  /// The simulator's Byzantine-role model, or nullptr when no simulator is
+  /// installed or no adversary fraction is configured.
+  const sim::AdversaryModel* adversary_model() const;
+
   sim::Simulator* simulator_ = nullptr;
 };
 
@@ -77,12 +91,21 @@ struct LocalTrainResult {
   std::size_t steps = 0;   ///< optimizer steps taken (FedNova's tau_i)
 };
 
+/// Remaps `labels` in place through `label_map` (no-op when empty; the map
+/// must cover every label value otherwise).
+void apply_label_map(std::vector<std::size_t>& labels,
+                     const std::vector<std::size_t>& label_map);
+
 /// Standard supervised local pass (epochs of minibatch SGD over the client's
 /// shard).  `rng` seeds the batch shuffles; pass a fork(round, client) stream.
+/// A non-empty `label_map` (length num_classes) remaps every batch label
+/// through it before the loss — the label-flipping adversary's view of the
+/// shard (sim/adversary.hpp).
 LocalTrainResult supervised_local_update(nn::Module& model, const data::Dataset& train_set,
                                          const std::vector<std::size_t>& shard,
                                          const LocalTrainConfig& config, core::Rng rng,
-                                         const GradHook& hook = {});
+                                         const GradHook& hook = {},
+                                         const std::vector<std::size_t>& label_map = {});
 
 /// Deterministic per-(round, client) RNG stream derivation.
 core::Rng client_stream(const Federation& federation, std::size_t round_index,

@@ -19,6 +19,8 @@ std::string to_string(EnsembleStrategy strategy) {
     case EnsembleStrategy::kMaxLogits: return "max_logits";
     case EnsembleStrategy::kAvgLogits: return "avg_logits";
     case EnsembleStrategy::kMajorityVote: return "majority_vote";
+    case EnsembleStrategy::kTrimmedMean: return "trimmed_mean";
+    case EnsembleStrategy::kMedian: return "median";
   }
   return "unknown";
 }

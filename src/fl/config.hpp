@@ -9,6 +9,8 @@
 
 #include "comm/compression.hpp"
 #include "data/synthetic.hpp"
+#include "fl/defense/reputation.hpp"
+#include "fl/defense/sanitize.hpp"
 #include "models/zoo.hpp"
 #include "sim/simulator.hpp"
 
@@ -22,11 +24,15 @@ enum class PartitionKind {
 };
 
 /// Server-side fusion of the client knowledge networks (paper §"Ensemble
-/// Knowledge": max logits is the default, average/vote are ablated).
+/// Knowledge": max logits is the default, average/vote are ablated; the
+/// trimmed-mean and median order statistics are the Byzantine-robust
+/// extensions — see fl/defense/robust_ensemble.hpp).
 enum class EnsembleStrategy {
   kMaxLogits,
   kAvgLogits,
   kMajorityVote,
+  kTrimmedMean,  ///< coordinate-wise trimmed mean (robust to a minority)
+  kMedian,       ///< coordinate-wise median (maximally trimmed)
 };
 
 std::string to_string(EnsembleStrategy strategy);
@@ -62,6 +68,16 @@ struct FederationOptions {
   std::uint64_t seed = 1;
 };
 
+/// Divergence watchdog: snapshot the global model each round and roll a
+/// round back when its outcome looks poisoned — a non-finite training or
+/// server-distillation loss, non-finite global weights, or an evaluated
+/// accuracy collapse of more than `accuracy_drop_threshold` below the last
+/// accepted evaluation.  Rolled-back rounds are recorded in the history
+/// (RoundRecord::rolled_back) and the run continues from the snapshot.
+struct WatchdogOptions {
+  double accuracy_drop_threshold = 0.15;
+};
+
 /// Round loop controls.
 struct RunOptions {
   std::size_t rounds = 30;
@@ -73,8 +89,11 @@ struct RunOptions {
   bool evaluate_client_models = false;     ///< also track mean per-client local acc
   bool verbose = false;
   /// Network-realism simulation (per-client links, dropout, payload faults,
-  /// round deadline).  Unset = the ideal lossless network of the baselines.
+  /// round deadline, Byzantine clients).  Unset = the ideal lossless network
+  /// of the baselines.
   std::optional<sim::SimOptions> sim;
+  /// Divergence watchdog with rollback.  Unset = rounds are always accepted.
+  std::optional<WatchdogOptions> watchdog;
 };
 
 /// FedKEMF-specific knobs (defaults follow the paper where it specifies and
@@ -97,6 +116,10 @@ struct FedKemfOptions {
   /// int8 quantization trade accuracy for a further 2x / 4x traffic cut —
   /// ablated in bench_ablation_compression).
   comm::Codec payload_codec = comm::Codec::kFp32;
+  /// Pre-aggregation upload sanitation (NaN/Inf + norm-band screening).
+  SanitizeOptions sanitize;
+  /// Cross-round reputation scoring of ensemble members.
+  ReputationOptions reputation;
 };
 
 }  // namespace fedkemf::fl

@@ -1,0 +1,67 @@
+#include "fl/defense/reputation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace fedkemf::fl {
+
+ReputationTracker::ReputationTracker(const ReputationOptions& options,
+                                     std::size_t num_clients)
+    : options_(options), scores_(num_clients, 1.0), observations_(num_clients, 0) {
+  if (!(options.ema_beta >= 0.0 && options.ema_beta < 1.0)) {
+    throw std::invalid_argument("ReputationTracker: ema_beta must be in [0, 1)");
+  }
+  if (!(options.exclude_below >= 0.0 && options.exclude_below <= 1.0)) {
+    throw std::invalid_argument("ReputationTracker: exclude_below must be in [0, 1]");
+  }
+  if (!(options.exclude_below_median >= 0.0 && options.exclude_below_median <= 1.0)) {
+    throw std::invalid_argument(
+        "ReputationTracker: exclude_below_median must be in [0, 1]");
+  }
+}
+
+void ReputationTracker::observe(std::size_t client_id, double agreement) {
+  if (!(agreement >= 0.0 && agreement <= 1.0)) {
+    throw std::invalid_argument("ReputationTracker: agreement must be in [0, 1], got " +
+                                std::to_string(agreement));
+  }
+  double& score = scores_.at(client_id);
+  if (observations_[client_id] == 0) {
+    score = agreement;  // first observation replaces the neutral prior
+  } else {
+    score = options_.ema_beta * score + (1.0 - options_.ema_beta) * agreement;
+  }
+  ++observations_[client_id];
+}
+
+double ReputationTracker::score(std::size_t client_id) const {
+  return scores_.at(client_id);
+}
+
+std::size_t ReputationTracker::observations(std::size_t client_id) const {
+  return observations_.at(client_id);
+}
+
+bool ReputationTracker::excluded(std::size_t client_id) const {
+  if (observations_.at(client_id) < options_.warmup_observations) return false;
+  if (!(scores_[client_id] < options_.exclude_below)) return false;
+  // Tighten the absolute floor by the active cohort's median: when every
+  // model still predicts near chance, the whole cohort scores low and nobody
+  // should be excluded for it.
+  std::vector<double> active;
+  active.reserve(scores_.size());
+  for (std::size_t id = 0; id < scores_.size(); ++id) {
+    if (observations_[id] >= options_.warmup_observations) active.push_back(scores_[id]);
+  }
+  if (active.size() < 3) return true;  // no cohort signal: absolute floor only
+  std::nth_element(active.begin(), active.begin() + active.size() / 2, active.end());
+  const double median = active[active.size() / 2];
+  return scores_[client_id] < options_.exclude_below_median * median;
+}
+
+double ReputationTracker::weight(std::size_t client_id) const {
+  return excluded(client_id) ? 0.0 : scores_.at(client_id);
+}
+
+}  // namespace fedkemf::fl

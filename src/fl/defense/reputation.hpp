@@ -1,0 +1,72 @@
+#pragma once
+
+// Cross-round reputation scoring of ensemble members.
+//
+// A single-round outlier can be an honest client with unusual local data; a
+// client that disagrees with the fused ensemble round after round is almost
+// certainly broken or malicious (Fed-ET, Cho et al. 2022, weights ensemble
+// members by trustworthiness for the same reason).  The tracker keeps an
+// exponential moving average of each client's *logit agreement* — the
+// fraction of server-pool probe examples where the member's argmax matches
+// the fused ensemble's — and turns persistent outliers into fusion weights:
+// down-weighted in proportion to their score, excluded outright once the
+// score falls below a threshold.
+//
+// Observations arrive once per (round, client) in a fixed client order from
+// the aggregation step, so scores are deterministic regardless of the
+// thread-pool size used for training.
+
+#include <cstddef>
+#include <vector>
+
+namespace fedkemf::fl {
+
+struct ReputationOptions {
+  bool enabled = false;
+  /// EMA memory: score <- ema_beta * score + (1 - ema_beta) * agreement.
+  double ema_beta = 0.5;
+  /// Members whose score falls below this are excluded from fusion.
+  double exclude_below = 0.25;
+  /// Exclusion also requires falling below this fraction of the active
+  /// cohort's *median* score (clients past warmup).  Raw agreement sits near
+  /// chance (1 / num_classes) while every model is still untrained, so an
+  /// absolute floor alone would mass-exclude honest clients in early rounds;
+  /// the relative bar self-calibrates to the class count and training phase.
+  /// Applied only once >= 3 clients are past warmup (a smaller median
+  /// carries no signal — same rationale as the sanitizer's norm band).
+  double exclude_below_median = 0.5;
+  /// Observations a client must accumulate before exclusion can trigger
+  /// (one honest-looking first impression is not enough evidence either way).
+  std::size_t warmup_observations = 2;
+};
+
+class ReputationTracker {
+ public:
+  ReputationTracker(const ReputationOptions& options, std::size_t num_clients);
+
+  /// Records this round's agreement in [0, 1] for one member.
+  void observe(std::size_t client_id, double agreement);
+
+  /// EMA agreement; clients never observed score a neutral 1.0.
+  double score(std::size_t client_id) const;
+
+  std::size_t observations(std::size_t client_id) const;
+
+  /// True once a client's score has fallen below the exclusion threshold
+  /// after its warmup observations.  The threshold is the absolute
+  /// exclude_below floor, tightened to exclude_below_median * median(active
+  /// scores) whenever at least 3 clients are past warmup.
+  bool excluded(std::size_t client_id) const;
+
+  /// Fusion weight: 0 when excluded, the score otherwise.
+  double weight(std::size_t client_id) const;
+
+  const ReputationOptions& options() const { return options_; }
+
+ private:
+  ReputationOptions options_;
+  std::vector<double> scores_;
+  std::vector<std::size_t> observations_;
+};
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,135 @@
+#include "fl/defense/robust_ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fedkemf::fl {
+namespace {
+
+void check_members(std::span<const core::Tensor> member_logits) {
+  if (member_logits.empty()) {
+    throw std::invalid_argument("robust_ensemble: no members");
+  }
+  const core::Shape& shape = member_logits.front().shape();
+  if (shape.rank() != 2) throw std::invalid_argument("robust_ensemble: expected [N, C]");
+  for (const core::Tensor& m : member_logits) {
+    if (m.shape() != shape) {
+      throw std::invalid_argument("robust_ensemble: shape mismatch");
+    }
+  }
+}
+
+/// Shared kernel: for every cell, sort the member values and average the
+/// slice [trim, members - trim).
+core::Tensor trimmed_fuse(std::span<const core::Tensor> member_logits, std::size_t trim) {
+  const std::size_t members = member_logits.size();
+  const std::size_t kept = members - 2 * trim;
+  core::Tensor out(member_logits.front().shape());
+  std::vector<float> cell(members);
+  const float inv = 1.0f / static_cast<float>(kept);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    for (std::size_t m = 0; m < members; ++m) cell[m] = member_logits[m].data()[i];
+    std::sort(cell.begin(), cell.end());
+    float total = 0.0f;
+    for (std::size_t m = trim; m < members - trim; ++m) total += cell[m];
+    out.data()[i] = total * inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+core::Tensor trimmed_mean_logits(std::span<const core::Tensor> member_logits,
+                                 double trim_fraction) {
+  check_members(member_logits);
+  if (!(trim_fraction >= 0.0 && trim_fraction < 0.5)) {
+    throw std::invalid_argument("trimmed_mean_logits: trim_fraction must be in [0, 0.5)");
+  }
+  const std::size_t members = member_logits.size();
+  std::size_t trim = static_cast<std::size_t>(
+      std::ceil(trim_fraction * static_cast<double>(members)));
+  trim = std::min(trim, (members - 1) / 2);  // keep at least one value
+  return trimmed_fuse(member_logits, trim);
+}
+
+core::Tensor median_logits(std::span<const core::Tensor> member_logits) {
+  check_members(member_logits);
+  // Trim down to the middle one (odd) or two (even) order statistics.
+  const std::size_t members = member_logits.size();
+  return trimmed_fuse(member_logits, (members - 1) / 2);
+}
+
+namespace {
+
+void trimmed_fuse_state(std::span<nn::Module* const> members, nn::Module& out,
+                        std::size_t trim) {
+  const std::size_t count = members.size();
+  std::vector<std::vector<core::Tensor>> states;
+  states.reserve(count);
+  for (nn::Module* m : members) states.push_back(nn::snapshot_state(*m));
+  std::vector<core::Tensor> fused = nn::snapshot_state(out);
+  std::vector<float> cell(count);
+  const float inv = 1.0f / static_cast<float>(count - 2 * trim);
+  for (std::size_t t = 0; t < fused.size(); ++t) {
+    for (const std::vector<core::Tensor>& state : states) {
+      if (state.size() != fused.size() || state[t].numel() != fused[t].numel()) {
+        throw std::invalid_argument("robust_ensemble: member state mismatch");
+      }
+    }
+    for (std::size_t i = 0; i < fused[t].numel(); ++i) {
+      for (std::size_t m = 0; m < count; ++m) cell[m] = states[m][t].data()[i];
+      std::sort(cell.begin(), cell.end());
+      float total = 0.0f;
+      for (std::size_t m = trim; m < count - trim; ++m) total += cell[m];
+      fused[t].data()[i] = total * inv;
+    }
+  }
+  nn::restore_state(out, fused);
+}
+
+}  // namespace
+
+void trimmed_mean_state(std::span<nn::Module* const> members, nn::Module& out,
+                        double trim_fraction) {
+  if (members.empty()) throw std::invalid_argument("trimmed_mean_state: no members");
+  if (!(trim_fraction >= 0.0 && trim_fraction < 0.5)) {
+    throw std::invalid_argument("trimmed_mean_state: trim_fraction must be in [0, 0.5)");
+  }
+  const std::size_t count = members.size();
+  std::size_t trim = static_cast<std::size_t>(
+      std::ceil(trim_fraction * static_cast<double>(count)));
+  trim = std::min(trim, (count - 1) / 2);
+  trimmed_fuse_state(members, out, trim);
+}
+
+void median_state(std::span<nn::Module* const> members, nn::Module& out) {
+  if (members.empty()) throw std::invalid_argument("median_state: no members");
+  trimmed_fuse_state(members, out, (members.size() - 1) / 2);
+}
+
+core::Tensor weighted_avg_logits(std::span<const core::Tensor> member_logits,
+                                 std::span<const double> weights) {
+  check_members(member_logits);
+  if (weights.size() != member_logits.size()) {
+    throw std::invalid_argument("weighted_avg_logits: weights/members size mismatch");
+  }
+  double total_weight = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0)) {
+      throw std::invalid_argument("weighted_avg_logits: weights must be >= 0");
+    }
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("weighted_avg_logits: all weights are zero");
+  }
+  core::Tensor out = core::Tensor::zeros(member_logits.front().shape());
+  for (std::size_t m = 0; m < member_logits.size(); ++m) {
+    out.add_scaled_(member_logits[m], static_cast<float>(weights[m] / total_weight));
+  }
+  return out;
+}
+
+}  // namespace fedkemf::fl

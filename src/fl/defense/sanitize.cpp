@@ -1,0 +1,84 @@
+#include "fl/defense/sanitize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedkemf::fl {
+
+bool state_finite(nn::Module& model) {
+  for (nn::Parameter* p : model.parameters()) {
+    if (!p->value.all_finite()) return false;
+  }
+  for (nn::Buffer* b : model.buffers()) {
+    if (!b->value.all_finite()) return false;
+  }
+  return true;
+}
+
+double state_l2_norm(nn::Module& model) {
+  double total = 0.0;
+  for (nn::Parameter* p : model.parameters()) {
+    total += static_cast<double>(p->value.squared_norm());
+  }
+  for (nn::Buffer* b : model.buffers()) {
+    total += static_cast<double>(b->value.squared_norm());
+  }
+  return std::sqrt(total);
+}
+
+SanitizeResult sanitize_updates(std::span<nn::Module* const> updates,
+                                std::span<const std::size_t> clients,
+                                const SanitizeOptions& options) {
+  if (updates.size() != clients.size()) {
+    throw std::invalid_argument("sanitize_updates: updates/clients size mismatch");
+  }
+  SanitizeResult result;
+  if (!options.enabled) {
+    result.accepted.assign(clients.begin(), clients.end());
+    return result;
+  }
+  if (!(options.max_norm_ratio >= 1.0)) {
+    throw std::invalid_argument("sanitize_updates: max_norm_ratio must be >= 1");
+  }
+
+  // Pass 1: hard NaN/Inf screen; collect norms of the finite uploads.
+  std::vector<std::size_t> finite_indices;
+  std::vector<double> norms;
+  finite_indices.reserve(updates.size());
+  norms.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (!state_finite(*updates[i])) {
+      result.rejected.push_back({clients[i], "non_finite"});
+      continue;
+    }
+    finite_indices.push_back(i);
+    norms.push_back(state_l2_norm(*updates[i]));
+  }
+
+  // Pass 2: norm band around the cohort median (needs >= 3 members for the
+  // median to carry any signal).
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+  if (finite_indices.size() >= 3) {
+    std::vector<double> sorted = norms;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2, sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    if (median > 0.0) {
+      lo = median / options.max_norm_ratio;
+      hi = median * options.max_norm_ratio;
+    }
+  }
+  for (std::size_t k = 0; k < finite_indices.size(); ++k) {
+    const std::size_t i = finite_indices[k];
+    if (norms[k] < lo || norms[k] > hi) {
+      result.rejected.push_back({clients[i], "norm_out_of_band"});
+      continue;
+    }
+    result.accepted.push_back(clients[i]);
+  }
+  return result;
+}
+
+}  // namespace fedkemf::fl

@@ -1,0 +1,57 @@
+#pragma once
+
+// Pre-aggregation upload sanitation.
+//
+// The cheapest Byzantine defense: before any uploaded knowledge network is
+// allowed near the fusion step, reject payloads that are obviously broken —
+// non-finite weights (NaN/Inf from a diverged or malicious client would
+// otherwise poison the ensemble irrecoverably) and weight norms far outside
+// the cohort's band (additive-noise poisoning and random-weight free-riding
+// both blow the L2 norm out by orders of magnitude).
+//
+// Sign-flip attacks deliberately survive these checks — they preserve the
+// norm exactly — which is why sanitation composes with the robust ensemble
+// strategies (defense/robust_ensemble.hpp) and the reputation tracker
+// (defense/reputation.hpp) rather than replacing them.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fedkemf::fl {
+
+struct SanitizeOptions {
+  bool enabled = false;
+  /// An upload is rejected when its state L2 norm lies outside
+  /// [median / max_norm_ratio, median * max_norm_ratio] of the cohort's
+  /// finite uploads.  The band check needs >= 3 members to be meaningful
+  /// and is skipped below that.
+  double max_norm_ratio = 10.0;
+};
+
+struct SanitizeVerdict {
+  std::size_t client_id = 0;
+  std::string reason;  ///< "non_finite" | "norm_out_of_band"
+};
+
+struct SanitizeResult {
+  std::vector<std::size_t> accepted;  ///< client ids, input order preserved
+  std::vector<SanitizeVerdict> rejected;
+};
+
+/// True iff every parameter and buffer value of `model` is finite.
+bool state_finite(nn::Module& model);
+
+/// L2 norm over all parameters and buffers of `model`.
+double state_l2_norm(nn::Module& model);
+
+/// Screens `updates` (one model per entry of `clients`, same order) against
+/// the NaN/Inf and norm-band checks.  With options.enabled == false every
+/// client is accepted verbatim.
+SanitizeResult sanitize_updates(std::span<nn::Module* const> updates,
+                                std::span<const std::size_t> clients,
+                                const SanitizeOptions& options);
+
+}  // namespace fedkemf::fl

@@ -99,19 +99,38 @@ double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampl
     client_training_flops(sampled.front(), round_index);
   }
 
+  const sim::AdversaryModel* adversary = adversary_model();
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
     const std::size_t id = sampled[i];
     if (simulator_ != nullptr && !simulator_->begin_client(round_index, id)) {
       return;  // device offline this round: no traffic, no training
     }
     Slot& s = slots_[id];
+    const sim::AdversaryRole role =
+        adversary != nullptr ? adversary->role(id) : sim::AdversaryRole::kHonest;
     try {
       fed.channel().transfer(*global_, *s.model, round_index, id,
                              comm::Direction::kDownlink, "model");
-      const GradHook hook = make_grad_hook(id, *s.model);
-      const LocalTrainResult result = supervised_local_update(
-          *s.model, fed.train_set(), fed.client_shard(id),
-          local_config_.at_round(round_index), client_stream(fed, round_index, id), hook);
+      LocalTrainResult result;
+      if (role == sim::AdversaryRole::kFreeRider) {
+        // Free-riders skip training and lie about their step count (a
+        // truthful tau of 0 would trip FedNova's zero-step check).
+        adversary->free_ride(*s.model, round_index, id);
+        result.steps = 1;
+      } else {
+        std::vector<std::size_t> label_map;
+        if (role == sim::AdversaryRole::kLabelFlip) {
+          label_map = adversary->label_permutation(fed.train_set().num_classes(), id);
+        }
+        const GradHook hook = make_grad_hook(id, *s.model);
+        result = supervised_local_update(
+            *s.model, fed.train_set(), fed.client_shard(id),
+            local_config_.at_round(round_index), client_stream(fed, round_index, id),
+            hook, label_map);
+        if (role == sim::AdversaryRole::kPoison) {
+          adversary->poison_update(*s.model, round_index, id);
+        }
+      }
       if (simulator_ != nullptr && simulator_->mid_round_failure(round_index, id)) {
         return;  // died after training, before upload
       }

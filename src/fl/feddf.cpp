@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "core/tensor_ops.hpp"
+#include "fl/defense/robust_ensemble.hpp"
+#include "fl/defense/sanitize.hpp"
 #include "fl/fedkemf.hpp"  // ensemble_logits
 #include "nn/loss.hpp"
 
@@ -29,31 +32,116 @@ void FedDf::setup(Federation& federation) {
       global_model().parameters(),
       nn::SgdOptions{.learning_rate = options_.server_learning_rate,
                      .momentum = options_.server_momentum});
+  reputation_.reset();
+  if (options_.reputation.enabled) {
+    reputation_ = std::make_unique<ReputationTracker>(options_.reputation,
+                                                      federation.num_clients());
+  }
+  last_distill_loss_ = 0.0;
+  last_rejected_ = 0;
+}
+
+std::vector<std::size_t> FedDf::screen_members(std::span<const std::size_t> sampled,
+                                               const core::Tensor& probe) {
+  std::vector<nn::Module*> staged;
+  staged.reserve(sampled.size());
+  for (std::size_t id : sampled) {
+    nn::Module* m = slots_.at(id).staged.get();
+    m->set_training(false);
+    staged.push_back(m);
+  }
+  SanitizeResult sanitized = sanitize_updates(
+      staged, std::span<const std::size_t>(sampled.data(), sampled.size()),
+      options_.sanitize);
+  last_rejected_ += sanitized.rejected.size();
+  if (!reputation_) return std::move(sanitized.accepted);
+
+  std::vector<std::size_t>& accepted = sanitized.accepted;
+  if (!accepted.empty()) {
+    const std::size_t rows = probe.dim(0);
+    std::vector<core::Tensor> logits(accepted.size());
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      logits[i] = slots_.at(accepted[i]).staged->forward(probe);
+    }
+    std::vector<std::size_t> fused_argmax(rows);
+    core::argmax_rows(ensemble_logits(options_.ensemble, logits), fused_argmax.data());
+    std::vector<std::size_t> member_argmax(rows);
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      core::argmax_rows(logits[i], member_argmax.data());
+      std::size_t matches = 0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (member_argmax[r] == fused_argmax[r]) ++matches;
+      }
+      reputation_->observe(accepted[i],
+                           static_cast<double>(matches) / static_cast<double>(rows));
+    }
+  }
+  std::vector<std::size_t> trusted;
+  trusted.reserve(accepted.size());
+  for (std::size_t id : accepted) {
+    if (reputation_->excluded(id)) {
+      ++last_rejected_;
+    } else {
+      trusted.push_back(id);
+    }
+  }
+  return trusted;
 }
 
 void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
-  // Warm start from the FedAvg aggregate, then refine by distilling the
-  // client-model ensemble on the unlabeled server pool.
-  FedAvg::aggregate(round_index, sampled);
+  last_distill_loss_ = 0.0;
+  last_rejected_ = 0;
 
   Federation& fed = federation();
   const core::Tensor& pool = fed.server_pool();
   const std::size_t pool_size = pool.dim(0);
   const std::size_t batch_size = std::min(options_.distill_batch_size, pool_size);
-  if (batch_size == 0) return;
+  if (batch_size == 0) {
+    FedAvg::aggregate(round_index, sampled);
+    return;
+  }
+
+  std::vector<std::size_t> probe_rows(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) probe_rows[i] = i;
+  const std::vector<std::size_t> members =
+      screen_members(sampled, gather_pool(pool, probe_rows));
+  if (members.empty()) return;  // nothing trustworthy: keep last global
 
   std::vector<nn::Module*> teachers;
-  teachers.reserve(sampled.size());
-  for (std::size_t id : sampled) {
+  teachers.reserve(members.size());
+  for (std::size_t id : members) {
     nn::Module* teacher = slots_.at(id).staged.get();
     teacher->set_training(false);
     teachers.push_back(teacher);
+  }
+
+  // Warm start from the screened members — robust weight-space fusion when a
+  // robust logit strategy is selected, the shard-weighted FedAvg rule
+  // otherwise — then refine by distilling their ensemble on the server pool.
+  switch (options_.ensemble) {
+    case EnsembleStrategy::kTrimmedMean:
+      trimmed_mean_state(teachers, global_model());
+      break;
+    case EnsembleStrategy::kMedian:
+      median_state(teachers, global_model());
+      break;
+    default:
+      FedAvg::aggregate(round_index, members);
+      break;
+  }
+
+  std::vector<double> member_weights;
+  if (reputation_ && options_.ensemble == EnsembleStrategy::kAvgLogits) {
+    member_weights.reserve(members.size());
+    for (std::size_t id : members) member_weights.push_back(reputation_->weight(id));
   }
 
   nn::DistillationKl kd(options_.distill_temperature);
   global_model().set_training(true);
   core::Rng rng = fed.root_rng().fork(0xFEDD1F00ULL + round_index);
   std::vector<core::Tensor> member_logits(teachers.size());
+  double loss_total = 0.0;
+  std::size_t loss_batches = 0;
   for (std::size_t epoch = 0; epoch < options_.distill_epochs; ++epoch) {
     const std::vector<std::size_t> order = rng.permutation(pool_size);
     for (std::size_t start = 0; start < pool_size; start += batch_size) {
@@ -63,14 +151,20 @@ void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> samp
       for (std::size_t t = 0; t < teachers.size(); ++t) {
         member_logits[t] = teachers[t]->forward(batch);
       }
-      const core::Tensor teacher = ensemble_logits(options_.ensemble, member_logits);
+      const core::Tensor teacher =
+          member_weights.empty()
+              ? ensemble_logits(options_.ensemble, member_logits)
+              : weighted_avg_logits(member_logits, member_weights);
       core::Tensor student = global_model().forward(batch);
       nn::LossResult loss = kd.compute(student, teacher);
       server_optimizer_->zero_grad();
       global_model().backward(loss.grad);
       server_optimizer_->step();
+      loss_total += loss.value;
+      ++loss_batches;
     }
   }
+  if (loss_batches > 0) last_distill_loss_ = loss_total / static_cast<double>(loss_batches);
 }
 
 }  // namespace fedkemf::fl

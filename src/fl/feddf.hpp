@@ -15,6 +15,7 @@
 // original AvgLogits variant) and then distills the ensemble of client
 // models into the global model on the unlabeled server pool.
 
+#include "fl/defense/reputation.hpp"
 #include "fl/fedavg.hpp"
 #include "nn/optim.hpp"
 
@@ -27,6 +28,8 @@ struct FedDfOptions {
   std::size_t distill_batch_size = 32;
   double server_learning_rate = 0.02;
   double server_momentum = 0.0;
+  SanitizeOptions sanitize;        ///< pre-fusion upload screening
+  ReputationOptions reputation;    ///< cross-round outlier down-weighting
 };
 
 class FedDf final : public FedAvg {
@@ -37,13 +40,23 @@ class FedDf final : public FedAvg {
   void setup(Federation& federation) override;
 
   const FedDfOptions& options() const { return options_; }
+  double last_server_loss() const override { return last_distill_loss_; }
+  std::size_t last_rejected_updates() const override { return last_rejected_; }
+  const ReputationTracker* reputation() const { return reputation_.get(); }
 
  protected:
   void aggregate(std::size_t round_index, std::span<const std::size_t> sampled) override;
 
  private:
+  /// Same screening contract as FedKemf::screen_members.
+  std::vector<std::size_t> screen_members(std::span<const std::size_t> sampled,
+                                          const core::Tensor& probe);
+
   FedDfOptions options_;
   std::unique_ptr<nn::Sgd> server_optimizer_;
+  std::unique_ptr<ReputationTracker> reputation_;
+  double last_distill_loss_ = 0.0;
+  std::size_t last_rejected_ = 0;
 };
 
 }  // namespace fedkemf::fl

@@ -7,6 +7,8 @@
 
 #include "data/dataloader.hpp"
 #include "core/tensor_ops.hpp"
+#include "fl/defense/robust_ensemble.hpp"
+#include "fl/defense/sanitize.hpp"
 #include "models/flops.hpp"
 #include "nn/loss.hpp"
 #include "sim/simulator.hpp"
@@ -75,6 +77,10 @@ core::Tensor ensemble_logits(EnsembleStrategy strategy,
       }
       return out;
     }
+    case EnsembleStrategy::kTrimmedMean:
+      return trimmed_mean_logits(member_logits);
+    case EnsembleStrategy::kMedian:
+      return median_logits(member_logits);
   }
   throw std::logic_error("ensemble_logits: unknown strategy");
 }
@@ -83,7 +89,8 @@ DmlResult deep_mutual_update(nn::Module& local_model, nn::Module& knowledge_net,
                              const data::Dataset& train_set,
                              const std::vector<std::size_t>& shard,
                              const LocalTrainConfig& config, float kl_weight,
-                             core::Rng rng, double clip_norm) {
+                             core::Rng rng, double clip_norm,
+                             const std::vector<std::size_t>& label_map) {
   if (shard.empty()) throw std::invalid_argument("deep_mutual_update: empty shard");
   local_model.set_training(true);
   knowledge_net.set_training(true);
@@ -110,6 +117,7 @@ DmlResult deep_mutual_update(nn::Module& local_model, nn::Module& knowledge_net,
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     loader.reset();
     while (loader.next(batch)) {
+      apply_label_map(batch.labels, label_map);
       // Forward both networks once; each module caches its own activations.
       core::Tensor local_logits = local_model.forward(batch.images);
       core::Tensor knowledge_logits = knowledge_net.forward(batch.images);
@@ -166,6 +174,13 @@ void FedKemf::setup(Federation& federation) {
                      .clip_norm = options_.dml_clip_norm});
   slots_.clear();
   slots_.resize(federation.num_clients());
+  reputation_.reset();
+  if (options_.reputation.enabled) {
+    reputation_ = std::make_unique<ReputationTracker>(options_.reputation,
+                                                      federation.num_clients());
+  }
+  last_distill_loss_ = 0.0;
+  last_rejected_ = 0;
 }
 
 nn::Module& FedKemf::global_model() {
@@ -219,6 +234,9 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
   Federation& fed = *federation_;
   last_results_.assign(sampled.size(), {});
   completed_.assign(sampled.size(), 0);
+  last_distill_loss_ = 0.0;
+  last_rejected_ = 0;
+  const sim::AdversaryModel* adversary = adversary_model();
   for (std::size_t id : sampled) slot(id);
   if (simulator_ != nullptr && !sampled.empty()) {
     client_training_flops(sampled.front(), round_index);  // warm cache, single thread
@@ -240,12 +258,28 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
                                           id, comm::Direction::kDownlink, "knowledge_net",
                                           options_.payload_codec);
       }
-      const DmlResult result = deep_mutual_update(*s.local_model, *s.knowledge,
-                                                  fed.train_set(), fed.client_shard(id),
-                                                  local_config_.at_round(round_index),
-                                                  options_.dml_kl_weight,
-                                                  client_stream(fed, round_index, id),
-                                                  options_.dml_clip_norm);
+      const sim::AdversaryRole role =
+          adversary != nullptr ? adversary->role(id) : sim::AdversaryRole::kHonest;
+      DmlResult result;
+      if (role == sim::AdversaryRole::kFreeRider) {
+        // Free-riders skip training entirely and upload either the stale
+        // broadcast they just received or random weights.
+        adversary->free_ride(*s.knowledge, round_index, id);
+      } else {
+        std::vector<std::size_t> label_map;
+        if (role == sim::AdversaryRole::kLabelFlip) {
+          label_map = adversary->label_permutation(fed.train_set().num_classes(), id);
+        }
+        result = deep_mutual_update(*s.local_model, *s.knowledge,
+                                    fed.train_set(), fed.client_shard(id),
+                                    local_config_.at_round(round_index),
+                                    options_.dml_kl_weight,
+                                    client_stream(fed, round_index, id),
+                                    options_.dml_clip_norm, label_map);
+        if (role == sim::AdversaryRole::kPoison) {
+          adversary->poison_update(*s.knowledge, round_index, id);
+        }
+      }
       if (simulator_ != nullptr && simulator_->mid_round_failure(round_index, id)) {
         return;  // crashed after DML, before the upload
       }
@@ -308,24 +342,56 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
   const std::size_t batch_size = std::min(options_.distill_batch_size, pool_size);
   if (batch_size == 0) throw std::logic_error("FedKemf: empty server pool");
 
+  // Fixed probe batch (leading pool rows) for reputation agreement scoring —
+  // fixed so scores are comparable across rounds and thread-pool sizes.
+  std::vector<std::size_t> probe_rows(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) probe_rows[i] = i;
+  const core::Tensor probe = gather_pool(pool, probe_rows);
+
+  const std::vector<std::size_t> members = screen_members(sampled, probe);
+  if (members.empty()) return;  // every upload screened out: keep last global
+
   // Teachers predict in eval mode with frozen statistics.
   std::vector<nn::Module*> teachers;
-  teachers.reserve(sampled.size());
-  for (std::size_t id : sampled) {
+  teachers.reserve(members.size());
+  for (std::size_t id : members) {
     nn::Module* t = slots_.at(id).staged.get();
     t->set_training(false);
     teachers.push_back(t);
   }
 
-  // Warm start: average the client knowledge networks before distilling.
-  // This mirrors FedDF (Lin et al. 2020), which the paper's fusion step is
+  // Warm start: fuse the client knowledge networks before distilling.  This
+  // mirrors FedDF (Lin et al. 2020), which the paper's fusion step is
   // modeled on, and stabilizes early rounds when the student is random.
-  fuse_weight_average(sampled);
+  // Under a robust logit strategy the weight-space fusion must be robust
+  // too — a plain average is exactly the aggregation a sign-flip minority
+  // breaks (see robust_ensemble.hpp).
+  switch (options_.ensemble) {
+    case EnsembleStrategy::kTrimmedMean:
+      trimmed_mean_state(teachers, *global_knowledge_);
+      break;
+    case EnsembleStrategy::kMedian:
+      median_state(teachers, *global_knowledge_);
+      break;
+    default:
+      fuse_weight_average(members);
+      break;
+  }
+
+  // Under reputation + avg-logits, members are soft-weighted by their score
+  // instead of equally; the robust strategies ignore weights by design.
+  std::vector<double> member_weights;
+  if (reputation_ && options_.ensemble == EnsembleStrategy::kAvgLogits) {
+    member_weights.reserve(members.size());
+    for (std::size_t id : members) member_weights.push_back(reputation_->weight(id));
+  }
 
   nn::DistillationKl kd(options_.distill_temperature);
   global_knowledge_->set_training(true);
   core::Rng rng = fed.root_rng().fork(0xD157111ULL + round_index);
   std::vector<core::Tensor> member_logits(teachers.size());
+  double loss_total = 0.0;
+  std::size_t loss_batches = 0;
   for (std::size_t epoch = 0; epoch < options_.distill_epochs; ++epoch) {
     const std::vector<std::size_t> order = rng.permutation(pool_size);
     for (std::size_t start = 0; start < pool_size; start += batch_size) {
@@ -335,14 +401,72 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
       for (std::size_t t = 0; t < teachers.size(); ++t) {
         member_logits[t] = teachers[t]->forward(batch);
       }
-      const core::Tensor teacher = ensemble_logits(options_.ensemble, member_logits);
+      const core::Tensor teacher =
+          member_weights.empty()
+              ? ensemble_logits(options_.ensemble, member_logits)
+              : weighted_avg_logits(member_logits, member_weights);
       core::Tensor student = global_knowledge_->forward(batch);
       nn::LossResult loss = kd.compute(student, teacher);
       server_optimizer_->zero_grad();
       global_knowledge_->backward(loss.grad);
       server_optimizer_->step();
+      loss_total += loss.value;
+      ++loss_batches;
     }
   }
+  if (loss_batches > 0) last_distill_loss_ = loss_total / static_cast<double>(loss_batches);
+}
+
+std::vector<std::size_t> FedKemf::screen_members(std::span<const std::size_t> sampled,
+                                                 const core::Tensor& probe) {
+  std::vector<nn::Module*> staged;
+  staged.reserve(sampled.size());
+  for (std::size_t id : sampled) {
+    nn::Module* m = slots_.at(id).staged.get();
+    m->set_training(false);
+    staged.push_back(m);
+  }
+
+  // Pass 1: sanitation — drop non-finite uploads and norm outliers.
+  SanitizeResult sanitized = sanitize_updates(
+      staged, std::span<const std::size_t>(sampled.data(), sampled.size()),
+      options_.sanitize);
+  last_rejected_ += sanitized.rejected.size();
+  if (!reputation_) return std::move(sanitized.accepted);
+
+  // Pass 2: reputation — score each surviving member by how often its argmax
+  // on the probe batch agrees with the fused ensemble's, then drop members
+  // whose cross-round EMA has fallen below the exclusion threshold.
+  std::vector<std::size_t>& accepted = sanitized.accepted;
+  if (!accepted.empty()) {
+    const std::size_t rows = probe.dim(0);
+    std::vector<core::Tensor> logits(accepted.size());
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      logits[i] = slots_.at(accepted[i]).staged->forward(probe);
+    }
+    std::vector<std::size_t> fused_argmax(rows);
+    core::argmax_rows(ensemble_logits(options_.ensemble, logits), fused_argmax.data());
+    std::vector<std::size_t> member_argmax(rows);
+    for (std::size_t i = 0; i < accepted.size(); ++i) {
+      core::argmax_rows(logits[i], member_argmax.data());
+      std::size_t matches = 0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (member_argmax[r] == fused_argmax[r]) ++matches;
+      }
+      reputation_->observe(accepted[i],
+                           static_cast<double>(matches) / static_cast<double>(rows));
+    }
+  }
+  std::vector<std::size_t> trusted;
+  trusted.reserve(accepted.size());
+  for (std::size_t id : accepted) {
+    if (reputation_->excluded(id)) {
+      ++last_rejected_;
+    } else {
+      trusted.push_back(id);
+    }
+  }
+  return trusted;
 }
 
 }  // namespace fedkemf::fl

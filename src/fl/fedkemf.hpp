@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fl/algorithm.hpp"
+#include "fl/defense/reputation.hpp"
 #include "nn/optim.hpp"
 
 namespace fedkemf::fl {
@@ -41,11 +42,14 @@ struct DmlResult {
   std::size_t steps = 0;
 };
 
+/// A non-empty `label_map` remaps batch labels before both CE losses — the
+/// label-flipping adversary's view of the shard (sim/adversary.hpp).
 DmlResult deep_mutual_update(nn::Module& local_model, nn::Module& knowledge_net,
                              const data::Dataset& train_set,
                              const std::vector<std::size_t>& shard,
                              const LocalTrainConfig& config, float kl_weight,
-                             core::Rng rng, double clip_norm = 5.0);
+                             core::Rng rng, double clip_norm = 5.0,
+                             const std::vector<std::size_t>& label_map = {});
 
 class FedKemf final : public Algorithm {
  public:
@@ -70,6 +74,17 @@ class FedKemf final : public Algorithm {
   const FedKemfOptions& options() const { return options_; }
   const models::ModelSpec& client_spec(std::size_t id) const;
 
+  /// Mean distillation KL of the last round's server update (0 when fusion
+  /// was skipped); the watchdog checks it for finiteness.
+  double last_server_loss() const override { return last_distill_loss_; }
+
+  /// Uploads sanitation rejected + members the reputation tracker excluded
+  /// during the last round's fusion.
+  std::size_t last_rejected_updates() const override { return last_rejected_; }
+
+  /// Cross-round reputation state (null unless options().reputation.enabled).
+  const ReputationTracker* reputation() const { return reputation_.get(); }
+
  private:
   struct Slot {
     std::unique_ptr<nn::Module> local_model;    ///< persists across rounds
@@ -81,6 +96,12 @@ class FedKemf final : public Algorithm {
   void distill_ensemble(std::size_t round_index, std::span<const std::size_t> sampled);
   void fuse_weight_average(std::span<const std::size_t> sampled);
   double client_training_flops(std::size_t client_id, std::size_t round_index);
+  /// Sanitation + reputation screening; returns the member ids allowed into
+  /// fusion (subset of `sampled`, order preserved) and updates
+  /// last_rejected_.  `probe` is the fixed server-pool probe batch used for
+  /// reputation agreement scoring.
+  std::vector<std::size_t> screen_members(std::span<const std::size_t> sampled,
+                                          const core::Tensor& probe);
 
   std::vector<models::ModelSpec> arch_pool_;
   LocalTrainConfig local_config_;
@@ -92,6 +113,9 @@ class FedKemf final : public Algorithm {
   std::vector<DmlResult> last_results_;
   std::vector<std::uint8_t> completed_;        ///< per sampled index, this round
   std::vector<double> arch_flops_per_sample_;  ///< lazy, indexed like arch_pool_
+  std::unique_ptr<ReputationTracker> reputation_;
+  double last_distill_loss_ = 0.0;             ///< mean KL of the last fusion
+  std::size_t last_rejected_ = 0;              ///< screened-out uploads, last round
 };
 
 }  // namespace fedkemf::fl

@@ -43,6 +43,10 @@ struct RoundRecord {
   std::size_t clients_dropped = 0;    ///< offline at round start or failed mid-round
   std::size_t clients_straggled = 0;  ///< finished after the deadline; discarded
   double sim_seconds = 0.0;           ///< simulated duration of this round
+
+  // Byzantine-defense fate (RunOptions::watchdog + algorithm screening).
+  std::size_t rejected_updates = 0;   ///< uploads the server refused to fuse
+  bool rolled_back = false;           ///< watchdog restored the pre-round model
 };
 
 struct RunResult {
@@ -59,6 +63,10 @@ struct RunResult {
   double sim_seconds = 0.0;           ///< total simulated run duration
   std::size_t total_dropped = 0;      ///< offline + mid-round failures
   std::size_t total_stragglers = 0;
+
+  // Defense totals over every round (zero without screening / watchdog).
+  std::size_t total_rejected_updates = 0;
+  std::size_t total_rolled_back = 0;  ///< rounds the watchdog rolled back
 
   /// First round whose evaluated accuracy reached `target`; nullopt if never.
   std::optional<std::size_t> rounds_to_accuracy(double target) const;

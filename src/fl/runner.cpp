@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "fl/defense/sanitize.hpp"  // state_finite
 #include "sim/simulator.hpp"
 #include "utils/logging.hpp"
 #include "utils/stopwatch.hpp"
@@ -55,6 +57,14 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
   result.algorithm = algorithm.name();
   std::size_t bytes_before_round = 0;
 
+  // Divergence watchdog: keep a snapshot of the last accepted global model
+  // and its last evaluated accuracy; a poisoned round (non-finite losses or
+  // weights, or an accuracy collapse) is rolled back to the snapshot and the
+  // run continues.
+  std::vector<core::Tensor> last_good;
+  double last_good_accuracy = std::numeric_limits<double>::quiet_NaN();
+  if (options.watchdog) last_good = nn::snapshot_state(algorithm.global_model());
+
   for (std::size_t round = 0; round < options.rounds; ++round) {
     utils::Stopwatch round_clock;
     const std::size_t count =
@@ -63,6 +73,8 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     if (simulator) simulator->begin_round(round, sampled.size());
     const double train_loss = algorithm.round(round, sampled, pool);
     result.rounds_completed = round + 1;
+    const std::size_t rejected = algorithm.last_rejected_updates();
+    result.total_rejected_updates += rejected;
 
     sim::RoundReport sim_report;
     if (simulator) {
@@ -72,10 +84,22 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
       result.total_stragglers += sim_report.stragglers;
     }
 
+    bool rolled_back = false;
+    if (options.watchdog &&
+        (!std::isfinite(train_loss) || !std::isfinite(algorithm.last_server_loss()) ||
+         !state_finite(algorithm.global_model()))) {
+      nn::restore_state(algorithm.global_model(), last_good);
+      rolled_back = true;
+    }
+
     const bool last_round = round + 1 == options.rounds;
     const std::size_t every = std::max<std::size_t>(1, options.eval_every);
-    const bool eval_now = last_round || ((round + 1) % every == 0);
-    if (!eval_now) continue;
+    // A rollback always produces a history record, even off-cadence.
+    const bool eval_now = last_round || ((round + 1) % every == 0) || rolled_back;
+    if (!eval_now) {
+      if (options.watchdog) last_good = nn::snapshot_state(algorithm.global_model());
+      continue;
+    }
 
     RoundRecord record;
     record.round = round;
@@ -94,9 +118,25 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     } else {
       record.clients_completed = sampled.size();
     }
+    record.rejected_updates = rejected;
 
     const EvalResult eval = evaluate(algorithm.global_model(), federation.test_set());
     record.accuracy = eval.accuracy;
+    if (options.watchdog && !rolled_back && std::isfinite(last_good_accuracy) &&
+        eval.accuracy < last_good_accuracy - options.watchdog->accuracy_drop_threshold) {
+      // Accuracy collapse: restore the snapshot; the recorded accuracy is the
+      // restored model's (= the last accepted evaluation).
+      nn::restore_state(algorithm.global_model(), last_good);
+      rolled_back = true;
+      record.accuracy = last_good_accuracy;
+    }
+    record.rolled_back = rolled_back;
+    if (rolled_back) {
+      ++result.total_rolled_back;
+    } else if (options.watchdog) {
+      last_good = nn::snapshot_state(algorithm.global_model());
+      last_good_accuracy = record.accuracy;
+    }
 
     if (options.evaluate_client_models) {
       double acc_total = 0.0;
@@ -126,6 +166,8 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
              << " stragglers=" << sim_report.stragglers
              << " sim_s=" << sim_report.simulated_seconds;
       }
+      if (record.rejected_updates > 0) line << " rejected=" << record.rejected_updates;
+      if (record.rolled_back) line << " rolled_back";
     }
     if (options.stop_at_accuracy && record.accuracy >= *options.stop_at_accuracy) break;
   }

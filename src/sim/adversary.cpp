@@ -1,0 +1,153 @@
+#include "sim/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "sim/network.hpp"  // stream_tag
+
+namespace fedkemf::sim {
+namespace {
+
+constexpr std::uint64_t kRoleStream = 0xBAD0C11E57ULL;
+constexpr std::uint64_t kFlipStream = 0xF11BBE11ULL;
+constexpr std::uint64_t kPoisonStream = 0xD0150D05ULL;
+constexpr std::uint64_t kFreeRideStream = 0xF4EE41DEULL;
+
+void require_fraction(double value, const char* what) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string("AdversaryModel: ") + what +
+                                " must be in [0, 1], got " + std::to_string(value));
+  }
+}
+
+std::size_t role_count(double fraction, std::size_t population) {
+  return static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(population)));
+}
+
+/// Root-mean-square of a tensor (0 for empty tensors).
+float tensor_rms(const core::Tensor& t) {
+  if (t.numel() == 0) return 0.0f;
+  return std::sqrt(t.squared_norm() / static_cast<float>(t.numel()));
+}
+
+}  // namespace
+
+const char* to_string(AdversaryRole role) {
+  switch (role) {
+    case AdversaryRole::kHonest: return "honest";
+    case AdversaryRole::kLabelFlip: return "label_flip";
+    case AdversaryRole::kPoison: return "poison";
+    case AdversaryRole::kFreeRider: return "free_rider";
+  }
+  return "unknown";
+}
+
+AdversaryModel::AdversaryModel(const AdversarySpec& spec, std::size_t num_clients,
+                               core::Rng rng)
+    : spec_(spec), trace_rng_(rng) {
+  require_fraction(spec.label_flip_fraction, "label_flip_fraction");
+  require_fraction(spec.poison_fraction, "poison_fraction");
+  require_fraction(spec.free_rider_fraction, "free_rider_fraction");
+  if (spec.total_fraction() > 1.0 + 1e-12) {
+    throw std::invalid_argument("AdversaryModel: role fractions sum to " +
+                                std::to_string(spec.total_fraction()) + " > 1");
+  }
+  if (!(spec.poison_noise_scale >= 0.0)) {
+    throw std::invalid_argument("AdversaryModel: poison_noise_scale must be >= 0");
+  }
+
+  roles_.assign(num_clients, AdversaryRole::kHonest);
+  const std::size_t flippers = role_count(spec.label_flip_fraction, num_clients);
+  const std::size_t poisoners = role_count(spec.poison_fraction, num_clients);
+  const std::size_t free_riders = role_count(spec.free_rider_fraction, num_clients);
+  if (flippers + poisoners + free_riders > num_clients) {
+    throw std::invalid_argument("AdversaryModel: rounded role counts exceed population");
+  }
+
+  // A seeded shuffle of the population; the first blocks get the roles.
+  core::Rng assign = trace_rng_.fork(stream_tag({kRoleStream}));
+  const std::vector<std::size_t> order = assign.permutation(num_clients);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < flippers; ++i) roles_[order[cursor++]] = AdversaryRole::kLabelFlip;
+  for (std::size_t i = 0; i < poisoners; ++i) roles_[order[cursor++]] = AdversaryRole::kPoison;
+  for (std::size_t i = 0; i < free_riders; ++i) {
+    roles_[order[cursor++]] = AdversaryRole::kFreeRider;
+  }
+}
+
+AdversaryRole AdversaryModel::role(std::size_t client_id) const {
+  return roles_.at(client_id);
+}
+
+std::size_t AdversaryModel::num_adversaries() const {
+  std::size_t count = 0;
+  for (AdversaryRole r : roles_) {
+    if (r != AdversaryRole::kHonest) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> AdversaryModel::label_permutation(std::size_t num_classes,
+                                                           std::size_t client_id) const {
+  if (num_classes < 2) {
+    throw std::invalid_argument("AdversaryModel: label flipping needs >= 2 classes");
+  }
+  core::Rng draw = trace_rng_.fork(stream_tag({kFlipStream, client_id}));
+  const std::size_t offset =
+      1 + static_cast<std::size_t>(draw.uniform_index(num_classes - 1));
+  std::vector<std::size_t> permutation(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    permutation[c] = (c + offset) % num_classes;
+  }
+  return permutation;
+}
+
+void AdversaryModel::poison_update(nn::Module& upload, std::size_t round,
+                                   std::size_t client_id) const {
+  switch (spec_.poison_mode) {
+    case PoisonMode::kSignFlip: {
+      for (nn::Parameter* p : upload.parameters()) p->value.scale_(-1.0f);
+      return;
+    }
+    case PoisonMode::kGaussianNoise: {
+      core::Rng draw =
+          trace_rng_.fork(stream_tag({kPoisonStream, round, client_id}));
+      for (nn::Parameter* p : upload.parameters()) {
+        const float stddev =
+            static_cast<float>(spec_.poison_noise_scale) * tensor_rms(p->value);
+        if (stddev <= 0.0f) continue;
+        float* values = p->value.data();
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+          values[i] += static_cast<float>(draw.normal(0.0, stddev));
+        }
+      }
+      return;
+    }
+  }
+  throw std::logic_error("AdversaryModel: unknown poison mode");
+}
+
+void AdversaryModel::free_ride(nn::Module& upload, std::size_t round,
+                               std::size_t client_id) const {
+  switch (spec_.free_rider_mode) {
+    case FreeRiderMode::kStaleBroadcast:
+      return;  // the received weights go straight back up
+    case FreeRiderMode::kRandomWeights: {
+      core::Rng draw =
+          trace_rng_.fork(stream_tag({kFreeRideStream, round, client_id}));
+      for (nn::Parameter* p : upload.parameters()) {
+        float* values = p->value.data();
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+          values[i] = static_cast<float>(draw.normal());
+        }
+      }
+      return;
+    }
+  }
+  throw std::logic_error("AdversaryModel: unknown free-rider mode");
+}
+
+}  // namespace fedkemf::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+// Byzantine-client injection.
+//
+// PR 1 made the *network* hostile; this component makes the *clients*
+// hostile.  An AdversaryModel deterministically marks a configurable
+// fraction of the population with one of three classic Byzantine roles:
+//
+//   label-flippers — train on permuted labels, so their uploaded knowledge
+//                    encodes a systematically wrong class mapping;
+//   poisoners      — complete local training honestly, then corrupt the
+//                    uploaded weights (sign-flip, or additive Gaussian noise
+//                    scaled to each tensor's own RMS);
+//   free-riders    — never train: they echo the stale broadcast back, or
+//                    upload freshly drawn random weights.
+//
+// Determinism contract (same as NetworkModel): role assignment is a pure
+// function of the model's seed, and every per-round behaviour (noise draws,
+// random free-rider weights) is drawn from a fork keyed on (round, client) —
+// so an adversary trace is bit-identical regardless of thread-pool size or
+// the order clients happen to execute in.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/module.hpp"
+
+namespace fedkemf::sim {
+
+enum class AdversaryRole : std::uint8_t {
+  kHonest,
+  kLabelFlip,   ///< trains on a fixed per-client label permutation
+  kPoison,      ///< corrupts the uploaded weights after honest training
+  kFreeRider,   ///< uploads without training
+};
+
+enum class PoisonMode : std::uint8_t {
+  kSignFlip,       ///< negate every trainable weight
+  kGaussianNoise,  ///< add N(0, noise_scale * rms(tensor)) per weight
+};
+
+enum class FreeRiderMode : std::uint8_t {
+  kStaleBroadcast,  ///< upload the received model untouched
+  kRandomWeights,   ///< upload i.i.d. N(0, 1) weights
+};
+
+const char* to_string(AdversaryRole role);
+
+struct AdversarySpec {
+  /// Fractions of the population assigned each role (rounded to counts;
+  /// the sum must not exceed 1).  All zero = a fully honest federation.
+  double label_flip_fraction = 0.0;
+  double poison_fraction = 0.0;
+  double free_rider_fraction = 0.0;
+
+  PoisonMode poison_mode = PoisonMode::kSignFlip;
+  /// Noise stddev for kGaussianNoise, as a multiple of each tensor's RMS.
+  double poison_noise_scale = 10.0;
+  FreeRiderMode free_rider_mode = FreeRiderMode::kStaleBroadcast;
+
+  double total_fraction() const {
+    return label_flip_fraction + poison_fraction + free_rider_fraction;
+  }
+  bool any() const { return total_fraction() > 0.0; }
+};
+
+class AdversaryModel {
+ public:
+  /// Marks round(fraction * N) clients per role, chosen by a seeded shuffle
+  /// of the population (validated: fractions in [0, 1], sum <= 1).
+  AdversaryModel(const AdversarySpec& spec, std::size_t num_clients, core::Rng rng);
+
+  std::size_t num_clients() const { return roles_.size(); }
+  AdversaryRole role(std::size_t client_id) const;
+  bool adversarial(std::size_t client_id) const {
+    return role(client_id) != AdversaryRole::kHonest;
+  }
+  std::size_t num_adversaries() const;
+  const AdversarySpec& spec() const { return spec_; }
+
+  /// The label-flipper's fixed class permutation: a rotation by a per-client
+  /// offset drawn uniform on [1, num_classes), so no class maps to itself.
+  std::vector<std::size_t> label_permutation(std::size_t num_classes,
+                                             std::size_t client_id) const;
+
+  /// Applies the spec's poison to every *parameter* of `upload` in place
+  /// (buffers — e.g. BatchNorm running stats — are left intact so the model
+  /// stays numerically evaluable).  Deterministic in (round, client).
+  void poison_update(nn::Module& upload, std::size_t round, std::size_t client_id) const;
+
+  /// Applies the free-rider behaviour to `upload`: a no-op for
+  /// kStaleBroadcast (the received weights go straight back), or an
+  /// overwrite with N(0, 1) draws from the (round, client) stream.
+  void free_ride(nn::Module& upload, std::size_t round, std::size_t client_id) const;
+
+ private:
+  AdversarySpec spec_;
+  core::Rng trace_rng_;
+  std::vector<AdversaryRole> roles_;
+};
+
+}  // namespace fedkemf::sim

@@ -5,6 +5,7 @@ namespace {
 
 constexpr std::uint64_t kNetworkChild = 0x4E375EEDULL;
 constexpr std::uint64_t kFaultChild = 0xFA0175EEULL;
+constexpr std::uint64_t kAdversaryChild = 0xBAD5EEDULL;
 
 double retry_backoff_seconds(const comm::RetryPolicy& policy, std::size_t failures) {
   // Each failed attempt costs one backoff wait before its retry:
@@ -23,6 +24,7 @@ double retry_backoff_seconds(const comm::RetryPolicy& policy, std::size_t failur
 Simulator::Simulator(const SimOptions& options, std::size_t num_clients, core::Rng rng)
     : options_(options),
       network_(options.network, num_clients, rng.fork(kNetworkChild)),
+      adversary_(options.adversary, num_clients, rng.fork(kAdversaryChild)),
       injector_(options.faults, rng.fork(kFaultChild)),
       clock_(options.deadline_seconds) {}
 

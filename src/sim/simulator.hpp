@@ -21,6 +21,7 @@
 
 #include "comm/channel.hpp"
 #include "core/rng.hpp"
+#include "sim/adversary.hpp"
 #include "sim/clock.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
@@ -31,6 +32,9 @@ struct SimOptions {
   NetworkOptions network;
   FaultSpec faults;
   comm::RetryPolicy retry;
+  /// Byzantine-client roles (label-flip / poison / free-ride).  All-zero
+  /// fractions (default) keep every client honest.
+  AdversarySpec adversary;
   /// Round deadline in simulated seconds; +inf (default) disables the
   /// straggler cutoff so every surviving client aggregates.
   double deadline_seconds = std::numeric_limits<double>::infinity();
@@ -68,12 +72,14 @@ class Simulator {
   RoundReport round_report() const { return clock_.report(); }
 
   const NetworkModel& network() const { return network_; }
+  const AdversaryModel& adversary() const { return adversary_; }
   FaultInjector& injector() { return injector_; }
   const SimOptions& options() const { return options_; }
 
  private:
   SimOptions options_;
   NetworkModel network_;
+  AdversaryModel adversary_;
   FaultInjector injector_;
   RoundClock clock_;
   comm::Channel* channel_ = nullptr;

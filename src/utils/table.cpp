@@ -1,6 +1,7 @@
 #include "utils/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -31,6 +32,12 @@ Table::RowBuilder& Table::RowBuilder::cell(const char* value) {
   return *this;
 }
 Table::RowBuilder& Table::RowBuilder::cell(double value, int precision) {
+  if (std::isnan(value)) {
+    // Untracked metrics (e.g. client accuracy with per-client eval off) reach
+    // tables as NaN; "n/a" keeps CSVs parseable and summaries readable.
+    cells_.emplace_back("n/a");
+    return *this;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   cells_.emplace_back(buf);
@@ -132,6 +139,7 @@ std::string format_speedup(double factor) {
 }
 
 std::string format_percent(double fraction, int precision) {
+  if (std::isnan(fraction)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
   return buf;

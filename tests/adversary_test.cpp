@@ -1,0 +1,306 @@
+// Byzantine-client injection tests: role assignment counts and determinism,
+// label permutations without fixed points, poison / free-ride upload
+// corruption keyed on (round, client), and the acceptance property that an
+// adversarial federation's trace is independent of thread-pool size.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fl/fedavg.hpp"
+#include "fl/fedkemf.hpp"
+#include "fl/runner.hpp"
+#include "models/zoo.hpp"
+#include "sim/adversary.hpp"
+#include "sim/simulator.hpp"
+
+namespace fedkemf::sim {
+namespace {
+
+using core::Rng;
+
+models::ModelSpec tiny_spec(const char* arch = "mlp") {
+  return models::ModelSpec{.arch = arch, .num_classes = 4, .in_channels = 3,
+                           .image_size = 8, .width_multiplier = 0.25};
+}
+
+std::unique_ptr<nn::Module> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return models::build_model(tiny_spec(), rng);
+}
+
+fl::FederationOptions tiny_federation(std::uint64_t seed = 21) {
+  fl::FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.data.noise_stddev = 0.5;
+  options.train_samples = 160;
+  options.test_samples = 64;
+  options.server_pool_samples = 48;
+  options.num_clients = 4;
+  options.dirichlet_alpha = 0.5;
+  options.seed = seed;
+  return options;
+}
+
+fl::LocalTrainConfig tiny_local() {
+  fl::LocalTrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  config.learning_rate = 0.05;
+  config.momentum = 0.0;
+  config.weight_decay = 0.0;
+  return config;
+}
+
+std::vector<float> flatten_params(const nn::Module& model) {
+  std::vector<float> out;
+  for (const nn::Parameter* p : const_cast<nn::Module&>(model).parameters()) {
+    out.insert(out.end(), p->value.data(), p->value.data() + p->value.numel());
+  }
+  return out;
+}
+
+// ---- Role assignment ----
+
+TEST(AdversaryModel, RoleCountsMatchFractions) {
+  AdversarySpec spec;
+  spec.label_flip_fraction = 0.2;
+  spec.poison_fraction = 0.3;
+  spec.free_rider_fraction = 0.1;
+  AdversaryModel model(spec, 20, Rng(7));
+  std::size_t flip = 0, poison = 0, free_rider = 0, honest = 0;
+  for (std::size_t id = 0; id < 20; ++id) {
+    switch (model.role(id)) {
+      case AdversaryRole::kLabelFlip: ++flip; break;
+      case AdversaryRole::kPoison: ++poison; break;
+      case AdversaryRole::kFreeRider: ++free_rider; break;
+      case AdversaryRole::kHonest: ++honest; break;
+    }
+  }
+  EXPECT_EQ(flip, 4u);
+  EXPECT_EQ(poison, 6u);
+  EXPECT_EQ(free_rider, 2u);
+  EXPECT_EQ(honest, 8u);
+  EXPECT_EQ(model.num_adversaries(), 12u);
+}
+
+TEST(AdversaryModel, EmptySpecIsAllHonest) {
+  AdversaryModel model(AdversarySpec{}, 8, Rng(1));
+  EXPECT_EQ(model.num_adversaries(), 0u);
+  for (std::size_t id = 0; id < 8; ++id) EXPECT_FALSE(model.adversarial(id));
+}
+
+TEST(AdversaryModel, SameSeedSameRolesDifferentSeedLikelyDiffers) {
+  AdversarySpec spec;
+  spec.poison_fraction = 0.5;
+  AdversaryModel a(spec, 16, Rng(9));
+  AdversaryModel b(spec, 16, Rng(9));
+  AdversaryModel c(spec, 16, Rng(10));
+  bool differs = false;
+  for (std::size_t id = 0; id < 16; ++id) {
+    EXPECT_EQ(a.role(id), b.role(id));
+    if (a.role(id) != c.role(id)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(AdversaryModel, RejectsInvalidFractions) {
+  AdversarySpec negative;
+  negative.poison_fraction = -0.1;
+  EXPECT_THROW(AdversaryModel(negative, 4, Rng(0)), std::invalid_argument);
+  AdversarySpec over_one;
+  over_one.label_flip_fraction = 1.5;
+  EXPECT_THROW(AdversaryModel(over_one, 4, Rng(0)), std::invalid_argument);
+  AdversarySpec over_sum;
+  over_sum.label_flip_fraction = 0.6;
+  over_sum.poison_fraction = 0.6;
+  EXPECT_THROW(AdversaryModel(over_sum, 4, Rng(0)), std::invalid_argument);
+}
+
+// ---- Label permutation ----
+
+TEST(AdversaryModel, LabelPermutationHasNoFixedPoint) {
+  AdversarySpec spec;
+  spec.label_flip_fraction = 1.0;
+  AdversaryModel model(spec, 10, Rng(3));
+  for (std::size_t id = 0; id < 10; ++id) {
+    const std::vector<std::size_t> map = model.label_permutation(7, id);
+    ASSERT_EQ(map.size(), 7u);
+    std::set<std::size_t> seen(map.begin(), map.end());
+    EXPECT_EQ(seen.size(), 7u);  // a true permutation
+    for (std::size_t c = 0; c < 7; ++c) EXPECT_NE(map[c], c);
+  }
+}
+
+TEST(AdversaryModel, LabelPermutationIsStablePerClient) {
+  AdversarySpec spec;
+  spec.label_flip_fraction = 1.0;
+  AdversaryModel model(spec, 4, Rng(5));
+  EXPECT_EQ(model.label_permutation(10, 2), model.label_permutation(10, 2));
+  bool client_dependent = false;
+  for (std::size_t id = 1; id < 4; ++id) {
+    if (model.label_permutation(10, id) != model.label_permutation(10, 0)) {
+      client_dependent = true;
+    }
+  }
+  EXPECT_TRUE(client_dependent);
+}
+
+// ---- Poisoning ----
+
+TEST(AdversaryModel, SignFlipNegatesEveryParameter) {
+  AdversarySpec spec;
+  spec.poison_fraction = 1.0;
+  spec.poison_mode = PoisonMode::kSignFlip;
+  AdversaryModel model(spec, 4, Rng(11));
+  auto upload = tiny_model(1);
+  const std::vector<float> before = flatten_params(*upload);
+  model.poison_update(*upload, /*round=*/2, /*client_id=*/1);
+  const std::vector<float> after = flatten_params(*upload);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(after[i], -before[i]);
+  }
+}
+
+TEST(AdversaryModel, GaussianPoisonIsDeterministicInRoundAndClient) {
+  AdversarySpec spec;
+  spec.poison_fraction = 1.0;
+  spec.poison_mode = PoisonMode::kGaussianNoise;
+  spec.poison_noise_scale = 5.0;
+  AdversaryModel model(spec, 4, Rng(13));
+  auto a = tiny_model(2);
+  auto b = tiny_model(2);
+  auto c = tiny_model(2);
+  model.poison_update(*a, 3, 2);
+  model.poison_update(*b, 3, 2);
+  model.poison_update(*c, 4, 2);  // different round, different noise
+  EXPECT_EQ(flatten_params(*a), flatten_params(*b));
+  EXPECT_NE(flatten_params(*a), flatten_params(*c));
+  // The noise actually moved the weights.
+  EXPECT_NE(flatten_params(*a), flatten_params(*tiny_model(2)));
+}
+
+// ---- Free-riding ----
+
+TEST(AdversaryModel, StaleBroadcastFreeRideLeavesUploadUntouched) {
+  AdversarySpec spec;
+  spec.free_rider_fraction = 1.0;
+  spec.free_rider_mode = FreeRiderMode::kStaleBroadcast;
+  AdversaryModel model(spec, 4, Rng(17));
+  auto upload = tiny_model(3);
+  const std::vector<float> before = flatten_params(*upload);
+  model.free_ride(*upload, 0, 0);
+  EXPECT_EQ(flatten_params(*upload), before);
+}
+
+TEST(AdversaryModel, RandomWeightsFreeRideIsDeterministic) {
+  AdversarySpec spec;
+  spec.free_rider_fraction = 1.0;
+  spec.free_rider_mode = FreeRiderMode::kRandomWeights;
+  AdversaryModel model(spec, 4, Rng(19));
+  auto a = tiny_model(4);
+  auto b = tiny_model(5);  // different starting weights, same overwrite
+  model.free_ride(*a, 1, 3);
+  model.free_ride(*b, 1, 3);
+  EXPECT_EQ(flatten_params(*a), flatten_params(*b));
+  auto c = tiny_model(4);
+  model.free_ride(*c, 2, 3);
+  EXPECT_NE(flatten_params(*a), flatten_params(*c));
+}
+
+// ---- Simulator integration ----
+
+TEST(Simulator, ExposesAdversaryModelFromOptions) {
+  SimOptions options;
+  options.adversary.poison_fraction = 0.5;
+  Simulator simulator(options, 8, Rng(23));
+  EXPECT_EQ(simulator.adversary().num_clients(), 8u);
+  EXPECT_EQ(simulator.adversary().num_adversaries(), 4u);
+  Simulator same(options, 8, Rng(23));
+  for (std::size_t id = 0; id < 8; ++id) {
+    EXPECT_EQ(simulator.adversary().role(id), same.adversary().role(id));
+  }
+}
+
+// ---- Acceptance: adversary trace independent of thread-pool size ----
+
+TEST(Acceptance, AdversaryScheduleIndependentOfThreadPoolSize) {
+  SimOptions sim;
+  sim.adversary.label_flip_fraction = 0.25;
+  sim.adversary.poison_fraction = 0.25;
+  sim.adversary.free_rider_fraction = 0.25;
+  sim.adversary.poison_mode = PoisonMode::kGaussianNoise;
+  sim.adversary.poison_noise_scale = 2.0;
+  sim.adversary.free_rider_mode = FreeRiderMode::kRandomWeights;
+
+  auto run_with_threads = [&](std::size_t num_threads) {
+    fl::Federation fed(tiny_federation(33));
+    fl::FedKemfOptions kemf;
+    kemf.knowledge_spec = tiny_spec();
+    kemf.distill_epochs = 1;
+    kemf.distill_batch_size = 16;
+    kemf.sanitize.enabled = true;
+    kemf.reputation.enabled = true;
+    fl::FedKemf algorithm({tiny_spec()}, tiny_local(), kemf);
+    fl::RunOptions run;
+    run.rounds = 4;
+    run.sample_ratio = 1.0;
+    run.eval_every = 1;
+    run.num_threads = num_threads;
+    run.sim = sim;
+    run.watchdog = fl::WatchdogOptions{};
+    return run_federated(fed, algorithm, run);
+  };
+
+  const fl::RunResult serial = run_with_threads(0);   // inline, pool size 1
+  const fl::RunResult parallel = run_with_threads(4);
+
+  ASSERT_EQ(serial.history.size(), parallel.history.size());
+  EXPECT_EQ(serial.total_rejected_updates, parallel.total_rejected_updates);
+  EXPECT_EQ(serial.total_rolled_back, parallel.total_rolled_back);
+  for (std::size_t i = 0; i < serial.history.size(); ++i) {
+    const fl::RoundRecord& a = serial.history[i];
+    const fl::RoundRecord& b = parallel.history[i];
+    EXPECT_EQ(a.rejected_updates, b.rejected_updates) << "round " << i;
+    EXPECT_EQ(a.rolled_back, b.rolled_back) << "round " << i;
+    // Identical adversary behaviour + order-independent fusion => identical
+    // global model at every evaluation point.
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy) << "round " << i;
+    EXPECT_DOUBLE_EQ(a.train_loss, b.train_loss) << "round " << i;
+  }
+}
+
+TEST(Acceptance, FedAvgAdversaryTraceIndependentOfThreadPoolSize) {
+  SimOptions sim;
+  sim.adversary.poison_fraction = 0.25;
+  sim.adversary.free_rider_fraction = 0.25;
+
+  auto run_with_threads = [&](std::size_t num_threads) {
+    fl::Federation fed(tiny_federation(35));
+    fl::FedAvg algorithm(tiny_spec(), tiny_local());
+    fl::RunOptions run;
+    run.rounds = 4;
+    run.sample_ratio = 1.0;
+    run.eval_every = 1;
+    run.num_threads = num_threads;
+    run.sim = sim;
+    return run_federated(fed, algorithm, run);
+  };
+
+  const fl::RunResult serial = run_with_threads(0);
+  const fl::RunResult parallel = run_with_threads(4);
+  ASSERT_EQ(serial.history.size(), parallel.history.size());
+  for (std::size_t i = 0; i < serial.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.history[i].accuracy, parallel.history[i].accuracy)
+        << "round " << i;
+    EXPECT_DOUBLE_EQ(serial.history[i].train_loss, parallel.history[i].train_loss)
+        << "round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedkemf::sim

@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -196,6 +198,52 @@ TEST(ModelIo, MissingFileThrows) {
   auto model = test_model(16);
   EXPECT_THROW(load_model("/nonexistent/path/x.bin", *model), std::runtime_error);
   EXPECT_THROW(save_model(*model, "/nonexistent/path/x.bin"), std::runtime_error);
+}
+
+TEST(ModelIo, SaveOverwritesStaleTempFileAndLeavesNoneBehind) {
+  auto src = test_model(17);
+  auto dst = test_model(18);
+  const std::string path = ::testing::TempDir() + "/fedkemf_ckpt_atomic.bin";
+  const std::string tmp_path = path + ".tmp";
+  {
+    // A leftover .tmp from an earlier crash must be harmlessly overwritten.
+    std::ofstream garbage(tmp_path, std::ios::binary);
+    garbage << "not a checkpoint";
+  }
+  save_model(*src, path, Codec::kFp32);
+  // The staging file was renamed away, and the checkpoint loads cleanly.
+  std::ifstream stale(tmp_path);
+  EXPECT_FALSE(stale.good());
+  load_model(path, *dst);
+  ASSERT_EQ(dst->parameters()[0]->value[0], src->parameters()[0]->value[0]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, TruncatedCheckpointReportsClearError) {
+  auto src = test_model(19);
+  const std::string path = ::testing::TempDir() + "/fedkemf_ckpt_trunc.bin";
+  save_model(*src, path, Codec::kFp32);
+  // Truncate to half the payload, as an interrupted copy would.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const std::streamsize full = in.tellg();
+  in.seekg(0);
+  std::vector<char> bytes(static_cast<std::size_t>(full / 2));
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    load_model(path, *src);
+    FAIL() << "load_model accepted a truncated checkpoint";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("corrupt or truncated"),
+              std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

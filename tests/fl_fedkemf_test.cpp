@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fl/defense/robust_ensemble.hpp"
 #include "fl/fedavg.hpp"
 #include "fl/fedkemf.hpp"
 #include "fl/runner.hpp"
@@ -110,6 +111,87 @@ TEST(EnsembleLogits, SingleMemberIsIdentityForMaxAndAvg) {
     Tensor out = ensemble_logits(s, members);
     for (std::size_t i = 0; i < a.numel(); ++i) ASSERT_EQ(out[i], a[i]);
   }
+}
+
+TEST(EnsembleLogits, SingleMemberIsIdentityForRobustStrategies) {
+  Rng rng(3);
+  Tensor a = Tensor::normal(Shape::matrix(3, 5), rng);
+  const Tensor members[] = {a};
+  for (EnsembleStrategy s : {EnsembleStrategy::kTrimmedMean, EnsembleStrategy::kMedian}) {
+    Tensor out = ensemble_logits(s, members);
+    for (std::size_t i = 0; i < a.numel(); ++i) ASSERT_EQ(out[i], a[i]);
+  }
+}
+
+TEST(EnsembleLogits, TrimmedMeanDropsExtremesPerCoordinate) {
+  // Column values per cell: {1, 2, 3, 4, 100}; trimming 1 each side (5
+  // members at the default 0.3 fraction trims ceil(1.5)=2, so use 0.2 here)
+  // leaves {2, 3, 4} -> mean 3.
+  const float v0[] = {1.0f};
+  const float v1[] = {2.0f};
+  const float v2[] = {3.0f};
+  const float v3[] = {4.0f};
+  const float v4[] = {100.0f};
+  const Tensor members[] = {Tensor::from_values(Shape::matrix(1, 1), v0),
+                            Tensor::from_values(Shape::matrix(1, 1), v1),
+                            Tensor::from_values(Shape::matrix(1, 1), v2),
+                            Tensor::from_values(Shape::matrix(1, 1), v3),
+                            Tensor::from_values(Shape::matrix(1, 1), v4)};
+  EXPECT_FLOAT_EQ(trimmed_mean_logits(members, 0.2).data()[0], 3.0f);
+  EXPECT_THROW(trimmed_mean_logits(members, 0.5), std::invalid_argument);
+  EXPECT_THROW(trimmed_mean_logits(members, -0.1), std::invalid_argument);
+}
+
+TEST(EnsembleLogits, MedianIsCoordinateWise) {
+  const float v0[] = {1.0f, 10.0f};
+  const float v1[] = {5.0f, -10.0f};
+  const float v2[] = {3.0f, 0.0f};
+  const Tensor odd[] = {Tensor::from_values(Shape::matrix(1, 2), v0),
+                        Tensor::from_values(Shape::matrix(1, 2), v1),
+                        Tensor::from_values(Shape::matrix(1, 2), v2)};
+  const Tensor med_odd = ensemble_logits(EnsembleStrategy::kMedian, odd);
+  EXPECT_FLOAT_EQ(med_odd.data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(med_odd.data()[1], 0.0f);
+  // Even member count averages the two middle values.
+  const Tensor even[] = {odd[0], odd[1]};
+  const Tensor med_even = ensemble_logits(EnsembleStrategy::kMedian, even);
+  EXPECT_FLOAT_EQ(med_even.data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(med_even.data()[1], 0.0f);
+}
+
+TEST(EnsembleLogits, MinorityOfPoisonedMembersCannotMoveRobustFusion) {
+  // 2 of 5 members emit hostile +/-1000 logits; the fused teacher must equal
+  // the honest consensus exactly under both robust strategies.
+  Rng rng(5);
+  Tensor honest = Tensor::normal(Shape::matrix(4, 3), rng);
+  Tensor high = honest.clone();
+  Tensor low = honest.clone();
+  for (std::size_t i = 0; i < high.numel(); ++i) {
+    high.data()[i] = 1000.0f;
+    low.data()[i] = -1000.0f;
+  }
+  const Tensor members[] = {low, honest, honest, honest, high};
+  for (EnsembleStrategy s : {EnsembleStrategy::kTrimmedMean, EnsembleStrategy::kMedian}) {
+    const Tensor fused = ensemble_logits(s, members);
+    for (std::size_t i = 0; i < honest.numel(); ++i) {
+      ASSERT_EQ(fused[i], honest[i]) << to_string(s) << " cell " << i;
+    }
+  }
+}
+
+TEST(EnsembleLogits, MajorityVoteTieBreaksDeterministically) {
+  // Two members, two classes, opposite votes: a perfect tie.  The histogram
+  // teacher must give both classes identical mass, and repeated fusion must
+  // be bit-identical (no hidden randomness in tie handling).
+  const float a_v[] = {5.0f, 0.0f};
+  const float b_v[] = {0.0f, 5.0f};
+  Tensor a = Tensor::from_values(Shape::matrix(1, 2), a_v);
+  Tensor b = Tensor::from_values(Shape::matrix(1, 2), b_v);
+  const Tensor members[] = {a, b};
+  const Tensor first = ensemble_logits(EnsembleStrategy::kMajorityVote, members);
+  const Tensor second = ensemble_logits(EnsembleStrategy::kMajorityVote, members);
+  EXPECT_FLOAT_EQ(first.at2(0, 0), first.at2(0, 1));
+  for (std::size_t i = 0; i < first.numel(); ++i) ASSERT_EQ(first[i], second[i]);
 }
 
 TEST(EnsembleLogits, Validation) {
