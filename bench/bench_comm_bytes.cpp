@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
 
   utils::Table models_table({"Model", "Parameters", "One-way payload", "FedAvg/FedProx",
                              "FedNova", "SCAFFOLD", "FedKEMF (kn=ResNet-20)"});
+  BenchReport report("comm_bytes");
   for (const std::string& arch : archs) {
     const models::ModelSpec spec{.arch = arch, .num_classes = 10, .in_channels = 3,
                                  .image_size = 32, .width_multiplier = 1.0};
@@ -34,6 +35,11 @@ int main(int argc, char** argv) {
     auto model = models::build_model(spec, rng);
     const std::size_t params = model->parameter_count();
     const std::size_t wire = comm::model_wire_size(*model);
+    report.add(arch + "/one_way_payload", static_cast<double>(wire), "bytes");
+    for (const char* algorithm : {"fedavg", "fednova", "scaffold", "fedkemf"}) {
+      report.add(arch + "/round_bytes/" + algorithm,
+                 static_cast<double>(full_width_round_bytes(arch, algorithm)), "bytes");
+    }
     models_table.row()
         .cell(arch)
         .cell(static_cast<std::int64_t>(params))
@@ -66,5 +72,6 @@ int main(int argc, char** argv) {
   emit("FedKEMF per-round savings factor (knowledge net = ResNet-20); the paper's "
        "headline factors additionally multiply in the rounds-to-target advantage",
        ratio_table, csv_dir.empty() ? "" : csv_dir + "/comm_bytes_ratios.csv");
+  if (!csv_dir.empty()) report.write(csv_dir);
   return 0;
 }

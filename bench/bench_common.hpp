@@ -26,6 +26,7 @@
 #include "fl/runner.hpp"
 #include "fl/scaffold.hpp"
 #include "models/zoo.hpp"
+#include "obs/json.hpp"
 #include "utils/cli.hpp"
 #include "utils/stopwatch.hpp"
 #include "utils/table.hpp"
@@ -187,6 +188,73 @@ inline std::string algorithm_label(const std::string& name) {
   if (name == "fedkemf") return "FedKEMF";
   return name;
 }
+
+/// Machine-readable bench results: collects named scalar metrics and writes
+/// them as `BENCH_<name>.json` in google-benchmark's output shape (a
+/// "context" header plus a "benchmarks" array), so one regression checker
+/// (tools/check_bench_regression.py) handles both google-benchmark harnesses
+/// and the standalone table benches.  CI uploads these files as artifacts and
+/// gates merges on them.
+class BenchReport {
+ public:
+  /// `name` is the suite label: the file lands at `<dir>/BENCH_<name>.json`.
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Records one metric.  `unit` is advisory ("ns", "bytes", "seconds"...).
+  void add(const std::string& metric, double value, const std::string& unit) {
+    entries_.push_back({metric, value, unit});
+  }
+
+  /// Writes `<dir>/BENCH_<name>.json`; returns false (and warns) on I/O
+  /// failure.  Pass dir = "results" to match the CI artifact layout.
+  bool write(const std::string& dir = "results") const {
+    obs::JsonWriter json;
+    json.begin_object();
+    json.key("context");
+    json.begin_object();
+    json.member("executable", name_);
+    json.member("library", std::string("fedkemf-bench-report"));
+    json.end_object();
+    json.key("benchmarks");
+    json.begin_array();
+    for (const Entry& entry : entries_) {
+      json.begin_object();
+      json.member("name", entry.metric);
+      json.member("run_type", std::string("iteration"));
+      json.member("real_time", entry.value);
+      json.member("cpu_time", entry.value);
+      json.member("time_unit", entry.unit);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    std::error_code ec;
+    if (!dir.empty()) std::filesystem::create_directories(dir, ec);
+    const std::string path =
+        (std::filesystem::path(dir) / ("BENCH_" + name_ + ".json")).string();
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = json.str();
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("(bench json written to %s)\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
 
 /// Emits a table with a caption, and optionally a CSV next to the binary.
 inline void emit(const std::string& caption, const utils::Table& table,

@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include "comm/channel.hpp"
 #include "core/rng.hpp"
 #include "core/tensor_ops.hpp"
@@ -154,4 +159,32 @@ BENCHMARK(BM_ResNet20Forward);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): unless the caller passes their own
+// --benchmark_out, results also land in results/BENCH_kernels.json — the
+// machine-readable record CI uploads and gates on (see
+// tools/check_bench_regression.py).
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    out_flag = "--benchmark_out=results/BENCH_kernels.json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

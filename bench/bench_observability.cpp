@@ -1,0 +1,154 @@
+// Observability overhead budget (not a paper asset).
+//
+// The metrics registry and the trace spans are compiled into the hot paths
+// permanently — the round loop, the channel, the thread pool — so their cost
+// must be provably negligible.  This bench enforces two budgets and exits
+// non-zero when either is blown:
+//
+//   1. a disabled TraceSpan (the default state) costs < 1 microsecond;
+//   2. turning the full instrumentation on (trace recording + JSONL
+//      telemetry) changes the end-to-end runtime of a federated run by less
+//      than --max-overhead (default 3%), measured as the min over --runs
+//      interleaved off/on pairs so machine noise cancels.
+//
+// Results land in results/BENCH_observability.json for the CI artifact trail.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+/// Mean cost in nanoseconds of constructing + destroying one disabled span.
+double disabled_span_ns() {
+  constexpr std::size_t kIterations = 2'000'000;
+  obs::set_trace_enabled(false);
+  utils::Stopwatch clock;
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    obs::TraceSpan span("bench.disabled");
+  }
+  return clock.seconds() * 1e9 / static_cast<double>(kIterations);
+}
+
+double counter_add_ns() {
+  constexpr std::size_t kIterations = 2'000'000;
+  obs::Counter& counter = obs::MetricsRegistry::global().counter("bench.counter");
+  utils::Stopwatch clock;
+  for (std::size_t i = 0; i < kIterations; ++i) counter.add(1);
+  return clock.seconds() * 1e9 / static_cast<double>(kIterations);
+}
+
+double histogram_observe_ns() {
+  constexpr std::size_t kIterations = 1'000'000;
+  obs::Histogram& histogram = obs::MetricsRegistry::global().histogram("bench.histogram");
+  utils::Stopwatch clock;
+  for (std::size_t i = 0; i < kIterations; ++i) {
+    histogram.observe(static_cast<double>(i % 1000) * 1e-6);
+  }
+  return clock.seconds() * 1e9 / static_cast<double>(kIterations);
+}
+
+/// One end-to-end federated run; identical work on every call (fixed seed).
+double run_once(bool instrumented, const std::string& telemetry_path) {
+  obs::trace_reset();
+  obs::set_trace_enabled(instrumented);
+
+  fl::FederationOptions fed_options;
+  fed_options.data = data::SyntheticSpec::cifar_like();
+  fed_options.data.image_size = 10;
+  fed_options.train_samples = 600;
+  fed_options.test_samples = 128;
+  fed_options.server_pool_samples = 64;
+  fed_options.num_clients = 4;
+  fed_options.seed = 7;
+  fl::Federation federation(fed_options);
+
+  const models::ModelSpec spec = model_spec("cnn2", fed_options.data, 0.5);
+  fl::LocalTrainConfig local;
+  local.epochs = 1;
+  fl::FedAvg algorithm(spec, local);
+
+  fl::RunOptions run;
+  run.rounds = 3;
+  run.sample_ratio = 1.0;
+  run.eval_every = 1;
+  if (instrumented) run.telemetry_path = telemetry_path;
+
+  utils::Stopwatch clock;
+  (void)fl::run_federated(federation, algorithm, run);
+  const double seconds = clock.seconds();
+  obs::set_trace_enabled(false);
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int runs = 5;
+  double max_overhead = 0.03;
+  double max_disabled_span_ns = 1000.0;  // the "sub-microsecond" contract
+  std::string results_dir = "results";
+  utils::Cli cli("bench_observability",
+                 "Asserts the observability layer's overhead budgets");
+  cli.flag("runs", &runs, "off/on run pairs; the min of each side is compared");
+  cli.flag("max-overhead", &max_overhead,
+           "maximum tolerated fractional slowdown with instrumentation on");
+  cli.flag("max-span-ns", &max_disabled_span_ns,
+           "maximum tolerated cost of one disabled TraceSpan, nanoseconds");
+  cli.flag("results-dir", &results_dir, "directory for BENCH json ('' = none)");
+  cli.parse(argc, argv);
+
+  const double span_ns = disabled_span_ns();
+  const double counter_ns = counter_add_ns();
+  const double histogram_ns = histogram_observe_ns();
+  std::printf("disabled TraceSpan   %8.1f ns\n", span_ns);
+  std::printf("Counter::add         %8.1f ns\n", counter_ns);
+  std::printf("Histogram::observe   %8.1f ns\n", histogram_ns);
+
+  const std::string telemetry_path = results_dir.empty()
+                                         ? std::string("bench_observability.jsonl")
+                                         : results_dir + "/bench_observability.jsonl";
+  double best_off = 1e300;
+  double best_on = 1e300;
+  run_once(false, telemetry_path);  // warm-up: page in data + code, not timed
+  for (int i = 0; i < runs; ++i) {
+    best_off = std::min(best_off, run_once(false, telemetry_path));
+    best_on = std::min(best_on, run_once(true, telemetry_path));
+  }
+  const double overhead = best_on / best_off - 1.0;
+  std::printf("end-to-end run       %.3f s off, %.3f s on  ->  %+.2f%% overhead "
+              "(min of %d runs)\n",
+              best_off, best_on, 100.0 * overhead, runs);
+
+  if (!results_dir.empty()) {
+    BenchReport report("observability");
+    report.add("disabled_span", span_ns, "ns");
+    report.add("counter_add", counter_ns, "ns");
+    report.add("histogram_observe", histogram_ns, "ns");
+    report.add("run_off", best_off * 1e9, "ns");
+    report.add("run_on", best_on * 1e9, "ns");
+    report.write(results_dir);
+  }
+
+  bool ok = true;
+  if (span_ns > max_disabled_span_ns) {
+    std::fprintf(stderr, "FAIL: disabled TraceSpan costs %.1f ns (budget %.1f ns)\n",
+                 span_ns, max_disabled_span_ns);
+    ok = false;
+  }
+  if (overhead > max_overhead) {
+    std::fprintf(stderr,
+                 "FAIL: instrumentation overhead %.2f%% exceeds the %.2f%% budget\n",
+                 100.0 * overhead, 100.0 * max_overhead);
+    ok = false;
+  }
+  if (ok) std::printf("all observability budgets hold\n");
+  return ok ? 0 : 1;
+}

@@ -8,12 +8,19 @@
 //
 // The printed per-round history shows how many of each cohort completed,
 // dropped, or straggled, plus the simulated wall-clock each round consumed.
+//
+// Observability hooks:
+//   --telemetry run.jsonl   stream one JSON record per round (phase timings,
+//                           traffic, cohort fate) plus a closing run summary
+//   --trace trace.json      export a chrome://tracing / Perfetto timeline of
+//                           the whole run
 
 #include <cstdio>
 #include <limits>
 
 #include "fl/fedkemf.hpp"
 #include "fl/runner.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "utils/cli.hpp"
 
@@ -30,6 +37,8 @@ int main(int argc, char** argv) {
   double deadline = 0.0;  // 0 = no deadline
   double adversary_fraction = 0.0;
   std::size_t seed = 1;
+  std::string telemetry_path;
+  std::string trace_path;
 
   utils::Cli cli("lossy_network", "FedKEMF on an unreliable, heterogeneous network");
   cli.flag("clients", &clients, "number of federated clients");
@@ -43,7 +52,11 @@ int main(int argc, char** argv) {
   cli.flag("adversary-fraction", &adversary_fraction,
            "fraction of clients that sign-flip their uploads");
   cli.flag("seed", &seed, "experiment seed");
+  cli.flag("telemetry", &telemetry_path, "write per-round JSONL telemetry to this path");
+  cli.flag("trace", &trace_path, "export a chrome://tracing JSON to this path");
   cli.parse(argc, argv);
+
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
 
   fl::FederationOptions fed_options;
   fed_options.data = data::SyntheticSpec::cifar_like();
@@ -80,6 +93,7 @@ int main(int argc, char** argv) {
       deadline > 0.0 ? deadline : std::numeric_limits<double>::infinity();
   run.sim->adversary.poison_fraction = adversary_fraction;
   run.sim->adversary.poison_mode = sim::PoisonMode::kSignFlip;
+  run.telemetry_path = telemetry_path;
 
   const fl::RunResult result = fl::run_federated(federation, algorithm, run);
 
@@ -96,5 +110,18 @@ int main(int argc, char** argv) {
               result.total_dropped, result.total_stragglers, result.rounds_completed);
   std::printf("simulated time  %.1f s; measured traffic %.2f MB\n", result.sim_seconds,
               static_cast<double>(result.total_bytes) / (1024.0 * 1024.0));
+  std::printf("\ncompute vs eval wall-clock per round\n%s\n",
+              fl::history_table(result).to_markdown().c_str());
+  if (!telemetry_path.empty()) {
+    std::printf("telemetry JSONL -> %s\n", telemetry_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (obs::trace_export(trace_path)) {
+      std::printf("trace (%zu events) -> %s  [load in chrome://tracing or ui.perfetto.dev]\n",
+                  obs::trace_event_count(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+    }
+  }
   return 0;
 }

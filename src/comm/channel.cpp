@@ -5,6 +5,8 @@
 
 #include "comm/compression.hpp"
 #include "core/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fedkemf::comm {
 
@@ -15,6 +17,33 @@ std::string hex_u32(std::uint32_t v) {
   std::snprintf(buffer, sizeof(buffer), "0x%08X", v);
   return buffer;
 }
+
+/// Cached instrument references — deliver() sits on every wire transfer.
+struct CommMetrics {
+  obs::Counter& attempts;
+  obs::Counter& delivered;
+  obs::Counter& dropped;
+  obs::Counter& corrupted;
+  obs::Counter& retries;
+  obs::Counter& failed;
+  obs::Counter& bytes;
+  obs::Histogram& payload_bytes;
+
+  static CommMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static CommMetrics metrics{
+        registry.counter("comm.attempts"),
+        registry.counter("comm.delivered"),
+        registry.counter("comm.dropped"),
+        registry.counter("comm.corrupted"),
+        registry.counter("comm.retries"),
+        registry.counter("comm.transfer_failed"),
+        registry.counter("comm.bytes"),
+        registry.histogram("comm.payload_bytes", obs::Histogram::byte_bounds()),
+    };
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -201,6 +230,8 @@ void Channel::deliver(const std::vector<std::uint8_t>& payload,
                       const std::function<void(std::span<const std::uint8_t>)>& decode,
                       std::size_t round, std::size_t client_id, Direction direction,
                       const std::string& payload_name) {
+  obs::TraceSpan span("comm.deliver");
+  CommMetrics& metrics = CommMetrics::get();
   const std::size_t max_attempts =
       fault_hook_ != nullptr ? std::max<std::size_t>(1, retry_.max_attempts) : 1;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
@@ -214,23 +245,32 @@ void Channel::deliver(const std::vector<std::uint8_t>& payload,
     if (meter_ != nullptr) {
       meter_->record({round, client_id, direction, wire.size(), payload_name});
     }
+    metrics.attempts.add(1);
+    if (attempt > 0) metrics.retries.add(1);
+    metrics.bytes.add(wire.size());
+    metrics.payload_bytes.observe(static_cast<double>(wire.size()));
     switch (action) {
       case FaultHook::Action::kDrop:
+        metrics.dropped.add(1);
         continue;
       case FaultHook::Action::kDeliver:
         decode(wire);  // genuine decode errors (arch mismatch, bugs) propagate
+        metrics.delivered.add(1);
         return;
       case FaultHook::Action::kCorrupt:
+        metrics.corrupted.add(1);
         try {
           decode(wire);
           // Corruption that escapes every integrity check is delivered as-is
           // (cannot happen for wire format v2, whose CRC covers the payload).
+          metrics.delivered.add(1);
           return;
         } catch (const std::exception&) {
           continue;  // detected — retry per policy
         }
     }
   }
+  metrics.failed.add(1);
   throw TransferFailed("transfer failed: '" + payload_name + "' round " +
                        std::to_string(round) + " client " + std::to_string(client_id) +
                        " gave up after " + std::to_string(max_attempts) + " attempts");
@@ -239,7 +279,11 @@ void Channel::deliver(const std::vector<std::uint8_t>& payload,
 std::size_t Channel::transfer(nn::Module& src, nn::Module& dst, std::size_t round,
                               std::size_t client_id, Direction direction,
                               const std::string& payload_name) {
-  const std::vector<std::uint8_t> payload = serialize_model(src);
+  std::vector<std::uint8_t> payload;
+  {
+    obs::TraceSpan span("comm.serialize");
+    payload = serialize_model(src);
+  }
   deliver(payload,
           [&dst](std::span<const std::uint8_t> bytes) { deserialize_model(bytes, dst); },
           round, client_id, direction, payload_name);
@@ -249,7 +293,11 @@ std::size_t Channel::transfer(nn::Module& src, nn::Module& dst, std::size_t roun
 std::size_t Channel::transfer_compressed(nn::Module& src, nn::Module& dst, std::size_t round,
                                          std::size_t client_id, Direction direction,
                                          const std::string& payload_name, Codec codec) {
-  const std::vector<std::uint8_t> payload = encode_model(src, codec);
+  std::vector<std::uint8_t> payload;
+  {
+    obs::TraceSpan span("comm.serialize");
+    payload = encode_model(src, codec);
+  }
   deliver(payload,
           [&dst](std::span<const std::uint8_t> bytes) { decode_model(bytes, dst); },
           round, client_id, direction, payload_name + "/" + to_string(codec));

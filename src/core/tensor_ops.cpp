@@ -6,6 +6,33 @@
 #include <stdexcept>
 #include <vector>
 
+#if defined(FEDKEMF_PROFILE_KERNELS)
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+// Kernel-level profiling (FEDKEMF_PROFILE_KERNELS=ON): a trace span plus FLOP
+// and call counters on every GEMM / im2col / col2im.  The kernels run tens of
+// thousands of times per round, so even a few relaxed atomics are a
+// measurable tax — which is why this layer is a compile-time switch rather
+// than the runtime toggle the coarser spans use.
+#define FEDKEMF_KERNEL_SPAN(name) ::fedkemf::obs::TraceSpan fedkemf_kernel_span_(name)
+#define FEDKEMF_KERNEL_COUNT(counter_name, flops_name, flops)                      \
+  do {                                                                             \
+    static ::fedkemf::obs::Counter& fedkemf_calls_ =                               \
+        ::fedkemf::obs::MetricsRegistry::global().counter(counter_name);           \
+    static ::fedkemf::obs::Counter& fedkemf_flops_ =                               \
+        ::fedkemf::obs::MetricsRegistry::global().counter(flops_name);             \
+    fedkemf_calls_.add(1);                                                         \
+    fedkemf_flops_.add(static_cast<std::uint64_t>(flops));                         \
+  } while (false)
+#else
+#define FEDKEMF_KERNEL_SPAN(name) \
+  do {                            \
+  } while (false)
+#define FEDKEMF_KERNEL_COUNT(counter_name, flops_name, flops) \
+  do {                                                        \
+  } while (false)
+#endif
+
 namespace fedkemf::core {
 namespace {
 
@@ -107,6 +134,8 @@ void gemm(Transpose trans_a, Transpose trans_b,
   const std::size_t lda = a_cols;
   const std::size_t ldb = b_cols;
   const std::size_t ldc = n;
+  FEDKEMF_KERNEL_SPAN("kernel.gemm");
+  FEDKEMF_KERNEL_COUNT("kernel.gemm.calls", "kernel.gemm.flops", 2 * m * n * k);
   if (trans_a == Transpose::kNo && trans_b == Transpose::kNo) {
     gemm_nn_blocked(m, n, k, alpha, a.data(), lda, b.data(), ldb, beta, c.data(), ldc);
   } else {
@@ -143,6 +172,9 @@ void im2col(const Tensor& input, const Conv2dGeometry& geom, Tensor& columns) {
   if (columns.numel() != col_rows * col_cols) {
     throw std::invalid_argument("im2col: columns numel mismatch");
   }
+  FEDKEMF_KERNEL_SPAN("kernel.im2col");
+  FEDKEMF_KERNEL_COUNT("kernel.im2col.calls", "kernel.im2col.elements",
+                       col_rows * col_cols);
   const float* __restrict src = input.data();
   float* __restrict dst = columns.data();
   const std::size_t in_hw = geom.in_h * geom.in_w;
@@ -189,6 +221,9 @@ void col2im(const Tensor& columns, const Conv2dGeometry& geom, Tensor& input_gra
   if (input_grad.numel() != geom.batch * geom.in_channels * geom.in_h * geom.in_w) {
     throw std::invalid_argument("col2im: input_grad numel mismatch");
   }
+  FEDKEMF_KERNEL_SPAN("kernel.col2im");
+  FEDKEMF_KERNEL_COUNT("kernel.col2im.calls", "kernel.col2im.elements",
+                       col_rows * col_cols);
   input_grad.zero();
   const float* __restrict src = columns.data();
   float* __restrict dst = input_grad.data();

@@ -20,6 +20,7 @@
 #include "fl/federation.hpp"
 #include "nn/module.hpp"
 #include "nn/optim.hpp"
+#include "obs/telemetry.hpp"
 #include "utils/thread_pool.hpp"
 
 namespace fedkemf::sim {
@@ -71,12 +72,20 @@ class Algorithm {
   /// rejections + reputation exclusions); 0 for undefended algorithms.
   virtual std::size_t last_rejected_updates() const { return 0; }
 
+  /// Per-phase time accumulated by round().  The runner resets it before each
+  /// round and snapshots it after for the telemetry sink.  Client-side phases
+  /// recorded from parallel workers are cumulative thread-seconds; they
+  /// partition the round's wall-clock only under inline execution
+  /// (RunOptions::num_threads = 0).
+  obs::PhaseAccumulator& phase_accumulator() { return phases_; }
+
  protected:
   /// The simulator's Byzantine-role model, or nullptr when no simulator is
   /// installed or no adversary fraction is configured.
   const sim::AdversaryModel* adversary_model() const;
 
   sim::Simulator* simulator_ = nullptr;
+  obs::PhaseAccumulator phases_;
 };
 
 // ---- Shared local-update machinery ----

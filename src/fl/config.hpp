@@ -94,6 +94,10 @@ struct RunOptions {
   std::optional<sim::SimOptions> sim;
   /// Divergence watchdog with rollback.  Unset = rounds are always accepted.
   std::optional<WatchdogOptions> watchdog;
+  /// When non-empty, the runner streams one JSONL record per round (phase
+  /// timings, traffic, cohort fate, defense counters) plus a closing
+  /// {"kind":"run"} summary to this path.  Empty = no telemetry file.
+  std::string telemetry_path;
 };
 
 /// FedKEMF-specific knobs (defaults follow the paper where it specifies and

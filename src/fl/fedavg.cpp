@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "models/flops.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace fedkemf::fl {
@@ -57,6 +58,8 @@ void FedAvg::after_local_update(std::size_t round_index, std::size_t client_id,
 
 void FedAvg::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
   (void)round_index;
+  obs::ScopedPhaseTimer fuse_timer(phases_, obs::Phase::kFuse);
+  obs::TraceSpan span("fl.fuse");
   std::vector<nn::Module*> staged;
   staged.reserve(sampled.size());
   for (std::size_t id : sampled) staged.push_back(slots_.at(id).staged.get());
@@ -91,16 +94,22 @@ double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampl
   last_results_.assign(sampled.size(), {});
   completed_.assign(sampled.size(), 0);
 
-  // Slots must exist before the parallel section (lazy build mutates the
-  // vector's elements; doing it up front keeps the loop body race-free).
-  for (std::size_t id : sampled) slot(id);
-  // Warm the FLOPs cache outside the parallel section too.
-  if (simulator_ != nullptr && !sampled.empty()) {
-    client_training_flops(sampled.front(), round_index);
+  {
+    // Slot instantiation is part of standing the clients up, so it is charged
+    // to the local-train phase alongside the training itself.
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
+    // Slots must exist before the parallel section (lazy build mutates the
+    // vector's elements; doing it up front keeps the loop body race-free).
+    for (std::size_t id : sampled) slot(id);
+    // Warm the FLOPs cache outside the parallel section too.
+    if (simulator_ != nullptr && !sampled.empty()) {
+      client_training_flops(sampled.front(), round_index);
+    }
   }
 
   const sim::AdversaryModel* adversary = adversary_model();
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    obs::TraceSpan client_span("fl.client");
     const std::size_t id = sampled[i];
     if (simulator_ != nullptr && !simulator_->begin_client(round_index, id)) {
       return;  // device offline this round: no traffic, no training
@@ -109,34 +118,46 @@ double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampl
     const sim::AdversaryRole role =
         adversary != nullptr ? adversary->role(id) : sim::AdversaryRole::kHonest;
     try {
-      fed.channel().transfer(*global_, *s.model, round_index, id,
-                             comm::Direction::kDownlink, "model");
+      {
+        obs::ScopedPhaseTimer timer(phases_, obs::Phase::kUpload);
+        fed.channel().transfer(*global_, *s.model, round_index, id,
+                               comm::Direction::kDownlink, "model");
+      }
       LocalTrainResult result;
-      if (role == sim::AdversaryRole::kFreeRider) {
-        // Free-riders skip training and lie about their step count (a
-        // truthful tau of 0 would trip FedNova's zero-step check).
-        adversary->free_ride(*s.model, round_index, id);
-        result.steps = 1;
-      } else {
-        std::vector<std::size_t> label_map;
-        if (role == sim::AdversaryRole::kLabelFlip) {
-          label_map = adversary->label_permutation(fed.train_set().num_classes(), id);
-        }
-        const GradHook hook = make_grad_hook(id, *s.model);
-        result = supervised_local_update(
-            *s.model, fed.train_set(), fed.client_shard(id),
-            local_config_.at_round(round_index), client_stream(fed, round_index, id),
-            hook, label_map);
-        if (role == sim::AdversaryRole::kPoison) {
-          adversary->poison_update(*s.model, round_index, id);
+      {
+        obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
+        obs::TraceSpan train_span("fl.local_train");
+        if (role == sim::AdversaryRole::kFreeRider) {
+          // Free-riders skip training and lie about their step count (a
+          // truthful tau of 0 would trip FedNova's zero-step check).
+          adversary->free_ride(*s.model, round_index, id);
+          result.steps = 1;
+        } else {
+          std::vector<std::size_t> label_map;
+          if (role == sim::AdversaryRole::kLabelFlip) {
+            label_map = adversary->label_permutation(fed.train_set().num_classes(), id);
+          }
+          const GradHook hook = make_grad_hook(id, *s.model);
+          result = supervised_local_update(
+              *s.model, fed.train_set(), fed.client_shard(id),
+              local_config_.at_round(round_index), client_stream(fed, round_index, id),
+              hook, label_map);
+          if (role == sim::AdversaryRole::kPoison) {
+            adversary->poison_update(*s.model, round_index, id);
+          }
         }
       }
       if (simulator_ != nullptr && simulator_->mid_round_failure(round_index, id)) {
         return;  // died after training, before upload
       }
-      fed.channel().transfer(*s.model, *s.staged, round_index, id,
-                             comm::Direction::kUplink, "model");
-      after_local_update(round_index, id, s, result);
+      {
+        // after_local_update is charged here too: the subclass hooks compute
+        // and meter the extra uplink payloads (tau, control variates).
+        obs::ScopedPhaseTimer timer(phases_, obs::Phase::kUpload);
+        fed.channel().transfer(*s.model, *s.staged, round_index, id,
+                               comm::Direction::kUplink, "model");
+        after_local_update(round_index, id, s, result);
+      }
       if (simulator_ != nullptr &&
           !simulator_->finish_client(round_index, id,
                                      client_training_flops(id, round_index))) {

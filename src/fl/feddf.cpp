@@ -7,6 +7,7 @@
 #include "fl/defense/sanitize.hpp"
 #include "fl/fedkemf.hpp"  // ensemble_logits
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 
 namespace fedkemf::fl {
 namespace {
@@ -103,8 +104,12 @@ void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> samp
 
   std::vector<std::size_t> probe_rows(batch_size);
   for (std::size_t i = 0; i < batch_size; ++i) probe_rows[i] = i;
-  const std::vector<std::size_t> members =
-      screen_members(sampled, gather_pool(pool, probe_rows));
+  std::vector<std::size_t> members;
+  {
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kSanitize);
+    obs::TraceSpan span("fl.sanitize");
+    members = screen_members(sampled, gather_pool(pool, probe_rows));
+  }
   if (members.empty()) return;  // nothing trustworthy: keep last global
 
   std::vector<nn::Module*> teachers;
@@ -118,13 +123,21 @@ void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> samp
   // Warm start from the screened members — robust weight-space fusion when a
   // robust logit strategy is selected, the shard-weighted FedAvg rule
   // otherwise — then refine by distilling their ensemble on the server pool.
+  // The default branch is timed inside FedAvg::aggregate; the robust branches
+  // charge kFuse here.
   switch (options_.ensemble) {
-    case EnsembleStrategy::kTrimmedMean:
+    case EnsembleStrategy::kTrimmedMean: {
+      obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
+      obs::TraceSpan span("fl.fuse");
       trimmed_mean_state(teachers, global_model());
       break;
-    case EnsembleStrategy::kMedian:
+    }
+    case EnsembleStrategy::kMedian: {
+      obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
+      obs::TraceSpan span("fl.fuse");
       median_state(teachers, global_model());
       break;
+    }
     default:
       FedAvg::aggregate(round_index, members);
       break;
@@ -136,6 +149,8 @@ void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> samp
     for (std::size_t id : members) member_weights.push_back(reputation_->weight(id));
   }
 
+  obs::ScopedPhaseTimer distill_timer(phases_, obs::Phase::kDistill);
+  obs::TraceSpan distill_span("fl.distill");
   nn::DistillationKl kd(options_.distill_temperature);
   global_model().set_training(true);
   core::Rng rng = fed.root_rng().fork(0xFEDD1F00ULL + round_index);

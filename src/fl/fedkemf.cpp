@@ -11,6 +11,7 @@
 #include "fl/defense/sanitize.hpp"
 #include "models/flops.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace fedkemf::fl {
@@ -237,59 +238,75 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
   last_distill_loss_ = 0.0;
   last_rejected_ = 0;
   const sim::AdversaryModel* adversary = adversary_model();
-  for (std::size_t id : sampled) slot(id);
-  if (simulator_ != nullptr && !sampled.empty()) {
-    client_training_flops(sampled.front(), round_index);  // warm cache, single thread
+  {
+    // Slot instantiation (local + knowledge + staged nets) counts as standing
+    // the clients up: charged to local-train like the DML pass itself.
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
+    for (std::size_t id : sampled) slot(id);
+    if (simulator_ != nullptr && !sampled.empty()) {
+      client_training_flops(sampled.front(), round_index);  // warm cache, single thread
+    }
   }
 
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    obs::TraceSpan client_span("fl.client");
     const std::size_t id = sampled[i];
     if (simulator_ != nullptr && !simulator_->begin_client(round_index, id)) {
       return;  // device offline this round
     }
     Slot& s = slots_[id];
     try {
-      // Only the tiny knowledge network crosses the wire, in both directions.
-      if (options_.payload_codec == comm::Codec::kFp32) {
-        fed.channel().transfer(*global_knowledge_, *s.knowledge, round_index, id,
-                               comm::Direction::kDownlink, "knowledge_net");
-      } else {
-        fed.channel().transfer_compressed(*global_knowledge_, *s.knowledge, round_index,
-                                          id, comm::Direction::kDownlink, "knowledge_net",
-                                          options_.payload_codec);
+      {
+        obs::ScopedPhaseTimer timer(phases_, obs::Phase::kUpload);
+        // Only the tiny knowledge network crosses the wire, in both directions.
+        if (options_.payload_codec == comm::Codec::kFp32) {
+          fed.channel().transfer(*global_knowledge_, *s.knowledge, round_index, id,
+                                 comm::Direction::kDownlink, "knowledge_net");
+        } else {
+          fed.channel().transfer_compressed(*global_knowledge_, *s.knowledge, round_index,
+                                            id, comm::Direction::kDownlink,
+                                            "knowledge_net", options_.payload_codec);
+        }
       }
       const sim::AdversaryRole role =
           adversary != nullptr ? adversary->role(id) : sim::AdversaryRole::kHonest;
       DmlResult result;
-      if (role == sim::AdversaryRole::kFreeRider) {
-        // Free-riders skip training entirely and upload either the stale
-        // broadcast they just received or random weights.
-        adversary->free_ride(*s.knowledge, round_index, id);
-      } else {
-        std::vector<std::size_t> label_map;
-        if (role == sim::AdversaryRole::kLabelFlip) {
-          label_map = adversary->label_permutation(fed.train_set().num_classes(), id);
-        }
-        result = deep_mutual_update(*s.local_model, *s.knowledge,
-                                    fed.train_set(), fed.client_shard(id),
-                                    local_config_.at_round(round_index),
-                                    options_.dml_kl_weight,
-                                    client_stream(fed, round_index, id),
-                                    options_.dml_clip_norm, label_map);
-        if (role == sim::AdversaryRole::kPoison) {
-          adversary->poison_update(*s.knowledge, round_index, id);
+      {
+        obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
+        obs::TraceSpan train_span("fl.local_train");
+        if (role == sim::AdversaryRole::kFreeRider) {
+          // Free-riders skip training entirely and upload either the stale
+          // broadcast they just received or random weights.
+          adversary->free_ride(*s.knowledge, round_index, id);
+        } else {
+          std::vector<std::size_t> label_map;
+          if (role == sim::AdversaryRole::kLabelFlip) {
+            label_map = adversary->label_permutation(fed.train_set().num_classes(), id);
+          }
+          result = deep_mutual_update(*s.local_model, *s.knowledge,
+                                      fed.train_set(), fed.client_shard(id),
+                                      local_config_.at_round(round_index),
+                                      options_.dml_kl_weight,
+                                      client_stream(fed, round_index, id),
+                                      options_.dml_clip_norm, label_map);
+          if (role == sim::AdversaryRole::kPoison) {
+            adversary->poison_update(*s.knowledge, round_index, id);
+          }
         }
       }
       if (simulator_ != nullptr && simulator_->mid_round_failure(round_index, id)) {
         return;  // crashed after DML, before the upload
       }
-      if (options_.payload_codec == comm::Codec::kFp32) {
-        fed.channel().transfer(*s.knowledge, *s.staged, round_index, id,
-                               comm::Direction::kUplink, "knowledge_net");
-      } else {
-        fed.channel().transfer_compressed(*s.knowledge, *s.staged, round_index, id,
-                                          comm::Direction::kUplink, "knowledge_net",
-                                          options_.payload_codec);
+      {
+        obs::ScopedPhaseTimer timer(phases_, obs::Phase::kUpload);
+        if (options_.payload_codec == comm::Codec::kFp32) {
+          fed.channel().transfer(*s.knowledge, *s.staged, round_index, id,
+                                 comm::Direction::kUplink, "knowledge_net");
+        } else {
+          fed.channel().transfer_compressed(*s.knowledge, *s.staged, round_index, id,
+                                            comm::Direction::kUplink, "knowledge_net",
+                                            options_.payload_codec);
+        }
       }
       if (simulator_ != nullptr &&
           !simulator_->finish_client(round_index, id,
@@ -312,6 +329,8 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
 
   if (!survivors.empty()) {
     if (options_.fuse_by_weight_average) {
+      obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
+      obs::TraceSpan span("fl.fuse");
       fuse_weight_average(survivors);
     } else {
       distill_ensemble(round_index, survivors);
@@ -346,9 +365,14 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
   // fixed so scores are comparable across rounds and thread-pool sizes.
   std::vector<std::size_t> probe_rows(batch_size);
   for (std::size_t i = 0; i < batch_size; ++i) probe_rows[i] = i;
-  const core::Tensor probe = gather_pool(pool, probe_rows);
 
-  const std::vector<std::size_t> members = screen_members(sampled, probe);
+  std::vector<std::size_t> members;
+  {
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kSanitize);
+    obs::TraceSpan span("fl.sanitize");
+    const core::Tensor probe = gather_pool(pool, probe_rows);
+    members = screen_members(sampled, probe);
+  }
   if (members.empty()) return;  // every upload screened out: keep last global
 
   // Teachers predict in eval mode with frozen statistics.
@@ -360,22 +384,26 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
     teachers.push_back(t);
   }
 
-  // Warm start: fuse the client knowledge networks before distilling.  This
-  // mirrors FedDF (Lin et al. 2020), which the paper's fusion step is
-  // modeled on, and stabilizes early rounds when the student is random.
-  // Under a robust logit strategy the weight-space fusion must be robust
-  // too — a plain average is exactly the aggregation a sign-flip minority
-  // breaks (see robust_ensemble.hpp).
-  switch (options_.ensemble) {
-    case EnsembleStrategy::kTrimmedMean:
-      trimmed_mean_state(teachers, *global_knowledge_);
-      break;
-    case EnsembleStrategy::kMedian:
-      median_state(teachers, *global_knowledge_);
-      break;
-    default:
-      fuse_weight_average(members);
-      break;
+  {
+    // Warm start: fuse the client knowledge networks before distilling.  This
+    // mirrors FedDF (Lin et al. 2020), which the paper's fusion step is
+    // modeled on, and stabilizes early rounds when the student is random.
+    // Under a robust logit strategy the weight-space fusion must be robust
+    // too — a plain average is exactly the aggregation a sign-flip minority
+    // breaks (see robust_ensemble.hpp).
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
+    obs::TraceSpan span("fl.fuse");
+    switch (options_.ensemble) {
+      case EnsembleStrategy::kTrimmedMean:
+        trimmed_mean_state(teachers, *global_knowledge_);
+        break;
+      case EnsembleStrategy::kMedian:
+        median_state(teachers, *global_knowledge_);
+        break;
+      default:
+        fuse_weight_average(members);
+        break;
+    }
   }
 
   // Under reputation + avg-logits, members are soft-weighted by their score
@@ -386,6 +414,8 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
     for (std::size_t id : members) member_weights.push_back(reputation_->weight(id));
   }
 
+  obs::ScopedPhaseTimer distill_timer(phases_, obs::Phase::kDistill);
+  obs::TraceSpan distill_span("fl.distill");
   nn::DistillationKl kd(options_.distill_temperature);
   global_knowledge_->set_training(true);
   core::Rng rng = fed.root_rng().fork(0xD157111ULL + round_index);

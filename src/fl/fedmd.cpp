@@ -5,6 +5,7 @@
 
 #include "core/serialize.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 
 namespace fedkemf::fl {
 namespace {
@@ -67,7 +68,10 @@ double FedMd::round(std::size_t round_index, std::span<const std::size_t> sample
                     utils::ThreadPool& pool) {
   if (sampled.empty()) throw std::invalid_argument("FedMd::round: no sampled clients");
   Federation& fed = *federation_;
-  for (std::size_t id : sampled) slot(id);
+  {
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
+    for (std::size_t id : sampled) slot(id);
+  }
 
   // 1. Select this round's public batch (indices implied by the shared seed,
   //    so only the logits cross the wire).
@@ -85,6 +89,8 @@ double FedMd::round(std::size_t round_index, std::span<const std::size_t> sample
   std::vector<core::Tensor> member_logits(sampled.size());
   std::vector<double> losses(sampled.size(), 0.0);
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
+    obs::TraceSpan span("fl.client");
     const std::size_t id = sampled[i];
     nn::Module& model = *slots_[id].model;
     model.set_training(false);
@@ -95,17 +101,24 @@ double FedMd::round(std::size_t round_index, std::span<const std::size_t> sample
 
   // 3. Consensus = mean of the uploaded logits (Li & Wang average class
   //    scores); broadcast back to the sampled clients.
-  core::Tensor consensus = core::Tensor::zeros(member_logits.front().shape());
-  const float inv = 1.0f / static_cast<float>(member_logits.size());
-  for (const core::Tensor& logits : member_logits) consensus.add_scaled_(logits, inv);
-  for (std::size_t id : sampled) {
-    fed.channel().transfer_raw(logits_bytes, round_index, id, comm::Direction::kDownlink,
-                               "consensus_logits");
+  core::Tensor consensus;
+  {
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
+    obs::TraceSpan span("fl.fuse");
+    consensus = core::Tensor::zeros(member_logits.front().shape());
+    const float inv = 1.0f / static_cast<float>(member_logits.size());
+    for (const core::Tensor& logits : member_logits) consensus.add_scaled_(logits, inv);
+    for (std::size_t id : sampled) {
+      fed.channel().transfer_raw(logits_bytes, round_index, id,
+                                 comm::Direction::kDownlink, "consensus_logits");
+    }
   }
 
   // 4. Digest (KD toward the consensus on the public batch) + revisit (local
   //    supervised pass), per client, in parallel.
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
+    obs::TraceSpan span("fl.client");
     const std::size_t id = sampled[i];
     nn::Module& model = *slots_[id].model;
     model.set_training(true);
@@ -127,6 +140,8 @@ double FedMd::round(std::size_t round_index, std::span<const std::size_t> sample
 
   // 5. Server-side evaluand: distill the consensus into the student model.
   {
+    obs::ScopedPhaseTimer timer(phases_, obs::Phase::kDistill);
+    obs::TraceSpan span("fl.distill");
     server_student_->set_training(true);
     nn::DistillationKl kd(options_.digest_temperature);
     for (std::size_t epoch = 0; epoch < options_.student_epochs; ++epoch) {

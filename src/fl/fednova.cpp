@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace fedkemf::fl {
 
@@ -43,6 +44,8 @@ void FedNova::after_local_update(std::size_t round_index, std::size_t client_id,
 
 void FedNova::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
   (void)round_index;
+  obs::ScopedPhaseTimer fuse_timer(phases_, obs::Phase::kFuse);
+  obs::TraceSpan span("fl.fuse");
   Federation& fed = federation();
   double total_weight = 0.0;
   for (std::size_t id : sampled) {

@@ -97,4 +97,22 @@ double RunResult::mean_round_bytes() const {
   return total / static_cast<double>(history.size());
 }
 
+utils::Table history_table(const RunResult& result) {
+  utils::Table table({"Round", "Accuracy", "Train loss", "Compute (s)", "Eval (s)",
+                      "Round bytes", "Completed", "Rejected"});
+  for (const RoundRecord& record : result.history) {
+    table.row()
+        .cell(record.round + 1)
+        .cell(record.accuracy, 4)
+        .cell(record.train_loss, 4)
+        .cell(record.round_seconds, 3)
+        .cell(record.eval_seconds, 3)
+        .cell(record.round_bytes)
+        .cell(std::to_string(record.clients_completed) + "/" +
+              std::to_string(record.clients_sampled))
+        .cell(record.rejected_updates);
+  }
+  return table;
+}
+
 }  // namespace fedkemf::fl

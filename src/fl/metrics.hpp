@@ -8,6 +8,8 @@
 
 #include "data/dataset.hpp"
 #include "nn/module.hpp"
+#include "obs/telemetry.hpp"
+#include "utils/table.hpp"
 
 namespace fedkemf::fl {
 
@@ -34,7 +36,11 @@ struct RoundRecord {
   double train_loss = 0.0;          ///< mean local training loss this round
   std::size_t round_bytes = 0;      ///< traffic metered during this round
   std::size_t cumulative_bytes = 0;
-  double round_seconds = 0.0;       ///< wall-clock compute time of the round
+  double round_seconds = 0.0;       ///< wall-clock compute time of the round (no eval)
+  double eval_seconds = 0.0;        ///< wall-clock of the evaluation that follows
+  /// Per-phase breakdown of round_seconds (cumulative thread-seconds; see
+  /// obs/telemetry.hpp for the parallel-pool caveat).
+  obs::PhaseSeconds phases;
 
   // Cohort fate under network simulation (RunOptions::sim).  Without a
   // simulator every sampled client completes and sim_seconds stays zero.
@@ -86,5 +92,9 @@ struct RunResult {
   /// Mean of round_bytes over recorded rounds.
   double mean_round_bytes() const;
 };
+
+/// Per-round history rendered as a table, with compute and evaluation
+/// wall-clock in separate columns (they used to be conflated in one number).
+utils::Table history_table(const RunResult& result);
 
 }  // namespace fedkemf::fl

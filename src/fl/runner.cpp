@@ -9,11 +9,61 @@
 #include <stdexcept>
 
 #include "fl/defense/sanitize.hpp"  // state_finite
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "utils/logging.hpp"
 #include "utils/stopwatch.hpp"
 
 namespace fedkemf::fl {
+namespace {
+
+/// Run-loop instruments, resolved once (see obs/metrics.hpp).
+struct RunnerMetrics {
+  obs::Counter& rounds;
+  obs::Counter& evals;
+  obs::Counter& rollbacks;
+  obs::Counter& rejected_updates;
+  obs::Histogram& round_seconds;
+
+  static RunnerMetrics& get() {
+    auto& registry = obs::MetricsRegistry::global();
+    static RunnerMetrics metrics{
+        registry.counter("fl.rounds"),
+        registry.counter("fl.evals"),
+        registry.counter("fl.rollbacks"),
+        registry.counter("fl.rejected_updates"),
+        registry.histogram("fl.round_seconds"),
+    };
+    return metrics;
+  }
+};
+
+obs::RoundTelemetry to_telemetry(const RoundRecord& record, bool evaluated,
+                                 double server_loss) {
+  obs::RoundTelemetry t;
+  t.round = record.round;
+  t.round_seconds = record.round_seconds;
+  t.eval_seconds = record.eval_seconds;
+  t.phases = record.phases;
+  t.round_bytes = record.round_bytes;
+  t.cumulative_bytes = record.cumulative_bytes;
+  t.clients_sampled = record.clients_sampled;
+  t.clients_completed = record.clients_completed;
+  t.clients_dropped = record.clients_dropped;
+  t.clients_straggled = record.clients_straggled;
+  t.sim_seconds = record.sim_seconds;
+  t.rejected_updates = record.rejected_updates;
+  t.rolled_back = record.rolled_back;
+  t.evaluated = evaluated;
+  t.accuracy = record.accuracy;
+  t.train_loss = record.train_loss;
+  t.server_loss = server_loss;
+  return t;
+}
+
+}  // namespace
 
 std::size_t sampled_client_count(std::size_t population, double ratio) {
   if (population == 0) {
@@ -57,6 +107,17 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
   result.algorithm = algorithm.name();
   std::size_t bytes_before_round = 0;
 
+  std::unique_ptr<obs::RunTelemetry> telemetry;
+  if (!options.telemetry_path.empty()) {
+    telemetry = std::make_unique<obs::RunTelemetry>(options.telemetry_path);
+    if (!telemetry->ok()) {
+      utils::log_warn("runner") << "telemetry sink failed to open: "
+                                << options.telemetry_path;
+      telemetry.reset();
+    }
+  }
+  RunnerMetrics& metrics = RunnerMetrics::get();
+
   // Divergence watchdog: keep a snapshot of the last accepted global model
   // and its last evaluated accuracy; a poisoned round (non-finite losses or
   // weights, or an accuracy collapse) is rolled back to the snapshot and the
@@ -66,15 +127,23 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
   if (options.watchdog) last_good = nn::snapshot_state(algorithm.global_model());
 
   for (std::size_t round = 0; round < options.rounds; ++round) {
+    obs::TraceSpan round_span("fl.round");
     utils::Stopwatch round_clock;
     const std::size_t count =
         sampled_client_count(federation.num_clients(), options.sample_ratio);
     const std::vector<std::size_t> sampled = selector->select(federation, round, count);
     if (simulator) simulator->begin_round(round, sampled.size());
+    algorithm.phase_accumulator().reset();
     const double train_loss = algorithm.round(round, sampled, pool);
+    // Compute wall-clock, captured before the watchdog scan and evaluation so
+    // round_seconds is the round's training/fusion cost alone.
+    const double round_seconds = round_clock.seconds();
+    metrics.rounds.add(1);
+    metrics.round_seconds.observe(round_seconds);
     result.rounds_completed = round + 1;
     const std::size_t rejected = algorithm.last_rejected_updates();
     result.total_rejected_updates += rejected;
+    metrics.rejected_updates.add(rejected);
 
     sim::RoundReport sim_report;
     if (simulator) {
@@ -92,15 +161,6 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
       rolled_back = true;
     }
 
-    const bool last_round = round + 1 == options.rounds;
-    const std::size_t every = std::max<std::size_t>(1, options.eval_every);
-    // A rollback always produces a history record, even off-cadence.
-    const bool eval_now = last_round || ((round + 1) % every == 0) || rolled_back;
-    if (!eval_now) {
-      if (options.watchdog) last_good = nn::snapshot_state(algorithm.global_model());
-      continue;
-    }
-
     RoundRecord record;
     record.round = round;
     record.train_loss = train_loss;
@@ -108,7 +168,7 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     record.cumulative_bytes = bytes_now;
     record.round_bytes = bytes_now - bytes_before_round;
     bytes_before_round = bytes_now;
-    record.round_seconds = round_clock.seconds();
+    record.round_seconds = round_seconds;
     record.clients_sampled = sampled.size();
     if (simulator) {
       record.clients_completed = sim_report.completed;
@@ -120,40 +180,68 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     }
     record.rejected_updates = rejected;
 
-    const EvalResult eval = evaluate(algorithm.global_model(), federation.test_set());
-    record.accuracy = eval.accuracy;
-    if (options.watchdog && !rolled_back && std::isfinite(last_good_accuracy) &&
-        eval.accuracy < last_good_accuracy - options.watchdog->accuracy_drop_threshold) {
-      // Accuracy collapse: restore the snapshot; the recorded accuracy is the
-      // restored model's (= the last accepted evaluation).
-      nn::restore_state(algorithm.global_model(), last_good);
-      rolled_back = true;
-      record.accuracy = last_good_accuracy;
-    }
-    record.rolled_back = rolled_back;
-    if (rolled_back) {
-      ++result.total_rolled_back;
-    } else if (options.watchdog) {
-      last_good = nn::snapshot_state(algorithm.global_model());
-      last_good_accuracy = record.accuracy;
+    const bool last_round = round + 1 == options.rounds;
+    const std::size_t every = std::max<std::size_t>(1, options.eval_every);
+    // A rollback always produces a history record, even off-cadence.
+    const bool eval_now = last_round || ((round + 1) % every == 0) || rolled_back;
+    if (!eval_now) {
+      if (options.watchdog) last_good = nn::snapshot_state(algorithm.global_model());
+      // Off-cadence rounds still stream telemetry (evaluated=false).
+      record.phases = algorithm.phase_accumulator().snapshot();
+      if (telemetry) {
+        telemetry->record_round(
+            to_telemetry(record, /*evaluated=*/false, algorithm.last_server_loss()));
+      }
+      continue;
     }
 
-    if (options.evaluate_client_models) {
-      double acc_total = 0.0;
-      for (std::size_t id = 0; id < federation.num_clients(); ++id) {
-        nn::Module* model = algorithm.client_model(id);
-        const EvalResult local = evaluate_subset(*model, federation.test_set(),
-                                                 federation.client_test_indices(id));
-        acc_total += local.accuracy;
+    {
+      obs::ScopedPhaseTimer eval_timer(algorithm.phase_accumulator(), obs::Phase::kEval);
+      obs::TraceSpan eval_span("fl.eval");
+      utils::Stopwatch eval_clock;
+      metrics.evals.add(1);
+      const EvalResult eval = evaluate(algorithm.global_model(), federation.test_set());
+      record.accuracy = eval.accuracy;
+      if (options.watchdog && !rolled_back && std::isfinite(last_good_accuracy) &&
+          eval.accuracy < last_good_accuracy - options.watchdog->accuracy_drop_threshold) {
+        // Accuracy collapse: restore the snapshot; the recorded accuracy is the
+        // restored model's (= the last accepted evaluation).
+        nn::restore_state(algorithm.global_model(), last_good);
+        rolled_back = true;
+        record.accuracy = last_good_accuracy;
       }
-      record.client_accuracy = acc_total / static_cast<double>(federation.num_clients());
-    } else {
-      record.client_accuracy = std::nan("");
+      record.rolled_back = rolled_back;
+      if (rolled_back) {
+        ++result.total_rolled_back;
+        metrics.rollbacks.add(1);
+      } else if (options.watchdog) {
+        last_good = nn::snapshot_state(algorithm.global_model());
+        last_good_accuracy = record.accuracy;
+      }
+
+      if (options.evaluate_client_models) {
+        double acc_total = 0.0;
+        for (std::size_t id = 0; id < federation.num_clients(); ++id) {
+          nn::Module* model = algorithm.client_model(id);
+          const EvalResult local = evaluate_subset(*model, federation.test_set(),
+                                                   federation.client_test_indices(id));
+          acc_total += local.accuracy;
+        }
+        record.client_accuracy = acc_total / static_cast<double>(federation.num_clients());
+      } else {
+        record.client_accuracy = std::nan("");
+      }
+      record.eval_seconds = eval_clock.seconds();
     }
+    record.phases = algorithm.phase_accumulator().snapshot();
 
     result.best_accuracy = std::max(result.best_accuracy, record.accuracy);
     result.final_accuracy = record.accuracy;
     result.history.push_back(record);
+    if (telemetry) {
+      telemetry->record_round(
+          to_telemetry(record, /*evaluated=*/true, algorithm.last_server_loss()));
+    }
 
     if (options.verbose) {
       auto line = utils::log_info("runner");
@@ -174,6 +262,10 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
 
   result.total_bytes = federation.meter().total_bytes();
   result.wall_seconds = run_clock.seconds();
+  if (telemetry) {
+    telemetry->record_run(result.algorithm, result.rounds_completed, result.wall_seconds,
+                          result.final_accuracy, result.total_bytes);
+  }
   if (simulator) {
     algorithm.set_simulator(nullptr);
     simulator->detach();

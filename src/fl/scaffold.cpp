@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/serialize.hpp"
+#include "obs/trace.hpp"
 
 namespace fedkemf::fl {
 
@@ -105,6 +106,8 @@ void Scaffold::after_local_update(std::size_t round_index, std::size_t client_id
 
 void Scaffold::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
   (void)round_index;
+  obs::ScopedPhaseTimer fuse_timer(phases_, obs::Phase::kFuse);
+  obs::TraceSpan span("fl.fuse");
   Federation& fed = federation();
   const float inv_s = 1.0f / static_cast<float>(sampled.size());
   const float inv_n = 1.0f / static_cast<float>(fed.num_clients());

@@ -4,6 +4,18 @@
 
 #include "nn/init.hpp"
 
+#if defined(FEDKEMF_PROFILE_KERNELS)
+#include "obs/trace.hpp"
+// Layer-level conv spans ride the same compile-time switch as the GEMM
+// counters in core/tensor_ops.cpp: forward/backward run per batch per client
+// per epoch, so even the disabled-trace fast path is gated out by default.
+#define FEDKEMF_CONV_SPAN(name) ::fedkemf::obs::TraceSpan fedkemf_conv_span_(name)
+#else
+#define FEDKEMF_CONV_SPAN(name) \
+  do {                          \
+  } while (false)
+#endif
+
 namespace fedkemf::nn {
 namespace {
 
@@ -54,6 +66,7 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t ke
 }
 
 core::Tensor Conv2d::forward(const core::Tensor& input) {
+  FEDKEMF_CONV_SPAN("conv.forward");
   if (input.rank() != 4 || input.dim(1) != in_channels_) {
     throw std::invalid_argument("Conv2d::forward: expected [N, " + std::to_string(in_channels_) +
                                 ", H, W], got " + input.shape().to_string());
@@ -102,6 +115,7 @@ core::Tensor Conv2d::forward(const core::Tensor& input) {
 }
 
 core::Tensor Conv2d::backward(const core::Tensor& grad_output) {
+  FEDKEMF_CONV_SPAN("conv.backward");
   if (!cached_columns_.defined()) {
     throw std::logic_error("Conv2d::backward called before forward");
   }

@@ -1,0 +1,66 @@
+#pragma once
+
+// Minimal streaming JSON writer shared by the observability sinks (metric
+// snapshots, trace export, run telemetry, bench reports).
+//
+// The writer is deliberately tiny: it appends to an in-memory string, tracks
+// nesting so commas land in the right places, and guarantees valid JSON as
+// long as begin/end calls are balanced and every object member is preceded by
+// key().  Doubles are emitted with shortest-round-trip formatting; NaN and
+// infinities — which JSON cannot represent — become null, matching how the
+// CSV/table layer renders them as "n/a".
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedkemf::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view text);
+
+/// Formats a double as a JSON token: shortest round-trip representation, or
+/// "null" for NaN / infinity.
+std::string json_number(double value);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the member key for the next value; only valid inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& member(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// One entry per open container: true once the container has at least one
+  /// element (so the next element needs a comma separator).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace fedkemf::obs

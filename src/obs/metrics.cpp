@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace fedkemf::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: no bucket bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+    }
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument("Histogram::exponential_bounds: invalid parameters");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::duration_bounds() {
+  // 1us, 4us, 16us, ... ~4000s: 15 geometric buckets cover everything from a
+  // single GEMM tile to a full paper-scale round.
+  return exponential_bounds(1e-6, 4.0, 15);
+}
+
+std::vector<double> Histogram::byte_bounds() {
+  // 64B, 256B, ... ~4GB.
+  return exponential_bounds(64.0, 4.0, 13);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const CounterValue& c : counters) json.member(c.name, c.value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const GaugeValue& g : gauges) json.member(g.name, g.value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const HistogramValue& h : histograms) {
+    json.key(h.name).begin_object();
+    json.member("count", h.count);
+    json.member("sum", h.sum);
+    json.member("mean", h.mean());
+    json.key("bounds").begin_array();
+    for (const double b : h.bounds) json.value(b);
+    json.end_array();
+    json.key("buckets").begin_array();
+    for (const std::uint64_t b : h.buckets) json.value(b);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.take();
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  if (bounds.empty()) bounds = Histogram::duration_bounds();
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->bounds(), histogram->bucket_counts(),
+                               histogram->count(), histogram->sum()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) entry.second->reset();
+  for (const auto& entry : gauges_) entry.second->reset();
+  for (const auto& entry : histograms_) entry.second->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace fedkemf::obs

@@ -1,0 +1,165 @@
+#pragma once
+
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms.
+//
+// Design goals, in order: (1) recording is wait-free on the hot path — a
+// counter increment is one relaxed atomic add, so instruments can live inside
+// the GEMM loop driver, the thread-pool dispatch, and every wire transfer
+// without showing up in profiles; (2) instruments are process-global and
+// never move once created, so call sites look them up once (a function-local
+// static reference) and hammer the cached pointer; (3) the whole registry
+// snapshots to JSON so benches and CI can diff runs.
+//
+// Registration takes a mutex; recording never does.  Values accumulate until
+// reset() — the bench harnesses reset between phases to scope their reports.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedkemf::obs {
+
+/// Lock-free add for pre-C++20-atomic-float portability across toolchains.
+inline void atomic_add_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonic event count.  Increments are relaxed atomics: totals are exact,
+/// but a concurrent snapshot may observe counters mid-round.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, current accuracy).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) noexcept { atomic_add_double(value_, delta); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending upper bounds; an implicit
+/// +inf bucket catches the overflow.  observe() is a binary search plus two
+/// relaxed atomic adds.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless bounds are non-empty and strictly
+  /// ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+  /// `count` bounds growing geometrically from `start` by `factor`.
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+  /// Default bounds for durations in seconds: 1us .. ~500s.
+  static std::vector<double> duration_bounds();
+  /// Default bounds for payload sizes in bytes: 64B .. ~4GB.
+  static std::vector<double> byte_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One consistent-enough copy of every instrument (values are read with
+/// relaxed loads; concurrent writers may land between reads).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+  [[nodiscard]] std::string to_json() const;
+
+  /// Value lookups for tests and report code; 0 / NaN-free default when the
+  /// name is absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+};
+
+/// Thread-safe name -> instrument registry.  Instruments are created on first
+/// use and live for the registry's lifetime at a stable address, so returned
+/// references may be cached indefinitely.  Counter/gauge/histogram namespaces
+/// are independent (the same name may exist in each).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// On first use registers a histogram with `bounds` (duration_bounds() when
+  /// empty); later calls return the existing instrument regardless of bounds.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument; registrations (and cached references) survive.
+  void reset();
+
+  /// The process-wide registry every built-in instrument records into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fedkemf::obs

@@ -1,0 +1,121 @@
+#include "obs/telemetry.hpp"
+
+#include <filesystem>
+
+#include "obs/json.hpp"
+
+namespace fedkemf::obs {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kLocalTrain:
+      return "local_train";
+    case Phase::kUpload:
+      return "upload";
+    case Phase::kSanitize:
+      return "sanitize";
+    case Phase::kFuse:
+      return "fuse";
+    case Phase::kDistill:
+      return "distill";
+    case Phase::kEval:
+      return "eval";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+PhaseSeconds PhaseAccumulator::snapshot() const noexcept {
+  PhaseSeconds snap;
+  snap.local_train =
+      seconds_[static_cast<std::size_t>(Phase::kLocalTrain)].load(std::memory_order_relaxed);
+  snap.upload =
+      seconds_[static_cast<std::size_t>(Phase::kUpload)].load(std::memory_order_relaxed);
+  snap.sanitize =
+      seconds_[static_cast<std::size_t>(Phase::kSanitize)].load(std::memory_order_relaxed);
+  snap.fuse =
+      seconds_[static_cast<std::size_t>(Phase::kFuse)].load(std::memory_order_relaxed);
+  snap.distill =
+      seconds_[static_cast<std::size_t>(Phase::kDistill)].load(std::memory_order_relaxed);
+  snap.eval =
+      seconds_[static_cast<std::size_t>(Phase::kEval)].load(std::memory_order_relaxed);
+  return snap;
+}
+
+RunTelemetry::RunTelemetry(std::string path) : path_(std::move(path)) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "RunTelemetry: cannot open '%s'\n", path_.c_str());
+  }
+}
+
+RunTelemetry::~RunTelemetry() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RunTelemetry::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void RunTelemetry::record_round(const RoundTelemetry& round) {
+  if (file_ == nullptr) return;
+  JsonWriter json;
+  json.begin_object();
+  json.member("kind", "round");
+  json.member("round", static_cast<std::uint64_t>(round.round));
+  json.member("round_seconds", round.round_seconds);
+  json.member("eval_seconds", round.eval_seconds);
+  json.key("phases").begin_object();
+  json.member("local_train", round.phases.local_train);
+  json.member("upload", round.phases.upload);
+  json.member("sanitize", round.phases.sanitize);
+  json.member("fuse", round.phases.fuse);
+  json.member("distill", round.phases.distill);
+  json.member("eval", round.phases.eval);
+  json.end_object();
+  json.member("round_bytes", static_cast<std::uint64_t>(round.round_bytes));
+  json.member("cumulative_bytes", static_cast<std::uint64_t>(round.cumulative_bytes));
+  json.member("clients_sampled", static_cast<std::uint64_t>(round.clients_sampled));
+  json.member("clients_completed", static_cast<std::uint64_t>(round.clients_completed));
+  json.member("clients_dropped", static_cast<std::uint64_t>(round.clients_dropped));
+  json.member("clients_straggled", static_cast<std::uint64_t>(round.clients_straggled));
+  json.member("sim_seconds", round.sim_seconds);
+  json.member("rejected_updates", static_cast<std::uint64_t>(round.rejected_updates));
+  json.member("rolled_back", round.rolled_back);
+  json.member("evaluated", round.evaluated);
+  if (round.evaluated) {
+    json.member("accuracy", round.accuracy);
+  } else {
+    json.key("accuracy").null();
+  }
+  json.member("train_loss", round.train_loss);
+  json.member("server_loss", round.server_loss);
+  json.end_object();
+  write_line(json.str());
+}
+
+void RunTelemetry::record_run(const std::string& algorithm, std::size_t rounds_completed,
+                              double wall_seconds, double final_accuracy,
+                              std::size_t total_bytes) {
+  if (file_ == nullptr) return;
+  JsonWriter json;
+  json.begin_object();
+  json.member("kind", "run");
+  json.member("algorithm", algorithm);
+  json.member("rounds_completed", static_cast<std::uint64_t>(rounds_completed));
+  json.member("wall_seconds", wall_seconds);
+  json.member("final_accuracy", final_accuracy);
+  json.member("total_bytes", static_cast<std::uint64_t>(total_bytes));
+  json.end_object();
+  write_line(json.str());
+}
+
+}  // namespace fedkemf::obs

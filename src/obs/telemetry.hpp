@@ -1,0 +1,149 @@
+#pragma once
+
+// Structured per-round run telemetry.
+//
+// The runner streams one JSONL record per communication round next to the CSV
+// results: wall-time split into the six pipeline phases (local-train, upload,
+// sanitize, fuse, distill, eval), traffic, cohort fate, and defense counters.
+// A final {"kind":"run"} line summarizes the run.  JSONL keeps the sink
+// append-only and crash-tolerant — a truncated run still yields every
+// completed round.
+//
+// Phase seconds are accumulated by the algorithms through PhaseAccumulator,
+// which is thread-safe: client work recorded from parallel workers adds up to
+// *cumulative thread-seconds*.  With the inline pool (num_threads = 0) the
+// phases partition the round's wall-clock; with N workers the client-side
+// phases can legitimately sum past it.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"  // atomic_add_double
+
+namespace fedkemf::obs {
+
+/// The instrumented stages of one communication round.
+enum class Phase : std::size_t {
+  kLocalTrain = 0,  ///< client-side (mutual) training, incl. model instantiation
+  kUpload,          ///< wire marshalling, both directions, incl. retries
+  kSanitize,        ///< upload screening (finiteness, norms, reputation)
+  kFuse,            ///< weight-space aggregation / distillation warm start
+  kDistill,         ///< server-side ensemble distillation
+  kEval,            ///< global (+ per-client) test evaluation
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(Phase phase);
+
+struct PhaseSeconds {
+  double local_train = 0.0;
+  double upload = 0.0;
+  double sanitize = 0.0;
+  double fuse = 0.0;
+  double distill = 0.0;
+  double eval = 0.0;
+
+  /// All six phases.
+  [[nodiscard]] double sum() const {
+    return local_train + upload + sanitize + fuse + distill + eval;
+  }
+  /// The phases covered by RoundRecord::round_seconds (everything but eval).
+  [[nodiscard]] double compute_sum() const { return sum() - eval; }
+};
+
+/// Thread-safe accumulator the algorithms record into; reset at round start,
+/// snapshot by the runner after the round.
+class PhaseAccumulator {
+ public:
+  void add(Phase phase, double seconds) noexcept {
+    atomic_add_double(seconds_[static_cast<std::size_t>(phase)], seconds);
+  }
+  void reset() noexcept {
+    for (auto& s : seconds_) s.store(0.0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] PhaseSeconds snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<double>, static_cast<std::size_t>(Phase::kCount)> seconds_{};
+};
+
+/// RAII wall-clock charge against one phase.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseAccumulator& accumulator, Phase phase) noexcept
+      : accumulator_(accumulator), phase_(phase), start_(Clock::now()) {}
+  ~ScopedPhaseTimer() {
+    accumulator_.add(phase_,
+                     std::chrono::duration<double>(Clock::now() - start_).count());
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  PhaseAccumulator& accumulator_;
+  Phase phase_;
+  Clock::time_point start_;
+};
+
+/// One round's record, as written to the JSONL sink.
+struct RoundTelemetry {
+  std::size_t round = 0;
+  double round_seconds = 0.0;  ///< compute wall-clock (excludes eval)
+  double eval_seconds = 0.0;
+  PhaseSeconds phases;
+
+  std::size_t round_bytes = 0;
+  std::size_t cumulative_bytes = 0;
+
+  std::size_t clients_sampled = 0;
+  std::size_t clients_completed = 0;
+  std::size_t clients_dropped = 0;
+  std::size_t clients_straggled = 0;
+  double sim_seconds = 0.0;
+
+  std::size_t rejected_updates = 0;
+  bool rolled_back = false;
+
+  bool evaluated = false;  ///< accuracy is meaningful only when true
+  double accuracy = 0.0;
+  double train_loss = 0.0;
+  double server_loss = 0.0;
+};
+
+/// Append-only JSONL sink.  record_round / record_run are thread-safe; each
+/// record is written and flushed as one line.
+class RunTelemetry {
+ public:
+  /// Truncates/creates `path` (parent directories are created).  ok() reports
+  /// whether the file opened; a failed sink swallows records.
+  explicit RunTelemetry(std::string path);
+  ~RunTelemetry();
+
+  RunTelemetry(const RunTelemetry&) = delete;
+  RunTelemetry& operator=(const RunTelemetry&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Writes one {"kind":"round",...} line.
+  void record_round(const RoundTelemetry& round);
+
+  /// Writes the closing {"kind":"run",...} summary line.
+  void record_run(const std::string& algorithm, std::size_t rounds_completed,
+                  double wall_seconds, double final_accuracy, std::size_t total_bytes);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace fedkemf::obs

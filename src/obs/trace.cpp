@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fedkemf::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-thread cap: 1M events (~32MB across a 16-thread pool at worst) keeps a
+/// forgotten always-on trace from eating the host.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t duration_ns;
+};
+
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  Clock::time_point epoch = Clock::now();
+};
+
+TraceState& trace_state() {
+  static TraceState state;
+  return state;
+}
+
+/// The calling thread's buffer; registered globally on first use and kept
+/// alive by the registry even after the thread exits (its tail of events
+/// stays exportable).
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    TraceState& state = trace_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    fresh->tid = state.next_tid++;
+    state.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           trace_state().epoch)
+          .count());
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) noexcept {
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t trace_event_count() {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void trace_reset() {
+  TraceState& state = trace_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+bool trace_export(const std::string& path) {
+  JsonWriter json;
+  json.begin_object();
+  json.member("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
+  {
+    TraceState& state = trace_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (const auto& buffer : state.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (const TraceEvent& event : buffer->events) {
+        json.begin_object();
+        json.member("name", event.name);
+        json.member("cat", "fedkemf");
+        json.member("ph", "X");
+        json.member("pid", std::uint64_t{1});
+        json.member("tid", std::uint64_t{buffer->tid});
+        json.member("ts", static_cast<double>(event.start_ns) / 1e3);
+        json.member("dur", static_cast<double>(event.duration_ns) / 1e3);
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+  json.end_object();
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "trace_export: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  const std::string& text = json.str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  std::fclose(file);
+  if (!ok) std::fprintf(stderr, "trace_export: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(name), active_(trace_enabled()) {
+  if (active_) start_ns_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = now_ns();
+  ThreadBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back({name_, start_ns_, end_ns - start_ns_});
+}
+
+}  // namespace fedkemf::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+// Scoped trace spans with chrome://tracing export.
+//
+// A TraceSpan is an RAII timer: construction stamps a start time, destruction
+// appends one complete ("ph":"X") event to a per-thread buffer.  Buffers are
+// append-only vectors guarded by a per-thread mutex that is only ever
+// contended by trace_export()/trace_reset(), so recording stays cheap even
+// with every worker tracing.  Tracing is off by default; a disabled span is a
+// single relaxed atomic load and two member stores (sub-microsecond — cheap
+// enough to leave compiled into the round loop, the channel, and the thread
+// pool permanently; bench_observability asserts the budget).
+//
+// trace_export(path) merges every thread's events into one JSON document in
+// the Trace Event Format, loadable by chrome://tracing and by Perfetto
+// (ui.perfetto.dev).  Span names must be string literals (or otherwise
+// outlive the trace session): events store the pointer, not a copy.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fedkemf::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True when spans are recording.
+inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on or off process-wide.  Spans alive across the
+/// transition record if and only if they started while tracing was on.
+void set_trace_enabled(bool enabled) noexcept;
+
+/// Total events currently buffered across all threads.
+std::size_t trace_event_count();
+
+/// Events dropped because a thread hit its buffer cap.
+std::size_t trace_dropped_count();
+
+/// Discards every buffered event (buffers and thread registrations survive).
+void trace_reset();
+
+/// Writes every buffered event as chrome://tracing JSON.  Returns false (and
+/// logs) when the file cannot be written.  Does not clear the buffers.
+bool trace_export(const std::string& path);
+
+class TraceSpan {
+ public:
+  /// `name` must outlive the trace session (use string literals).
+  explicit TraceSpan(const char* name) noexcept;
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+}  // namespace fedkemf::obs

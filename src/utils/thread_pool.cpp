@@ -4,7 +4,33 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fedkemf::utils {
+
+namespace {
+
+/// Registry lookups are a mutex + map probe; the pool dispatches on every
+/// task, so resolve the instruments once and hammer the cached references.
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_wait_seconds;
+  obs::Histogram& task_seconds;
+  obs::Counter& tasks;
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics{
+        obs::MetricsRegistry::global().gauge("pool.queue_depth"),
+        obs::MetricsRegistry::global().histogram("pool.task_wait_seconds"),
+        obs::MetricsRegistry::global().histogram("pool.task_seconds"),
+        obs::MetricsRegistry::global().counter("pool.tasks"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
@@ -22,15 +48,32 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::run_task(QueuedTask task) {
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.tasks.add(1);
+  metrics.task_wait_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - task.enqueued)
+          .count());
+  const auto start = std::chrono::steady_clock::now();
+  {
+    obs::TraceSpan span("pool.task");
+    task.fn();
+  }
+  metrics.task_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+}
+
 void ThreadPool::submit(std::function<void()> task) {
+  QueuedTask queued{std::move(task), std::chrono::steady_clock::now()};
   if (workers_.empty()) {
-    task();
+    run_task(std::move(queued));
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
     ++in_flight_;
+    PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
   }
   cv_task_.notify_one();
 }
@@ -95,15 +138,16 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      PoolMetrics::get().queue_depth.set(static_cast<double>(queue_.size()));
     }
-    task();
+    run_task(std::move(task));
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

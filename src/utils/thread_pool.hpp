@@ -8,6 +8,7 @@
 // framework hands clients counter-based RNG streams), so results are
 // bit-identical regardless of pool size, including size 0 (inline execution).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -45,10 +46,18 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// Queue entry: the task plus its enqueue stamp, so the pool can report
+  /// queue-wait latency (obs histogram "pool.task_wait_seconds").
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
+  void run_task(QueuedTask task);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

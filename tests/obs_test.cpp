@@ -1,0 +1,243 @@
+// Observability primitives: metrics registry exactness under concurrency,
+// snapshot JSON shape, trace span recording/nesting/export, and the phase
+// accumulator the runner's telemetry rests on.
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "test_json.hpp"
+
+namespace fedkemf::obs {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  // The registry's core contract: relaxed atomic adds lose nothing.
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test.concurrent");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, ReturnsTheSameInstrumentForTheSameName) {
+  MetricsRegistry registry;
+  EXPECT_EQ(&registry.counter("a"), &registry.counter("a"));
+  EXPECT_NE(&registry.counter("a"), &registry.counter("b"));
+  EXPECT_EQ(&registry.gauge("a"), &registry.gauge("a"));
+  EXPECT_EQ(&registry.histogram("a"), &registry.histogram("a"));
+}
+
+TEST(MetricsRegistry, ResetZeroesButCachedReferencesSurvive) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Gauge& gauge = registry.gauge("g");
+  counter.add(5);
+  gauge.set(2.5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  counter.add(1);  // the cached reference still points at the live instrument
+  EXPECT_EQ(registry.snapshot().counter("c"), 1u);
+}
+
+TEST(Histogram, BucketsPartitionObservations) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.observe(0.5);    // bucket 0: <= 1
+  histogram.observe(1.0);    // bucket 0 (upper bounds are inclusive)
+  histogram.observe(5.0);    // bucket 1
+  histogram.observe(50.0);   // bucket 2
+  histogram.observe(500.0);  // overflow
+  const std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 556.5);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, ExponentialBoundsGrowGeometrically) {
+  const std::vector<double> bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsSnapshot, JsonParsesAndCarriesValues) {
+  MetricsRegistry registry;
+  registry.counter("events.total").add(42);
+  registry.gauge("queue.depth").set(3.0);
+  registry.histogram("latency").observe(0.25);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("events.total"), 42u);
+  EXPECT_EQ(snapshot.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauge("queue.depth"), 3.0);
+
+  const auto doc = testjson::parse(snapshot.to_json());
+  ASSERT_TRUE(doc.has_value()) << snapshot.to_json();
+  const testjson::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_at("events.total"), 42.0);
+  const testjson::Value* histograms = doc->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const testjson::Value* latency = histograms->find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->number_at("count"), 1.0);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(false);
+    trace_reset();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    trace_reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  {
+    TraceSpan span("test.disabled");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpansRecordOnePerScope) {
+  set_trace_enabled(true);
+  {
+    TraceSpan outer("test.outer");
+    TraceSpan inner("test.inner");
+  }
+  EXPECT_EQ(trace_event_count(), 2u);
+  trace_reset();
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanAliveAcrossDisableStillRecords) {
+  // The documented transition rule: a span records iff it *started* enabled.
+  set_trace_enabled(true);
+  {
+    TraceSpan span("test.transition");
+    set_trace_enabled(false);
+  }
+  EXPECT_EQ(trace_event_count(), 1u);
+}
+
+TEST_F(TraceTest, ExportIsWellFormedAndNested) {
+  set_trace_enabled(true);
+  {
+    TraceSpan outer("test.export_outer");
+    {
+      TraceSpan inner("test.export_inner");
+    }
+  }
+  const std::filesystem::path path = temp_path("fedkemf_obs_test_trace.json");
+  ASSERT_TRUE(trace_export(path.string()));
+
+  const auto doc = testjson::parse(read_file(path));
+  ASSERT_TRUE(doc.has_value());
+  const testjson::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array->size(), 2u);
+
+  const testjson::Value* outer = nullptr;
+  const testjson::Value* inner = nullptr;
+  for (const testjson::Value& event : *events->array) {
+    EXPECT_EQ(event.string_at("ph"), "X");
+    EXPECT_TRUE(event.find("ts") != nullptr && event.find("dur") != nullptr &&
+                event.find("pid") != nullptr && event.find("tid") != nullptr);
+    if (event.string_at("name") == "test.export_outer") outer = &event;
+    if (event.string_at("name") == "test.export_inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The inner span nests inside the outer one on the time axis.
+  const double outer_start = outer->number_at("ts");
+  const double outer_end = outer_start + outer->number_at("dur");
+  const double inner_start = inner->number_at("ts");
+  const double inner_end = inner_start + inner->number_at("dur");
+  EXPECT_GE(inner_start, outer_start);
+  EXPECT_LE(inner_end, outer_end);
+  std::filesystem::remove(path);
+}
+
+TEST(PhaseAccumulator, ConcurrentAddsSumAcrossThreads) {
+  PhaseAccumulator accumulator;
+  constexpr std::size_t kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&accumulator] {
+      for (int i = 0; i < kPerThread; ++i) accumulator.add(Phase::kLocalTrain, 0.001);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  accumulator.add(Phase::kEval, 2.0);
+  const PhaseSeconds snapshot = accumulator.snapshot();
+  EXPECT_NEAR(snapshot.local_train, kThreads * kPerThread * 0.001, 1e-6);
+  EXPECT_DOUBLE_EQ(snapshot.eval, 2.0);
+  EXPECT_NEAR(snapshot.sum(), snapshot.local_train + 2.0, 1e-9);
+  EXPECT_NEAR(snapshot.compute_sum(), snapshot.local_train, 1e-9);
+  accumulator.reset();
+  EXPECT_DOUBLE_EQ(accumulator.snapshot().sum(), 0.0);
+}
+
+TEST(ScopedPhaseTimer, ChargesElapsedTimeToItsPhase) {
+  PhaseAccumulator accumulator;
+  {
+    ScopedPhaseTimer timer(accumulator, Phase::kFuse);
+  }
+  const PhaseSeconds snapshot = accumulator.snapshot();
+  EXPECT_GE(snapshot.fuse, 0.0);
+  EXPECT_LT(snapshot.fuse, 1.0);  // an empty scope cannot take a second
+  EXPECT_DOUBLE_EQ(snapshot.local_train, 0.0);
+}
+
+TEST(Phase, NamesAreStable) {
+  EXPECT_STREQ(to_string(Phase::kLocalTrain), "local_train");
+  EXPECT_STREQ(to_string(Phase::kEval), "eval");
+}
+
+}  // namespace
+}  // namespace fedkemf::obs

@@ -1,0 +1,253 @@
+// Run telemetry: the JSONL sink's wire format, and the runner integration —
+// every round of a real federated run produces a parseable record whose phase
+// timings account for the round's wall-clock.
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fl/fedavg.hpp"
+#include "fl/fedkemf.hpp"
+#include "fl/runner.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "test_json.hpp"
+
+namespace fedkemf {
+namespace {
+
+std::filesystem::path temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+fl::FederationOptions small_federation() {
+  fl::FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.train_samples = 240;
+  options.test_samples = 96;
+  options.server_pool_samples = 48;
+  options.num_clients = 6;
+  options.seed = 11;
+  return options;
+}
+
+models::ModelSpec small_mlp() {
+  return models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 3,
+                           .image_size = 8, .width_multiplier = 0.25};
+}
+
+fl::LocalTrainConfig small_local() {
+  fl::LocalTrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  return config;
+}
+
+TEST(RunTelemetry, RoundAndRunRecordsAreParseableJsonl) {
+  const std::filesystem::path path = temp_path("fedkemf_telemetry_unit.jsonl");
+  {
+    obs::RunTelemetry sink(path.string());
+    ASSERT_TRUE(sink.ok());
+    obs::RoundTelemetry round;
+    round.round = 3;
+    round.round_seconds = 1.5;
+    round.eval_seconds = 0.25;
+    round.phases.local_train = 1.0;
+    round.phases.fuse = 0.5;
+    round.phases.eval = 0.25;
+    round.round_bytes = 1024;
+    round.cumulative_bytes = 4096;
+    round.clients_sampled = 4;
+    round.clients_completed = 3;
+    round.clients_dropped = 1;
+    round.rejected_updates = 2;
+    round.evaluated = true;
+    round.accuracy = 0.75;
+    sink.record_round(round);
+    round.round = 4;
+    round.evaluated = false;  // off-cadence round: accuracy must render null
+    sink.record_round(round);
+    sink.record_run("fedavg", 5, 9.0, 0.8, 8192);
+  }
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  const auto first = testjson::parse(lines[0]);
+  ASSERT_TRUE(first.has_value()) << lines[0];
+  EXPECT_EQ(first->string_at("kind"), "round");
+  EXPECT_DOUBLE_EQ(first->number_at("round"), 3.0);
+  EXPECT_DOUBLE_EQ(first->number_at("round_seconds"), 1.5);
+  EXPECT_DOUBLE_EQ(first->number_at("eval_seconds"), 0.25);
+  EXPECT_TRUE(first->bool_at("evaluated"));
+  EXPECT_DOUBLE_EQ(first->number_at("accuracy"), 0.75);
+  const testjson::Value* phases = first->find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_DOUBLE_EQ(phases->number_at("local_train"), 1.0);
+  EXPECT_DOUBLE_EQ(phases->number_at("fuse"), 0.5);
+  EXPECT_DOUBLE_EQ(first->number_at("round_bytes"), 1024.0);
+  EXPECT_DOUBLE_EQ(first->number_at("clients_completed"), 3.0);
+  EXPECT_DOUBLE_EQ(first->number_at("rejected_updates"), 2.0);
+
+  const auto second = testjson::parse(lines[1]);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->bool_at("evaluated"));
+  const testjson::Value* accuracy = second->find("accuracy");
+  ASSERT_NE(accuracy, nullptr);
+  EXPECT_EQ(accuracy->kind, testjson::Value::Kind::kNull);
+
+  const auto last = testjson::parse(lines[2]);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->string_at("kind"), "run");
+  EXPECT_EQ(last->string_at("algorithm"), "fedavg");
+  EXPECT_DOUBLE_EQ(last->number_at("rounds_completed"), 5.0);
+  EXPECT_DOUBLE_EQ(last->number_at("total_bytes"), 8192.0);
+  std::filesystem::remove(path);
+}
+
+TEST(RunTelemetry, UnwritablePathIsNotOk) {
+  // Nest the sink path under a regular *file* so opening must fail even for
+  // root (the parent "directory" cannot be created).
+  const std::filesystem::path blocker = temp_path("fedkemf_telemetry_blocker");
+  std::ofstream(blocker).put('x');
+  obs::RunTelemetry sink((blocker / "telemetry.jsonl").string());
+  EXPECT_FALSE(sink.ok());
+  obs::RoundTelemetry round;
+  sink.record_round(round);  // must be a harmless no-op
+  std::filesystem::remove(blocker);
+}
+
+TEST(RunnerTelemetry, EveryRoundStreamsARecordWhosePhasesCoverTheWallClock) {
+  const std::filesystem::path path = temp_path("fedkemf_telemetry_run.jsonl");
+  const std::size_t rounds = 4;
+
+  fl::Federation federation(small_federation());
+  fl::FedAvg algorithm(small_mlp(), small_local());
+  fl::RunOptions run;
+  run.rounds = rounds;
+  run.sample_ratio = 0.5;
+  run.eval_every = 2;  // exercise the off-cadence (evaluated=false) path
+  run.telemetry_path = path.string();
+  const fl::RunResult result = fl::run_federated(federation, algorithm, run);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), rounds + 1);  // one per round + the run summary
+
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const auto record = testjson::parse(lines[i]);
+    ASSERT_TRUE(record.has_value()) << lines[i];
+    EXPECT_EQ(record->string_at("kind"), "round");
+    EXPECT_DOUBLE_EQ(record->number_at("round"), static_cast<double>(i));
+    // eval_every=2 evaluates rounds 1 and 3 (and always the last round).
+    const bool expect_eval = (i + 1) % 2 == 0 || i + 1 == rounds;
+    EXPECT_EQ(record->bool_at("evaluated"), expect_eval) << "round " << i;
+
+    // With the inline pool the compute phases partition the round wall-clock.
+    const testjson::Value* phases = record->find("phases");
+    ASSERT_NE(phases, nullptr);
+    const double compute_sum =
+        phases->number_at("local_train") + phases->number_at("upload") +
+        phases->number_at("sanitize") + phases->number_at("fuse") +
+        phases->number_at("distill");
+    const double round_seconds = record->number_at("round_seconds");
+    EXPECT_LE(compute_sum, round_seconds + 1e-6) << "round " << i;
+    const double tolerance = std::max(0.05 * round_seconds, 0.02);
+    EXPECT_NEAR(compute_sum, round_seconds, tolerance) << "round " << i;
+    if (expect_eval) {
+      EXPECT_NEAR(phases->number_at("eval"), record->number_at("eval_seconds"),
+                  std::max(0.05 * record->number_at("eval_seconds"), 0.02))
+          << "round " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(phases->number_at("eval"), 0.0) << "round " << i;
+    }
+  }
+
+  const auto summary = testjson::parse(lines.back());
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->string_at("kind"), "run");
+  EXPECT_DOUBLE_EQ(summary->number_at("rounds_completed"),
+                   static_cast<double>(result.rounds_completed));
+  EXPECT_DOUBLE_EQ(summary->number_at("total_bytes"),
+                   static_cast<double>(result.total_bytes));
+  EXPECT_DOUBLE_EQ(summary->number_at("final_accuracy"), result.final_accuracy);
+  std::filesystem::remove(path);
+}
+
+TEST(RunnerTelemetry, HistoryRecordsCarryPhaseTimings) {
+  fl::Federation federation(small_federation());
+  fl::FedKemfOptions options;
+  options.knowledge_spec = small_mlp();
+  options.distill_epochs = 1;
+  fl::FedKemf algorithm({small_mlp()}, small_local(), options);
+  fl::RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 0.5;
+  const fl::RunResult result = fl::run_federated(federation, algorithm, run);
+  ASSERT_EQ(result.history.size(), 2u);
+  for (const fl::RoundRecord& record : result.history) {
+    // FedKEMF rounds always train, marshal, and distill.
+    EXPECT_GT(record.phases.local_train, 0.0);
+    EXPECT_GT(record.phases.upload, 0.0);
+    EXPECT_GT(record.phases.distill, 0.0);
+    EXPECT_GT(record.eval_seconds, 0.0);
+    EXPECT_NEAR(record.phases.compute_sum(), record.round_seconds,
+                std::max(0.05 * record.round_seconds, 0.02));
+  }
+}
+
+TEST(RunnerTelemetry, TraceCapturesTheRoundStructure) {
+  obs::set_trace_enabled(true);
+  obs::trace_reset();
+  fl::Federation federation(small_federation());
+  fl::FedAvg algorithm(small_mlp(), small_local());
+  fl::RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 0.5;
+  fl::run_federated(federation, algorithm, run);
+  obs::set_trace_enabled(false);
+
+  const std::filesystem::path path = temp_path("fedkemf_runner_trace.json");
+  ASSERT_TRUE(obs::trace_export(path.string()));
+  obs::trace_reset();
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto doc = testjson::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const testjson::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::size_t rounds = 0;
+  std::size_t clients = 0;
+  std::size_t evals = 0;
+  for (const testjson::Value& event : *events->array) {
+    const std::string name = event.string_at("name");
+    rounds += name == "fl.round" ? 1 : 0;
+    clients += name == "fl.client" ? 1 : 0;
+    evals += name == "fl.eval" ? 1 : 0;
+  }
+  EXPECT_EQ(rounds, 2u);
+  EXPECT_EQ(clients, 2u * 3u);  // 3 sampled clients per round
+  EXPECT_EQ(evals, 2u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace fedkemf

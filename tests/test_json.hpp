@@ -1,0 +1,235 @@
+#pragma once
+
+// Minimal JSON parser for the observability tests.  Strict enough to validate
+// the documents the obs layer emits (metrics snapshots, chrome-tracing
+// exports, telemetry JSONL) and to look up fields in them; not a general
+// library — no \uXXXX decoding (escapes are preserved verbatim), numbers are
+// doubles.  parse() returns std::nullopt on any syntax error.
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fedkemf::testjson {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<Array> array;    // shared_ptr: Value must be complete here
+  std::shared_ptr<Object> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = object->find(key);
+    return it == object->end() ? nullptr : &it->second;
+  }
+  /// Member's number, or `fallback` when absent / wrong type.
+  [[nodiscard]] double number_at(const std::string& key, double fallback = 0.0) const {
+    const Value* value = find(key);
+    return value != nullptr && value->is_number() ? value->number : fallback;
+  }
+  [[nodiscard]] std::string string_at(const std::string& key) const {
+    const Value* value = find(key);
+    return value != nullptr && value->is_string() ? value->string : std::string();
+  }
+  [[nodiscard]] bool bool_at(const std::string& key, bool fallback = false) const {
+    const Value* value = find(key);
+    return value != nullptr && value->kind == Kind::kBool ? value->boolean : fallback;
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Value> run() {
+    std::optional<Value> value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word) {
+    std::size_t length = 0;
+    while (word[length] != '\0') ++length;
+    if (text_.compare(pos_, length, word) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char head = text_[pos_];
+    Value value;
+    if (head == '{') return parse_object();
+    if (head == '[') return parse_array();
+    if (head == '"') {
+      std::optional<std::string> text = parse_string();
+      if (!text) return std::nullopt;
+      value.kind = Value::Kind::kString;
+      value.string = std::move(*text);
+      return value;
+    }
+    if (head == 't') {
+      if (!literal("true")) return std::nullopt;
+      value.kind = Value::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (head == 'f') {
+      if (!literal("false")) return std::nullopt;
+      value.kind = Value::Kind::kBool;
+      return value;
+    }
+    if (head == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return value;  // kNull
+    }
+    return parse_number();
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    Value value;
+    value.kind = Value::Kind::kNumber;
+    try {
+      value.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':  // keep the escape verbatim; good enough for validation
+            out.append("\\u");
+            break;
+          default: return std::nullopt;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    Value value;
+    value.kind = Value::Kind::kArray;
+    value.array = std::make_shared<Array>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      std::optional<Value> element = parse_value();
+      if (!element) return std::nullopt;
+      value.array->push_back(std::move(*element));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return value;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    Value value;
+    value.kind = Value::Kind::kObject;
+    value.object = std::make_shared<Object>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      std::optional<Value> member = parse_value();
+      if (!member) return std::nullopt;
+      (*value.object)[std::move(*key)] = std::move(*member);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return value;
+      return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses one JSON document; std::nullopt on any syntax error.
+inline std::optional<Value> parse(const std::string& text) {
+  return detail::Parser(text).run();
+}
+
+}  // namespace fedkemf::testjson

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a bench JSON run against a checked-in baseline.
+
+Both files use google-benchmark's JSON output shape (a "context" object plus a
+"benchmarks" array with name/real_time/time_unit entries) — bench_kernels
+emits it natively via --benchmark_out, and the standalone harnesses emit the
+same shape through BenchReport (bench/bench_common.hpp).
+
+CI runners and the machine that recorded the baseline differ in raw speed, so
+absolute times are meaningless.  Instead every benchmark's current/baseline
+ratio is normalized by the *median* ratio across all shared benchmarks: a
+uniformly slower machine shifts every ratio equally and normalizes away, while
+a genuine regression in one kernel sticks out against its peers.  A benchmark
+fails when its normalized ratio exceeds 1 + threshold (default 30%).
+
+Exit codes: 0 ok, 1 regression found, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Time-unit multipliers to nanoseconds; non-time units (e.g. "bytes" rows from
+# BenchReport) are compared as-is, which is fine since we only ever form
+# current/baseline ratios of the same benchmark.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path: str) -> dict[str, float]:
+    """Returns {benchmark name: real_time in its file's base unit}."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+    out: dict[str, float] = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name")
+        time = entry.get("real_time")
+        if name is None or time is None or time <= 0:
+            continue
+        # With --benchmark_repetitions google-benchmark appends aggregate rows
+        # (mean/median/stddev/cv).  Keep only the median, stripped back to the
+        # plain benchmark name; it lands after the per-repetition rows, so the
+        # dict assignment below naturally prefers it.  Non-median aggregates
+        # are dropped.
+        if entry.get("run_type") == "aggregate":
+            aggregate = entry.get("aggregate_name", "")
+            if aggregate != "median":
+                continue
+            if name.endswith("_" + aggregate):
+                name = name[: -len(aggregate) - 1]
+        out[name] = float(time) * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+    if not out:
+        raise SystemExit(f"error: {path} contains no usable benchmark entries")
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline BENCH json")
+    parser.add_argument("current", help="freshly produced BENCH json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated normalized slowdown (0.30 = 30%%)",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: the two files share no benchmark names", file=sys.stderr)
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    ordered = sorted(ratios.values())
+    mid = len(ordered) // 2
+    median = (
+        ordered[mid]
+        if len(ordered) % 2
+        else 0.5 * (ordered[mid - 1] + ordered[mid])
+    )
+
+    print(
+        f"{len(shared)} shared benchmarks; median current/baseline ratio "
+        f"{median:.3f} (machine-speed factor, normalized away)"
+    )
+    width = max(len(name) for name in shared)
+    failures = []
+    for name in shared:
+        normalized = ratios[name] / median
+        verdict = "ok"
+        if normalized > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"  {name:<{width}}  raw x{ratios[name]:6.3f}  "
+              f"normalized x{normalized:6.3f}  {verdict}")
+
+    only_baseline = sorted(set(baseline) - set(current))
+    if only_baseline:
+        print(f"note: {len(only_baseline)} baseline benchmarks missing from the "
+              f"current run: {', '.join(only_baseline)}")
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{100 * args.threshold:.0f}% after machine normalization: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: no benchmark regressed more than {100 * args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
