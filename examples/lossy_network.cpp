@@ -14,6 +14,18 @@
 //                           traffic, cohort fate) plus a closing run summary
 //   --trace trace.json      export a chrome://tracing / Perfetto timeline of
 //                           the whole run
+//
+// Crash tolerance:
+//   --checkpoint DIR        checkpoint the full run state to DIR every
+//                           --checkpoint-every rounds; when DIR already holds
+//                           a checkpoint the run resumes from it, bitwise-
+//                           identically to the uninterrupted trajectory.
+//                           SIGINT/SIGTERM finish the current round, write a
+//                           final checkpoint, and exit cleanly.
+//   FEDKEMF_CRASH_PHASE / FEDKEMF_CRASH_ROUND (env)
+//                           arm the crash-injection harness: die abruptly at
+//                           the named phase boundary (tools/crash_recovery.py
+//                           drives the kill-restart-verify loop).
 
 #include <cstdio>
 #include <limits>
@@ -21,6 +33,7 @@
 #include "fl/fedkemf.hpp"
 #include "fl/runner.hpp"
 #include "obs/trace.hpp"
+#include "sim/crash.hpp"
 #include "sim/simulator.hpp"
 #include "utils/cli.hpp"
 
@@ -39,6 +52,9 @@ int main(int argc, char** argv) {
   std::size_t seed = 1;
   std::string telemetry_path;
   std::string trace_path;
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_retain = 3;
 
   utils::Cli cli("lossy_network", "FedKEMF on an unreliable, heterogeneous network");
   cli.flag("clients", &clients, "number of federated clients");
@@ -54,9 +70,15 @@ int main(int argc, char** argv) {
   cli.flag("seed", &seed, "experiment seed");
   cli.flag("telemetry", &telemetry_path, "write per-round JSONL telemetry to this path");
   cli.flag("trace", &trace_path, "export a chrome://tracing JSON to this path");
+  cli.flag("checkpoint", &checkpoint_dir,
+           "checkpoint directory (resumes automatically when it holds one)");
+  cli.flag("checkpoint-every", &checkpoint_every, "rounds between checkpoints");
+  cli.flag("checkpoint-retain", &checkpoint_retain, "checkpoints to keep on disk");
   cli.parse(argc, argv);
 
   if (!trace_path.empty()) obs::set_trace_enabled(true);
+  sim::CrashInjector::instance().arm_from_env();
+  fl::install_shutdown_handler();
 
   fl::FederationOptions fed_options;
   fed_options.data = data::SyntheticSpec::cifar_like();
@@ -94,8 +116,18 @@ int main(int argc, char** argv) {
   run.sim->adversary.poison_fraction = adversary_fraction;
   run.sim->adversary.poison_mode = sim::PoisonMode::kSignFlip;
   run.telemetry_path = telemetry_path;
+  run.checkpoint_dir = checkpoint_dir;
+  run.checkpoint_every = static_cast<std::size_t>(checkpoint_every);
+  run.checkpoint_retain = static_cast<std::size_t>(checkpoint_retain);
 
-  const fl::RunResult result = fl::run_federated(federation, algorithm, run);
+  const bool resuming = fl::can_resume(run);
+  if (resuming) std::printf("resuming from checkpoint dir %s\n", checkpoint_dir.c_str());
+  const fl::RunResult result = resuming ? fl::resume_run(federation, algorithm, run)
+                                        : fl::run_federated(federation, algorithm, run);
+  if (result.interrupted) {
+    std::printf("interrupted by signal after round %zu%s\n", result.rounds_completed,
+                checkpoint_dir.empty() ? "" : " (checkpoint written; rerun to resume)");
+  }
 
   std::printf("round  acc      completed  dropped  straggled  sim_seconds\n");
   for (const fl::RoundRecord& record : result.history) {

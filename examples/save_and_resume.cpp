@@ -1,13 +1,17 @@
-// Checkpoint / resume: train a federation for a few rounds, persist the
-// global knowledge network to disk (optionally quantized), then resume in a
-// "new process" (fresh algorithm instance) from the checkpoint.
+// Crash-tolerant checkpoint / resume: run a federation with per-round
+// checkpointing, stop it partway ("the process died"), resume from the
+// checkpoint directory in a fresh algorithm instance, and verify the resumed
+// trajectory is bitwise-identical to an uninterrupted reference run.
 //
-// Demonstrates comm::save_model / load_model and that the on-disk format is
-// the same wire format the federation uses for transport.
+// The checkpoint carries the *full* run state — global knowledge network,
+// per-client private models, server optimizer momentum, reputation scores,
+// Dropout Rng stream positions, the round history — not just the global
+// weights, which is what makes exact continuation possible (see
+// fl/checkpoint/run_state.hpp for the determinism contract).
 
 #include <cstdio>
+#include <filesystem>
 
-#include "comm/model_io.hpp"
 #include "fl/fedkemf.hpp"
 #include "fl/runner.hpp"
 #include "utils/cli.hpp"
@@ -15,23 +19,17 @@
 int main(int argc, char** argv) {
   using namespace fedkemf;
 
-  int rounds_before = 6;
-  int rounds_after = 6;
-  std::string checkpoint = "/tmp/fedkemf_checkpoint.bin";
-  std::string codec_name = "fp32";
+  int rounds = 8;
+  int crash_after = 4;
+  std::string checkpoint_dir = "/tmp/fedkemf_ckpt";
   std::size_t seed = 5;
 
-  utils::Cli cli("save_and_resume", "Checkpoint the knowledge network and resume");
-  cli.flag("rounds-before", &rounds_before, "rounds before checkpointing");
-  cli.flag("rounds-after", &rounds_after, "rounds after resuming");
-  cli.flag("checkpoint", &checkpoint, "checkpoint file path");
-  cli.flag("codec", &codec_name, "checkpoint codec: fp32 | fp16 | int8");
+  utils::Cli cli("save_and_resume", "Checkpoint the full run state and resume exactly");
+  cli.flag("rounds", &rounds, "total communication rounds");
+  cli.flag("crash-after", &crash_after, "rounds to run before the simulated crash");
+  cli.flag("checkpoint", &checkpoint_dir, "checkpoint directory");
   cli.flag("seed", &seed, "experiment seed");
   cli.parse(argc, argv);
-
-  comm::Codec codec = comm::Codec::kFp32;
-  if (codec_name == "fp16") codec = comm::Codec::kFp16;
-  if (codec_name == "int8") codec = comm::Codec::kInt8;
 
   fl::FederationOptions fed_options;
   fed_options.data = data::SyntheticSpec::cifar_like();
@@ -53,42 +51,53 @@ int main(int argc, char** argv) {
   fl::FedKemfOptions kemf_options;
   kemf_options.knowledge_spec = spec;
 
-  // Phase 1: train and checkpoint.
-  double accuracy_at_checkpoint = 0.0;
+  fl::RunOptions run;
+  run.rounds = static_cast<std::size_t>(rounds);
+  run.sample_ratio = 0.5;
+
+  // Reference: the uninterrupted run.
+  fl::RunResult reference;
   {
     fl::Federation federation(fed_options);
     fl::FedKemf algorithm({spec}, local, kemf_options);
-    fl::RunOptions run;
-    run.rounds = static_cast<std::size_t>(rounds_before);
-    run.sample_ratio = 0.5;
-    const fl::RunResult result = fl::run_federated(federation, algorithm, run);
-    accuracy_at_checkpoint = result.final_accuracy;
-    comm::save_model(algorithm.global_model(), checkpoint, codec);
-    std::printf("checkpointed after %d rounds at %.1f%% accuracy (%s, %s)\n",
-                rounds_before, accuracy_at_checkpoint * 100.0, checkpoint.c_str(),
-                codec_name.c_str());
+    reference = fl::run_federated(federation, algorithm, run);
   }
 
-  // Phase 2: a fresh process would do exactly this — rebuild, load, resume.
+  std::filesystem::remove_all(checkpoint_dir);
+  run.checkpoint_dir = checkpoint_dir;
+  run.checkpoint_every = 1;
+
+  // Phase 1: run to the "crash" with checkpointing on.
   {
     fl::Federation federation(fed_options);
     fl::FedKemf algorithm({spec}, local, kemf_options);
-    algorithm.setup(federation);
-    comm::load_model(checkpoint, algorithm.global_model());
-    const double restored =
-        fl::evaluate(algorithm.global_model(), federation.test_set()).accuracy;
-    std::printf("restored checkpoint evaluates at %.1f%%\n", restored * 100.0);
-
-    utils::ThreadPool pool(0);
-    for (int round = 0; round < rounds_after; ++round) {
-      const auto sampled =
-          fl::sample_clients(federation, static_cast<std::size_t>(round), 0.5);
-      algorithm.round(static_cast<std::size_t>(round), sampled, pool);
-    }
-    const double final_accuracy =
-        fl::evaluate(algorithm.global_model(), federation.test_set()).accuracy;
-    std::printf("after %d more rounds: %.1f%%\n", rounds_after, final_accuracy * 100.0);
+    fl::RunOptions first = run;
+    first.rounds = static_cast<std::size_t>(crash_after);
+    const fl::RunResult partial = fl::run_federated(federation, algorithm, first);
+    std::printf("\"crashed\" after %d rounds at %.1f%% accuracy (checkpoints in %s)\n",
+                crash_after, partial.final_accuracy * 100.0, checkpoint_dir.c_str());
   }
-  std::remove(checkpoint.c_str());
-  return 0;
+
+  // Phase 2: a fresh process — rebuild, restore the newest checkpoint, finish.
+  fl::RunResult resumed;
+  {
+    fl::Federation federation(fed_options);
+    fl::FedKemf algorithm({spec}, local, kemf_options);
+    resumed = fl::resume_run(federation, algorithm, run);
+  }
+
+  std::printf("\nround  reference  resumed\n");
+  bool identical = resumed.history.size() == reference.history.size();
+  for (std::size_t i = 0; i < resumed.history.size(); ++i) {
+    const double ref = i < reference.history.size() ? reference.history[i].accuracy : -1.0;
+    const double got = resumed.history[i].accuracy;
+    identical = identical && ref == got;  // bitwise: no tolerance
+    std::printf("%5zu  %8.4f%%  %7.4f%%%s\n", resumed.history[i].round + 1, 100.0 * ref,
+                100.0 * got, ref == got ? "" : "   <-- MISMATCH");
+  }
+  std::printf("\nresumed trajectory is %s the uninterrupted run\n",
+              identical ? "bitwise-identical to" : "DIFFERENT from");
+
+  std::filesystem::remove_all(checkpoint_dir);
+  return identical ? 0 : 1;
 }

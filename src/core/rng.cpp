@@ -29,6 +29,22 @@ Rng::Rng(std::uint64_t seed) : seed_(seed) {
   }
 }
 
+RngState Rng::state() const {
+  RngState s;
+  s.seed = seed_;
+  s.words = state_;
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::set_state(const RngState& state) {
+  seed_ = state.seed;
+  state_ = state.words;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng Rng::fork(std::uint64_t tag) const {
   // Mix the parent seed with the tag through splitmix so nearby tags
   // (client 0, client 1, ...) land on unrelated child seeds.

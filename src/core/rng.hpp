@@ -24,6 +24,18 @@ namespace fedkemf::core {
 /// splitmix64 step; public because seeding/tag-mixing logic is unit-tested.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// The complete position of an Rng stream — seed material, the four xoshiro
+/// state words, and the Box–Muller half-pair cache.  Capturing and restoring
+/// it resumes a stream mid-flight, which is what the checkpoint subsystem
+/// relies on for bitwise-identical crash recovery (dropout masks drawn after
+/// a restore match the ones an uninterrupted run would have drawn).
+struct RngState {
+  std::uint64_t seed = 0;
+  std::array<std::uint64_t, 4> words{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
@@ -74,6 +86,13 @@ class Rng {
   std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
 
   std::uint64_t seed() const { return seed_; }
+
+  /// Captures the stream's exact position (see RngState).
+  [[nodiscard]] RngState state() const;
+
+  /// Restores a position captured by state().  The generator continues the
+  /// captured stream exactly.
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t seed_;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "data/dataloader.hpp"
+#include "fl/checkpoint/state_io.hpp"
 #include "nn/loss.hpp"
 #include "sim/simulator.hpp"
 
@@ -12,6 +13,14 @@ const sim::AdversaryModel* Algorithm::adversary_model() const {
   if (simulator_ == nullptr) return nullptr;
   const sim::AdversaryModel& adversary = simulator_->adversary();
   return adversary.spec().any() ? &adversary : nullptr;
+}
+
+void Algorithm::save_state(core::ByteWriter& writer) {
+  ckpt::write_module_state(writer, global_model());
+}
+
+void Algorithm::load_state(core::ByteReader& reader) {
+  ckpt::read_module_state(reader, global_model());
 }
 
 void apply_label_map(std::vector<std::size_t>& labels,

@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "core/serialize.hpp"
 #include "fl/config.hpp"
 #include "fl/federation.hpp"
 #include "nn/module.hpp"
@@ -54,6 +55,18 @@ class Algorithm {
     (void)id;
     return &global_model();
   }
+
+  /// Serializes every piece of state that persists across rounds — enough
+  /// that load_state() on a freshly setup() instance makes subsequent rounds
+  /// bitwise-identical to the uninterrupted run.  The default covers the
+  /// global model (weights, buffers, Dropout stream positions); algorithms
+  /// with additional cross-round state (client slots, control variates,
+  /// server optimizers, reputation) extend it.  Contract: load_state must be
+  /// called after setup() on the *same* configuration, and reads exactly what
+  /// save_state wrote (symmetric formats, validated against the live
+  /// objects — mismatches throw rather than corrupt).
+  virtual void save_state(core::ByteWriter& writer);
+  virtual void load_state(core::ByteReader& reader);
 
   /// Installs (or clears, with nullptr) the network-realism simulator.  When
   /// set, round() must consult it per client — availability gate before any

@@ -1,0 +1,132 @@
+#include "fl/checkpoint/run_state.hpp"
+
+#include <stdexcept>
+
+namespace fedkemf::fl {
+namespace {
+
+void write_phases(core::ByteWriter& writer, const obs::PhaseSeconds& phases) {
+  writer.write_f64(phases.local_train);
+  writer.write_f64(phases.upload);
+  writer.write_f64(phases.sanitize);
+  writer.write_f64(phases.fuse);
+  writer.write_f64(phases.distill);
+  writer.write_f64(phases.eval);
+}
+
+obs::PhaseSeconds read_phases(core::ByteReader& reader) {
+  obs::PhaseSeconds phases;
+  phases.local_train = reader.read_f64();
+  phases.upload = reader.read_f64();
+  phases.sanitize = reader.read_f64();
+  phases.fuse = reader.read_f64();
+  phases.distill = reader.read_f64();
+  phases.eval = reader.read_f64();
+  return phases;
+}
+
+void write_record(core::ByteWriter& writer, const RoundRecord& record) {
+  writer.write_u64(record.round);
+  writer.write_f64(record.accuracy);
+  writer.write_f64(record.client_accuracy);
+  writer.write_f64(record.train_loss);
+  writer.write_u64(record.round_bytes);
+  writer.write_u64(record.cumulative_bytes);
+  writer.write_f64(record.round_seconds);
+  writer.write_f64(record.eval_seconds);
+  write_phases(writer, record.phases);
+  writer.write_u64(record.clients_sampled);
+  writer.write_u64(record.clients_completed);
+  writer.write_u64(record.clients_dropped);
+  writer.write_u64(record.clients_straggled);
+  writer.write_f64(record.sim_seconds);
+  writer.write_u64(record.rejected_updates);
+  writer.write_u8(record.rolled_back ? 1 : 0);
+}
+
+RoundRecord read_record(core::ByteReader& reader) {
+  RoundRecord record;
+  record.round = static_cast<std::size_t>(reader.read_u64());
+  record.accuracy = reader.read_f64();
+  record.client_accuracy = reader.read_f64();
+  record.train_loss = reader.read_f64();
+  record.round_bytes = static_cast<std::size_t>(reader.read_u64());
+  record.cumulative_bytes = static_cast<std::size_t>(reader.read_u64());
+  record.round_seconds = reader.read_f64();
+  record.eval_seconds = reader.read_f64();
+  record.phases = read_phases(reader);
+  record.clients_sampled = static_cast<std::size_t>(reader.read_u64());
+  record.clients_completed = static_cast<std::size_t>(reader.read_u64());
+  record.clients_dropped = static_cast<std::size_t>(reader.read_u64());
+  record.clients_straggled = static_cast<std::size_t>(reader.read_u64());
+  record.sim_seconds = reader.read_f64();
+  record.rejected_updates = static_cast<std::size_t>(reader.read_u64());
+  record.rolled_back = reader.read_u8() != 0;
+  return record;
+}
+
+}  // namespace
+
+void encode_run_state(core::ByteWriter& writer, const RunnerState& state) {
+  writer.write_u64(state.next_round);
+  writer.write_u64(state.bytes_baseline);
+  writer.write_f64(state.wall_seconds_before);
+
+  const RunResult& result = state.result;
+  writer.write_string(result.algorithm);
+  writer.write_u32(static_cast<std::uint32_t>(result.history.size()));
+  for (const RoundRecord& record : result.history) write_record(writer, record);
+  writer.write_u64(result.total_bytes);
+  writer.write_u64(result.rounds_completed);
+  writer.write_f64(result.final_accuracy);
+  writer.write_f64(result.best_accuracy);
+  writer.write_f64(result.wall_seconds);
+  writer.write_f64(result.sim_seconds);
+  writer.write_u64(result.total_dropped);
+  writer.write_u64(result.total_stragglers);
+  writer.write_u64(result.total_rejected_updates);
+  writer.write_u64(result.total_rolled_back);
+
+  writer.write_u8(state.has_watchdog_snapshot ? 1 : 0);
+  if (state.has_watchdog_snapshot) {
+    writer.write_u32(static_cast<std::uint32_t>(state.last_good.size()));
+    for (const core::Tensor& t : state.last_good) core::write_tensor(writer, t);
+    writer.write_f64(state.last_good_accuracy);
+  }
+}
+
+RunnerState decode_run_state(core::ByteReader& reader) {
+  RunnerState state;
+  state.next_round = reader.read_u64();
+  state.bytes_baseline = reader.read_u64();
+  state.wall_seconds_before = reader.read_f64();
+
+  RunResult& result = state.result;
+  result.algorithm = reader.read_string();
+  const std::uint32_t records = reader.read_u32();
+  result.history.reserve(records);
+  for (std::uint32_t i = 0; i < records; ++i) result.history.push_back(read_record(reader));
+  result.total_bytes = static_cast<std::size_t>(reader.read_u64());
+  result.rounds_completed = static_cast<std::size_t>(reader.read_u64());
+  result.final_accuracy = reader.read_f64();
+  result.best_accuracy = reader.read_f64();
+  result.wall_seconds = reader.read_f64();
+  result.sim_seconds = reader.read_f64();
+  result.total_dropped = static_cast<std::size_t>(reader.read_u64());
+  result.total_stragglers = static_cast<std::size_t>(reader.read_u64());
+  result.total_rejected_updates = static_cast<std::size_t>(reader.read_u64());
+  result.total_rolled_back = static_cast<std::size_t>(reader.read_u64());
+
+  state.has_watchdog_snapshot = reader.read_u8() != 0;
+  if (state.has_watchdog_snapshot) {
+    const std::uint32_t tensors = reader.read_u32();
+    state.last_good.reserve(tensors);
+    for (std::uint32_t i = 0; i < tensors; ++i) {
+      state.last_good.push_back(core::read_tensor(reader));
+    }
+    state.last_good_accuracy = reader.read_f64();
+  }
+  return state;
+}
+
+}  // namespace fedkemf::fl

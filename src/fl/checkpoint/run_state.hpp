@@ -1,0 +1,47 @@
+#pragma once
+
+// Runner-side checkpoint vocabulary: what a run must carry across a crash.
+//
+// A run checkpoint holds two sections in the ckpt:: container
+// (fl/checkpoint/format.hpp):
+//   "runner"    — RunnerState: the round cursor, the accumulated RunResult
+//                 history/totals, the traffic baseline (the TrafficMeter
+//                 resets per process, so cumulative bytes continue from an
+//                 offset), accumulated wall-clock, and the divergence
+//                 watchdog's last-good snapshot + accuracy;
+//   "algorithm" — whatever Algorithm::save_state wrote (model weights, slots,
+//                 control variates, optimizers, reputation, Rng streams).
+//
+// Everything else a round consumes — client sampling, simulator fault draws,
+// adversary behaviour, distillation batch picks — is a pure function of
+// (seed, round), derived via position-independent Rng forks, so it needs no
+// persistence: re-executing round R after a restore draws exactly what the
+// crashed process would have drawn.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "core/tensor.hpp"
+#include "fl/metrics.hpp"
+
+namespace fedkemf::fl {
+
+struct RunnerState {
+  std::uint64_t next_round = 0;     ///< first round a resumed run executes
+  RunResult result;                 ///< history + totals so far
+  std::uint64_t bytes_baseline = 0; ///< cumulative traffic before this process
+  double wall_seconds_before = 0.0; ///< wall-clock spent by prior processes
+
+  // Divergence-watchdog continuation (meaningful only when the run options
+  // enable the watchdog; empty/NaN otherwise).
+  bool has_watchdog_snapshot = false;
+  std::vector<core::Tensor> last_good;
+  double last_good_accuracy = std::numeric_limits<double>::quiet_NaN();
+};
+
+void encode_run_state(core::ByteWriter& writer, const RunnerState& state);
+RunnerState decode_run_state(core::ByteReader& reader);
+
+}  // namespace fedkemf::fl

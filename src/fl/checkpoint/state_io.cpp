@@ -1,0 +1,88 @@
+#include "fl/checkpoint/state_io.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fedkemf::ckpt {
+
+void write_rng(core::ByteWriter& writer, const core::Rng& rng) {
+  const core::RngState state = rng.state();
+  writer.write_u64(state.seed);
+  for (const std::uint64_t word : state.words) writer.write_u64(word);
+  writer.write_u8(state.has_cached_normal ? 1 : 0);
+  writer.write_f64(state.cached_normal);
+}
+
+void read_rng(core::ByteReader& reader, core::Rng& rng) {
+  core::RngState state;
+  state.seed = reader.read_u64();
+  for (std::uint64_t& word : state.words) word = reader.read_u64();
+  state.has_cached_normal = reader.read_u8() != 0;
+  state.cached_normal = reader.read_f64();
+  rng.set_state(state);
+}
+
+void write_module_rng_streams(core::ByteWriter& writer, nn::Module& model) {
+  const std::vector<core::Rng*> streams = model.rng_streams();
+  writer.write_u32(static_cast<std::uint32_t>(streams.size()));
+  for (const core::Rng* stream : streams) write_rng(writer, *stream);
+}
+
+void read_module_rng_streams(core::ByteReader& reader, nn::Module& model) {
+  const std::vector<core::Rng*> streams = model.rng_streams();
+  const std::uint32_t count = reader.read_u32();
+  if (count != streams.size()) {
+    throw std::runtime_error("checkpoint: module has " + std::to_string(streams.size()) +
+                             " rng streams but checkpoint holds " + std::to_string(count) +
+                             " (architecture mismatch)");
+  }
+  for (core::Rng* stream : streams) read_rng(reader, *stream);
+}
+
+void write_module_state(core::ByteWriter& writer, nn::Module& model) {
+  const std::vector<core::Tensor> state = nn::snapshot_state(model);
+  writer.write_u32(static_cast<std::uint32_t>(state.size()));
+  for (const core::Tensor& tensor : state) core::write_tensor(writer, tensor);
+  write_module_rng_streams(writer, model);
+}
+
+void read_module_state(core::ByteReader& reader, nn::Module& model) {
+  const std::uint32_t count = reader.read_u32();
+  const std::size_t expected = nn::snapshot_state(model).size();
+  if (count != expected) {
+    // Checked before any allocation: a corrupt count must fail loudly here,
+    // not as a giant reserve() or a shape mismatch deep in read_tensor.
+    throw std::runtime_error("checkpoint: module has " + std::to_string(expected) +
+                             " state tensors but checkpoint holds " + std::to_string(count) +
+                             " (architecture mismatch or corrupt payload)");
+  }
+  std::vector<core::Tensor> state;
+  state.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) state.push_back(core::read_tensor(reader));
+  nn::restore_state(model, state);  // validates tensor count + shapes
+  read_module_rng_streams(reader, model);
+}
+
+void write_optimizer(core::ByteWriter& writer, const nn::Sgd& optimizer) {
+  writer.write_u64(optimizer.steps_taken());
+  const std::vector<core::Tensor>& buffers = optimizer.momentum_buffers();
+  writer.write_u32(static_cast<std::uint32_t>(buffers.size()));
+  for (const core::Tensor& buffer : buffers) core::write_tensor(writer, buffer);
+}
+
+void read_optimizer(core::ByteReader& reader, nn::Sgd& optimizer) {
+  const std::uint64_t steps = reader.read_u64();
+  const std::uint32_t count = reader.read_u32();
+  const std::size_t expected = optimizer.momentum_buffers().size();
+  if (count != expected) {
+    throw std::runtime_error("checkpoint: optimizer has " + std::to_string(expected) +
+                             " momentum buffers but checkpoint holds " + std::to_string(count) +
+                             " (configuration mismatch or corrupt payload)");
+  }
+  std::vector<core::Tensor> buffers;
+  buffers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) buffers.push_back(core::read_tensor(reader));
+  optimizer.restore(std::move(buffers), static_cast<std::size_t>(steps));
+}
+
+}  // namespace fedkemf::ckpt

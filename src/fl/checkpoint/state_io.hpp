@@ -1,0 +1,40 @@
+#pragma once
+
+// Serialization helpers shared by every checkpointable component.
+//
+// These pair each in-memory state object (Rng stream, module weights + Dropout
+// streams, Sgd momentum) with a symmetric write_*/read_* function over the
+// core byte-stream primitives.  Readers validate against the *live* object
+// they restore into — tensor shapes, stream counts — so a checkpoint from a
+// different architecture fails loudly instead of silently corrupting weights.
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/serialize.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+
+namespace fedkemf::ckpt {
+
+/// Full Rng stream state (seed, xoshiro words, cached normal).
+void write_rng(core::ByteWriter& writer, const core::Rng& rng);
+void read_rng(core::ByteReader& reader, core::Rng& rng);
+
+/// Positions of a module's private Rng streams (Dropout masks), in the
+/// deterministic append_rng_streams order.
+void write_module_rng_streams(core::ByteWriter& writer, nn::Module& model);
+void read_module_rng_streams(core::ByteReader& reader, nn::Module& model);
+
+/// All state tensors (parameters then buffers) plus private Rng streams.
+/// read_module_state requires `model` to have the same architecture the
+/// checkpoint was taken from; throws std::runtime_error otherwise.
+void write_module_state(core::ByteWriter& writer, nn::Module& model);
+void read_module_state(core::ByteReader& reader, nn::Module& model);
+
+/// Sgd momentum buffers + step count.  read_optimizer validates buffer count
+/// and shapes against the live optimizer (via Sgd::restore).
+void write_optimizer(core::ByteWriter& writer, const nn::Sgd& optimizer);
+void read_optimizer(core::ByteReader& reader, nn::Sgd& optimizer);
+
+}  // namespace fedkemf::ckpt

@@ -98,6 +98,15 @@ struct RunOptions {
   /// timings, traffic, cohort fate, defense counters) plus a closing
   /// {"kind":"run"} summary to this path.  Empty = no telemetry file.
   std::string telemetry_path;
+  /// When non-empty, the runner writes a crash-tolerant checkpoint of the
+  /// full run state to this directory every `checkpoint_every` rounds (and on
+  /// a graceful-shutdown request), retaining the newest `checkpoint_retain`
+  /// files.  resume_run() restores from the newest valid checkpoint and
+  /// continues bitwise-identically to an uninterrupted run.  Empty = no
+  /// checkpointing.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  std::size_t checkpoint_retain = 3;
 };
 
 /// FedKEMF-specific knobs (defaults follow the paper where it specifies and

@@ -21,6 +21,30 @@ ReputationTracker::ReputationTracker(const ReputationOptions& options,
   }
 }
 
+void ReputationTracker::restore(std::vector<double> scores,
+                                std::vector<std::size_t> observations) {
+  if (scores.size() != scores_.size() || observations.size() != observations_.size()) {
+    throw std::invalid_argument("ReputationTracker::restore: population size mismatch");
+  }
+  scores_ = std::move(scores);
+  observations_ = std::move(observations);
+}
+
+void ReputationTracker::save_state(core::ByteWriter& writer) const {
+  writer.write_u32(static_cast<std::uint32_t>(scores_.size()));
+  for (const double score : scores_) writer.write_f64(score);
+  for (const std::size_t count : observations_) writer.write_u64(count);
+}
+
+void ReputationTracker::load_state(core::ByteReader& reader) {
+  const std::uint32_t count = reader.read_u32();
+  std::vector<double> scores(count);
+  for (double& score : scores) score = reader.read_f64();
+  std::vector<std::size_t> observations(count);
+  for (std::size_t& n : observations) n = static_cast<std::size_t>(reader.read_u64());
+  restore(std::move(scores), std::move(observations));
+}
+
 void ReputationTracker::observe(std::size_t client_id, double agreement) {
   if (!(agreement >= 0.0 && agreement <= 1.0)) {
     throw std::invalid_argument("ReputationTracker: agreement must be in [0, 1], got " +

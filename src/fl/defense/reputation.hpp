@@ -19,6 +19,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/serialize.hpp"
+
 namespace fedkemf::fl {
 
 struct ReputationOptions {
@@ -62,6 +64,18 @@ class ReputationTracker {
   double weight(std::size_t client_id) const;
 
   const ReputationOptions& options() const { return options_; }
+
+  // Checkpoint capture/restore of the cross-round EMA state.
+  const std::vector<double>& scores() const { return scores_; }
+  const std::vector<std::size_t>& observation_counts() const { return observations_; }
+
+  /// Restores state captured from a tracker over the same client population;
+  /// throws std::invalid_argument on a size mismatch.
+  void restore(std::vector<double> scores, std::vector<std::size_t> observations);
+
+  /// Byte-stream forms of the same capture/restore (checkpoint subsystem).
+  void save_state(core::ByteWriter& writer) const;
+  void load_state(core::ByteReader& reader);
 
  private:
   ReputationOptions options_;

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "fl/checkpoint/state_io.hpp"
 #include "models/flops.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -40,6 +41,34 @@ FedAvg::Slot& FedAvg::slot(std::size_t client_id) {
     s.staged = models::build_model(spec_, rng);
   }
   return s;
+}
+
+void FedAvg::save_state(core::ByteWriter& writer) {
+  Algorithm::save_state(writer);
+  writer.write_u32(static_cast<std::uint32_t>(slots_.size()));
+  for (Slot& s : slots_) {
+    writer.write_u8(s.model ? 1 : 0);
+    if (s.model) {
+      ckpt::write_module_rng_streams(writer, *s.model);
+      ckpt::write_module_rng_streams(writer, *s.staged);
+    }
+  }
+}
+
+void FedAvg::load_state(core::ByteReader& reader) {
+  Algorithm::load_state(reader);
+  const std::uint32_t count = reader.read_u32();
+  if (count != slots_.size()) {
+    throw std::runtime_error("FedAvg::load_state: checkpoint has " +
+                             std::to_string(count) + " slots, federation has " +
+                             std::to_string(slots_.size()));
+  }
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (reader.read_u8() == 0) continue;
+    Slot& s = slot(id);  // rebuild lazily, exactly as the original run did
+    ckpt::read_module_rng_streams(reader, *s.model);
+    ckpt::read_module_rng_streams(reader, *s.staged);
+  }
 }
 
 GradHook FedAvg::make_grad_hook(std::size_t client_id, nn::Module& client_model) {

@@ -24,6 +24,13 @@ class FedAvg : public Algorithm {
                utils::ThreadPool& pool) override;
   nn::Module& global_model() override;
 
+  /// Base state + per-client slot presence and slot Rng stream positions.
+  /// Slot *weights* are deliberately not saved: the downlink overwrites them
+  /// at the top of every round, so only the Dropout stream positions (which
+  /// advance monotonically across rounds) affect the resumed trajectory.
+  void save_state(core::ByteWriter& writer) override;
+  void load_state(core::ByteReader& reader) override;
+
   const models::ModelSpec& model_spec() const { return spec_; }
   const LocalTrainConfig& local_config() const { return local_config_; }
 

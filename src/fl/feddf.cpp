@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/tensor_ops.hpp"
+#include "fl/checkpoint/state_io.hpp"
 #include "fl/defense/robust_ensemble.hpp"
 #include "fl/defense/sanitize.hpp"
 #include "fl/fedkemf.hpp"  // ensemble_logits
@@ -40,6 +41,23 @@ void FedDf::setup(Federation& federation) {
   }
   last_distill_loss_ = 0.0;
   last_rejected_ = 0;
+}
+
+void FedDf::save_state(core::ByteWriter& writer) {
+  FedAvg::save_state(writer);
+  ckpt::write_optimizer(writer, *server_optimizer_);
+  writer.write_u8(reputation_ ? 1 : 0);
+  if (reputation_) reputation_->save_state(writer);
+}
+
+void FedDf::load_state(core::ByteReader& reader) {
+  FedAvg::load_state(reader);
+  ckpt::read_optimizer(reader, *server_optimizer_);
+  const bool has_reputation = reader.read_u8() != 0;
+  if (has_reputation != (reputation_ != nullptr)) {
+    throw std::runtime_error("FedDF::load_state: reputation configuration mismatch");
+  }
+  if (reputation_) reputation_->load_state(reader);
 }
 
 std::vector<std::size_t> FedDf::screen_members(std::span<const std::size_t> sampled,

@@ -39,6 +39,10 @@ class FedDf final : public FedAvg {
   std::string name() const override { return "FedDF"; }
   void setup(Federation& federation) override;
 
+  /// FedAvg state + server optimizer + reputation EMA.
+  void save_state(core::ByteWriter& writer) override;
+  void load_state(core::ByteReader& reader) override;
+
   const FedDfOptions& options() const { return options_; }
   double last_server_loss() const override { return last_distill_loss_; }
   std::size_t last_rejected_updates() const override { return last_rejected_; }

@@ -7,6 +7,7 @@
 
 #include "data/dataloader.hpp"
 #include "core/tensor_ops.hpp"
+#include "fl/checkpoint/state_io.hpp"
 #include "fl/defense/robust_ensemble.hpp"
 #include "fl/defense/sanitize.hpp"
 #include "models/flops.hpp"
@@ -207,6 +208,48 @@ FedKemf::Slot& FedKemf::slot(std::size_t client_id) {
     s.staged = models::build_model(options_.knowledge_spec, rng);
   }
   return s;
+}
+
+void FedKemf::save_state(core::ByteWriter& writer) {
+  Algorithm::save_state(writer);
+  ckpt::write_optimizer(writer, *server_optimizer_);
+  writer.write_u32(static_cast<std::uint32_t>(slots_.size()));
+  for (Slot& s : slots_) {
+    writer.write_u8(s.local_model ? 1 : 0);
+    if (s.local_model) {
+      // The private local model never crosses the wire: full state.  The
+      // knowledge working copies are overwritten by the downlink each round,
+      // so only their Dropout stream positions matter.
+      ckpt::write_module_state(writer, *s.local_model);
+      ckpt::write_module_rng_streams(writer, *s.knowledge);
+      ckpt::write_module_rng_streams(writer, *s.staged);
+    }
+  }
+  writer.write_u8(reputation_ ? 1 : 0);
+  if (reputation_) reputation_->save_state(writer);
+}
+
+void FedKemf::load_state(core::ByteReader& reader) {
+  Algorithm::load_state(reader);
+  ckpt::read_optimizer(reader, *server_optimizer_);
+  const std::uint32_t count = reader.read_u32();
+  if (count != slots_.size()) {
+    throw std::runtime_error("FedKemf::load_state: checkpoint has " +
+                             std::to_string(count) + " slots, federation has " +
+                             std::to_string(slots_.size()));
+  }
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (reader.read_u8() == 0) continue;
+    Slot& s = slot(id);
+    ckpt::read_module_state(reader, *s.local_model);
+    ckpt::read_module_rng_streams(reader, *s.knowledge);
+    ckpt::read_module_rng_streams(reader, *s.staged);
+  }
+  const bool has_reputation = reader.read_u8() != 0;
+  if (has_reputation != (reputation_ != nullptr)) {
+    throw std::runtime_error("FedKemf::load_state: reputation configuration mismatch");
+  }
+  if (reputation_) reputation_->load_state(reader);
 }
 
 double FedKemf::client_training_flops(std::size_t client_id, std::size_t round_index) {

@@ -85,6 +85,12 @@ class FedKemf final : public Algorithm {
   /// Cross-round reputation state (null unless options().reputation.enabled).
   const ReputationTracker* reputation() const { return reputation_.get(); }
 
+  /// Global knowledge network + server optimizer + per-client private models
+  /// (full state — they never cross the wire, so the checkpoint is the only
+  /// place they survive a crash) + reputation EMA.
+  void save_state(core::ByteWriter& writer) override;
+  void load_state(core::ByteReader& reader) override;
+
  private:
   struct Slot {
     std::unique_ptr<nn::Module> local_model;    ///< persists across rounds

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/serialize.hpp"
+#include "fl/checkpoint/state_io.hpp"
 #include "nn/loss.hpp"
 #include "obs/trace.hpp"
 
@@ -53,6 +54,30 @@ nn::Module* FedMd::client_model(std::size_t id) {
 
 const models::ModelSpec& FedMd::client_spec(std::size_t id) const {
   return arch_pool_[id % arch_pool_.size()];
+}
+
+void FedMd::save_state(core::ByteWriter& writer) {
+  Algorithm::save_state(writer);
+  ckpt::write_optimizer(writer, *student_optimizer_);
+  writer.write_u32(static_cast<std::uint32_t>(slots_.size()));
+  for (Slot& s : slots_) {
+    writer.write_u8(s.model ? 1 : 0);
+    if (s.model) ckpt::write_module_state(writer, *s.model);
+  }
+}
+
+void FedMd::load_state(core::ByteReader& reader) {
+  Algorithm::load_state(reader);
+  ckpt::read_optimizer(reader, *student_optimizer_);
+  const std::uint32_t count = reader.read_u32();
+  if (count != slots_.size()) {
+    throw std::runtime_error("FedMd::load_state: checkpoint has " + std::to_string(count) +
+                             " slots, federation has " + std::to_string(slots_.size()));
+  }
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (reader.read_u8() == 0) continue;
+    ckpt::read_module_state(reader, *slot(id).model);
+  }
 }
 
 FedMd::Slot& FedMd::slot(std::size_t client_id) {

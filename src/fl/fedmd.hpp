@@ -55,6 +55,11 @@ class FedMd final : public Algorithm {
   nn::Module& global_model() override;
   nn::Module* client_model(std::size_t id) override;
 
+  /// Server student + its optimizer + per-client private models (full state —
+  /// FedMD never exchanges weights, so the checkpoint is their only copy).
+  void save_state(core::ByteWriter& writer) override;
+  void load_state(core::ByteReader& reader) override;
+
   const models::ModelSpec& client_spec(std::size_t id) const;
 
  private:

@@ -74,6 +74,11 @@ struct RunResult {
   std::size_t total_rejected_updates = 0;
   std::size_t total_rolled_back = 0;  ///< rounds the watchdog rolled back
 
+  /// True when the run stopped early on a graceful-shutdown request (SIGINT/
+  /// SIGTERM with install_shutdown_handler); a final checkpoint was written
+  /// if checkpointing was configured.
+  bool interrupted = false;
+
   /// First round whose evaluated accuracy reached `target`; nullopt if never.
   std::optional<std::size_t> rounds_to_accuracy(double target) const;
 

@@ -4,14 +4,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "fl/checkpoint/format.hpp"
+#include "fl/checkpoint/run_state.hpp"
 #include "fl/defense/sanitize.hpp"  // state_finite
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "sim/crash.hpp"
 #include "sim/simulator.hpp"
 #include "utils/logging.hpp"
 #include "utils/stopwatch.hpp"
@@ -25,6 +29,8 @@ struct RunnerMetrics {
   obs::Counter& evals;
   obs::Counter& rollbacks;
   obs::Counter& rejected_updates;
+  obs::Counter& checkpoints;
+  obs::Counter& restores;
   obs::Histogram& round_seconds;
 
   static RunnerMetrics& get() {
@@ -34,6 +40,8 @@ struct RunnerMetrics {
         registry.counter("fl.evals"),
         registry.counter("fl.rollbacks"),
         registry.counter("fl.rejected_updates"),
+        registry.counter("fl.checkpoints"),
+        registry.counter("fl.restores"),
         registry.histogram("fl.round_seconds"),
     };
     return metrics;
@@ -63,36 +71,22 @@ obs::RoundTelemetry to_telemetry(const RoundRecord& record, bool evaluated,
   return t;
 }
 
-}  // namespace
+// ---- Graceful shutdown ----
 
-std::size_t sampled_client_count(std::size_t population, double ratio) {
-  if (population == 0) {
-    throw std::invalid_argument("sampled_client_count: empty population");
-  }
-  if (ratio <= 0.0 || ratio > 1.0) {
-    throw std::invalid_argument("sampled_client_count: ratio must be in (0, 1]");
-  }
-  const std::size_t count = static_cast<std::size_t>(
-      std::lround(ratio * static_cast<double>(population)));
-  return std::clamp<std::size_t>(count, 1, population);
-}
+// Everything the handler touches must be async-signal-safe: one flag write.
+volatile std::sig_atomic_t g_shutdown_flag = 0;
 
-std::vector<std::size_t> sample_clients(const Federation& federation, std::size_t round_index,
-                                        double ratio) {
-  const std::size_t population = federation.num_clients();
-  const std::size_t count = sampled_client_count(population, ratio);
-  core::Rng rng = federation.root_rng().fork(0x5A3B7E00ULL + round_index);
-  return rng.sample_without_replacement(population, count);
-}
+extern "C" void handle_shutdown_signal(int) { g_shutdown_flag = 1; }
 
-RunResult run_federated(Federation& federation, Algorithm& algorithm,
-                        const RunOptions& options) {
-  if (options.rounds == 0) throw std::invalid_argument("run_federated: zero rounds");
-  federation.meter().reset();
-  algorithm.setup(federation);
+/// Shared round loop of run_federated and resume_run.  `state` carries the
+/// starting cursor and accumulated history (zeroed for a fresh run); the
+/// algorithm must already be set up (and, on resume, load_state'd).
+RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOptions& options,
+                   RunnerState state, bool resumed) {
   std::unique_ptr<ClientSelector> selector = make_selector(options.selector);
   utils::ThreadPool pool(options.num_threads);
   utils::Stopwatch run_clock;
+  RunnerMetrics& metrics = RunnerMetrics::get();
 
   std::unique_ptr<sim::Simulator> simulator;
   if (options.sim) {
@@ -103,32 +97,82 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     algorithm.set_simulator(simulator.get());
   }
 
-  RunResult result;
+  RunResult result = std::move(state.result);
   result.algorithm = algorithm.name();
-  std::size_t bytes_before_round = 0;
+  // The traffic meter was reset when this process started; cumulative byte
+  // accounting continues from the checkpointed baseline.
+  const std::size_t bytes_baseline = static_cast<std::size_t>(state.bytes_baseline);
+  std::size_t bytes_before_round = bytes_baseline;
+  const auto cumulative_bytes = [&] {
+    return bytes_baseline + federation.meter().total_bytes();
+  };
 
   std::unique_ptr<obs::RunTelemetry> telemetry;
   if (!options.telemetry_path.empty()) {
-    telemetry = std::make_unique<obs::RunTelemetry>(options.telemetry_path);
+    telemetry = std::make_unique<obs::RunTelemetry>(options.telemetry_path,
+                                                    /*append=*/resumed);
     if (!telemetry->ok()) {
       utils::log_warn("runner") << "telemetry sink failed to open: "
                                 << options.telemetry_path;
       telemetry.reset();
+    } else if (resumed) {
+      telemetry->record_resume(static_cast<std::size_t>(state.next_round));
     }
   }
-  RunnerMetrics& metrics = RunnerMetrics::get();
+
+  std::unique_ptr<ckpt::CheckpointManager> checkpoints;
+  if (!options.checkpoint_dir.empty()) {
+    checkpoints = std::make_unique<ckpt::CheckpointManager>(
+        options.checkpoint_dir, std::max<std::size_t>(1, options.checkpoint_retain));
+  }
+  const std::size_t checkpoint_every = std::max<std::size_t>(1, options.checkpoint_every);
 
   // Divergence watchdog: keep a snapshot of the last accepted global model
   // and its last evaluated accuracy; a poisoned round (non-finite losses or
   // weights, or an accuracy collapse) is rolled back to the snapshot and the
   // run continues.
-  std::vector<core::Tensor> last_good;
-  double last_good_accuracy = std::numeric_limits<double>::quiet_NaN();
-  if (options.watchdog) last_good = nn::snapshot_state(algorithm.global_model());
+  std::vector<core::Tensor> last_good = std::move(state.last_good);
+  double last_good_accuracy = state.last_good_accuracy;
+  if (options.watchdog && last_good.empty()) {
+    last_good = nn::snapshot_state(algorithm.global_model());
+  }
 
-  for (std::size_t round = 0; round < options.rounds; ++round) {
+  const auto write_checkpoint = [&](std::size_t next_round) {
+    obs::TraceSpan span("fl.checkpoint");
+    ckpt::Checkpoint checkpoint;
+    checkpoint.algorithm = algorithm.name();
+    checkpoint.next_round = next_round;
+    {
+      RunnerState snapshot;
+      snapshot.next_round = next_round;
+      snapshot.result = result;
+      snapshot.result.total_bytes = cumulative_bytes();
+      snapshot.result.wall_seconds = state.wall_seconds_before + run_clock.seconds();
+      snapshot.bytes_baseline = cumulative_bytes();
+      snapshot.wall_seconds_before = snapshot.result.wall_seconds;
+      snapshot.has_watchdog_snapshot = options.watchdog.has_value();
+      if (options.watchdog) {
+        snapshot.last_good = last_good;  // copy: the loop keeps mutating ours
+        snapshot.last_good_accuracy = last_good_accuracy;
+      }
+      core::ByteWriter writer;
+      encode_run_state(writer, snapshot);
+      checkpoint.section("runner") = writer.take();
+    }
+    {
+      core::ByteWriter writer;
+      algorithm.save_state(writer);
+      checkpoint.section("algorithm") = writer.take();
+    }
+    checkpoints->write(checkpoint);
+    metrics.checkpoints.add(1);
+  };
+
+  for (std::size_t round = static_cast<std::size_t>(state.next_round);
+       round < options.rounds; ++round) {
     obs::TraceSpan round_span("fl.round");
     utils::Stopwatch round_clock;
+    sim::CrashInjector::instance().begin_round(round);
     const std::size_t count =
         sampled_client_count(federation.num_clients(), options.sample_ratio);
     const std::vector<std::size_t> sampled = selector->select(federation, round, count);
@@ -164,7 +208,7 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     RoundRecord record;
     record.round = round;
     record.train_loss = train_loss;
-    const std::size_t bytes_now = federation.meter().total_bytes();
+    const std::size_t bytes_now = cumulative_bytes();
     record.cumulative_bytes = bytes_now;
     record.round_bytes = bytes_now - bytes_before_round;
     bytes_before_round = bytes_now;
@@ -184,7 +228,74 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     const std::size_t every = std::max<std::size_t>(1, options.eval_every);
     // A rollback always produces a history record, even off-cadence.
     const bool eval_now = last_round || ((round + 1) % every == 0) || rolled_back;
-    if (!eval_now) {
+    bool stop_now = false;
+    if (eval_now) {
+      {
+        obs::ScopedPhaseTimer eval_timer(algorithm.phase_accumulator(), obs::Phase::kEval);
+        obs::TraceSpan eval_span("fl.eval");
+        utils::Stopwatch eval_clock;
+        metrics.evals.add(1);
+        const EvalResult eval = evaluate(algorithm.global_model(), federation.test_set());
+        record.accuracy = eval.accuracy;
+        if (options.watchdog && !rolled_back && std::isfinite(last_good_accuracy) &&
+            eval.accuracy <
+                last_good_accuracy - options.watchdog->accuracy_drop_threshold) {
+          // Accuracy collapse: restore the snapshot; the recorded accuracy is
+          // the restored model's (= the last accepted evaluation).
+          nn::restore_state(algorithm.global_model(), last_good);
+          rolled_back = true;
+          record.accuracy = last_good_accuracy;
+        }
+        record.rolled_back = rolled_back;
+        if (rolled_back) {
+          ++result.total_rolled_back;
+          metrics.rollbacks.add(1);
+        } else if (options.watchdog) {
+          last_good = nn::snapshot_state(algorithm.global_model());
+          last_good_accuracy = record.accuracy;
+        }
+
+        if (options.evaluate_client_models) {
+          double acc_total = 0.0;
+          for (std::size_t id = 0; id < federation.num_clients(); ++id) {
+            nn::Module* model = algorithm.client_model(id);
+            const EvalResult local = evaluate_subset(*model, federation.test_set(),
+                                                     federation.client_test_indices(id));
+            acc_total += local.accuracy;
+          }
+          record.client_accuracy =
+              acc_total / static_cast<double>(federation.num_clients());
+        } else {
+          record.client_accuracy = std::nan("");
+        }
+        record.eval_seconds = eval_clock.seconds();
+      }
+      record.phases = algorithm.phase_accumulator().snapshot();
+
+      result.best_accuracy = std::max(result.best_accuracy, record.accuracy);
+      result.final_accuracy = record.accuracy;
+      result.history.push_back(record);
+      if (telemetry) {
+        telemetry->record_round(
+            to_telemetry(record, /*evaluated=*/true, algorithm.last_server_loss()));
+      }
+
+      if (options.verbose) {
+        auto line = utils::log_info("runner");
+        line << algorithm.name() << " round " << round + 1 << "/" << options.rounds
+             << " acc=" << record.accuracy << " loss=" << train_loss
+             << " bytes=" << record.cumulative_bytes;
+        if (simulator) {
+          line << " completed=" << sim_report.completed << "/" << sim_report.sampled
+               << " dropped=" << sim_report.dropped()
+               << " stragglers=" << sim_report.stragglers
+               << " sim_s=" << sim_report.simulated_seconds;
+        }
+        if (record.rejected_updates > 0) line << " rejected=" << record.rejected_updates;
+        if (record.rolled_back) line << " rolled_back";
+      }
+      stop_now = options.stop_at_accuracy && record.accuracy >= *options.stop_at_accuracy;
+    } else {
       if (options.watchdog) last_good = nn::snapshot_state(algorithm.global_model());
       // Off-cadence rounds still stream telemetry (evaluated=false).
       record.phases = algorithm.phase_accumulator().snapshot();
@@ -192,76 +303,26 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
         telemetry->record_round(
             to_telemetry(record, /*evaluated=*/false, algorithm.last_server_loss()));
       }
-      continue;
     }
 
-    {
-      obs::ScopedPhaseTimer eval_timer(algorithm.phase_accumulator(), obs::Phase::kEval);
-      obs::TraceSpan eval_span("fl.eval");
-      utils::Stopwatch eval_clock;
-      metrics.evals.add(1);
-      const EvalResult eval = evaluate(algorithm.global_model(), federation.test_set());
-      record.accuracy = eval.accuracy;
-      if (options.watchdog && !rolled_back && std::isfinite(last_good_accuracy) &&
-          eval.accuracy < last_good_accuracy - options.watchdog->accuracy_drop_threshold) {
-        // Accuracy collapse: restore the snapshot; the recorded accuracy is the
-        // restored model's (= the last accepted evaluation).
-        nn::restore_state(algorithm.global_model(), last_good);
-        rolled_back = true;
-        record.accuracy = last_good_accuracy;
-      }
-      record.rolled_back = rolled_back;
-      if (rolled_back) {
-        ++result.total_rolled_back;
-        metrics.rollbacks.add(1);
-      } else if (options.watchdog) {
-        last_good = nn::snapshot_state(algorithm.global_model());
-        last_good_accuracy = record.accuracy;
-      }
-
-      if (options.evaluate_client_models) {
-        double acc_total = 0.0;
-        for (std::size_t id = 0; id < federation.num_clients(); ++id) {
-          nn::Module* model = algorithm.client_model(id);
-          const EvalResult local = evaluate_subset(*model, federation.test_set(),
-                                                   federation.client_test_indices(id));
-          acc_total += local.accuracy;
-        }
-        record.client_accuracy = acc_total / static_cast<double>(federation.num_clients());
-      } else {
-        record.client_accuracy = std::nan("");
-      }
-      record.eval_seconds = eval_clock.seconds();
+    // End-of-round durability: on cadence, at both exits, and on a shutdown
+    // request — the current round always finishes before the process leaves.
+    const bool shutdown = shutdown_requested();
+    if (checkpoints &&
+        (shutdown || last_round || stop_now || ((round + 1) % checkpoint_every == 0))) {
+      write_checkpoint(round + 1);
     }
-    record.phases = algorithm.phase_accumulator().snapshot();
-
-    result.best_accuracy = std::max(result.best_accuracy, record.accuracy);
-    result.final_accuracy = record.accuracy;
-    result.history.push_back(record);
-    if (telemetry) {
-      telemetry->record_round(
-          to_telemetry(record, /*evaluated=*/true, algorithm.last_server_loss()));
+    if (shutdown) {
+      result.interrupted = true;
+      utils::log_info("runner") << algorithm.name() << " shutdown requested; stopped after round "
+                                << round + 1 << (checkpoints ? " (checkpoint written)" : "");
+      break;
     }
-
-    if (options.verbose) {
-      auto line = utils::log_info("runner");
-      line << algorithm.name() << " round " << round + 1 << "/" << options.rounds
-           << " acc=" << record.accuracy << " loss=" << train_loss
-           << " bytes=" << record.cumulative_bytes;
-      if (simulator) {
-        line << " completed=" << sim_report.completed << "/" << sim_report.sampled
-             << " dropped=" << sim_report.dropped()
-             << " stragglers=" << sim_report.stragglers
-             << " sim_s=" << sim_report.simulated_seconds;
-      }
-      if (record.rejected_updates > 0) line << " rejected=" << record.rejected_updates;
-      if (record.rolled_back) line << " rolled_back";
-    }
-    if (options.stop_at_accuracy && record.accuracy >= *options.stop_at_accuracy) break;
+    if (stop_now) break;
   }
 
-  result.total_bytes = federation.meter().total_bytes();
-  result.wall_seconds = run_clock.seconds();
+  result.total_bytes = cumulative_bytes();
+  result.wall_seconds = state.wall_seconds_before + run_clock.seconds();
   if (telemetry) {
     telemetry->record_run(result.algorithm, result.rounds_completed, result.wall_seconds,
                           result.final_accuracy, result.total_bytes);
@@ -271,6 +332,96 @@ RunResult run_federated(Federation& federation, Algorithm& algorithm,
     simulator->detach();
   }
   return result;
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+}
+
+bool shutdown_requested() { return g_shutdown_flag != 0; }
+
+void request_shutdown() { g_shutdown_flag = 1; }
+
+void clear_shutdown_request() { g_shutdown_flag = 0; }
+
+std::size_t sampled_client_count(std::size_t population, double ratio) {
+  if (population == 0) {
+    throw std::invalid_argument("sampled_client_count: empty population");
+  }
+  if (ratio <= 0.0 || ratio > 1.0) {
+    throw std::invalid_argument("sampled_client_count: ratio must be in (0, 1]");
+  }
+  const std::size_t count = static_cast<std::size_t>(
+      std::lround(ratio * static_cast<double>(population)));
+  return std::clamp<std::size_t>(count, 1, population);
+}
+
+std::vector<std::size_t> sample_clients(const Federation& federation, std::size_t round_index,
+                                        double ratio) {
+  const std::size_t population = federation.num_clients();
+  const std::size_t count = sampled_client_count(population, ratio);
+  core::Rng rng = federation.root_rng().fork(0x5A3B7E00ULL + round_index);
+  return rng.sample_without_replacement(population, count);
+}
+
+RunResult run_federated(Federation& federation, Algorithm& algorithm,
+                        const RunOptions& options) {
+  if (options.rounds == 0) throw std::invalid_argument("run_federated: zero rounds");
+  federation.meter().reset();
+  algorithm.setup(federation);
+  return run_loop(federation, algorithm, options, RunnerState{}, /*resumed=*/false);
+}
+
+bool can_resume(const RunOptions& options) {
+  if (options.checkpoint_dir.empty()) return false;
+  return ckpt::CheckpointManager(options.checkpoint_dir,
+                                 std::max<std::size_t>(1, options.checkpoint_retain))
+      .has_checkpoint();
+}
+
+RunResult resume_run(Federation& federation, Algorithm& algorithm,
+                     const RunOptions& options) {
+  if (options.rounds == 0) throw std::invalid_argument("resume_run: zero rounds");
+  if (options.checkpoint_dir.empty()) {
+    throw std::invalid_argument("resume_run: options.checkpoint_dir is empty");
+  }
+  ckpt::CheckpointManager manager(options.checkpoint_dir,
+                                  std::max<std::size_t>(1, options.checkpoint_retain));
+  std::optional<ckpt::Checkpoint> checkpoint = manager.load_latest_valid();
+  if (!checkpoint) {
+    throw std::runtime_error("resume_run: no valid checkpoint in '" +
+                             options.checkpoint_dir + "'");
+  }
+  if (checkpoint->algorithm != algorithm.name()) {
+    throw std::runtime_error("resume_run: checkpoint was written by '" +
+                             checkpoint->algorithm + "', not '" + algorithm.name() + "'");
+  }
+  const ckpt::Section* runner_section = checkpoint->find("runner");
+  const ckpt::Section* algorithm_section = checkpoint->find("algorithm");
+  if (runner_section == nullptr || algorithm_section == nullptr) {
+    throw std::runtime_error("resume_run: checkpoint is missing a required section");
+  }
+
+  federation.meter().reset();
+  algorithm.setup(federation);
+  {
+    core::ByteReader reader(algorithm_section->bytes);
+    algorithm.load_state(reader);
+    if (!reader.exhausted()) {
+      throw std::runtime_error(
+          "resume_run: trailing bytes in the algorithm section (configuration mismatch)");
+    }
+  }
+  core::ByteReader reader(runner_section->bytes);
+  RunnerState state = decode_run_state(reader);
+  RunnerMetrics::get().restores.add(1);
+  utils::log_info("runner") << algorithm.name() << " resuming from round "
+                            << state.next_round << " (checkpoint dir "
+                            << options.checkpoint_dir << ")";
+  return run_loop(federation, algorithm, options, std::move(state), /*resumed=*/true);
 }
 
 }  // namespace fedkemf::fl

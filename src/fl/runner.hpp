@@ -1,7 +1,7 @@
 #pragma once
 
 // The round loop: client sampling, algorithm dispatch, evaluation, traffic
-// bookkeeping, and early stopping.
+// bookkeeping, early stopping, checkpoint/restore, and graceful shutdown.
 
 #include "fl/algorithm.hpp"
 #include "fl/metrics.hpp"
@@ -11,9 +11,43 @@ namespace fedkemf::fl {
 /// Runs `algorithm` against `federation` for options.rounds communication
 /// rounds (or until options.stop_at_accuracy is reached at an evaluation
 /// point).  The federation's traffic meter is reset at the start so results
-/// from consecutive runs don't mix.
+/// from consecutive runs don't mix.  With options.checkpoint_dir set, the
+/// full run state is checkpointed every options.checkpoint_every rounds.
 RunResult run_federated(Federation& federation, Algorithm& algorithm,
                         const RunOptions& options);
+
+/// True when options.checkpoint_dir holds at least one checkpoint file to
+/// resume from (existence probe only — validation happens in resume_run).
+bool can_resume(const RunOptions& options);
+
+/// Restores the newest valid checkpoint from options.checkpoint_dir into
+/// `algorithm` (after calling setup()) and continues the run from the first
+/// unfinished round.  The resumed trajectory is bitwise-identical to the
+/// uninterrupted run: every persistent state object and Rng stream position
+/// is part of the checkpoint, and everything per-round is a pure function of
+/// (seed, round).  Throws std::runtime_error when no valid checkpoint exists
+/// or the checkpoint was written by a different algorithm/configuration.
+RunResult resume_run(Federation& federation, Algorithm& algorithm,
+                     const RunOptions& options);
+
+// ---- Graceful shutdown ----
+//
+// install_shutdown_handler() routes SIGINT/SIGTERM to an async-signal-safe
+// flag; the runner checks it at the end of every round, writes a final
+// checkpoint (when configured), flushes telemetry, and returns with
+// RunResult::interrupted set — so Ctrl-C on a long run loses nothing.
+
+/// Installs the SIGINT/SIGTERM flag handler (idempotent).
+void install_shutdown_handler();
+
+/// True once a shutdown signal arrived (or request_shutdown() was called).
+bool shutdown_requested();
+
+/// Programmatic equivalent of the signal, for tests.
+void request_shutdown();
+
+/// Clears the flag (start of a fresh run / between tests).
+void clear_shutdown_request();
 
 /// Uniform client sampling (the paper's protocol): `ratio` of the population
 /// (at least one client), drawn without replacement from the run's

@@ -23,6 +23,50 @@ void Scaffold::setup(Federation& federation) {
   client_control_deltas_.assign(federation.num_clients(), {});
 }
 
+namespace {
+
+void write_variate(core::ByteWriter& writer, const std::vector<core::Tensor>& variate) {
+  writer.write_u32(static_cast<std::uint32_t>(variate.size()));
+  for (const core::Tensor& t : variate) core::write_tensor(writer, t);
+}
+
+std::vector<core::Tensor> read_variate(core::ByteReader& reader) {
+  const std::uint32_t count = reader.read_u32();
+  std::vector<core::Tensor> variate;
+  variate.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) variate.push_back(core::read_tensor(reader));
+  return variate;
+}
+
+}  // namespace
+
+void Scaffold::save_state(core::ByteWriter& writer) {
+  FedAvg::save_state(writer);
+  write_variate(writer, server_control_);
+  writer.write_u32(static_cast<std::uint32_t>(client_controls_.size()));
+  for (const Variate& ci : client_controls_) {
+    writer.write_u8(ci.empty() ? 0 : 1);
+    if (!ci.empty()) write_variate(writer, ci);
+  }
+}
+
+void Scaffold::load_state(core::ByteReader& reader) {
+  FedAvg::load_state(reader);
+  Variate server = read_variate(reader);
+  if (server.size() != server_control_.size()) {
+    throw std::runtime_error("SCAFFOLD::load_state: server control size mismatch");
+  }
+  server_control_ = std::move(server);
+  const std::uint32_t count = reader.read_u32();
+  if (count != client_controls_.size()) {
+    throw std::runtime_error("SCAFFOLD::load_state: client control count mismatch");
+  }
+  for (std::size_t id = 0; id < client_controls_.size(); ++id) {
+    if (reader.read_u8() == 0) continue;
+    client_controls_[id] = read_variate(reader);
+  }
+}
+
 Scaffold::Variate Scaffold::make_zero_variate() const {
   Variate variate;
   for (nn::Parameter* p : const_cast<Scaffold*>(this)->global_->parameters()) {

@@ -27,6 +27,10 @@ class Scaffold final : public FedAvg {
   double round(std::size_t round_index, std::span<const std::size_t> sampled,
                utils::ThreadPool& pool) override;
 
+  /// FedAvg state + server control variate + materialized client variates.
+  void save_state(core::ByteWriter& writer) override;
+  void load_state(core::ByteReader& reader) override;
+
  protected:
   GradHook make_grad_hook(std::size_t client_id, nn::Module& client_model) override;
   void after_local_update(std::size_t round_index, std::size_t client_id, Slot& client_slot,

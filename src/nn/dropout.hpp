@@ -14,6 +14,7 @@ class Dropout final : public Module {
 
   core::Tensor forward(const core::Tensor& input) override;
   core::Tensor backward(const core::Tensor& grad_output) override;
+  void append_rng_streams(std::vector<core::Rng*>& out) override { out.push_back(&rng_); }
   std::string kind() const override;
 
   float probability() const { return probability_; }

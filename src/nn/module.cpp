@@ -16,6 +16,12 @@ std::vector<Buffer*> Module::buffers() {
   return out;
 }
 
+std::vector<core::Rng*> Module::rng_streams() {
+  std::vector<core::Rng*> out;
+  append_rng_streams(out);
+  return out;
+}
+
 void Module::zero_grad() {
   for (Parameter* p : parameters()) p->grad.zero();
 }
@@ -44,6 +50,10 @@ void Sequential::append_parameters(std::vector<Parameter*>& out) {
 
 void Sequential::append_buffers(std::vector<Buffer*>& out) {
   for (auto& layer : layers_) layer->append_buffers(out);
+}
+
+void Sequential::append_rng_streams(std::vector<core::Rng*>& out) {
+  for (auto& layer : layers_) layer->append_rng_streams(out);
 }
 
 void Sequential::set_training(bool training) {

@@ -26,6 +26,10 @@
 
 #include "core/tensor.hpp"
 
+namespace fedkemf::core {
+class Rng;
+}
+
 namespace fedkemf::nn {
 
 /// A learnable tensor and its gradient accumulator.
@@ -68,6 +72,12 @@ class Module {
   /// Appends this module's (and children's) buffers in deterministic order.
   virtual void append_buffers(std::vector<Buffer*>& out) { (void)out; }
 
+  /// Appends pointers to this module's (and children's) private Rng streams
+  /// in deterministic order.  Stochastic layers (Dropout) override; the
+  /// checkpoint subsystem uses this to capture/restore stream positions so a
+  /// resumed run draws the same masks an uninterrupted one would have.
+  virtual void append_rng_streams(std::vector<core::Rng*>& out) { (void)out; }
+
   /// Recursive train/eval switch (affects BatchNorm statistics, Dropout).
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
@@ -78,6 +88,7 @@ class Module {
   // ---- Convenience wrappers ----
   std::vector<Parameter*> parameters();
   std::vector<Buffer*> buffers();
+  std::vector<core::Rng*> rng_streams();
   void zero_grad();
   std::size_t parameter_count();
 
@@ -109,6 +120,7 @@ class Sequential final : public Module {
   core::Tensor backward(const core::Tensor& grad_output) override;
   void append_parameters(std::vector<Parameter*>& out) override;
   void append_buffers(std::vector<Buffer*>& out) override;
+  void append_rng_streams(std::vector<core::Rng*>& out) override;
   void set_training(bool training) override;
   std::string kind() const override;
 

@@ -69,6 +69,19 @@ void Sgd::zero_grad() {
   for (Parameter* p : parameters_) p->grad.zero();
 }
 
+void Sgd::restore(std::vector<core::Tensor> momentum_buffers, std::size_t steps) {
+  if (momentum_buffers.size() != momentum_buffers_.size()) {
+    throw std::invalid_argument("Sgd::restore: momentum buffer count mismatch");
+  }
+  for (std::size_t i = 0; i < momentum_buffers.size(); ++i) {
+    if (momentum_buffers[i].shape() != momentum_buffers_[i].shape()) {
+      throw std::invalid_argument("Sgd::restore: momentum buffer shape mismatch");
+    }
+  }
+  momentum_buffers_ = std::move(momentum_buffers);
+  steps_ = steps;
+}
+
 double StepLrSchedule::at(std::size_t round) const {
   if (step_size_ == 0) return initial_lr_;
   return initial_lr_ * std::pow(gamma_, static_cast<double>(round / step_size_));

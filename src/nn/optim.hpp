@@ -42,6 +42,14 @@ class Sgd {
 
   const std::vector<Parameter*>& parameters() const { return parameters_; }
 
+  /// Momentum buffers in parameter order (empty when momentum == 0).
+  const std::vector<core::Tensor>& momentum_buffers() const { return momentum_buffers_; }
+
+  /// Restores optimizer state captured from an identical parameter set
+  /// (checkpoint resume).  Buffer count and shapes must match the ones this
+  /// optimizer allocated; throws std::invalid_argument otherwise.
+  void restore(std::vector<core::Tensor> momentum_buffers, std::size_t steps);
+
  private:
   std::vector<Parameter*> parameters_;
   SgdOptions options_;

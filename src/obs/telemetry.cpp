@@ -4,7 +4,28 @@
 
 #include "obs/json.hpp"
 
+#include <atomic>
+
 namespace fedkemf::obs {
+namespace {
+
+std::atomic<PhaseCompletionHook> g_phase_hook{nullptr};
+
+}  // namespace
+
+void set_phase_completion_hook(PhaseCompletionHook hook) {
+  g_phase_hook.store(hook, std::memory_order_release);
+}
+
+PhaseCompletionHook phase_completion_hook() {
+  return g_phase_hook.load(std::memory_order_acquire);
+}
+
+void notify_phase_completion(Phase phase) noexcept {
+  if (PhaseCompletionHook hook = g_phase_hook.load(std::memory_order_relaxed)) {
+    hook(phase);
+  }
+}
 
 const char* to_string(Phase phase) {
   switch (phase) {
@@ -43,11 +64,11 @@ PhaseSeconds PhaseAccumulator::snapshot() const noexcept {
   return snap;
 }
 
-RunTelemetry::RunTelemetry(std::string path) : path_(std::move(path)) {
+RunTelemetry::RunTelemetry(std::string path, bool append) : path_(std::move(path)) {
   std::error_code ec;
   const auto parent = std::filesystem::path(path_).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-  file_ = std::fopen(path_.c_str(), "wb");
+  file_ = std::fopen(path_.c_str(), append ? "ab" : "wb");
   if (file_ == nullptr) {
     std::fprintf(stderr, "RunTelemetry: cannot open '%s'\n", path_.c_str());
   }
@@ -98,6 +119,16 @@ void RunTelemetry::record_round(const RoundTelemetry& round) {
   }
   json.member("train_loss", round.train_loss);
   json.member("server_loss", round.server_loss);
+  json.end_object();
+  write_line(json.str());
+}
+
+void RunTelemetry::record_resume(std::size_t resumed_from_round) {
+  if (file_ == nullptr) return;
+  JsonWriter json;
+  json.begin_object();
+  json.member("kind", "resume");
+  json.member("resumed_from_round", static_cast<std::uint64_t>(resumed_from_round));
   json.end_object();
   write_line(json.str());
 }

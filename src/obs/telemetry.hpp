@@ -40,6 +40,21 @@ enum class Phase : std::size_t {
 
 [[nodiscard]] const char* to_string(Phase phase);
 
+/// Process-wide observer invoked every time a phase timer closes (after its
+/// seconds are charged).  The crash-injection harness (sim/crash.hpp)
+/// installs one to fire kill points at exact phase boundaries; production
+/// runs leave it null, which costs a single relaxed atomic load per charge.
+/// Not for general instrumentation — use TraceSpan / metrics for that.
+using PhaseCompletionHook = void (*)(Phase);
+
+/// Installs (or clears, with nullptr) the phase-completion hook.  The hook
+/// must be safe to call from any thread.
+void set_phase_completion_hook(PhaseCompletionHook hook);
+PhaseCompletionHook phase_completion_hook();
+
+/// Called by PhaseAccumulator::add after charging; dispatches to the hook.
+void notify_phase_completion(Phase phase) noexcept;
+
 struct PhaseSeconds {
   double local_train = 0.0;
   double upload = 0.0;
@@ -62,6 +77,7 @@ class PhaseAccumulator {
  public:
   void add(Phase phase, double seconds) noexcept {
     atomic_add_double(seconds_[static_cast<std::size_t>(phase)], seconds);
+    notify_phase_completion(phase);
   }
   void reset() noexcept {
     for (auto& s : seconds_) s.store(0.0, std::memory_order_relaxed);
@@ -120,9 +136,11 @@ struct RoundTelemetry {
 /// record is written and flushed as one line.
 class RunTelemetry {
  public:
-  /// Truncates/creates `path` (parent directories are created).  ok() reports
+  /// Truncates/creates `path` (parent directories are created), or — with
+  /// append = true, the checkpoint-resume path — appends to whatever is
+  /// already there so a restarted run continues the same file.  ok() reports
   /// whether the file opened; a failed sink swallows records.
-  explicit RunTelemetry(std::string path);
+  explicit RunTelemetry(std::string path, bool append = false);
   ~RunTelemetry();
 
   RunTelemetry(const RunTelemetry&) = delete;
@@ -133,6 +151,11 @@ class RunTelemetry {
 
   /// Writes one {"kind":"round",...} line.
   void record_round(const RoundTelemetry& round);
+
+  /// Writes a {"kind":"resume","resumed_from_round":N} marker — the first
+  /// record a resumed run appends, so phase accounting across a restart
+  /// stays attributable to the process that produced it.
+  void record_resume(std::size_t resumed_from_round);
 
   /// Writes the closing {"kind":"run",...} summary line.
   void record_run(const std::string& algorithm, std::size_t rounds_completed,

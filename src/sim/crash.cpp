@@ -1,0 +1,94 @@
+#include "sim/crash.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fedkemf::sim {
+namespace {
+
+// Hook state lives in plain atomics (not members) so the obs callback — a
+// bare function pointer — can reach it without an instance capture.
+std::atomic<bool> g_armed{false};
+std::atomic<std::size_t> g_arm_phase{0};
+std::atomic<std::size_t> g_arm_round{0};
+// The runner's current round; SIZE_MAX until begin_round is first called so
+// an armed injector can never fire outside a run loop.
+constexpr std::size_t kNoRound = static_cast<std::size_t>(-1);
+std::atomic<std::size_t> g_current_round{kNoRound};
+
+void crash_hook(obs::Phase phase) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  if (static_cast<std::size_t>(phase) != g_arm_phase.load(std::memory_order_relaxed)) return;
+  const std::size_t round = g_current_round.load(std::memory_order_relaxed);
+  if (round == kNoRound || round < g_arm_round.load(std::memory_order_relaxed)) return;
+  // Die the way a kill -9 would: no unwinding, no flushes, no atexit.
+  std::_Exit(CrashInjector::kCrashExitCode);
+}
+
+}  // namespace
+
+CrashInjector& CrashInjector::instance() {
+  static CrashInjector injector;
+  return injector;
+}
+
+void CrashInjector::arm(obs::Phase phase, std::size_t round) {
+  g_arm_phase.store(static_cast<std::size_t>(phase), std::memory_order_relaxed);
+  g_arm_round.store(round, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+  obs::set_phase_completion_hook(&crash_hook);
+}
+
+bool CrashInjector::arm_from_env() {
+  const char* phase_name = std::getenv("FEDKEMF_CRASH_PHASE");
+  if (phase_name == nullptr || *phase_name == '\0') return false;
+  const std::optional<obs::Phase> phase = parse_phase(phase_name);
+  if (!phase) {
+    throw std::invalid_argument("FEDKEMF_CRASH_PHASE: unknown phase '" +
+                                std::string(phase_name) + "'");
+  }
+  std::size_t round = 0;
+  if (const char* round_text = std::getenv("FEDKEMF_CRASH_ROUND")) {
+    try {
+      round = static_cast<std::size_t>(std::stoull(round_text));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("FEDKEMF_CRASH_ROUND: not a round index: '" +
+                                  std::string(round_text) + "'");
+    }
+  }
+  arm(*phase, round);
+  return true;
+}
+
+void CrashInjector::disarm() {
+  g_armed.store(false, std::memory_order_release);
+  if (obs::phase_completion_hook() == &crash_hook) {
+    obs::set_phase_completion_hook(nullptr);
+  }
+}
+
+bool CrashInjector::armed() const { return g_armed.load(std::memory_order_acquire); }
+
+obs::Phase CrashInjector::armed_phase() const {
+  return static_cast<obs::Phase>(g_arm_phase.load(std::memory_order_relaxed));
+}
+
+std::size_t CrashInjector::armed_round() const {
+  return g_arm_round.load(std::memory_order_relaxed);
+}
+
+void CrashInjector::begin_round(std::size_t round) {
+  g_current_round.store(round, std::memory_order_relaxed);
+}
+
+std::optional<obs::Phase> parse_phase(std::string_view name) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(obs::Phase::kCount); ++i) {
+    const obs::Phase phase = static_cast<obs::Phase>(i);
+    if (name == obs::to_string(phase)) return phase;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fedkemf::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+// Crash-injection harness for the checkpoint/restore subsystem.
+//
+// A CrashInjector arms a kill point at one of the six telemetry phase
+// boundaries (local_train, upload, sanitize, fuse, distill, eval): the first
+// time the armed phase finishes charging its timer in (or after) the armed
+// round, the process dies via std::_Exit(kCrashExitCode) — no destructors, no
+// stream flushes, exactly the abrupt death a production server suffers.  The
+// kill-restart-verify loop (tools/crash_recovery.py) uses it to prove that a
+// run killed at *any* phase boundary resumes from its latest checkpoint and
+// reproduces the uninterrupted accuracy history bit for bit.
+//
+// The injector observes phases through obs::set_phase_completion_hook, and
+// learns the current round from the runner (fl::run_federated calls
+// begin_round each round).  "In (or after)" rather than "in exactly": under
+// simulated dropout a phase may legitimately never fire in the armed round
+// (e.g. every sampled client offline means no fuse), and the harness wants a
+// crash, not a silent clean exit.
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "obs/telemetry.hpp"
+
+namespace fedkemf::sim {
+
+class CrashInjector {
+ public:
+  /// Exit code of an injected crash; distinguishes a planned kill from a real
+  /// failure in the restart loop.
+  static constexpr int kCrashExitCode = 42;
+
+  static CrashInjector& instance();
+
+  /// Arms the kill point: die at the first completion of `phase` in round
+  /// >= `round`.  Installs the obs phase hook.
+  void arm(obs::Phase phase, std::size_t round);
+
+  /// Arms from FEDKEMF_CRASH_PHASE (phase name, see obs::to_string) and
+  /// FEDKEMF_CRASH_ROUND (0-based round index; unset means round 0).
+  /// Returns true when armed, false when the phase variable is absent;
+  /// throws std::invalid_argument on an unparseable value.
+  bool arm_from_env();
+
+  /// Clears the kill point and uninstalls the hook.
+  void disarm();
+
+  bool armed() const;
+  obs::Phase armed_phase() const;
+  std::size_t armed_round() const;
+
+  /// Round bookkeeping, called by the runner at the top of every round.
+  void begin_round(std::size_t round);
+
+ private:
+  CrashInjector() = default;
+};
+
+/// Parses a phase name ("local_train" | "upload" | "sanitize" | "fuse" |
+/// "distill" | "eval") to its enum; nullopt when unknown.
+std::optional<obs::Phase> parse_phase(std::string_view name);
+
+}  // namespace fedkemf::sim

@@ -1,0 +1,521 @@
+// Crash-tolerant checkpoint/restore: container format validation (CRC,
+// truncation, fallback, retention), per-algorithm state round-trips, resume
+// determinism (split runs bitwise-identical to uninterrupted ones, with and
+// without faults/adversaries), graceful shutdown, and telemetry stitching.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fl/checkpoint/format.hpp"
+#include "fl/checkpoint/run_state.hpp"
+#include "fl/feddf.hpp"
+#include "fl/fedkemf.hpp"
+#include "fl/fedmd.hpp"
+#include "fl/fednova.hpp"
+#include "fl/fedprox.hpp"
+#include "fl/runner.hpp"
+#include "fl/scaffold.hpp"
+#include "sim/simulator.hpp"
+
+namespace fedkemf::fl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// RAII temp checkpoint directory — tests must not leak files between runs.
+struct TempDir {
+  explicit TempDir(const std::string& name) : path(fs::temp_directory_path() / name) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+  fs::path path;
+};
+
+std::string read_text(const fs::path& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+FederationOptions small_federation(std::uint64_t seed = 41) {
+  FederationOptions options;
+  options.data = data::SyntheticSpec::cifar_like();
+  options.data.image_size = 8;
+  options.data.num_classes = 4;
+  options.data.noise_stddev = 0.5;
+  options.train_samples = 240;
+  options.test_samples = 96;
+  options.server_pool_samples = 48;
+  options.num_clients = 6;
+  options.dirichlet_alpha = 0.1;
+  options.seed = seed;
+  return options;
+}
+
+models::ModelSpec mlp_spec() {
+  return models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 3,
+                           .image_size = 8, .width_multiplier = 0.25};
+}
+
+LocalTrainConfig local_config() {
+  LocalTrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  config.learning_rate = 0.05;
+  config.momentum = 0.9;
+  return config;
+}
+
+// ---- Container format ----
+
+ckpt::Checkpoint sample_checkpoint() {
+  ckpt::Checkpoint checkpoint;
+  checkpoint.algorithm = "FedAvg";
+  checkpoint.next_round = 7;
+  checkpoint.section("runner") = {1, 2, 3, 4, 5};
+  checkpoint.section("algorithm") = std::vector<std::uint8_t>(300, 0xAB);
+  return checkpoint;
+}
+
+TEST(CheckpointFormat, EncodeDecodeRoundTrip) {
+  const ckpt::Checkpoint original = sample_checkpoint();
+  const std::vector<std::uint8_t> bytes = ckpt::encode_checkpoint(original);
+  const ckpt::Checkpoint decoded = ckpt::decode_checkpoint(bytes);
+  EXPECT_EQ(decoded.algorithm, original.algorithm);
+  EXPECT_EQ(decoded.next_round, original.next_round);
+  ASSERT_EQ(decoded.sections.size(), original.sections.size());
+  for (std::size_t i = 0; i < decoded.sections.size(); ++i) {
+    EXPECT_EQ(decoded.sections[i].name, original.sections[i].name);
+    EXPECT_EQ(decoded.sections[i].bytes, original.sections[i].bytes);
+  }
+}
+
+TEST(CheckpointFormat, DecodeRejectsEveryCorruptionMode) {
+  const std::vector<std::uint8_t> good = ckpt::encode_checkpoint(sample_checkpoint());
+
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(ckpt::decode_checkpoint(bad_magic), std::runtime_error);
+
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[4] ^= 0xFF;
+  EXPECT_THROW(ckpt::decode_checkpoint(bad_version), std::runtime_error);
+
+  std::vector<std::uint8_t> flipped = good;
+  flipped[good.size() / 2] ^= 0x01;  // body bit flip -> CRC mismatch
+  EXPECT_THROW(ckpt::decode_checkpoint(flipped), std::runtime_error);
+
+  std::vector<std::uint8_t> truncated(good.begin(), good.end() - 17);
+  EXPECT_THROW(ckpt::decode_checkpoint(truncated), std::runtime_error);
+
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(ckpt::decode_checkpoint(trailing), std::runtime_error);
+
+  EXPECT_NO_THROW(ckpt::decode_checkpoint(good));
+}
+
+TEST(CheckpointFormat, AtomicWriteLeavesNoStagingFile) {
+  TempDir dir("fedkemf_ckpt_atomic");
+  fs::create_directories(dir.path);
+  const fs::path target = dir.path / "state.bin";
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  ckpt::atomic_write_file(target.string(), payload);
+  EXPECT_EQ(ckpt::read_file(target.string()), payload);
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST(CheckpointFormat, ManagerRetainsOnlyNewestK) {
+  TempDir dir("fedkemf_ckpt_retention");
+  ckpt::CheckpointManager manager(dir.str(), /*retain=*/2);
+  for (std::uint64_t round = 1; round <= 5; ++round) {
+    ckpt::Checkpoint checkpoint = sample_checkpoint();
+    checkpoint.next_round = round;
+    manager.write(checkpoint);
+  }
+  const std::vector<ckpt::ManifestEntry> manifest = manager.manifest();
+  ASSERT_EQ(manifest.size(), 2u);
+  EXPECT_EQ(manifest[0].next_round, 4u);
+  EXPECT_EQ(manifest[1].next_round, 5u);
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    files += entry.path().filename().string().starts_with("ckpt_") ? 1 : 0;
+  }
+  EXPECT_EQ(files, 2u);  // pruned files are really gone, not just delisted
+}
+
+TEST(CheckpointFormat, LoadFallsBackPastCorruptNewest) {
+  TempDir dir("fedkemf_ckpt_fallback");
+  ckpt::CheckpointManager manager(dir.str(), /*retain=*/3);
+  for (std::uint64_t round = 1; round <= 3; ++round) {
+    ckpt::Checkpoint checkpoint = sample_checkpoint();
+    checkpoint.next_round = round;
+    manager.write(checkpoint);
+  }
+  // Flip one byte in the newest file's body: CRC check must reject it and the
+  // loader must fall back to round 2 rather than failing the restore.
+  const fs::path newest = dir.path / manager.manifest().back().file;
+  std::vector<std::uint8_t> bytes = ckpt::read_file(newest.string());
+  bytes[bytes.size() / 2] ^= 0x10;
+  ckpt::atomic_write_file(newest.string(), bytes);
+
+  const std::optional<ckpt::Checkpoint> loaded = manager.load_latest_valid();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->next_round, 2u);
+}
+
+TEST(CheckpointFormat, ManifestScanFallbackWhenManifestMissing) {
+  TempDir dir("fedkemf_ckpt_nomanifest");
+  ckpt::CheckpointManager manager(dir.str(), /*retain=*/3);
+  for (std::uint64_t round = 1; round <= 2; ++round) {
+    ckpt::Checkpoint checkpoint = sample_checkpoint();
+    checkpoint.next_round = round;
+    manager.write(checkpoint);
+  }
+  fs::remove(dir.path / "MANIFEST");
+  const std::vector<ckpt::ManifestEntry> manifest = manager.manifest();
+  ASSERT_EQ(manifest.size(), 2u);  // recovered by directory scan
+  EXPECT_TRUE(manager.has_checkpoint());
+  const std::optional<ckpt::Checkpoint> loaded = manager.load_latest_valid();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->next_round, 2u);
+}
+
+// ---- Per-algorithm state round-trips ----
+
+// save -> load into a freshly setup() twin -> save again must be byte-stable:
+// proves the format is symmetric and that load_state consumed everything.
+template <typename MakeAlgorithm>
+void expect_byte_stable_round_trip(MakeAlgorithm&& make) {
+  Federation fed_a(small_federation());
+  std::unique_ptr<Algorithm> trained = make();
+  RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 0.5;
+  run_federated(fed_a, *trained, run);
+  core::ByteWriter first;
+  trained->save_state(first);
+  ASSERT_GT(first.size(), 0u);
+
+  Federation fed_b(small_federation());
+  std::unique_ptr<Algorithm> restored = make();
+  restored->setup(fed_b);
+  core::ByteReader reader(first.buffer());
+  restored->load_state(reader);
+  EXPECT_TRUE(reader.exhausted()) << reader.remaining() << " unread bytes";
+
+  core::ByteWriter second;
+  restored->save_state(second);
+  EXPECT_EQ(first.buffer(), second.buffer());
+}
+
+TEST(AlgorithmState, FedAvgRoundTripIsByteStable) {
+  expect_byte_stable_round_trip(
+      [] { return std::make_unique<FedAvg>(mlp_spec(), local_config()); });
+}
+
+TEST(AlgorithmState, FedProxRoundTripIsByteStable) {
+  expect_byte_stable_round_trip(
+      [] { return std::make_unique<FedProx>(mlp_spec(), local_config(), 0.01); });
+}
+
+TEST(AlgorithmState, FedNovaRoundTripIsByteStable) {
+  expect_byte_stable_round_trip(
+      [] { return std::make_unique<FedNova>(mlp_spec(), local_config()); });
+}
+
+TEST(AlgorithmState, ScaffoldRoundTripIsByteStable) {
+  expect_byte_stable_round_trip(
+      [] { return std::make_unique<Scaffold>(mlp_spec(), local_config()); });
+}
+
+TEST(AlgorithmState, FedDfRoundTripIsByteStable) {
+  expect_byte_stable_round_trip([] {
+    FedDfOptions options;
+    options.distill_epochs = 1;
+    return std::make_unique<FedDf>(mlp_spec(), local_config(), options);
+  });
+}
+
+TEST(AlgorithmState, FedMdRoundTripIsByteStable) {
+  expect_byte_stable_round_trip([] {
+    FedMdOptions options;
+    options.server_student = mlp_spec();
+    return std::make_unique<FedMd>(std::vector<models::ModelSpec>{mlp_spec()},
+                                   local_config(), options);
+  });
+}
+
+TEST(AlgorithmState, FedKemfRoundTripIsByteStable) {
+  expect_byte_stable_round_trip([] {
+    FedKemfOptions options;
+    options.knowledge_spec = mlp_spec();
+    options.distill_epochs = 1;
+    return std::make_unique<FedKemf>(std::vector<models::ModelSpec>{mlp_spec()},
+                                     local_config(), options);
+  });
+}
+
+TEST(AlgorithmState, LoadRejectsForeignPayload) {
+  Federation fed(small_federation());
+  FedAvg algorithm(mlp_spec(), local_config());
+  algorithm.setup(fed);
+  core::ByteWriter writer;
+  writer.write_u32(0xDEADBEEF);
+  core::ByteReader reader(writer.buffer());
+  EXPECT_THROW(algorithm.load_state(reader), std::runtime_error);
+}
+
+// ---- Resume determinism ----
+
+// Runs `make()` uninterrupted for `total` rounds, then as a checkpointed
+// split (crash after `split` rounds, fresh instance resumes) and requires the
+// two trajectories to be bitwise-identical.
+template <typename MakeAlgorithm>
+void expect_split_run_identical(MakeAlgorithm&& make, RunOptions run, std::size_t split,
+                                const std::string& dir_name) {
+  const std::size_t total = run.rounds;
+  RunResult reference;
+  {
+    Federation fed(small_federation());
+    std::unique_ptr<Algorithm> algorithm = make();
+    reference = run_federated(fed, *algorithm, run);
+  }
+
+  TempDir dir(dir_name);
+  run.checkpoint_dir = dir.str();
+  run.checkpoint_every = 1;
+  {
+    Federation fed(small_federation());
+    std::unique_ptr<Algorithm> algorithm = make();
+    RunOptions first = run;
+    first.rounds = split;
+    run_federated(fed, *algorithm, first);
+  }
+  RunResult resumed;
+  {
+    Federation fed(small_federation());
+    std::unique_ptr<Algorithm> algorithm = make();
+    ASSERT_TRUE(can_resume(run));
+    resumed = resume_run(fed, *algorithm, run);
+  }
+
+  ASSERT_EQ(resumed.history.size(), reference.history.size());
+  ASSERT_EQ(resumed.rounds_completed, total);
+  for (std::size_t i = 0; i < reference.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].accuracy, reference.history[i].accuracy) << "round " << i;
+    EXPECT_EQ(resumed.history[i].train_loss, reference.history[i].train_loss);
+    EXPECT_EQ(resumed.history[i].round_bytes, reference.history[i].round_bytes);
+    EXPECT_EQ(resumed.history[i].cumulative_bytes, reference.history[i].cumulative_bytes);
+    EXPECT_EQ(resumed.history[i].sim_seconds, reference.history[i].sim_seconds);
+  }
+  EXPECT_EQ(resumed.final_accuracy, reference.final_accuracy);
+  EXPECT_EQ(resumed.best_accuracy, reference.best_accuracy);
+  EXPECT_EQ(resumed.total_bytes, reference.total_bytes);
+}
+
+TEST(ResumeDeterminism, FedAvgSplitRunMatchesUninterrupted) {
+  RunOptions run;
+  run.rounds = 4;
+  run.sample_ratio = 0.5;
+  expect_split_run_identical(
+      [] { return std::make_unique<FedAvg>(mlp_spec(), local_config()); }, run, 2,
+      "fedkemf_ckpt_resume_fedavg");
+}
+
+TEST(ResumeDeterminism, ScaffoldSplitRunMatchesUninterrupted) {
+  // SCAFFOLD is the hardest baseline: server + per-client control variates
+  // must all survive the restart.
+  RunOptions run;
+  run.rounds = 4;
+  run.sample_ratio = 0.5;
+  expect_split_run_identical(
+      [] { return std::make_unique<Scaffold>(mlp_spec(), local_config()); }, run, 2,
+      "fedkemf_ckpt_resume_scaffold");
+}
+
+TEST(ResumeDeterminism, FedKemfUnderFaultsAndAdversariesMatches) {
+  // The full stack: knowledge fusion + server optimizer momentum + private
+  // client models + unreliable network + sign-flipping adversaries.
+  RunOptions run;
+  run.rounds = 4;
+  run.sample_ratio = 0.75;
+  run.sim = sim::SimOptions{};
+  run.sim->network.dropout_prob = 0.2;
+  run.sim->faults.drop_prob = 0.05;
+  run.sim->faults.corrupt_prob = 0.05;
+  run.sim->adversary.poison_fraction = 0.25;
+  run.sim->adversary.poison_mode = sim::PoisonMode::kSignFlip;
+  expect_split_run_identical(
+      [] {
+        FedKemfOptions options;
+        options.knowledge_spec = mlp_spec();
+        options.distill_epochs = 1;
+        return std::make_unique<FedKemf>(std::vector<models::ModelSpec>{mlp_spec()},
+                                         local_config(), options);
+      },
+      run, 2, "fedkemf_ckpt_resume_kemf");
+}
+
+TEST(ResumeDeterminism, ResumeSurvivesCorruptNewestCheckpoint) {
+  // Corrupting the newest checkpoint must cost one checkpoint interval, not
+  // the run: the resume falls back one file and still matches the reference.
+  RunOptions run;
+  run.rounds = 4;
+  run.sample_ratio = 0.5;
+  RunResult reference;
+  {
+    Federation fed(small_federation());
+    FedAvg algorithm(mlp_spec(), local_config());
+    reference = run_federated(fed, algorithm, run);
+  }
+
+  TempDir dir("fedkemf_ckpt_resume_corrupt");
+  run.checkpoint_dir = dir.str();
+  run.checkpoint_every = 1;
+  {
+    Federation fed(small_federation());
+    FedAvg algorithm(mlp_spec(), local_config());
+    RunOptions first = run;
+    first.rounds = 3;
+    run_federated(fed, algorithm, first);
+  }
+  ckpt::CheckpointManager manager(dir.str(), run.checkpoint_retain);
+  const fs::path newest = dir.path / manager.manifest().back().file;
+  std::vector<std::uint8_t> bytes = ckpt::read_file(newest.string());
+  bytes[bytes.size() - 5] ^= 0x40;
+  ckpt::atomic_write_file(newest.string(), bytes);
+
+  Federation fed(small_federation());
+  FedAvg algorithm(mlp_spec(), local_config());
+  const RunResult resumed = resume_run(fed, algorithm, run);  // falls back to round 2
+  ASSERT_EQ(resumed.history.size(), reference.history.size());
+  for (std::size_t i = 0; i < reference.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].accuracy, reference.history[i].accuracy) << "round " << i;
+  }
+  EXPECT_EQ(resumed.total_bytes, reference.total_bytes);
+}
+
+TEST(ResumeDeterminism, ResumeThrowsWithoutCheckpoint) {
+  TempDir dir("fedkemf_ckpt_resume_empty");
+  RunOptions run;
+  run.rounds = 2;
+  run.sample_ratio = 0.5;
+  run.checkpoint_dir = dir.str();
+  EXPECT_FALSE(can_resume(run));
+  Federation fed(small_federation());
+  FedAvg algorithm(mlp_spec(), local_config());
+  EXPECT_THROW(resume_run(fed, algorithm, run), std::runtime_error);
+}
+
+TEST(ResumeDeterminism, ResumeRejectsAlgorithmMismatch) {
+  TempDir dir("fedkemf_ckpt_resume_mismatch");
+  RunOptions run;
+  run.rounds = 3;
+  run.sample_ratio = 0.5;
+  run.checkpoint_dir = dir.str();
+  {
+    Federation fed(small_federation());
+    FedAvg algorithm(mlp_spec(), local_config());
+    RunOptions first = run;
+    first.rounds = 2;
+    run_federated(fed, algorithm, first);
+  }
+  Federation fed(small_federation());
+  Scaffold other(mlp_spec(), local_config());
+  EXPECT_THROW(resume_run(fed, other, run), std::runtime_error);
+}
+
+// ---- Graceful shutdown ----
+
+TEST(GracefulShutdown, StopsAtRoundBoundaryThenResumesExactly) {
+  RunOptions run;
+  run.rounds = 4;
+  run.sample_ratio = 0.5;
+  RunResult reference;
+  {
+    Federation fed(small_federation());
+    FedAvg algorithm(mlp_spec(), local_config());
+    reference = run_federated(fed, algorithm, run);
+  }
+
+  TempDir dir("fedkemf_ckpt_shutdown");
+  run.checkpoint_dir = dir.str();
+  // Only checkpoint on shutdown/final round: proves the signal path writes
+  // its own checkpoint rather than riding the periodic cadence.
+  run.checkpoint_every = 100;
+  RunResult interrupted;
+  {
+    Federation fed(small_federation());
+    FedAvg algorithm(mlp_spec(), local_config());
+    request_shutdown();  // "signal" already pending when the round ends
+    interrupted = run_federated(fed, algorithm, run);
+    clear_shutdown_request();
+  }
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_EQ(interrupted.rounds_completed, 1u);  // finished the round, then stopped
+  ASSERT_TRUE(can_resume(run));
+
+  Federation fed(small_federation());
+  FedAvg algorithm(mlp_spec(), local_config());
+  const RunResult resumed = resume_run(fed, algorithm, run);
+  EXPECT_FALSE(resumed.interrupted);
+  ASSERT_EQ(resumed.history.size(), reference.history.size());
+  for (std::size_t i = 0; i < reference.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].accuracy, reference.history[i].accuracy) << "round " << i;
+  }
+  EXPECT_EQ(resumed.total_bytes, reference.total_bytes);
+}
+
+// ---- Telemetry stitching ----
+
+TEST(TelemetryResume, AppendsWithResumeMarkerInsteadOfTruncating) {
+  TempDir dir("fedkemf_ckpt_telemetry");
+  const fs::path telemetry = fs::temp_directory_path() / "fedkemf_ckpt_telemetry.jsonl";
+  fs::remove(telemetry);
+
+  RunOptions run;
+  run.rounds = 4;
+  run.sample_ratio = 0.5;
+  run.checkpoint_dir = dir.str();
+  run.checkpoint_every = 1;
+  run.telemetry_path = telemetry.string();
+  {
+    Federation fed(small_federation());
+    FedAvg algorithm(mlp_spec(), local_config());
+    RunOptions first = run;
+    first.rounds = 2;
+    run_federated(fed, algorithm, first);
+  }
+  {
+    Federation fed(small_federation());
+    FedAvg algorithm(mlp_spec(), local_config());
+    resume_run(fed, algorithm, run);
+  }
+
+  const std::string text = read_text(telemetry);
+  fs::remove(telemetry);
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  // Both segments present: 2 + 2 round records, 2 run summaries, one resume
+  // marker naming the round the second process picked up from.
+  EXPECT_EQ(count("\"kind\":\"round\""), 4u);
+  EXPECT_EQ(count("\"kind\":\"run\""), 2u);
+  EXPECT_EQ(count("\"kind\":\"resume\""), 1u);
+  EXPECT_NE(text.find("\"resumed_from_round\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedkemf::fl

@@ -13,7 +13,13 @@ uniformly slower machine shifts every ratio equally and normalizes away, while
 a genuine regression in one kernel sticks out against its peers.  A benchmark
 fails when its normalized ratio exceeds 1 + threshold (default 30%).
 
-Exit codes: 0 ok, 1 regression found, 2 usage/input error.
+Benchmarks present in only one of the two files (a freshly added bench with no
+baseline yet, or a retired bench still in the baseline) are warned about and
+skipped — a one-sided name is a bookkeeping gap, not a perf regression, and
+must not break CI.
+
+Exit codes: 0 ok (including nothing comparable), 1 regression found,
+2 unreadable/unusable input file.
 """
 
 from __future__ import annotations
@@ -34,7 +40,8 @@ def load_benchmarks(path: str) -> dict[str, float]:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as err:
-        raise SystemExit(f"error: cannot read {path}: {err}")
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        raise SystemExit(2)
     out: dict[str, float] = {}
     for entry in doc.get("benchmarks", []):
         name = entry.get("name")
@@ -54,7 +61,8 @@ def load_benchmarks(path: str) -> dict[str, float]:
                 name = name[: -len(aggregate) - 1]
         out[name] = float(time) * _UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
     if not out:
-        raise SystemExit(f"error: {path} contains no usable benchmark entries")
+        print(f"error: {path} contains no usable benchmark entries", file=sys.stderr)
+        raise SystemExit(2)
     return out
 
 
@@ -75,9 +83,31 @@ def main() -> int:
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
     shared = sorted(set(baseline) & set(current))
+
+    # One-sided benchmarks are a bookkeeping gap (new bench without a recorded
+    # baseline, or a retired one still recorded), never a perf regression:
+    # warn and skip them rather than failing the gate.
+    only_baseline = sorted(set(baseline) - set(current))
+    if only_baseline:
+        print(
+            f"warning: {len(only_baseline)} baseline benchmark(s) missing from "
+            f"the current run, skipped: {', '.join(only_baseline)}",
+            file=sys.stderr,
+        )
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        print(
+            f"warning: {len(only_current)} current benchmark(s) have no baseline "
+            f"entry, skipped (re-record the baseline to cover them): "
+            f"{', '.join(only_current)}",
+            file=sys.stderr,
+        )
     if not shared:
-        print("error: the two files share no benchmark names", file=sys.stderr)
-        return 2
+        print(
+            "warning: the two files share no benchmark names; nothing to compare",
+            file=sys.stderr,
+        )
+        return 0
 
     ratios = {name: current[name] / baseline[name] for name in shared}
     ordered = sorted(ratios.values())
@@ -102,11 +132,6 @@ def main() -> int:
             failures.append(name)
         print(f"  {name:<{width}}  raw x{ratios[name]:6.3f}  "
               f"normalized x{normalized:6.3f}  {verdict}")
-
-    only_baseline = sorted(set(baseline) - set(current))
-    if only_baseline:
-        print(f"note: {len(only_baseline)} baseline benchmarks missing from the "
-              f"current run: {', '.join(only_baseline)}")
 
     if failures:
         print(

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Kill-restart-verify loop for the checkpoint/restore subsystem.
+
+For every telemetry phase boundary (local_train, upload, sanitize, fuse,
+distill, eval) this driver:
+
+  1. runs a reference federation to completion (no crash) and records its
+     evaluated per-round accuracy history from the telemetry JSONL;
+  2. reruns the same configuration with the crash injector armed at that
+     phase (FEDKEMF_CRASH_PHASE / FEDKEMF_CRASH_ROUND), expecting the process
+     to die abruptly with the injector's exit code (42);
+  3. restarts the binary with the same flags — it resumes from the newest
+     valid checkpoint — repeating until the run completes (multi-kill runs
+     arm a later round on each restart);
+  4. verifies the stitched telemetry's evaluated accuracy history is
+     *bitwise-identical* to the reference (exact float comparison via the
+     JSON round-trip, no tolerance).
+
+A resumed run re-executes the killed round from its last checkpoint, so the
+stitched telemetry can record a round twice; rounds are deduplicated keeping
+the last occurrence, which the resume-marker lines make auditable.
+
+Exit codes: 0 all phases verified, 1 any mismatch/unexpected exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+PHASES = ["local_train", "upload", "sanitize", "fuse", "distill", "eval"]
+CRASH_EXIT_CODE = 42  # sim::CrashInjector::kCrashExitCode
+
+
+def evaluated_accuracies(telemetry_path: str) -> dict[int, float]:
+    """Evaluated rounds' accuracy, deduplicated keeping the last occurrence."""
+    accuracies: dict[int, float] = {}
+    with open(telemetry_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "round" and record.get("evaluated"):
+                accuracies[int(record["round"])] = record["accuracy"]
+    return accuracies
+
+
+def run(binary: str, flags: list[str], telemetry: str, checkpoint: str | None,
+        env_extra: dict[str, str] | None = None) -> int:
+    command = [binary, *flags, "--telemetry", telemetry]
+    if checkpoint is not None:
+        command += ["--checkpoint", checkpoint]
+    env = dict(os.environ)
+    env.pop("FEDKEMF_CRASH_PHASE", None)
+    env.pop("FEDKEMF_CRASH_ROUND", None)
+    env.update(env_extra or {})
+    result = subprocess.run(command, env=env, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL, check=False)
+    return result.returncode
+
+
+def verify_phase(binary: str, flags: list[str], phase: str, crash_round: int,
+                 reference: dict[int, float], workdir: str,
+                 max_restarts: int) -> bool:
+    checkpoint = os.path.join(workdir, f"ckpt_{phase}")
+    telemetry = os.path.join(workdir, f"telemetry_{phase}.jsonl")
+
+    code = run(binary, flags, telemetry, checkpoint,
+               {"FEDKEMF_CRASH_PHASE": phase, "FEDKEMF_CRASH_ROUND": str(crash_round)})
+    if code != CRASH_EXIT_CODE:
+        print(f"  {phase}: expected the injected crash (exit {CRASH_EXIT_CODE}), "
+              f"got exit {code}", file=sys.stderr)
+        return False
+
+    for _ in range(max_restarts):
+        code = run(binary, flags, telemetry, checkpoint)
+        if code == 0:
+            break
+        print(f"  {phase}: restart exited {code}", file=sys.stderr)
+        return False
+    else:
+        print(f"  {phase}: run did not complete within {max_restarts} restarts",
+              file=sys.stderr)
+        return False
+
+    stitched = evaluated_accuracies(telemetry)
+    if stitched != reference:
+        print(f"  {phase}: MISMATCH\n    reference: {reference}\n"
+              f"    stitched : {stitched}", file=sys.stderr)
+        return False
+    print(f"  {phase}: killed at round {crash_round}, resumed, history identical "
+          f"({len(stitched)} evaluated rounds)")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("binary", help="path to the lossy_network example binary")
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--crash-round", type=int, default=3,
+                        help="0-based round the kill point arms at")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--phases", nargs="*", default=PHASES,
+                        choices=PHASES, help="phase boundaries to kill at")
+    parser.add_argument("--extra-flag", action="append", default=[],
+                        help="additional flag passed to the binary (repeatable), "
+                             "e.g. --extra-flag=--adversary-fraction=0.25")
+    parser.add_argument("--max-restarts", type=int, default=4)
+    args = parser.parse_args()
+
+    if not os.path.exists(args.binary):
+        print(f"error: no such binary: {args.binary}", file=sys.stderr)
+        return 1
+    flags = ["--rounds", str(args.rounds), "--seed", str(args.seed), *args.extra_flag]
+
+    workdir = tempfile.mkdtemp(prefix="fedkemf_crash_recovery_")
+    try:
+        reference_telemetry = os.path.join(workdir, "reference.jsonl")
+        code = run(args.binary, flags, reference_telemetry, checkpoint=None)
+        if code != 0:
+            print(f"error: reference run exited {code}", file=sys.stderr)
+            return 1
+        reference = evaluated_accuracies(reference_telemetry)
+        if not reference:
+            print("error: reference run produced no evaluated rounds", file=sys.stderr)
+            return 1
+        print(f"reference: {len(reference)} evaluated rounds over {args.rounds} rounds")
+
+        failures = 0
+        for phase in args.phases:
+            if not verify_phase(args.binary, flags, phase, args.crash_round,
+                                reference, workdir, args.max_restarts):
+                failures += 1
+        if failures:
+            print(f"FAIL: {failures}/{len(args.phases)} kill phases diverged",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: all {len(args.phases)} kill phases resumed bitwise-identically")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
