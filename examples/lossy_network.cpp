@@ -49,6 +49,8 @@ int main(int argc, char** argv) {
   double corrupt_prob = 0.05;
   double deadline = 0.0;  // 0 = no deadline
   double adversary_fraction = 0.0;
+  double churn = 0.0;        // per-round leave probability; 0 = frozen fleet
+  double stale_alpha = -1.0; // < 0 = discard stragglers (historical policy)
   std::size_t seed = 1;
   std::string telemetry_path;
   std::string trace_path;
@@ -67,6 +69,10 @@ int main(int argc, char** argv) {
   cli.flag("deadline", &deadline, "round deadline in simulated seconds (0 = none)");
   cli.flag("adversary-fraction", &adversary_fraction,
            "fraction of clients that sign-flip their uploads");
+  cli.flag("churn", &churn,
+           "per-round probability a client leaves (leavers rejoin with prob 0.5)");
+  cli.flag("stale-alpha", &stale_alpha,
+           "staleness discount exponent for late uploads (< 0 = discard stragglers)");
   cli.flag("seed", &seed, "experiment seed");
   cli.flag("telemetry", &telemetry_path, "write per-round JSONL telemetry to this path");
   cli.flag("trace", &trace_path, "export a chrome://tracing JSON to this path");
@@ -115,6 +121,13 @@ int main(int argc, char** argv) {
       deadline > 0.0 ? deadline : std::numeric_limits<double>::infinity();
   run.sim->adversary.poison_fraction = adversary_fraction;
   run.sim->adversary.poison_mode = sim::PoisonMode::kSignFlip;
+  if (churn > 0.0) {
+    run.sim->churn.leave_prob = churn;
+    run.sim->churn.rejoin_prob = 0.5;
+  }
+  if (stale_alpha >= 0.0) {
+    run.staleness = fl::StalenessOptions{.alpha = stale_alpha};
+  }
   run.telemetry_path = telemetry_path;
   run.checkpoint_dir = checkpoint_dir;
   run.checkpoint_every = static_cast<std::size_t>(checkpoint_every);
@@ -140,6 +153,10 @@ int main(int argc, char** argv) {
               100.0 * result.best_accuracy);
   std::printf("clients dropped %zu, stragglers %zu across %zu rounds\n",
               result.total_dropped, result.total_stragglers, result.rounds_completed);
+  if (churn > 0.0 || stale_alpha >= 0.0) {
+    std::printf("elastic fleet   %zu joins, %zu departures, %zu stale updates applied\n",
+                result.total_joined, result.total_left, result.total_stale_applied);
+  }
   std::printf("simulated time  %.1f s; measured traffic %.2f MB\n", result.sim_seconds,
               static_cast<double>(result.total_bytes) / (1024.0 * 1024.0));
   std::printf("\ncompute vs eval wall-clock per round\n%s\n",

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "comm/compression.hpp"
+#include "core/rng.hpp"
 #include "core/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -310,6 +311,33 @@ std::size_t Channel::transfer_raw(std::size_t bytes, std::size_t round, std::siz
     meter_->record({round, client_id, direction, bytes, payload_name});
   }
   return bytes;
+}
+
+double retry_backoff_seconds(const RetryPolicy& policy, std::size_t failures,
+                             std::uint64_t jitter_seed) {
+  if (!policy.decorrelated_jitter) {
+    // Deterministic exponential schedule: the i-th failure costs one wait of
+    // backoff * multiplier^i before its retry.
+    double total = 0.0;
+    double step = policy.backoff_seconds;
+    for (std::size_t i = 0; i < failures; ++i) {
+      total += step;
+      step *= policy.backoff_multiplier;
+    }
+    return total;
+  }
+  const double base = policy.backoff_seconds;
+  const double cap = policy.max_backoff_seconds > base ? policy.max_backoff_seconds : base;
+  core::Rng rng(jitter_seed);
+  double total = 0.0;
+  double previous = base;
+  for (std::size_t i = 0; i < failures; ++i) {
+    const double hi = previous * 3.0 < cap ? previous * 3.0 : cap;
+    const double wait = hi > base ? rng.uniform(base, hi) : base;
+    total += wait;
+    previous = wait;
+  }
+  return total;
 }
 
 }  // namespace fedkemf::comm

@@ -139,7 +139,24 @@ struct RetryPolicy {
   std::size_t max_attempts = 3;
   double backoff_seconds = 0.05;    ///< wait before the first retry
   double backoff_multiplier = 2.0;  ///< exponential growth per further retry
+  /// Decorrelated jitter (the AWS "decorrelated" strategy): each wait is
+  /// drawn uniformly from [backoff_seconds, 3 * previous wait], capped at
+  /// max_backoff_seconds.  Plain exponential backoff keeps every client that
+  /// failed in the same fault window perfectly synchronized, so their
+  /// retries stampede the link together; jitter decorrelates them.  Off by
+  /// default (bit-compatible with the original deterministic schedule).
+  bool decorrelated_jitter = false;
+  double max_backoff_seconds = 5.0;  ///< jittered-wait cap
 };
+
+/// Total simulated backoff a client waits across `failures` failed attempts
+/// under `policy`.  Without jitter this is the deterministic exponential sum
+/// backoff * multiplier^i; with decorrelated_jitter the waits are drawn from
+/// the stream seeded by `jitter_seed`, so the schedule is a pure function of
+/// (policy, failures, seed) — deterministic, but different per (round,
+/// client) when callers derive the seed from a per-client stream tag.
+double retry_backoff_seconds(const RetryPolicy& policy, std::size_t failures,
+                             std::uint64_t jitter_seed = 0);
 
 /// Marshalling channel bound to a meter.
 class Channel {

@@ -100,4 +100,40 @@ void weighted_average_into(nn::Module& global, std::span<nn::Module* const> clie
   nn::restore_state(global, accumulator);
 }
 
+void weighted_state_average_into(nn::Module& global,
+                                 std::span<const StateContribution> members) {
+  if (members.empty()) {
+    throw std::invalid_argument("weighted_state_average_into: no members");
+  }
+  double total_weight = 0.0;
+  for (const StateContribution& member : members) {
+    if ((member.module == nullptr) == (member.state == nullptr)) {
+      throw std::invalid_argument(
+          "weighted_state_average_into: member needs exactly one of module/state");
+    }
+    total_weight += member.weight;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument("weighted_state_average_into: zero total weight");
+  }
+
+  std::vector<core::Tensor> accumulator = nn::snapshot_state(global);
+  for (core::Tensor& t : accumulator) t.zero();
+  for (const StateContribution& member : members) {
+    const float scale = static_cast<float>(member.weight / total_weight);
+    if (member.module != nullptr) {
+      nn::accumulate_state(*member.module, accumulator, scale);
+      continue;
+    }
+    if (member.state->size() != accumulator.size()) {
+      throw std::invalid_argument(
+          "weighted_state_average_into: snapshot tensor count mismatch");
+    }
+    for (std::size_t t = 0; t < accumulator.size(); ++t) {
+      accumulator[t].add_scaled_((*member.state)[t], scale);
+    }
+  }
+  nn::restore_state(global, accumulator);
+}
+
 }  // namespace fedkemf::fl

@@ -19,6 +19,7 @@
 #include "core/serialize.hpp"
 #include "fl/config.hpp"
 #include "fl/federation.hpp"
+#include "fl/stale_buffer.hpp"
 #include "nn/module.hpp"
 #include "nn/optim.hpp"
 #include "obs/telemetry.hpp"
@@ -76,6 +77,27 @@ class Algorithm {
   void set_simulator(sim::Simulator* simulator) { simulator_ = simulator; }
   sim::Simulator* simulator() const { return simulator_; }
 
+  /// Installs (or clears) the staleness buffer.  When set, round() parks
+  /// post-deadline uploads here instead of discarding them and folds every
+  /// entry due this round into the aggregation with its discounted weight.
+  /// The runner owns the buffer and clears the pointer before it dies.
+  void set_stale_buffer(StaleUpdateBuffer* buffer) { stale_buffer_ = buffer; }
+  StaleUpdateBuffer* stale_buffer() const { return stale_buffer_; }
+
+  /// Buffered late updates folded into the last round's aggregation.
+  virtual std::size_t last_stale_applied() const { return 0; }
+
+  // ---- Elastic-population lifecycle (driven by the runner's churn model).
+  //
+  /// A client (re)joined the federation: warm-start whatever per-client
+  /// state the algorithm keeps from the current global knowledge, so the
+  /// newcomer's first round does not start from a random net.
+  virtual void on_client_joined(std::size_t client_id) { (void)client_id; }
+  /// A departed client's server-side footprint (cached models, control
+  /// variates, reputation) must be released under the memory bound.  If the
+  /// client later rejoins it is treated as a fresh joiner.
+  virtual void on_client_evicted(std::size_t client_id) { (void)client_id; }
+
   /// Mean server-side loss of the last round (distillation KL for the
   /// fusion algorithms; 0 for algorithms without a server training step).
   /// The runner's divergence watchdog checks it for finiteness.
@@ -98,6 +120,7 @@ class Algorithm {
   const sim::AdversaryModel* adversary_model() const;
 
   sim::Simulator* simulator_ = nullptr;
+  StaleUpdateBuffer* stale_buffer_ = nullptr;
   obs::PhaseAccumulator phases_;
 };
 
@@ -140,5 +163,21 @@ void weighted_average_into(nn::Module& global,
                            std::span<nn::Module* const> client_models,
                            std::span<const std::size_t> sampled,
                            const Federation& federation);
+
+/// One member of a weight-space fusion that mixes live modules (fresh
+/// survivors) with raw state snapshots (buffered stale updates).  Exactly one
+/// of `module` / `state` is set; `weight` is the unnormalized mixing weight
+/// (shard size, possibly staleness-discounted).
+struct StateContribution {
+  nn::Module* module = nullptr;
+  const std::vector<core::Tensor>* state = nullptr;
+  double weight = 0.0;
+};
+
+/// Generalization of weighted_average_into: averages the contributions into
+/// `global` with weights normalized over the member list.  Every snapshot
+/// must have global's tensor layout (snapshot_state order).
+void weighted_state_average_into(nn::Module& global,
+                                 std::span<const StateContribution> members);
 
 }  // namespace fedkemf::fl

@@ -37,7 +37,9 @@
 namespace fedkemf::ckpt {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0xFEDC4B01;
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/// v2: RoundRecord gained the elastic-federation counters and the runner
+/// section gained the churn/stale-buffer continuation blobs.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 struct Section {
   std::string name;

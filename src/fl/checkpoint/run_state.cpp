@@ -42,6 +42,12 @@ void write_record(core::ByteWriter& writer, const RoundRecord& record) {
   writer.write_f64(record.sim_seconds);
   writer.write_u64(record.rejected_updates);
   writer.write_u8(record.rolled_back ? 1 : 0);
+  writer.write_u64(record.clients_joined);
+  writer.write_u64(record.clients_left);
+  writer.write_u64(record.stale_applied);
+  writer.write_u8(record.sim_tracked ? 1 : 0);
+  writer.write_u8(record.churn_tracked ? 1 : 0);
+  writer.write_u8(record.staleness_tracked ? 1 : 0);
 }
 
 RoundRecord read_record(core::ByteReader& reader) {
@@ -62,7 +68,25 @@ RoundRecord read_record(core::ByteReader& reader) {
   record.sim_seconds = reader.read_f64();
   record.rejected_updates = static_cast<std::size_t>(reader.read_u64());
   record.rolled_back = reader.read_u8() != 0;
+  record.clients_joined = static_cast<std::size_t>(reader.read_u64());
+  record.clients_left = static_cast<std::size_t>(reader.read_u64());
+  record.stale_applied = static_cast<std::size_t>(reader.read_u64());
+  record.sim_tracked = reader.read_u8() != 0;
+  record.churn_tracked = reader.read_u8() != 0;
+  record.staleness_tracked = reader.read_u8() != 0;
   return record;
+}
+
+void write_blob(core::ByteWriter& writer, const std::vector<std::uint8_t>& blob) {
+  writer.write_u32(static_cast<std::uint32_t>(blob.size()));
+  writer.write_bytes(blob);
+}
+
+std::vector<std::uint8_t> read_blob(core::ByteReader& reader) {
+  const std::uint32_t size = reader.read_u32();
+  std::vector<std::uint8_t> blob(size);
+  for (std::uint32_t i = 0; i < size; ++i) blob[i] = reader.read_u8();
+  return blob;
 }
 
 }  // namespace
@@ -86,12 +110,23 @@ void encode_run_state(core::ByteWriter& writer, const RunnerState& state) {
   writer.write_u64(result.total_stragglers);
   writer.write_u64(result.total_rejected_updates);
   writer.write_u64(result.total_rolled_back);
+  writer.write_u64(result.total_joined);
+  writer.write_u64(result.total_left);
+  writer.write_u64(result.total_stale_applied);
 
   writer.write_u8(state.has_watchdog_snapshot ? 1 : 0);
   if (state.has_watchdog_snapshot) {
     writer.write_u32(static_cast<std::uint32_t>(state.last_good.size()));
     for (const core::Tensor& t : state.last_good) core::write_tensor(writer, t);
     writer.write_f64(state.last_good_accuracy);
+  }
+
+  writer.write_u8(state.has_elastic ? 1 : 0);
+  if (state.has_elastic) {
+    write_blob(writer, state.churn_state);
+    writer.write_u32(static_cast<std::uint32_t>(state.departed_fifo.size()));
+    for (const std::uint64_t id : state.departed_fifo) writer.write_u64(id);
+    write_blob(writer, state.stale_buffer_state);
   }
 }
 
@@ -116,6 +151,9 @@ RunnerState decode_run_state(core::ByteReader& reader) {
   result.total_stragglers = static_cast<std::size_t>(reader.read_u64());
   result.total_rejected_updates = static_cast<std::size_t>(reader.read_u64());
   result.total_rolled_back = static_cast<std::size_t>(reader.read_u64());
+  result.total_joined = static_cast<std::size_t>(reader.read_u64());
+  result.total_left = static_cast<std::size_t>(reader.read_u64());
+  result.total_stale_applied = static_cast<std::size_t>(reader.read_u64());
 
   state.has_watchdog_snapshot = reader.read_u8() != 0;
   if (state.has_watchdog_snapshot) {
@@ -125,6 +163,15 @@ RunnerState decode_run_state(core::ByteReader& reader) {
       state.last_good.push_back(core::read_tensor(reader));
     }
     state.last_good_accuracy = reader.read_f64();
+  }
+
+  state.has_elastic = reader.read_u8() != 0;
+  if (state.has_elastic) {
+    state.churn_state = read_blob(reader);
+    const std::uint32_t fifo = reader.read_u32();
+    state.departed_fifo.reserve(fifo);
+    for (std::uint32_t i = 0; i < fifo; ++i) state.departed_fifo.push_back(reader.read_u64());
+    state.stale_buffer_state = read_blob(reader);
   }
   return state;
 }

@@ -39,6 +39,15 @@ struct RunnerState {
   bool has_watchdog_snapshot = false;
   std::vector<core::Tensor> last_good;
   double last_good_accuracy = std::numeric_limits<double>::quiet_NaN();
+
+  // Elastic-federation continuation (churn membership position, the runner's
+  // departed-client eviction FIFO, and the stale-update buffer contents).
+  // Present only when churn and/or staleness was configured; a blob is empty
+  // when its subsystem is off.
+  bool has_elastic = false;
+  std::vector<std::uint8_t> churn_state;        ///< sim::ChurnModel::save_state
+  std::vector<std::uint64_t> departed_fifo;     ///< eviction order, oldest first
+  std::vector<std::uint8_t> stale_buffer_state; ///< StaleUpdateBuffer::save_state
 };
 
 void encode_run_state(core::ByteWriter& writer, const RunnerState& state);

@@ -78,6 +78,18 @@ struct WatchdogOptions {
   double accuracy_drop_threshold = 0.15;
 };
 
+/// Staleness-aware aggregation (FedBuff-style): post-deadline uploads are
+/// parked in a bounded server-side buffer and folded into a later round's
+/// fusion with the discounted weight w = 1 / (1 + s)^alpha, where s is the
+/// update's age in rounds.  alpha = 0 treats late work as fresh; larger
+/// alpha trusts it less; as alpha -> inf the weight underflows to zero and
+/// the behavior degenerates to today's discard-stragglers policy exactly.
+struct StalenessOptions {
+  double alpha = 1.0;
+  /// Buffered late updates beyond this bound evict oldest-origin-first.
+  std::size_t buffer_capacity = 32;
+};
+
 /// Round loop controls.
 struct RunOptions {
   std::size_t rounds = 30;
@@ -94,6 +106,10 @@ struct RunOptions {
   std::optional<sim::SimOptions> sim;
   /// Divergence watchdog with rollback.  Unset = rounds are always accepted.
   std::optional<WatchdogOptions> watchdog;
+  /// Staleness-aware aggregation of post-deadline uploads.  Requires `sim`
+  /// (stragglers only exist under a simulated deadline).  Unset = stragglers
+  /// are discarded, the historical behavior.
+  std::optional<StalenessOptions> staleness;
   /// When non-empty, the runner streams one JSONL record per round (phase
   /// timings, traffic, cohort fate, defense counters) plus a closing
   /// {"kind":"run"} summary to this path.  Empty = no telemetry file.

@@ -59,6 +59,11 @@ void ReputationTracker::observe(std::size_t client_id, double agreement) {
   ++observations_[client_id];
 }
 
+void ReputationTracker::reset(std::size_t client_id) {
+  scores_.at(client_id) = 1.0;
+  observations_.at(client_id) = 0;
+}
+
 double ReputationTracker::score(std::size_t client_id) const {
   return scores_.at(client_id);
 }

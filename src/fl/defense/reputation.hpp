@@ -63,6 +63,11 @@ class ReputationTracker {
   /// Fusion weight: 0 when excluded, the score otherwise.
   double weight(std::size_t client_id) const;
 
+  /// Forgets one client's history (score back to neutral, observations to
+  /// zero) — used when a departed client's state is evicted so a rejoiner
+  /// starts from a clean slate like any first-time participant.
+  void reset(std::size_t client_id);
+
   const ReputationOptions& options() const { return options_; }
 
   // Checkpoint capture/restore of the cross-round EMA state.

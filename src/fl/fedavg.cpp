@@ -85,14 +85,74 @@ void FedAvg::after_local_update(std::size_t round_index, std::size_t client_id,
   (void)result;
 }
 
+void FedAvg::fill_stale_extras(std::size_t round_index, std::size_t client_id,
+                               const LocalTrainResult& result, StaleUpdate& update) {
+  (void)client_id;
+  update.scalars.push_back(static_cast<double>(result.steps));
+  update.scalars.push_back(local_config_.at_round(round_index).learning_rate);
+}
+
+bool FedAvg::park_straggler(std::size_t round_index, std::size_t client_id,
+                            Slot& client_slot, const LocalTrainResult& result) {
+  if (stale_buffer_ == nullptr) return false;  // legacy policy: discard
+  const std::size_t delay = simulator_->lateness(round_index, client_id);
+  if (delay == 0) return true;  // lands within its own round after all
+  StaleUpdate update;
+  update.client_id = client_id;
+  update.origin_round = round_index;
+  update.due_round = round_index + delay;
+  update.state = nn::snapshot_state(*client_slot.staged);
+  fill_stale_extras(round_index, client_id, result, update);
+  stale_buffer_->push(std::move(update));
+  return false;
+}
+
+void FedAvg::collect_due_stale(std::size_t round_index) {
+  stale_updates_.clear();
+  stale_weights_.clear();
+  last_stale_applied_ = 0;
+  if (stale_buffer_ == nullptr) return;
+  for (StaleUpdate& update : stale_buffer_->take_due(round_index)) {
+    const double weight = stale_buffer_->weight(round_index - update.origin_round);
+    if (weight <= 0.0) continue;  // alpha -> inf: the discount IS a discard
+    stale_updates_.push_back(std::move(update));
+    stale_weights_.push_back(weight);
+  }
+  last_stale_applied_ = stale_updates_.size();
+}
+
+void FedAvg::on_client_evicted(std::size_t client_id) {
+  Slot& s = slots_.at(client_id);
+  s.model.reset();
+  s.staged.reset();
+}
+
 void FedAvg::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
   (void)round_index;
   obs::ScopedPhaseTimer fuse_timer(phases_, obs::Phase::kFuse);
   obs::TraceSpan span("fl.fuse");
-  std::vector<nn::Module*> staged;
-  staged.reserve(sampled.size());
-  for (std::size_t id : sampled) staged.push_back(slots_.at(id).staged.get());
-  weighted_average_into(*global_, staged, sampled, federation());
+  if (stale_updates_.empty()) {
+    // Fresh-only path, kept verbatim: runs with no stale buffer (or none due)
+    // must stay bit-identical to the historical aggregation.
+    std::vector<nn::Module*> staged;
+    staged.reserve(sampled.size());
+    for (std::size_t id : sampled) staged.push_back(slots_.at(id).staged.get());
+    weighted_average_into(*global_, staged, sampled, federation());
+    return;
+  }
+  std::vector<StateContribution> members;
+  members.reserve(sampled.size() + stale_updates_.size());
+  for (std::size_t id : sampled) {
+    members.push_back({slots_.at(id).staged.get(), nullptr,
+                       static_cast<double>(federation().client_shard(id).size())});
+  }
+  for (std::size_t k = 0; k < stale_updates_.size(); ++k) {
+    const StaleUpdate& update = stale_updates_[k];
+    const double shard = static_cast<double>(
+        federation().client_shard(update.client_id).size());
+    members.push_back({nullptr, &update.state, shard * stale_weights_[k]});
+  }
+  weighted_state_average_into(*global_, members);
 }
 
 std::vector<std::size_t> FedAvg::surviving_clients(
@@ -190,7 +250,10 @@ double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampl
       if (simulator_ != nullptr &&
           !simulator_->finish_client(round_index, id,
                                      client_training_flops(id, round_index))) {
-        return;  // straggler: update arrives after the deadline
+        // Straggler: the update arrives after the deadline.  With a stale
+        // buffer it is parked for a later round (or, at lateness 0, folded
+        // back into this cohort); without one it is discarded as before.
+        if (!park_straggler(round_index, id, s, result)) return;
       }
       last_results_[i] = result;
       completed_[i] = 1;
@@ -200,8 +263,9 @@ double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampl
     }
   });
 
+  collect_due_stale(round_index);
   const std::vector<std::size_t> survivors = surviving_clients(sampled);
-  if (!survivors.empty()) aggregate(round_index, survivors);
+  if (!survivors.empty() || !stale_updates_.empty()) aggregate(round_index, survivors);
 
   double loss_total = 0.0;
   std::size_t reported = 0;

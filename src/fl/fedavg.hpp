@@ -31,6 +31,11 @@ class FedAvg : public Algorithm {
   void save_state(core::ByteWriter& writer) override;
   void load_state(core::ByteReader& reader) override;
 
+  std::size_t last_stale_applied() const override { return last_stale_applied_; }
+  /// Releases the departed client's working models; a rebuilt slot starts
+  /// from fresh fork streams, exactly as a never-sampled client would.
+  void on_client_evicted(std::size_t client_id) override;
+
   const models::ModelSpec& model_spec() const { return spec_; }
   const LocalTrainConfig& local_config() const { return local_config_; }
 
@@ -54,8 +59,29 @@ class FedAvg : public Algorithm {
 
   /// Folds the staged client models into the global model.  Default: FedAvg
   /// shard-size-weighted average over parameters and buffers.  Under
-  /// simulation `sampled` holds only the clients that completed in time.
+  /// simulation `sampled` holds only the clients that completed in time;
+  /// with a stale buffer installed, `stale_updates_` / `stale_weights_` hold
+  /// the late uploads due this round and their staleness discounts, to be
+  /// folded in alongside the fresh cohort.
   virtual void aggregate(std::size_t round_index, std::span<const std::size_t> sampled);
+
+  /// Algorithm-specific payload a parked straggler needs to be applied in a
+  /// later round.  Default records {steps, learning_rate} in scalars (what
+  /// FedNova's tau-normalization needs); SCAFFOLD adds its control variates.
+  virtual void fill_stale_extras(std::size_t round_index, std::size_t client_id,
+                                 const LocalTrainResult& result, StaleUpdate& update);
+
+  /// Parks a straggler's staged update in the stale buffer (no-op without
+  /// one).  Returns true when the update turned out to arrive within its own
+  /// round (lateness 0) — the caller then folds the client back into the
+  /// cohort exactly as a synchronous completion.
+  bool park_straggler(std::size_t round_index, std::size_t client_id, Slot& client_slot,
+                      const LocalTrainResult& result);
+
+  /// Drains the stale buffer's due entries into stale_updates_ /
+  /// stale_weights_, skipping entries whose discount underflowed to zero
+  /// (alpha -> inf therefore reproduces the discard policy bitwise).
+  void collect_due_stale(std::size_t round_index);
 
   /// Subset of `sampled` whose round survived every simulator gate (all of
   /// `sampled` when no simulator is installed).  Valid after the parallel
@@ -72,6 +98,9 @@ class FedAvg : public Algorithm {
   std::vector<Slot> slots_;
   std::vector<LocalTrainResult> last_results_;  ///< per sampled index, this round
   std::vector<std::uint8_t> completed_;         ///< per sampled index, this round
+  std::vector<StaleUpdate> stale_updates_;      ///< late uploads due this round
+  std::vector<double> stale_weights_;           ///< parallel staleness discounts
+  std::size_t last_stale_applied_ = 0;
   double flops_per_sample_ = -1.0;              ///< lazy models::estimate_cost cache
 };
 

@@ -107,6 +107,11 @@ std::vector<std::size_t> FedDf::screen_members(std::span<const std::size_t> samp
   return trusted;
 }
 
+void FedDf::on_client_evicted(std::size_t client_id) {
+  FedAvg::on_client_evicted(client_id);
+  if (reputation_) reputation_->reset(client_id);
+}
+
 void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
   last_distill_loss_ = 0.0;
   last_rejected_ = 0;
@@ -123,20 +128,52 @@ void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> samp
   std::vector<std::size_t> probe_rows(batch_size);
   for (std::size_t i = 0; i < batch_size; ++i) probe_rows[i] = i;
   std::vector<std::size_t> members;
+  std::vector<std::unique_ptr<nn::Module>> stale_nets(stale_updates_.size());
+  std::vector<std::size_t> stale_members;  ///< indices into stale_updates_
   {
     obs::ScopedPhaseTimer timer(phases_, obs::Phase::kSanitize);
     obs::TraceSpan span("fl.sanitize");
     members = screen_members(sampled, gather_pool(pool, probe_rows));
+    if (!stale_updates_.empty()) {
+      // Same double discount as FedKemf: stale entries are materialized into
+      // scratch models, screened by sanitation + the reputation exclusion
+      // bar (no new observation), then staleness-weighted in fusion.
+      std::vector<nn::Module*> nets;
+      std::vector<std::size_t> entries;
+      nets.reserve(stale_updates_.size());
+      entries.reserve(stale_updates_.size());
+      for (std::size_t e = 0; e < stale_updates_.size(); ++e) {
+        core::Rng scratch_rng = fed.root_rng().fork(0x57A1ED0FULL + e);
+        stale_nets[e] = models::build_model(spec_, scratch_rng);
+        nn::restore_state(*stale_nets[e], stale_updates_[e].state);
+        stale_nets[e]->set_training(false);
+        nets.push_back(stale_nets[e].get());
+        entries.push_back(e);
+      }
+      SanitizeResult screened = sanitize_updates(nets, entries, options_.sanitize);
+      last_rejected_ += screened.rejected.size();
+      for (std::size_t e : screened.accepted) {
+        if (reputation_ && reputation_->excluded(stale_updates_[e].client_id)) {
+          ++last_rejected_;
+          continue;
+        }
+        stale_members.push_back(e);
+      }
+      last_stale_applied_ = stale_members.size();
+    }
   }
-  if (members.empty()) return;  // nothing trustworthy: keep last global
+  if (members.empty() && stale_members.empty()) {
+    return;  // nothing trustworthy: keep last global
+  }
 
   std::vector<nn::Module*> teachers;
-  teachers.reserve(members.size());
+  teachers.reserve(members.size() + stale_members.size());
   for (std::size_t id : members) {
     nn::Module* teacher = slots_.at(id).staged.get();
     teacher->set_training(false);
     teachers.push_back(teacher);
   }
+  for (std::size_t e : stale_members) teachers.push_back(stale_nets[e].get());
 
   // Warm start from the screened members — robust weight-space fusion when a
   // robust logit strategy is selected, the shard-weighted FedAvg rule
@@ -157,14 +194,42 @@ void FedDf::aggregate(std::size_t round_index, std::span<const std::size_t> samp
       break;
     }
     default:
-      FedAvg::aggregate(round_index, members);
+      if (stale_updates_.empty()) {
+        FedAvg::aggregate(round_index, members);
+      } else {
+        // FedAvg::aggregate would fold the whole stale_updates_ list; here
+        // only the *screened* stale entries contribute, staleness-discounted.
+        obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
+        obs::TraceSpan span("fl.fuse");
+        std::vector<StateContribution> contribs;
+        contribs.reserve(members.size() + stale_members.size());
+        for (std::size_t id : members) {
+          contribs.push_back({slots_.at(id).staged.get(), nullptr,
+                              static_cast<double>(fed.client_shard(id).size())});
+        }
+        for (std::size_t e : stale_members) {
+          const StaleUpdate& update = stale_updates_[e];
+          const double shard =
+              static_cast<double>(fed.client_shard(update.client_id).size());
+          contribs.push_back({nullptr, &update.state, shard * stale_weights_[e]});
+        }
+        weighted_state_average_into(global_model(), contribs);
+      }
       break;
   }
 
   std::vector<double> member_weights;
-  if (reputation_ && options_.ensemble == EnsembleStrategy::kAvgLogits) {
-    member_weights.reserve(members.size());
-    for (std::size_t id : members) member_weights.push_back(reputation_->weight(id));
+  if (options_.ensemble == EnsembleStrategy::kAvgLogits &&
+      (reputation_ || !stale_members.empty())) {
+    member_weights.reserve(teachers.size());
+    for (std::size_t id : members) {
+      member_weights.push_back(reputation_ ? reputation_->weight(id) : 1.0);
+    }
+    for (std::size_t e : stale_members) {
+      const double rep =
+          reputation_ ? reputation_->weight(stale_updates_[e].client_id) : 1.0;
+      member_weights.push_back(rep * stale_weights_[e]);
+    }
   }
 
   obs::ScopedPhaseTimer distill_timer(phases_, obs::Phase::kDistill);

@@ -48,6 +48,9 @@ class FedDf final : public FedAvg {
   std::size_t last_rejected_updates() const override { return last_rejected_; }
   const ReputationTracker* reputation() const { return reputation_.get(); }
 
+  /// FedAvg slot eviction + reputation reset for the departed client.
+  void on_client_evicted(std::size_t client_id) override;
+
  protected:
   void aggregate(std::size_t round_index, std::span<const std::size_t> sampled) override;
 

@@ -354,7 +354,10 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
       if (simulator_ != nullptr &&
           !simulator_->finish_client(round_index, id,
                                      client_training_flops(id, round_index))) {
-        return;  // straggler: knowledge net arrives after the deadline
+        // Straggler: the knowledge net arrives after the deadline.  With a
+        // stale buffer it is parked for a later round (or, at lateness 0,
+        // folded back into this cohort); without one it is discarded.
+        if (!park_straggler(round_index, id, s)) return;
       }
       last_results_[i] = result;
       completed_[i] = 1;
@@ -370,7 +373,8 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
     if (completed_[i] != 0) survivors.push_back(sampled[i]);
   }
 
-  if (!survivors.empty()) {
+  collect_due_stale(round_index);
+  if (!survivors.empty() || !stale_updates_.empty()) {
     if (options_.fuse_by_weight_average) {
       obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
       obs::TraceSpan span("fl.fuse");
@@ -391,10 +395,71 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
 }
 
 void FedKemf::fuse_weight_average(std::span<const std::size_t> sampled) {
-  std::vector<nn::Module*> staged;
-  staged.reserve(sampled.size());
-  for (std::size_t id : sampled) staged.push_back(slots_.at(id).staged.get());
-  weighted_average_into(*global_knowledge_, staged, sampled, *federation_);
+  if (stale_updates_.empty()) {
+    // Fresh-only path, kept verbatim: runs with no stale buffer (or none due)
+    // must stay bit-identical to the historical fusion.
+    std::vector<nn::Module*> staged;
+    staged.reserve(sampled.size());
+    for (std::size_t id : sampled) staged.push_back(slots_.at(id).staged.get());
+    weighted_average_into(*global_knowledge_, staged, sampled, *federation_);
+    return;
+  }
+  std::vector<StateContribution> members;
+  members.reserve(sampled.size() + stale_updates_.size());
+  for (std::size_t id : sampled) {
+    members.push_back({slots_.at(id).staged.get(), nullptr,
+                       static_cast<double>(federation_->client_shard(id).size())});
+  }
+  for (std::size_t k = 0; k < stale_updates_.size(); ++k) {
+    const StaleUpdate& update = stale_updates_[k];
+    const double shard =
+        static_cast<double>(federation_->client_shard(update.client_id).size());
+    members.push_back({nullptr, &update.state, shard * stale_weights_[k]});
+  }
+  weighted_state_average_into(*global_knowledge_, members);
+}
+
+bool FedKemf::park_straggler(std::size_t round_index, std::size_t client_id,
+                             Slot& client_slot) {
+  if (stale_buffer_ == nullptr) return false;  // legacy policy: discard
+  const std::size_t delay = simulator_->lateness(round_index, client_id);
+  if (delay == 0) return true;  // lands within its own round after all
+  StaleUpdate update;
+  update.client_id = client_id;
+  update.origin_round = round_index;
+  update.due_round = round_index + delay;
+  update.state = nn::snapshot_state(*client_slot.staged);
+  stale_buffer_->push(std::move(update));
+  return false;
+}
+
+void FedKemf::collect_due_stale(std::size_t round_index) {
+  stale_updates_.clear();
+  stale_weights_.clear();
+  last_stale_applied_ = 0;
+  if (stale_buffer_ == nullptr) return;
+  for (StaleUpdate& update : stale_buffer_->take_due(round_index)) {
+    const double weight = stale_buffer_->weight(round_index - update.origin_round);
+    if (weight <= 0.0) continue;  // alpha -> inf: the discount IS a discard
+    stale_updates_.push_back(std::move(update));
+    stale_weights_.push_back(weight);
+  }
+  last_stale_applied_ = stale_updates_.size();
+}
+
+void FedKemf::on_client_joined(std::size_t client_id) {
+  Slot& s = slot(client_id);
+  const std::vector<core::Tensor> state = nn::snapshot_state(*global_knowledge_);
+  nn::restore_state(*s.knowledge, state);
+  nn::restore_state(*s.staged, state);
+}
+
+void FedKemf::on_client_evicted(std::size_t client_id) {
+  Slot& s = slots_.at(client_id);
+  s.local_model.reset();
+  s.knowledge.reset();
+  s.staged.reset();
+  if (reputation_) reputation_->reset(client_id);
 }
 
 void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::size_t> sampled) {
@@ -410,22 +475,58 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
   for (std::size_t i = 0; i < batch_size; ++i) probe_rows[i] = i;
 
   std::vector<std::size_t> members;
+  std::vector<std::unique_ptr<nn::Module>> stale_nets(stale_updates_.size());
+  std::vector<std::size_t> stale_members;  ///< indices into stale_updates_
   {
     obs::ScopedPhaseTimer timer(phases_, obs::Phase::kSanitize);
     obs::TraceSpan span("fl.sanitize");
     const core::Tensor probe = gather_pool(pool, probe_rows);
     members = screen_members(sampled, probe);
+    if (!stale_updates_.empty()) {
+      // Materialize scratch knowledge nets for the stale entries and pass
+      // them through the same sanitation screen as the fresh cohort, plus the
+      // reputation exclusion bar (no new observation — their agreement is a
+      // round old).  A stale Byzantine upload is therefore doubly discounted:
+      // screened here, then staleness-weighted in fusion.
+      std::vector<nn::Module*> nets;
+      std::vector<std::size_t> entries;
+      nets.reserve(stale_updates_.size());
+      entries.reserve(stale_updates_.size());
+      for (std::size_t e = 0; e < stale_updates_.size(); ++e) {
+        core::Rng scratch_rng = fed.root_rng().fork(0x57A1E4E7ULL + e);
+        stale_nets[e] = models::build_model(options_.knowledge_spec, scratch_rng);
+        nn::restore_state(*stale_nets[e], stale_updates_[e].state);
+        stale_nets[e]->set_training(false);
+        nets.push_back(stale_nets[e].get());
+        entries.push_back(e);  // sanitize labels entries, not client ids: a
+                               // client can appear both fresh and stale
+      }
+      SanitizeResult screened = sanitize_updates(nets, entries, options_.sanitize);
+      last_rejected_ += screened.rejected.size();
+      for (std::size_t e : screened.accepted) {
+        if (reputation_ && reputation_->excluded(stale_updates_[e].client_id)) {
+          ++last_rejected_;
+          continue;
+        }
+        stale_members.push_back(e);
+      }
+      last_stale_applied_ = stale_members.size();
+    }
   }
-  if (members.empty()) return;  // every upload screened out: keep last global
+  if (members.empty() && stale_members.empty()) {
+    return;  // every upload screened out: keep last global
+  }
 
-  // Teachers predict in eval mode with frozen statistics.
+  // Teachers predict in eval mode with frozen statistics; screened stale
+  // knowledge nets join the ensemble after the fresh cohort.
   std::vector<nn::Module*> teachers;
-  teachers.reserve(members.size());
+  teachers.reserve(members.size() + stale_members.size());
   for (std::size_t id : members) {
     nn::Module* t = slots_.at(id).staged.get();
     t->set_training(false);
     teachers.push_back(t);
   }
+  for (std::size_t e : stale_members) teachers.push_back(stale_nets[e].get());
 
   {
     // Warm start: fuse the client knowledge networks before distilling.  This
@@ -444,17 +545,45 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
         median_state(teachers, *global_knowledge_);
         break;
       default:
-        fuse_weight_average(members);
+        if (stale_updates_.empty()) {
+          fuse_weight_average(members);
+        } else {
+          // fuse_weight_average folds the whole stale_updates_ list; here only
+          // the *screened* stale entries may contribute, staleness-discounted.
+          std::vector<StateContribution> contribs;
+          contribs.reserve(members.size() + stale_members.size());
+          for (std::size_t id : members) {
+            contribs.push_back({slots_.at(id).staged.get(), nullptr,
+                                static_cast<double>(fed.client_shard(id).size())});
+          }
+          for (std::size_t k = 0; k < stale_members.size(); ++k) {
+            const StaleUpdate& update = stale_updates_[stale_members[k]];
+            const double shard =
+                static_cast<double>(fed.client_shard(update.client_id).size());
+            contribs.push_back(
+                {nullptr, &update.state, shard * stale_weights_[stale_members[k]]});
+          }
+          weighted_state_average_into(*global_knowledge_, contribs);
+        }
         break;
     }
   }
 
   // Under reputation + avg-logits, members are soft-weighted by their score
   // instead of equally; the robust strategies ignore weights by design.
+  // Stale teachers always carry their staleness discount (x reputation).
   std::vector<double> member_weights;
-  if (reputation_ && options_.ensemble == EnsembleStrategy::kAvgLogits) {
-    member_weights.reserve(members.size());
-    for (std::size_t id : members) member_weights.push_back(reputation_->weight(id));
+  if (options_.ensemble == EnsembleStrategy::kAvgLogits &&
+      (reputation_ || !stale_members.empty())) {
+    member_weights.reserve(teachers.size());
+    for (std::size_t id : members) {
+      member_weights.push_back(reputation_ ? reputation_->weight(id) : 1.0);
+    }
+    for (std::size_t e : stale_members) {
+      const double rep =
+          reputation_ ? reputation_->weight(stale_updates_[e].client_id) : 1.0;
+      member_weights.push_back(rep * stale_weights_[e]);
+    }
   }
 
   obs::ScopedPhaseTimer distill_timer(phases_, obs::Phase::kDistill);

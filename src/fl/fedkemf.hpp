@@ -82,6 +82,19 @@ class FedKemf final : public Algorithm {
   /// during the last round's fusion.
   std::size_t last_rejected_updates() const override { return last_rejected_; }
 
+  std::size_t last_stale_applied() const override { return last_stale_applied_; }
+
+  /// Warm start: a joiner's knowledge working copies begin from the current
+  /// global knowledge net instead of a cold random init.  The private local
+  /// model still starts fresh — it never crossed the wire, so there is
+  /// nothing global to restore it from.
+  void on_client_joined(std::size_t client_id) override;
+
+  /// Drops the departed client's private model and knowledge copies and
+  /// resets its reputation; a rejoiner is indistinguishable from a new
+  /// participant.
+  void on_client_evicted(std::size_t client_id) override;
+
   /// Cross-round reputation state (null unless options().reputation.enabled).
   const ReputationTracker* reputation() const { return reputation_.get(); }
 
@@ -102,6 +115,13 @@ class FedKemf final : public Algorithm {
   void distill_ensemble(std::size_t round_index, std::span<const std::size_t> sampled);
   void fuse_weight_average(std::span<const std::size_t> sampled);
   double client_training_flops(std::size_t client_id, std::size_t round_index);
+  /// Parks a straggler's staged knowledge net in the stale buffer (no-op
+  /// without one).  Returns true when the lateness draw is 0 — the update
+  /// lands within its own round and the caller folds it back into the cohort.
+  bool park_straggler(std::size_t round_index, std::size_t client_id, Slot& client_slot);
+  /// Drains due stale entries into stale_updates_ / stale_weights_, skipping
+  /// zero discounts (alpha -> inf reproduces the discard policy bitwise).
+  void collect_due_stale(std::size_t round_index);
   /// Sanitation + reputation screening; returns the member ids allowed into
   /// fusion (subset of `sampled`, order preserved) and updates
   /// last_rejected_.  `probe` is the fixed server-pool probe batch used for
@@ -120,6 +140,9 @@ class FedKemf final : public Algorithm {
   std::vector<std::uint8_t> completed_;        ///< per sampled index, this round
   std::vector<double> arch_flops_per_sample_;  ///< lazy, indexed like arch_pool_
   std::unique_ptr<ReputationTracker> reputation_;
+  std::vector<StaleUpdate> stale_updates_;     ///< late uploads due this round
+  std::vector<double> stale_weights_;          ///< parallel staleness discounts
+  std::size_t last_stale_applied_ = 0;
   double last_distill_loss_ = 0.0;             ///< mean KL of the last fusion
   std::size_t last_rejected_ = 0;              ///< screened-out uploads, last round
 };

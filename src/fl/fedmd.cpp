@@ -5,8 +5,10 @@
 
 #include "core/serialize.hpp"
 #include "fl/checkpoint/state_io.hpp"
+#include "models/flops.hpp"
 #include "nn/loss.hpp"
 #include "obs/trace.hpp"
+#include "sim/simulator.hpp"
 
 namespace fedkemf::fl {
 namespace {
@@ -89,6 +91,38 @@ FedMd::Slot& FedMd::slot(std::size_t client_id) {
   return s;
 }
 
+double FedMd::client_round_flops(std::size_t client_id, std::size_t round_index) {
+  if (arch_flops_per_sample_.empty()) {
+    arch_flops_per_sample_.reserve(arch_pool_.size());
+    for (const models::ModelSpec& spec : arch_pool_) {
+      arch_flops_per_sample_.push_back(
+          static_cast<double>(models::estimate_cost(spec).training_flops()));
+    }
+  }
+  const LocalTrainConfig config = local_config_.at_round(round_index);
+  const double samples =
+      static_cast<double>(config.epochs) *
+      static_cast<double>(federation_->client_shard(client_id).size());
+  return arch_flops_per_sample_[client_id % arch_pool_.size()] * samples;
+}
+
+void FedMd::on_client_joined(std::size_t client_id) {
+  Slot& s = slot(client_id);
+  // Seed from the server student when the architectures agree (every state
+  // tensor shape-matches); heterogeneous joiners keep their fresh init.
+  std::vector<core::Tensor> student_state = nn::snapshot_state(*server_student_);
+  const std::vector<core::Tensor> model_state = nn::snapshot_state(*s.model);
+  if (student_state.size() != model_state.size()) return;
+  for (std::size_t k = 0; k < student_state.size(); ++k) {
+    if (student_state[k].shape() != model_state[k].shape()) return;
+  }
+  nn::restore_state(*s.model, student_state);
+}
+
+void FedMd::on_client_evicted(std::size_t client_id) {
+  slots_.at(client_id).model.reset();
+}
+
 double FedMd::round(std::size_t round_index, std::span<const std::size_t> sampled,
                     utils::ThreadPool& pool) {
   if (sampled.empty()) throw std::invalid_argument("FedMd::round: no sampled clients");
@@ -111,31 +145,88 @@ double FedMd::round(std::size_t round_index, std::span<const std::size_t> sample
       core::tensor_wire_size(core::Tensor(core::Shape::matrix(batch_count, classes)));
 
   // 2. Every sampled client predicts on the public batch and uploads logits.
+  //    Under simulation the usual gates apply: offline clients upload nothing
+  //    and deadline-missing stragglers are dropped — unless a stale buffer is
+  //    configured, in which case their logits stay in *this* round's
+  //    consensus at the staleness discount (a logit upload is meaningless in
+  //    any later round, so FedMD's discount is intra-round).
+  last_stale_applied_ = 0;
   std::vector<core::Tensor> member_logits(sampled.size());
   std::vector<double> losses(sampled.size(), 0.0);
+  std::vector<double> member_weights(sampled.size(), 0.0);
+  std::vector<std::uint8_t> discounted(sampled.size(), 0);
+  if (simulator_ != nullptr) {
+    client_round_flops(sampled.front(), round_index);  // warm cache, single thread
+  }
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
     obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
     obs::TraceSpan span("fl.client");
     const std::size_t id = sampled[i];
+    if (simulator_ != nullptr && !simulator_->begin_client(round_index, id)) {
+      return;  // device offline this round
+    }
     nn::Module& model = *slots_[id].model;
     model.set_training(false);
-    member_logits[i] = model.forward(public_batch);
-    fed.channel().transfer_raw(logits_bytes, round_index, id, comm::Direction::kUplink,
-                               "public_logits");
+    try {
+      member_logits[i] = model.forward(public_batch);
+      fed.channel().transfer_raw(logits_bytes, round_index, id, comm::Direction::kUplink,
+                                 "public_logits");
+    } catch (const comm::TransferFailed&) {
+      if (simulator_ == nullptr) throw;
+      simulator_->report_transfer_failure(round_index, id);
+      return;
+    }
+    if (simulator_ != nullptr &&
+        !simulator_->finish_client(round_index, id,
+                                   client_round_flops(id, round_index))) {
+      if (stale_buffer_ == nullptr) return;  // legacy policy: discard
+      const std::size_t delay = simulator_->lateness(round_index, id);
+      const double weight = stale_buffer_->weight(delay);
+      if (weight <= 0.0) return;  // alpha -> inf: the discount IS a discard
+      member_weights[i] = weight;
+      if (delay > 0) discounted[i] = 1;
+      return;
+    }
+    member_weights[i] = 1.0;
   });
+  double consensus_weight = 0.0;
+  std::size_t included = 0;
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    consensus_weight += member_weights[i];
+    if (member_weights[i] > 0.0) ++included;
+    if (discounted[i] != 0) ++last_stale_applied_;
+  }
+  if (included == 0) return 0.0;  // nobody delivered: every model keeps its state
 
   // 3. Consensus = mean of the uploaded logits (Li & Wang average class
-  //    scores); broadcast back to the sampled clients.
+  //    scores); broadcast back to the sampled clients.  Without a simulator
+  //    this is the historical equal-weight path, verbatim.
   core::Tensor consensus;
   {
     obs::ScopedPhaseTimer timer(phases_, obs::Phase::kFuse);
     obs::TraceSpan span("fl.fuse");
-    consensus = core::Tensor::zeros(member_logits.front().shape());
-    const float inv = 1.0f / static_cast<float>(member_logits.size());
-    for (const core::Tensor& logits : member_logits) consensus.add_scaled_(logits, inv);
-    for (std::size_t id : sampled) {
-      fed.channel().transfer_raw(logits_bytes, round_index, id,
-                                 comm::Direction::kDownlink, "consensus_logits");
+    if (simulator_ == nullptr) {
+      consensus = core::Tensor::zeros(member_logits.front().shape());
+      const float inv = 1.0f / static_cast<float>(member_logits.size());
+      for (const core::Tensor& logits : member_logits) consensus.add_scaled_(logits, inv);
+      for (std::size_t id : sampled) {
+        fed.channel().transfer_raw(logits_bytes, round_index, id,
+                                   comm::Direction::kDownlink, "consensus_logits");
+      }
+    } else {
+      for (std::size_t i = 0; i < sampled.size(); ++i) {
+        if (member_weights[i] <= 0.0) continue;
+        if (consensus.data() == nullptr) {
+          consensus = core::Tensor::zeros(member_logits[i].shape());
+        }
+        consensus.add_scaled_(member_logits[i],
+                              static_cast<float>(member_weights[i] / consensus_weight));
+      }
+      for (std::size_t i = 0; i < sampled.size(); ++i) {
+        if (member_weights[i] <= 0.0) continue;  // offline / dropped: no downlink
+        fed.channel().transfer_raw(logits_bytes, round_index, sampled[i],
+                                   comm::Direction::kDownlink, "consensus_logits");
+      }
     }
   }
 
@@ -144,6 +235,7 @@ double FedMd::round(std::size_t round_index, std::span<const std::size_t> sample
   pool.parallel_for(sampled.size(), [&](std::size_t i) {
     obs::ScopedPhaseTimer timer(phases_, obs::Phase::kLocalTrain);
     obs::TraceSpan span("fl.client");
+    if (member_weights[i] <= 0.0) return;  // never reached the consensus
     const std::size_t id = sampled[i];
     nn::Module& model = *slots_[id].model;
     model.set_training(true);
@@ -180,7 +272,7 @@ double FedMd::round(std::size_t round_index, std::span<const std::size_t> sample
 
   double loss_total = 0.0;
   for (double loss : losses) loss_total += loss;
-  return loss_total / static_cast<double>(sampled.size());
+  return loss_total / static_cast<double>(included);
 }
 
 }  // namespace fedkemf::fl

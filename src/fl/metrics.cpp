@@ -1,6 +1,7 @@
 #include "fl/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -99,7 +100,15 @@ double RunResult::mean_round_bytes() const {
 
 utils::Table history_table(const RunResult& result) {
   utils::Table table({"Round", "Accuracy", "Train loss", "Compute (s)", "Eval (s)",
-                      "Round bytes", "Completed", "Rejected"});
+                      "Round bytes", "Completed", "Rejected", "Straggled", "Joined",
+                      "Left", "Stale"});
+  // Untracked counters render as "n/a" via the Table NaN convention — a churn
+  // column showing 0 on a fixed-membership run would read as "nobody moved"
+  // when the truth is "nobody was counting".
+  const auto counted = [](bool tracked, std::size_t value) {
+    return tracked ? static_cast<double>(value)
+                   : std::numeric_limits<double>::quiet_NaN();
+  };
   for (const RoundRecord& record : result.history) {
     table.row()
         .cell(record.round + 1)
@@ -110,7 +119,11 @@ utils::Table history_table(const RunResult& result) {
         .cell(record.round_bytes)
         .cell(std::to_string(record.clients_completed) + "/" +
               std::to_string(record.clients_sampled))
-        .cell(record.rejected_updates);
+        .cell(record.rejected_updates)
+        .cell(counted(record.sim_tracked, record.clients_straggled), 0)
+        .cell(counted(record.churn_tracked, record.clients_joined), 0)
+        .cell(counted(record.churn_tracked, record.clients_left), 0)
+        .cell(counted(record.staleness_tracked, record.stale_applied), 0);
   }
   return table;
 }

@@ -53,6 +53,17 @@ struct RoundRecord {
   // Byzantine-defense fate (RunOptions::watchdog + algorithm screening).
   std::size_t rejected_updates = 0;   ///< uploads the server refused to fuse
   bool rolled_back = false;           ///< watchdog restored the pre-round model
+
+  // Elastic federation (churn + stale-update buffering).  The *_tracked
+  // flags record whether the corresponding subsystem was configured; the
+  // history table renders untracked columns as "n/a" (the utils::Table NaN
+  // convention) instead of a misleading 0.
+  std::size_t clients_joined = 0;     ///< joined/rejoined at this round's start
+  std::size_t clients_left = 0;       ///< departed at this round's start
+  std::size_t stale_applied = 0;      ///< buffered late updates folded in
+  bool sim_tracked = false;           ///< a simulator gated this round
+  bool churn_tracked = false;         ///< a dynamic churn model was active
+  bool staleness_tracked = false;     ///< a stale-update buffer was installed
 };
 
 struct RunResult {
@@ -73,6 +84,11 @@ struct RunResult {
   // Defense totals over every round (zero without screening / watchdog).
   std::size_t total_rejected_updates = 0;
   std::size_t total_rolled_back = 0;  ///< rounds the watchdog rolled back
+
+  // Elastic-federation totals (zero without churn / staleness).
+  std::size_t total_joined = 0;
+  std::size_t total_left = 0;
+  std::size_t total_stale_applied = 0;
 
   /// True when the run stopped early on a graceful-shutdown request (SIGINT/
   /// SIGTERM with install_shutdown_handler); a final checkpoint was written

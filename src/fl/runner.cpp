@@ -12,6 +12,7 @@
 #include "fl/checkpoint/format.hpp"
 #include "fl/checkpoint/run_state.hpp"
 #include "fl/defense/sanitize.hpp"  // state_finite
+#include "fl/stale_buffer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -64,6 +65,9 @@ obs::RoundTelemetry to_telemetry(const RoundRecord& record, bool evaluated,
   t.sim_seconds = record.sim_seconds;
   t.rejected_updates = record.rejected_updates;
   t.rolled_back = record.rolled_back;
+  t.clients_joined = record.clients_joined;
+  t.clients_left = record.clients_left;
+  t.stale_applied = record.stale_applied;
   t.evaluated = evaluated;
   t.accuracy = record.accuracy;
   t.train_loss = record.train_loss;
@@ -95,6 +99,35 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
         federation.root_rng().fork(0x51D07A1EULL));
     simulator->attach(federation.channel());
     algorithm.set_simulator(simulator.get());
+  }
+
+  // Elastic federation: staleness buffering needs the simulator (stragglers
+  // only exist under a simulated deadline); churn is active only when the
+  // options configure actual membership dynamics — a static population skips
+  // the churn stream entirely, keeping legacy runs bitwise identical.
+  std::unique_ptr<StaleUpdateBuffer> stale_buffer;
+  if (options.staleness) {
+    if (!simulator) {
+      throw std::invalid_argument(
+          "run: options.staleness requires options.sim (stragglers only exist "
+          "under a simulated round deadline)");
+    }
+    stale_buffer = std::make_unique<StaleUpdateBuffer>(*options.staleness);
+    algorithm.set_stale_buffer(stale_buffer.get());
+  }
+  const bool churn_active = simulator && options.sim->churn.dynamic();
+  std::vector<std::size_t> departed_fifo;  ///< eviction order, oldest first
+
+  if (state.has_elastic) {
+    if (churn_active && !state.churn_state.empty()) {
+      core::ByteReader churn_reader(state.churn_state);
+      simulator->churn().load_state(churn_reader);
+    }
+    departed_fifo.assign(state.departed_fifo.begin(), state.departed_fifo.end());
+    if (stale_buffer && !state.stale_buffer_state.empty()) {
+      core::ByteReader buffer_reader(state.stale_buffer_state);
+      stale_buffer->load_state(buffer_reader);
+    }
   }
 
   RunResult result = std::move(state.result);
@@ -155,6 +188,18 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
         snapshot.last_good = last_good;  // copy: the loop keeps mutating ours
         snapshot.last_good_accuracy = last_good_accuracy;
       }
+      snapshot.has_elastic = churn_active || stale_buffer != nullptr;
+      if (churn_active) {
+        core::ByteWriter churn_writer;
+        simulator->churn().save_state(churn_writer);
+        snapshot.churn_state = churn_writer.take();
+      }
+      snapshot.departed_fifo.assign(departed_fifo.begin(), departed_fifo.end());
+      if (stale_buffer) {
+        core::ByteWriter buffer_writer;
+        stale_buffer->save_state(buffer_writer);
+        snapshot.stale_buffer_state = buffer_writer.take();
+      }
       core::ByteWriter writer;
       encode_run_state(writer, snapshot);
       checkpoint.section("runner") = writer.take();
@@ -173,9 +218,29 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
     obs::TraceSpan round_span("fl.round");
     utils::Stopwatch round_clock;
     sim::CrashInjector::instance().begin_round(round);
-    const std::size_t count =
-        sampled_client_count(federation.num_clients(), options.sample_ratio);
-    const std::vector<std::size_t> sampled = selector->select(federation, round, count);
+
+    sim::ChurnEvents churn_events;
+    std::vector<std::size_t> sampled;
+    if (churn_active) {
+      churn_events = simulator->churn().begin_round(round);
+      for (const std::size_t id : churn_events.joined) {
+        departed_fifo.erase(std::remove(departed_fifo.begin(), departed_fifo.end(), id),
+                            departed_fifo.end());
+        algorithm.on_client_joined(id);
+      }
+      for (const std::size_t id : churn_events.left) departed_fifo.push_back(id);
+      while (departed_fifo.size() > options.sim->churn.departed_state_retention) {
+        algorithm.on_client_evicted(departed_fifo.front());
+        departed_fifo.erase(departed_fifo.begin());
+      }
+      const std::vector<std::size_t> eligible = simulator->churn().present_clients();
+      const std::size_t count = sampled_client_count(eligible.size(), options.sample_ratio);
+      sampled = selector->select(federation, round, count, eligible);
+    } else {
+      const std::size_t count =
+          sampled_client_count(federation.num_clients(), options.sample_ratio);
+      sampled = selector->select(federation, round, count);
+    }
     if (simulator) simulator->begin_round(round, sampled.size());
     algorithm.phase_accumulator().reset();
     const double train_loss = algorithm.round(round, sampled, pool);
@@ -223,6 +288,15 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
       record.clients_completed = sampled.size();
     }
     record.rejected_updates = rejected;
+    record.sim_tracked = simulator != nullptr;
+    record.churn_tracked = churn_active;
+    record.staleness_tracked = stale_buffer != nullptr;
+    record.clients_joined = churn_events.joined.size();
+    record.clients_left = churn_events.left.size();
+    record.stale_applied = stale_buffer ? algorithm.last_stale_applied() : 0;
+    result.total_joined += record.clients_joined;
+    result.total_left += record.clients_left;
+    result.total_stale_applied += record.stale_applied;
 
     const bool last_round = round + 1 == options.rounds;
     const std::size_t every = std::max<std::size_t>(1, options.eval_every);
@@ -293,6 +367,10 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
         }
         if (record.rejected_updates > 0) line << " rejected=" << record.rejected_updates;
         if (record.rolled_back) line << " rolled_back";
+        if (churn_active) {
+          line << " joined=" << record.clients_joined << " left=" << record.clients_left;
+        }
+        if (stale_buffer) line << " stale_applied=" << record.stale_applied;
       }
       stop_now = options.stop_at_accuracy && record.accuracy >= *options.stop_at_accuracy;
     } else {
@@ -327,6 +405,7 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
     telemetry->record_run(result.algorithm, result.rounds_completed, result.wall_seconds,
                           result.final_accuracy, result.total_bytes);
   }
+  if (stale_buffer) algorithm.set_stale_buffer(nullptr);
   if (simulator) {
     algorithm.set_simulator(nullptr);
     simulator->detach();

@@ -148,41 +148,130 @@ void Scaffold::after_local_update(std::size_t round_index, std::size_t client_id
                                       comm::Direction::kUplink, "control_variate");
 }
 
+void Scaffold::fill_stale_extras(std::size_t round_index, std::size_t client_id,
+                                 const LocalTrainResult& result, StaleUpdate& update) {
+  FedAvg::fill_stale_extras(round_index, client_id, result, update);
+  // after_local_update already ran for a straggler, so the delta is fresh.
+  for (const core::Tensor& t : client_control_deltas_.at(client_id)) {
+    update.extra_state.push_back(t.clone());
+  }
+  for (const core::Tensor& t : server_control_) {
+    update.extra_state.push_back(t.clone());  // c_origin
+  }
+}
+
 void Scaffold::aggregate(std::size_t round_index, std::span<const std::size_t> sampled) {
   (void)round_index;
   obs::ScopedPhaseTimer fuse_timer(phases_, obs::Phase::kFuse);
   obs::TraceSpan span("fl.fuse");
   Federation& fed = federation();
-  const float inv_s = 1.0f / static_cast<float>(sampled.size());
   const float inv_n = 1.0f / static_cast<float>(fed.num_clients());
-
-  // x <- x_start + (1/|S|) sum (y_i - x_start); parameters.
   auto global_params = global_model().parameters();
-  for (std::size_t k = 0; k < global_params.size(); ++k) {
+  const std::size_t num_params = global_params.size();
+
+  if (stale_updates_.empty()) {
+    // Fresh-only path, kept verbatim for bit-stability.
+    const float inv_s = 1.0f / static_cast<float>(sampled.size());
+
+    // x <- x_start + (1/|S|) sum (y_i - x_start); parameters.
+    for (std::size_t k = 0; k < num_params; ++k) {
+      core::Tensor next = round_start_[k].clone();
+      for (std::size_t id : sampled) {
+        auto client_params = slots_.at(id).staged->parameters();
+        float* __restrict x = next.data();
+        const float* __restrict y = client_params[k]->value.data();
+        const float* __restrict start = round_start_[k].data();
+        const std::size_t n = next.numel();
+        for (std::size_t j = 0; j < n; ++j) x[j] += inv_s * (y[j] - start[j]);
+      }
+      global_params[k]->value = std::move(next);
+    }
+
+    // c <- c + (1/N) sum delta_i.
+    for (std::size_t id : sampled) {
+      const Variate& delta = client_control_deltas_.at(id);
+      for (std::size_t k = 0; k < server_control_.size(); ++k) {
+        server_control_[k].add_scaled_(delta[k], inv_n);
+      }
+    }
+
+    // Buffers: weighted average (same convention as the other baselines).
+    double total_weight = 0.0;
+    for (std::size_t id : sampled) {
+      total_weight += static_cast<double>(fed.client_shard(id).size());
+    }
+    auto global_buffers = global_model().buffers();
+    for (std::size_t k = 0; k < global_buffers.size(); ++k) {
+      core::Tensor avg = core::Tensor::zeros(global_buffers[k]->value.shape());
+      for (std::size_t id : sampled) {
+        const float p = static_cast<float>(
+            static_cast<double>(fed.client_shard(id).size()) / total_weight);
+        avg.add_scaled_(slots_.at(id).staged->buffers()[k]->value, p);
+      }
+      global_buffers[k]->value = std::move(avg);
+    }
+    return;
+  }
+
+  // Stale-aware path.  Fresh survivors carry unit weight; buffered updates
+  // carry their staleness discount, and their travelled distance is first
+  // re-based onto the current server control: the client's K local steps
+  // applied g + c_origin - c_i, so under today's control c_now the
+  // equivalent endpoint is y + lr*K*(c_origin - c_now).
+  double effective = static_cast<double>(sampled.size());
+  for (const double w : stale_weights_) effective += w;
+  const float inv_w = static_cast<float>(1.0 / effective);
+
+  for (std::size_t k = 0; k < num_params; ++k) {
     core::Tensor next = round_start_[k].clone();
+    const float* __restrict start = round_start_[k].data();
+    const std::size_t n = next.numel();
     for (std::size_t id : sampled) {
       auto client_params = slots_.at(id).staged->parameters();
       float* __restrict x = next.data();
       const float* __restrict y = client_params[k]->value.data();
-      const float* __restrict start = round_start_[k].data();
-      const std::size_t n = next.numel();
-      for (std::size_t j = 0; j < n; ++j) x[j] += inv_s * (y[j] - start[j]);
+      for (std::size_t j = 0; j < n; ++j) x[j] += inv_w * (y[j] - start[j]);
+    }
+    for (std::size_t e = 0; e < stale_updates_.size(); ++e) {
+      const StaleUpdate& update = stale_updates_[e];
+      const float w = static_cast<float>(stale_weights_[e]);
+      const float lr_k = static_cast<float>(update.scalars.at(1) * update.scalars.at(0));
+      float* __restrict x = next.data();
+      const float* __restrict y = update.state.at(k).data();
+      const float* __restrict c_origin = update.extra_state.at(num_params + k).data();
+      const float* __restrict c_now = server_control_[k].data();
+      for (std::size_t j = 0; j < n; ++j) {
+        const float y_corr = y[j] + lr_k * (c_origin[j] - c_now[j]);
+        x[j] += w * inv_w * (y_corr - start[j]);
+      }
     }
     global_params[k]->value = std::move(next);
   }
 
-  // c <- c + (1/N) sum delta_i.
+  // c <- c + (1/N) sum w_i * delta_i (fresh deltas at w = 1).
   for (std::size_t id : sampled) {
     const Variate& delta = client_control_deltas_.at(id);
     for (std::size_t k = 0; k < server_control_.size(); ++k) {
       server_control_[k].add_scaled_(delta[k], inv_n);
     }
   }
+  for (std::size_t e = 0; e < stale_updates_.size(); ++e) {
+    const StaleUpdate& update = stale_updates_[e];
+    const float scale = inv_n * static_cast<float>(stale_weights_[e]);
+    for (std::size_t k = 0; k < server_control_.size(); ++k) {
+      server_control_[k].add_scaled_(update.extra_state.at(k), scale);
+    }
+  }
 
-  // Buffers: weighted average (same convention as the other baselines).
+  // Buffers: shard-size-weighted average with the staleness discount applied.
   double total_weight = 0.0;
   for (std::size_t id : sampled) {
     total_weight += static_cast<double>(fed.client_shard(id).size());
+  }
+  for (std::size_t e = 0; e < stale_updates_.size(); ++e) {
+    total_weight +=
+        static_cast<double>(fed.client_shard(stale_updates_[e].client_id).size()) *
+        stale_weights_[e];
   }
   auto global_buffers = global_model().buffers();
   for (std::size_t k = 0; k < global_buffers.size(); ++k) {
@@ -192,8 +281,21 @@ void Scaffold::aggregate(std::size_t round_index, std::span<const std::size_t> s
           static_cast<double>(fed.client_shard(id).size()) / total_weight);
       avg.add_scaled_(slots_.at(id).staged->buffers()[k]->value, p);
     }
+    for (std::size_t e = 0; e < stale_updates_.size(); ++e) {
+      const StaleUpdate& update = stale_updates_[e];
+      const float p = static_cast<float>(
+          static_cast<double>(fed.client_shard(update.client_id).size()) *
+          stale_weights_[e] / total_weight);
+      avg.add_scaled_(update.state.at(num_params + k), p);
+    }
     global_buffers[k]->value = std::move(avg);
   }
+}
+
+void Scaffold::on_client_evicted(std::size_t client_id) {
+  FedAvg::on_client_evicted(client_id);
+  client_controls_.at(client_id).clear();
+  client_control_deltas_.at(client_id).clear();
 }
 
 }  // namespace fedkemf::fl

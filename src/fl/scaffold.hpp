@@ -31,11 +31,22 @@ class Scaffold final : public FedAvg {
   void save_state(core::ByteWriter& writer) override;
   void load_state(core::ByteReader& reader) override;
 
+  /// Also drops the departed client's control variate; a rejoiner restarts
+  /// from a zero variate like any first-time participant.
+  void on_client_evicted(std::size_t client_id) override;
+
  protected:
   GradHook make_grad_hook(std::size_t client_id, nn::Module& client_model) override;
   void after_local_update(std::size_t round_index, std::size_t client_id, Slot& client_slot,
                           const LocalTrainResult& result) override;
   void aggregate(std::size_t round_index, std::span<const std::size_t> sampled) override;
+  /// Adds the control-variate payload a stale SCAFFOLD update needs: the
+  /// client's uploaded delta c_i+ - c_i, plus the *server* control the client
+  /// trained against (its local steps used g + c_origin - c_i, so applying
+  /// the update s rounds later under a drifted server control requires the
+  /// correction y += lr*K*(c_origin - c_now)).
+  void fill_stale_extras(std::size_t round_index, std::size_t client_id,
+                         const LocalTrainResult& result, StaleUpdate& update) override;
 
  private:
   using Variate = std::vector<core::Tensor>;  ///< parameter-shaped tensor list

@@ -9,33 +9,61 @@
 namespace fedkemf::fl {
 namespace {
 
-void validate(const Federation& federation, std::size_t count) {
+void validate(const Federation& federation, std::size_t count,
+              std::span<const std::size_t> eligible) {
   if (count == 0 || count > federation.num_clients()) {
     throw std::invalid_argument("ClientSelector: count must be in [1, num_clients]");
   }
+  if (eligible.empty()) {
+    throw std::invalid_argument("ClientSelector: eligible set must be non-empty");
+  }
+  if (count > eligible.size()) {
+    throw std::invalid_argument("ClientSelector: count exceeds the eligible set");
+  }
+}
+
+bool full_population(const Federation& federation, std::span<const std::size_t> eligible) {
+  return eligible.size() == federation.num_clients();
 }
 
 }  // namespace
 
-std::vector<std::size_t> UniformSelector::select(const Federation& federation,
-                                                 std::size_t round_index,
-                                                 std::size_t count) {
-  validate(federation, count);
-  core::Rng rng = federation.root_rng().fork(0x5A3B7E00ULL + round_index);
-  return rng.sample_without_replacement(federation.num_clients(), count);
+std::vector<std::size_t> ClientSelector::select(const Federation& federation,
+                                                std::size_t round_index,
+                                                std::size_t count) {
+  std::vector<std::size_t> everyone(federation.num_clients());
+  std::iota(everyone.begin(), everyone.end(), std::size_t{0});
+  return select(federation, round_index, count, everyone);
 }
 
-std::vector<std::size_t> ShardWeightedSelector::select(const Federation& federation,
-                                                       std::size_t round_index,
-                                                       std::size_t count) {
-  validate(federation, count);
+std::vector<std::size_t> UniformSelector::select(const Federation& federation,
+                                                 std::size_t round_index,
+                                                 std::size_t count,
+                                                 std::span<const std::size_t> eligible) {
+  validate(federation, count, eligible);
+  core::Rng rng = federation.root_rng().fork(0x5A3B7E00ULL + round_index);
+  if (full_population(federation, eligible)) {
+    // Fixed-membership path, kept verbatim for bit-stability.
+    return rng.sample_without_replacement(federation.num_clients(), count);
+  }
+  std::vector<std::size_t> picks = rng.sample_without_replacement(eligible.size(), count);
+  std::vector<std::size_t> selected;
+  selected.reserve(picks.size());
+  for (std::size_t p : picks) selected.push_back(eligible[p]);
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<std::size_t> ShardWeightedSelector::select(
+    const Federation& federation, std::size_t round_index, std::size_t count,
+    std::span<const std::size_t> eligible) {
+  validate(federation, count, eligible);
   core::Rng rng = federation.root_rng().fork(0x57E16453ULL + round_index);
-  // Successive weighted draws without replacement.
-  std::vector<std::size_t> candidates(federation.num_clients());
-  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  // Successive weighted draws without replacement over the eligible ids.
+  std::vector<std::size_t> candidates(eligible.begin(), eligible.end());
   std::vector<double> weights(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    weights[i] = static_cast<double>(federation.client_shard(i).size());
+    weights[i] = static_cast<double>(federation.client_shard(candidates[i]).size());
   }
   std::vector<std::size_t> selected;
   selected.reserve(count);
@@ -66,16 +94,16 @@ std::vector<std::size_t> ShardWeightedSelector::select(const Federation& federat
   return selected;
 }
 
-std::vector<std::size_t> RoundRobinSelector::select(const Federation& federation,
-                                                    std::size_t round_index,
-                                                    std::size_t count) {
-  validate(federation, count);
-  const std::size_t population = federation.num_clients();
+std::vector<std::size_t> RoundRobinSelector::select(
+    const Federation& federation, std::size_t round_index, std::size_t count,
+    std::span<const std::size_t> eligible) {
+  validate(federation, count, eligible);
+  const std::size_t population = eligible.size();
   std::vector<std::size_t> selected;
   selected.reserve(count);
   const std::size_t start = (round_index * count) % population;
   for (std::size_t i = 0; i < count; ++i) {
-    selected.push_back((start + i) % population);
+    selected.push_back(eligible[(start + i) % population]);
   }
   std::sort(selected.begin(), selected.end());
   selected.erase(std::unique(selected.begin(), selected.end()), selected.end());

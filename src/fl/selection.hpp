@@ -6,9 +6,15 @@
 // (uniform sampling, the default).  Real deployments also use weighted and
 // round-robin selection; all three are provided behind one interface so the
 // runner (and the Figure 7 stability sweeps) can swap them.
+//
+// Under elastic churn (sim::ChurnModel) the eligible population varies per
+// round, so every strategy also accepts an explicit `eligible` id list — the
+// currently-present clients, sorted ascending.  Passing the full population
+// reproduces the fixed-membership behavior bitwise.
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,9 +26,17 @@ class ClientSelector {
  public:
   virtual ~ClientSelector() = default;
 
-  /// Returns `count` distinct client ids for `round_index`, sorted ascending.
+  /// Returns `count` distinct ids drawn from `eligible` (sorted ascending,
+  /// distinct, non-empty) for `round_index`, sorted ascending.  When
+  /// `eligible` covers the whole population the result is bitwise identical
+  /// to the fixed-membership selection.
   virtual std::vector<std::size_t> select(const Federation& federation,
-                                          std::size_t round_index, std::size_t count) = 0;
+                                          std::size_t round_index, std::size_t count,
+                                          std::span<const std::size_t> eligible) = 0;
+
+  /// Convenience: every client eligible.
+  std::vector<std::size_t> select(const Federation& federation, std::size_t round_index,
+                                  std::size_t count);
 
   virtual std::string name() const = 0;
 };
@@ -31,8 +45,10 @@ class ClientSelector {
 /// paper's protocol and what fl::sample_clients implements.
 class UniformSelector final : public ClientSelector {
  public:
+  using ClientSelector::select;
   std::vector<std::size_t> select(const Federation& federation, std::size_t round_index,
-                                  std::size_t count) override;
+                                  std::size_t count,
+                                  std::span<const std::size_t> eligible) override;
   std::string name() const override { return "uniform"; }
 };
 
@@ -40,8 +56,10 @@ class UniformSelector final : public ClientSelector {
 /// likely to participate) — weighted sampling without replacement.
 class ShardWeightedSelector final : public ClientSelector {
  public:
+  using ClientSelector::select;
   std::vector<std::size_t> select(const Federation& federation, std::size_t round_index,
-                                  std::size_t count) override;
+                                  std::size_t count,
+                                  std::span<const std::size_t> eligible) override;
   std::string name() const override { return "shard_weighted"; }
 };
 
@@ -49,8 +67,10 @@ class ShardWeightedSelector final : public ClientSelector {
 /// ceil(N / count) rounds.  Maximizes coverage; no sampling noise.
 class RoundRobinSelector final : public ClientSelector {
  public:
+  using ClientSelector::select;
   std::vector<std::size_t> select(const Federation& federation, std::size_t round_index,
-                                  std::size_t count) override;
+                                  std::size_t count,
+                                  std::span<const std::size_t> eligible) override;
   std::string name() const override { return "round_robin"; }
 };
 

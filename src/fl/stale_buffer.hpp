@@ -1,0 +1,88 @@
+#pragma once
+
+// Server-side buffer for post-deadline client uploads.
+//
+// When a sampled client misses the round deadline it is a straggler — but
+// its local work is finished and its upload is merely in flight.  Instead of
+// discarding it, the algorithm parks the staged update here together with
+// the round it was trained against (origin_round) and the round the upload
+// reaches the server (due_round = origin_round + lateness).  At aggregation
+// time the server drains everything due and folds it into the fusion with
+// the FedBuff-style discounted weight w = 1 / (1 + s)^alpha, s = current
+// round - origin_round.
+//
+// Thread-safety/determinism: push() is called from the parallel client
+// section, so arrival order depends on the thread pool — take_due() sorts
+// canonically by (origin_round, client_id) before returning, making the
+// consumed sequence (and the capacity evictions) a pure function of the
+// buffer content, bit-identical across thread counts.
+//
+// The buffer is part of the durable run state: save_state/load_state
+// serialize every entry (tensors included) so a resumed run replays the same
+// late arrivals the uninterrupted run would have seen.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "core/tensor.hpp"
+#include "fl/config.hpp"
+
+namespace fedkemf::fl {
+
+/// One parked late upload: the client's staged post-training state plus
+/// whatever extras its algorithm needs to apply it later (SCAFFOLD control
+/// variates in `extra_state`, FedNova's tau / SCAFFOLD's lr*K in `scalars`).
+struct StaleUpdate {
+  std::size_t client_id = 0;
+  std::size_t origin_round = 0;  ///< round the client trained in
+  std::size_t due_round = 0;     ///< round the upload reaches the server
+  std::vector<core::Tensor> state;
+  std::vector<core::Tensor> extra_state;
+  std::vector<double> scalars;
+};
+
+/// w = 1 / (1 + s)^alpha, with the s == 0 case pinned to exactly 1.0 so a
+/// zero-lateness "stale" update is indistinguishable from a fresh one.
+double staleness_weight(std::size_t staleness, double alpha);
+
+class StaleUpdateBuffer {
+ public:
+  explicit StaleUpdateBuffer(StalenessOptions options);
+
+  const StalenessOptions& options() const { return options_; }
+
+  /// Parks one late upload.  Thread-safe; callable from the parallel client
+  /// section.  Capacity is enforced at the next take_due() so a burst within
+  /// one round cannot evict entries in thread-arrival order.
+  void push(StaleUpdate update);
+
+  /// Removes and returns every entry with due_round <= round, sorted by
+  /// (origin_round, client_id); also applies the capacity bound to what
+  /// stays (oldest origin evicted first).  Call once per round, before
+  /// aggregation, from the coordinating thread.
+  std::vector<StaleUpdate> take_due(std::size_t round);
+
+  std::size_t size() const;
+  /// Entries lost to the capacity bound across the run.
+  std::size_t evicted_total() const;
+
+  /// Discount for an `staleness`-rounds-old update under this buffer's alpha.
+  double weight(std::size_t staleness) const {
+    return staleness_weight(staleness, options_.alpha);
+  }
+
+  void save_state(core::ByteWriter& writer) const;
+  void load_state(core::ByteReader& reader);
+
+ private:
+  void sort_entries();  ///< caller holds mutex_
+
+  StalenessOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<StaleUpdate> entries_;
+  std::size_t evicted_ = 0;
+};
+
+}  // namespace fedkemf::fl

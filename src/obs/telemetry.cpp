@@ -111,6 +111,9 @@ void RunTelemetry::record_round(const RoundTelemetry& round) {
   json.member("sim_seconds", round.sim_seconds);
   json.member("rejected_updates", static_cast<std::uint64_t>(round.rejected_updates));
   json.member("rolled_back", round.rolled_back);
+  json.member("clients_joined", static_cast<std::uint64_t>(round.clients_joined));
+  json.member("clients_left", static_cast<std::uint64_t>(round.clients_left));
+  json.member("stale_applied", static_cast<std::uint64_t>(round.stale_applied));
   json.member("evaluated", round.evaluated);
   if (round.evaluated) {
     json.member("accuracy", round.accuracy);

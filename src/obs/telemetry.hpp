@@ -126,6 +126,11 @@ struct RoundTelemetry {
   std::size_t rejected_updates = 0;
   bool rolled_back = false;
 
+  // Elastic federation (churn + stale-update buffering).
+  std::size_t clients_joined = 0;
+  std::size_t clients_left = 0;
+  std::size_t stale_applied = 0;
+
   bool evaluated = false;  ///< accuracy is meaningful only when true
   double accuracy = 0.0;
   double train_loss = 0.0;

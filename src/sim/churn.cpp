@@ -1,0 +1,151 @@
+#include "sim/churn.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/network.hpp"
+
+namespace fedkemf::sim {
+namespace {
+
+// Decision-stream discriminators (arbitrary, distinct from the network/fault
+// stream constants so forked streams never collide).
+constexpr std::uint64_t kEnrollStream = 0xE27011AA00ULL;
+constexpr std::uint64_t kChurnStream = 0xC4A27A11ULL;
+constexpr std::uint64_t kLatenessStream = 0x1A7E5EEDULL;
+
+void require_probability(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string("ChurnModel: ") + name +
+                                " must be in [0, 1], got " + std::to_string(value));
+  }
+}
+
+}  // namespace
+
+ChurnModel::ChurnModel(const ChurnOptions& options, std::size_t num_clients,
+                       core::Rng rng)
+    : options_(options), trace_rng_(std::move(rng)) {
+  if (num_clients == 0) {
+    throw std::invalid_argument("ChurnModel: num_clients must be positive");
+  }
+  require_probability(options_.initial_fraction, "initial_fraction");
+  require_probability(options_.leave_prob, "leave_prob");
+  require_probability(options_.rejoin_prob, "rejoin_prob");
+  require_probability(options_.join_prob, "join_prob");
+  if (options_.max_staleness < options_.min_staleness) {
+    throw std::invalid_argument("ChurnModel: max_staleness must be >= min_staleness");
+  }
+
+  states_.assign(num_clients, State::kPresent);
+  if (options_.initial_fraction < 1.0) {
+    for (std::size_t id = 0; id < num_clients; ++id) {
+      core::Rng draw = trace_rng_.fork(stream_tag({kEnrollStream, id}));
+      if (draw.uniform() >= options_.initial_fraction) states_[id] = State::kNeverJoined;
+    }
+    if (present_count() == 0) states_[0] = State::kPresent;  // never empty
+  }
+}
+
+ChurnEvents ChurnModel::begin_round(std::size_t round) {
+  if (round != next_round_) {
+    throw std::logic_error("ChurnModel::begin_round: rounds must advance in order (expected " +
+                           std::to_string(next_round_) + ", got " + std::to_string(round) + ")");
+  }
+  ++next_round_;
+
+  ChurnEvents events;
+  if (!options_.dynamic()) return events;
+
+  // Simultaneous transitions: every client's draw reads the pre-round state.
+  std::vector<State> next = states_;
+  for (std::size_t id = 0; id < states_.size(); ++id) {
+    core::Rng draw = trace_rng_.fork(stream_tag({kChurnStream, round, id}));
+    const double u = draw.uniform();
+    switch (states_[id]) {
+      case State::kPresent:
+        if (u < options_.leave_prob) next[id] = State::kDeparted;
+        break;
+      case State::kDeparted:
+        if (u < options_.rejoin_prob) next[id] = State::kPresent;
+        break;
+      case State::kNeverJoined:
+        if (u < options_.join_prob) next[id] = State::kPresent;
+        break;
+    }
+  }
+
+  // A federation must never go empty: when every present client leaves in
+  // one round (and nobody joins), keep the lowest-id leaver.
+  bool any_present = false;
+  for (const State state : next) any_present |= (state == State::kPresent);
+  if (!any_present) {
+    for (std::size_t id = 0; id < states_.size(); ++id) {
+      if (states_[id] == State::kPresent) {
+        next[id] = State::kPresent;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t id = 0; id < states_.size(); ++id) {
+    const bool was = states_[id] == State::kPresent;
+    const bool now = next[id] == State::kPresent;
+    if (!was && now) events.joined.push_back(id);
+    if (was && !now) events.left.push_back(id);
+  }
+  states_ = std::move(next);
+  return events;
+}
+
+bool ChurnModel::present(std::size_t client_id) const {
+  return states_.at(client_id) == State::kPresent;
+}
+
+std::size_t ChurnModel::present_count() const {
+  std::size_t count = 0;
+  for (const State state : states_) count += (state == State::kPresent) ? 1 : 0;
+  return count;
+}
+
+std::vector<std::size_t> ChurnModel::present_clients() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(states_.size());
+  for (std::size_t id = 0; id < states_.size(); ++id) {
+    if (states_[id] == State::kPresent) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::size_t ChurnModel::lateness(std::size_t round, std::size_t client_id) const {
+  const std::size_t span = options_.max_staleness - options_.min_staleness;
+  if (span == 0) return options_.min_staleness;
+  core::Rng draw = trace_rng_.fork(stream_tag({kLatenessStream, round, client_id}));
+  return options_.min_staleness + draw.uniform_index(span + 1);
+}
+
+void ChurnModel::save_state(core::ByteWriter& writer) const {
+  writer.write_u64(static_cast<std::uint64_t>(states_.size()));
+  writer.write_u64(static_cast<std::uint64_t>(next_round_));
+  for (const State state : states_) writer.write_u8(static_cast<std::uint8_t>(state));
+}
+
+void ChurnModel::load_state(core::ByteReader& reader) {
+  const std::uint64_t count = reader.read_u64();
+  if (count != states_.size()) {
+    throw std::runtime_error("ChurnModel::load_state: checkpoint holds " +
+                             std::to_string(count) + " clients, model has " +
+                             std::to_string(states_.size()));
+  }
+  next_round_ = static_cast<std::size_t>(reader.read_u64());
+  for (State& state : states_) {
+    const std::uint8_t raw = reader.read_u8();
+    if (raw > static_cast<std::uint8_t>(State::kDeparted)) {
+      throw std::runtime_error("ChurnModel::load_state: invalid membership state " +
+                               std::to_string(raw));
+    }
+    state = static_cast<State>(raw);
+  }
+}
+
+}  // namespace fedkemf::sim

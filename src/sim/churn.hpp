@@ -1,0 +1,114 @@
+#pragma once
+
+// Elastic client population: seeded join/leave/rejoin traces plus the
+// late-arrival stream behind staleness-aware aggregation.
+//
+// Real federated fleets are never frozen at round 0: devices enroll, churn
+// out, and come back; and a straggler that misses the round deadline still
+// finishes its local work and uploads it — just late.  ChurnModel provides
+// both ingredients as deterministic traces:
+//
+//   * membership — every client is kNeverJoined, kPresent, or kDeparted; one
+//     begin_round() call per round advances each client's state with a draw
+//     from its (round, client) stream and reports who joined and who left.
+//     At least one client is always present (the lowest-id leaver is kept
+//     when a round would otherwise empty the federation).
+//   * lateness — lateness(round, client) is the number of extra rounds a
+//     straggler's round-`round` upload takes to reach the server, drawn
+//     uniformly from [min_staleness, max_staleness].  It is a pure function
+//     of (seed, round, client) — stateless, so the simulator can query it
+//     from any thread in any order.
+//
+// Determinism contract (matches NetworkModel): every decision derives from
+// counter-based RNG forks keyed by stream_tag({stream, round, client}), so
+// the same seed reproduces the same trace regardless of thread-pool size or
+// query order.  Membership is the only stateful part; it advances strictly
+// one round at a time and serializes via save_state/load_state so resumed
+// runs pick the trace up exactly where the checkpoint left it.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/serialize.hpp"
+
+namespace fedkemf::sim {
+
+struct ChurnOptions {
+  /// Fraction of the fleet enrolled before round 0 (the rest are candidate
+  /// joiners).  1.0 reproduces the frozen-population default.
+  double initial_fraction = 1.0;
+  /// Per-round probability a present client leaves the federation.
+  double leave_prob = 0.0;
+  /// Per-round probability a departed client re-enrolls.
+  double rejoin_prob = 0.0;
+  /// Per-round probability a never-enrolled client joins for the first time.
+  double join_prob = 0.0;
+
+  /// Late-arrival delay bounds (rounds) for stragglers' uploads.  0 means
+  /// the upload still lands within its own round (it only missed the
+  /// deadline's accounting, not the aggregation).
+  std::size_t min_staleness = 1;
+  std::size_t max_staleness = 3;
+
+  /// Server-side state (reputation, control variates, cached client models)
+  /// is retained for at most this many departed clients; beyond the bound
+  /// the longest-departed client's state is evicted.
+  std::size_t departed_state_retention = 4;
+
+  /// True when any membership dynamics are configured (a model with no
+  /// dynamics keeps every client present forever, at zero cost).
+  bool dynamic() const {
+    return leave_prob > 0.0 || rejoin_prob > 0.0 || join_prob > 0.0 ||
+           initial_fraction < 1.0;
+  }
+};
+
+/// Membership changes produced by one begin_round() step, sorted by id.
+struct ChurnEvents {
+  std::vector<std::size_t> joined;  ///< absent last round, present now
+  std::vector<std::size_t> left;    ///< present last round, absent now
+};
+
+class ChurnModel {
+ public:
+  /// Validates options and draws the initial enrollment from `rng`.
+  ChurnModel(const ChurnOptions& options, std::size_t num_clients, core::Rng rng);
+
+  const ChurnOptions& options() const { return options_; }
+  std::size_t num_clients() const { return states_.size(); }
+
+  /// Advances membership into `round` and returns who joined/left.  Rounds
+  /// must be consumed strictly in order (round == next_round()); resumed
+  /// runs restore the position via load_state instead of replaying.
+  ChurnEvents begin_round(std::size_t round);
+
+  /// First round begin_round() will accept — the churn stream's position.
+  std::size_t next_round() const { return next_round_; }
+
+  bool present(std::size_t client_id) const;
+  std::size_t present_count() const;
+  /// Ids of all currently present clients, sorted ascending.
+  std::vector<std::size_t> present_clients() const;
+
+  /// Extra rounds a straggling upload from (round, client) takes to arrive.
+  /// Pure function of (seed, round, client); safe from any thread.
+  std::size_t lateness(std::size_t round, std::size_t client_id) const;
+
+  /// Serializes membership + stream position (the lateness stream is
+  /// stateless and needs no position).
+  void save_state(core::ByteWriter& writer) const;
+  /// Restores a save_state payload; throws std::runtime_error when the
+  /// client count disagrees.
+  void load_state(core::ByteReader& reader);
+
+ private:
+  enum class State : std::uint8_t { kNeverJoined = 0, kPresent = 1, kDeparted = 2 };
+
+  ChurnOptions options_;
+  core::Rng trace_rng_;
+  std::vector<State> states_;
+  std::size_t next_round_ = 0;
+};
+
+}  // namespace fedkemf::sim

@@ -6,18 +6,8 @@ namespace {
 constexpr std::uint64_t kNetworkChild = 0x4E375EEDULL;
 constexpr std::uint64_t kFaultChild = 0xFA0175EEULL;
 constexpr std::uint64_t kAdversaryChild = 0xBAD5EEDULL;
-
-double retry_backoff_seconds(const comm::RetryPolicy& policy, std::size_t failures) {
-  // Each failed attempt costs one backoff wait before its retry:
-  // backoff * multiplier^i for the i-th failure.
-  double total = 0.0;
-  double step = policy.backoff_seconds;
-  for (std::size_t i = 0; i < failures; ++i) {
-    total += step;
-    step *= policy.backoff_multiplier;
-  }
-  return total;
-}
+constexpr std::uint64_t kChurnChild = 0xC4A21EAFULL;
+constexpr std::uint64_t kBackoffStream = 0xBAC0FF5EULL;
 
 }  // namespace
 
@@ -25,6 +15,7 @@ Simulator::Simulator(const SimOptions& options, std::size_t num_clients, core::R
     : options_(options),
       network_(options.network, num_clients, rng.fork(kNetworkChild)),
       adversary_(options.adversary, num_clients, rng.fork(kAdversaryChild)),
+      churn_(options.churn, num_clients, rng.fork(kChurnChild)),
       injector_(options.faults, rng.fork(kFaultChild)),
       clock_(options.deadline_seconds) {}
 
@@ -77,9 +68,10 @@ bool Simulator::finish_client(std::size_t round, std::size_t client_id,
       static_cast<double>(bytes) / profile.link.bandwidth_bytes_per_second +
       profile.link.latency_seconds * static_cast<double>(attempts) +
       stats.injected_delay_seconds +
-      retry_backoff_seconds(channel_ != nullptr ? channel_->retry_policy()
-                                                : options_.retry,
-                            stats.failures());
+      comm::retry_backoff_seconds(channel_ != nullptr ? channel_->retry_policy()
+                                                      : options_.retry,
+                                  stats.failures(),
+                                  stream_tag({kBackoffStream, round, client_id}));
 
   return clock_.record_completion(compute_seconds, transfer_seconds);
 }

@@ -22,6 +22,7 @@
 #include "comm/channel.hpp"
 #include "core/rng.hpp"
 #include "sim/adversary.hpp"
+#include "sim/churn.hpp"
 #include "sim/clock.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
@@ -35,6 +36,9 @@ struct SimOptions {
   /// Byzantine-client roles (label-flip / poison / free-ride).  All-zero
   /// fractions (default) keep every client honest.
   AdversarySpec adversary;
+  /// Elastic population: join/leave/rejoin traces plus the late-arrival
+  /// stream.  Defaults keep the population frozen at round 0.
+  ChurnOptions churn;
   /// Round deadline in simulated seconds; +inf (default) disables the
   /// straggler cutoff so every surviving client aggregates.
   double deadline_seconds = std::numeric_limits<double>::infinity();
@@ -71,8 +75,16 @@ class Simulator {
 
   RoundReport round_report() const { return clock_.report(); }
 
+  /// Extra rounds a straggling upload from (round, client) takes to reach
+  /// the server — the churn model's stateless late-arrival stream.
+  std::size_t lateness(std::size_t round, std::size_t client_id) const {
+    return churn_.lateness(round, client_id);
+  }
+
   const NetworkModel& network() const { return network_; }
   const AdversaryModel& adversary() const { return adversary_; }
+  ChurnModel& churn() { return churn_; }
+  const ChurnModel& churn() const { return churn_; }
   FaultInjector& injector() { return injector_; }
   const SimOptions& options() const { return options_; }
 
@@ -80,6 +92,7 @@ class Simulator {
   SimOptions options_;
   NetworkModel network_;
   AdversaryModel adversary_;
+  ChurnModel churn_;
   FaultInjector injector_;
   RoundClock clock_;
   comm::Channel* channel_ = nullptr;

@@ -363,6 +363,92 @@ TEST(ResumeDeterminism, FedKemfUnderFaultsAndAdversariesMatches) {
       run, 2, "fedkemf_ckpt_resume_kemf");
 }
 
+TEST(ResumeDeterminism, FedAvgUnderChurnAndStalenessMatches) {
+  // The elastic state — churn stream position, departed-client eviction FIFO,
+  // and the stale-update buffer contents (tensors included) — must all
+  // survive the restart for the split run to track the reference.
+  RunOptions run;
+  run.rounds = 5;
+  run.sample_ratio = 1.0;
+  run.sim = sim::SimOptions{};
+  run.sim->deadline_seconds = 0.2;
+  run.sim->churn.initial_fraction = 0.8;
+  run.sim->churn.leave_prob = 0.25;
+  run.sim->churn.rejoin_prob = 0.5;
+  run.sim->churn.join_prob = 0.5;
+  run.sim->churn.min_staleness = 1;
+  run.sim->churn.max_staleness = 2;
+  run.sim->churn.departed_state_retention = 1;
+  run.staleness = StalenessOptions{.alpha = 0.5};
+  expect_split_run_identical(
+      [] { return std::make_unique<FedAvg>(mlp_spec(), local_config()); }, run, 2,
+      "fedkemf_ckpt_resume_churn_fedavg");
+}
+
+TEST(ResumeDeterminism, FedKemfUnderChurnAndStalenessMatches) {
+  // Same, through the logit-space path: buffered knowledge nets re-enter the
+  // ensemble as discounted stale teachers after the restart.
+  RunOptions run;
+  run.rounds = 4;
+  run.sample_ratio = 1.0;
+  run.sim = sim::SimOptions{};
+  run.sim->deadline_seconds = 0.2;
+  run.sim->churn.leave_prob = 0.25;
+  run.sim->churn.rejoin_prob = 0.5;
+  run.sim->churn.min_staleness = 1;
+  run.sim->churn.max_staleness = 2;
+  run.staleness = StalenessOptions{.alpha = 1.0};
+  expect_split_run_identical(
+      [] {
+        FedKemfOptions options;
+        options.knowledge_spec = mlp_spec();
+        options.distill_epochs = 1;
+        return std::make_unique<FedKemf>(std::vector<models::ModelSpec>{mlp_spec()},
+                                         local_config(), options);
+      },
+      run, 2, "fedkemf_ckpt_resume_churn_kemf");
+}
+
+TEST(RunStateFormat, ElasticBlobsRoundTrip) {
+  RunnerState original;
+  original.next_round = 3;
+  original.has_elastic = true;
+  original.churn_state = {1, 2, 3, 4};
+  original.departed_fifo = {5, 1, 9};
+  original.stale_buffer_state = {7, 7};
+  RoundRecord record;
+  record.round = 2;
+  record.clients_joined = 1;
+  record.clients_left = 2;
+  record.stale_applied = 3;
+  record.sim_tracked = true;
+  record.churn_tracked = true;
+  record.staleness_tracked = true;
+  original.result.history.push_back(record);
+  original.result.total_joined = 4;
+  original.result.total_left = 5;
+  original.result.total_stale_applied = 6;
+
+  core::ByteWriter writer;
+  encode_run_state(writer, original);
+  core::ByteReader reader(writer.buffer());
+  const RunnerState decoded = decode_run_state(reader);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_TRUE(decoded.has_elastic);
+  EXPECT_EQ(decoded.churn_state, original.churn_state);
+  EXPECT_EQ(decoded.departed_fifo, original.departed_fifo);
+  EXPECT_EQ(decoded.stale_buffer_state, original.stale_buffer_state);
+  ASSERT_EQ(decoded.result.history.size(), 1u);
+  EXPECT_EQ(decoded.result.history[0].clients_joined, 1u);
+  EXPECT_EQ(decoded.result.history[0].clients_left, 2u);
+  EXPECT_EQ(decoded.result.history[0].stale_applied, 3u);
+  EXPECT_TRUE(decoded.result.history[0].churn_tracked);
+  EXPECT_TRUE(decoded.result.history[0].staleness_tracked);
+  EXPECT_EQ(decoded.result.total_joined, 4u);
+  EXPECT_EQ(decoded.result.total_left, 5u);
+  EXPECT_EQ(decoded.result.total_stale_applied, 6u);
+}
+
 TEST(ResumeDeterminism, ResumeSurvivesCorruptNewestCheckpoint) {
   // Corrupting the newest checkpoint must cost one checkpoint interval, not
   // the run: the resume falls back one file and still matches the reference.

@@ -354,6 +354,56 @@ TEST(ChannelFaults, NoHookMeansSingleAttemptSemantics) {
   EXPECT_EQ(meter.num_transfers(), 1u);
 }
 
+TEST(RetryBackoff, ExponentialClosedFormWithoutJitter) {
+  RetryPolicy policy{.max_attempts = 5, .backoff_seconds = 0.05, .backoff_multiplier = 2.0};
+  EXPECT_DOUBLE_EQ(retry_backoff_seconds(policy, 0), 0.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_seconds(policy, 1), 0.05);
+  EXPECT_DOUBLE_EQ(retry_backoff_seconds(policy, 3), 0.05 + 0.10 + 0.20);
+  // The seed is inert without jitter: the schedule stays deterministic.
+  EXPECT_DOUBLE_EQ(retry_backoff_seconds(policy, 3, 7),
+                   retry_backoff_seconds(policy, 3, 99));
+}
+
+TEST(RetryBackoff, DecorrelatedJitterIsDeterministicPerSeed) {
+  RetryPolicy policy{.max_attempts = 5,
+                     .backoff_seconds = 0.05,
+                     .backoff_multiplier = 2.0,
+                     .decorrelated_jitter = true,
+                     .max_backoff_seconds = 1.0};
+  for (std::size_t failures = 0; failures <= 4; ++failures) {
+    EXPECT_DOUBLE_EQ(retry_backoff_seconds(policy, failures, 42),
+                     retry_backoff_seconds(policy, failures, 42))
+        << "failures=" << failures;
+  }
+}
+
+TEST(RetryBackoff, DifferentSeedsDecorrelate) {
+  RetryPolicy policy{.backoff_seconds = 0.05,
+                     .decorrelated_jitter = true,
+                     .max_backoff_seconds = 5.0};
+  // At least one pair of seeds must diverge (the whole point of the jitter:
+  // clients that failed in the same fault window stop retrying in lockstep).
+  bool any_different = false;
+  const double first = retry_backoff_seconds(policy, 3, 0);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    if (retry_backoff_seconds(policy, 3, seed) != first) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryBackoff, JitteredWaitsRespectBaseAndCap) {
+  RetryPolicy policy{.backoff_seconds = 0.05,
+                     .decorrelated_jitter = true,
+                     .max_backoff_seconds = 0.3};
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    for (std::size_t failures = 1; failures <= 6; ++failures) {
+      const double total = retry_backoff_seconds(policy, failures, seed);
+      EXPECT_GE(total, policy.backoff_seconds * static_cast<double>(failures));
+      EXPECT_LE(total, policy.max_backoff_seconds * static_cast<double>(failures));
+    }
+  }
+}
+
 TEST(PaperByteAccounting, FullWidthModelsMatchPaperMagnitudes) {
   // Table 1's per-round-per-client figures (down+up) for full-width models:
   // ResNet-20 about 2.1 MB, ResNet-32 about 3.6 MB, VGG-11 tens of MB.

@@ -111,6 +111,10 @@ def main() -> int:
     parser.add_argument("--extra-flag", action="append", default=[],
                         help="additional flag passed to the binary (repeatable), "
                              "e.g. --extra-flag=--adversary-fraction=0.25")
+    parser.add_argument("--churn", action="store_true",
+                        help="run the elastic-federation configuration: client "
+                             "churn, a round deadline, and staleness-aware "
+                             "aggregation of the resulting late uploads")
     parser.add_argument("--max-restarts", type=int, default=4)
     args = parser.parse_args()
 
@@ -118,6 +122,12 @@ def main() -> int:
         print(f"error: no such binary: {args.binary}", file=sys.stderr)
         return 1
     flags = ["--rounds", str(args.rounds), "--seed", str(args.seed), *args.extra_flag]
+    if args.churn:
+        # Churn + deadline + stale buffer together exercise the elastic tail of
+        # the checkpoint format (membership trace, departed-state FIFO, buffered
+        # late uploads); the deadline must be tight enough to actually produce
+        # stragglers or the stale path is vacuous.
+        flags += ["--churn", "0.25", "--deadline", "0.5", "--stale-alpha", "0.5"]
 
     workdir = tempfile.mkdtemp(prefix="fedkemf_crash_recovery_")
     try:
