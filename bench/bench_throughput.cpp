@@ -1,0 +1,233 @@
+// Heavy-traffic bench for the socket transport: sustained UPLOAD throughput
+// and upload -> ACK round-trip latency against the epoll server, swept over
+// the number of concurrent client connections.
+//
+// Each client thread opens one ClientSession, registers via HELLO, and then
+// drives a serial upload loop: send one UPLOAD frame carrying a model-sized
+// payload, block on its ACK, record the round trip.  N threads run the loop
+// concurrently against a single EpollServer (its one loop thread is exactly
+// the fed_server deployment shape), so the sweep shows how aggregate
+// uploads/sec and tail latency move as connections pile up.  A drain thread
+// sweeps the server's parked-upload map so sustained traffic cannot grow
+// server memory without bound.
+//
+// Metrics land in results/BENCH_throughput.json for the perf-regression gate.
+// The JSON carries *time-shaped* numbers only (ns per upload, p50/p99 RTT):
+// the gate normalizes current/baseline ratios by their median and flags
+// increases, so a rate metric (bigger = better) would invert its semantics
+// and trip falsely on a faster machine.  Uploads/sec is printed in the table
+// and written to the CSV instead.
+
+#include "bench_common.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "net/server.hpp"
+#include "net/session.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::size_t> parse_count_list(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::string item =
+        text.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    if (!item.empty()) out.push_back(static_cast<std::size_t>(std::stoul(item)));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bench_throughput: empty --clients list '%s'\n", text.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double index = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(index);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = index - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+struct SweepResult {
+  double elapsed_seconds = 0.0;  ///< measured phase, barrier to last ACK
+  std::size_t uploads = 0;       ///< measured uploads across all clients
+  std::vector<double> rtt_ns;    ///< pooled upload -> ACK round trips
+};
+
+/// One sweep point: `clients` concurrent sessions, each sending
+/// `warmup + uploads` payloads and timing the measured ones.
+SweepResult run_sweep(const net::Endpoint& endpoint, std::size_t clients,
+                      std::size_t warmup, std::size_t uploads,
+                      std::size_t payload_bytes) {
+  net::EpollServer server(endpoint);
+  server.start();
+
+  // The parked-upload map would otherwise hold every frame of the run;
+  // sweeping it is what the elastic round loop does with late arrivals.
+  std::atomic<bool> draining{true};
+  std::thread drainer([&] {
+    while (draining.load()) {
+      (void)server.take_stale_uploads(0xFFFFFFFFu);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 1315423911u >> 16);
+  }
+
+  // Two-phase start: every thread finishes HELLO + warmup, then the main
+  // thread opens the gate and timestamps the measured phase.
+  std::atomic<std::size_t> warmed{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> rtts(clients);
+  std::vector<double> done_at(clients, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+
+  for (std::size_t id = 0; id < clients; ++id) {
+    threads.emplace_back([&, id] {
+      net::ClientSession session(endpoint, net::Deadline::after(30.0), net::FrameLimits{},
+                                 /*collect_acks=*/true);
+      net::HelloRequest hello;
+      hello.mode = 1;
+      hello.algorithm = "bench";
+      hello.owned_clients = {static_cast<std::uint32_t>(id)};
+      session.hello(hello, net::Deadline::after(30.0));
+
+      net::Frame frame;
+      frame.type = net::FrameType::kUpload;
+      frame.client = static_cast<std::uint32_t>(id);
+      frame.name = "payload";
+      frame.body = payload;
+
+      auto round_trip = [&](std::uint32_t round) {
+        frame.round = round;
+        const net::Deadline deadline = net::Deadline::after(60.0);
+        const double sent = now_seconds();
+        session.send(frame, deadline);
+        if (!session.await_ack(round, frame.client, frame.name, deadline)) {
+          throw net::IoTimeout("bench_throughput: ACK never arrived");
+        }
+        return (now_seconds() - sent) * 1e9;
+      };
+
+      std::uint32_t round = 0;
+      for (std::size_t i = 0; i < warmup; ++i) (void)round_trip(round++);
+      warmed.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      rtts[id].reserve(uploads);
+      for (std::size_t i = 0; i < uploads; ++i) rtts[id].push_back(round_trip(round++));
+      done_at[id] = now_seconds();
+      session.close();
+    });
+  }
+
+  while (warmed.load() < clients) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double started = now_seconds();
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+  draining.store(false);
+  drainer.join();
+  server.stop();
+
+  SweepResult result;
+  result.elapsed_seconds = *std::max_element(done_at.begin(), done_at.end()) - started;
+  for (std::vector<double>& samples : rtts) {
+    result.uploads += samples.size();
+    result.rtt_ns.insert(result.rtt_ns.end(), samples.begin(), samples.end());
+  }
+  std::sort(result.rtt_ns.begin(), result.rtt_ns.end());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string clients_list = "1,2,4,8";
+  std::string endpoint_uri;
+  std::size_t uploads = 400;
+  std::size_t warmup = 40;
+  std::size_t payload_bytes = 65536;
+  std::string csv_dir = "results";
+
+  utils::Cli cli("bench_throughput",
+                 "socket-transport upload throughput and RTT vs client count");
+  cli.flag("clients", &clients_list, "comma-separated client counts to sweep");
+  cli.flag("uploads", &uploads, "measured uploads per client");
+  cli.flag("warmup", &warmup, "untimed warmup uploads per client");
+  cli.flag("payload-bytes", &payload_bytes, "UPLOAD body size in bytes");
+  cli.flag("endpoint", &endpoint_uri,
+           "tcp://host:port or unix:///path ('' = fresh unix socket in /tmp)");
+  cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
+  cli.parse(argc, argv);
+
+  utils::Table table({"Clients", "Uploads/s", "MiB/s", "p50 RTT", "p99 RTT", "max RTT"});
+  BenchReport report("throughput");
+
+  for (const std::size_t clients : parse_count_list(clients_list)) {
+    const std::string uri =
+        endpoint_uri.empty()
+            ? "unix:///tmp/fedkemf_bench_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(clients) + ".sock"
+            : endpoint_uri;
+    const SweepResult sweep = run_sweep(net::Endpoint::parse(uri), clients, warmup,
+                                        uploads, payload_bytes);
+
+    std::vector<double> sorted = sweep.rtt_ns;
+    const double rate = static_cast<double>(sweep.uploads) / sweep.elapsed_seconds;
+    const double mib_per_sec =
+        rate * static_cast<double>(payload_bytes) / (1024.0 * 1024.0);
+    const double p50 = percentile(sorted, 0.50);
+    const double p99 = percentile(sorted, 0.99);
+    const double worst = sorted.empty() ? 0.0 : sorted.back();
+    const double ns_per_upload = 1e9 / rate;
+
+    char rate_text[32], mib_text[32], p50_text[32], p99_text[32], max_text[32];
+    std::snprintf(rate_text, sizeof(rate_text), "%.0f", rate);
+    std::snprintf(mib_text, sizeof(mib_text), "%.1f", mib_per_sec);
+    std::snprintf(p50_text, sizeof(p50_text), "%.1f us", p50 / 1e3);
+    std::snprintf(p99_text, sizeof(p99_text), "%.1f us", p99 / 1e3);
+    std::snprintf(max_text, sizeof(max_text), "%.1f us", worst / 1e3);
+    table.row()
+        .cell(std::to_string(clients))
+        .cell(rate_text)
+        .cell(mib_text)
+        .cell(p50_text)
+        .cell(p99_text)
+        .cell(max_text);
+
+    const std::string prefix = "net_upload/" + std::to_string(clients) + "clients/";
+    report.add(prefix + "cost", ns_per_upload, "ns");
+    report.add(prefix + "p50_rtt", p50, "ns");
+    report.add(prefix + "p99_rtt", p99, "ns");
+  }
+
+  emit("Socket upload throughput vs concurrent clients (" +
+           std::to_string(payload_bytes) + "-byte payloads)",
+       table, csv_dir.empty() ? "" : csv_dir + "/throughput.csv");
+  report.write(csv_dir.empty() ? "results" : csv_dir);
+  return 0;
+}

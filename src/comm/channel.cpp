@@ -137,33 +137,29 @@ std::size_t model_wire_size(nn::Module& model) {
 }
 
 void TrafficMeter::record(const TrafficRecord& rec) {
+  // Aggregates first, list second: a concurrent total_bytes() may run ahead
+  // of records() by at most the in-flight record, never behind it.
+  total_bytes_.fetch_add(rec.bytes, std::memory_order_relaxed);
+  if (rec.direction == Direction::kUplink) {
+    uplink_bytes_.fetch_add(rec.bytes, std::memory_order_relaxed);
+  } else {
+    downlink_bytes_.fetch_add(rec.bytes, std::memory_order_relaxed);
+  }
+  num_transfers_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   records_.push_back(rec);
 }
 
 std::size_t TrafficMeter::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t total = 0;
-  for (const auto& r : records_) total += r.bytes;
-  return total;
+  return total_bytes_.load(std::memory_order_relaxed);
 }
 
 std::size_t TrafficMeter::uplink_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t total = 0;
-  for (const auto& r : records_) {
-    if (r.direction == Direction::kUplink) total += r.bytes;
-  }
-  return total;
+  return uplink_bytes_.load(std::memory_order_relaxed);
 }
 
 std::size_t TrafficMeter::downlink_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t total = 0;
-  for (const auto& r : records_) {
-    if (r.direction == Direction::kDownlink) total += r.bytes;
-  }
-  return total;
+  return downlink_bytes_.load(std::memory_order_relaxed);
 }
 
 std::size_t TrafficMeter::bytes_for_round(std::size_t round) const {
@@ -194,8 +190,7 @@ std::size_t TrafficMeter::bytes_for(std::size_t round, std::size_t client_id) co
 }
 
 std::size_t TrafficMeter::num_transfers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return records_.size();
+  return num_transfers_.load(std::memory_order_relaxed);
 }
 
 double TrafficMeter::mean_bytes_per_round() const {
@@ -225,6 +220,10 @@ std::vector<TrafficRecord> TrafficMeter::records() const {
 void TrafficMeter::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
+  total_bytes_.store(0, std::memory_order_relaxed);
+  uplink_bytes_.store(0, std::memory_order_relaxed);
+  downlink_bytes_.store(0, std::memory_order_relaxed);
+  num_transfers_.store(0, std::memory_order_relaxed);
 }
 
 void Channel::deliver(const std::vector<std::uint8_t>& payload,
@@ -234,13 +233,23 @@ void Channel::deliver(const std::vector<std::uint8_t>& payload,
   obs::TraceSpan span("comm.deliver");
   CommMetrics& metrics = CommMetrics::get();
   const std::size_t max_attempts =
-      fault_hook_ != nullptr ? std::max<std::size_t>(1, retry_.max_attempts) : 1;
+      fault_hook_ != nullptr || transport_ != nullptr
+          ? std::max<std::size_t>(1, retry_.max_attempts)
+          : 1;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     std::vector<std::uint8_t> wire = payload;
-    const FaultHook::Action action =
+    FaultHook::Action action =
         fault_hook_ != nullptr
             ? fault_hook_->on_payload(round, client_id, direction, attempt, wire)
             : FaultHook::Action::kDeliver;
+    // The transport carries whatever survived the fault hook.  A transport
+    // drop (receive deadline, vanished peer) is handled exactly like a
+    // fault-injected drop: metered, counted, retried per policy.
+    if (transport_ != nullptr && action != FaultHook::Action::kDrop) {
+      const Transport::Outcome outcome = transport_->attempt(
+          wire, round, client_id, direction, attempt, payload_name);
+      if (outcome == Transport::Outcome::kDropped) action = FaultHook::Action::kDrop;
+    }
     // Every attempt is metered: dropped or corrupted payloads still consumed
     // the link.
     if (meter_ != nullptr) {

@@ -16,6 +16,7 @@
 // failed attempts are retried per the channel's RetryPolicy; every attempt is
 // metered, because its bytes really crossed the (simulated) link.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -82,6 +83,17 @@ struct TrafficRecord {
 };
 
 /// Thread-safe accumulator of every transfer in a run.
+///
+/// Concurrency contract (the epoll server meters uploads from many
+/// connections at once): record() may be called from any number of threads
+/// concurrently with any mix of readers.  The aggregate totals
+/// (total/uplink/downlink bytes, transfer count) are kept in relaxed atomics
+/// updated alongside the locked record list, so the hot-path queries the
+/// simulator makes per client never contend with recording; per-round and
+/// per-client breakdowns scan the list under the mutex.  Totals are exact
+/// once the writers quiesce; a concurrent reader may observe a record whose
+/// bytes are in the atomic but not yet in the list (or vice versa never —
+/// atomics are updated first).
 class TrafficMeter {
  public:
   void record(const TrafficRecord& record);
@@ -106,6 +118,10 @@ class TrafficMeter {
  private:
   mutable std::mutex mutex_;
   std::vector<TrafficRecord> records_;
+  std::atomic<std::size_t> total_bytes_{0};
+  std::atomic<std::size_t> uplink_bytes_{0};
+  std::atomic<std::size_t> downlink_bytes_{0};
+  std::atomic<std::size_t> num_transfers_{0};
 };
 
 enum class Codec : std::uint8_t;  // comm/compression.hpp
@@ -131,6 +147,40 @@ class FaultHook {
   virtual Action on_payload(std::size_t round, std::size_t client_id,
                             Direction direction, std::size_t attempt,
                             std::vector<std::uint8_t>& payload) = 0;
+};
+
+// ---- Transport seam ----
+
+/// Moves one delivery attempt's payload across a (possibly real) link.
+///
+/// The default channel behavior — no transport installed — is pure in-process
+/// delivery: the serialized payload is handed straight to the decoder.  A
+/// Transport interposes on every attempt and can (a) pass the payload through
+/// untouched (kLocal: an in-process leg, e.g. a client id no remote peer
+/// owns), (b) substitute the bytes that actually arrived over a socket
+/// (kReplaced: the uplink case — the decoder then consumes *wire* bytes, so
+/// the CRC check covers the real network), or (c) report the attempt lost
+/// (kDropped: a receive deadline expired or the peer vanished), which the
+/// channel retries per its RetryPolicy exactly like a fault-injected drop.
+///
+/// Implementations must be thread-safe: the round loop delivers from many
+/// pool threads concurrently.  net::ServerTransport / net::ClientTransport
+/// (src/net/transport.hpp) are the socket implementations.
+class Transport {
+ public:
+  enum class Outcome {
+    kLocal,     ///< payload delivered as-is (in-process leg)
+    kReplaced,  ///< payload swapped for the bytes received over the wire
+    kDropped,   ///< attempt lost in transit; retry per policy
+  };
+
+  virtual ~Transport() = default;
+
+  /// One delivery attempt.  May replace `payload` (and must return kReplaced
+  /// if it did).  `attempt` counts retries of this transfer from 0.
+  virtual Outcome attempt(std::vector<std::uint8_t>& payload, std::size_t round,
+                          std::size_t client_id, Direction direction,
+                          std::size_t attempt, const std::string& payload_name) = 0;
 };
 
 /// How a channel reacts to dropped/corrupted attempts.  Backoff is simulated
@@ -194,6 +244,14 @@ class Channel {
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Installs (or clears, with nullptr) the transport that carries every
+  /// delivery attempt.  nullptr (default) is pure in-process delivery —
+  /// bit-identical to the historical behavior.  Not thread-safe: install
+  /// before the round loop.  With a transport installed, dropped attempts
+  /// are retried up to RetryPolicy::max_attempts even without a fault hook.
+  void set_transport(Transport* transport) { transport_ = transport; }
+  Transport* transport() const { return transport_; }
+
  private:
   /// Shared attempt loop: offers `payload` to the fault hook, meters every
   /// attempt, and calls `decode` on whatever arrives.  Throws TransferFailed
@@ -205,6 +263,7 @@ class Channel {
 
   TrafficMeter* meter_;
   FaultHook* fault_hook_ = nullptr;
+  Transport* transport_ = nullptr;
   RetryPolicy retry_;
 };
 

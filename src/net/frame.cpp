@@ -1,0 +1,240 @@
+#include "net/frame.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/serialize.hpp"
+
+namespace fedkemf::net {
+
+namespace {
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::string to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kTask: return "TASK";
+    case FrameType::kUpload: return "UPLOAD";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kBye: return "BYE";
+  }
+  return "frame type " + std::to_string(static_cast<int>(type));
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  core::ByteWriter writer;
+  writer.write_u8(static_cast<std::uint8_t>(frame.type));
+  writer.write_u8(frame.flags);
+  writer.write_u32(frame.round);
+  writer.write_u32(frame.client);
+  writer.write_string(frame.name);
+  writer.write_u32(static_cast<std::uint32_t>(frame.scalars.size()));
+  for (const double scalar : frame.scalars) writer.write_f64(scalar);
+  writer.write_u32(static_cast<std::uint32_t>(frame.body.size()));
+  writer.write_bytes(frame.body);
+  const std::vector<std::uint8_t> payload = writer.take();
+
+  std::vector<std::uint8_t> out(kFrameHeaderBytes + payload.size());
+  store_u32(out.data(), kFrameMagic);
+  store_u32(out.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  store_u32(out.data() + 8, core::crc32(payload));
+  std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  return out;
+}
+
+std::size_t decode_frame_header(std::span<const std::uint8_t, kFrameHeaderBytes> header,
+                                const FrameLimits& limits, std::uint32_t* crc_out) {
+  const std::uint32_t magic = load_u32(header.data());
+  if (magic != kFrameMagic) {
+    char text[32];
+    std::snprintf(text, sizeof(text), "0x%08X", magic);
+    throw ProtocolError("frame: bad magic " + std::string(text) +
+                        " (peer is not speaking the fedkemf protocol)");
+  }
+  const std::uint32_t length = load_u32(header.data() + 4);
+  if (length > limits.max_frame_bytes) {
+    throw ProtocolError("frame: declared payload of " + std::to_string(length) +
+                        " bytes exceeds the " + std::to_string(limits.max_frame_bytes) +
+                        "-byte limit");
+  }
+  if (crc_out != nullptr) *crc_out = load_u32(header.data() + 8);
+  return length;
+}
+
+Frame decode_frame_payload(std::span<const std::uint8_t> payload,
+                           std::uint32_t expected_crc) {
+  const std::uint32_t actual_crc = core::crc32(payload);
+  if (actual_crc != expected_crc) {
+    throw ProtocolError("frame: payload checksum mismatch (expected " +
+                        std::to_string(expected_crc) + ", got " +
+                        std::to_string(actual_crc) + ")");
+  }
+  try {
+    core::ByteReader reader(payload);
+    Frame frame;
+    const std::uint8_t type = reader.read_u8();
+    if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+        type > static_cast<std::uint8_t>(FrameType::kBye)) {
+      throw ProtocolError("frame: unknown type " + std::to_string(type));
+    }
+    frame.type = static_cast<FrameType>(type);
+    frame.flags = reader.read_u8();
+    frame.round = reader.read_u32();
+    frame.client = reader.read_u32();
+    frame.name = reader.read_string();
+    const std::uint32_t scalar_count = reader.read_u32();
+    if (static_cast<std::size_t>(scalar_count) * 8 > reader.remaining()) {
+      throw ProtocolError("frame: scalar count " + std::to_string(scalar_count) +
+                          " exceeds the remaining " + std::to_string(reader.remaining()) +
+                          " payload bytes");
+    }
+    frame.scalars.resize(scalar_count);
+    for (std::uint32_t i = 0; i < scalar_count; ++i) frame.scalars[i] = reader.read_f64();
+    const std::uint32_t body_len = reader.read_u32();
+    if (body_len != reader.remaining()) {
+      throw ProtocolError("frame: body length " + std::to_string(body_len) +
+                          " disagrees with the remaining " +
+                          std::to_string(reader.remaining()) + " payload bytes");
+    }
+    frame.body.resize(body_len);
+    if (body_len > 0) {
+      std::memcpy(frame.body.data(), payload.data() + reader.position(), body_len);
+    }
+    return frame;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // ByteReader truncation and friends: re-type so callers see one error
+    // family for every malformed frame.
+    throw ProtocolError(std::string("frame: malformed payload: ") + e.what());
+  }
+}
+
+Frame read_frame(int fd, const FrameLimits& limits, const Deadline& deadline) {
+  std::uint8_t header[kFrameHeaderBytes];
+  read_exact(fd, header, sizeof(header), deadline);
+  std::uint32_t crc = 0;
+  const std::size_t length =
+      decode_frame_header(std::span<const std::uint8_t, kFrameHeaderBytes>(header), limits,
+                          &crc);
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0) read_exact(fd, payload.data(), length, deadline);
+  return decode_frame_payload(payload, crc);
+}
+
+void write_frame(int fd, const Frame& frame, const Deadline& deadline) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  write_all(fd, bytes.data(), bytes.size(), deadline);
+}
+
+void validate_model_body(std::span<const std::uint8_t> body) {
+  if (body.size() < 16) {
+    throw comm::ChecksumError("model payload: truncated header (" +
+                              std::to_string(body.size()) + " bytes; need at least 16)");
+  }
+  const std::uint32_t magic = load_u32(body.data());
+  if (magic != comm::kModelMagic) {
+    throw comm::ChecksumError("model payload: bad magic over the socket transport");
+  }
+  const std::uint32_t version = load_u32(body.data() + 4);
+  if (version == 1) {
+    throw comm::ChecksumError(
+        "model payload: wire format v1 carries no checksum and is not accepted over the "
+        "socket transport (re-serialize with version 2)");
+  }
+  if (version != comm::kModelVersion) {
+    throw comm::ChecksumError("model payload: unsupported wire format version " +
+                              std::to_string(version));
+  }
+  const std::uint32_t expected_crc = load_u32(body.data() + 8);
+  const std::uint32_t actual_crc = core::crc32(body.subspan(12));
+  if (expected_crc != actual_crc) {
+    throw comm::ChecksumError("model payload: checksum mismatch over the socket transport");
+  }
+  const std::uint32_t tensor_count = load_u32(body.data() + 12);
+  // write_tensor emits at least 9 bytes per tensor (dtype tag + rank + one
+  // scalar's shape/data); a count that cannot fit is structurally bogus even
+  // though its CRC matches (i.e. it was *serialized* that way).
+  const std::size_t tensor_bytes = body.size() - 16;
+  if (static_cast<std::size_t>(tensor_count) > tensor_bytes / 9 + 1) {
+    throw comm::ChecksumError("model payload: tensor_count " +
+                              std::to_string(tensor_count) + " cannot fit in " +
+                              std::to_string(tensor_bytes) + " payload bytes");
+  }
+}
+
+std::vector<std::uint8_t> encode_hello(const HelloRequest& request) {
+  core::ByteWriter writer;
+  writer.write_u32(request.protocol_version);
+  writer.write_u8(request.mode);
+  writer.write_string(request.algorithm);
+  writer.write_u64(request.config_digest);
+  writer.write_u32(static_cast<std::uint32_t>(request.owned_clients.size()));
+  for (const std::uint32_t id : request.owned_clients) writer.write_u32(id);
+  writer.write_u8(request.rejoin);
+  return writer.take();
+}
+
+HelloRequest decode_hello(std::span<const std::uint8_t> body) {
+  try {
+    core::ByteReader reader(body);
+    HelloRequest request;
+    request.protocol_version = reader.read_u32();
+    request.mode = reader.read_u8();
+    request.algorithm = reader.read_string();
+    request.config_digest = reader.read_u64();
+    const std::uint32_t count = reader.read_u32();
+    if (static_cast<std::size_t>(count) * 4 > reader.remaining()) {
+      throw ProtocolError("hello: owned-client count " + std::to_string(count) +
+                          " exceeds the body size");
+    }
+    request.owned_clients.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) request.owned_clients[i] = reader.read_u32();
+    request.rejoin = reader.read_u8();
+    return request;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("hello: malformed body: ") + e.what());
+  }
+}
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& reply) {
+  core::ByteWriter writer;
+  writer.write_u32(reply.protocol_version);
+  writer.write_u8(reply.accepted);
+  writer.write_u32(reply.current_round);
+  writer.write_string(reply.message);
+  return writer.take();
+}
+
+HelloReply decode_hello_reply(std::span<const std::uint8_t> body) {
+  try {
+    core::ByteReader reader(body);
+    HelloReply reply;
+    reply.protocol_version = reader.read_u32();
+    reply.accepted = reader.read_u8();
+    reply.current_round = reader.read_u32();
+    reply.message = reader.read_string();
+    return reply;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("hello reply: malformed body: ") + e.what());
+  }
+}
+
+}  // namespace fedkemf::net

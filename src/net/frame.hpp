@@ -1,0 +1,135 @@
+#pragma once
+
+// Length-prefixed message protocol of the multi-process federation.
+//
+// Every message between fed_server and fed_client is one frame:
+//
+//   [magic u32 = 0xFEDF4A3E] [length u32] [crc32 u32] [payload ...]
+//
+// `length` counts the payload bytes (everything after the crc field) and is
+// bounded by FrameLimits::max_frame_bytes so a corrupt or hostile length can
+// never drive an unbounded allocation.  `crc32` covers the payload, so any
+// bit flip in flight is detected before a single field is parsed.  The
+// payload is core::ByteWriter-encoded:
+//
+//   [type u8] [flags u8] [round u32] [client u32]
+//   [name string] [scalar_count u32] [f64 scalars ...] [body bytes u32-len]
+//
+// Frame types: HELLO (client registration: owned ids + config digest),
+// TASK (server -> client: a model payload to train against), UPLOAD
+// (client -> server: the trained model payload + bookkeeping scalars),
+// ACK (handshake replies), BYE (orderly goodbye).  TASK/UPLOAD bodies are
+// the existing model wire format **version 2 only** — v1 has no checksum,
+// and bytes that crossed a real socket without one are not trusted
+// (validate_model_body rejects them with a typed ChecksumError).
+//
+// Decode errors are ProtocolError, derived from comm::ChecksumError: the
+// transports surface malformed frames through the same typed-error contract
+// the in-process channel already honors (never a hang, never a crash).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "net/socket.hpp"
+
+namespace fedkemf::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0xFEDF4A3E;
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// magic + length + crc32.
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// A frame failed structural validation (bad magic, oversize length, CRC
+/// mismatch, truncated or trailing payload bytes).
+class ProtocolError : public comm::ChecksumError {
+ public:
+  using comm::ChecksumError::ChecksumError;
+};
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kTask = 2,
+  kUpload = 3,
+  kAck = 4,
+  kBye = 5,
+};
+
+std::string to_string(FrameType type);
+
+/// ACK flag: the HELLO was rejected; the frame name carries the reason.
+inline constexpr std::uint8_t kFlagReject = 0x1;
+
+struct FrameLimits {
+  /// Upper bound on one frame's payload (64 MiB holds any model this repo
+  /// ships with two orders of magnitude to spare).
+  std::size_t max_frame_bytes = 64ull << 20;
+};
+
+struct Frame {
+  FrameType type = FrameType::kAck;
+  std::uint8_t flags = 0;
+  std::uint32_t round = 0;
+  std::uint32_t client = 0;
+  std::string name;             ///< payload name ("model", "knowledge_net", ...)
+  std::vector<double> scalars;  ///< bookkeeping (steps, learning rate, loss)
+  std::vector<std::uint8_t> body;
+};
+
+/// Serializes `frame` (header + CRC + payload), ready for write_all.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Parses the 12-byte header; returns the payload length.  Throws
+/// ProtocolError on a bad magic or a length above `limits`.
+std::size_t decode_frame_header(std::span<const std::uint8_t, kFrameHeaderBytes> header,
+                                const FrameLimits& limits, std::uint32_t* crc_out);
+
+/// Decodes a payload whose CRC was read by decode_frame_header.  Throws
+/// ProtocolError on CRC mismatch, unknown type, or malformed fields.
+Frame decode_frame_payload(std::span<const std::uint8_t> payload, std::uint32_t expected_crc);
+
+/// Reads one full frame from `fd` (blocking up to `deadline` across the
+/// whole frame).  Throws ProtocolError for malformed bytes and the IoError
+/// family for transport failures.
+Frame read_frame(int fd, const FrameLimits& limits, const Deadline& deadline);
+
+/// Writes one frame to `fd` (blocking up to `deadline`).
+void write_frame(int fd, const Frame& frame, const Deadline& deadline);
+
+/// Validates that `body` is a structurally plausible model payload for the
+/// socket transport: wire-format magic, version exactly 2 (v1 carries no
+/// checksum and is rejected on principle when it arrives over a real wire),
+/// a CRC32 that matches, and a tensor_count that could fit in the payload.
+/// Throws comm::ChecksumError (or std::runtime_error for the version case's
+/// sibling paths) exactly like deserialize_model would, just earlier and
+/// without needing the destination module.
+void validate_model_body(std::span<const std::uint8_t> body);
+
+// ---- HELLO / ACK bodies ----
+
+/// Client registration payload (HELLO body).
+struct HelloRequest {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint8_t mode = 0;  ///< 0 = mirror (lockstep replica), 1 = elastic
+  std::string algorithm;
+  std::uint64_t config_digest = 0;
+  std::vector<std::uint32_t> owned_clients;
+  std::uint8_t rejoin = 0;  ///< elastic: this is a reconnect after a restart
+};
+
+/// Server reply to HELLO (ACK body).
+struct HelloReply {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint8_t accepted = 0;
+  std::uint32_t current_round = 0;  ///< elastic rejoin: where the run is
+  std::string message;              ///< rejection reason when !accepted
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloRequest& request);
+HelloRequest decode_hello(std::span<const std::uint8_t> body);
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& reply);
+HelloReply decode_hello_reply(std::span<const std::uint8_t> body);
+
+}  // namespace fedkemf::net

@@ -1,0 +1,513 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "utils/logging.hpp"
+
+namespace fedkemf::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+EpollServer::EpollServer(const Endpoint& endpoint, FrameLimits limits)
+    : endpoint_(endpoint), limits_(limits) {
+  listener_ = listen_endpoint(endpoint);
+  endpoint_ = listener_endpoint(listener_.get(), endpoint);
+  set_nonblocking(listener_.get());
+
+  epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) throw IoError(std::string("epoll_create1: ") + std::strerror(errno));
+  wake_event_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_event_.valid()) throw IoError(std::string("eventfd: ") + std::strerror(errno));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) != 0) {
+    throw IoError(std::string("epoll_ctl(listener): ") + std::strerror(errno));
+  }
+  ev.data.fd = wake_event_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_event_.get(), &ev) != 0) {
+    throw IoError(std::string("epoll_ctl(eventfd): ") + std::strerror(errno));
+  }
+}
+
+EpollServer::~EpollServer() { stop(); }
+
+void EpollServer::set_hello_validator(HelloValidator validator) {
+  validator_ = std::move(validator);
+}
+
+void EpollServer::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void EpollServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ && !stopping_) {
+      stopping_ = true;  // never started: just mark so awaiters bail out
+      cv_.notify_all();
+      return;
+    }
+    if (stopping_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  wake();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void EpollServer::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_event_.get(), &one, sizeof(one));
+}
+
+void EpollServer::post(std::function<void()> command) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    commands_.push_back(std::move(command));
+  }
+  wake();
+}
+
+std::string EpollServer::upload_key(std::uint32_t round, std::uint32_t client,
+                                    const std::string& name) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "%010u/%010u/", round, client);
+  return std::string(prefix) + name;
+}
+
+bool EpollServer::send_task(std::uint32_t client_id, Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    if (client_owner_.find(client_id) == client_owner_.end()) return false;
+  }
+  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  post([this, client_id, bytes = std::move(bytes)]() mutable {
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = client_owner_.find(client_id);
+      if (it == client_owner_.end()) return;  // vanished in flight; uplink will notice
+      fd = it->second;
+    }
+    const auto conn_it = connections_.find(fd);
+    if (conn_it == connections_.end()) return;
+    enqueue_output(fd, *conn_it->second, std::move(bytes));
+  });
+  return true;
+}
+
+std::optional<Frame> EpollServer::await_upload(std::uint32_t round, std::uint32_t client_id,
+                                               const std::string& name,
+                                               const Deadline& deadline) {
+  const std::string key = upload_key(round, client_id, name);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = pending_uploads_.find(key);
+    if (it != pending_uploads_.end()) {
+      Frame frame = std::move(it->second);
+      pending_uploads_.erase(it);
+      return frame;
+    }
+    if (stopping_) return std::nullopt;
+    if (client_owner_.find(client_id) == client_owner_.end()) return std::nullopt;
+    const int timeout_ms = deadline.poll_timeout_ms();
+    if (timeout_ms == 0) return std::nullopt;
+    if (timeout_ms < 0) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_for(lock, std::chrono::milliseconds(std::min(timeout_ms, 100)));
+    }
+  }
+}
+
+std::vector<std::size_t> EpollServer::connected_clients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> ids;
+  ids.reserve(client_owner_.size());
+  for (const auto& [id, fd] : client_owner_) ids.push_back(id);
+  return ids;  // std::map keeps them sorted
+}
+
+bool EpollServer::is_connected(std::uint32_t client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return client_owner_.find(client_id) != client_owner_.end();
+}
+
+bool EpollServer::wait_for_clients(std::size_t count, const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (client_owner_.size() >= count) return true;
+    if (stopping_) return false;
+    const int timeout_ms = deadline.poll_timeout_ms();
+    if (timeout_ms == 0) return false;
+    if (timeout_ms < 0) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_for(lock, std::chrono::milliseconds(std::min(timeout_ms, 100)));
+    }
+  }
+}
+
+std::vector<Frame> EpollServer::take_stale_uploads(std::uint32_t round) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Frame> stale;
+  for (auto it = pending_uploads_.begin(); it != pending_uploads_.end();) {
+    if (it->second.round < round) {
+      stale.push_back(std::move(it->second));
+      it = pending_uploads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The key encodes (round, client, name) with zero-padded numbers, so map
+  // order is already the canonical ingestion order.
+  return stale;
+}
+
+std::vector<MembershipEvent> EpollServer::take_membership_events() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MembershipEvent> events = std::move(membership_events_);
+  membership_events_.clear();
+  return events;
+}
+
+std::size_t EpollServer::frames_received() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_received_;
+}
+
+// ---- Loop thread ----
+
+void EpollServer::loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    // Drain cross-thread commands first so send_task enqueues are visible
+    // before we block in epoll_wait.
+    for (;;) {
+      std::function<void()> command;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (commands_.empty()) break;
+        command = std::move(commands_.front());
+        commands_.pop_front();
+      }
+      command();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;
+    }
+
+    const int n = ::epoll_wait(epoll_.get(), events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      utils::log_warn("net") << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_event_.get()) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_event_.get(), &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == listener_.get()) {
+        handle_accept();
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_connection(fd, "hangup");
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        handle_readable(fd, *it->second);
+        if (connections_.find(fd) == connections_.end()) continue;  // closed above
+      }
+      if (events[i].events & EPOLLOUT) {
+        handle_writable(fd, *it->second);
+      }
+    }
+  }
+
+  // Orderly goodbye: a best-effort BYE, then close everything.
+  Frame bye;
+  bye.type = FrameType::kBye;
+  const std::vector<std::uint8_t> bye_bytes = encode_frame(bye);
+  for (auto& [fd, conn] : connections_) {
+    [[maybe_unused]] ssize_t r =
+        ::send(fd, bye_bytes.data(), bye_bytes.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  }
+  connections_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    client_owner_.clear();
+  }
+  cv_.notify_all();
+}
+
+void EpollServer::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      utils::log_warn("net") << "accept: " << std::strerror(errno);
+      return;
+    }
+    set_nodelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd.reset(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      utils::log_warn("net") << "epoll_ctl(add conn): " << std::strerror(errno);
+      continue;  // conn closes via RAII
+    }
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void EpollServer::handle_readable(int fd, Connection& conn) {
+  for (;;) {
+    const std::size_t old_size = conn.inbuf.size();
+    conn.inbuf.resize(old_size + kReadChunk);
+    const ssize_t n = ::recv(fd, conn.inbuf.data() + old_size, kReadChunk, 0);
+    if (n > 0) {
+      conn.inbuf.resize(old_size + static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < kReadChunk) break;  // drained
+      continue;
+    }
+    conn.inbuf.resize(old_size);
+    if (n == 0) {
+      close_connection(fd, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(fd, "recv error");
+    return;
+  }
+
+  // Parse every complete frame in the buffer.
+  std::size_t consumed = 0;
+  while (conn.inbuf.size() - consumed >= kFrameHeaderBytes) {
+    std::uint32_t crc = 0;
+    std::size_t payload_len = 0;
+    try {
+      payload_len = decode_frame_header(
+          std::span<const std::uint8_t, kFrameHeaderBytes>(conn.inbuf.data() + consumed,
+                                                           kFrameHeaderBytes),
+          limits_, &crc);
+    } catch (const ProtocolError& e) {
+      utils::log_warn("net") << "closing connection: " << e.what();
+      close_connection(fd, "bad frame header");
+      return;
+    }
+    if (conn.inbuf.size() - consumed - kFrameHeaderBytes < payload_len) break;
+    Frame frame;
+    try {
+      frame = decode_frame_payload(
+          std::span<const std::uint8_t>(conn.inbuf.data() + consumed + kFrameHeaderBytes,
+                                        payload_len),
+          crc);
+    } catch (const ProtocolError& e) {
+      utils::log_warn("net") << "closing connection: " << e.what();
+      close_connection(fd, "bad frame payload");
+      return;
+    }
+    consumed += kFrameHeaderBytes + payload_len;
+    dispatch_frame(fd, conn, std::move(frame));
+    if (connections_.find(fd) == connections_.end()) return;  // dispatch closed it
+  }
+  if (consumed > 0) {
+    conn.inbuf.erase(conn.inbuf.begin(),
+                     conn.inbuf.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+}
+
+void EpollServer::dispatch_frame(int fd, Connection& conn, Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++frames_received_;
+  }
+  switch (frame.type) {
+    case FrameType::kHello:
+      handle_hello(fd, conn, frame);
+      return;
+    case FrameType::kUpload: {
+      if (!conn.registered) {
+        close_connection(fd, "UPLOAD before HELLO");
+        return;
+      }
+      // ACK first (the bench measures upload -> ACK round trips), then park.
+      Frame ack;
+      ack.type = FrameType::kAck;
+      ack.round = frame.round;
+      ack.client = frame.client;
+      ack.name = frame.name;
+      enqueue_output(fd, conn, encode_frame(ack));
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_uploads_[upload_key(frame.round, frame.client, frame.name)] =
+            std::move(frame);
+      }
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kBye:
+      close_connection(fd, "BYE");
+      return;
+    case FrameType::kTask:
+    case FrameType::kAck:
+      close_connection(fd, "unexpected frame type from client");
+      return;
+  }
+}
+
+void EpollServer::handle_hello(int fd, Connection& conn, const Frame& frame) {
+  HelloReply reply;
+  HelloRequest request;
+  try {
+    request = decode_hello(frame.body);
+    if (request.protocol_version != kProtocolVersion) {
+      reply.accepted = 0;
+      reply.message = "protocol version mismatch: server speaks " +
+                      std::to_string(kProtocolVersion) + ", client sent " +
+                      std::to_string(request.protocol_version);
+    } else if (conn.registered) {
+      reply.accepted = 0;
+      reply.message = "duplicate HELLO on one connection";
+    } else {
+      if (validator_) {
+        reply = validator_(request);
+      } else {
+        reply.accepted = 1;
+      }
+    }
+    if (reply.accepted) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const std::uint32_t id : request.owned_clients) {
+        if (client_owner_.find(id) != client_owner_.end()) {
+          reply.accepted = 0;
+          reply.message = "client id " + std::to_string(id) +
+                          " is already owned by a live connection";
+          break;
+        }
+      }
+      if (reply.accepted) {
+        for (const std::uint32_t id : request.owned_clients) {
+          client_owner_[id] = fd;
+          membership_events_.push_back({MembershipEvent::Kind::kJoined, id,
+                                        request.rejoin != 0});
+        }
+      }
+    }
+  } catch (const ProtocolError& e) {
+    reply.accepted = 0;
+    reply.message = e.what();
+  }
+
+  if (reply.accepted) {
+    conn.registered = true;
+    conn.owned.assign(request.owned_clients.begin(), request.owned_clients.end());
+    cv_.notify_all();
+  } else {
+    conn.close_after_flush = true;
+  }
+  Frame ack;
+  ack.type = FrameType::kAck;
+  ack.flags = reply.accepted ? 0 : kFlagReject;
+  ack.body = encode_hello_reply(reply);
+  enqueue_output(fd, conn, encode_frame(ack));
+}
+
+void EpollServer::enqueue_output(int fd, Connection& conn, std::vector<std::uint8_t> bytes) {
+  conn.outq.push_back(std::move(bytes));
+  handle_writable(fd, conn);  // opportunistic flush; arms EPOLLOUT if short
+}
+
+void EpollServer::handle_writable(int fd, Connection& conn) {
+  while (!conn.outq.empty()) {
+    const std::vector<std::uint8_t>& front = conn.outq.front();
+    const ssize_t n = ::send(fd, front.data() + conn.out_offset,
+                             front.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n >= 0) {
+      conn.out_offset += static_cast<std::size_t>(n);
+      if (conn.out_offset == front.size()) {
+        conn.outq.pop_front();
+        conn.out_offset = 0;
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_connection(fd, "send error");
+    return;
+  }
+  if (conn.outq.empty() && conn.close_after_flush) {
+    close_connection(fd, "rejected");
+    return;
+  }
+  const bool want_write = !conn.outq.empty();
+  if (want_write != conn.want_write) {
+    conn.want_write = want_write;
+    update_epoll(fd, conn);
+  }
+}
+
+void EpollServer::update_epoll(int fd, Connection& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    utils::log_warn("net") << "epoll_ctl(mod): " << std::strerror(errno);
+  }
+}
+
+void EpollServer::close_connection(int fd, const char* why) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  if (it->second->registered) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::uint32_t id : it->second->owned) {
+      client_owner_.erase(id);
+      membership_events_.push_back({MembershipEvent::Kind::kLeft, id, false});
+    }
+  }
+  (void)why;
+  connections_.erase(it);  // Fd RAII closes the socket
+  cv_.notify_all();
+}
+
+}  // namespace fedkemf::net

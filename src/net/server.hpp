@@ -1,0 +1,164 @@
+#pragma once
+
+// Single-threaded epoll event loop of fed_server.
+//
+// One dedicated thread owns every socket: it accepts connections, parses
+// frames incrementally from per-connection read buffers, and drains
+// per-connection write queues — so concurrent uploads from many clients make
+// progress mid-round without any per-connection thread.  The round loop
+// (running on the main thread and its worker pool) talks to the loop through
+// a small thread-safe surface:
+//
+//   send_task()       enqueue a TASK frame to the connection owning a client
+//                     id (non-blocking; the loop flushes it)
+//   await_upload()    block until the UPLOAD keyed (round, client, name)
+//                     arrives, the owner disconnects, or the deadline passes
+//   take_stale_uploads()  drain UPLOADs from *earlier* rounds that nobody
+//                     awaited — the post-deadline arrivals the service layer
+//                     feeds into fl::StaleUpdateBuffer
+//   take_membership_events()  connect/disconnect of registered clients, in
+//                     arrival order — mapped onto Algorithm::on_client_joined
+//                     / on_client_evicted by the elastic round loop
+//
+// Uploads are parked in a pending map the moment they are parsed, so a fast
+// client's round-r upload arriving before the server asks for it is simply
+// claimed later — mid-round concurrency costs no coordination.  A malformed
+// frame (bad magic, oversize length, CRC mismatch) closes that connection;
+// it never wedges the loop or the process.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace fedkemf::net {
+
+/// A registered client (re)connected or went away.
+struct MembershipEvent {
+  enum class Kind { kJoined, kLeft };
+  Kind kind = Kind::kJoined;
+  std::uint32_t client_id = 0;
+  bool rejoin = false;  ///< HELLO carried the rejoin flag (kJoined only)
+};
+
+class EpollServer {
+ public:
+  /// Inspects a HELLO and decides admission (config digest, algorithm, mode,
+  /// ownership).  Runs on the loop thread; must not block.  The default
+  /// validator accepts everything.
+  using HelloValidator = std::function<HelloReply(const HelloRequest&)>;
+
+  /// Binds and listens immediately (so a launcher can start clients as soon
+  /// as the constructor returns); the loop starts with start().
+  explicit EpollServer(const Endpoint& endpoint, FrameLimits limits = {});
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  /// The bound address (an ephemeral TCP port is resolved to the real one).
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  /// Install before start(); not thread-safe afterwards.
+  void set_hello_validator(HelloValidator validator);
+
+  void start();
+  /// Sends BYE to every connection, closes everything, joins the loop
+  /// thread, and wakes every await_upload()/wait_for_clients() blocker.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  // ---- Thread-safe round-loop surface ----
+
+  /// Enqueues `frame` to the connection owning `client_id`.  Returns false
+  /// (without sending) when no registered connection owns the id.
+  bool send_task(std::uint32_t client_id, Frame frame);
+
+  /// Blocks until the UPLOAD keyed (round, client_id, name) is available.
+  /// Returns nullopt when the deadline passes, the owning connection
+  /// disconnects with no matching upload parked, or the server stops.
+  std::optional<Frame> await_upload(std::uint32_t round, std::uint32_t client_id,
+                                    const std::string& name, const Deadline& deadline);
+
+  /// Client ids owned by live registered connections, sorted ascending.
+  std::vector<std::size_t> connected_clients() const;
+
+  /// True when `client_id` is owned by a live registered connection.
+  bool is_connected(std::uint32_t client_id) const;
+
+  /// Blocks until at least `count` client ids are registered (or the
+  /// deadline passes — returns false).  The mirror server's start barrier.
+  bool wait_for_clients(std::size_t count, const Deadline& deadline);
+
+  /// Drains parked UPLOADs from rounds before `round` — late arrivals nobody
+  /// awaited, destined for the stale-update buffer.  Sorted by
+  /// (round, client, name) so ingestion order is deterministic.
+  std::vector<Frame> take_stale_uploads(std::uint32_t round);
+
+  /// Drains the connect/disconnect log (arrival order preserved).
+  std::vector<MembershipEvent> take_membership_events();
+
+  /// Total frames parsed by the loop (all types, all connections).
+  std::size_t frames_received() const;
+
+ private:
+  struct Connection {
+    Fd fd;
+    std::vector<std::uint8_t> inbuf;
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t out_offset = 0;      ///< into outq.front()
+    bool want_write = false;         ///< EPOLLOUT armed
+    bool registered = false;         ///< HELLO accepted
+    bool close_after_flush = false;  ///< rejected HELLO: drain outq, then close
+    std::vector<std::uint32_t> owned;
+  };
+
+  void loop();
+  void handle_accept();
+  void handle_readable(int fd, Connection& conn);
+  void handle_writable(int fd, Connection& conn);
+  void dispatch_frame(int fd, Connection& conn, Frame frame);
+  void handle_hello(int fd, Connection& conn, const Frame& frame);
+  void enqueue_output(int fd, Connection& conn, std::vector<std::uint8_t> bytes);
+  void close_connection(int fd, const char* why);
+  void update_epoll(int fd, Connection& conn);
+  void post(std::function<void()> command);  ///< run `command` on the loop thread
+  void wake();
+
+  static std::string upload_key(std::uint32_t round, std::uint32_t client,
+                                const std::string& name);
+
+  Endpoint endpoint_;
+  FrameLimits limits_;
+  Fd listener_;
+  Fd epoll_;
+  Fd wake_event_;
+  std::thread thread_;
+  HelloValidator validator_;
+
+  // Loop-thread-only state.
+  std::map<int, std::unique_ptr<Connection>> connections_;
+
+  // Shared state (guarded by mutex_, signaled through cv_).
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::deque<std::function<void()>> commands_;
+  std::map<std::string, Frame> pending_uploads_;     ///< key -> parked UPLOAD
+  std::map<std::uint32_t, int> client_owner_;        ///< client id -> conn fd
+  std::vector<MembershipEvent> membership_events_;
+  std::size_t frames_received_ = 0;
+};
+
+}  // namespace fedkemf::net

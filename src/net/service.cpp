@@ -1,0 +1,531 @@
+#include "net/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "comm/channel.hpp"
+#include "fl/feddf.hpp"
+#include "fl/fedkemf.hpp"
+#include "fl/fedmd.hpp"
+#include "fl/fednova.hpp"
+#include "fl/fedprox.hpp"
+#include "fl/runner.hpp"
+#include "fl/scaffold.hpp"
+#include "fl/selection.hpp"
+#include "net/session.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "utils/logging.hpp"
+#include "utils/stopwatch.hpp"
+
+namespace fedkemf::net {
+
+namespace {
+
+void digest_model_spec(core::ByteWriter& writer, const models::ModelSpec& spec) {
+  writer.write_string(spec.arch);
+  writer.write_u32(static_cast<std::uint32_t>(spec.num_classes));
+  writer.write_u32(static_cast<std::uint32_t>(spec.in_channels));
+  writer.write_u32(static_cast<std::uint32_t>(spec.image_size));
+  writer.write_f64(spec.width_multiplier);
+}
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t config_digest(const FedSpec& spec) {
+  core::ByteWriter writer;
+  writer.write_string(spec.algorithm);
+  const fl::FederationOptions& fed = spec.federation;
+  writer.write_u32(static_cast<std::uint32_t>(fed.data.num_classes));
+  writer.write_u32(static_cast<std::uint32_t>(fed.data.channels));
+  writer.write_u32(static_cast<std::uint32_t>(fed.data.image_size));
+  writer.write_f64(fed.data.noise_stddev);
+  writer.write_f64(fed.data.class_separation);
+  writer.write_u32(static_cast<std::uint32_t>(fed.data.jitter));
+  writer.write_u32(static_cast<std::uint32_t>(fed.data.num_waves));
+  writer.write_u64(fed.data.seed);
+  writer.write_u64(fed.train_samples);
+  writer.write_u64(fed.test_samples);
+  writer.write_u64(fed.server_pool_samples);
+  writer.write_u64(fed.local_test_samples);
+  writer.write_u64(fed.num_clients);
+  writer.write_u8(static_cast<std::uint8_t>(fed.partition));
+  writer.write_f64(fed.dirichlet_alpha);
+  writer.write_u64(fed.shards_per_client);
+  writer.write_u64(fed.seed);
+  digest_model_spec(writer, spec.client_model);
+  digest_model_spec(writer, spec.knowledge_model);
+  writer.write_u64(spec.local.epochs);
+  writer.write_u64(spec.local.batch_size);
+  writer.write_f64(spec.local.learning_rate);
+  writer.write_f64(spec.local.momentum);
+  writer.write_f64(spec.local.weight_decay);
+  writer.write_f64(spec.local.lr_decay_gamma);
+  writer.write_u64(spec.local.lr_decay_every);
+  writer.write_u64(spec.rounds);
+  writer.write_f64(spec.sample_ratio);
+  writer.write_string(spec.selector);
+  writer.write_u64(spec.eval_every);
+  writer.write_f64(spec.fedprox_mu);
+  return fnv1a(writer.buffer());
+}
+
+std::unique_ptr<fl::Algorithm> make_algorithm(const FedSpec& spec) {
+  const std::string& name = spec.algorithm;
+  if (name == "fedavg") return std::make_unique<fl::FedAvg>(spec.client_model, spec.local);
+  if (name == "fedprox") {
+    return std::make_unique<fl::FedProx>(spec.client_model, spec.local, spec.fedprox_mu);
+  }
+  if (name == "fednova") return std::make_unique<fl::FedNova>(spec.client_model, spec.local);
+  if (name == "scaffold") {
+    return std::make_unique<fl::Scaffold>(spec.client_model, spec.local);
+  }
+  if (name == "feddf") {
+    return std::make_unique<fl::FedDf>(spec.client_model, spec.local, fl::FedDfOptions{});
+  }
+  if (name == "fedmd") {
+    fl::FedMdOptions options;
+    options.server_student = spec.knowledge_model;
+    return std::make_unique<fl::FedMd>(
+        std::vector<models::ModelSpec>{spec.client_model}, spec.local, options);
+  }
+  if (name == "fedkemf") {
+    fl::FedKemfOptions options;
+    options.knowledge_spec = spec.knowledge_model;
+    options.ensemble = fl::EnsembleStrategy::kAvgLogits;
+    options.server_momentum = 0.0;
+    return std::make_unique<fl::FedKemf>(
+        std::vector<models::ModelSpec>{spec.client_model}, spec.local, options);
+  }
+  throw std::invalid_argument(
+      "make_algorithm: unknown algorithm '" + name +
+      "' (expected fedavg|fedprox|fednova|scaffold|fedkemf|feddf|fedmd)");
+}
+
+bool elastic_capable(const std::string& algorithm) {
+  return algorithm == "fedavg" || algorithm == "fedprox" || algorithm == "fednova";
+}
+
+fl::RunOptions run_options(const FedSpec& spec) {
+  fl::RunOptions options;
+  options.rounds = spec.rounds;
+  options.sample_ratio = spec.sample_ratio;
+  options.selector = spec.selector;
+  options.eval_every = spec.eval_every;
+  options.num_threads = spec.num_threads;
+  return options;
+}
+
+fl::RunResult run_in_process(const FedSpec& spec) {
+  fl::Federation federation(spec.federation);
+  std::unique_ptr<fl::Algorithm> algorithm = make_algorithm(spec);
+  return fl::run_federated(federation, *algorithm, run_options(spec));
+}
+
+// ---- Mirror mode ----
+
+namespace {
+
+EpollServer::HelloValidator
+make_validator(const FedSpec& spec, std::uint8_t expected_mode) {
+  const std::uint64_t digest = config_digest(spec);
+  const std::string algorithm = spec.algorithm;
+  const std::size_t num_clients = spec.federation.num_clients;
+  return [digest, algorithm, num_clients, expected_mode](const HelloRequest& request) {
+    HelloReply reply;
+    if (request.mode != expected_mode) {
+      reply.message = std::string("mode mismatch: this server runs ") +
+                      (expected_mode == 0 ? "mirror" : "elastic");
+      return reply;
+    }
+    if (request.algorithm != algorithm) {
+      reply.message = "algorithm mismatch: server runs " + algorithm + ", client sent " +
+                      request.algorithm;
+      return reply;
+    }
+    if (request.config_digest != digest) {
+      reply.message = "configuration digest mismatch (server and client must be "
+                      "launched with identical federation flags)";
+      return reply;
+    }
+    if (request.owned_clients.empty()) {
+      reply.message = "HELLO owns no client ids";
+      return reply;
+    }
+    for (const std::uint32_t id : request.owned_clients) {
+      if (id >= num_clients) {
+        reply.message = "client id " + std::to_string(id) + " is out of range (fleet of " +
+                        std::to_string(num_clients) + ")";
+        return reply;
+      }
+    }
+    reply.accepted = 1;
+    return reply;
+  };
+}
+
+}  // namespace
+
+fl::RunResult run_mirror_server(const FedSpec& spec, const MirrorServerOptions& options) {
+  EpollServer server(options.endpoint);
+  server.set_hello_validator(make_validator(spec, /*expected_mode=*/0));
+  server.start();
+  if (options.expect_clients > 0 &&
+      !server.wait_for_clients(options.expect_clients,
+                               Deadline::after(options.hello_wait_seconds))) {
+    server.stop();
+    throw std::runtime_error(
+        "mirror server: only " + std::to_string(server.connected_clients().size()) + " of " +
+        std::to_string(options.expect_clients) + " expected clients registered within " +
+        std::to_string(options.hello_wait_seconds) + "s");
+  }
+
+  fl::Federation federation(spec.federation);
+  std::unique_ptr<fl::Algorithm> algorithm = make_algorithm(spec);
+  ServerTransport transport(server, {.strict = true,
+                                     .await_timeout_seconds = options.await_timeout_seconds});
+  federation.channel().set_transport(&transport);
+  fl::RunResult result;
+  try {
+    result = fl::run_federated(federation, *algorithm, run_options(spec));
+  } catch (...) {
+    federation.channel().set_transport(nullptr);
+    server.stop();
+    throw;
+  }
+  federation.channel().set_transport(nullptr);
+  server.stop();
+  return result;
+}
+
+fl::RunResult run_mirror_client(const FedSpec& spec, const MirrorClientOptions& options) {
+  ClientSession session(options.endpoint,
+                        Deadline::after(options.connect_timeout_seconds));
+  HelloRequest request;
+  request.mode = 0;
+  request.algorithm = spec.algorithm;
+  request.config_digest = config_digest(spec);
+  for (const std::size_t id : options.owned) {
+    request.owned_clients.push_back(static_cast<std::uint32_t>(id));
+  }
+  const HelloReply reply =
+      session.hello(request, Deadline::after(options.connect_timeout_seconds));
+  if (!reply.accepted) {
+    throw std::runtime_error("mirror client: server rejected HELLO: " + reply.message);
+  }
+
+  fl::Federation federation(spec.federation);
+  std::unique_ptr<fl::Algorithm> algorithm = make_algorithm(spec);
+  ClientTransport transport(session, options.owned,
+                            {.strict = true,
+                             .await_timeout_seconds = options.await_timeout_seconds});
+  federation.channel().set_transport(&transport);
+  fl::RunResult result;
+  try {
+    result = fl::run_federated(federation, *algorithm, run_options(spec));
+  } catch (...) {
+    federation.channel().set_transport(nullptr);
+    throw;
+  }
+  federation.channel().set_transport(nullptr);
+  session.close();
+  return result;
+}
+
+// ---- Elastic mode ----
+
+fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions& options) {
+  if (!elastic_capable(spec.algorithm)) {
+    throw std::invalid_argument(
+        "elastic mode serves the plain supervised family (fedavg|fedprox|fednova); "
+        "run '" + spec.algorithm + "' in mirror mode instead");
+  }
+
+  EpollServer server(options.endpoint);
+  server.set_hello_validator(make_validator(spec, /*expected_mode=*/1));
+  server.start();
+
+  fl::Federation federation(spec.federation);
+  std::unique_ptr<fl::Algorithm> algorithm = make_algorithm(spec);
+  federation.meter().reset();
+  algorithm->setup(federation);
+
+  // A benign simulator (no faults, no deadline) so comm::TransferFailed from
+  // an exhausted upload retry is *recorded* per client instead of aborting
+  // the round — the catch path every algorithm already implements.
+  sim::SimOptions benign;
+  sim::Simulator simulator(benign, federation.num_clients(),
+                           federation.root_rng().fork(0x51D07A1EULL));
+  simulator.attach(federation.channel());
+  algorithm->set_simulator(&simulator);
+  fl::StaleUpdateBuffer stale_buffer(spec.staleness);
+  algorithm->set_stale_buffer(&stale_buffer);
+  ServerTransport transport(server, {.strict = false,
+                                     .await_timeout_seconds = options.upload_timeout_seconds});
+  federation.channel().set_transport(&transport);
+
+  const auto cleanup = [&] {
+    federation.channel().set_transport(nullptr);
+    algorithm->set_stale_buffer(nullptr);
+    algorithm->set_simulator(nullptr);
+    simulator.detach();
+    server.stop();
+  };
+
+  fl::RunResult result;
+  result.algorithm = algorithm->name();
+  utils::Stopwatch run_clock;
+  std::unique_ptr<fl::ClientSelector> selector = fl::make_selector(spec.selector);
+  utils::ThreadPool pool(spec.num_threads);
+  core::Rng scratch_rng(0);
+  const std::unique_ptr<nn::Module> scratch =
+      models::build_model(spec.client_model, scratch_rng);
+  std::size_t bytes_before_round = 0;
+
+  try {
+    for (std::size_t round = 0; round < spec.rounds; ++round) {
+      if (!server.wait_for_clients(options.min_clients,
+                                   Deadline::after(options.join_wait_seconds))) {
+        throw std::runtime_error(
+            "elastic server: fewer than " + std::to_string(options.min_clients) +
+            " clients connected for " + std::to_string(options.join_wait_seconds) +
+            "s before round " + std::to_string(round));
+      }
+
+      // Disconnect/reconnect -> the algorithm's churn lifecycle.
+      std::size_t joined = 0;
+      std::size_t left = 0;
+      for (const MembershipEvent& event : server.take_membership_events()) {
+        if (event.kind == MembershipEvent::Kind::kJoined) {
+          algorithm->on_client_joined(event.client_id);
+          ++joined;
+        } else {
+          algorithm->on_client_evicted(event.client_id);
+          ++left;
+        }
+      }
+
+      // Late uploads from earlier rounds feed the stale buffer with the
+      // scalars fl::FedAvg::fill_stale_extras would have recorded in-process.
+      for (Frame& frame : server.take_stale_uploads(static_cast<std::uint32_t>(round))) {
+        try {
+          screen_wire_body(frame.body);
+          comm::deserialize_model(frame.body, *scratch);
+        } catch (const std::exception& e) {
+          utils::log_warn("net") << "dropping undecodable late upload from client "
+                                 << frame.client << ": " << e.what();
+          continue;
+        }
+        federation.channel().transfer_raw(frame.body.size(), frame.round, frame.client,
+                                          comm::Direction::kUplink, "stale_" + frame.name);
+        fl::StaleUpdate update;
+        update.client_id = frame.client;
+        update.origin_round = frame.round;
+        update.due_round = round;
+        update.state = nn::snapshot_state(*scratch);
+        update.scalars.assign(frame.scalars.begin(),
+                              frame.scalars.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      std::min<std::size_t>(2, frame.scalars.size())));
+        stale_buffer.push(std::move(update));
+      }
+
+      // Cohort: whoever is connected right now (ids beyond the configured
+      // fleet were rejected at HELLO).
+      const std::vector<std::size_t> eligible = server.connected_clients();
+      const std::size_t count =
+          fl::sampled_client_count(eligible.size(), spec.sample_ratio);
+      const std::vector<std::size_t> sampled =
+          selector->select(federation, round, count, eligible);
+
+      simulator.begin_round(round, sampled.size());
+      algorithm->phase_accumulator().reset();
+      utils::Stopwatch round_clock;
+      const double train_loss = algorithm->round(round, sampled, pool);
+      result.rounds_completed = round + 1;
+
+      fl::RoundRecord record;
+      record.round = round;
+      record.train_loss = train_loss;
+      record.round_seconds = round_clock.seconds();
+      const std::size_t bytes_now = federation.meter().total_bytes();
+      record.cumulative_bytes = bytes_now;
+      record.round_bytes = bytes_now - bytes_before_round;
+      bytes_before_round = bytes_now;
+      record.clients_sampled = sampled.size();
+      const sim::RoundReport report = simulator.round_report();
+      record.clients_completed = report.completed;
+      record.clients_dropped = report.dropped();
+      record.sim_tracked = true;
+      record.churn_tracked = true;
+      record.staleness_tracked = true;
+      record.clients_joined = joined;
+      record.clients_left = left;
+      record.stale_applied = algorithm->last_stale_applied();
+      result.total_joined += joined;
+      result.total_left += left;
+      result.total_stale_applied += record.stale_applied;
+      result.total_dropped += report.dropped();
+
+      const std::size_t every = std::max<std::size_t>(1, spec.eval_every);
+      const bool last_round = round + 1 == spec.rounds;
+      if (last_round || (round + 1) % every == 0) {
+        const fl::EvalResult eval =
+            fl::evaluate(algorithm->global_model(), federation.test_set());
+        record.accuracy = eval.accuracy;
+        record.client_accuracy = std::nan("");
+        result.best_accuracy = std::max(result.best_accuracy, eval.accuracy);
+        result.final_accuracy = eval.accuracy;
+        result.history.push_back(record);
+      }
+
+      if (fl::shutdown_requested()) {
+        result.interrupted = true;
+        break;
+      }
+    }
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+  result.total_bytes = federation.meter().total_bytes();
+  result.wall_seconds = run_clock.seconds();
+  cleanup();
+  return result;
+}
+
+std::size_t run_elastic_client(const FedSpec& spec, const ElasticClientOptions& options) {
+  if (options.client_id >= spec.federation.num_clients) {
+    throw std::invalid_argument("elastic client: id out of range");
+  }
+  fl::Federation federation(spec.federation);
+  core::Rng model_rng = federation.root_rng().fork(0xC11E57ULL + options.client_id);
+  const std::unique_ptr<nn::Module> model =
+      models::build_model(spec.client_model, model_rng);
+
+  ClientSession session(options.endpoint,
+                        Deadline::after(options.connect_timeout_seconds));
+  HelloRequest request;
+  request.mode = 1;
+  request.algorithm = spec.algorithm;
+  request.config_digest = config_digest(spec);
+  request.owned_clients = {static_cast<std::uint32_t>(options.client_id)};
+  request.rejoin = options.rejoin ? 1 : 0;
+  const HelloReply reply =
+      session.hello(request, Deadline::after(options.connect_timeout_seconds));
+  if (!reply.accepted) {
+    throw std::runtime_error("elastic client: server rejected HELLO: " + reply.message);
+  }
+
+  const std::vector<std::size_t>& shard = federation.client_shard(options.client_id);
+  std::size_t rounds_served = 0;
+  for (;;) {
+    if (fl::shutdown_requested()) break;
+    std::optional<Frame> task;
+    try {
+      task = session.next_task(static_cast<std::uint32_t>(options.client_id),
+                               Deadline::after(1.0));
+    } catch (const IoError&) {
+      break;  // BYE or a dead server: an orderly exit either way
+    }
+    if (!task) continue;
+
+    try {
+      comm::deserialize_model(task->body, *model);
+    } catch (const std::exception& e) {
+      utils::log_warn("net") << "client " << options.client_id
+                             << ": undecodable TASK body: " << e.what();
+      continue;
+    }
+    const fl::LocalTrainConfig config = spec.local.at_round(task->round);
+    fl::GradHook hook;
+    std::vector<core::Tensor> anchor;
+    if (spec.algorithm == "fedprox") {
+      for (nn::Parameter* p : model->parameters()) anchor.push_back(p->value.clone());
+      const float mu = static_cast<float>(spec.fedprox_mu);
+      hook = [mu, &anchor](const std::vector<nn::Parameter*>& params) {
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          float* __restrict g = params[i]->grad.data();
+          const float* __restrict w = params[i]->value.data();
+          const float* __restrict a = anchor[i].data();
+          const std::size_t n = params[i]->grad.numel();
+          for (std::size_t j = 0; j < n; ++j) g[j] += mu * (w[j] - a[j]);
+        }
+      };
+    }
+    const fl::LocalTrainResult trained = fl::supervised_local_update(
+        *model, federation.train_set(), shard, config,
+        fl::client_stream(federation, task->round, options.client_id), hook);
+    if (options.train_delay_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.train_delay_seconds));
+    }
+
+    Frame upload;
+    upload.type = FrameType::kUpload;
+    upload.round = task->round;
+    upload.client = static_cast<std::uint32_t>(options.client_id);
+    upload.name = task->name;
+    upload.scalars = {static_cast<double>(trained.steps), config.learning_rate,
+                      trained.mean_loss};
+    upload.body = comm::serialize_model(*model);
+    try {
+      session.send(upload, Deadline::after(30.0));
+    } catch (const IoError&) {
+      break;
+    }
+    ++rounds_served;
+  }
+  session.close();
+  return rounds_served;
+}
+
+void write_result_json(const std::string& path, const std::string& mode,
+                       const fl::RunResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_result_json: cannot open '" + path + "'");
+  char buffer[64];
+  const auto num = [&buffer](double v) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return std::string(buffer);
+  };
+  out << "{\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"algorithm\": \"" << result.algorithm << "\",\n";
+  out << "  \"rounds_completed\": " << result.rounds_completed << ",\n";
+  out << "  \"final_accuracy\": " << num(result.final_accuracy) << ",\n";
+  out << "  \"best_accuracy\": " << num(result.best_accuracy) << ",\n";
+  out << "  \"total_bytes\": " << result.total_bytes << ",\n";
+  out << "  \"interrupted\": " << (result.interrupted ? "true" : "false") << ",\n";
+  out << "  \"total_joined\": " << result.total_joined << ",\n";
+  out << "  \"total_left\": " << result.total_left << ",\n";
+  out << "  \"total_stale_applied\": " << result.total_stale_applied << ",\n";
+  out << "  \"rounds\": [\n";
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    const fl::RoundRecord& record = result.history[i];
+    out << "    {\"round\": " << record.round << ", \"accuracy\": " << num(record.accuracy)
+        << ", \"round_bytes\": " << record.round_bytes
+        << ", \"cumulative_bytes\": " << record.cumulative_bytes
+        << ", \"stale_applied\": " << record.stale_applied << "}"
+        << (i + 1 < result.history.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  if (!out.good()) throw std::runtime_error("write_result_json: write failed: " + path);
+}
+
+}  // namespace fedkemf::net

@@ -1,0 +1,128 @@
+#pragma once
+
+// Federation service layer: everything fed_server / fed_client share above
+// the frame protocol.
+//
+// Two distributed modes (DESIGN.md "deployment"):
+//
+//   mirror   lockstep replication.  Server and every client process run the
+//            stock run_federated() on identically-seeded state, so both
+//            sides produce bit-identical payload bytes; the transports move
+//            those bytes for real and substitute received wire bytes on the
+//            consuming side.  Works with all seven algorithms, and a
+//            fault-free distributed run reports final accuracy and per-round
+//            metered bytes identical to the in-process simulator by
+//            construction.  Peer loss is fatal (a desynced replica cannot
+//            rejoin the lockstep).
+//
+//   elastic  server-authoritative.  The cohort is whatever client processes
+//            are connected when the round starts; disconnects/reconnects map
+//            onto Algorithm::on_client_evicted / on_client_joined, upload
+//            deadlines turn stragglers into channel-level drops, and their
+//            late UPLOADs are ingested into fl::StaleUpdateBuffer with the
+//            FedBuff discount.  Restricted to the weight-space family whose
+//            client half is a plain supervised pass (fedavg / fedprox /
+//            fednova); kill-and-restart a client mid-run and the run
+//            completes through the churn + staleness path.
+//
+// Both sides of a run must agree on the full configuration; HELLO carries an
+// FNV-1a digest of the spec and the server rejects a mismatched client at
+// registration instead of desyncing mid-round.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.hpp"
+#include "fl/metrics.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+namespace fedkemf::net {
+
+/// Everything server and clients must agree on, CLI-assembled in the tools.
+struct FedSpec {
+  std::string algorithm = "fedavg";  ///< fedavg | fedprox | fednova | scaffold |
+                                     ///< fedkemf | feddf | fedmd
+  fl::FederationOptions federation;
+  models::ModelSpec client_model;
+  models::ModelSpec knowledge_model;  ///< fedkemf's wire network / fedmd's student
+  fl::LocalTrainConfig local;
+  std::size_t rounds = 5;
+  double sample_ratio = 1.0;
+  std::string selector = "uniform";
+  std::size_t eval_every = 1;
+  std::size_t num_threads = 0;
+  double fedprox_mu = 0.01;
+  fl::StalenessOptions staleness;  ///< elastic mode's stale-upload discounting
+};
+
+/// FNV-1a over the serialized spec — HELLO's configuration handshake.
+std::uint64_t config_digest(const FedSpec& spec);
+
+/// Builds any of the seven algorithms by spec.algorithm.  Throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<fl::Algorithm> make_algorithm(const FedSpec& spec);
+
+/// True when spec.algorithm's client half is a plain supervised pass — the
+/// family elastic mode can serve remotely.
+bool elastic_capable(const std::string& algorithm);
+
+/// The runner's RunOptions for this spec (shared by every mode so the
+/// in-process reference and the distributed run stay comparable).
+fl::RunOptions run_options(const FedSpec& spec);
+
+// ---- Run modes ----
+
+/// In-process reference run (no sockets) — the parity baseline.
+fl::RunResult run_in_process(const FedSpec& spec);
+
+struct MirrorServerOptions {
+  Endpoint endpoint;
+  std::size_t expect_clients = 0;  ///< remote client ids to wait for before round 0
+  double hello_wait_seconds = 60.0;
+  double await_timeout_seconds = 600.0;
+};
+
+fl::RunResult run_mirror_server(const FedSpec& spec, const MirrorServerOptions& options);
+
+struct MirrorClientOptions {
+  Endpoint endpoint;
+  std::vector<std::size_t> owned;  ///< client ids this replica plays
+  double connect_timeout_seconds = 30.0;
+  double await_timeout_seconds = 600.0;
+};
+
+fl::RunResult run_mirror_client(const FedSpec& spec, const MirrorClientOptions& options);
+
+struct ElasticServerOptions {
+  Endpoint endpoint;
+  std::size_t min_clients = 1;        ///< wait for this many before each round
+  double join_wait_seconds = 60.0;    ///< give up when nobody shows up for this long
+  double upload_timeout_seconds = 30.0;
+};
+
+fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions& options);
+
+struct ElasticClientOptions {
+  Endpoint endpoint;
+  std::size_t client_id = 0;
+  bool rejoin = false;                ///< reconnect after a restart
+  double connect_timeout_seconds = 30.0;
+  /// Artificial per-round training delay — the straggler lever for tests.
+  double train_delay_seconds = 0.0;
+};
+
+/// Serves TASK->train->UPLOAD until the server says BYE (or SIGTERM via the
+/// runner's shutdown flag).  Returns the number of rounds served.
+std::size_t run_elastic_client(const FedSpec& spec, const ElasticClientOptions& options);
+
+/// Writes the run summary (final/best accuracy, per-round metered bytes and
+/// accuracy, elastic totals) as JSON — what tools/run_federation.py diffs for
+/// the parity check.  Throws std::runtime_error when the file cannot be
+/// written.
+void write_result_json(const std::string& path, const std::string& mode,
+                       const fl::RunResult& result);
+
+}  // namespace fedkemf::net

@@ -1,0 +1,196 @@
+#include "net/session.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace fedkemf::net {
+
+ClientSession::ClientSession(const Endpoint& endpoint, const Deadline& connect_deadline,
+                             FrameLimits limits, bool collect_acks)
+    : limits_(limits), collect_acks_(collect_acks) {
+  fd_ = connect_endpoint(endpoint, connect_deadline);
+}
+
+ClientSession::~ClientSession() { close(); }
+
+HelloReply ClientSession::hello(const HelloRequest& request, const Deadline& deadline) {
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.body = encode_hello(request);
+  send(frame, deadline);
+  // Single-threaded by contract at this point: read the ACK directly.
+  for (;;) {
+    Frame reply = read_frame(fd_.get(), limits_, deadline);
+    if (reply.type == FrameType::kAck) return decode_hello_reply(reply.body);
+    if (reply.type == FrameType::kBye) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      throw IoClosed("hello: server said BYE before replying");
+    }
+    throw ProtocolError("hello: expected ACK, got " + to_string(reply.type));
+  }
+}
+
+void ClientSession::pump(const Deadline& deadline) {
+  for (;;) {
+    // Parse every complete frame already buffered; stop once one landed.
+    bool delivered = false;
+    while (inbuf_.size() >= kFrameHeaderBytes) {
+      std::uint32_t crc = 0;
+      const std::size_t payload_len = decode_frame_header(
+          std::span<const std::uint8_t, kFrameHeaderBytes>(inbuf_.data(), kFrameHeaderBytes),
+          limits_, &crc);
+      if (inbuf_.size() - kFrameHeaderBytes < payload_len) break;
+      Frame frame = decode_frame_payload(
+          std::span<const std::uint8_t>(inbuf_.data() + kFrameHeaderBytes, payload_len), crc);
+      inbuf_.erase(inbuf_.begin(),
+                   inbuf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + payload_len));
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (frame.type == FrameType::kBye) {
+        closed_ = true;
+        return;
+      }
+      if (frame.type == FrameType::kAck && !collect_acks_) {
+        continue;  // unwanted bookkeeping; dropping it keeps the mailbox bounded
+      }
+      mailbox_.push_back(std::move(frame));
+      delivered = true;
+    }
+    if (delivered) return;
+
+    struct pollfd pfd {};
+    pfd.fd = fd_.get();
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (rc == 0) throw IoTimeout("session: deadline expired waiting for a frame");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("session: poll: ") + std::strerror(errno));
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) throw IoClosed("session: server closed the connection");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw IoError(std::string("session: recv: ") + std::strerror(errno));
+  }
+}
+
+std::optional<Frame> ClientSession::await(const std::function<bool(const Frame&)>& matcher,
+                                          const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = std::find_if(mailbox_.begin(), mailbox_.end(), matcher);
+    if (it != mailbox_.end()) {
+      Frame frame = std::move(*it);
+      mailbox_.erase(it);
+      return frame;
+    }
+    if (closed_) throw IoClosed("session: connection closed");
+    if (deadline.expired()) return std::nullopt;
+    if (!reader_active_) {
+      reader_active_ = true;
+      lock.unlock();
+      try {
+        pump(deadline);
+      } catch (const IoTimeout&) {
+        lock.lock();
+        reader_active_ = false;
+        cv_.notify_all();
+        return std::nullopt;
+      } catch (...) {
+        lock.lock();
+        reader_active_ = false;
+        closed_ = true;  // a malformed or dead stream is unrecoverable
+        cv_.notify_all();
+        throw;
+      }
+      lock.lock();
+      reader_active_ = false;
+      cv_.notify_all();
+      continue;
+    }
+    const int timeout_ms = deadline.poll_timeout_ms();
+    if (timeout_ms < 0) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_for(lock, std::chrono::milliseconds(std::min(timeout_ms, 100)));
+    }
+  }
+}
+
+std::optional<Frame> ClientSession::await_task(std::uint32_t round, std::uint32_t client,
+                                               const std::string& name,
+                                               const Deadline& deadline) {
+  return await(
+      [round, client, &name](const Frame& f) {
+        return f.type == FrameType::kTask && f.round == round && f.client == client &&
+               f.name == name;
+      },
+      deadline);
+}
+
+std::optional<Frame> ClientSession::next_task(std::uint32_t client, const Deadline& deadline) {
+  return await(
+      [client](const Frame& f) { return f.type == FrameType::kTask && f.client == client; },
+      deadline);
+}
+
+std::optional<Frame> ClientSession::await_ack(std::uint32_t round, std::uint32_t client,
+                                              const std::string& name,
+                                              const Deadline& deadline) {
+  return await(
+      [round, client, &name](const Frame& f) {
+        return f.type == FrameType::kAck && f.round == round && f.client == client &&
+               f.name == name;
+      },
+      deadline);
+}
+
+void ClientSession::send(const Frame& frame, const Deadline& deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw IoClosed("session: connection closed");
+  }
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
+  write_frame(fd_.get(), frame, deadline);
+}
+
+void ClientSession::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      cv_.notify_all();
+      if (fd_.valid()) fd_.reset();
+      return;
+    }
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (fd_.valid()) {
+    try {
+      std::lock_guard<std::mutex> write_lock(write_mutex_);
+      Frame bye;
+      bye.type = FrameType::kBye;
+      write_frame(fd_.get(), bye, Deadline::after(0.5));
+    } catch (...) {
+      // Best effort: the peer may already be gone.
+    }
+    fd_.reset();
+  }
+}
+
+bool ClientSession::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace fedkemf::net

@@ -1,0 +1,90 @@
+#pragma once
+
+// Blocking-socket client side of the frame protocol (fed_client).
+//
+// A ClientSession owns one connection to fed_server.  Reads are demultiplexed
+// cooperatively: any thread that needs a frame becomes the reader, parks what
+// it receives in a small mailbox, and wakes the others — so a mirror replica
+// whose round loop runs on a thread pool can await TASK frames for several
+// client ids concurrently over the single socket.  Writes are serialized by a
+// mutex so frames from different threads never interleave.
+//
+// A BYE from the server (or a closed socket) marks the session dead; every
+// pending and future await throws IoClosed.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace fedkemf::net {
+
+class ClientSession {
+ public:
+  /// Connects (retrying a not-yet-listening server until `connect_deadline`).
+  /// `collect_acks`: park UPLOAD ACKs for await_ack() — the bench needs the
+  /// round trip; replicas leave it off so unclaimed ACKs are dropped instead
+  /// of accumulating.
+  ClientSession(const Endpoint& endpoint, const Deadline& connect_deadline,
+                FrameLimits limits = {}, bool collect_acks = false);
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Registers with the server; returns its verdict.  Call once, before any
+  /// other traffic.  Throws ProtocolError / the IoError family on transport
+  /// trouble (a rejection is a *reply*, not an exception).
+  HelloReply hello(const HelloRequest& request, const Deadline& deadline);
+
+  /// Blocks until a frame matching `matcher` arrives (or the deadline —
+  /// nullopt).  Throws IoClosed once the session is dead.
+  std::optional<Frame> await(const std::function<bool(const Frame&)>& matcher,
+                             const Deadline& deadline);
+
+  /// TASK keyed (round, client, name).
+  std::optional<Frame> await_task(std::uint32_t round, std::uint32_t client,
+                                  const std::string& name, const Deadline& deadline);
+  /// Next TASK for `client`, any round — the elastic serve loop's idle wait.
+  std::optional<Frame> next_task(std::uint32_t client, const Deadline& deadline);
+  /// UPLOAD ACK keyed (round, client, name); requires collect_acks.
+  std::optional<Frame> await_ack(std::uint32_t round, std::uint32_t client,
+                                 const std::string& name, const Deadline& deadline);
+
+  /// Writes one frame (thread-safe; frames never interleave).
+  void send(const Frame& frame, const Deadline& deadline);
+
+  /// Best-effort BYE + close.  Further calls throw IoClosed.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  /// Reads until at least one complete frame is parked (or throws IoTimeout
+  /// at the deadline).  Called with the reader baton held; a timeout leaves
+  /// partial bytes buffered in inbuf_, so the stream never desyncs.
+  void pump(const Deadline& deadline);
+
+  Fd fd_;
+  FrameLimits limits_;
+  bool collect_acks_ = false;
+  std::vector<std::uint8_t> inbuf_;  ///< reader-baton-holder only
+
+  mutable std::mutex mutex_;  ///< mailbox + reader baton
+  std::condition_variable cv_;
+  std::deque<Frame> mailbox_;
+  bool reader_active_ = false;
+  bool closed_ = false;
+
+  std::mutex write_mutex_;
+};
+
+}  // namespace fedkemf::net

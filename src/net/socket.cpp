@@ -1,0 +1,289 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace fedkemf::net {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+/// Waits for `events` on `fd` up to the deadline.  Throws IoTimeout on
+/// expiry; returns normally when the fd is ready (or has an error/hup — the
+/// subsequent read/write surfaces the real condition).
+void wait_ready(int fd, short events, const Deadline& deadline, const char* op) {
+  for (;;) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (rc > 0) return;
+    if (rc == 0) {
+      throw IoTimeout(std::string(op) + ": deadline expired waiting for socket");
+    }
+    if (errno == EINTR) continue;
+    throw_errno(std::string(op) + ": poll");
+  }
+}
+
+}  // namespace
+
+Deadline Deadline::never() { return Deadline(true, 0); }
+
+Deadline Deadline::after(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  return Deadline(false, now_ns() + static_cast<std::int64_t>(seconds * 1e9));
+}
+
+bool Deadline::expired() const { return !never_ && now_ns() >= deadline_ns_; }
+
+int Deadline::poll_timeout_ms() const {
+  if (never_) return -1;
+  const std::int64_t remaining_ns = deadline_ns_ - now_ns();
+  if (remaining_ns <= 0) return 0;
+  // Round up so a 0.5 ms remainder waits 1 ms instead of busy-spinning.
+  return static_cast<int>((remaining_ns + 999'999) / 1'000'000);
+}
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void read_exact(int fd, void* buffer, std::size_t size, const Deadline& deadline) {
+  auto* out = static_cast<std::uint8_t*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    if (deadline.expired()) {
+      throw IoTimeout("read_exact: deadline expired after " + std::to_string(done) +
+                      " of " + std::to_string(size) + " bytes");
+    }
+    // MSG_DONTWAIT keeps the deadline honest on *blocking* fds too: an empty
+    // buffer yields EAGAIN and the poll below owns all waiting.
+    const ssize_t n = ::recv(fd, out + done, size - done, MSG_DONTWAIT);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      throw IoClosed("read_exact: peer closed after " + std::to_string(done) + " of " +
+                     std::to_string(size) + " bytes");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd, POLLIN, deadline, "read_exact");
+      continue;
+    }
+    throw_errno("read_exact: recv");
+  }
+}
+
+void write_all(int fd, const void* buffer, std::size_t size, const Deadline& deadline) {
+  const auto* in = static_cast<const std::uint8_t*>(buffer);
+  std::size_t done = 0;
+  while (done < size) {
+    if (deadline.expired()) {
+      throw IoTimeout("write_all: deadline expired after " + std::to_string(done) +
+                      " of " + std::to_string(size) + " bytes");
+    }
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE, not a process-killing
+    // SIGPIPE from a pool thread.  MSG_DONTWAIT: a full buffer on a blocking
+    // fd yields EAGAIN so the deadline-aware poll below owns all waiting.
+    const ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_ready(fd, POLLOUT, deadline, "write_all");
+      continue;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      throw IoClosed("write_all: peer closed after " + std::to_string(done) + " of " +
+                     std::to_string(size) + " bytes");
+    }
+    throw_errno("write_all: send");
+  }
+}
+
+Endpoint Endpoint::parse(const std::string& uri) {
+  Endpoint endpoint;
+  if (uri.rfind("unix://", 0) == 0) {
+    endpoint.kind = Kind::kUnix;
+    endpoint.path = uri.substr(7);
+    if (endpoint.path.empty()) {
+      throw std::invalid_argument("Endpoint::parse: empty unix socket path in '" + uri + "'");
+    }
+    if (endpoint.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::invalid_argument("Endpoint::parse: unix socket path too long: '" +
+                                  endpoint.path + "'");
+    }
+    return endpoint;
+  }
+  if (uri.rfind("tcp://", 0) == 0) {
+    endpoint.kind = Kind::kTcp;
+    const std::string rest = uri.substr(6);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+      throw std::invalid_argument("Endpoint::parse: expected tcp://host:port, got '" + uri +
+                                  "'");
+    }
+    endpoint.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      throw std::invalid_argument("Endpoint::parse: bad port '" + port_text + "' in '" +
+                                  uri + "'");
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+  }
+  throw std::invalid_argument(
+      "Endpoint::parse: expected tcp://host:port or unix:///path, got '" + uri + "'");
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix://" + path;
+  return "tcp://" + host + ":" + std::to_string(port);
+}
+
+namespace {
+
+sockaddr_in tcp_address(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("tcp endpoint: cannot parse IPv4 address '" + endpoint.host +
+                  "' (hostnames are not resolved; use a literal address)");
+  }
+  return addr;
+}
+
+sockaddr_un unix_address(const Endpoint& endpoint) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, endpoint.path.c_str(), sizeof(addr.sun_path) - 1);
+  return addr;
+}
+
+}  // namespace
+
+Fd listen_endpoint(const Endpoint& endpoint, int backlog) {
+  const int domain = endpoint.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  Fd fd(::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("listen_endpoint: socket");
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = tcp_address(endpoint);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("listen_endpoint: bind " + endpoint.to_string());
+    }
+  } else {
+    ::unlink(endpoint.path.c_str());  // a stale file from a crashed server
+    const sockaddr_un addr = unix_address(endpoint);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("listen_endpoint: bind " + endpoint.to_string());
+    }
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("listen_endpoint: listen " + endpoint.to_string());
+  }
+  return fd;
+}
+
+Endpoint listener_endpoint(int fd, const Endpoint& requested) {
+  if (requested.kind == Endpoint::Kind::kUnix) return requested;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  Endpoint resolved = requested;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    resolved.port = ntohs(addr.sin_port);
+  }
+  return resolved;
+}
+
+Fd connect_endpoint(const Endpoint& endpoint, const Deadline& deadline) {
+  for (;;) {
+    const int domain = endpoint.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+    Fd fd(::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) throw_errno("connect_endpoint: socket");
+    int rc;
+    if (endpoint.kind == Endpoint::Kind::kTcp) {
+      const sockaddr_in addr = tcp_address(endpoint);
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    } else {
+      const sockaddr_un addr = unix_address(endpoint);
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    }
+    if (rc == 0) {
+      set_nodelay(fd.get());
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    // The server may not be up yet: retry refused/missing endpoints until
+    // the deadline so launcher start-order doesn't matter.
+    if (errno == ECONNREFUSED || errno == ENOENT) {
+      if (deadline.expired()) {
+        throw IoTimeout("connect_endpoint: " + endpoint.to_string() +
+                        " still unreachable at deadline");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    throw_errno("connect_endpoint: connect " + endpoint.to_string());
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("set_nonblocking: fcntl");
+  }
+}
+
+void set_nodelay(int fd) {
+  int domain = 0;
+  socklen_t len = sizeof(domain);
+  if (::getsockopt(fd, SOL_SOCKET, SO_DOMAIN, &domain, &len) == 0 && domain == AF_INET) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+}
+
+}  // namespace fedkemf::net

@@ -1,0 +1,130 @@
+#pragma once
+
+// POSIX socket plumbing for the multi-process federation.
+//
+// Everything the frame protocol and the epoll server need from the OS lives
+// here: an owning fd wrapper, TCP/Unix-domain listeners and connectors behind
+// a parsed Endpoint, and the partial-I/O helpers read_exact()/write_all()
+// that the whole net layer is built on.  The helpers retry short reads and
+// writes, resume on EINTR, and enforce a per-operation deadline via poll()
+// so a stalled or malicious peer costs a bounded wait, never a hang.
+//
+// Error taxonomy: IoError (OS-level failure), IoTimeout (deadline expired
+// mid-operation) and IoClosed (peer closed with the operation incomplete)
+// all derive from IoError so callers can catch coarsely; the transports map
+// them onto the comm::Channel delivery contract (a timed-out attempt is a
+// drop, retried per RetryPolicy).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fedkemf::net {
+
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The per-operation deadline expired before the operation completed.
+class IoTimeout : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// The peer closed the connection with the operation incomplete.
+class IoClosed : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Monotonic-clock deadline for one I/O operation.  Deadline::never() waits
+/// forever; Deadline::after(0) polls without blocking.
+class Deadline {
+ public:
+  static Deadline never();
+  static Deadline after(double seconds);
+
+  [[nodiscard]] bool is_never() const { return never_; }
+  [[nodiscard]] bool expired() const;
+  /// Remaining wait as a poll(2) timeout: -1 for never, else clamped >= 0.
+  [[nodiscard]] int poll_timeout_ms() const;
+
+ private:
+  Deadline(bool never, std::int64_t deadline_ns) : never_(never), deadline_ns_(deadline_ns) {}
+
+  bool never_ = true;
+  std::int64_t deadline_ns_ = 0;
+};
+
+/// Owning file descriptor (move-only; closes on destruction).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// ---- Partial-I/O helpers ----
+
+/// Reads exactly `size` bytes into `buffer`, retrying short reads and EINTR,
+/// blocking (via poll) up to `deadline`.  Works on blocking and non-blocking
+/// fds alike.  Throws IoTimeout when the deadline passes mid-read, IoClosed
+/// when the peer closes early (the message says how many bytes arrived), and
+/// IoError on any other failure.
+void read_exact(int fd, void* buffer, std::size_t size, const Deadline& deadline);
+
+/// Writes all `size` bytes of `buffer`, retrying short writes and EINTR,
+/// blocking (via poll) up to `deadline`.  Same error taxonomy as read_exact.
+void write_all(int fd, const void* buffer, std::size_t size, const Deadline& deadline);
+
+// ---- Endpoints ----
+
+/// A listen/connect address: "tcp://host:port" or "unix:///path/to.sock".
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kUnix;
+  std::string host;  ///< TCP only
+  std::uint16_t port = 0;
+  std::string path;  ///< Unix only
+
+  /// Parses the two URI forms above; throws std::invalid_argument otherwise.
+  static Endpoint parse(const std::string& uri);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Creates a listening socket bound to `endpoint` (SO_REUSEADDR for TCP; a
+/// stale socket file is unlinked for Unix).  TCP port 0 binds an ephemeral
+/// port — read it back with listener_endpoint().  Throws IoError.
+Fd listen_endpoint(const Endpoint& endpoint, int backlog = 64);
+
+/// The bound address of a listener from listen_endpoint (resolves an
+/// ephemeral TCP port to the real one).
+Endpoint listener_endpoint(int fd, const Endpoint& requested);
+
+/// Connects to `endpoint`, retrying ECONNREFUSED/ENOENT until `deadline` (the
+/// server process may still be starting).  Returns a connected blocking fd.
+Fd connect_endpoint(const Endpoint& endpoint, const Deadline& deadline);
+
+/// Puts `fd` into non-blocking mode.  Throws IoError.
+void set_nonblocking(int fd);
+
+/// Disables Nagle on TCP sockets (no-op for Unix sockets).
+void set_nodelay(int fd);
+
+}  // namespace fedkemf::net

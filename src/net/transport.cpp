@@ -1,0 +1,148 @@
+#include "net/transport.hpp"
+
+namespace fedkemf::net {
+
+namespace {
+
+std::uint64_t leg_key(std::size_t round, std::size_t client_id) {
+  return (static_cast<std::uint64_t>(round) << 32) | static_cast<std::uint64_t>(client_id);
+}
+
+}  // namespace
+
+void screen_wire_body(const std::vector<std::uint8_t>& body) {
+  if (body.size() >= 4) {
+    const std::uint32_t magic = static_cast<std::uint32_t>(body[0]) |
+                                (static_cast<std::uint32_t>(body[1]) << 8) |
+                                (static_cast<std::uint32_t>(body[2]) << 16) |
+                                (static_cast<std::uint32_t>(body[3]) << 24);
+    if (magic != comm::kModelMagic) return;  // codec-framed; its decoder checks
+  }
+  validate_model_body(body);
+}
+
+bool ServerTransport::remote_leg(std::size_t round, std::size_t client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return remote_legs_.count(leg_key(round, client_id)) != 0;
+}
+
+void ServerTransport::mark_remote(std::size_t round, std::size_t client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  remote_legs_.insert(leg_key(round, client_id));
+}
+
+comm::Transport::Outcome ServerTransport::attempt(std::vector<std::uint8_t>& payload,
+                                                  std::size_t round, std::size_t client_id,
+                                                  comm::Direction direction,
+                                                  std::size_t attempt,
+                                                  const std::string& payload_name) {
+  if (direction == comm::Direction::kDownlink) {
+    Frame task;
+    task.type = FrameType::kTask;
+    task.round = static_cast<std::uint32_t>(round);
+    task.client = static_cast<std::uint32_t>(client_id);
+    task.name = payload_name;
+    task.body = payload;
+    const bool sent = server_.send_task(static_cast<std::uint32_t>(client_id), std::move(task));
+    if (sent) {
+      mark_remote(round, client_id);
+      return Outcome::kLocal;  // local bytes == remote bytes by lockstep
+    }
+    if (remote_leg(round, client_id)) {
+      // The owner vanished mid-round after an earlier payload reached it.
+      if (options_.strict) {
+        throw MirrorDesync("mirror: client " + std::to_string(client_id) +
+                           "'s owner disconnected mid-round " + std::to_string(round));
+      }
+      return Outcome::kDropped;
+    }
+    return Outcome::kLocal;  // nobody owns this id: a pure in-process leg
+  }
+
+  // Uplink: only legs whose downlink reached a remote owner come back over
+  // the wire; everything else stays in-process.
+  if (!remote_leg(round, client_id)) return Outcome::kLocal;
+  // Retry attempts after a timeout only poll: the peer will not re-send, so
+  // a second full wait would just burn the round's clock.
+  const Deadline deadline =
+      attempt == 0 ? Deadline::after(options_.await_timeout_seconds) : Deadline::after(0);
+  std::optional<Frame> upload = server_.await_upload(
+      static_cast<std::uint32_t>(round), static_cast<std::uint32_t>(client_id), payload_name,
+      deadline);
+  if (!upload) {
+    if (options_.strict) {
+      throw MirrorDesync("mirror: no UPLOAD for client " + std::to_string(client_id) +
+                         " round " + std::to_string(round) + " payload '" + payload_name +
+                         "' (peer lost or deadline expired)");
+    }
+    return Outcome::kDropped;
+  }
+  // Strict mode surfaces the typed ChecksumError for v1/garbage bodies — the
+  // delivery contract's promise for malformed wire payloads.  Elastic mode
+  // treats a corrupt upload like a lost one: dropped, retried, recorded.
+  try {
+    screen_wire_body(upload->body);
+  } catch (const comm::ChecksumError&) {
+    if (options_.strict) throw;
+    return Outcome::kDropped;
+  }
+  payload = std::move(upload->body);
+  return Outcome::kReplaced;
+}
+
+ClientTransport::ClientTransport(ClientSession& session, std::vector<std::size_t> owned,
+                                 TransportOptions options)
+    : session_(session), owned_(owned.begin(), owned.end()), options_(options) {}
+
+comm::Transport::Outcome ClientTransport::attempt(std::vector<std::uint8_t>& payload,
+                                                  std::size_t round, std::size_t client_id,
+                                                  comm::Direction direction,
+                                                  std::size_t attempt,
+                                                  const std::string& payload_name) {
+  if (owned_.count(client_id) == 0) return Outcome::kLocal;
+
+  if (direction == comm::Direction::kDownlink) {
+    const Deadline deadline =
+        attempt == 0 ? Deadline::after(options_.await_timeout_seconds) : Deadline::after(0);
+    std::optional<Frame> task;
+    try {
+      task = session_.await_task(static_cast<std::uint32_t>(round),
+                                 static_cast<std::uint32_t>(client_id), payload_name,
+                                 deadline);
+    } catch (const IoError& e) {
+      if (options_.strict) {
+        throw MirrorDesync(std::string("mirror: session died awaiting TASK: ") + e.what());
+      }
+      return Outcome::kDropped;
+    }
+    if (!task) {
+      if (options_.strict) {
+        throw MirrorDesync("mirror: no TASK for client " + std::to_string(client_id) +
+                           " round " + std::to_string(round) + " payload '" + payload_name +
+                           "' before the deadline");
+      }
+      return Outcome::kDropped;
+    }
+    screen_wire_body(task->body);
+    payload = std::move(task->body);
+    return Outcome::kReplaced;
+  }
+
+  Frame upload;
+  upload.type = FrameType::kUpload;
+  upload.round = static_cast<std::uint32_t>(round);
+  upload.client = static_cast<std::uint32_t>(client_id);
+  upload.name = payload_name;
+  upload.body = payload;
+  try {
+    session_.send(upload, Deadline::after(options_.await_timeout_seconds));
+  } catch (const IoError& e) {
+    if (options_.strict) {
+      throw MirrorDesync(std::string("mirror: session died sending UPLOAD: ") + e.what());
+    }
+    return Outcome::kDropped;
+  }
+  return Outcome::kLocal;
+}
+
+}  // namespace fedkemf::net

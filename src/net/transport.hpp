@@ -1,0 +1,100 @@
+#pragma once
+
+// comm::Transport implementations that carry Channel delivery attempts over
+// the frame protocol.
+//
+// Mirror mode (lockstep replication): server and every fed_client run the
+// *same* seeded run_federated, so both sides produce bit-identical payloads.
+// The transports make the byte movement real without perturbing the
+// trajectory:
+//
+//   ServerTransport   downlink of a remotely-owned client: enqueue a TASK
+//                     frame (async) and deliver the local bytes (kLocal) —
+//                     identical by construction.  Uplink: await the UPLOAD
+//                     and substitute the received wire bytes (kReplaced), so
+//                     the channel's CRC check covers the real network.
+//   ClientTransport   the dual, installed in the replica: owned downlinks
+//                     await TASK and substitute wire bytes; owned uplinks
+//                     send UPLOAD and deliver locally; unowned ids are pure
+//                     in-process legs.
+//
+// strict (mirror) mode treats a lost peer as MirrorDesync — an error type
+// the channel's retry loop and the algorithms' TransferFailed handling do
+// NOT swallow, because a desynced replica cannot be retried into coherence.
+// Elastic mode (strict = false) maps a timeout/disconnect onto
+// Transport::Outcome::kDropped instead: the channel retries per RetryPolicy
+// and eventually raises comm::TransferFailed, which the elastic round loop's
+// benign simulator absorbs as a recorded per-client failure.
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "net/server.hpp"
+#include "net/session.hpp"
+
+namespace fedkemf::net {
+
+/// A lockstep replica lost its peer (disconnect, timeout, or a payload that
+/// failed structural validation in strict mode).  Deliberately NOT a
+/// comm::TransferFailed: nothing in the round loop may catch-and-continue.
+class MirrorDesync : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct TransportOptions {
+  bool strict = true;  ///< mirror: peer loss is fatal.  false: elastic drops.
+  /// How long an uplink await (server) / downlink await (client) blocks.  The
+  /// mirror default is generous: a TASK for the round's last client arrives
+  /// only after every earlier client trained.
+  double await_timeout_seconds = 600.0;
+};
+
+class ServerTransport : public comm::Transport {
+ public:
+  ServerTransport(EpollServer& server, TransportOptions options)
+      : server_(server), options_(options) {}
+
+  Outcome attempt(std::vector<std::uint8_t>& payload, std::size_t round,
+                  std::size_t client_id, comm::Direction direction, std::size_t attempt,
+                  const std::string& payload_name) override;
+
+ private:
+  bool remote_leg(std::size_t round, std::size_t client_id) const;
+  void mark_remote(std::size_t round, std::size_t client_id);
+
+  EpollServer& server_;
+  TransportOptions options_;
+  mutable std::mutex mutex_;
+  /// (round << 32 | client) pairs whose downlink went to a live remote owner;
+  /// their uplinks must come back over the wire.
+  std::set<std::uint64_t> remote_legs_;
+};
+
+class ClientTransport : public comm::Transport {
+ public:
+  ClientTransport(ClientSession& session, std::vector<std::size_t> owned,
+                  TransportOptions options);
+
+  Outcome attempt(std::vector<std::uint8_t>& payload, std::size_t round,
+                  std::size_t client_id, comm::Direction direction, std::size_t attempt,
+                  const std::string& payload_name) override;
+
+ private:
+  ClientSession& session_;
+  std::set<std::size_t> owned_;
+  TransportOptions options_;
+};
+
+/// Structural screen applied to bytes that crossed a real socket before they
+/// reach the channel decoder: full validate_model_body for model-format
+/// payloads (magic match), pass-through for codec-framed ones (their decoder
+/// carries its own checks, and the frame CRC already covered transit).
+void screen_wire_body(const std::vector<std::uint8_t>& body);
+
+}  // namespace fedkemf::net

@@ -1,0 +1,707 @@
+// Socket-transport tests: read_exact/write_all against a dribbling
+// socketpair, frame-protocol robustness (bad magic, truncated/oversize/
+// corrupted frames, v1 model bodies) surfacing as typed errors, TrafficMeter
+// concurrency, the Channel<->Transport delivery contract, EpollServer
+// routing, and end-to-end mirror/elastic runs in one process.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include "comm/channel.hpp"
+#include "core/rng.hpp"
+#include "models/zoo.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "net/service.hpp"
+#include "net/session.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace fedkemf::net {
+namespace {
+
+// ---- Helpers ----
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+std::unique_ptr<nn::Module> tiny_model(std::uint64_t seed) {
+  core::Rng rng(seed);
+  return models::build_model(
+      models::ModelSpec{.arch = "mlp", .num_classes = 4, .in_channels = 1,
+                        .image_size = 4, .width_multiplier = 0.25},
+      rng);
+}
+
+std::string unique_socket_path(const std::string& tag) {
+  return "/tmp/fedkemf_net_test_" + tag + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+/// A small FedSpec every e2e test shares: 2 clients, 2 rounds, tiny model.
+FedSpec tiny_spec(const std::string& algorithm) {
+  FedSpec spec;
+  spec.algorithm = algorithm;
+  spec.federation.data = data::SyntheticSpec::cifar_like();
+  spec.federation.data.image_size = 8;
+  spec.federation.train_samples = 96;
+  spec.federation.test_samples = 48;
+  spec.federation.num_clients = 2;
+  spec.federation.seed = 7;
+  spec.client_model = {.arch = "cnn2",
+                       .num_classes = spec.federation.data.num_classes,
+                       .in_channels = spec.federation.data.channels,
+                       .image_size = 8,
+                       .width_multiplier = 0.25};
+  spec.knowledge_model = spec.client_model;
+  spec.local.epochs = 1;
+  spec.local.batch_size = 16;
+  spec.rounds = 2;
+  return spec;
+}
+
+// ---- read_exact / write_all (satellite: EINTR-safe short-IO helpers) ----
+
+TEST(SocketIo, ReadExactAssemblesOneByteAtATime) {
+  SocketPair pair;
+  const std::string message = "federated";
+  std::thread writer([&] {
+    for (const char c : message) {
+      ASSERT_EQ(1, ::send(pair.a, &c, 1, 0));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::vector<std::uint8_t> buffer(message.size());
+  read_exact(pair.b, buffer.data(), buffer.size(), Deadline::after(5.0));
+  writer.join();
+  EXPECT_EQ(0, std::memcmp(buffer.data(), message.data(), message.size()));
+}
+
+TEST(SocketIo, ReadExactHonorsDeadlineOnSilentPeer) {
+  SocketPair pair;
+  std::uint8_t byte = 0;
+  EXPECT_THROW(read_exact(pair.b, &byte, 1, Deadline::after(0.05)), IoTimeout);
+}
+
+TEST(SocketIo, ReadExactReportsPeerClose) {
+  SocketPair pair;
+  ::close(pair.a);
+  pair.a = -1;
+  std::uint8_t byte = 0;
+  EXPECT_THROW(read_exact(pair.b, &byte, 1, Deadline::after(1.0)), IoClosed);
+}
+
+TEST(SocketIo, WriteAllMovesLargePayloadThroughSmallBuffers) {
+  SocketPair pair;
+  std::vector<std::uint8_t> payload(1 << 20);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  std::thread writer(
+      [&] { write_all(pair.a, payload.data(), payload.size(), Deadline::after(10.0)); });
+  std::vector<std::uint8_t> received(payload.size());
+  read_exact(pair.b, received.data(), received.size(), Deadline::after(10.0));
+  writer.join();
+  EXPECT_EQ(payload, received);
+}
+
+TEST(SocketIo, EndpointParsing) {
+  const Endpoint tcp = Endpoint::parse("tcp://127.0.0.1:9000");
+  EXPECT_EQ(tcp.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 9000);
+  const Endpoint uds = Endpoint::parse("unix:///tmp/x.sock");
+  EXPECT_EQ(uds.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(uds.path, "/tmp/x.sock");
+  EXPECT_THROW(Endpoint::parse("http://nope"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("tcp://nohost"), std::invalid_argument);
+}
+
+// ---- Frame protocol robustness (satellite: typed errors, never hangs) ----
+
+Frame sample_frame() {
+  Frame frame;
+  frame.type = FrameType::kUpload;
+  frame.round = 3;
+  frame.client = 7;
+  frame.name = "model";
+  frame.scalars = {12.0, 0.05, 1.25};
+  frame.body = {1, 2, 3, 4, 5};
+  return frame;
+}
+
+TEST(FrameCodec, RoundTrip) {
+  const std::vector<std::uint8_t> wire = encode_frame(sample_frame());
+  std::uint32_t crc = 0;
+  const std::size_t payload_len = decode_frame_header(
+      std::span<const std::uint8_t, kFrameHeaderBytes>(wire.data(), kFrameHeaderBytes),
+      FrameLimits{}, &crc);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload_len);
+  const Frame decoded = decode_frame_payload(
+      std::span<const std::uint8_t>(wire.data() + kFrameHeaderBytes, payload_len), crc);
+  EXPECT_EQ(decoded.type, FrameType::kUpload);
+  EXPECT_EQ(decoded.round, 3u);
+  EXPECT_EQ(decoded.client, 7u);
+  EXPECT_EQ(decoded.name, "model");
+  EXPECT_EQ(decoded.scalars, sample_frame().scalars);
+  EXPECT_EQ(decoded.body, sample_frame().body);
+}
+
+TEST(FrameCodec, WrongMagicIsProtocolError) {
+  std::vector<std::uint8_t> wire = encode_frame(sample_frame());
+  wire[0] ^= 0xFF;
+  std::uint32_t crc = 0;
+  EXPECT_THROW(
+      decode_frame_header(
+          std::span<const std::uint8_t, kFrameHeaderBytes>(wire.data(), kFrameHeaderBytes),
+          FrameLimits{}, &crc),
+      ProtocolError);
+}
+
+TEST(FrameCodec, OversizeLengthIsProtocolError) {
+  std::vector<std::uint8_t> wire = encode_frame(sample_frame());
+  wire[4] = 0xFF;  // length field low byte
+  wire[5] = 0xFF;
+  wire[6] = 0xFF;
+  wire[7] = 0xFF;
+  std::uint32_t crc = 0;
+  EXPECT_THROW(
+      decode_frame_header(
+          std::span<const std::uint8_t, kFrameHeaderBytes>(wire.data(), kFrameHeaderBytes),
+          FrameLimits{}, &crc),
+      ProtocolError);
+}
+
+TEST(FrameCodec, CorruptPayloadFailsCrc) {
+  std::vector<std::uint8_t> wire = encode_frame(sample_frame());
+  wire.back() ^= 0x40;
+  std::uint32_t crc = 0;
+  const std::size_t payload_len = decode_frame_header(
+      std::span<const std::uint8_t, kFrameHeaderBytes>(wire.data(), kFrameHeaderBytes),
+      FrameLimits{}, &crc);
+  EXPECT_THROW(
+      decode_frame_payload(
+          std::span<const std::uint8_t>(wire.data() + kFrameHeaderBytes, payload_len), crc),
+      ProtocolError);
+}
+
+TEST(FrameCodec, ProtocolErrorIsAChecksumError) {
+  // The socket transport reports malformed bytes through the *existing*
+  // typed-error contract, so callers catch one family either way.
+  std::vector<std::uint8_t> wire = encode_frame(sample_frame());
+  wire[0] ^= 0xFF;
+  std::uint32_t crc = 0;
+  EXPECT_THROW(
+      decode_frame_header(
+          std::span<const std::uint8_t, kFrameHeaderBytes>(wire.data(), kFrameHeaderBytes),
+          FrameLimits{}, &crc),
+      comm::ChecksumError);
+}
+
+TEST(FrameCodec, TruncatedFrameOverSocketIsIoClosed) {
+  SocketPair pair;
+  const std::vector<std::uint8_t> wire = encode_frame(sample_frame());
+  // Send only half the frame, then hang up mid-payload.
+  ASSERT_EQ(static_cast<ssize_t>(wire.size() / 2),
+            ::send(pair.a, wire.data(), wire.size() / 2, 0));
+  ::close(pair.a);
+  pair.a = -1;
+  EXPECT_THROW(read_frame(pair.b, FrameLimits{}, Deadline::after(1.0)), IoClosed);
+}
+
+TEST(FrameCodec, SocketRoundTrip) {
+  SocketPair pair;
+  std::thread writer([&] { write_frame(pair.a, sample_frame(), Deadline::after(5.0)); });
+  const Frame frame = read_frame(pair.b, FrameLimits{}, Deadline::after(5.0));
+  writer.join();
+  EXPECT_EQ(frame.name, "model");
+  EXPECT_EQ(frame.body, sample_frame().body);
+}
+
+TEST(FrameCodec, HelloRoundTrip) {
+  HelloRequest request;
+  request.mode = 1;
+  request.algorithm = "fedprox";
+  request.config_digest = 0xDEADBEEFCAFEull;
+  request.owned_clients = {4, 2, 9};
+  request.rejoin = 1;
+  const HelloRequest decoded = decode_hello(encode_hello(request));
+  EXPECT_EQ(decoded.mode, 1);
+  EXPECT_EQ(decoded.algorithm, "fedprox");
+  EXPECT_EQ(decoded.config_digest, request.config_digest);
+  EXPECT_EQ(decoded.owned_clients, request.owned_clients);
+  EXPECT_EQ(decoded.rejoin, 1);
+
+  HelloReply reply;
+  reply.accepted = 0;
+  reply.current_round = 5;
+  reply.message = "digest mismatch";
+  const HelloReply round = decode_hello_reply(encode_hello_reply(reply));
+  EXPECT_EQ(round.accepted, 0);
+  EXPECT_EQ(round.current_round, 5u);
+  EXPECT_EQ(round.message, "digest mismatch");
+}
+
+// ---- Model-body screening (satellite: v1 payloads rejected over sockets) --
+
+TEST(ModelBodyScreen, AcceptsVersion2Payload) {
+  auto model = tiny_model(1);
+  EXPECT_NO_THROW(validate_model_body(comm::serialize_model(*model)));
+}
+
+TEST(ModelBodyScreen, RejectsVersion1Payload) {
+  auto model = tiny_model(1);
+  std::vector<std::uint8_t> body = comm::serialize_model(*model);
+  body[4] = 1;  // version field: v1 carries no checksum -> untrusted on a wire
+  EXPECT_THROW(validate_model_body(body), comm::ChecksumError);
+}
+
+TEST(ModelBodyScreen, RejectsOversizeTensorCount) {
+  auto model = tiny_model(1);
+  std::vector<std::uint8_t> body = comm::serialize_model(*model);
+  // Claim an absurd tensor count and recompute the CRC so only the bound
+  // check can reject it (a hostile-length guard, not a checksum catch).
+  body[12] = 0xFF;
+  body[13] = 0xFF;
+  body[14] = 0xFF;
+  body[15] = 0x7F;
+  const std::uint32_t crc =
+      core::crc32(std::span<const std::uint8_t>(body).subspan(12));
+  for (int i = 0; i < 4; ++i) body[8 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  EXPECT_THROW(validate_model_body(body), comm::ChecksumError);
+}
+
+TEST(ModelBodyScreen, RejectsFlippedBit) {
+  auto model = tiny_model(1);
+  std::vector<std::uint8_t> body = comm::serialize_model(*model);
+  body[body.size() / 2] ^= 0x10;
+  EXPECT_THROW(validate_model_body(body), comm::ChecksumError);
+}
+
+TEST(ModelBodyScreen, RejectsTruncatedBody) {
+  EXPECT_THROW(validate_model_body(std::vector<std::uint8_t>{1, 2, 3}),
+               comm::ChecksumError);
+}
+
+// ---- TrafficMeter concurrency (satellite: exercised under TSan in CI) ----
+
+TEST(TrafficMeterConcurrency, ConcurrentRecordsKeepExactTotals) {
+  comm::TrafficMeter meter;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&meter, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        meter.record({.round = t,
+                      .client_id = i % 4,
+                      .direction = i % 2 ? comm::Direction::kUplink
+                                         : comm::Direction::kDownlink,
+                      .bytes = 10,
+                      .payload = "model"});
+      }
+    });
+  }
+  // Concurrent readers must never tear or crash (relaxed totals are fine).
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)meter.total_bytes();
+      (void)meter.num_transfers();
+    }
+  });
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(meter.total_bytes(), kThreads * kPerThread * 10);
+  EXPECT_EQ(meter.num_transfers(), kThreads * kPerThread);
+  EXPECT_EQ(meter.uplink_bytes() + meter.downlink_bytes(), meter.total_bytes());
+  EXPECT_EQ(meter.records().size(), kThreads * kPerThread);
+}
+
+// ---- Channel <-> Transport delivery contract ----
+
+class ScriptedTransport : public comm::Transport {
+ public:
+  explicit ScriptedTransport(Outcome outcome) : outcome_(outcome) {}
+  std::vector<std::uint8_t> replacement;
+  std::size_t calls = 0;
+
+  Outcome attempt(std::vector<std::uint8_t>& payload, std::size_t, std::size_t,
+                  comm::Direction, std::size_t, const std::string&) override {
+    ++calls;
+    if (outcome_ == Outcome::kReplaced) payload = replacement;
+    return outcome_;
+  }
+
+ private:
+  Outcome outcome_;
+};
+
+TEST(ChannelTransport, ReplacedBytesReachTheDestinationAndTheMeter) {
+  auto src = tiny_model(1);
+  auto dst = tiny_model(2);
+  auto other = tiny_model(3);
+  comm::TrafficMeter meter;
+  comm::Channel channel(&meter);
+  ScriptedTransport transport(comm::Transport::Outcome::kReplaced);
+  transport.replacement = comm::serialize_model(*other);
+  channel.set_transport(&transport);
+  channel.transfer(*src, *dst, 0, 0, comm::Direction::kUplink, "model");
+  channel.set_transport(nullptr);
+  // dst now holds `other`'s weights (the wire bytes), not src's.
+  EXPECT_EQ(comm::serialize_model(*dst), comm::serialize_model(*other));
+  // The meter accounted the bytes that actually crossed the wire.
+  EXPECT_EQ(meter.total_bytes(), transport.replacement.size());
+}
+
+TEST(ChannelTransport, PersistentDropExhaustsRetriesAsTransferFailed) {
+  auto src = tiny_model(1);
+  auto dst = tiny_model(2);
+  comm::TrafficMeter meter;
+  comm::Channel channel(&meter);
+  comm::RetryPolicy retry;
+  retry.max_attempts = 3;
+  channel.set_retry_policy(retry);
+  ScriptedTransport transport(comm::Transport::Outcome::kDropped);
+  channel.set_transport(&transport);
+  EXPECT_THROW(channel.transfer(*src, *dst, 0, 0, comm::Direction::kUplink, "model"),
+               comm::TransferFailed);
+  channel.set_transport(nullptr);
+  EXPECT_EQ(transport.calls, 3u);
+}
+
+// ---- EpollServer routing ----
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = unique_socket_path(::testing::UnitTest::GetInstance()
+                                   ->current_test_info()
+                                   ->name());
+    server_ = std::make_unique<EpollServer>(Endpoint::parse("unix://" + path_));
+    server_->start();
+  }
+  void TearDown() override {
+    server_->stop();
+    ::unlink(path_.c_str());
+  }
+
+  std::unique_ptr<ClientSession> connect(std::uint32_t id, bool collect_acks = false) {
+    auto session = std::make_unique<ClientSession>(Endpoint::parse("unix://" + path_),
+                                                   Deadline::after(5.0), FrameLimits{},
+                                                   collect_acks);
+    HelloRequest request;
+    request.owned_clients = {id};
+    const HelloReply reply = session->hello(request, Deadline::after(5.0));
+    EXPECT_TRUE(reply.accepted);
+    return session;
+  }
+
+  std::string path_;
+  std::unique_ptr<EpollServer> server_;
+};
+
+TEST_F(ServerFixture, EarlyUploadIsParkedUntilAwaited) {
+  auto session = connect(0);
+  Frame upload;
+  upload.type = FrameType::kUpload;
+  upload.round = 0;
+  upload.client = 0;
+  upload.name = "model";
+  upload.body = {9, 9, 9};
+  session->send(upload, Deadline::after(5.0));
+  // The upload arrives before anyone asks for it; await must still claim it.
+  const std::optional<Frame> claimed =
+      server_->await_upload(0, 0, "model", Deadline::after(5.0));
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->body, upload.body);
+}
+
+TEST_F(ServerFixture, AwaitUploadTimesOutWithoutTraffic) {
+  auto session = connect(0);
+  EXPECT_FALSE(server_->await_upload(0, 0, "model", Deadline::after(0.1)).has_value());
+}
+
+TEST_F(ServerFixture, ConcurrentUploadsFromManyClientsAllArrive) {
+  constexpr std::uint32_t kClients = 6;
+  std::vector<std::thread> threads;
+  for (std::uint32_t id = 0; id < kClients; ++id) {
+    threads.emplace_back([this, id] {
+      auto session = connect(id);
+      Frame upload;
+      upload.type = FrameType::kUpload;
+      upload.round = 1;
+      upload.client = id;
+      upload.name = "model";
+      upload.body = {static_cast<std::uint8_t>(id)};
+      session->send(upload, Deadline::after(5.0));
+      // Hold the connection open until the server has claimed the upload.
+      while (server_->is_connected(id) && server_->frames_received() < 2 * kClients) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  // Barrier: await_upload treats an unregistered id as a dead owner, so wait
+  // for every HELLO before claiming.
+  EXPECT_TRUE(server_->wait_for_clients(kClients, Deadline::after(10.0)));
+  std::vector<std::optional<Frame>> claimed(kClients);
+  for (std::uint32_t id = 0; id < kClients; ++id) {
+    claimed[id] = server_->await_upload(1, id, "model", Deadline::after(10.0));
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint32_t id = 0; id < kClients; ++id) {
+    ASSERT_TRUE(claimed[id].has_value()) << "client " << id;
+    EXPECT_EQ(claimed[id]->body.front(), static_cast<std::uint8_t>(id));
+  }
+}
+
+TEST_F(ServerFixture, LateUploadsDrainViaTakeStaleUploads) {
+  auto session = connect(3);
+  Frame late;
+  late.type = FrameType::kUpload;
+  late.round = 1;
+  late.client = 3;
+  late.name = "model";
+  late.scalars = {4.0, 0.05};
+  late.body = {1};
+  session->send(late, Deadline::after(5.0));
+  // Wait for the loop to park it, then sweep as round 3 would.
+  std::vector<Frame> stale;
+  const Deadline deadline = Deadline::after(5.0);
+  while (stale.empty() && !deadline.expired()) {
+    stale = server_->take_stale_uploads(3);
+    if (stale.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale.front().round, 1u);
+  EXPECT_EQ(stale.front().client, 3u);
+  EXPECT_EQ(stale.front().scalars, late.scalars);
+  // Current-round uploads must NOT be swept.
+  EXPECT_TRUE(server_->take_stale_uploads(1).empty());
+}
+
+TEST_F(ServerFixture, MembershipEventsTrackConnectAndDisconnect) {
+  {
+    auto session = connect(5);
+    const Deadline deadline = Deadline::after(5.0);
+    while (!server_->is_connected(5) && !deadline.expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(server_->is_connected(5));
+  }  // destructor: BYE + close
+  const Deadline deadline = Deadline::after(5.0);
+  while (server_->is_connected(5) && !deadline.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::vector<MembershipEvent> events = server_->take_membership_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, MembershipEvent::Kind::kJoined);
+  EXPECT_EQ(events[0].client_id, 5u);
+  EXPECT_EQ(events[1].kind, MembershipEvent::Kind::kLeft);
+  EXPECT_EQ(events[1].client_id, 5u);
+}
+
+TEST_F(ServerFixture, ValidatorRejectionClosesAfterReasonedAck) {
+  server_->stop();
+  server_ = std::make_unique<EpollServer>(Endpoint::parse("unix://" + path_));
+  server_->set_hello_validator([](const HelloRequest&) {
+    HelloReply reply;
+    reply.accepted = 0;
+    reply.message = "wrong digest";
+    return reply;
+  });
+  server_->start();
+  ClientSession session(Endpoint::parse("unix://" + path_), Deadline::after(5.0));
+  HelloRequest request;
+  request.owned_clients = {0};
+  const HelloReply reply = session.hello(request, Deadline::after(5.0));
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_EQ(reply.message, "wrong digest");
+  EXPECT_TRUE(server_->connected_clients().empty());
+}
+
+TEST_F(ServerFixture, DuplicateOwnershipIsRejected) {
+  auto first = connect(2);
+  ClientSession second(Endpoint::parse("unix://" + path_), Deadline::after(5.0));
+  HelloRequest request;
+  request.owned_clients = {2};
+  const HelloReply reply = second.hello(request, Deadline::after(5.0));
+  EXPECT_FALSE(reply.accepted);
+}
+
+TEST_F(ServerFixture, GarbageBytesCloseTheConnectionNotTheServer) {
+  auto victim = connect(0);
+  {
+    // Raw socket spewing garbage: the loop must drop it and keep serving.
+    Fd raw = connect_endpoint(Endpoint::parse("unix://" + path_), Deadline::after(5.0));
+    std::vector<std::uint8_t> garbage(256, 0xAB);
+    write_all(raw.get(), garbage.data(), garbage.size(), Deadline::after(5.0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // The registered client still works end to end.
+  Frame upload;
+  upload.type = FrameType::kUpload;
+  upload.round = 0;
+  upload.client = 0;
+  upload.name = "model";
+  upload.body = {7};
+  victim->send(upload, Deadline::after(5.0));
+  EXPECT_TRUE(server_->await_upload(0, 0, "model", Deadline::after(5.0)).has_value());
+}
+
+// ---- Service layer ----
+
+TEST(ServiceLayer, ConfigDigestSeparatesSpecs) {
+  const FedSpec a = tiny_spec("fedavg");
+  FedSpec b = a;
+  EXPECT_EQ(config_digest(a), config_digest(b));
+  b.local.learning_rate += 1e-9;
+  EXPECT_NE(config_digest(a), config_digest(b));
+  FedSpec c = a;
+  c.algorithm = "fedprox";
+  EXPECT_NE(config_digest(a), config_digest(c));
+}
+
+TEST(ServiceLayer, MakeAlgorithmCoversAllSeven) {
+  for (const char* name :
+       {"fedavg", "fedprox", "fednova", "scaffold", "fedkemf", "feddf", "fedmd"}) {
+    FedSpec spec = tiny_spec(name);
+    EXPECT_NE(make_algorithm(spec), nullptr) << name;
+  }
+  FedSpec bogus = tiny_spec("fedavg");
+  bogus.algorithm = "fedsgd";
+  EXPECT_THROW(make_algorithm(bogus), std::invalid_argument);
+  EXPECT_TRUE(elastic_capable("fedavg"));
+  EXPECT_TRUE(elastic_capable("fednova"));
+  EXPECT_FALSE(elastic_capable("fedkemf"));
+  EXPECT_FALSE(elastic_capable("scaffold"));
+}
+
+// ---- End-to-end: mirror parity in one process ----
+
+TEST(MirrorEndToEnd, DistributedRunMatchesInProcessBitwise) {
+  const FedSpec spec = tiny_spec("fedavg");
+  const fl::RunResult reference = run_in_process(spec);
+
+  const std::string path = unique_socket_path("mirror_e2e");
+  ::unlink(path.c_str());
+  MirrorServerOptions server_options;
+  server_options.endpoint = Endpoint::parse("unix://" + path);
+  server_options.expect_clients = 1;
+  server_options.hello_wait_seconds = 30.0;
+  server_options.await_timeout_seconds = 60.0;
+  MirrorClientOptions client_options;
+  client_options.endpoint = server_options.endpoint;
+  client_options.owned = {0};
+  client_options.await_timeout_seconds = 60.0;
+
+  fl::RunResult server_result;
+  fl::RunResult client_result;
+  std::thread server([&] { server_result = run_mirror_server(spec, server_options); });
+  std::thread client([&] { client_result = run_mirror_client(spec, client_options); });
+  server.join();
+  client.join();
+  ::unlink(path.c_str());
+
+  // The acceptance bar: identical accuracy AND identical per-round metered
+  // bytes — the distributed run is indistinguishable from the simulator.
+  EXPECT_EQ(server_result.final_accuracy, reference.final_accuracy);
+  EXPECT_EQ(client_result.final_accuracy, reference.final_accuracy);
+  EXPECT_EQ(server_result.total_bytes, reference.total_bytes);
+  ASSERT_EQ(server_result.history.size(), reference.history.size());
+  for (std::size_t i = 0; i < reference.history.size(); ++i) {
+    EXPECT_EQ(server_result.history[i].round_bytes, reference.history[i].round_bytes);
+    EXPECT_EQ(server_result.history[i].accuracy, reference.history[i].accuracy);
+  }
+}
+
+TEST(MirrorEndToEnd, DigestMismatchIsRejectedAtHello) {
+  const FedSpec spec = tiny_spec("fedavg");
+  const std::string path = unique_socket_path("mirror_reject");
+  ::unlink(path.c_str());
+  MirrorServerOptions server_options;
+  server_options.endpoint = Endpoint::parse("unix://" + path);
+  server_options.expect_clients = 1;
+  server_options.hello_wait_seconds = 2.0;
+  FedSpec wrong = spec;
+  wrong.local.learning_rate *= 2;
+  MirrorClientOptions client_options;
+  client_options.endpoint = server_options.endpoint;
+  client_options.owned = {0};
+
+  std::thread server([&] {
+    // The only client is rejected, so the start barrier must time out.
+    EXPECT_THROW(run_mirror_server(spec, server_options), std::runtime_error);
+  });
+  std::thread client([&] {
+    EXPECT_THROW(run_mirror_client(wrong, client_options), std::runtime_error);
+  });
+  server.join();
+  client.join();
+  ::unlink(path.c_str());
+}
+
+// ---- End-to-end: elastic mode ----
+
+TEST(ElasticEndToEnd, TwoWorkersServeAllRounds) {
+  const FedSpec spec = tiny_spec("fedavg");
+  const std::string path = unique_socket_path("elastic_e2e");
+  ::unlink(path.c_str());
+  ElasticServerOptions server_options;
+  server_options.endpoint = Endpoint::parse("unix://" + path);
+  server_options.min_clients = 2;
+  server_options.join_wait_seconds = 30.0;
+  server_options.upload_timeout_seconds = 30.0;
+
+  fl::RunResult result;
+  std::thread server([&] { result = run_elastic_server(spec, server_options); });
+  std::vector<std::size_t> served(2);
+  std::vector<std::thread> workers;
+  for (std::size_t id = 0; id < 2; ++id) {
+    workers.emplace_back([&, id] {
+      ElasticClientOptions options;
+      options.endpoint = Endpoint::parse("unix://" + path);
+      options.client_id = id;
+      served[id] = run_elastic_client(spec, options);
+    });
+  }
+  server.join();
+  for (auto& w : workers) w.join();
+  ::unlink(path.c_str());
+
+  EXPECT_EQ(result.rounds_completed, spec.rounds);
+  EXPECT_EQ(result.total_joined, 2u);
+  EXPECT_GT(result.total_bytes, 0u);
+  EXPECT_GE(result.final_accuracy, 0.0);
+  EXPECT_EQ(served[0], spec.rounds);
+  EXPECT_EQ(served[1], spec.rounds);
+}
+
+TEST(ElasticEndToEnd, RejectsEnsembleAlgorithms) {
+  const FedSpec spec = tiny_spec("fedkemf");
+  ElasticServerOptions options;
+  options.endpoint = Endpoint::parse("unix://" + unique_socket_path("elastic_bad"));
+  EXPECT_THROW(run_elastic_server(spec, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedkemf::net

@@ -1,0 +1,98 @@
+// Federation client process.
+//
+//   mirror   a lockstep replica: runs the same seeded run_federated as the
+//            server and plays the client ids in --own over the wire.
+//   elastic  a stateless worker for --id: TASK -> local SGD -> UPLOAD until
+//            the server hangs up.  Kill and restart it (--rejoin) and the
+//            server folds the absence into churn + staleness accounting.
+//
+//   ./tools/fed_client --mode mirror --endpoint unix:///tmp/fed.sock --own 0,1,2
+//   ./tools/fed_client --mode elastic --endpoint unix:///tmp/fed.sock --id 4
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "fed_common.hpp"
+#include "fl/runner.hpp"
+
+namespace {
+
+std::vector<std::size_t> parse_id_list(const std::string& text) {
+  std::vector<std::size_t> ids;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string token =
+        text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) ids.push_back(std::stoul(token));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fedkemf;
+
+  tools::SpecFlags flags;
+  std::string mode = "mirror";
+  std::string endpoint = "unix:///tmp/fedkemf.sock";
+  std::string own = "0";
+  std::size_t id = 0;
+  bool rejoin = false;
+  double connect_timeout = 30.0;
+  double await_timeout = 600.0;
+  double train_delay = 0.0;
+  std::string results;
+
+  utils::Cli cli("fed_client", "federation client (mirror replica | elastic worker)");
+  tools::register_spec_flags(cli, flags);
+  cli.flag("mode", &mode, "mirror | elastic");
+  cli.flag("endpoint", &endpoint, "tcp://host:port or unix:///path");
+  cli.flag("own", &own, "mirror: comma-separated client ids this replica plays");
+  cli.flag("id", &id, "elastic: the single client id this worker serves");
+  cli.flag("rejoin", &rejoin, "elastic: this is a reconnect after a restart");
+  cli.flag("connect-timeout", &connect_timeout, "seconds to wait for the server socket");
+  cli.flag("await-timeout", &await_timeout, "mirror: per-await deadline seconds");
+  cli.flag("train-delay", &train_delay,
+           "elastic: artificial seconds of extra training time (straggler lever)");
+  cli.flag("results", &results, "mirror: write this replica's run summary JSON here");
+  cli.parse(argc, argv);
+
+  fl::install_shutdown_handler();
+  const net::FedSpec spec = tools::to_spec(flags);
+
+  try {
+    if (mode == "mirror") {
+      net::MirrorClientOptions options;
+      options.endpoint = net::Endpoint::parse(endpoint);
+      options.owned = parse_id_list(own);
+      options.connect_timeout_seconds = connect_timeout;
+      options.await_timeout_seconds = await_timeout;
+      const fl::RunResult result = net::run_mirror_client(spec, options);
+      std::printf("mirror replica done: rounds=%zu final_accuracy=%.17g\n",
+                  result.rounds_completed, result.final_accuracy);
+      if (!results.empty()) net::write_result_json(results, "mirror-client", result);
+    } else if (mode == "elastic") {
+      net::ElasticClientOptions options;
+      options.endpoint = net::Endpoint::parse(endpoint);
+      options.client_id = id;
+      options.rejoin = rejoin;
+      options.connect_timeout_seconds = connect_timeout;
+      options.train_delay_seconds = train_delay;
+      const std::size_t served = net::run_elastic_client(spec, options);
+      std::printf("elastic client %zu done: rounds_served=%zu\n", id, served);
+    } else {
+      std::fprintf(stderr, "fed_client: unknown --mode '%s'\n", mode.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fed_client: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+#pragma once
+
+// Shared CLI surface of fed_server / fed_client.  Both binaries must build
+// the *identical* net::FedSpec from the identical flags — HELLO carries an
+// FNV-1a digest of the spec and the server rejects any client whose flags
+// disagree, so every federation flag lives here exactly once.
+
+#include <cstddef>
+#include <string>
+
+#include "net/service.hpp"
+#include "utils/cli.hpp"
+
+namespace fedkemf::tools {
+
+struct SpecFlags {
+  std::string algorithm = "fedavg";
+  std::size_t clients = 8;
+  std::size_t rounds = 3;
+  std::size_t train_samples = 512;
+  std::size_t test_samples = 256;
+  double alpha = 0.1;
+  double sample_ratio = 1.0;
+  std::string selector = "uniform";
+  std::size_t eval_every = 1;
+  std::string arch = "cnn2";
+  std::string knowledge_arch = "cnn2";
+  double width = 0.25;
+  std::size_t image_size = 12;
+  std::size_t epochs = 1;
+  std::size_t batch = 32;
+  double lr = 0.05;
+  double fedprox_mu = 0.01;
+  double stale_alpha = 1.0;
+  std::size_t seed = 1;
+  std::size_t threads = 0;
+};
+
+inline void register_spec_flags(utils::Cli& cli, SpecFlags& f) {
+  cli.flag("algorithm", &f.algorithm,
+           "fedavg|fedprox|fednova|scaffold|fedkemf|feddf|fedmd");
+  cli.flag("clients", &f.clients, "federated client population");
+  cli.flag("rounds", &f.rounds, "communication rounds");
+  cli.flag("train-samples", &f.train_samples, "total training pool size");
+  cli.flag("test-samples", &f.test_samples, "global test set size");
+  cli.flag("alpha", &f.alpha, "Dirichlet concentration (lower = more skew)");
+  cli.flag("sample-ratio", &f.sample_ratio, "fraction of clients per round");
+  cli.flag("selector", &f.selector, "client selector (uniform|...)");
+  cli.flag("eval-every", &f.eval_every, "evaluate every N rounds");
+  cli.flag("arch", &f.arch, "client model architecture");
+  cli.flag("knowledge-arch", &f.knowledge_arch,
+           "knowledge network (fedkemf) / server student (fedmd)");
+  cli.flag("width", &f.width, "model width multiplier");
+  cli.flag("image-size", &f.image_size, "synthetic image resolution");
+  cli.flag("epochs", &f.epochs, "local epochs per round");
+  cli.flag("batch", &f.batch, "local batch size");
+  cli.flag("lr", &f.lr, "local learning rate");
+  cli.flag("fedprox-mu", &f.fedprox_mu, "FedProx proximal strength");
+  cli.flag("stale-alpha", &f.stale_alpha, "staleness discount exponent (elastic)");
+  cli.flag("seed", &f.seed, "experiment seed (must match across processes)");
+  cli.flag("threads", &f.threads, "local-training worker threads (0 = inline)");
+}
+
+inline net::FedSpec to_spec(const SpecFlags& f) {
+  net::FedSpec spec;
+  spec.algorithm = f.algorithm;
+  spec.federation.data = data::SyntheticSpec::cifar_like();
+  spec.federation.data.image_size = f.image_size;
+  spec.federation.train_samples = f.train_samples;
+  spec.federation.test_samples = f.test_samples;
+  spec.federation.num_clients = f.clients;
+  spec.federation.dirichlet_alpha = f.alpha;
+  spec.federation.seed = f.seed;
+  spec.client_model = {.arch = f.arch,
+                       .num_classes = spec.federation.data.num_classes,
+                       .in_channels = spec.federation.data.channels,
+                       .image_size = spec.federation.data.image_size,
+                       .width_multiplier = f.width};
+  spec.knowledge_model = spec.client_model;
+  spec.knowledge_model.arch = f.knowledge_arch;
+  spec.local.epochs = f.epochs;
+  spec.local.batch_size = f.batch;
+  spec.local.learning_rate = f.lr;
+  spec.rounds = f.rounds;
+  spec.sample_ratio = f.sample_ratio;
+  spec.selector = f.selector;
+  spec.eval_every = f.eval_every;
+  spec.num_threads = f.threads;
+  spec.fedprox_mu = f.fedprox_mu;
+  spec.staleness.alpha = f.stale_alpha;
+  return spec;
+}
+
+}  // namespace fedkemf::tools

@@ -1,0 +1,99 @@
+// Federation server: the aggregation side of a real multi-process run.
+//
+//   mirror    lockstep replication of the full run_federated loop; every
+//             algorithm works and a fault-free run matches the in-process
+//             simulator bit-for-bit (accuracy and per-round metered bytes).
+//   elastic   server-authoritative rounds over whatever clients are
+//             connected; disconnects map onto churn, late uploads onto the
+//             staleness buffer.  fedavg / fedprox / fednova only.
+//   reference in-process run with no sockets — the parity baseline
+//             tools/run_federation.py diffs a distributed run against.
+//
+//   ./tools/fed_server --mode mirror --endpoint unix:///tmp/fed.sock
+//       --expect-clients 2 --clients 8 --rounds 3 --results server.json
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "fed_common.hpp"
+#include "fl/runner.hpp"
+#include "utils/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fedkemf;
+
+  tools::SpecFlags flags;
+  std::string mode = "mirror";
+  std::string endpoint = "unix:///tmp/fedkemf.sock";
+  std::size_t expect_clients = 0;
+  std::size_t min_clients = 1;
+  double hello_wait = 60.0;
+  double join_wait = 60.0;
+  double upload_timeout = 30.0;
+  double await_timeout = 600.0;
+  std::string results;
+  bool quiet = false;
+
+  utils::Cli cli("fed_server", "federation server (mirror | elastic | reference)");
+  tools::register_spec_flags(cli, flags);
+  cli.flag("mode", &mode, "mirror | elastic | reference (in-process baseline)");
+  cli.flag("endpoint", &endpoint, "tcp://host:port or unix:///path");
+  cli.flag("expect-clients", &expect_clients,
+           "mirror: remote replicas to wait for before round 0");
+  cli.flag("min-clients", &min_clients, "elastic: connected clients needed per round");
+  cli.flag("hello-wait", &hello_wait, "mirror: seconds to wait for the replicas");
+  cli.flag("join-wait", &join_wait, "elastic: seconds to wait for min-clients");
+  cli.flag("upload-timeout", &upload_timeout, "elastic: per-upload deadline seconds");
+  cli.flag("await-timeout", &await_timeout, "mirror: per-await deadline seconds");
+  cli.flag("results", &results, "write the run summary JSON here");
+  cli.flag("quiet", &quiet, "suppress the history table");
+  cli.parse(argc, argv);
+
+  fl::install_shutdown_handler();
+  const net::FedSpec spec = tools::to_spec(flags);
+
+  fl::RunResult result;
+  try {
+    if (mode == "reference") {
+      result = net::run_in_process(spec);
+    } else if (mode == "mirror") {
+      net::MirrorServerOptions options;
+      options.endpoint = net::Endpoint::parse(endpoint);
+      options.expect_clients = expect_clients;
+      options.hello_wait_seconds = hello_wait;
+      options.await_timeout_seconds = await_timeout;
+      result = net::run_mirror_server(spec, options);
+    } else if (mode == "elastic") {
+      net::ElasticServerOptions options;
+      options.endpoint = net::Endpoint::parse(endpoint);
+      options.min_clients = min_clients;
+      options.join_wait_seconds = join_wait;
+      options.upload_timeout_seconds = upload_timeout;
+      result = net::run_elastic_server(spec, options);
+    } else {
+      std::fprintf(stderr, "fed_server: unknown --mode '%s'\n", mode.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fed_server: %s\n", e.what());
+    return 1;
+  }
+
+  if (!quiet) {
+    std::printf("%s\n", fl::history_table(result).to_markdown().c_str());
+  }
+  std::printf("mode=%s algorithm=%s rounds=%zu final_accuracy=%.17g total_bytes=%zu%s\n",
+              mode.c_str(), result.algorithm.c_str(), result.rounds_completed,
+              result.final_accuracy, result.total_bytes,
+              result.interrupted ? " (interrupted)" : "");
+  if (!results.empty()) {
+    try {
+      net::write_result_json(results, mode, result);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fed_server: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Launch a multi-process federation (fed_server + N fed_client) and check it.
+
+Default: a mirror run over a Unix-domain socket with one replica per client,
+diffed bit-for-bit against the in-process reference (--check-parity).
+
+    tools/run_federation.py --clients 8
+    tools/run_federation.py --clients 4 --algorithm fedkemf --rounds 2
+    tools/run_federation.py --mode elastic --clients 4 --scenario kill-restart
+    tools/run_federation.py --mode elastic --clients 4 --scenario sigterm
+
+Exit code 0 iff every launched process exited cleanly and the requested
+checks passed.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+# Federation flags forwarded verbatim to every process (server and clients
+# must agree bit-for-bit: HELLO carries a digest of these).
+SPEC_FLAGS = (
+    "algorithm clients rounds train_samples test_samples seed arch width "
+    "image_size epochs batch lr sample_ratio eval_every threads"
+).split()
+
+
+def spec_args(args):
+    out = []
+    for name in SPEC_FLAGS:
+        out += ["--" + name.replace("_", "-"), str(getattr(args, name))]
+    return out
+
+
+def wait_all(procs, timeout):
+    deadline = time.monotonic() + timeout
+    codes = []
+    for name, p in procs:
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            codes.append((name, p.wait(timeout=remaining)))
+        except subprocess.TimeoutExpired:
+            p.kill()
+            codes.append((name, "timeout"))
+    return codes
+
+
+def report(codes, logs):
+    ok = all(code == 0 for _, code in codes)
+    for name, code in codes:
+        marker = "ok" if code == 0 else f"FAILED ({code})"
+        print(f"  {name}: {marker}")
+        if code != 0 and name in logs:
+            sys.stdout.write(open(logs[name]).read())
+    return ok
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_parity(reference_path, distributed_path):
+    ref = load_json(reference_path)
+    dist = load_json(distributed_path)
+    failures = []
+    for key in ("final_accuracy", "best_accuracy", "rounds_completed", "total_bytes"):
+        if ref[key] != dist[key]:
+            failures.append(f"{key}: reference {ref[key]} != distributed {dist[key]}")
+    ref_rounds = [(r["round"], r["accuracy"], r["round_bytes"]) for r in ref["rounds"]]
+    dist_rounds = [(r["round"], r["accuracy"], r["round_bytes"]) for r in dist["rounds"]]
+    if ref_rounds != dist_rounds:
+        failures.append(f"per-round history: reference {ref_rounds} != distributed {dist_rounds}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build", help="CMake build directory")
+    ap.add_argument("--mode", default="mirror", choices=["mirror", "elastic"])
+    ap.add_argument("--endpoint", default="", help="tcp://host:port or unix:///path "
+                    "(default: a fresh unix socket in a temp dir)")
+    ap.add_argument("--scenario", default="plain",
+                    choices=["plain", "kill-restart", "sigterm"],
+                    help="elastic fault scenarios")
+    ap.add_argument("--check-parity", action=argparse.BooleanOptionalAction, default=None,
+                    help="diff against the in-process reference (default: on for mirror)")
+    ap.add_argument("--timeout", type=float, default=600.0, help="whole-run timeout seconds")
+    ap.add_argument("--train-delay", type=float, default=0.0,
+                    help="elastic: artificial per-round client delay")
+    ap.add_argument("--upload-timeout", type=float, default=30.0)
+    # Forwarded federation spec.
+    ap.add_argument("--algorithm", default="fedavg")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--rounds", type=int, default=3)
+    ap.add_argument("--train-samples", type=int, default=512)
+    ap.add_argument("--test-samples", type=int, default=256)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--arch", default="cnn2")
+    ap.add_argument("--width", type=float, default=0.25)
+    ap.add_argument("--image-size", type=int, default=12)
+    ap.add_argument("--epochs", type=int, default=1)
+    ap.add_argument("--batch", type=int, default=32)
+    ap.add_argument("--lr", type=float, default=0.05)
+    ap.add_argument("--sample-ratio", type=float, default=1.0)
+    ap.add_argument("--eval-every", type=int, default=1)
+    ap.add_argument("--threads", type=int, default=0)
+    args = ap.parse_args()
+
+    server_bin = os.path.join(args.build_dir, "tools", "fed_server")
+    client_bin = os.path.join(args.build_dir, "tools", "fed_client")
+    for binary in (server_bin, client_bin):
+        if not os.path.exists(binary):
+            sys.exit(f"error: {binary} not found (build the 'fed_server'/'fed_client' targets)")
+    if args.check_parity is None:
+        args.check_parity = args.mode == "mirror" and args.scenario == "plain"
+
+    with tempfile.TemporaryDirectory(prefix="fedkemf_") as tmp:
+        endpoint = args.endpoint or f"unix://{tmp}/fed.sock"
+        logs, procs = {}, []
+
+        def launch(name, argv):
+            log = os.path.join(tmp, name + ".log")
+            logs[name] = log
+            with open(log, "w") as f:
+                p = subprocess.Popen(argv, stdout=f, stderr=subprocess.STDOUT)
+            procs.append((name, p))
+            return p
+
+        reference_json = os.path.join(tmp, "reference.json")
+        if args.check_parity:
+            print(f"running in-process reference ({args.algorithm}, "
+                  f"{args.clients} clients, {args.rounds} rounds)...")
+            subprocess.run([server_bin, "--mode", "reference", "--quiet",
+                            "--results", reference_json] + spec_args(args), check=True)
+
+        server_json = os.path.join(tmp, "server.json")
+        if args.mode == "mirror":
+            server_argv = [server_bin, "--mode", "mirror", "--endpoint", endpoint,
+                           "--expect-clients", str(args.clients), "--quiet",
+                           "--results", server_json] + spec_args(args)
+            client_argvs = [
+                [client_bin, "--mode", "mirror", "--endpoint", endpoint,
+                 "--own", str(i)] + spec_args(args)
+                for i in range(args.clients)
+            ]
+        else:
+            server_argv = [server_bin, "--mode", "elastic", "--endpoint", endpoint,
+                           "--min-clients", str(args.clients), "--quiet",
+                           "--upload-timeout", str(args.upload_timeout),
+                           "--results", server_json] + spec_args(args)
+            client_argvs = [
+                [client_bin, "--mode", "elastic", "--endpoint", endpoint,
+                 "--id", str(i), "--train-delay", str(args.train_delay)] + spec_args(args)
+                for i in range(args.clients)
+            ]
+
+        print(f"launching {args.mode} federation: 1 server + {args.clients} clients "
+              f"over {endpoint}")
+        server = launch("server", server_argv)
+        clients = [launch(f"client{i}", argv) for i, argv in enumerate(client_argvs)]
+
+        if args.scenario == "kill-restart":
+            victim = clients[-1]
+            time.sleep(1.5)
+            if victim.poll() is None:
+                victim.kill()
+                print("  killed client (SIGKILL); restarting with --rejoin in 0.5s")
+                time.sleep(0.5)
+                launch("client-rejoin",
+                       client_argvs[-1] + ["--rejoin"])
+            else:
+                print("  warning: run finished before the kill landed; scenario was a no-op")
+        elif args.scenario == "sigterm":
+            time.sleep(1.5)
+            if server.poll() is None:
+                print("  sending SIGTERM to the server (graceful shutdown)")
+                server.send_signal(signal.SIGTERM)
+
+        codes = wait_all(procs, args.timeout)
+        # An elastic client that was deliberately SIGKILLed reports -9; that is
+        # the scenario, not a failure.  Same for workers cut off by a sigterm'd
+        # or finished server (they exit 0 via BYE handling).
+        if args.scenario == "kill-restart":
+            codes = [(n, 0 if (n == f"client{args.clients - 1}" and c == -9) else c)
+                     for n, c in codes]
+        if not report(codes, logs):
+            sys.exit("error: a federation process failed")
+
+        result = load_json(server_json)
+        print(f"distributed result: final_accuracy={result['final_accuracy']} "
+              f"total_bytes={result['total_bytes']} rounds={result['rounds_completed']}")
+
+        if args.check_parity:
+            failures = check_parity(reference_json, server_json)
+            if failures:
+                for f in failures:
+                    print("  parity FAILED:", f)
+                sys.exit("error: distributed run diverged from the in-process reference")
+            print("parity OK: distributed == in-process reference (accuracy and bytes)")
+
+        if args.scenario == "kill-restart":
+            if result["total_left"] < 1:
+                sys.exit("error: kill-restart scenario recorded no departure")
+            print(f"churn OK: joined={result['total_joined']} left={result['total_left']} "
+                  f"stale_applied={result['total_stale_applied']}")
+        elif args.scenario == "sigterm":
+            if not result["interrupted"] and result["rounds_completed"] == args.rounds:
+                print("  note: run finished before the SIGTERM landed")
+            else:
+                print(f"graceful shutdown OK: interrupted={result['interrupted']} after "
+                      f"{result['rounds_completed']} rounds")
+    print("run_federation: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
