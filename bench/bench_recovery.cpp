@@ -1,0 +1,249 @@
+// Recovery-latency bench for the hardened socket transport (PR 7 chaos
+// layer): how fast a lost client is back in the round, and what fault
+// injection costs a full elastic run.
+//
+// Part 1 — reconnect-to-first-ACK: repeatedly tear a ClientSession down and
+// time the full recovery cycle (connect + HELLO + first UPLOAD + its ACK)
+// against a live EpollServer.  This is the window during which a crashed
+// worker contributes nothing to the round, so its p50/p99 bound how much a
+// flapping client can stretch a round.
+//
+// Part 2 — elastic round wall-clock under faults: a real in-process
+// federation (run_elastic_server + two run_elastic_client workers over a
+// unix socket) swept over transport drop rates {0%, 5%, 20%}.  The metric is
+// wall-clock ns per completed round, so the JSON shows directly what the
+// retry/backoff/stale machinery charges for each fault regime.
+//
+// Metrics land in results/BENCH_recovery.json for the perf-regression gate.
+// All JSON values are time-shaped (ns), matching the gate's
+// bigger-is-a-regression convention.
+
+#include "bench_common.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "net/server.hpp"
+#include "net/service.hpp"
+#include "net/session.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double index = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(index);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = index - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// One recovery cycle: fresh connection, HELLO, one UPLOAD, block on its
+/// ACK.  Returns the elapsed nanoseconds — the time a restarted worker needs
+/// before its first contribution lands.
+double recovery_cycle(const net::Endpoint& endpoint, std::uint32_t id,
+                      const std::vector<std::uint8_t>& payload) {
+  const double started = now_seconds();
+  net::ClientSession session(endpoint, net::Deadline::after(30.0), net::FrameLimits{},
+                             /*collect_acks=*/true);
+  net::HelloRequest hello;
+  hello.mode = 1;
+  hello.algorithm = "bench";
+  hello.owned_clients = {id};
+  hello.rejoin = id > 0 ? 1 : 0;
+  session.hello(hello, net::Deadline::after(30.0));
+
+  net::Frame frame;
+  frame.type = net::FrameType::kUpload;
+  frame.round = 0;
+  frame.client = id;
+  frame.name = "recovery";
+  frame.body = payload;
+  const net::Deadline deadline = net::Deadline::after(30.0);
+  session.send(frame, deadline);
+  if (!session.await_ack(frame.round, frame.client, frame.name, deadline)) {
+    throw net::IoTimeout("bench_recovery: ACK never arrived");
+  }
+  const double elapsed = (now_seconds() - started) * 1e9;
+  session.close();
+  return elapsed;
+}
+
+/// Part 1 sweep: `cycles` measured reconnect cycles (plus warmup) against a
+/// single server.  Each cycle uses a fresh client id so a not-yet-reaped
+/// predecessor connection can never shadow the registration.
+std::vector<double> run_reconnect_sweep(std::size_t warmup, std::size_t cycles,
+                                        std::size_t payload_bytes) {
+  const net::Endpoint endpoint = net::Endpoint::parse(
+      "unix:///tmp/fedkemf_bench_recovery_" + std::to_string(::getpid()) + ".sock");
+  net::EpollServer server(endpoint);
+  server.start();
+
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 8);
+  }
+
+  std::vector<double> samples;
+  samples.reserve(cycles);
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < warmup; ++i) (void)recovery_cycle(endpoint, id++, payload);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    samples.push_back(recovery_cycle(endpoint, id++, payload));
+  }
+  (void)server.take_stale_uploads(0xFFFFFFFFu);
+  server.stop();
+  std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+struct ElasticRun {
+  double wall_seconds = 0.0;
+  std::size_t rounds = 0;
+  double accuracy = 0.0;
+};
+
+/// Part 2: one full elastic federation (server + two workers, in-process
+/// threads over a unix socket) at the given transport drop rate.
+ElasticRun run_elastic_under_faults(const net::FedSpec& spec, double drop_rate) {
+  const std::string uri = "unix:///tmp/fedkemf_bench_recovery_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(static_cast<int>(drop_rate * 100)) + ".sock";
+
+  net::ElasticServerOptions server_options;
+  server_options.endpoint = net::Endpoint::parse(uri);
+  server_options.min_clients = spec.federation.num_clients;
+  server_options.join_wait_seconds = 30.0;
+  server_options.upload_timeout_seconds = 20.0;
+  server_options.fault.drop_rate = drop_rate;
+  server_options.fault.seed = 11;
+
+  std::vector<std::thread> workers;
+  workers.reserve(spec.federation.num_clients);
+  for (std::size_t id = 0; id < spec.federation.num_clients; ++id) {
+    workers.emplace_back([&, id] {
+      net::ElasticClientOptions options;
+      options.endpoint = net::Endpoint::parse(uri);
+      options.client_id = id;
+      options.connect_timeout_seconds = 30.0;
+      (void)net::run_elastic_client(spec, options);
+    });
+  }
+
+  const double started = now_seconds();
+  const fl::RunResult result = net::run_elastic_server(spec, server_options);
+  ElasticRun run;
+  run.wall_seconds = now_seconds() - started;
+  run.rounds = result.rounds_completed;
+  run.accuracy = result.final_accuracy;
+  for (std::thread& worker : workers) worker.join();
+  return run;
+}
+
+/// The tiny elastic configuration the sweep federates: small enough that the
+/// bench is transport-bound rather than SGD-bound.
+net::FedSpec recovery_spec(std::size_t rounds) {
+  net::FedSpec spec;
+  spec.algorithm = "fedavg";
+  spec.federation.data = data::SyntheticSpec::cifar_like();
+  spec.federation.data.image_size = 8;
+  spec.federation.train_samples = 96;
+  spec.federation.test_samples = 48;
+  spec.federation.num_clients = 2;
+  spec.federation.seed = 7;
+  spec.client_model = {.arch = "cnn2",
+                       .num_classes = spec.federation.data.num_classes,
+                       .in_channels = spec.federation.data.channels,
+                       .image_size = 8,
+                       .width_multiplier = 0.25};
+  spec.knowledge_model = spec.client_model;
+  spec.local.epochs = 1;
+  spec.local.batch_size = 16;
+  spec.rounds = rounds;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cycles = 50;
+  std::size_t warmup = 5;
+  std::size_t payload_bytes = 4096;
+  std::size_t rounds = 3;
+  std::string csv_dir = "results";
+
+  utils::Cli cli("bench_recovery",
+                 "reconnect-to-first-ACK latency and elastic round cost under faults");
+  cli.flag("cycles", &cycles, "measured reconnect cycles");
+  cli.flag("warmup", &warmup, "untimed warmup cycles");
+  cli.flag("payload-bytes", &payload_bytes, "UPLOAD body size per cycle");
+  cli.flag("rounds", &rounds, "federated rounds per elastic sweep point");
+  cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
+  cli.parse(argc, argv);
+
+  BenchReport report("recovery");
+
+  // ---- Part 1: reconnect-to-first-ACK ----
+  std::vector<double> sorted = run_reconnect_sweep(warmup, cycles, payload_bytes);
+  const double p50 = percentile(sorted, 0.50);
+  const double p99 = percentile(sorted, 0.99);
+  const double worst = sorted.empty() ? 0.0 : sorted.back();
+
+  utils::Table reconnect_table({"Cycles", "p50", "p99", "max"});
+  char p50_text[32], p99_text[32], max_text[32];
+  std::snprintf(p50_text, sizeof(p50_text), "%.1f us", p50 / 1e3);
+  std::snprintf(p99_text, sizeof(p99_text), "%.1f us", p99 / 1e3);
+  std::snprintf(max_text, sizeof(max_text), "%.1f us", worst / 1e3);
+  reconnect_table.row()
+      .cell(std::to_string(cycles))
+      .cell(p50_text)
+      .cell(p99_text)
+      .cell(max_text);
+  emit("Reconnect-to-first-ACK latency (" + std::to_string(payload_bytes) +
+           "-byte first upload)",
+       reconnect_table, csv_dir.empty() ? "" : csv_dir + "/recovery_reconnect.csv");
+  report.add("recovery/reconnect_ack/p50", p50, "ns");
+  report.add("recovery/reconnect_ack/p99", p99, "ns");
+
+  // ---- Part 2: elastic round wall-clock vs injected drop rate ----
+  const net::FedSpec spec = recovery_spec(rounds);
+  utils::Table elastic_table({"Drop rate", "Rounds", "Wall s", "s/round", "Accuracy"});
+  const std::vector<std::pair<double, std::string>> sweep = {
+      {0.00, "fault0"}, {0.05, "fault5"}, {0.20, "fault20"}};
+  for (const auto& [rate, label] : sweep) {
+    const ElasticRun run = run_elastic_under_faults(spec, rate);
+    const double per_round =
+        run.rounds == 0 ? 0.0 : run.wall_seconds / static_cast<double>(run.rounds);
+    char rate_text[32], wall_text[32], round_text[32], acc_text[32];
+    std::snprintf(rate_text, sizeof(rate_text), "%.0f%%", rate * 100.0);
+    std::snprintf(wall_text, sizeof(wall_text), "%.2f", run.wall_seconds);
+    std::snprintf(round_text, sizeof(round_text), "%.2f", per_round);
+    std::snprintf(acc_text, sizeof(acc_text), "%.4f", run.accuracy);
+    elastic_table.row()
+        .cell(rate_text)
+        .cell(std::to_string(run.rounds))
+        .cell(wall_text)
+        .cell(round_text)
+        .cell(acc_text);
+    report.add("recovery/round_wall/" + label, per_round * 1e9, "ns");
+  }
+  emit("Elastic round wall-clock vs injected transport drop rate (" +
+           std::to_string(rounds) + " rounds, 2 workers)",
+       elastic_table, csv_dir.empty() ? "" : csv_dir + "/recovery_elastic.csv");
+
+  report.write(csv_dir.empty() ? "results" : csv_dir);
+  return 0;
+}

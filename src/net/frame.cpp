@@ -21,6 +21,24 @@ void store_u32(std::uint8_t* p, std::uint32_t v) {
   p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data, std::uint64_t h) {
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 std::string to_string(FrameType type) {
@@ -30,14 +48,80 @@ std::string to_string(FrameType type) {
     case FrameType::kUpload: return "UPLOAD";
     case FrameType::kAck: return "ACK";
     case FrameType::kBye: return "BYE";
+    case FrameType::kPing: return "PING";
+    case FrameType::kPong: return "PONG";
   }
   return "frame type " + std::to_string(static_cast<int>(type));
 }
 
-std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+FrameKey derive_frame_key(const std::string& passphrase) {
+  // Two FNV-1a streams with distinct tweak bytes fold the passphrase into
+  // 128 deterministic key bits.  Not a KDF for adversarial offline attacks;
+  // good enough to key the per-frame MAC between trusted processes.
+  std::vector<std::uint8_t> bytes(passphrase.begin(), passphrase.end());
+  bytes.push_back(0x00);
+  const std::uint64_t k0 = fnv1a64(bytes, 0xcbf29ce484222325ull);
+  bytes.back() = 0x01;
+  const std::uint64_t k1 = fnv1a64(bytes, 0x9ae16a3b2f90404full);
+  FrameKey key;
+  store_u64(key.data(), k0);
+  store_u64(key.data() + 8, k1);
+  return key;
+}
+
+std::uint64_t siphash24(const FrameKey& key, std::span<const std::uint8_t> data) {
+  const std::uint64_t k0 = load_u64(key.data());
+  const std::uint64_t k1 = load_u64(key.data() + 8);
+  std::uint64_t v0 = 0x736f6d6570736575ull ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dull ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ull ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ull ^ k1;
+  const auto rotl = [](std::uint64_t x, int b) { return (x << b) | (x >> (64 - b)); };
+  const auto sipround = [&] {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  };
+  const std::size_t full = data.size() - data.size() % 8;
+  for (std::size_t i = 0; i < full; i += 8) {
+    const std::uint64_t m = load_u64(data.data() + i);
+    v3 ^= m;
+    sipround();
+    sipround();
+    v0 ^= m;
+  }
+  std::uint64_t tail = static_cast<std::uint64_t>(data.size() & 0xff) << 56;
+  for (std::size_t i = full; i < data.size(); ++i) {
+    tail |= static_cast<std::uint64_t>(data[i]) << (8 * (i - full));
+  }
+  v3 ^= tail;
+  sipround();
+  sipround();
+  v0 ^= tail;
+  v2 ^= 0xff;
+  sipround();
+  sipround();
+  sipround();
+  sipround();
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame, const FrameKey* key) {
   core::ByteWriter writer;
   writer.write_u8(static_cast<std::uint8_t>(frame.type));
-  writer.write_u8(frame.flags);
+  writer.write_u8(key != nullptr ? static_cast<std::uint8_t>(frame.flags | kFlagAuthTag)
+                                 : frame.flags);
   writer.write_u32(frame.round);
   writer.write_u32(frame.client);
   writer.write_string(frame.name);
@@ -47,11 +131,15 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   writer.write_bytes(frame.body);
   const std::vector<std::uint8_t> payload = writer.take();
 
-  std::vector<std::uint8_t> out(kFrameHeaderBytes + payload.size());
+  const std::size_t tag_bytes = key != nullptr ? kFrameTagBytes : 0;
+  std::vector<std::uint8_t> out(kFrameHeaderBytes + payload.size() + tag_bytes);
   store_u32(out.data(), kFrameMagic);
-  store_u32(out.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  store_u32(out.data() + 4, static_cast<std::uint32_t>(payload.size() + tag_bytes));
   store_u32(out.data() + 8, core::crc32(payload));
   std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  if (key != nullptr) {
+    store_u64(out.data() + kFrameHeaderBytes + payload.size(), siphash24(*key, payload));
+  }
   return out;
 }
 
@@ -87,7 +175,7 @@ Frame decode_frame_payload(std::span<const std::uint8_t> payload,
     Frame frame;
     const std::uint8_t type = reader.read_u8();
     if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-        type > static_cast<std::uint8_t>(FrameType::kBye)) {
+        type > static_cast<std::uint8_t>(FrameType::kPong)) {
       throw ProtocolError("frame: unknown type " + std::to_string(type));
     }
     frame.type = static_cast<FrameType>(type);
@@ -123,20 +211,44 @@ Frame decode_frame_payload(std::span<const std::uint8_t> payload,
   }
 }
 
-Frame read_frame(int fd, const FrameLimits& limits, const Deadline& deadline) {
+Frame decode_frame_body(std::span<const std::uint8_t> body, std::uint32_t expected_crc,
+                        const FrameKey* key) {
+  if (body.size() >= 2 && (body[1] & kFlagAuthTag) != 0) {
+    if (key == nullptr) {
+      throw AuthError(
+          "frame: peer sent an authenticated frame but no pre-shared key is configured");
+    }
+    if (body.size() < 2 + kFrameTagBytes) {
+      throw AuthError("frame: authenticated frame of " + std::to_string(body.size()) +
+                      " bytes is too short to carry a tag");
+    }
+    const std::span<const std::uint8_t> payload = body.first(body.size() - kFrameTagBytes);
+    const std::uint64_t expected_tag = load_u64(body.data() + payload.size());
+    if (siphash24(*key, payload) != expected_tag) {
+      throw AuthError(
+          "frame: authentication tag mismatch (tampered frame or wrong pre-shared key)");
+    }
+    return decode_frame_payload(payload, expected_crc);
+  }
+  return decode_frame_payload(body, expected_crc);
+}
+
+Frame read_frame(int fd, const FrameLimits& limits, const Deadline& deadline,
+                 const FrameKey* key) {
   std::uint8_t header[kFrameHeaderBytes];
   read_exact(fd, header, sizeof(header), deadline);
   std::uint32_t crc = 0;
   const std::size_t length =
       decode_frame_header(std::span<const std::uint8_t, kFrameHeaderBytes>(header), limits,
                           &crc);
-  std::vector<std::uint8_t> payload(length);
-  if (length > 0) read_exact(fd, payload.data(), length, deadline);
-  return decode_frame_payload(payload, crc);
+  std::vector<std::uint8_t> body(length);
+  if (length > 0) read_exact(fd, body.data(), length, deadline);
+  return decode_frame_body(body, crc, key);
 }
 
-void write_frame(int fd, const Frame& frame, const Deadline& deadline) {
-  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+void write_frame(int fd, const Frame& frame, const Deadline& deadline,
+                 const FrameKey* key) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame, key);
   write_all(fd, bytes.data(), bytes.size(), deadline);
 }
 

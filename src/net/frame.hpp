@@ -18,15 +18,25 @@
 // Frame types: HELLO (client registration: owned ids + config digest),
 // TASK (server -> client: a model payload to train against), UPLOAD
 // (client -> server: the trained model payload + bookkeeping scalars),
-// ACK (handshake replies), BYE (orderly goodbye).  TASK/UPLOAD bodies are
-// the existing model wire format **version 2 only** — v1 has no checksum,
-// and bytes that crossed a real socket without one are not trusted
-// (validate_model_body rejects them with a typed ChecksumError).
+// ACK (handshake replies), BYE (orderly goodbye), PING/PONG (liveness
+// heartbeats, empty-bodied).  TASK/UPLOAD bodies are the existing model
+// wire format **version 2 only** — v1 has no checksum, and bytes that
+// crossed a real socket without one are not trusted (validate_model_body
+// rejects them with a typed ChecksumError).
+//
+// When a pre-shared key is configured, every frame additionally carries an
+// 8-byte SipHash-2-4 tag after the payload (`length` then counts payload +
+// tag, and the payload's flags byte sets kFlagAuthTag so a receiver knows
+// the tail is a tag before parsing).  The CRC still covers only the
+// payload; the tag is keyed over the same bytes, so a tampered frame whose
+// CRC was recomputed — which CRC32 cannot catch by construction — fails
+// authentication with a typed AuthError.
 //
 // Decode errors are ProtocolError, derived from comm::ChecksumError: the
 // transports surface malformed frames through the same typed-error contract
 // the in-process channel already honors (never a hang, never a crash).
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -49,18 +59,39 @@ class ProtocolError : public comm::ChecksumError {
   using comm::ChecksumError::ChecksumError;
 };
 
+/// A frame failed authentication (missing or mismatched SipHash tag).
+class AuthError : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
+};
+
 enum class FrameType : std::uint8_t {
   kHello = 1,
   kTask = 2,
   kUpload = 3,
   kAck = 4,
   kBye = 5,
+  kPing = 6,
+  kPong = 7,
 };
 
 std::string to_string(FrameType type);
 
 /// ACK flag: the HELLO was rejected; the frame name carries the reason.
 inline constexpr std::uint8_t kFlagReject = 0x1;
+/// The frame carries an 8-byte SipHash-2-4 tag after the payload.
+inline constexpr std::uint8_t kFlagAuthTag = 0x2;
+
+/// 128-bit SipHash key derived from a pre-shared passphrase.
+using FrameKey = std::array<std::uint8_t, 16>;
+/// Bytes of the per-frame authentication tag.
+inline constexpr std::size_t kFrameTagBytes = 8;
+
+/// Derives a deterministic 128-bit frame key from a passphrase.
+FrameKey derive_frame_key(const std::string& passphrase);
+
+/// SipHash-2-4 of `data` under `key` (the frame authentication MAC).
+std::uint64_t siphash24(const FrameKey& key, std::span<const std::uint8_t> data);
 
 struct FrameLimits {
   /// Upper bound on one frame's payload (64 MiB holds any model this repo
@@ -78,11 +109,14 @@ struct Frame {
   std::vector<std::uint8_t> body;
 };
 
-/// Serializes `frame` (header + CRC + payload), ready for write_all.
-std::vector<std::uint8_t> encode_frame(const Frame& frame);
+/// Serializes `frame` (header + CRC + payload), ready for write_all.  With
+/// a key, sets kFlagAuthTag in the payload flags and appends the 8-byte
+/// SipHash tag (counted by the header length).
+std::vector<std::uint8_t> encode_frame(const Frame& frame, const FrameKey* key = nullptr);
 
-/// Parses the 12-byte header; returns the payload length.  Throws
-/// ProtocolError on a bad magic or a length above `limits`.
+/// Parses the 12-byte header; returns the payload length (including the
+/// authentication tag, when present).  Throws ProtocolError on a bad magic
+/// or a length above `limits`.
 std::size_t decode_frame_header(std::span<const std::uint8_t, kFrameHeaderBytes> header,
                                 const FrameLimits& limits, std::uint32_t* crc_out);
 
@@ -90,13 +124,22 @@ std::size_t decode_frame_header(std::span<const std::uint8_t, kFrameHeaderBytes>
 /// ProtocolError on CRC mismatch, unknown type, or malformed fields.
 Frame decode_frame_payload(std::span<const std::uint8_t> payload, std::uint32_t expected_crc);
 
+/// Decodes the `length` bytes that followed a frame header: peeks the flags
+/// byte, strips + verifies the SipHash tag when kFlagAuthTag is set (throws
+/// AuthError on mismatch or when no key is configured), then CRC-checks and
+/// parses the payload like decode_frame_payload.
+Frame decode_frame_body(std::span<const std::uint8_t> body, std::uint32_t expected_crc,
+                        const FrameKey* key = nullptr);
+
 /// Reads one full frame from `fd` (blocking up to `deadline` across the
 /// whole frame).  Throws ProtocolError for malformed bytes and the IoError
 /// family for transport failures.
-Frame read_frame(int fd, const FrameLimits& limits, const Deadline& deadline);
+Frame read_frame(int fd, const FrameLimits& limits, const Deadline& deadline,
+                 const FrameKey* key = nullptr);
 
 /// Writes one frame to `fd` (blocking up to `deadline`).
-void write_frame(int fd, const Frame& frame, const Deadline& deadline);
+void write_frame(int fd, const Frame& frame, const Deadline& deadline,
+                 const FrameKey* key = nullptr);
 
 /// Validates that `body` is a structurally plausible model payload for the
 /// socket transport: wire-format magic, version exactly 2 (v1 carries no

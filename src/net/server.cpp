@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "utils/logging.hpp"
 
 namespace fedkemf::net {
@@ -18,6 +19,52 @@ namespace fedkemf::net {
 namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Recovery counters, one per fault class, so every chaos-injected failure is
+// visible in telemetry.  Function-local statics cache the registry lookup.
+obs::Counter& counter_liveness_evictions() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.liveness_evictions");
+  return c;
+}
+obs::Counter& counter_backpressure_evictions() {
+  static auto& c =
+      obs::MetricsRegistry::global().counter("net.server.backpressure_evictions");
+  return c;
+}
+obs::Counter& counter_duplicate_uploads() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.duplicate_uploads");
+  return c;
+}
+obs::Counter& counter_protocol_errors() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.protocol_errors");
+  return c;
+}
+obs::Counter& counter_auth_failures() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.auth_failures");
+  return c;
+}
+obs::Counter& counter_connections_lost() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.connections_lost");
+  return c;
+}
+obs::Counter& counter_rejoins() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.rejoins");
+  return c;
+}
+obs::Counter& counter_pings_sent() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.pings_sent");
+  return c;
+}
+obs::Counter& counter_stale_uploads() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.stale_uploads");
+  return c;
+}
 
 }  // namespace
 
@@ -49,6 +96,12 @@ EpollServer::~EpollServer() { stop(); }
 void EpollServer::set_hello_validator(HelloValidator validator) {
   validator_ = std::move(validator);
 }
+
+void EpollServer::set_heartbeat(HeartbeatOptions options) { heartbeat_ = options; }
+
+void EpollServer::set_frame_auth(const FrameKey& key) { auth_key_ = key; }
+
+void EpollServer::set_write_queue_cap(std::size_t bytes) { write_queue_cap_ = bytes; }
 
 void EpollServer::start() {
   {
@@ -107,7 +160,8 @@ bool EpollServer::send_task(std::uint32_t client_id, Frame frame) {
     if (stopping_) return false;
     if (client_owner_.find(client_id) == client_owner_.end()) return false;
   }
-  std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::vector<std::uint8_t> bytes =
+      encode_frame(frame, auth_key_ ? &*auth_key_ : nullptr);
   post([this, client_id, bytes = std::move(bytes)]() mutable {
     int fd = -1;
     {
@@ -133,6 +187,7 @@ std::optional<Frame> EpollServer::await_upload(std::uint32_t round, std::uint32_
     if (it != pending_uploads_.end()) {
       Frame frame = std::move(it->second);
       pending_uploads_.erase(it);
+      applied_upload_keys_.insert(key);  // a redelivery must never re-apply
       return frame;
     }
     if (stopping_) return std::nullopt;
@@ -180,6 +235,8 @@ std::vector<Frame> EpollServer::take_stale_uploads(std::uint32_t round) {
   std::vector<Frame> stale;
   for (auto it = pending_uploads_.begin(); it != pending_uploads_.end();) {
     if (it->second.round < round) {
+      applied_upload_keys_.insert(it->first);  // stale ingestion happens once
+      counter_stale_uploads().add(1);
       stale.push_back(std::move(it->second));
       it = pending_uploads_.erase(it);
     } else {
@@ -201,6 +258,19 @@ std::vector<MembershipEvent> EpollServer::take_membership_events() {
 std::size_t EpollServer::frames_received() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return frames_received_;
+}
+
+void EpollServer::disconnect_client(std::uint32_t client_id) {
+  post([this, client_id] {
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = client_owner_.find(client_id);
+      if (it == client_owner_.end()) return;
+      fd = it->second;
+    }
+    close_connection(fd, "forced disconnect");
+  });
 }
 
 // ---- Loop thread ----
@@ -257,12 +327,15 @@ void EpollServer::loop() {
         handle_writable(fd, *it->second);
       }
     }
+
+    run_heartbeats();
   }
 
   // Orderly goodbye: a best-effort BYE, then close everything.
   Frame bye;
   bye.type = FrameType::kBye;
-  const std::vector<std::uint8_t> bye_bytes = encode_frame(bye);
+  const std::vector<std::uint8_t> bye_bytes =
+      encode_frame(bye, auth_key_ ? &*auth_key_ : nullptr);
   for (auto& [fd, conn] : connections_) {
     [[maybe_unused]] ssize_t r =
         ::send(fd, bye_bytes.data(), bye_bytes.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
@@ -286,6 +359,8 @@ void EpollServer::handle_accept() {
     set_nodelay(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd.reset(fd);
+    conn->last_rx_ns = steady_now_ns();  // the liveness clock starts at accept
+    conn->last_ping_ns = conn->last_rx_ns;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -294,6 +369,37 @@ void EpollServer::handle_accept() {
       continue;  // conn closes via RAII
     }
     connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void EpollServer::run_heartbeats() {
+  if (!heartbeat_.enabled) return;
+  const std::int64_t now = steady_now_ns();
+  const auto timeout_ns = static_cast<std::int64_t>(heartbeat_.timeout_seconds * 1e9);
+  const auto interval_ns = static_cast<std::int64_t>(heartbeat_.interval_seconds * 1e9);
+  // Snapshot the fds first: both close_connection and a cap-evicting
+  // enqueue_output mutate connections_ under us.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    if (now - conn.last_rx_ns > timeout_ns) {
+      counter_liveness_evictions().add(1);
+      utils::log_warn("net") << "evicting fd " << fd << ": no frame for "
+                             << heartbeat_.timeout_seconds << "s (liveness timeout)";
+      close_connection(fd, "liveness timeout");
+      continue;
+    }
+    if (conn.registered && now - conn.last_ping_ns >= interval_ns) {
+      conn.last_ping_ns = now;
+      Frame ping;
+      ping.type = FrameType::kPing;
+      counter_pings_sent().add(1);
+      enqueue_output(fd, conn, encode_frame(ping, auth_key_ ? &*auth_key_ : nullptr));
+    }
   }
 }
 
@@ -329,6 +435,7 @@ void EpollServer::handle_readable(int fd, Connection& conn) {
                                                            kFrameHeaderBytes),
           limits_, &crc);
     } catch (const ProtocolError& e) {
+      counter_protocol_errors().add(1);
       utils::log_warn("net") << "closing connection: " << e.what();
       close_connection(fd, "bad frame header");
       return;
@@ -336,15 +443,30 @@ void EpollServer::handle_readable(int fd, Connection& conn) {
     if (conn.inbuf.size() - consumed - kFrameHeaderBytes < payload_len) break;
     Frame frame;
     try {
-      frame = decode_frame_payload(
+      frame = decode_frame_body(
           std::span<const std::uint8_t>(conn.inbuf.data() + consumed + kFrameHeaderBytes,
                                         payload_len),
-          crc);
+          crc, auth_key_ ? &*auth_key_ : nullptr);
+    } catch (const AuthError& e) {
+      counter_auth_failures().add(1);
+      utils::log_warn("net") << "closing connection: " << e.what();
+      close_connection(fd, "frame auth failure");
+      return;
     } catch (const ProtocolError& e) {
+      counter_protocol_errors().add(1);
       utils::log_warn("net") << "closing connection: " << e.what();
       close_connection(fd, "bad frame payload");
       return;
     }
+    if (auth_key_ && (frame.flags & kFlagAuthTag) == 0) {
+      counter_auth_failures().add(1);
+      utils::log_warn("net") << "closing connection: unauthenticated " +
+                                    to_string(frame.type) +
+                                    " frame on a server that requires a pre-shared key";
+      close_connection(fd, "unauthenticated frame");
+      return;
+    }
+    conn.last_rx_ns = steady_now_ns();  // only a parsed frame proves liveness
     consumed += kFrameHeaderBytes + payload_len;
     dispatch_frame(fd, conn, std::move(frame));
     if (connections_.find(fd) == connections_.end()) return;  // dispatch closed it
@@ -369,21 +491,46 @@ void EpollServer::dispatch_frame(int fd, Connection& conn, Frame frame) {
         close_connection(fd, "UPLOAD before HELLO");
         return;
       }
+      const std::string key = upload_key(frame.round, frame.client, frame.name);
+      bool duplicate = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        duplicate = applied_upload_keys_.count(key) != 0 ||
+                    pending_uploads_.find(key) != pending_uploads_.end();
+      }
       // ACK first (the bench measures upload -> ACK round trips), then park.
+      // A redelivered key is ACKed again — the client's retry must settle —
+      // but never re-parked, so one upload is applied at most once no matter
+      // how often the wire duplicates it.
       Frame ack;
       ack.type = FrameType::kAck;
       ack.round = frame.round;
       ack.client = frame.client;
       ack.name = frame.name;
-      enqueue_output(fd, conn, encode_frame(ack));
+      // May evict the connection (write-queue cap); `conn` is dead then, but
+      // parking below touches only the frame and the mutex-guarded map.
+      enqueue_output(fd, conn, encode_frame(ack, auth_key_ ? &*auth_key_ : nullptr));
+      if (duplicate) {
+        counter_duplicate_uploads().add(1);
+        return;
+      }
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        pending_uploads_[upload_key(frame.round, frame.client, frame.name)] =
-            std::move(frame);
+        pending_uploads_[key] = std::move(frame);
       }
       cv_.notify_all();
       return;
     }
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.round = frame.round;
+      pong.client = frame.client;
+      enqueue_output(fd, conn, encode_frame(pong, auth_key_ ? &*auth_key_ : nullptr));
+      return;
+    }
+    case FrameType::kPong:
+      return;  // liveness was refreshed when the frame parsed
     case FrameType::kBye:
       close_connection(fd, "BYE");
       return;
@@ -425,6 +572,7 @@ void EpollServer::handle_hello(int fd, Connection& conn, const Frame& frame) {
         }
       }
       if (reply.accepted) {
+        if (request.rejoin != 0) counter_rejoins().add(1);
         for (const std::uint32_t id : request.owned_clients) {
           client_owner_[id] = fd;
           membership_events_.push_back({MembershipEvent::Kind::kJoined, id,
@@ -448,12 +596,24 @@ void EpollServer::handle_hello(int fd, Connection& conn, const Frame& frame) {
   ack.type = FrameType::kAck;
   ack.flags = reply.accepted ? 0 : kFlagReject;
   ack.body = encode_hello_reply(reply);
-  enqueue_output(fd, conn, encode_frame(ack));
+  enqueue_output(fd, conn, encode_frame(ack, auth_key_ ? &*auth_key_ : nullptr));
 }
 
-void EpollServer::enqueue_output(int fd, Connection& conn, std::vector<std::uint8_t> bytes) {
+bool EpollServer::enqueue_output(int fd, Connection& conn, std::vector<std::uint8_t> bytes) {
+  conn.outq_bytes += bytes.size();
   conn.outq.push_back(std::move(bytes));
+  if (conn.outq_bytes > write_queue_cap_) {
+    // The peer reads too slowly (or not at all: SIGSTOP, slow-loris): evict
+    // instead of buffering without bound.  The churn path absorbs the loss.
+    counter_backpressure_evictions().add(1);
+    utils::log_warn("net") << "evicting fd " << fd << ": write queue of "
+                           << conn.outq_bytes << " bytes exceeds the "
+                           << write_queue_cap_ << "-byte cap";
+    close_connection(fd, "write queue overflow");
+    return false;
+  }
   handle_writable(fd, conn);  // opportunistic flush; arms EPOLLOUT if short
+  return connections_.find(fd) != connections_.end();
 }
 
 void EpollServer::handle_writable(int fd, Connection& conn) {
@@ -464,6 +624,7 @@ void EpollServer::handle_writable(int fd, Connection& conn) {
     if (n >= 0) {
       conn.out_offset += static_cast<std::size_t>(n);
       if (conn.out_offset == front.size()) {
+        conn.outq_bytes -= front.size();
         conn.outq.pop_front();
         conn.out_offset = 0;
       }
@@ -499,13 +660,14 @@ void EpollServer::close_connection(int fd, const char* why) {
   if (it == connections_.end()) return;
   ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
   if (it->second->registered) {
+    // Everything but an orderly BYE is a lost connection for telemetry.
+    if (std::strcmp(why, "BYE") != 0) counter_connections_lost().add(1);
     std::lock_guard<std::mutex> lock(mutex_);
     for (const std::uint32_t id : it->second->owned) {
       client_owner_.erase(id);
       membership_events_.push_back({MembershipEvent::Kind::kLeft, id, false});
     }
   }
-  (void)why;
   connections_.erase(it);  // Fd RAII closes the socket
   cv_.notify_all();
 }

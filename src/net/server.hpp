@@ -25,15 +25,34 @@
 // claimed later — mid-round concurrency costs no coordination.  A malformed
 // frame (bad magic, oversize length, CRC mismatch) closes that connection;
 // it never wedges the loop or the process.
+//
+// Hardening (all on the loop thread, no extra threads):
+//   heartbeats      with set_heartbeat(), the loop PINGs every registered
+//                   connection on an interval and evicts any connection —
+//                   registered or half-open — that parses no frame within
+//                   the liveness timeout (a SIGSTOP'd or partitioned client
+//                   is detected within that deadline and leaves through the
+//                   ordinary churn path)
+//   backpressure    set_write_queue_cap() bounds each connection's write
+//                   queue; a peer too slow to drain it is evicted instead of
+//                   buffering without bound (slow-loris defense)
+//   idempotency     a duplicate UPLOAD for a (round, client, name) key that
+//                   was already parked or already claimed is re-ACKed but
+//                   never re-applied, so client retries and chaos-proxy
+//                   frame duplication cannot double-count an update
+// Every recovery action increments a `net.server.*` counter in
+// obs::MetricsRegistry::global() so chaos runs can assert observability.
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +68,14 @@ struct MembershipEvent {
   Kind kind = Kind::kJoined;
   std::uint32_t client_id = 0;
   bool rejoin = false;  ///< HELLO carried the rejoin flag (kJoined only)
+};
+
+/// Liveness policy: PING registered connections every `interval_seconds`;
+/// evict any connection that parses no frame for `timeout_seconds`.
+struct HeartbeatOptions {
+  bool enabled = false;
+  double interval_seconds = 5.0;
+  double timeout_seconds = 30.0;
 };
 
 class EpollServer {
@@ -71,6 +98,17 @@ class EpollServer {
 
   /// Install before start(); not thread-safe afterwards.
   void set_hello_validator(HelloValidator validator);
+
+  /// Enables heartbeat liveness.  Install before start().
+  void set_heartbeat(HeartbeatOptions options);
+
+  /// Requires every frame to carry a valid SipHash tag under `key` and tags
+  /// every outbound frame.  Install before start().
+  void set_frame_auth(const FrameKey& key);
+
+  /// Caps each connection's queued output bytes; exceeding the cap evicts
+  /// the connection.  Install before start().
+  void set_write_queue_cap(std::size_t bytes);
 
   void start();
   /// Sends BYE to every connection, closes everything, joins the loop
@@ -111,16 +149,24 @@ class EpollServer {
   /// Total frames parsed by the loop (all types, all connections).
   std::size_t frames_received() const;
 
+  /// Forcibly closes the connection owning `client_id` (loop-thread
+  /// asynchronous; the eviction surfaces as a kLeft membership event).
+  /// Chaos lever + test hook.
+  void disconnect_client(std::uint32_t client_id);
+
  private:
   struct Connection {
     Fd fd;
     std::vector<std::uint8_t> inbuf;
     std::deque<std::vector<std::uint8_t>> outq;
     std::size_t out_offset = 0;      ///< into outq.front()
+    std::size_t outq_bytes = 0;      ///< total queued output
     bool want_write = false;         ///< EPOLLOUT armed
     bool registered = false;         ///< HELLO accepted
     bool close_after_flush = false;  ///< rejected HELLO: drain outq, then close
     std::vector<std::uint32_t> owned;
+    std::int64_t last_rx_ns = 0;    ///< steady time of the last parsed frame
+    std::int64_t last_ping_ns = 0;  ///< steady time of the last PING sent
   };
 
   void loop();
@@ -129,7 +175,10 @@ class EpollServer {
   void handle_writable(int fd, Connection& conn);
   void dispatch_frame(int fd, Connection& conn, Frame frame);
   void handle_hello(int fd, Connection& conn, const Frame& frame);
-  void enqueue_output(int fd, Connection& conn, std::vector<std::uint8_t> bytes);
+  /// Returns false when the enqueue evicted the connection (write-queue cap
+  /// or a fatal send error) — `conn` is dangling in that case.
+  bool enqueue_output(int fd, Connection& conn, std::vector<std::uint8_t> bytes);
+  void run_heartbeats();
   void close_connection(int fd, const char* why);
   void update_epoll(int fd, Connection& conn);
   void post(std::function<void()> command);  ///< run `command` on the loop thread
@@ -145,6 +194,9 @@ class EpollServer {
   Fd wake_event_;
   std::thread thread_;
   HelloValidator validator_;
+  HeartbeatOptions heartbeat_;
+  std::optional<FrameKey> auth_key_;  ///< immutable after start()
+  std::size_t write_queue_cap_ = std::numeric_limits<std::size_t>::max();
 
   // Loop-thread-only state.
   std::map<int, std::unique_ptr<Connection>> connections_;
@@ -155,8 +207,11 @@ class EpollServer {
   bool stopping_ = false;
   bool running_ = false;
   std::deque<std::function<void()>> commands_;
-  std::map<std::string, Frame> pending_uploads_;     ///< key -> parked UPLOAD
-  std::map<std::uint32_t, int> client_owner_;        ///< client id -> conn fd
+  std::map<std::string, Frame> pending_uploads_;  ///< key -> parked UPLOAD
+  /// Keys already claimed by await_upload or drained into the stale buffer:
+  /// a redelivered UPLOAD matching one is ACKed but never re-applied.
+  std::set<std::string> applied_upload_keys_;
+  std::map<std::uint32_t, int> client_owner_;  ///< client id -> conn fd
   std::vector<MembershipEvent> membership_events_;
   std::size_t frames_received_ = 0;
 };

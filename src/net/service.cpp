@@ -19,6 +19,7 @@
 #include "fl/selection.hpp"
 #include "net/session.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "utils/logging.hpp"
 #include "utils/stopwatch.hpp"
@@ -183,6 +184,7 @@ make_validator(const FedSpec& spec, std::uint8_t expected_mode) {
 fl::RunResult run_mirror_server(const FedSpec& spec, const MirrorServerOptions& options) {
   EpollServer server(options.endpoint);
   server.set_hello_validator(make_validator(spec, /*expected_mode=*/0));
+  if (!options.auth_key.empty()) server.set_frame_auth(derive_frame_key(options.auth_key));
   server.start();
   if (options.expect_clients > 0 &&
       !server.wait_for_clients(options.expect_clients,
@@ -213,8 +215,11 @@ fl::RunResult run_mirror_server(const FedSpec& spec, const MirrorServerOptions& 
 }
 
 fl::RunResult run_mirror_client(const FedSpec& spec, const MirrorClientOptions& options) {
+  std::optional<FrameKey> key;
+  if (!options.auth_key.empty()) key = derive_frame_key(options.auth_key);
   ClientSession session(options.endpoint,
-                        Deadline::after(options.connect_timeout_seconds));
+                        Deadline::after(options.connect_timeout_seconds), FrameLimits{},
+                        /*collect_acks=*/false, key ? &*key : nullptr);
   HelloRequest request;
   request.mode = 0;
   request.algorithm = spec.algorithm;
@@ -257,6 +262,13 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
 
   EpollServer server(options.endpoint);
   server.set_hello_validator(make_validator(spec, /*expected_mode=*/1));
+  server.set_heartbeat({.enabled = true,
+                        .interval_seconds = options.heartbeat_interval_seconds,
+                        .timeout_seconds = options.liveness_timeout_seconds});
+  if (!options.auth_key.empty()) server.set_frame_auth(derive_frame_key(options.auth_key));
+  if (options.write_queue_cap_bytes > 0) {
+    server.set_write_queue_cap(options.write_queue_cap_bytes);
+  }
   server.start();
 
   fl::Federation federation(spec.federation);
@@ -276,7 +288,13 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
   algorithm->set_stale_buffer(&stale_buffer);
   ServerTransport transport(server, {.strict = false,
                                      .await_timeout_seconds = options.upload_timeout_seconds});
-  federation.channel().set_transport(&transport);
+  // Optional deterministic fault injection between the channel and the wire —
+  // injected drops/corruptions exercise exactly the retry/stale paths a real
+  // lossy network would.
+  std::optional<FaultyTransport> faulty;
+  if (options.fault.enabled()) faulty.emplace(transport, options.fault);
+  federation.channel().set_transport(faulty ? static_cast<comm::Transport*>(&*faulty)
+                                            : &transport);
 
   const auto cleanup = [&] {
     federation.channel().set_transport(nullptr);
@@ -408,7 +426,22 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
   return result;
 }
 
-std::size_t run_elastic_client(const FedSpec& spec, const ElasticClientOptions& options) {
+namespace {
+
+/// One jittered reconnect wait: retry_backoff_seconds is the cumulative wait
+/// across `failures` attempts, so the delta is the failures-th wait — still a
+/// pure function of (policy, failures, seed).
+double reconnect_wait_seconds(const comm::RetryPolicy& policy, std::size_t failures,
+                              std::uint64_t seed) {
+  if (failures == 0) return 0.0;
+  return comm::retry_backoff_seconds(policy, failures, seed) -
+         comm::retry_backoff_seconds(policy, failures - 1, seed);
+}
+
+}  // namespace
+
+ElasticClientResult run_elastic_client(const FedSpec& spec,
+                                       const ElasticClientOptions& options) {
   if (options.client_id >= spec.federation.num_clients) {
     throw std::invalid_argument("elastic client: id out of range");
   }
@@ -416,82 +449,196 @@ std::size_t run_elastic_client(const FedSpec& spec, const ElasticClientOptions& 
   core::Rng model_rng = federation.root_rng().fork(0xC11E57ULL + options.client_id);
   const std::unique_ptr<nn::Module> model =
       models::build_model(spec.client_model, model_rng);
-
-  ClientSession session(options.endpoint,
-                        Deadline::after(options.connect_timeout_seconds));
-  HelloRequest request;
-  request.mode = 1;
-  request.algorithm = spec.algorithm;
-  request.config_digest = config_digest(spec);
-  request.owned_clients = {static_cast<std::uint32_t>(options.client_id)};
-  request.rejoin = options.rejoin ? 1 : 0;
-  const HelloReply reply =
-      session.hello(request, Deadline::after(options.connect_timeout_seconds));
-  if (!reply.accepted) {
-    throw std::runtime_error("elastic client: server rejected HELLO: " + reply.message);
-  }
-
   const std::vector<std::size_t>& shard = federation.client_shard(options.client_id);
-  std::size_t rounds_served = 0;
-  for (;;) {
-    if (fl::shutdown_requested()) break;
-    std::optional<Frame> task;
-    try {
-      task = session.next_task(static_cast<std::uint32_t>(options.client_id),
-                               Deadline::after(1.0));
-    } catch (const IoError&) {
-      break;  // BYE or a dead server: an orderly exit either way
-    }
-    if (!task) continue;
 
+  std::optional<FrameKey> key;
+  if (!options.auth_key.empty()) key = derive_frame_key(options.auth_key);
+
+  comm::RetryPolicy backoff;
+  backoff.backoff_seconds = options.reconnect_backoff_seconds;
+  backoff.decorrelated_jitter = true;
+  backoff.max_backoff_seconds = options.reconnect_backoff_max_seconds;
+  const std::uint64_t jitter_seed =
+      0xEC0C11E57ULL ^ static_cast<std::uint64_t>(options.client_id);
+  static auto& counter_reconnects =
+      obs::MetricsRegistry::global().counter("net.client.reconnects");
+
+  ElasticClientResult result;
+  bool registered_once = false;       // first registration failures are fatal
+  std::size_t reconnect_attempts = 0; // total budget across the whole run
+  std::size_t consecutive_failures = 0;  // drives the jittered backoff
+  bool bye = false;
+
+  while (!bye && !fl::shutdown_requested()) {
+    // ---- (Re)connect and register ----
+    std::unique_ptr<ClientSession> session;
     try {
-      comm::deserialize_model(task->body, *model);
+      session = std::make_unique<ClientSession>(
+          options.endpoint, Deadline::after(options.connect_timeout_seconds),
+          FrameLimits{}, /*collect_acks=*/false, key ? &*key : nullptr);
+      HelloRequest request;
+      request.mode = 1;
+      request.algorithm = spec.algorithm;
+      request.config_digest = config_digest(spec);
+      request.owned_clients = {static_cast<std::uint32_t>(options.client_id)};
+      request.rejoin = (options.rejoin || registered_once) ? 1 : 0;
+      const HelloReply reply =
+          session->hello(request, Deadline::after(options.connect_timeout_seconds));
+      if (!reply.accepted) {
+        if (!registered_once) {
+          // A rejected first HELLO is a configuration mismatch — retrying
+          // cannot fix it.
+          throw std::runtime_error("elastic client: server rejected HELLO: " +
+                                   reply.message);
+        }
+        // After a reset the server may still hold our dying connection and
+        // reject the id as "already owned" until liveness reaps it; that is
+        // transient, so burn a reconnect attempt and retry.
+        throw IoError("rejoin rejected: " + reply.message);
+      }
     } catch (const std::exception& e) {
-      utils::log_warn("net") << "client " << options.client_id
-                             << ": undecodable TASK body: " << e.what();
+      // IoError is the socket dying; ProtocolError is a corrupted or forged
+      // reply (the connection is equally unusable, e.g. a chaos proxy flipped
+      // a byte).  Anything else — config rejection, bad endpoint — is fatal,
+      // as is any failure before the first successful registration.
+      const bool transient =
+          dynamic_cast<const IoError*>(&e) || dynamic_cast<const ProtocolError*>(&e);
+      if (!transient || !registered_once) throw;
+      session.reset();
+      if (reconnect_attempts >= options.max_reconnects) {
+        utils::log_warn("net") << "client " << options.client_id
+                               << ": reconnect budget exhausted (" << options.max_reconnects
+                               << "): " << e.what();
+        break;
+      }
+      ++reconnect_attempts;
+      ++consecutive_failures;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          reconnect_wait_seconds(backoff, consecutive_failures, jitter_seed)));
       continue;
     }
-    const fl::LocalTrainConfig config = spec.local.at_round(task->round);
-    fl::GradHook hook;
-    std::vector<core::Tensor> anchor;
-    if (spec.algorithm == "fedprox") {
-      for (nn::Parameter* p : model->parameters()) anchor.push_back(p->value.clone());
-      const float mu = static_cast<float>(spec.fedprox_mu);
-      hook = [mu, &anchor](const std::vector<nn::Parameter*>& params) {
-        for (std::size_t i = 0; i < params.size(); ++i) {
-          float* __restrict g = params[i]->grad.data();
-          const float* __restrict w = params[i]->value.data();
-          const float* __restrict a = anchor[i].data();
-          const std::size_t n = params[i]->grad.numel();
-          for (std::size_t j = 0; j < n; ++j) g[j] += mu * (w[j] - a[j]);
-        }
-      };
+    if (registered_once) {
+      ++result.reconnects;
+      counter_reconnects.add(1);
+      utils::log_info("net") << "client " << options.client_id << ": rejoined after "
+                             << consecutive_failures + 1 << " attempt(s)";
     }
-    const fl::LocalTrainResult trained = fl::supervised_local_update(
-        *model, federation.train_set(), shard, config,
-        fl::client_stream(federation, task->round, options.client_id), hook);
-    if (options.train_delay_seconds > 0.0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(options.train_delay_seconds));
+    registered_once = true;
+    consecutive_failures = 0;
+
+    // ---- Serve until BYE, shutdown, or a lost connection ----
+    bool lost = false;
+    auto last_ping = std::chrono::steady_clock::now();
+    while (!lost) {
+      if (fl::shutdown_requested()) break;
+      // Client-side liveness: a silent server past the timeout is treated as
+      // dead (half-open TCP never errors on its own); past a third of it,
+      // probe with a PING so the silence check measures round trips, not an
+      // idle-but-healthy server.
+      const double silence = session->seconds_since_frame();
+      if (options.server_silence_timeout_seconds > 0.0) {
+        if (silence > options.server_silence_timeout_seconds) {
+          utils::log_warn("net") << "client " << options.client_id << ": server silent for "
+                                 << silence << "s, reconnecting";
+          lost = true;
+          break;
+        }
+        const auto since_ping = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - last_ping).count();
+        if (silence > options.server_silence_timeout_seconds / 3.0 &&
+            since_ping > options.server_silence_timeout_seconds / 3.0) {
+          Frame ping;
+          ping.type = FrameType::kPing;
+          ping.client = static_cast<std::uint32_t>(options.client_id);
+          try {
+            session->send(ping, Deadline::after(5.0));
+          } catch (const IoError&) {
+            lost = true;
+            break;
+          }
+          last_ping = std::chrono::steady_clock::now();
+        }
+      }
+
+      std::optional<Frame> task;
+      try {
+        task = session->next_task(static_cast<std::uint32_t>(options.client_id),
+                                  Deadline::after(1.0));
+      } catch (const IoError&) {
+        lost = true;
+        break;
+      } catch (const ProtocolError&) {
+        // A corrupted inbound frame poisons the stream: reconnect rather
+        // than guess where the next frame boundary is.
+        lost = true;
+        break;
+      }
+      if (!task) continue;
+
+      try {
+        comm::deserialize_model(task->body, *model);
+      } catch (const std::exception& e) {
+        utils::log_warn("net") << "client " << options.client_id
+                               << ": undecodable TASK body: " << e.what();
+        continue;
+      }
+      const fl::LocalTrainConfig config = spec.local.at_round(task->round);
+      fl::GradHook hook;
+      std::vector<core::Tensor> anchor;
+      if (spec.algorithm == "fedprox") {
+        for (nn::Parameter* p : model->parameters()) anchor.push_back(p->value.clone());
+        const float mu = static_cast<float>(spec.fedprox_mu);
+        hook = [mu, &anchor](const std::vector<nn::Parameter*>& params) {
+          for (std::size_t i = 0; i < params.size(); ++i) {
+            float* __restrict g = params[i]->grad.data();
+            const float* __restrict w = params[i]->value.data();
+            const float* __restrict a = anchor[i].data();
+            const std::size_t n = params[i]->grad.numel();
+            for (std::size_t j = 0; j < n; ++j) g[j] += mu * (w[j] - a[j]);
+          }
+        };
+      }
+      const fl::LocalTrainResult trained = fl::supervised_local_update(
+          *model, federation.train_set(), shard, config,
+          fl::client_stream(federation, task->round, options.client_id), hook);
+      if (options.train_delay_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.train_delay_seconds));
+      }
+
+      Frame upload;
+      upload.type = FrameType::kUpload;
+      upload.round = task->round;
+      upload.client = static_cast<std::uint32_t>(options.client_id);
+      upload.name = task->name;
+      upload.scalars = {static_cast<double>(trained.steps), config.learning_rate,
+                        trained.mean_loss};
+      upload.body = comm::serialize_model(*model);
+      try {
+        session->send(upload, Deadline::after(30.0));
+      } catch (const IoError&) {
+        lost = true;
+        break;
+      }
+      ++result.rounds_served;
     }
 
-    Frame upload;
-    upload.type = FrameType::kUpload;
-    upload.round = task->round;
-    upload.client = static_cast<std::uint32_t>(options.client_id);
-    upload.name = task->name;
-    upload.scalars = {static_cast<double>(trained.steps), config.learning_rate,
-                      trained.mean_loss};
-    upload.body = comm::serialize_model(*model);
-    try {
-      session.send(upload, Deadline::after(30.0));
-    } catch (const IoError&) {
-      break;
+    if (session->bye_received()) bye = true;
+    session->close();
+    if (bye || fl::shutdown_requested()) break;
+    if (lost) {
+      if (reconnect_attempts >= options.max_reconnects) {
+        utils::log_warn("net") << "client " << options.client_id
+                               << ": connection lost and reconnect budget exhausted";
+        break;
+      }
+      ++reconnect_attempts;
+      ++consecutive_failures;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          reconnect_wait_seconds(backoff, consecutive_failures, jitter_seed)));
     }
-    ++rounds_served;
   }
-  session.close();
-  return rounds_served;
+  return result;
 }
 
 void write_result_json(const std::string& path, const std::string& mode,
@@ -514,6 +661,21 @@ void write_result_json(const std::string& path, const std::string& mode,
   out << "  \"total_joined\": " << result.total_joined << ",\n";
   out << "  \"total_left\": " << result.total_left << ",\n";
   out << "  \"total_stale_applied\": " << result.total_stale_applied << ",\n";
+  out << "  \"total_dropped\": " << result.total_dropped << ",\n";
+  // Robustness observability: every net.* counter this process recorded, so
+  // the chaos harness can assert each injected fault class produced its
+  // detection/recovery signal.
+  out << "  \"net_counters\": {";
+  {
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    bool first = true;
+    for (const auto& counter : snap.counters) {
+      if (counter.name.rfind("net.", 0) != 0) continue;
+      out << (first ? "" : ", ") << "\"" << counter.name << "\": " << counter.value;
+      first = false;
+    }
+  }
+  out << "},\n";
   out << "  \"rounds\": [\n";
   for (std::size_t i = 0; i < result.history.size(); ++i) {
     const fl::RoundRecord& record = result.history[i];

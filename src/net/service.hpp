@@ -38,6 +38,7 @@
 #include "fl/metrics.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 
 namespace fedkemf::net {
 
@@ -83,6 +84,7 @@ struct MirrorServerOptions {
   std::size_t expect_clients = 0;  ///< remote client ids to wait for before round 0
   double hello_wait_seconds = 60.0;
   double await_timeout_seconds = 600.0;
+  std::string auth_key;  ///< non-empty: require SipHash-tagged frames
 };
 
 fl::RunResult run_mirror_server(const FedSpec& spec, const MirrorServerOptions& options);
@@ -92,6 +94,7 @@ struct MirrorClientOptions {
   std::vector<std::size_t> owned;  ///< client ids this replica plays
   double connect_timeout_seconds = 30.0;
   double await_timeout_seconds = 600.0;
+  std::string auth_key;  ///< must match the server's
 };
 
 fl::RunResult run_mirror_client(const FedSpec& spec, const MirrorClientOptions& options);
@@ -101,6 +104,14 @@ struct ElasticServerOptions {
   std::size_t min_clients = 1;        ///< wait for this many before each round
   double join_wait_seconds = 60.0;    ///< give up when nobody shows up for this long
   double upload_timeout_seconds = 30.0;
+  /// Heartbeat liveness: PING every interval, evict after the timeout.
+  double heartbeat_interval_seconds = 2.0;
+  double liveness_timeout_seconds = 20.0;
+  /// Per-connection write-queue cap (slow-client eviction); 0 = unbounded.
+  std::size_t write_queue_cap_bytes = 256ull << 20;
+  std::string auth_key;  ///< non-empty: require SipHash-tagged frames
+  /// Deterministic transport-level fault injection (FaultyTransport wrap).
+  FaultyTransportOptions fault;
 };
 
 fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions& options);
@@ -112,11 +123,29 @@ struct ElasticClientOptions {
   double connect_timeout_seconds = 30.0;
   /// Artificial per-round training delay — the straggler lever for tests.
   double train_delay_seconds = 0.0;
+  /// Auto-reconnect: after a lost connection (anything but an orderly BYE)
+  /// the worker retries with decorrelated-jitter backoff and rejoins through
+  /// the churn path.  0 disables reconnecting (PR 6 behavior).
+  std::size_t max_reconnects = 16;
+  double reconnect_backoff_seconds = 0.1;   ///< base of the jittered backoff
+  double reconnect_backoff_max_seconds = 2.0;
+  /// Treat the server as dead when no frame (heartbeats included) arrives
+  /// for this long, and reconnect.
+  double server_silence_timeout_seconds = 30.0;
+  std::string auth_key;  ///< must match the server's
+};
+
+/// What an elastic worker did before exiting.
+struct ElasticClientResult {
+  std::size_t rounds_served = 0;
+  std::size_t reconnects = 0;  ///< successful re-registrations after a loss
 };
 
 /// Serves TASK->train->UPLOAD until the server says BYE (or SIGTERM via the
-/// runner's shutdown flag).  Returns the number of rounds served.
-std::size_t run_elastic_client(const FedSpec& spec, const ElasticClientOptions& options);
+/// runner's shutdown flag), transparently reconnecting through the rejoin /
+/// churn path when the connection is lost mid-run.
+ElasticClientResult run_elastic_client(const FedSpec& spec,
+                                       const ElasticClientOptions& options);
 
 /// Writes the run summary (final/best accuracy, per-round metered bytes and
 /// accuracy, elastic totals) as JSON — what tools/run_federation.py diffs for

@@ -10,10 +10,22 @@
 
 namespace fedkemf::net {
 
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 ClientSession::ClientSession(const Endpoint& endpoint, const Deadline& connect_deadline,
-                             FrameLimits limits, bool collect_acks)
+                             FrameLimits limits, bool collect_acks, const FrameKey* key)
     : limits_(limits), collect_acks_(collect_acks) {
+  if (key != nullptr) key_ = *key;
   fd_ = connect_endpoint(endpoint, connect_deadline);
+  last_rx_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
 ClientSession::~ClientSession() { close(); }
@@ -25,11 +37,20 @@ HelloReply ClientSession::hello(const HelloRequest& request, const Deadline& dea
   send(frame, deadline);
   // Single-threaded by contract at this point: read the ACK directly.
   for (;;) {
-    Frame reply = read_frame(fd_.get(), limits_, deadline);
+    Frame reply = read_frame(fd_.get(), limits_, deadline, key_ ? &*key_ : nullptr);
+    last_rx_ns_.store(steady_now_ns(), std::memory_order_relaxed);
     if (reply.type == FrameType::kAck) return decode_hello_reply(reply.body);
+    if (reply.type == FrameType::kPing) {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      write_frame(fd_.get(), pong, deadline, key_ ? &*key_ : nullptr);
+      continue;
+    }
+    if (reply.type == FrameType::kPong) continue;
     if (reply.type == FrameType::kBye) {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
+      bye_received_ = true;
       throw IoClosed("hello: server said BYE before replying");
     }
     throw ProtocolError("hello: expected ACK, got " + to_string(reply.type));
@@ -46,13 +67,28 @@ void ClientSession::pump(const Deadline& deadline) {
           std::span<const std::uint8_t, kFrameHeaderBytes>(inbuf_.data(), kFrameHeaderBytes),
           limits_, &crc);
       if (inbuf_.size() - kFrameHeaderBytes < payload_len) break;
-      Frame frame = decode_frame_payload(
-          std::span<const std::uint8_t>(inbuf_.data() + kFrameHeaderBytes, payload_len), crc);
+      Frame frame = decode_frame_body(
+          std::span<const std::uint8_t>(inbuf_.data() + kFrameHeaderBytes, payload_len), crc,
+          key_ ? &*key_ : nullptr);
       inbuf_.erase(inbuf_.begin(),
                    inbuf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + payload_len));
+      last_rx_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+      if (frame.type == FrameType::kPing) {
+        // Answer liveness probes from whichever thread happens to be
+        // pumping; mutex_ is not held here, so send() cannot deadlock.
+        Frame pong;
+        pong.type = FrameType::kPong;
+        pong.round = frame.round;
+        pong.client = frame.client;
+        std::lock_guard<std::mutex> write_lock(write_mutex_);
+        write_frame(fd_.get(), pong, Deadline::after(5.0), key_ ? &*key_ : nullptr);
+        continue;
+      }
+      if (frame.type == FrameType::kPong) continue;  // liveness bookkeeping only
       std::lock_guard<std::mutex> lock(mutex_);
       if (frame.type == FrameType::kBye) {
         closed_ = true;
+        bye_received_ = true;
         return;
       }
       if (frame.type == FrameType::kAck && !collect_acks_) {
@@ -161,7 +197,7 @@ void ClientSession::send(const Frame& frame, const Deadline& deadline) {
     if (closed_) throw IoClosed("session: connection closed");
   }
   std::lock_guard<std::mutex> write_lock(write_mutex_);
-  write_frame(fd_.get(), frame, deadline);
+  write_frame(fd_.get(), frame, deadline, key_ ? &*key_ : nullptr);
 }
 
 void ClientSession::close() {
@@ -180,7 +216,7 @@ void ClientSession::close() {
       std::lock_guard<std::mutex> write_lock(write_mutex_);
       Frame bye;
       bye.type = FrameType::kBye;
-      write_frame(fd_.get(), bye, Deadline::after(0.5));
+      write_frame(fd_.get(), bye, Deadline::after(0.5), key_ ? &*key_ : nullptr);
     } catch (...) {
       // Best effort: the peer may already be gone.
     }
@@ -191,6 +227,16 @@ void ClientSession::close() {
 bool ClientSession::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+bool ClientSession::bye_received() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bye_received_;
+}
+
+double ClientSession::seconds_since_frame() const {
+  const std::int64_t last = last_rx_ns_.load(std::memory_order_relaxed);
+  return static_cast<double>(steady_now_ns() - last) / 1e9;
 }
 
 }  // namespace fedkemf::net

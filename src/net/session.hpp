@@ -10,8 +10,15 @@
 // mutex so frames from different threads never interleave.
 //
 // A BYE from the server (or a closed socket) marks the session dead; every
-// pending and future await throws IoClosed.
+// pending and future await throws IoClosed.  bye_received() distinguishes
+// the orderly goodbye from a lost connection so the elastic client knows
+// whether to exit or reconnect.
+//
+// Server PINGs are answered with a PONG from inside the pump, so liveness
+// holds whenever any thread is awaiting frames; seconds_since_frame() lets
+// the owner detect a silent (partitioned or frozen) server.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,8 +39,11 @@ class ClientSession {
   /// `collect_acks`: park UPLOAD ACKs for await_ack() — the bench needs the
   /// round trip; replicas leave it off so unclaimed ACKs are dropped instead
   /// of accumulating.
+  /// `key`: pre-shared frame-authentication key — every outbound frame is
+  /// tagged and inbound tags are verified (copied; may be null).
   ClientSession(const Endpoint& endpoint, const Deadline& connect_deadline,
-                FrameLimits limits = {}, bool collect_acks = false);
+                FrameLimits limits = {}, bool collect_acks = false,
+                const FrameKey* key = nullptr);
   ~ClientSession();
 
   ClientSession(const ClientSession&) = delete;
@@ -65,6 +75,13 @@ class ClientSession {
   void close();
 
   [[nodiscard]] bool closed() const;
+  /// True when the server ended the session with an orderly BYE (as opposed
+  /// to a lost connection — the reconnect-vs-exit signal).
+  [[nodiscard]] bool bye_received() const;
+  /// Seconds since the last frame parsed off the wire (any type; PONGs
+  /// count).  Returns a large value before the first frame only if no HELLO
+  /// reply was ever read.
+  [[nodiscard]] double seconds_since_frame() const;
   [[nodiscard]] int fd() const { return fd_.get(); }
 
  private:
@@ -76,13 +93,16 @@ class ClientSession {
   Fd fd_;
   FrameLimits limits_;
   bool collect_acks_ = false;
+  std::optional<FrameKey> key_;
   std::vector<std::uint8_t> inbuf_;  ///< reader-baton-holder only
+  std::atomic<std::int64_t> last_rx_ns_{0};
 
   mutable std::mutex mutex_;  ///< mailbox + reader baton
   std::condition_variable cv_;
   std::deque<Frame> mailbox_;
   bool reader_active_ = false;
   bool closed_ = false;
+  bool bye_received_ = false;
 
   std::mutex write_mutex_;
 };

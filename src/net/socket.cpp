@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -187,9 +188,28 @@ sockaddr_in tcp_address(const Endpoint& endpoint) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(endpoint.port);
-  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
-    throw IoError("tcp endpoint: cannot parse IPv4 address '" + endpoint.host +
-                  "' (hostnames are not resolved; use a literal address)");
+  // Fast path: a literal IPv4 address needs no resolver round-trip.
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(endpoint.host.c_str(), nullptr, &hints, &results);
+  if (rc != 0) {
+    throw IoError("tcp endpoint: cannot resolve host '" + endpoint.host +
+                  "': " + (rc == EAI_SYSTEM ? std::strerror(errno) : ::gai_strerror(rc)));
+  }
+  bool found = false;
+  for (const addrinfo* it = results; it != nullptr; it = it->ai_next) {
+    if (it->ai_family == AF_INET && it->ai_addrlen >= sizeof(sockaddr_in)) {
+      addr.sin_addr = reinterpret_cast<const sockaddr_in*>(it->ai_addr)->sin_addr;
+      found = true;
+      break;
+    }
+  }
+  ::freeaddrinfo(results);
+  if (!found) {
+    throw IoError("tcp endpoint: host '" + endpoint.host + "' has no IPv4 address");
   }
   return addr;
 }

@@ -95,6 +95,9 @@ void write_all(int fd, const void* buffer, std::size_t size, const Deadline& dea
 // ---- Endpoints ----
 
 /// A listen/connect address: "tcp://host:port" or "unix:///path/to.sock".
+// TCP hosts may be literal IPv4 addresses or hostnames (resolved with
+// getaddrinfo at listen/connect time; an unresolvable name is a typed
+// IoError, never a hang past the resolver's own timeout).
 struct Endpoint {
   enum class Kind { kTcp, kUnix };
 

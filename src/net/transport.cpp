@@ -1,5 +1,10 @@
 #include "net/transport.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
 namespace fedkemf::net {
 
 namespace {
@@ -8,7 +13,64 @@ std::uint64_t leg_key(std::size_t round, std::size_t client_id) {
   return (static_cast<std::uint64_t>(round) << 32) | static_cast<std::uint64_t>(client_id);
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Deterministic per-attempt fault stream: hash everything that identifies
+/// the attempt, then derive independent uniform draws from it.
+std::uint64_t fault_hash(std::uint64_t seed, std::size_t round, std::size_t client,
+                         comm::Direction direction, std::size_t attempt,
+                         const std::string& name) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ull;
+  h = mix64(h ^ round);
+  h = mix64(h ^ (static_cast<std::uint64_t>(client) << 1));
+  h = mix64(h ^ (direction == comm::Direction::kUplink ? 0x5555ull : 0xaaaaull));
+  h = mix64(h ^ attempt);
+  for (const char c : name) h = mix64(h ^ static_cast<std::uint8_t>(c));
+  return h;
+}
+
+double uniform_from(std::uint64_t h, std::uint64_t salt) {
+  return static_cast<double>(mix64(h ^ salt) >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
+
+FaultyTransport::Outcome FaultyTransport::attempt(std::vector<std::uint8_t>& payload,
+                                                  std::size_t round, std::size_t client_id,
+                                                  comm::Direction direction,
+                                                  std::size_t attempt,
+                                                  const std::string& payload_name) {
+  const std::uint64_t h =
+      fault_hash(options_.seed, round, client_id, direction, attempt, payload_name);
+  if (uniform_from(h, 0xD207ull) < options_.drop_rate) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    static auto& counter = obs::MetricsRegistry::global().counter("net.faulty.drops");
+    counter.add(1);
+    return Outcome::kDropped;  // the attempt never reaches the inner transport
+  }
+  if (uniform_from(h, 0xDE1Aull) < options_.delay_rate && options_.delay_seconds > 0.0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    static auto& counter = obs::MetricsRegistry::global().counter("net.faulty.delays");
+    counter.add(1);
+    std::this_thread::sleep_for(std::chrono::duration<double>(options_.delay_seconds));
+  }
+  const Outcome outcome =
+      inner_.attempt(payload, round, client_id, direction, attempt, payload_name);
+  if (!payload.empty() && uniform_from(h, 0xC0B7ull) < options_.corrupt_rate) {
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+    static auto& counter = obs::MetricsRegistry::global().counter("net.faulty.corruptions");
+    counter.add(1);
+    payload[mix64(h ^ 0xF11Bull) % payload.size()] ^= 0x40;
+  }
+  return outcome;
+}
 
 void screen_wire_body(const std::vector<std::uint8_t>& body) {
   if (body.size() >= 4) {

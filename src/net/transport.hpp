@@ -26,6 +26,7 @@
 // and eventually raises comm::TransferFailed, which the elastic round loop's
 // benign simulator absorbs as a recorded per-client failure.
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -96,5 +97,48 @@ class ClientTransport : public comm::Transport {
 /// payloads (magic match), pass-through for codec-framed ones (their decoder
 /// carries its own checks, and the frame CRC already covered transit).
 void screen_wire_body(const std::vector<std::uint8_t>& body);
+
+// ---- Deterministic in-library fault injection ----
+
+/// Per-attempt fault rates for FaultyTransport.  All zero = transparent.
+struct FaultyTransportOptions {
+  double drop_rate = 0.0;     ///< attempt vanishes (Outcome::kDropped)
+  double corrupt_rate = 0.0;  ///< one payload byte flipped after delivery
+  double delay_rate = 0.0;    ///< attempt sleeps delay_seconds first
+  double delay_seconds = 0.0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || delay_rate > 0.0;
+  }
+};
+
+/// Wraps another comm::Transport and injects faults deterministically: every
+/// decision hashes (seed, round, client, direction, attempt, name), so the
+/// same run injects the same faults regardless of timing — the unit-testable
+/// sibling of tools/chaos_proxy.  Drops happen *instead of* the inner
+/// attempt (the bytes never moved); corruption flips a byte *after* it (the
+/// downstream CRC/auth screen must catch it); delays sleep before it.
+/// Injections are counted locally and in `net.faulty.*` metrics.
+class FaultyTransport : public comm::Transport {
+ public:
+  FaultyTransport(comm::Transport& inner, FaultyTransportOptions options)
+      : inner_(inner), options_(options) {}
+
+  Outcome attempt(std::vector<std::uint8_t>& payload, std::size_t round,
+                  std::size_t client_id, comm::Direction direction, std::size_t attempt,
+                  const std::string& payload_name) override;
+
+  [[nodiscard]] std::size_t drops() const { return drops_.load(); }
+  [[nodiscard]] std::size_t corruptions() const { return corruptions_.load(); }
+  [[nodiscard]] std::size_t delays() const { return delays_.load(); }
+
+ private:
+  comm::Transport& inner_;
+  FaultyTransportOptions options_;
+  std::atomic<std::size_t> drops_{0};
+  std::atomic<std::size_t> corruptions_{0};
+  std::atomic<std::size_t> delays_{0};
+};
 
 }  // namespace fedkemf::net

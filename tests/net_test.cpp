@@ -23,6 +23,7 @@
 #include "net/session.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace fedkemf::net {
 namespace {
@@ -674,7 +675,7 @@ TEST(ElasticEndToEnd, TwoWorkersServeAllRounds) {
 
   fl::RunResult result;
   std::thread server([&] { result = run_elastic_server(spec, server_options); });
-  std::vector<std::size_t> served(2);
+  std::vector<ElasticClientResult> served(2);
   std::vector<std::thread> workers;
   for (std::size_t id = 0; id < 2; ++id) {
     workers.emplace_back([&, id] {
@@ -692,8 +693,8 @@ TEST(ElasticEndToEnd, TwoWorkersServeAllRounds) {
   EXPECT_EQ(result.total_joined, 2u);
   EXPECT_GT(result.total_bytes, 0u);
   EXPECT_GE(result.final_accuracy, 0.0);
-  EXPECT_EQ(served[0], spec.rounds);
-  EXPECT_EQ(served[1], spec.rounds);
+  EXPECT_EQ(served[0].rounds_served, spec.rounds);
+  EXPECT_EQ(served[1].rounds_served, spec.rounds);
 }
 
 TEST(ElasticEndToEnd, RejectsEnsembleAlgorithms) {
@@ -701,6 +702,459 @@ TEST(ElasticEndToEnd, RejectsEnsembleAlgorithms) {
   ElasticServerOptions options;
   options.endpoint = Endpoint::parse("unix://" + unique_socket_path("elastic_bad"));
   EXPECT_THROW(run_elastic_server(spec, options), std::invalid_argument);
+}
+
+// ---- Hostname resolution (satellite: getaddrinfo endpoints) ----
+
+TEST(SocketIo, HostnameResolvesViaGetaddrinfo) {
+  Endpoint listen_ep;
+  listen_ep.kind = Endpoint::Kind::kTcp;
+  listen_ep.host = "127.0.0.1";
+  listen_ep.port = 0;  // ephemeral
+  Fd listener = listen_endpoint(listen_ep);
+  const Endpoint bound = listener_endpoint(listener.get(), listen_ep);
+  Endpoint by_name = bound;
+  by_name.host = "localhost";
+  const Fd conn = connect_endpoint(by_name, Deadline::after(5.0));
+  EXPECT_TRUE(conn.valid());
+}
+
+TEST(SocketIo, UnresolvableHostnameIsTypedErrorNotAHang) {
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = "no-such-host.invalid";
+  ep.port = 9;
+  const auto start = std::chrono::steady_clock::now();
+  // Resolution failure surfaces as the typed IoError immediately — it must
+  // never spin in the connect-retry loop until the deadline.
+  EXPECT_THROW(connect_endpoint(ep, Deadline::after(60.0)), IoError);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(waited, 30.0);
+}
+
+// ---- Frame authentication (satellite: PSK SipHash tags) ----
+
+TEST(FrameAuth, KeyedRoundTripVerifies) {
+  const FrameKey key = derive_frame_key("secret");
+  const std::vector<std::uint8_t> wire = encode_frame(sample_frame(), &key);
+  std::uint32_t crc = 0;
+  const std::size_t body_len = decode_frame_header(
+      std::span<const std::uint8_t, kFrameHeaderBytes>(wire.data(), kFrameHeaderBytes),
+      FrameLimits{}, &crc);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + body_len);
+  const Frame decoded = decode_frame_body(
+      std::span<const std::uint8_t>(wire.data() + kFrameHeaderBytes, body_len), crc, &key);
+  EXPECT_TRUE(decoded.flags & kFlagAuthTag);
+  EXPECT_EQ(decoded.body, sample_frame().body);
+  EXPECT_EQ(decoded.name, sample_frame().name);
+}
+
+TEST(FrameAuth, DistinctPassphrasesProduceDistinctKeysAndTags) {
+  EXPECT_NE(derive_frame_key("alpha"), derive_frame_key("beta"));
+  const FrameKey a = derive_frame_key("alpha");
+  const FrameKey b = derive_frame_key("beta");
+  const std::vector<std::uint8_t> wire_a = encode_frame(sample_frame(), &a);
+  const std::vector<std::uint8_t> wire_b = encode_frame(sample_frame(), &b);
+  ASSERT_EQ(wire_a.size(), wire_b.size());
+  // Same frame, different keys: the trailing 8-byte tags must differ.
+  EXPECT_NE(std::vector<std::uint8_t>(wire_a.end() - kFrameTagBytes, wire_a.end()),
+            std::vector<std::uint8_t>(wire_b.end() - kFrameTagBytes, wire_b.end()));
+}
+
+TEST(FrameAuth, TaggedFrameWithoutKeyIsAuthError) {
+  const FrameKey key = derive_frame_key("secret");
+  const std::vector<std::uint8_t> wire = encode_frame(sample_frame(), &key);
+  std::uint32_t crc = 0;
+  const std::size_t body_len = decode_frame_header(
+      std::span<const std::uint8_t, kFrameHeaderBytes>(wire.data(), kFrameHeaderBytes),
+      FrameLimits{}, &crc);
+  EXPECT_THROW(
+      decode_frame_body(
+          std::span<const std::uint8_t>(wire.data() + kFrameHeaderBytes, body_len), crc,
+          nullptr),
+      AuthError);
+}
+
+TEST(FrameAuth, RecomputedCrcForgeryIsCaughtOnlyByAuth) {
+  // The CRC protects against *transit* corruption, not tampering: flip a
+  // payload byte and recompute the CRC, and the unkeyed decoder accepts the
+  // forgery without complaint.
+  std::vector<std::uint8_t> plain = encode_frame(sample_frame());
+  const std::size_t plain_payload = plain.size() - kFrameHeaderBytes;
+  plain[kFrameHeaderBytes] ^= 0x04;  // flips the frame type
+  const std::uint32_t forged_crc = core::crc32(std::span<const std::uint8_t>(
+      plain.data() + kFrameHeaderBytes, plain_payload));
+  for (int i = 0; i < 4; ++i) {
+    plain[8 + i] = static_cast<std::uint8_t>(forged_crc >> (8 * i));
+  }
+  std::uint32_t crc = 0;
+  const std::size_t body_len = decode_frame_header(
+      std::span<const std::uint8_t, kFrameHeaderBytes>(plain.data(), kFrameHeaderBytes),
+      FrameLimits{}, &crc);
+  const Frame forged = decode_frame_body(
+      std::span<const std::uint8_t>(plain.data() + kFrameHeaderBytes, body_len), crc,
+      nullptr);
+  EXPECT_NE(forged.type, sample_frame().type);  // the forgery went through
+
+  // The keyed decoder rejects the identical tamper: the attacker can fix the
+  // CRC but cannot forge the SipHash tag without the key.
+  const FrameKey key = derive_frame_key("secret");
+  std::vector<std::uint8_t> keyed = encode_frame(sample_frame(), &key);
+  const std::size_t keyed_payload = keyed.size() - kFrameHeaderBytes - kFrameTagBytes;
+  keyed[kFrameHeaderBytes] ^= 0x04;
+  const std::uint32_t keyed_crc = core::crc32(std::span<const std::uint8_t>(
+      keyed.data() + kFrameHeaderBytes, keyed_payload));
+  for (int i = 0; i < 4; ++i) {
+    keyed[8 + i] = static_cast<std::uint8_t>(keyed_crc >> (8 * i));
+  }
+  std::uint32_t crc2 = 0;
+  const std::size_t body_len2 = decode_frame_header(
+      std::span<const std::uint8_t, kFrameHeaderBytes>(keyed.data(), kFrameHeaderBytes),
+      FrameLimits{}, &crc2);
+  EXPECT_THROW(
+      decode_frame_body(
+          std::span<const std::uint8_t>(keyed.data() + kFrameHeaderBytes, body_len2), crc2,
+          &key),
+      AuthError);
+}
+
+TEST(FrameAuth, ServerRejectsUnauthenticatedClient) {
+  const std::string path = unique_socket_path("auth_reject");
+  ::unlink(path.c_str());
+  EpollServer server(Endpoint::parse("unix://" + path));
+  server.set_frame_auth(derive_frame_key("secret"));
+  server.start();
+  const std::uint64_t before =
+      obs::MetricsRegistry::global().snapshot().counter("net.server.auth_failures");
+  ClientSession session(Endpoint::parse("unix://" + path), Deadline::after(5.0));
+  HelloRequest request;
+  request.owned_clients = {0};
+  // The untagged HELLO closes the connection before any reply.
+  EXPECT_THROW(session.hello(request, Deadline::after(5.0)), IoError);
+  EXPECT_GT(obs::MetricsRegistry::global().snapshot().counter("net.server.auth_failures"),
+            before);
+  server.stop();
+  ::unlink(path.c_str());
+}
+
+TEST(FrameAuth, AuthenticatedUploadFlowsEndToEnd) {
+  const std::string path = unique_socket_path("auth_e2e");
+  ::unlink(path.c_str());
+  const FrameKey key = derive_frame_key("secret");
+  EpollServer server(Endpoint::parse("unix://" + path));
+  server.set_frame_auth(key);
+  server.start();
+  ClientSession session(Endpoint::parse("unix://" + path), Deadline::after(5.0),
+                        FrameLimits{}, /*collect_acks=*/false, &key);
+  HelloRequest request;
+  request.owned_clients = {0};
+  const HelloReply reply = session.hello(request, Deadline::after(5.0));
+  EXPECT_TRUE(reply.accepted);
+  Frame upload;
+  upload.type = FrameType::kUpload;
+  upload.round = 0;
+  upload.client = 0;
+  upload.name = "model";
+  upload.body = {1, 2, 3};
+  session.send(upload, Deadline::after(5.0));
+  const std::optional<Frame> claimed =
+      server.await_upload(0, 0, "model", Deadline::after(5.0));
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->body, upload.body);
+  server.stop();
+  ::unlink(path.c_str());
+}
+
+// ---- Idempotent redelivery (tentpole: duplicates never double-apply) ----
+
+TEST_F(ServerFixture, DuplicateUploadIsAckedButAppliedOnce) {
+  const std::uint64_t before =
+      obs::MetricsRegistry::global().snapshot().counter("net.server.duplicate_uploads");
+  auto session = connect(0, /*collect_acks=*/true);
+  Frame upload;
+  upload.type = FrameType::kUpload;
+  upload.round = 0;
+  upload.client = 0;
+  upload.name = "model";
+  upload.body = {1, 2, 3};
+  session->send(upload, Deadline::after(5.0));
+  ASSERT_TRUE(server_->await_upload(0, 0, "model", Deadline::after(5.0)).has_value());
+  // Redeliver the identical upload after it was claimed (what a client retry
+  // or chaos-proxy duplication produces).
+  session->send(upload, Deadline::after(5.0));
+  // Both deliveries are ACKed — the client's retry loop always terminates...
+  EXPECT_TRUE(session->await_ack(0, 0, "model", Deadline::after(5.0)).has_value());
+  EXPECT_TRUE(session->await_ack(0, 0, "model", Deadline::after(5.0)).has_value());
+  // ...but the duplicate is never re-parked: no second claim, no stale leak.
+  EXPECT_FALSE(server_->await_upload(0, 0, "model", Deadline::after(0.2)).has_value());
+  EXPECT_TRUE(server_->take_stale_uploads(10).empty());
+  EXPECT_GT(
+      obs::MetricsRegistry::global().snapshot().counter("net.server.duplicate_uploads"),
+      before);
+}
+
+TEST_F(ServerFixture, FinishedRoundUploadGoesStaleExactlyOnce) {
+  auto session = connect(1, /*collect_acks=*/true);
+  Frame late;
+  late.type = FrameType::kUpload;
+  late.round = 0;
+  late.client = 1;
+  late.name = "model";
+  late.scalars = {4.0, 0.05};
+  late.body = {9};
+  session->send(late, Deadline::after(5.0));
+  std::vector<Frame> stale;
+  const Deadline deadline = Deadline::after(5.0);
+  while (stale.empty() && !deadline.expired()) {
+    stale = server_->take_stale_uploads(2);
+    if (stale.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale.front().client, 1u);
+  // Redelivery after the stale drain: ACKed, but never re-ingested.
+  session->send(late, Deadline::after(5.0));
+  EXPECT_TRUE(session->await_ack(0, 1, "model", Deadline::after(5.0)).has_value());
+  EXPECT_TRUE(session->await_ack(0, 1, "model", Deadline::after(5.0)).has_value());
+  EXPECT_TRUE(server_->take_stale_uploads(3).empty());
+}
+
+// ---- Heartbeats and backpressure (tentpole: bounded liveness) ----
+
+TEST(Heartbeat, SilentConnectionIsEvictedWhileActiveOneSurvives) {
+  const std::string path = unique_socket_path("heartbeat");
+  ::unlink(path.c_str());
+  EpollServer server(Endpoint::parse("unix://" + path));
+  server.set_heartbeat(
+      {.enabled = true, .interval_seconds = 0.1, .timeout_seconds = 0.5});
+  server.start();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+
+  ClientSession active(Endpoint::parse("unix://" + path), Deadline::after(5.0));
+  HelloRequest hello_active;
+  hello_active.owned_clients = {0};
+  EXPECT_TRUE(active.hello(hello_active, Deadline::after(5.0)).accepted);
+  ClientSession silent(Endpoint::parse("unix://" + path), Deadline::after(5.0));
+  HelloRequest hello_silent;
+  hello_silent.owned_clients = {1};
+  EXPECT_TRUE(silent.hello(hello_silent, Deadline::after(5.0)).accepted);
+
+  // The active client keeps pumping (answering PINGs); the silent one never
+  // reads again — a SIGSTOP'd process as far as the server can tell.
+  std::atomic<bool> stop{false};
+  std::thread pumper([&] {
+    while (!stop.load()) {
+      try {
+        (void)active.next_task(0, Deadline::after(0.05));
+      } catch (const IoError&) {
+        break;
+      }
+    }
+  });
+  const Deadline eviction = Deadline::after(5.0);
+  while (server.is_connected(1) && !eviction.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(server.is_connected(1));
+  EXPECT_TRUE(server.is_connected(0));
+  stop.store(true);
+  pumper.join();
+
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::global().snapshot();
+  EXPECT_GT(after.counter("net.server.liveness_evictions"),
+            before.counter("net.server.liveness_evictions"));
+  EXPECT_GT(after.counter("net.server.pings_sent"),
+            before.counter("net.server.pings_sent"));
+  bool saw_left = false;
+  for (const MembershipEvent& event : server.take_membership_events()) {
+    if (event.kind == MembershipEvent::Kind::kLeft && event.client_id == 1) {
+      saw_left = true;
+    }
+  }
+  EXPECT_TRUE(saw_left);
+  server.stop();
+  ::unlink(path.c_str());
+}
+
+TEST(Backpressure, OverflowingWriteQueueEvictsTheConnection) {
+  const std::string path = unique_socket_path("backpressure");
+  ::unlink(path.c_str());
+  EpollServer server(Endpoint::parse("unix://" + path));
+  server.set_write_queue_cap(1024);
+  server.start();
+  const std::uint64_t before = obs::MetricsRegistry::global().snapshot().counter(
+      "net.server.backpressure_evictions");
+
+  ClientSession session(Endpoint::parse("unix://" + path), Deadline::after(5.0));
+  HelloRequest request;
+  request.owned_clients = {0};
+  EXPECT_TRUE(session.hello(request, Deadline::after(5.0)).accepted);
+  Frame task;
+  task.type = FrameType::kTask;
+  task.round = 0;
+  task.client = 0;
+  task.name = "model";
+  task.body.assign(256 * 1024, 0x5A);  // far past the 1 KiB cap
+  EXPECT_TRUE(server.send_task(0, std::move(task)));
+  const Deadline eviction = Deadline::after(5.0);
+  while (server.is_connected(0) && !eviction.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(server.is_connected(0));
+  EXPECT_GT(obs::MetricsRegistry::global().snapshot().counter(
+                "net.server.backpressure_evictions"),
+            before);
+  server.stop();
+  ::unlink(path.c_str());
+}
+
+// ---- FaultyTransport (tentpole: deterministic in-library chaos) ----
+
+TEST(FaultyTransportTest, SameSeedInjectsIdenticalFaults) {
+  ScriptedTransport inner(comm::Transport::Outcome::kLocal);
+  FaultyTransportOptions options;
+  options.drop_rate = 0.3;
+  options.seed = 42;
+  FaultyTransport a(inner, options);
+  FaultyTransport b(inner, options);
+  for (std::size_t round = 0; round < 8; ++round) {
+    for (std::size_t client = 0; client < 8; ++client) {
+      std::vector<std::uint8_t> payload = {1, 2, 3};
+      const auto oa = a.attempt(payload, round, client, comm::Direction::kUplink, 0, "m");
+      payload = {1, 2, 3};
+      const auto ob = b.attempt(payload, round, client, comm::Direction::kUplink, 0, "m");
+      EXPECT_EQ(oa, ob) << "round " << round << " client " << client;
+    }
+  }
+  EXPECT_EQ(a.drops(), b.drops());
+  EXPECT_GT(a.drops(), 0u);   // ~30% of 64 attempts
+  EXPECT_LT(a.drops(), 64u);  // but not all of them
+}
+
+TEST(FaultyTransportTest, CorruptionFlipsExactlyOneByte) {
+  ScriptedTransport inner(comm::Transport::Outcome::kLocal);
+  FaultyTransportOptions options;
+  options.corrupt_rate = 1.0;
+  options.seed = 7;
+  FaultyTransport faulty(inner, options);
+  std::vector<std::uint8_t> payload(64, 0x11);
+  const std::vector<std::uint8_t> original = payload;
+  EXPECT_EQ(faulty.attempt(payload, 0, 0, comm::Direction::kDownlink, 0, "m"),
+            comm::Transport::Outcome::kLocal);
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] != original[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_EQ(faulty.corruptions(), 1u);
+}
+
+TEST(ElasticEndToEnd, CompletesUnderInjectedDrops) {
+  const FedSpec spec = tiny_spec("fedavg");
+  const std::string path = unique_socket_path("elastic_drops");
+  ::unlink(path.c_str());
+  ElasticServerOptions server_options;
+  server_options.endpoint = Endpoint::parse("unix://" + path);
+  server_options.min_clients = 2;
+  server_options.join_wait_seconds = 30.0;
+  server_options.upload_timeout_seconds = 10.0;
+  server_options.fault.drop_rate = 0.2;
+  server_options.fault.seed = 11;
+
+  fl::RunResult result;
+  std::thread server([&] { result = run_elastic_server(spec, server_options); });
+  std::vector<std::thread> workers;
+  for (std::size_t id = 0; id < 2; ++id) {
+    workers.emplace_back([&, id] {
+      ElasticClientOptions options;
+      options.endpoint = Endpoint::parse("unix://" + path);
+      options.client_id = id;
+      (void)run_elastic_client(spec, options);
+    });
+  }
+  server.join();
+  for (auto& w : workers) w.join();
+  ::unlink(path.c_str());
+
+  // Every round closes despite the injected attempt drops: lost transfers
+  // retry, exhausted retries become recorded per-client drops, never aborts.
+  EXPECT_EQ(result.rounds_completed, spec.rounds);
+  EXPECT_GE(result.final_accuracy, 0.0);
+}
+
+// ---- Auto-reconnect (tentpole: churn-path rejoin) ----
+
+TEST(ElasticEndToEnd, ClientAutoReconnectsAfterForcedDisconnect) {
+  const FedSpec spec = tiny_spec("fedavg");
+  const std::string path = unique_socket_path("reconnect");
+  ::unlink(path.c_str());
+  EpollServer server(Endpoint::parse("unix://" + path));
+  server.start();  // default validator: accepts the worker's elastic HELLO
+  const std::uint64_t rejoins_before =
+      obs::MetricsRegistry::global().snapshot().counter("net.server.rejoins");
+
+  ElasticClientResult served;
+  std::thread worker([&] {
+    ElasticClientOptions options;
+    options.endpoint = Endpoint::parse("unix://" + path);
+    options.client_id = 0;
+    options.max_reconnects = 4;
+    options.reconnect_backoff_seconds = 0.05;
+    options.reconnect_backoff_max_seconds = 0.3;
+    served = run_elastic_client(spec, options);
+  });
+
+  ASSERT_TRUE(server.wait_for_clients(1, Deadline::after(10.0)));
+  core::Rng rng(1);
+  const std::unique_ptr<nn::Module> model = models::build_model(spec.client_model, rng);
+  const std::vector<std::uint8_t> body = comm::serialize_model(*model);
+
+  Frame task0;
+  task0.type = FrameType::kTask;
+  task0.round = 0;
+  task0.client = 0;
+  task0.name = "model";
+  task0.body = body;
+  ASSERT_TRUE(server.send_task(0, std::move(task0)));
+  ASSERT_TRUE(server.await_upload(0, 0, "model", Deadline::after(60.0)).has_value());
+
+  // Sever the connection server-side; the worker must notice and rejoin
+  // through the churn path on its own.
+  server.disconnect_client(0);
+  bool saw_left = false;
+  bool saw_rejoin = false;
+  const Deadline rejoin_deadline = Deadline::after(20.0);
+  while (!(saw_left && saw_rejoin) && !rejoin_deadline.expired()) {
+    for (const MembershipEvent& event : server.take_membership_events()) {
+      if (event.kind == MembershipEvent::Kind::kLeft && event.client_id == 0) {
+        saw_left = true;
+      }
+      if (event.kind == MembershipEvent::Kind::kJoined && event.rejoin) {
+        saw_rejoin = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(saw_left);
+  ASSERT_TRUE(saw_rejoin);
+
+  Frame task1;
+  task1.type = FrameType::kTask;
+  task1.round = 1;
+  task1.client = 0;
+  task1.name = "model";
+  task1.body = body;
+  ASSERT_TRUE(server.send_task(0, std::move(task1)));
+  ASSERT_TRUE(server.await_upload(1, 0, "model", Deadline::after(60.0)).has_value());
+
+  server.stop();  // BYE ends the worker's serve loop without a reconnect
+  worker.join();
+  ::unlink(path.c_str());
+
+  EXPECT_EQ(served.rounds_served, 2u);
+  EXPECT_EQ(served.reconnects, 1u);
+  EXPECT_GT(obs::MetricsRegistry::global().snapshot().counter("net.server.rejoins"),
+            rejoins_before);
 }
 
 }  // namespace

@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   double connect_timeout = 30.0;
   double await_timeout = 600.0;
   double train_delay = 0.0;
+  std::size_t max_reconnects = 16;
+  double server_silence = 30.0;
+  std::string auth_key;
   std::string results;
 
   utils::Cli cli("fed_client", "federation client (mirror replica | elastic worker)");
@@ -60,6 +63,12 @@ int main(int argc, char** argv) {
   cli.flag("await-timeout", &await_timeout, "mirror: per-await deadline seconds");
   cli.flag("train-delay", &train_delay,
            "elastic: artificial seconds of extra training time (straggler lever)");
+  cli.flag("max-reconnects", &max_reconnects,
+           "elastic: auto-reconnect budget after a lost connection (0 disables)");
+  cli.flag("server-silence", &server_silence,
+           "elastic: reconnect when no frame arrives for this many seconds");
+  cli.flag("auth-key", &auth_key,
+           "shared secret for SipHash frame authentication (must match the server)");
   cli.flag("results", &results, "mirror: write this replica's run summary JSON here");
   cli.parse(argc, argv);
 
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
       options.owned = parse_id_list(own);
       options.connect_timeout_seconds = connect_timeout;
       options.await_timeout_seconds = await_timeout;
+      options.auth_key = auth_key;
       const fl::RunResult result = net::run_mirror_client(spec, options);
       std::printf("mirror replica done: rounds=%zu final_accuracy=%.17g\n",
                   result.rounds_completed, result.final_accuracy);
@@ -84,8 +94,12 @@ int main(int argc, char** argv) {
       options.rejoin = rejoin;
       options.connect_timeout_seconds = connect_timeout;
       options.train_delay_seconds = train_delay;
-      const std::size_t served = net::run_elastic_client(spec, options);
-      std::printf("elastic client %zu done: rounds_served=%zu\n", id, served);
+      options.max_reconnects = max_reconnects;
+      options.server_silence_timeout_seconds = server_silence;
+      options.auth_key = auth_key;
+      const net::ElasticClientResult served = net::run_elastic_client(spec, options);
+      std::printf("elastic client %zu done: rounds_served=%zu reconnects=%zu\n", id,
+                  served.rounds_served, served.reconnects);
     } else {
       std::fprintf(stderr, "fed_client: unknown --mode '%s'\n", mode.c_str());
       return 2;

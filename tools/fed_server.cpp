@@ -32,6 +32,14 @@ int main(int argc, char** argv) {
   double join_wait = 60.0;
   double upload_timeout = 30.0;
   double await_timeout = 600.0;
+  double heartbeat_interval = 2.0;
+  double liveness_timeout = 20.0;
+  std::string auth_key;
+  double fault_drop = 0.0;
+  double fault_corrupt = 0.0;
+  double fault_delay = 0.0;
+  double fault_delay_seconds = 0.05;
+  std::size_t fault_seed = 0;
   std::string results;
   bool quiet = false;
 
@@ -46,6 +54,21 @@ int main(int argc, char** argv) {
   cli.flag("join-wait", &join_wait, "elastic: seconds to wait for min-clients");
   cli.flag("upload-timeout", &upload_timeout, "elastic: per-upload deadline seconds");
   cli.flag("await-timeout", &await_timeout, "mirror: per-await deadline seconds");
+  cli.flag("heartbeat-interval", &heartbeat_interval,
+           "elastic: PING registered clients this often (seconds)");
+  cli.flag("liveness-timeout", &liveness_timeout,
+           "elastic: evict a connection silent for this many seconds");
+  cli.flag("auth-key", &auth_key,
+           "shared secret for SipHash frame authentication (clients must match)");
+  cli.flag("fault-drop", &fault_drop,
+           "elastic: deterministic per-attempt transfer drop rate [0,1]");
+  cli.flag("fault-corrupt", &fault_corrupt,
+           "elastic: deterministic per-attempt payload corruption rate [0,1]");
+  cli.flag("fault-delay", &fault_delay,
+           "elastic: deterministic per-attempt delay-injection rate [0,1]");
+  cli.flag("fault-delay-seconds", &fault_delay_seconds,
+           "elastic: seconds each injected delay sleeps");
+  cli.flag("fault-seed", &fault_seed, "elastic: fault-injection stream seed");
   cli.flag("results", &results, "write the run summary JSON here");
   cli.flag("quiet", &quiet, "suppress the history table");
   cli.parse(argc, argv);
@@ -63,6 +86,7 @@ int main(int argc, char** argv) {
       options.expect_clients = expect_clients;
       options.hello_wait_seconds = hello_wait;
       options.await_timeout_seconds = await_timeout;
+      options.auth_key = auth_key;
       result = net::run_mirror_server(spec, options);
     } else if (mode == "elastic") {
       net::ElasticServerOptions options;
@@ -70,6 +94,14 @@ int main(int argc, char** argv) {
       options.min_clients = min_clients;
       options.join_wait_seconds = join_wait;
       options.upload_timeout_seconds = upload_timeout;
+      options.heartbeat_interval_seconds = heartbeat_interval;
+      options.liveness_timeout_seconds = liveness_timeout;
+      options.auth_key = auth_key;
+      options.fault.drop_rate = fault_drop;
+      options.fault.corrupt_rate = fault_corrupt;
+      options.fault.delay_rate = fault_delay;
+      options.fault.delay_seconds = fault_delay_seconds;
+      options.fault.seed = fault_seed;
       result = net::run_elastic_server(spec, options);
     } else {
       std::fprintf(stderr, "fed_server: unknown --mode '%s'\n", mode.c_str());

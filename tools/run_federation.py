@@ -8,6 +8,16 @@ diffed bit-for-bit against the in-process reference (--check-parity).
     tools/run_federation.py --clients 4 --algorithm fedkemf --rounds 2
     tools/run_federation.py --mode elastic --clients 4 --scenario kill-restart
     tools/run_federation.py --mode elastic --clients 4 --scenario sigterm
+    tools/run_federation.py --mode elastic --clients 4 --scenario chaos
+
+The chaos scenario is the soak test for the hardened protocol: it first runs
+a clean same-seed elastic federation, then reruns it with every client
+routed through tools/chaos_proxy (resets, corruption, duplication, reorder,
+latency spikes, slow-loris dribble, and one network partition longer than
+the liveness timeout), and asserts the chaotic run completes every round
+with accuracy within --chaos-accuracy-band of the clean run while every
+injected fault class shows up as a nonzero recovery counter in the server's
+net_counters telemetry and the proxy's injection stats.
 
 Exit code 0 iff every launched process exited cleanly and the requested
 checks passed.
@@ -79,6 +89,128 @@ def check_parity(reference_path, distributed_path):
     return failures
 
 
+# The chaos soak's injected fault mix (≈31% of frames combined) and the
+# recovery counters each class must light up in the server's telemetry.
+CHAOS_PROXY_FLAGS = [
+    "--reset-rate", "0.02", "--corrupt-rate", "0.05", "--duplicate-rate", "0.12",
+    "--reorder-rate", "0.02", "--delay-rate", "0.05", "--delay-seconds", "0.1",
+    "--dribble-rate", "0.05", "--grace-seconds", "2",
+    "--partition-at", "3", "--partition-for", "4",
+]
+CHAOS_INJECTION_CLASSES = [
+    "resets", "corruptions", "duplicates", "reorders", "delays", "dribbles",
+    "partition_drops",
+]
+CHAOS_RECOVERY_COUNTERS = [
+    "net.server.protocol_errors",    # corruption detected (CRC / frame screen)
+    "net.server.duplicate_uploads",  # duplication absorbed idempotently
+    "net.server.connections_lost",   # resets / partition tore connections down
+    "net.server.rejoins",            # workers re-registered through churn
+    "net.server.liveness_evictions", # partition detected via missed heartbeats
+    "net.server.pings_sent",         # heartbeats were actually running
+]
+
+
+def run_chaos(args, server_bin, client_bin, proxy_bin):
+    """Clean elastic run, then the same seed through chaos_proxy, then assert
+    completion, an accuracy band, and nonzero per-fault recovery counters."""
+    with tempfile.TemporaryDirectory(prefix="fedkemf_chaos_") as tmp:
+        logs = {}
+
+        def launch(procs, name, argv):
+            log = os.path.join(tmp, name + ".log")
+            logs[name] = log
+            with open(log, "w") as f:
+                p = subprocess.Popen(argv, stdout=f, stderr=subprocess.STDOUT)
+            procs.append((name, p))
+            return p
+
+        def elastic_run(label, client_endpoint, server_endpoint, results_json,
+                        client_extra=()):
+            procs = []
+            launch(procs, f"{label}-server",
+                   [server_bin, "--mode", "elastic", "--endpoint", server_endpoint,
+                    "--min-clients", str(args.clients), "--quiet",
+                    "--upload-timeout", str(args.upload_timeout),
+                    "--heartbeat-interval", "0.5", "--liveness-timeout", "3",
+                    "--results", results_json] + spec_args(args))
+            for i in range(args.clients):
+                launch(procs, f"{label}-client{i}",
+                       [client_bin, "--mode", "elastic", "--endpoint", client_endpoint,
+                        "--id", str(i)] + list(client_extra) + spec_args(args))
+            codes = wait_all(procs, args.timeout)
+            if not report(codes, logs):
+                sys.exit(f"error: a {label} federation process failed")
+            return load_json(results_json)
+
+        print(f"chaos soak 1/2: clean same-seed elastic run ({args.algorithm}, "
+              f"{args.clients} clients, {args.rounds} rounds)")
+        clean = elastic_run("clean", f"unix://{tmp}/clean.sock",
+                            f"unix://{tmp}/clean.sock",
+                            os.path.join(tmp, "clean.json"))
+
+        upstream = f"unix://{tmp}/up.sock"
+        proxied = f"unix://{tmp}/chaos.sock"
+        stats_json = os.path.join(tmp, "proxy_stats.json")
+        proxy = launch([], "proxy",
+                       [proxy_bin, "--listen", proxied, "--upstream", upstream,
+                        "--seed", str(args.chaos_seed), "--stats", stats_json]
+                       + CHAOS_PROXY_FLAGS)
+        print("chaos soak 2/2: rerunning through chaos_proxy (resets, corruption, "
+              "duplication, reorder, delay, dribble + one 4s partition)")
+        try:
+            # The train delay keeps rounds in flight long enough for the
+            # partition window to land on live traffic.
+            chaotic = elastic_run(
+                "chaos", proxied, upstream, os.path.join(tmp, "chaos.json"),
+                client_extra=["--connect-timeout", "5", "--server-silence", "3",
+                              "--max-reconnects", "40",
+                              "--train-delay", str(max(args.train_delay, 0.3))])
+        finally:
+            if proxy.poll() is None:
+                proxy.terminate()
+        code = proxy.wait(timeout=30)
+        if code != 0:
+            sys.stdout.write(open(logs["proxy"]).read())
+            sys.exit(f"error: chaos_proxy exited {code}")
+        stats = load_json(stats_json)
+
+        failures = []
+        if chaotic["rounds_completed"] != args.rounds:
+            failures.append(f"chaotic run completed {chaotic['rounds_completed']} "
+                            f"of {args.rounds} rounds")
+        gap = abs(chaotic["final_accuracy"] - clean["final_accuracy"])
+        if gap > args.chaos_accuracy_band:
+            failures.append(f"accuracy gap {gap:.4f} exceeds the "
+                            f"{args.chaos_accuracy_band} band "
+                            f"(clean {clean['final_accuracy']:.4f}, "
+                            f"chaotic {chaotic['final_accuracy']:.4f})")
+        injected = stats.get("injected", {})
+        for fault in CHAOS_INJECTION_CLASSES:
+            if injected.get(fault, 0) <= 0:
+                failures.append(f"proxy injected no '{fault}' faults "
+                                f"(try another --chaos-seed)")
+        counters = chaotic.get("net_counters", {})
+        for name in CHAOS_RECOVERY_COUNTERS:
+            if counters.get(name, 0) <= 0:
+                failures.append(f"recovery counter {name} stayed zero")
+
+        print(f"  injected: " + " ".join(
+            f"{k}={injected.get(k, 0)}" for k in CHAOS_INJECTION_CLASSES))
+        print(f"  recovery: " + " ".join(
+            f"{k.split('.')[-1]}={counters.get(k, 0)}"
+            for k in CHAOS_RECOVERY_COUNTERS))
+        print(f"  accuracy: clean={clean['final_accuracy']:.4f} "
+              f"chaotic={chaotic['final_accuracy']:.4f} gap={gap:.4f} "
+              f"(band {args.chaos_accuracy_band})")
+        if failures:
+            for f in failures:
+                print("  chaos FAILED:", f)
+            sys.exit("error: chaos soak failed")
+        print("chaos OK: run completed under ~31% injected faults, accuracy in "
+              "band, every fault class recovered and counted")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", help="CMake build directory")
@@ -86,8 +218,12 @@ def main():
     ap.add_argument("--endpoint", default="", help="tcp://host:port or unix:///path "
                     "(default: a fresh unix socket in a temp dir)")
     ap.add_argument("--scenario", default="plain",
-                    choices=["plain", "kill-restart", "sigterm"],
+                    choices=["plain", "kill-restart", "sigterm", "chaos"],
                     help="elastic fault scenarios")
+    ap.add_argument("--chaos-seed", type=int, default=7,
+                    help="chaos: fault-decision seed handed to chaos_proxy")
+    ap.add_argument("--chaos-accuracy-band", type=float, default=0.02,
+                    help="chaos: allowed |chaotic - clean| final-accuracy gap")
     ap.add_argument("--check-parity", action=argparse.BooleanOptionalAction, default=None,
                     help="diff against the in-process reference (default: on for mirror)")
     ap.add_argument("--timeout", type=float, default=600.0, help="whole-run timeout seconds")
@@ -119,6 +255,16 @@ def main():
             sys.exit(f"error: {binary} not found (build the 'fed_server'/'fed_client' targets)")
     if args.check_parity is None:
         args.check_parity = args.mode == "mirror" and args.scenario == "plain"
+
+    if args.scenario == "chaos":
+        if args.mode != "elastic":
+            sys.exit("error: --scenario chaos requires --mode elastic")
+        proxy_bin = os.path.join(args.build_dir, "tools", "chaos_proxy")
+        if not os.path.exists(proxy_bin):
+            sys.exit(f"error: {proxy_bin} not found (build the 'chaos_proxy' target)")
+        run_chaos(args, server_bin, client_bin, proxy_bin)
+        print("run_federation: all checks passed")
+        return
 
     with tempfile.TemporaryDirectory(prefix="fedkemf_") as tmp:
         endpoint = args.endpoint or f"unix://{tmp}/fed.sock"
