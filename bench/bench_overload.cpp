@@ -1,0 +1,200 @@
+// Overload robustness: peak memory stays flat as the *registered* population
+// grows 10^3 -> 10^5 while the participating cohort is fixed.
+//
+// Each population runs the same short FedKEMF federation under churn with the
+// full overload policy engaged: a core::MemoryBudget bounding uploads, stale
+// entries, and retained client state; a SpillStore receiving departed
+// clients' private models; and a fusion-member cap that sheds the
+// lowest-priority members when the cohort outgrows it.  Registered clients
+// beyond the cohort are ChurnModel phantom registrations — each costs one
+// byte of membership state, so server memory must NOT scale with them.
+//
+// The claim under test (ISSUE 9 acceptance): process peak RSS after the
+// 10^5-registration run is at most `--rss-tolerance` (default 1.15x) the
+// peak after the 10^3 run.  VmHWM is monotone across the process, so any
+// per-registration memory cost in the later, larger runs would push the
+// high-water mark up and fail the ratio.  The binary exits non-zero when the
+// bound (or the graceful-degradation engagement checks) fails, so it doubles
+// as a CI gate; deterministic shed/spill/degraded counters land in
+// results/BENCH_overload.json for the regression checker.
+
+#include "bench_common.hpp"
+
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t clients = 8;
+  std::size_t rounds = 6;
+  std::size_t seed = 1;
+  double leave_prob = 0.25;
+  double rejoin_prob = 0.35;
+  std::size_t departed_retention = 1;
+  std::size_t budget_mb = 64;
+  std::size_t max_fusion_members = 3;
+  double deadline = 0.35;
+  double rss_tolerance = 1.15;
+  std::string spill_dir = "results/overload_spill";
+  std::string csv_dir = "results";
+
+  utils::Cli cli("bench_overload",
+                 "peak-RSS flatness under 10^3 -> 10^5 registered clients");
+  cli.flag("clients", &clients, "participating cohort size (fixed across populations)");
+  cli.flag("rounds", &rounds, "federated rounds per population");
+  cli.flag("seed", &seed, "experiment seed");
+  cli.flag("leave-prob", &leave_prob, "per-round departure probability");
+  cli.flag("rejoin-prob", &rejoin_prob, "per-round re-enrollment probability");
+  cli.flag("departed-retention", &departed_retention,
+           "departed clients retained before spill-eviction");
+  cli.flag("budget-mb", &budget_mb, "aggregation memory budget in MiB");
+  cli.flag("max-fusion-members", &max_fusion_members,
+           "fusion cohort cap (degraded rounds shed beyond it)");
+  cli.flag("deadline", &deadline,
+           "round deadline in simulated seconds (stragglers feed the stale buffer)");
+  cli.flag("rss-tolerance", &rss_tolerance,
+           "max allowed peak-RSS ratio, largest vs smallest population");
+  cli.flag("spill-dir", &spill_dir, "directory for spilled client state");
+  cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
+  cli.parse(argc, argv);
+
+  // Deliberately tiny federation: the subject is server bookkeeping at
+  // registration scale, not learning quality, so compute stays in the noise.
+  BenchScale scale = BenchScale::named("quick");
+  scale.image_size = 10;
+  scale.train_samples = 512;
+  scale.test_samples = 160;
+  scale.server_pool = 128;
+  scale.rounds = rounds;
+  const data::SyntheticSpec data = synth_cifar(scale);
+  const fl::LocalTrainConfig local = default_local(scale);
+  const models::ModelSpec spec = model_spec("cnn2", data, scale.width_multiplier);
+
+  const std::size_t populations[] = {1'000, 10'000, 100'000};
+
+  utils::Table table({"Registered", "Scale", "Peak RSS (MB)", "RSS (MB)", "Final Acc.",
+                      "Spilled", "Degraded", "Shed members"});
+  BenchReport report("overload");
+
+  std::size_t baseline_peak = 0;
+  std::size_t final_peak = 0;
+  std::uint64_t total_spilled = 0;
+  std::uint64_t total_degraded = 0;
+  std::uint64_t total_shed = 0;
+
+  for (const std::size_t population : populations) {
+    const std::size_t population_scale = population / clients;
+
+    fl::FederationOptions fed_options;
+    fed_options.data = data;
+    fed_options.train_samples = scale.train_samples;
+    fed_options.test_samples = scale.test_samples;
+    fed_options.server_pool_samples = scale.server_pool;
+    fed_options.num_clients = clients;
+    fed_options.dirichlet_alpha = 0.5;
+    fed_options.seed = seed;
+    fl::Federation federation(fed_options);
+
+    auto algorithm = make_algorithm("fedkemf", spec, spec, local);
+
+    fl::RunOptions run;
+    run.rounds = scale.rounds;
+    run.sample_ratio = 1.0;
+    run.eval_every = scale.rounds;  // one final evaluation per population
+    run.sim = sim::SimOptions{};
+    run.sim->deadline_seconds = deadline;
+    run.sim->churn.leave_prob = leave_prob;
+    run.sim->churn.rejoin_prob = rejoin_prob;
+    run.sim->churn.departed_state_retention = departed_retention;
+    run.sim->churn.population_scale = population_scale;
+    run.staleness = fl::StalenessOptions{.alpha = 0.5, .buffer_capacity = 16};
+    run.resources = fl::ResourceLimits{.memory_budget_bytes = budget_mb << 20,
+                                       .max_fusion_members = max_fusion_members,
+                                       .spill_dir = spill_dir};
+
+    const std::uint64_t spilled_before = counter_value("fl.spill.stored");
+    const std::uint64_t degraded_before = counter_value("fl.fusion.degraded_rounds");
+    const std::uint64_t shed_before = counter_value("fl.fusion.shed_members");
+
+    const fl::RunResult result = fl::run_federated(federation, *algorithm, run);
+
+    const std::uint64_t spilled = counter_value("fl.spill.stored") - spilled_before;
+    const std::uint64_t degraded = counter_value("fl.fusion.degraded_rounds") - degraded_before;
+    const std::uint64_t shed = counter_value("fl.fusion.shed_members") - shed_before;
+    total_spilled += spilled;
+    total_degraded += degraded;
+    total_shed += shed;
+
+    const std::size_t peak = obs::process_peak_rss_bytes();
+    const std::size_t current = obs::process_current_rss_bytes();
+    if (baseline_peak == 0) baseline_peak = peak;
+    final_peak = peak;
+
+    const double mb = 1024.0 * 1024.0;
+    table.row()
+        .cell(static_cast<double>(population), 0)
+        .cell(static_cast<double>(population_scale), 0)
+        .cell(static_cast<double>(peak) / mb, 1)
+        .cell(static_cast<double>(current) / mb, 1)
+        .cell(result.final_accuracy, 4)
+        .cell(static_cast<double>(spilled), 0)
+        .cell(static_cast<double>(degraded), 0)
+        .cell(static_cast<double>(shed), 0);
+
+    report.add("overload/final_accuracy_pop_" + std::to_string(population),
+               result.final_accuracy, "accuracy");
+    report.add("overload/peak_rss_mb_pop_" + std::to_string(population),
+               static_cast<double>(peak) / mb, "MB");
+  }
+
+  const double ratio = baseline_peak > 0
+                           ? static_cast<double>(final_peak) /
+                                 static_cast<double>(baseline_peak)
+                           : std::numeric_limits<double>::infinity();
+  report.add("overload/peak_rss_ratio", ratio, "ratio");
+  report.add("overload/spill_stored", static_cast<double>(total_spilled), "count");
+  report.add("overload/degraded_rounds", static_cast<double>(total_degraded), "count");
+  report.add("overload/shed_members", static_cast<double>(total_shed), "count");
+
+  emit("Overload: peak RSS vs registered population (cohort fixed at " +
+           std::to_string(clients) + ")",
+       table, csv_dir.empty() ? "" : csv_dir + "/overload.csv");
+  if (!csv_dir.empty()) report.write(csv_dir);
+
+  std::printf("peak RSS ratio (10^5 vs 10^3 registrations): %.3f (tolerance %.2f)\n",
+              ratio, rss_tolerance);
+
+  bool ok = true;
+  if (ratio > rss_tolerance) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS grew %.3fx across a 100x registration increase "
+                 "(tolerance %.2fx) — server memory is scaling with the registered "
+                 "population\n",
+                 ratio, rss_tolerance);
+    ok = false;
+  }
+  if (total_spilled == 0) {
+    std::fprintf(stderr, "FAIL: no departed-client state was spilled — the overload "
+                         "policy never engaged\n");
+    ok = false;
+  }
+  if (total_degraded == 0) {
+    std::fprintf(stderr, "FAIL: no round was fusion-degraded — the member cap never "
+                         "engaged\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 
 #include "data/dataloader.hpp"
 #include "fl/checkpoint/state_io.hpp"
+#include "fl/fusion_stream.hpp"
 #include "nn/loss.hpp"
 #include "sim/simulator.hpp"
 
@@ -89,15 +90,14 @@ void weighted_average_into(nn::Module& global, std::span<nn::Module* const> clie
     throw std::invalid_argument("weighted_average_into: zero total shard size");
   }
 
-  // Accumulate into zero-initialized state snapshots, then restore.
-  std::vector<core::Tensor> accumulator = nn::snapshot_state(global);
-  for (core::Tensor& t : accumulator) t.zero();
+  // Stream members through a single zero-initialized accumulator: identical
+  // float-op order to the historical batch loop, O(model) working set.
+  StreamingWeightedSum sum(global, total_weight);
   for (std::size_t i = 0; i < sampled.size(); ++i) {
-    const float weight = static_cast<float>(
-        static_cast<double>(federation.client_shard(sampled[i]).size()) / total_weight);
-    nn::accumulate_state(*client_models[i], accumulator, weight);
+    sum.add(*client_models[i],
+            static_cast<double>(federation.client_shard(sampled[i]).size()));
   }
-  nn::restore_state(global, accumulator);
+  sum.finalize();
 }
 
 void weighted_state_average_into(nn::Module& global,
@@ -117,23 +117,15 @@ void weighted_state_average_into(nn::Module& global,
     throw std::invalid_argument("weighted_state_average_into: zero total weight");
   }
 
-  std::vector<core::Tensor> accumulator = nn::snapshot_state(global);
-  for (core::Tensor& t : accumulator) t.zero();
+  StreamingWeightedSum sum(global, total_weight);
   for (const StateContribution& member : members) {
-    const float scale = static_cast<float>(member.weight / total_weight);
     if (member.module != nullptr) {
-      nn::accumulate_state(*member.module, accumulator, scale);
-      continue;
-    }
-    if (member.state->size() != accumulator.size()) {
-      throw std::invalid_argument(
-          "weighted_state_average_into: snapshot tensor count mismatch");
-    }
-    for (std::size_t t = 0; t < accumulator.size(); ++t) {
-      accumulator[t].add_scaled_((*member.state)[t], scale);
+      sum.add(*member.module, member.weight);
+    } else {
+      sum.add(*member.state, member.weight);
     }
   }
-  nn::restore_state(global, accumulator);
+  sum.finalize();
 }
 
 }  // namespace fedkemf::fl

@@ -16,9 +16,11 @@
 #include <span>
 #include <string>
 
+#include "core/memory_budget.hpp"
 #include "core/serialize.hpp"
 #include "fl/config.hpp"
 #include "fl/federation.hpp"
+#include "fl/spill.hpp"
 #include "fl/stale_buffer.hpp"
 #include "nn/module.hpp"
 #include "nn/optim.hpp"
@@ -87,6 +89,30 @@ class Algorithm {
   /// Buffered late updates folded into the last round's aggregation.
   virtual std::size_t last_stale_applied() const { return 0; }
 
+  // ---- Overload policy (resource budgets and graceful degradation).
+  //
+  /// Installs (or clears) the shared memory budget.  The runner owns it and
+  /// clears the pointer before it dies.  Algorithms charge retained client
+  /// state against BudgetCategory::kClientState where they track it.
+  void set_memory_budget(core::MemoryBudget* budget) { memory_budget_ = budget; }
+  core::MemoryBudget* memory_budget() const { return memory_budget_; }
+
+  /// Installs (or clears) the spill store for departed-client state.  When
+  /// set, on_client_evicted() serializes heavy per-client state to disk
+  /// instead of dropping it, and on_client_joined() restores it lazily.
+  void set_spill_store(SpillStore* store) { spill_store_ = store; }
+  SpillStore* spill_store() const { return spill_store_; }
+
+  /// Caps how many members a single fusion materializes; excess members are
+  /// shed deterministically (stale before fresh) and the round is flagged
+  /// degraded.  0 = unlimited, the historical behavior.
+  void set_max_fusion_members(std::size_t cap) { max_fusion_members_ = cap; }
+  std::size_t max_fusion_members() const { return max_fusion_members_; }
+
+  /// True when the last round's fusion shed members to stay within the
+  /// resource limits — the statistic was exact over a subset of the cohort.
+  bool last_fusion_degraded() const { return last_fusion_degraded_; }
+
   // ---- Elastic-population lifecycle (driven by the runner's churn model).
   //
   /// A client (re)joined the federation: warm-start whatever per-client
@@ -121,6 +147,10 @@ class Algorithm {
 
   sim::Simulator* simulator_ = nullptr;
   StaleUpdateBuffer* stale_buffer_ = nullptr;
+  core::MemoryBudget* memory_budget_ = nullptr;
+  SpillStore* spill_store_ = nullptr;
+  std::size_t max_fusion_members_ = 0;
+  bool last_fusion_degraded_ = false;
   obs::PhaseAccumulator phases_;
 };
 

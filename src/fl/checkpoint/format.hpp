@@ -39,7 +39,9 @@ namespace fedkemf::ckpt {
 inline constexpr std::uint32_t kCheckpointMagic = 0xFEDC4B01;
 /// v2: RoundRecord gained the elastic-federation counters and the runner
 /// section gained the churn/stale-buffer continuation blobs.
-inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
+/// v3: the stale-buffer blob gained the budget-eviction counter and
+/// RoundRecord gained the overload fields (degraded fusion, peak RSS).
+inline constexpr std::uint32_t kCheckpointFormatVersion = 3;
 
 struct Section {
   std::string name;

@@ -48,6 +48,10 @@ void write_record(core::ByteWriter& writer, const RoundRecord& record) {
   writer.write_u8(record.sim_tracked ? 1 : 0);
   writer.write_u8(record.churn_tracked ? 1 : 0);
   writer.write_u8(record.staleness_tracked ? 1 : 0);
+  writer.write_u8(record.fusion_degraded ? 1 : 0);
+  writer.write_u64(record.budget_used_bytes);
+  writer.write_u64(record.peak_rss_bytes);
+  writer.write_u8(record.resources_tracked ? 1 : 0);
 }
 
 RoundRecord read_record(core::ByteReader& reader) {
@@ -74,6 +78,10 @@ RoundRecord read_record(core::ByteReader& reader) {
   record.sim_tracked = reader.read_u8() != 0;
   record.churn_tracked = reader.read_u8() != 0;
   record.staleness_tracked = reader.read_u8() != 0;
+  record.fusion_degraded = reader.read_u8() != 0;
+  record.budget_used_bytes = static_cast<std::size_t>(reader.read_u64());
+  record.peak_rss_bytes = static_cast<std::size_t>(reader.read_u64());
+  record.resources_tracked = reader.read_u8() != 0;
   return record;
 }
 
@@ -113,6 +121,8 @@ void encode_run_state(core::ByteWriter& writer, const RunnerState& state) {
   writer.write_u64(result.total_joined);
   writer.write_u64(result.total_left);
   writer.write_u64(result.total_stale_applied);
+  writer.write_u64(result.total_degraded_rounds);
+  writer.write_u64(result.peak_rss_bytes);
 
   writer.write_u8(state.has_watchdog_snapshot ? 1 : 0);
   if (state.has_watchdog_snapshot) {
@@ -154,6 +164,8 @@ RunnerState decode_run_state(core::ByteReader& reader) {
   result.total_joined = static_cast<std::size_t>(reader.read_u64());
   result.total_left = static_cast<std::size_t>(reader.read_u64());
   result.total_stale_applied = static_cast<std::size_t>(reader.read_u64());
+  result.total_degraded_rounds = static_cast<std::size_t>(reader.read_u64());
+  result.peak_rss_bytes = static_cast<std::size_t>(reader.read_u64());
 
   state.has_watchdog_snapshot = reader.read_u8() != 0;
   if (state.has_watchdog_snapshot) {

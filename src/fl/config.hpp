@@ -90,6 +90,28 @@ struct StalenessOptions {
   std::size_t buffer_capacity = 32;
 };
 
+/// Server-side overload policy: how much RAM the run may hold, how many
+/// members a fusion may materialize, and where cold per-client state spills.
+/// Every field's zero/empty default means "unlimited / keep in RAM" — the
+/// historical behavior, bitwise.
+struct ResourceLimits {
+  /// Total bytes chargeable to the shared core::MemoryBudget (uploads, stale
+  /// buffer, retained client state).  0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
+  /// Usage above this fraction of the budget trips admission control
+  /// (over_high_water) before the hard limit does.
+  double high_water_fraction = 0.8;
+  /// Fusion materializes at most this many members per round; excess members
+  /// (lowest priority first: stale before fresh, highest client id first
+  /// within a class) are shed and the round is flagged degraded.  0 =
+  /// unlimited.
+  std::size_t max_fusion_members = 0;
+  /// When non-empty, departed-client state (FedKEMF/FedMD private models)
+  /// spills to CRC-checked files here instead of being dropped, and is
+  /// restored lazily on rejoin.  Empty = historical reset-on-evict.
+  std::string spill_dir;
+};
+
 /// Round loop controls.
 struct RunOptions {
   std::size_t rounds = 30;
@@ -123,6 +145,9 @@ struct RunOptions {
   std::string checkpoint_dir;
   std::size_t checkpoint_every = 1;
   std::size_t checkpoint_retain = 3;
+  /// Overload policy: memory budget, fusion-member cap, spill directory.
+  /// Unset = unlimited resources, the historical behavior (bitwise).
+  std::optional<ResourceLimits> resources;
 };
 
 /// FedKEMF-specific knobs (defaults follow the paper where it specifies and

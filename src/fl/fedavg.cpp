@@ -5,6 +5,7 @@
 
 #include "fl/checkpoint/state_io.hpp"
 #include "models/flops.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
@@ -39,6 +40,11 @@ FedAvg::Slot& FedAvg::slot(std::size_t client_id) {
     core::Rng rng = federation().root_rng().fork(0x510700ULL + client_id);
     s.model = models::build_model(spec_, rng);
     s.staged = models::build_model(spec_, rng);
+    if (memory_budget_ != nullptr) {
+      memory_budget_->charge(
+          core::BudgetCategory::kClientState,
+          (nn::state_numel(*s.model) + nn::state_numel(*s.staged)) * sizeof(float));
+    }
   }
   return s;
 }
@@ -121,8 +127,45 @@ void FedAvg::collect_due_stale(std::size_t round_index) {
   last_stale_applied_ = stale_updates_.size();
 }
 
+std::vector<std::size_t> FedAvg::apply_fusion_cap(std::vector<std::size_t> survivors) {
+  last_fusion_degraded_ = false;
+  if (max_fusion_members_ == 0) return survivors;
+  const std::size_t total = survivors.size() + stale_updates_.size();
+  if (total <= max_fusion_members_) return survivors;
+
+  // Fresh survivors outrank stale updates; within each class the canonical
+  // order (ascending client id / origin round) decides who stays.
+  const std::size_t cap = std::max<std::size_t>(1, max_fusion_members_);
+  const std::size_t keep_fresh = std::min(survivors.size(), cap);
+  const std::size_t keep_stale = std::min(stale_updates_.size(), cap - keep_fresh);
+  const std::size_t shed = total - keep_fresh - keep_stale;
+
+  // Stale entries are sorted oldest-origin-first: dropping the front sheds
+  // the most-discounted members and keeps the freshest.
+  const std::size_t drop_stale = stale_updates_.size() - keep_stale;
+  stale_updates_.erase(stale_updates_.begin(),
+                       stale_updates_.begin() + static_cast<std::ptrdiff_t>(drop_stale));
+  stale_weights_.erase(stale_weights_.begin(),
+                       stale_weights_.begin() + static_cast<std::ptrdiff_t>(drop_stale));
+  survivors.resize(keep_fresh);
+  last_stale_applied_ = stale_updates_.size();
+  last_fusion_degraded_ = true;
+  static obs::Counter& shed_counter =
+      obs::MetricsRegistry::global().counter("fl.fusion.shed_members");
+  static obs::Counter& degraded_counter =
+      obs::MetricsRegistry::global().counter("fl.fusion.degraded_rounds");
+  shed_counter.add(shed);
+  degraded_counter.add();
+  return survivors;
+}
+
 void FedAvg::on_client_evicted(std::size_t client_id) {
   Slot& s = slots_.at(client_id);
+  if (s.model && memory_budget_ != nullptr) {
+    memory_budget_->release(
+        core::BudgetCategory::kClientState,
+        (nn::state_numel(*s.model) + nn::state_numel(*s.staged)) * sizeof(float));
+  }
   s.model.reset();
   s.staged.reset();
 }
@@ -264,7 +307,8 @@ double FedAvg::round(std::size_t round_index, std::span<const std::size_t> sampl
   });
 
   collect_due_stale(round_index);
-  const std::vector<std::size_t> survivors = surviving_clients(sampled);
+  const std::vector<std::size_t> survivors =
+      apply_fusion_cap(surviving_clients(sampled));
   if (!survivors.empty() || !stale_updates_.empty()) aggregate(round_index, survivors);
 
   double loss_total = 0.0;

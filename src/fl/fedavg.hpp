@@ -88,6 +88,13 @@ class FedAvg : public Algorithm {
   /// client section of round().
   std::vector<std::size_t> surviving_clients(std::span<const std::size_t> sampled) const;
 
+  /// Enforces max_fusion_members_ over survivors + due stale updates: sheds
+  /// stale entries first (oldest origin first — the most-discounted, lowest-
+  /// priority members), then fresh survivors highest-client-id first, and
+  /// flags the round degraded when anything was shed.  Returns the survivors
+  /// that remain.  No-op (and bitwise-neutral) when the cap is 0.
+  std::vector<std::size_t> apply_fusion_cap(std::vector<std::size_t> survivors);
+
   /// Simulated local training cost for one client this round, in FLOPs.
   double client_training_flops(std::size_t client_id, std::size_t round_index);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include "data/dataloader.hpp"
@@ -12,6 +13,7 @@
 #include "fl/defense/sanitize.hpp"
 #include "models/flops.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
@@ -206,8 +208,18 @@ FedKemf::Slot& FedKemf::slot(std::size_t client_id) {
     s.local_model = models::build_model(client_spec(client_id), rng);
     s.knowledge = models::build_model(options_.knowledge_spec, rng);
     s.staged = models::build_model(options_.knowledge_spec, rng);
+    if (memory_budget_ != nullptr) {
+      memory_budget_->charge(core::BudgetCategory::kClientState, slot_state_bytes(s));
+    }
   }
   return s;
+}
+
+std::size_t FedKemf::slot_state_bytes(Slot& s) const {
+  if (!s.local_model) return 0;
+  return (nn::state_numel(*s.local_model) + nn::state_numel(*s.knowledge) +
+          nn::state_numel(*s.staged)) *
+         sizeof(float);
 }
 
 void FedKemf::save_state(core::ByteWriter& writer) {
@@ -280,6 +292,7 @@ double FedKemf::round(std::size_t round_index, std::span<const std::size_t> samp
   completed_.assign(sampled.size(), 0);
   last_distill_loss_ = 0.0;
   last_rejected_ = 0;
+  last_fusion_degraded_ = false;
   const sim::AdversaryModel* adversary = adversary_model();
   {
     // Slot instantiation (local + knowledge + staged nets) counts as standing
@@ -449,6 +462,17 @@ void FedKemf::collect_due_stale(std::size_t round_index) {
 
 void FedKemf::on_client_joined(std::size_t client_id) {
   Slot& s = slot(client_id);
+  // A spilled rejoiner gets its private model and Dropout stream positions
+  // back from disk — the cheap eviction becomes invisible to the trajectory.
+  // A CRC failure (or no spill file) falls through to the fresh-joiner path.
+  if (spill_store_ != nullptr) {
+    if (std::optional<std::vector<std::uint8_t>> bytes = spill_store_->take(client_id)) {
+      core::ByteReader reader(*bytes);
+      ckpt::read_module_state(reader, *s.local_model);
+      ckpt::read_module_rng_streams(reader, *s.knowledge);
+      ckpt::read_module_rng_streams(reader, *s.staged);
+    }
+  }
   const std::vector<core::Tensor> state = nn::snapshot_state(*global_knowledge_);
   nn::restore_state(*s.knowledge, state);
   nn::restore_state(*s.staged, state);
@@ -456,6 +480,21 @@ void FedKemf::on_client_joined(std::size_t client_id) {
 
 void FedKemf::on_client_evicted(std::size_t client_id) {
   Slot& s = slots_.at(client_id);
+  if (s.local_model) {
+    // With a spill store the private model survives eviction on disk instead
+    // of being dropped — the memory bound still holds (the slot is released)
+    // but a rejoiner resumes its own trajectory rather than a cold start.
+    if (spill_store_ != nullptr) {
+      core::ByteWriter writer;
+      ckpt::write_module_state(writer, *s.local_model);
+      ckpt::write_module_rng_streams(writer, *s.knowledge);
+      ckpt::write_module_rng_streams(writer, *s.staged);
+      spill_store_->store(client_id, writer.buffer());
+    }
+    if (memory_budget_ != nullptr) {
+      memory_budget_->release(core::BudgetCategory::kClientState, slot_state_bytes(s));
+    }
+  }
   s.local_model.reset();
   s.knowledge.reset();
   s.staged.reset();
@@ -515,6 +554,30 @@ void FedKemf::distill_ensemble(std::size_t round_index, std::span<const std::siz
   }
   if (members.empty() && stale_members.empty()) {
     return;  // every upload screened out: keep last global
+  }
+
+  // Fusion-member cap (resource budgets): fresh members outrank screened
+  // stale entries; within each class the canonical order decides who stays.
+  // Stale indices ascend with origin round, so dropping the front sheds the
+  // most-discounted members first — same policy as FedAvg::apply_fusion_cap.
+  if (max_fusion_members_ > 0 &&
+      members.size() + stale_members.size() > max_fusion_members_) {
+    const std::size_t cap = std::max<std::size_t>(1, max_fusion_members_);
+    const std::size_t keep_fresh = std::min(members.size(), cap);
+    const std::size_t keep_stale = std::min(stale_members.size(), cap - keep_fresh);
+    const std::size_t shed =
+        members.size() + stale_members.size() - keep_fresh - keep_stale;
+    stale_members.erase(stale_members.begin(),
+                        stale_members.end() - static_cast<std::ptrdiff_t>(keep_stale));
+    members.resize(keep_fresh);
+    last_stale_applied_ = stale_members.size();
+    last_fusion_degraded_ = true;
+    static obs::Counter& shed_counter =
+        obs::MetricsRegistry::global().counter("fl.fusion.shed_members");
+    static obs::Counter& degraded_counter =
+        obs::MetricsRegistry::global().counter("fl.fusion.degraded_rounds");
+    shed_counter.add(shed);
+    degraded_counter.add();
   }
 
   // Teachers predict in eval mode with frozen statistics; screened stale

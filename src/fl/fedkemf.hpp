@@ -112,6 +112,9 @@ class FedKemf final : public Algorithm {
   };
 
   Slot& slot(std::size_t client_id);
+  /// Resident bytes a built slot charges against BudgetCategory::kClientState
+  /// (0 for an empty slot).
+  std::size_t slot_state_bytes(Slot& s) const;
   void distill_ensemble(std::size_t round_index, std::span<const std::size_t> sampled);
   void fuse_weight_average(std::span<const std::size_t> sampled);
   double client_training_flops(std::size_t client_id, std::size_t round_index);

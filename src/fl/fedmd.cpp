@@ -1,6 +1,7 @@
 #include "fl/fedmd.hpp"
 
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include "core/serialize.hpp"
@@ -87,6 +88,10 @@ FedMd::Slot& FedMd::slot(std::size_t client_id) {
   if (!s.model) {
     core::Rng rng = federation_->root_rng().fork(0xFED3D001ULL + client_id);
     s.model = models::build_model(client_spec(client_id), rng);
+    if (memory_budget_ != nullptr) {
+      memory_budget_->charge(core::BudgetCategory::kClientState,
+                             nn::state_numel(*s.model) * sizeof(float));
+    }
   }
   return s;
 }
@@ -108,6 +113,15 @@ double FedMd::client_round_flops(std::size_t client_id, std::size_t round_index)
 
 void FedMd::on_client_joined(std::size_t client_id) {
   Slot& s = slot(client_id);
+  // A spilled rejoiner restores its own private model from disk; a CRC
+  // failure (or no spill file) falls through to the warm-start below.
+  if (spill_store_ != nullptr) {
+    if (std::optional<std::vector<std::uint8_t>> bytes = spill_store_->take(client_id)) {
+      core::ByteReader reader(*bytes);
+      ckpt::read_module_state(reader, *s.model);
+      return;
+    }
+  }
   // Seed from the server student when the architectures agree (every state
   // tensor shape-matches); heterogeneous joiners keep their fresh init.
   std::vector<core::Tensor> student_state = nn::snapshot_state(*server_student_);
@@ -120,7 +134,19 @@ void FedMd::on_client_joined(std::size_t client_id) {
 }
 
 void FedMd::on_client_evicted(std::size_t client_id) {
-  slots_.at(client_id).model.reset();
+  Slot& s = slots_.at(client_id);
+  if (s.model) {
+    if (spill_store_ != nullptr) {
+      core::ByteWriter writer;
+      ckpt::write_module_state(writer, *s.model);
+      spill_store_->store(client_id, writer.buffer());
+    }
+    if (memory_budget_ != nullptr) {
+      memory_budget_->release(core::BudgetCategory::kClientState,
+                              nn::state_numel(*s.model) * sizeof(float));
+    }
+  }
+  s.model.reset();
 }
 
 double FedMd::round(std::size_t round_index, std::span<const std::size_t> sampled,

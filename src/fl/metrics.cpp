@@ -101,7 +101,7 @@ double RunResult::mean_round_bytes() const {
 utils::Table history_table(const RunResult& result) {
   utils::Table table({"Round", "Accuracy", "Train loss", "Compute (s)", "Eval (s)",
                       "Round bytes", "Completed", "Rejected", "Straggled", "Joined",
-                      "Left", "Stale"});
+                      "Left", "Stale", "Degraded", "Peak RSS (MB)"});
   // Untracked counters render as "n/a" via the Table NaN convention — a churn
   // column showing 0 on a fixed-membership run would read as "nobody moved"
   // when the truth is "nobody was counting".
@@ -123,7 +123,12 @@ utils::Table history_table(const RunResult& result) {
         .cell(counted(record.sim_tracked, record.clients_straggled), 0)
         .cell(counted(record.churn_tracked, record.clients_joined), 0)
         .cell(counted(record.churn_tracked, record.clients_left), 0)
-        .cell(counted(record.staleness_tracked, record.stale_applied), 0);
+        .cell(counted(record.staleness_tracked, record.stale_applied), 0)
+        .cell(counted(record.resources_tracked, record.fusion_degraded ? 1 : 0), 0)
+        .cell(record.peak_rss_bytes == 0
+                  ? std::numeric_limits<double>::quiet_NaN()
+                  : static_cast<double>(record.peak_rss_bytes) / (1024.0 * 1024.0),
+              1);
   }
   return table;
 }

@@ -64,6 +64,17 @@ struct RoundRecord {
   bool sim_tracked = false;           ///< a simulator gated this round
   bool churn_tracked = false;         ///< a dynamic churn model was active
   bool staleness_tracked = false;     ///< a stale-update buffer was installed
+
+  // Overload policy (RunOptions::resources).  fusion_degraded marks a round
+  // whose aggregation shed members to stay within the resource limits;
+  // budget_used_bytes samples the shared MemoryBudget after aggregation and
+  // peak_rss_bytes samples the process high-water mark (VmHWM) — the latter
+  // is recorded even without limits, so every run's memory history is in the
+  // telemetry.
+  bool fusion_degraded = false;
+  std::size_t budget_used_bytes = 0;
+  std::size_t peak_rss_bytes = 0;
+  bool resources_tracked = false;     ///< a resource budget was configured
 };
 
 struct RunResult {
@@ -89,6 +100,10 @@ struct RunResult {
   std::size_t total_joined = 0;
   std::size_t total_left = 0;
   std::size_t total_stale_applied = 0;
+
+  // Overload totals (zero without RunOptions::resources).
+  std::size_t total_degraded_rounds = 0;  ///< rounds whose fusion shed members
+  std::size_t peak_rss_bytes = 0;         ///< max VmHWM sampled across rounds
 
   /// True when the run stopped early on a graceful-shutdown request (SIGINT/
   /// SIGTERM with install_shutdown_handler); a final checkpoint was written

@@ -14,6 +14,7 @@
 #include "fl/defense/sanitize.hpp"  // state_finite
 #include "fl/stale_buffer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/crash.hpp"
@@ -68,6 +69,9 @@ obs::RoundTelemetry to_telemetry(const RoundRecord& record, bool evaluated,
   t.clients_joined = record.clients_joined;
   t.clients_left = record.clients_left;
   t.stale_applied = record.stale_applied;
+  t.fusion_degraded = record.fusion_degraded;
+  t.budget_used_bytes = record.budget_used_bytes;
+  t.peak_rss_bytes = record.peak_rss_bytes;
   t.evaluated = evaluated;
   t.accuracy = record.accuracy;
   t.train_loss = record.train_loss;
@@ -117,6 +121,23 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
   }
   const bool churn_active = simulator && options.sim->churn.dynamic();
   std::vector<std::size_t> departed_fifo;  ///< eviction order, oldest first
+
+  // Overload policy: a shared memory budget, a spill store for departed
+  // clients' heavy state, and a fusion-member cap.  Unset resources (the
+  // default) install nothing, keeping legacy runs bitwise identical.
+  std::unique_ptr<core::MemoryBudget> memory_budget;
+  std::unique_ptr<SpillStore> spill_store;
+  if (options.resources) {
+    memory_budget = std::make_unique<core::MemoryBudget>(
+        options.resources->memory_budget_bytes, options.resources->high_water_fraction);
+    algorithm.set_memory_budget(memory_budget.get());
+    if (stale_buffer) stale_buffer->set_memory_budget(memory_budget.get());
+    if (!options.resources->spill_dir.empty()) {
+      spill_store = std::make_unique<SpillStore>(options.resources->spill_dir);
+      algorithm.set_spill_store(spill_store.get());
+    }
+    algorithm.set_max_fusion_members(options.resources->max_fusion_members);
+  }
 
   if (state.has_elastic) {
     if (churn_active && !state.churn_state.empty()) {
@@ -297,6 +318,12 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
     result.total_joined += record.clients_joined;
     result.total_left += record.clients_left;
     result.total_stale_applied += record.stale_applied;
+    record.resources_tracked = options.resources.has_value();
+    record.fusion_degraded = algorithm.last_fusion_degraded();
+    record.budget_used_bytes = memory_budget ? memory_budget->used_bytes() : 0;
+    record.peak_rss_bytes = obs::process_peak_rss_bytes();
+    if (record.fusion_degraded) ++result.total_degraded_rounds;
+    result.peak_rss_bytes = std::max(result.peak_rss_bytes, record.peak_rss_bytes);
 
     const bool last_round = round + 1 == options.rounds;
     const std::size_t every = std::max<std::size_t>(1, options.eval_every);
@@ -405,7 +432,15 @@ RunResult run_loop(Federation& federation, Algorithm& algorithm, const RunOption
     telemetry->record_run(result.algorithm, result.rounds_completed, result.wall_seconds,
                           result.final_accuracy, result.total_bytes);
   }
-  if (stale_buffer) algorithm.set_stale_buffer(nullptr);
+  if (stale_buffer) {
+    stale_buffer->set_memory_budget(nullptr);
+    algorithm.set_stale_buffer(nullptr);
+  }
+  if (options.resources) {
+    algorithm.set_memory_budget(nullptr);
+    algorithm.set_spill_store(nullptr);
+    algorithm.set_max_fusion_members(0);
+  }
   if (simulator) {
     algorithm.set_simulator(nullptr);
     simulator->detach();

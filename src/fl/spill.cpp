@@ -1,0 +1,108 @@
+#include "fl/spill.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "fl/checkpoint/format.hpp"
+#include "obs/metrics.hpp"
+
+namespace fedkemf::fl {
+
+namespace {
+
+obs::Counter& counter_stored() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("fl.spill.stored");
+  return c;
+}
+
+obs::Counter& counter_loaded() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("fl.spill.loaded");
+  return c;
+}
+
+obs::Counter& counter_dropped() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("fl.spill.dropped");
+  return c;
+}
+
+obs::Counter& counter_corrupt() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("fl.spill.corrupt");
+  return c;
+}
+
+}  // namespace
+
+SpillStore::SpillStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw std::invalid_argument("SpillStore: empty directory");
+  std::filesystem::create_directories(dir_);
+}
+
+std::string SpillStore::path_for(std::size_t client_id) const {
+  return (std::filesystem::path(dir_) /
+          ("spill_" + std::to_string(client_id) + ".bin"))
+      .string();
+}
+
+void SpillStore::store(std::size_t client_id, std::span<const std::uint8_t> bytes) {
+  // Wrap in the checkpoint container: the client id rides in next_round so a
+  // misdirected file (renamed, copied) is rejected at load, and the body CRC
+  // catches torn writes and bit rot.
+  ckpt::Checkpoint container;
+  container.algorithm = "spill";
+  container.next_round = client_id;
+  container.section("state").assign(bytes.begin(), bytes.end());
+  ckpt::atomic_write_file(path_for(client_id), ckpt::encode_checkpoint(container));
+  counter_stored().add();
+}
+
+std::optional<std::vector<std::uint8_t>> SpillStore::take(std::size_t client_id) {
+  const std::string path = path_for(client_id);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  try {
+    const std::vector<std::uint8_t> raw = ckpt::read_file(path);
+    ckpt::Checkpoint container = ckpt::decode_checkpoint(raw);
+    if (container.algorithm != "spill" || container.next_round != client_id) {
+      throw std::runtime_error("spill file identity mismatch");
+    }
+    const ckpt::Section* section = container.find("state");
+    if (section == nullptr) throw std::runtime_error("spill file missing state section");
+    std::filesystem::remove(path, ec);
+    counter_loaded().add();
+    return section->bytes;
+  } catch (const std::exception& err) {
+    // A corrupt spill degrades to the fresh-joiner path: drop the file so the
+    // failure is not retried forever, count it, carry on.
+    std::fprintf(stderr, "[spill] client %zu: %s (treating as fresh joiner)\n",
+                 client_id, err.what());
+    std::filesystem::remove(path, ec);
+    counter_corrupt().add();
+    return std::nullopt;
+  }
+}
+
+bool SpillStore::contains(std::size_t client_id) const {
+  std::error_code ec;
+  return std::filesystem::exists(path_for(client_id), ec);
+}
+
+void SpillStore::drop(std::size_t client_id) {
+  std::error_code ec;
+  if (std::filesystem::remove(path_for(client_id), ec)) counter_dropped().add();
+}
+
+std::size_t SpillStore::stored_count() const {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("spill_", 0) == 0 && name.size() > 10 &&
+        name.compare(name.size() - 4, 4, ".bin") == 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace fedkemf::fl

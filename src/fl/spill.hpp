@@ -1,0 +1,59 @@
+#pragma once
+
+// Spill-to-disk for cold per-client server state.
+//
+// Algorithms with heavyweight per-client state (FedKEMF / FedMD private
+// models) historically had two choices when a client departed: keep the
+// state resident (the departed-client FIFO — RAM grows with the registered
+// population) or reset it (a rejoiner restarts from the global model, losing
+// its personalization).  SpillStore adds the third: serialize the state to a
+// CRC-checked per-client file at eviction time and restore it lazily on
+// rejoin, so RAM tracks the *live* cohort while rejoin quality tracks the
+// *registered* population.
+//
+// Files reuse the checkpoint container (fl/checkpoint/format.hpp): versioned
+// magic, CRC over the body, atomic stage+fsync+rename writes.  A corrupt or
+// missing file degrades to the historical fresh-joiner path (counted, never
+// fatal).  Counters: fl.spill.stored / loaded / dropped / corrupt.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedkemf::fl {
+
+class SpillStore {
+ public:
+  /// Spill files land under `dir` (created if missing) as spill_<id>.bin.
+  explicit SpillStore(std::string dir);
+
+  /// Atomically writes `bytes` as client `id`'s spilled state, replacing any
+  /// previous spill.  Throws std::runtime_error on I/O failure.
+  void store(std::size_t client_id, std::span<const std::uint8_t> bytes);
+
+  /// Loads and validates client `id`'s spilled state.  nullopt when absent or
+  /// corrupt (corruption is counted and the file dropped).  The file is
+  /// removed on successful load — spilled state is single-use by design; the
+  /// client is live again and will be re-spilled at its next departure.
+  std::optional<std::vector<std::uint8_t>> take(std::size_t client_id);
+
+  [[nodiscard]] bool contains(std::size_t client_id) const;
+
+  /// Removes client `id`'s spill file if present.
+  void drop(std::size_t client_id);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Spill files currently on disk for this store's directory.
+  [[nodiscard]] std::size_t stored_count() const;
+
+ private:
+  [[nodiscard]] std::string path_for(std::size_t client_id) const;
+
+  std::string dir_;
+};
+
+}  // namespace fedkemf::fl

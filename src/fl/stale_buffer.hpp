@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/memory_budget.hpp"
 #include "core/serialize.hpp"
 #include "core/tensor.hpp"
 #include "fl/config.hpp"
@@ -42,6 +43,10 @@ struct StaleUpdate {
   std::vector<core::Tensor> extra_state;
   std::vector<double> scalars;
 };
+
+/// Approximate resident footprint of one parked update (tensor payloads plus
+/// a small fixed overhead) — the quantity charged to the memory budget.
+std::size_t stale_update_bytes(const StaleUpdate& update);
 
 /// w = 1 / (1 + s)^alpha, with the s == 0 case pinned to exactly 1.0 so a
 /// zero-lateness "stale" update is indistinguishable from a fresh one.
@@ -67,6 +72,18 @@ class StaleUpdateBuffer {
   std::size_t size() const;
   /// Entries lost to the capacity bound across the run.
   std::size_t evicted_total() const;
+  /// Entries additionally shed because the shared memory budget was over its
+  /// high-water mark (stale uploads are the lowest-priority resident state).
+  std::size_t budget_evicted_total() const;
+  /// Bytes currently charged against the memory budget by parked entries.
+  std::size_t resident_bytes() const;
+
+  /// Installs (or clears) the shared memory budget.  Entries charge
+  /// BudgetCategory::kStaleBuffer on push and release on drain/eviction; when
+  /// the budget is over its high-water mark, take_due() sheds
+  /// oldest-origin-first beyond the usual capacity bound.  The owner of the
+  /// budget must outlive the buffer or clear the pointer first.
+  void set_memory_budget(core::MemoryBudget* budget);
 
   /// Discount for an `staleness`-rounds-old update under this buffer's alpha.
   double weight(std::size_t staleness) const {
@@ -79,10 +96,16 @@ class StaleUpdateBuffer {
  private:
   void sort_entries();  ///< caller holds mutex_
 
+  void charge(const StaleUpdate& update);   ///< caller holds mutex_
+  void release(const StaleUpdate& update);  ///< caller holds mutex_
+
   StalenessOptions options_;
   mutable std::mutex mutex_;
   std::vector<StaleUpdate> entries_;
   std::size_t evicted_ = 0;
+  std::size_t budget_evicted_ = 0;
+  std::size_t resident_bytes_ = 0;
+  core::MemoryBudget* budget_ = nullptr;
 };
 
 }  // namespace fedkemf::fl

@@ -50,6 +50,7 @@ std::string to_string(FrameType type) {
     case FrameType::kBye: return "BYE";
     case FrameType::kPing: return "PING";
     case FrameType::kPong: return "PONG";
+    case FrameType::kBusy: return "BUSY";
   }
   return "frame type " + std::to_string(static_cast<int>(type));
 }
@@ -175,7 +176,7 @@ Frame decode_frame_payload(std::span<const std::uint8_t> payload,
     Frame frame;
     const std::uint8_t type = reader.read_u8();
     if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-        type > static_cast<std::uint8_t>(FrameType::kPong)) {
+        type > static_cast<std::uint8_t>(FrameType::kBusy)) {
       throw ProtocolError("frame: unknown type " + std::to_string(type));
     }
     frame.type = static_cast<FrameType>(type);

@@ -73,6 +73,12 @@ enum class FrameType : std::uint8_t {
   kBye = 5,
   kPing = 6,
   kPong = 7,
+  /// Server -> client: admission control refused the HELLO because the
+  /// server is over its resource limits.  Unlike a kFlagReject ACK (a
+  /// permanent configuration mismatch), BUSY is transient: scalars[0]
+  /// carries a suggested retry-after in seconds and the client backs off
+  /// with jitter instead of treating the connection as fatal.
+  kBusy = 8,
 };
 
 std::string to_string(FrameType type);

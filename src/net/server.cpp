@@ -65,6 +65,20 @@ obs::Counter& counter_stale_uploads() {
   static auto& c = obs::MetricsRegistry::global().counter("net.server.stale_uploads");
   return c;
 }
+obs::Counter& counter_shed_busy_hellos() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.shed.busy_hellos");
+  return c;
+}
+obs::Counter& counter_shed_uploads() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.shed.uploads");
+  return c;
+}
+
+/// Resident cost of one parked UPLOAD (the payload plus its bookkeeping).
+std::size_t upload_frame_bytes(const Frame& frame) {
+  return frame.body.size() + frame.name.size() + frame.scalars.size() * sizeof(double) +
+         sizeof(Frame);
+}
 
 }  // namespace
 
@@ -103,6 +117,15 @@ void EpollServer::set_frame_auth(const FrameKey& key) { auth_key_ = key; }
 
 void EpollServer::set_write_queue_cap(std::size_t bytes) { write_queue_cap_ = bytes; }
 
+void EpollServer::set_resource_limits(ResourceLimits limits) { resource_limits_ = limits; }
+
+void EpollServer::set_memory_budget(core::MemoryBudget* budget) { memory_budget_ = budget; }
+
+std::size_t EpollServer::pending_upload_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_upload_bytes_;
+}
+
 void EpollServer::start() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -131,6 +154,12 @@ void EpollServer::stop() {
   wake();
   if (thread_.joinable()) thread_.join();
   std::lock_guard<std::mutex> lock(mutex_);
+  // Uploads still parked at shutdown will never be claimed: hand their
+  // charge back so the caller's budget gauge settles at zero.
+  if (memory_budget_ != nullptr && pending_upload_bytes_ > 0) {
+    memory_budget_->release(core::BudgetCategory::kUploads, pending_upload_bytes_);
+  }
+  pending_upload_bytes_ = 0;
   running_ = false;
 }
 
@@ -185,8 +214,13 @@ std::optional<Frame> EpollServer::await_upload(std::uint32_t round, std::uint32_
   for (;;) {
     const auto it = pending_uploads_.find(key);
     if (it != pending_uploads_.end()) {
+      const std::size_t bytes = upload_frame_bytes(it->second);
       Frame frame = std::move(it->second);
       pending_uploads_.erase(it);
+      pending_upload_bytes_ -= std::min(pending_upload_bytes_, bytes);
+      if (memory_budget_ != nullptr) {
+        memory_budget_->release(core::BudgetCategory::kUploads, bytes);
+      }
       applied_upload_keys_.insert(key);  // a redelivery must never re-apply
       return frame;
     }
@@ -235,6 +269,11 @@ std::vector<Frame> EpollServer::take_stale_uploads(std::uint32_t round) {
   std::vector<Frame> stale;
   for (auto it = pending_uploads_.begin(); it != pending_uploads_.end();) {
     if (it->second.round < round) {
+      const std::size_t bytes = upload_frame_bytes(it->second);
+      pending_upload_bytes_ -= std::min(pending_upload_bytes_, bytes);
+      if (memory_budget_ != nullptr) {
+        memory_budget_->release(core::BudgetCategory::kUploads, bytes);
+      }
       applied_upload_keys_.insert(it->first);  // stale ingestion happens once
       counter_stale_uploads().add(1);
       stale.push_back(std::move(it->second));
@@ -516,7 +555,37 @@ void EpollServer::dispatch_frame(int fd, Connection& conn, Frame frame) {
       }
       {
         std::lock_guard<std::mutex> lock(mutex_);
+        const std::size_t bytes = upload_frame_bytes(frame);
+        pending_upload_bytes_ += bytes;
+        if (memory_budget_ != nullptr) {
+          memory_budget_->charge(core::BudgetCategory::kUploads, bytes);
+        }
         pending_uploads_[key] = std::move(frame);
+        // Load shedding: past the caps, drop the lowest-priority parked
+        // uploads — oldest round first (the zero-padded key makes map order
+        // exactly that).  Those are the stale-buffer candidates carrying the
+        // deepest staleness discount, i.e. the least aggregation weight.
+        // Shed keys are NOT marked applied: a retry may legitimately re-park
+        // once pressure clears.  The newest entry is never shed.
+        const auto over_caps = [this] {
+          const bool over_count =
+              resource_limits_.max_inflight_uploads != 0 &&
+              pending_uploads_.size() > resource_limits_.max_inflight_uploads;
+          const bool over_bytes =
+              resource_limits_.max_pending_upload_bytes != 0 &&
+              pending_upload_bytes_ > resource_limits_.max_pending_upload_bytes;
+          return over_count || over_bytes;
+        };
+        while (over_caps() && pending_uploads_.size() > 1) {
+          const auto oldest = pending_uploads_.begin();
+          const std::size_t shed_bytes = upload_frame_bytes(oldest->second);
+          pending_upload_bytes_ -= std::min(pending_upload_bytes_, shed_bytes);
+          if (memory_budget_ != nullptr) {
+            memory_budget_->release(core::BudgetCategory::kUploads, shed_bytes);
+          }
+          counter_shed_uploads().add(1);
+          pending_uploads_.erase(oldest);
+        }
       }
       cv_.notify_all();
       return;
@@ -542,6 +611,31 @@ void EpollServer::dispatch_frame(int fd, Connection& conn, Frame frame) {
 }
 
 void EpollServer::handle_hello(int fd, Connection& conn, const Frame& frame) {
+  // Admission control: over its resource limits the server answers BUSY with
+  // a retry-after hint and closes after flush — a *transient* refusal the
+  // client backs off from, unlike a rejected HELLO (a verdict, kFlagReject).
+  // Re-HELLOs on an already-registered connection skip the check: they get
+  // the ordinary duplicate-HELLO rejection below.
+  if (!conn.registered) {
+    const bool over_connections = resource_limits_.max_connections != 0 &&
+                                  connections_.size() > resource_limits_.max_connections;
+    bool over_pending = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      over_pending = resource_limits_.max_pending_upload_bytes != 0 &&
+                     pending_upload_bytes_ > resource_limits_.max_pending_upload_bytes;
+    }
+    const bool over_budget = memory_budget_ != nullptr && memory_budget_->over_high_water();
+    if (over_connections || over_pending || over_budget) {
+      counter_shed_busy_hellos().add(1);
+      Frame busy;
+      busy.type = FrameType::kBusy;
+      busy.scalars = {resource_limits_.busy_retry_after_seconds};
+      conn.close_after_flush = true;
+      enqueue_output(fd, conn, encode_frame(busy, auth_key_ ? &*auth_key_ : nullptr));
+      return;
+    }
+  }
   HelloReply reply;
   HelloRequest request;
   try {

@@ -57,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/memory_budget.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 
@@ -76,6 +77,20 @@ struct HeartbeatOptions {
   bool enabled = false;
   double interval_seconds = 5.0;
   double timeout_seconds = 30.0;
+};
+
+/// Admission control and load shedding (all fields 0 = unlimited, the
+/// historical behavior).  An over-limit HELLO is answered with a BUSY frame
+/// carrying `busy_retry_after_seconds` instead of being registered; parking
+/// an upload past the caps sheds the lowest-priority parked uploads first
+/// (oldest round — exactly the entries destined for the stale buffer with
+/// the deepest staleness discount).  Every decision increments a
+/// `net.server.shed.*` counter.
+struct ResourceLimits {
+  std::size_t max_connections = 0;          ///< accepted sockets, half-open included
+  std::size_t max_inflight_uploads = 0;     ///< parked UPLOAD frames
+  std::size_t max_pending_upload_bytes = 0; ///< bytes across parked UPLOADs
+  double busy_retry_after_seconds = 2.0;    ///< hint carried by the BUSY frame
 };
 
 class EpollServer {
@@ -109,6 +124,17 @@ class EpollServer {
   /// Caps each connection's queued output bytes; exceeding the cap evicts
   /// the connection.  Install before start().
   void set_write_queue_cap(std::size_t bytes);
+
+  /// Admission control + upload shedding limits.  Install before start().
+  void set_resource_limits(ResourceLimits limits);
+
+  /// Charges parked UPLOAD bytes against `budget` (BudgetCategory::kUploads);
+  /// nullptr clears.  Install before start(); the caller owns the budget and
+  /// must outlive the server (or stop() it first).
+  void set_memory_budget(core::MemoryBudget* budget);
+
+  /// Bytes currently parked in pending (unclaimed) UPLOAD frames.
+  std::size_t pending_upload_bytes() const;
 
   void start();
   /// Sends BYE to every connection, closes everything, joins the loop
@@ -197,6 +223,8 @@ class EpollServer {
   HeartbeatOptions heartbeat_;
   std::optional<FrameKey> auth_key_;  ///< immutable after start()
   std::size_t write_queue_cap_ = std::numeric_limits<std::size_t>::max();
+  ResourceLimits resource_limits_;            ///< immutable after start()
+  core::MemoryBudget* memory_budget_ = nullptr;  ///< immutable after start()
 
   // Loop-thread-only state.
   std::map<int, std::unique_ptr<Connection>> connections_;
@@ -208,6 +236,7 @@ class EpollServer {
   bool running_ = false;
   std::deque<std::function<void()>> commands_;
   std::map<std::string, Frame> pending_uploads_;  ///< key -> parked UPLOAD
+  std::size_t pending_upload_bytes_ = 0;          ///< bytes across the parked map
   /// Keys already claimed by await_upload or drained into the stale buffer:
   /// a redelivered UPLOAD matching one is ACKed but never re-applied.
   std::set<std::string> applied_upload_keys_;

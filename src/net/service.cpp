@@ -20,6 +20,7 @@
 #include "net/session.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
 #include "sim/simulator.hpp"
 #include "utils/logging.hpp"
 #include "utils/stopwatch.hpp"
@@ -135,6 +136,20 @@ fl::RunResult run_in_process(const FedSpec& spec) {
   fl::Federation federation(spec.federation);
   std::unique_ptr<fl::Algorithm> algorithm = make_algorithm(spec);
   return fl::run_federated(federation, *algorithm, run_options(spec));
+}
+
+fl::RunResult run_overload_in_process(const FedSpec& spec, const OverloadSimOptions& extra) {
+  fl::Federation federation(spec.federation);
+  std::unique_ptr<fl::Algorithm> algorithm = make_algorithm(spec);
+  fl::RunOptions options = run_options(spec);
+  sim::SimOptions sim;
+  sim.churn.leave_prob = extra.leave_prob;
+  sim.churn.rejoin_prob = extra.rejoin_prob;
+  sim.churn.departed_state_retention = extra.departed_state_retention;
+  sim.churn.population_scale = extra.population_scale;
+  options.sim = sim;
+  options.resources = extra.resources;
+  return fl::run_federated(federation, *algorithm, options);
 }
 
 // ---- Mirror mode ----
@@ -269,6 +284,19 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
   if (options.write_queue_cap_bytes > 0) {
     server.set_write_queue_cap(options.write_queue_cap_bytes);
   }
+  // Overload policy must be installed before start(): the loop thread reads
+  // the limits and charges parked uploads against the budget.
+  std::optional<core::MemoryBudget> budget;
+  std::optional<fl::SpillStore> spill;
+  if (options.aggregation) {
+    budget.emplace(options.aggregation->memory_budget_bytes,
+                   options.aggregation->high_water_fraction);
+    server.set_memory_budget(&*budget);
+    if (!options.aggregation->spill_dir.empty()) {
+      spill.emplace(options.aggregation->spill_dir);
+    }
+  }
+  server.set_resource_limits(options.resources);
   server.start();
 
   fl::Federation federation(spec.federation);
@@ -286,6 +314,12 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
   algorithm->set_simulator(&simulator);
   fl::StaleUpdateBuffer stale_buffer(spec.staleness);
   algorithm->set_stale_buffer(&stale_buffer);
+  if (budget) {
+    algorithm->set_memory_budget(&*budget);
+    stale_buffer.set_memory_budget(&*budget);
+    if (spill) algorithm->set_spill_store(&*spill);
+    algorithm->set_max_fusion_members(options.aggregation->max_fusion_members);
+  }
   ServerTransport transport(server, {.strict = false,
                                      .await_timeout_seconds = options.upload_timeout_seconds});
   // Optional deterministic fault injection between the channel and the wire —
@@ -298,6 +332,13 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
 
   const auto cleanup = [&] {
     federation.channel().set_transport(nullptr);
+    if (budget) {
+      server.stop();  // releases parked-upload charges before the budget dies
+      stale_buffer.set_memory_budget(nullptr);
+      algorithm->set_memory_budget(nullptr);
+      algorithm->set_spill_store(nullptr);
+      algorithm->set_max_fusion_members(0);
+    }
     algorithm->set_stale_buffer(nullptr);
     algorithm->set_simulator(nullptr);
     simulator.detach();
@@ -394,10 +435,16 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
       record.clients_joined = joined;
       record.clients_left = left;
       record.stale_applied = algorithm->last_stale_applied();
+      record.resources_tracked = options.aggregation.has_value();
+      record.fusion_degraded = algorithm->last_fusion_degraded();
+      record.budget_used_bytes = budget ? budget->used_bytes() : 0;
+      record.peak_rss_bytes = obs::process_peak_rss_bytes();
       result.total_joined += joined;
       result.total_left += left;
       result.total_stale_applied += record.stale_applied;
       result.total_dropped += report.dropped();
+      if (record.fusion_degraded) ++result.total_degraded_rounds;
+      result.peak_rss_bytes = std::max(result.peak_rss_bytes, record.peak_rss_bytes);
 
       const std::size_t every = std::max<std::size_t>(1, spec.eval_every);
       const bool last_round = round + 1 == spec.rounds;
@@ -496,6 +543,30 @@ ElasticClientResult run_elastic_client(const FedSpec& spec,
         // transient, so burn a reconnect attempt and retry.
         throw IoError("rejoin rejected: " + reply.message);
       }
+    } catch (const ServerBusy& busy) {
+      // Admission control said "later": the server is healthy, just over its
+      // resource limits.  Transient even before the first registration —
+      // unlike a rejected HELLO, nothing about this client is wrong.  Honor
+      // the server's retry-after hint, but never back off *less* than the
+      // decorrelated-jitter schedule (a thundering herd of refused clients
+      // re-knocking in sync would keep the server saturated).
+      static auto& counter_busy_backoffs =
+          obs::MetricsRegistry::global().counter("net.client.busy_backoffs");
+      counter_busy_backoffs.add(1);
+      session.reset();
+      if (reconnect_attempts >= options.max_reconnects) {
+        utils::log_warn("net") << "client " << options.client_id
+                               << ": server BUSY and reconnect budget exhausted ("
+                               << options.max_reconnects << ")";
+        break;
+      }
+      ++reconnect_attempts;
+      ++consecutive_failures;
+      const double wait =
+          std::max(busy.retry_after_seconds(),
+                   reconnect_wait_seconds(backoff, consecutive_failures, jitter_seed));
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      continue;
     } catch (const std::exception& e) {
       // IoError is the socket dying; ProtocolError is a corrupted or forged
       // reply (the connection is equally unusable, e.g. a chaos proxy flipped
@@ -662,6 +733,8 @@ void write_result_json(const std::string& path, const std::string& mode,
   out << "  \"total_left\": " << result.total_left << ",\n";
   out << "  \"total_stale_applied\": " << result.total_stale_applied << ",\n";
   out << "  \"total_dropped\": " << result.total_dropped << ",\n";
+  out << "  \"total_degraded_rounds\": " << result.total_degraded_rounds << ",\n";
+  out << "  \"peak_rss_bytes\": " << result.peak_rss_bytes << ",\n";
   // Robustness observability: every net.* counter this process recorded, so
   // the chaos harness can assert each injected fault class produced its
   // detection/recovery signal.
@@ -670,7 +743,12 @@ void write_result_json(const std::string& path, const std::string& mode,
     const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
     bool first = true;
     for (const auto& counter : snap.counters) {
-      if (counter.name.rfind("net.", 0) != 0) continue;
+      // net.* plus the overload family (shed/spill/degraded), so the
+      // overload scenario can assert graceful degradation actually engaged.
+      const bool wanted = counter.name.rfind("net.", 0) == 0 ||
+                          counter.name.rfind("fl.spill.", 0) == 0 ||
+                          counter.name.rfind("fl.fusion.", 0) == 0;
+      if (!wanted) continue;
       out << (first ? "" : ", ") << "\"" << counter.name << "\": " << counter.value;
       first = false;
     }

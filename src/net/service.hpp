@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,22 @@ fl::RunOptions run_options(const FedSpec& spec);
 /// In-process reference run (no sockets) — the parity baseline.
 fl::RunResult run_in_process(const FedSpec& spec);
 
+/// Extra knobs for the in-process overload soak: simulated churn — the
+/// departed-client FIFO whose overflow spills FedKEMF/FedMD private models —
+/// plus the aggregation resource policy, on top of the reference run.
+struct OverloadSimOptions {
+  fl::ResourceLimits resources;  ///< budget / spill dir / fusion-member cap
+  double leave_prob = 0.0;       ///< per-round departure probability
+  double rejoin_prob = 0.0;      ///< per-round re-enrollment probability
+  std::size_t departed_state_retention = 4;  ///< FIFO depth before eviction
+  std::size_t population_scale = 1;          ///< phantom-registration multiplier
+};
+
+/// In-process run under churn and resource limits (any of the seven
+/// algorithms) — the leg of `--scenario overload` that proves spill and
+/// graceful degradation without sockets.
+fl::RunResult run_overload_in_process(const FedSpec& spec, const OverloadSimOptions& extra);
+
 struct MirrorServerOptions {
   Endpoint endpoint;
   std::size_t expect_clients = 0;  ///< remote client ids to wait for before round 0
@@ -112,6 +129,13 @@ struct ElasticServerOptions {
   std::string auth_key;  ///< non-empty: require SipHash-tagged frames
   /// Deterministic transport-level fault injection (FaultyTransport wrap).
   FaultyTransportOptions fault;
+  /// Overload robustness, net layer: admission control (BUSY on over-limit
+  /// HELLOs) and parked-upload shedding.  All-zero = unlimited (historical).
+  ResourceLimits resources;
+  /// Overload robustness, aggregation layer: memory budget, fusion-member
+  /// cap, spill directory — the same policy fl::RunOptions::resources carries
+  /// in-process.  nullopt = unlimited (historical, bitwise identical).
+  std::optional<fl::ResourceLimits> aggregation;
 };
 
 fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions& options);

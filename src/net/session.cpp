@@ -47,6 +47,12 @@ HelloReply ClientSession::hello(const HelloRequest& request, const Deadline& dea
       continue;
     }
     if (reply.type == FrameType::kPong) continue;
+    if (reply.type == FrameType::kBusy) {
+      const double retry_after = reply.scalars.empty() ? 1.0 : reply.scalars[0];
+      throw ServerBusy("hello: server is over its resource limits (retry after ~" +
+                           std::to_string(retry_after) + "s)",
+                       retry_after);
+    }
     if (reply.type == FrameType::kBye) {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;

@@ -25,6 +25,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,20 @@
 #include "net/socket.hpp"
 
 namespace fedkemf::net {
+
+/// The server answered HELLO with BUSY: admission control refused the
+/// registration transiently (over budget / over connection limits).  Not an
+/// IoError — the transport is healthy — and not a rejection: the caller
+/// should back off for about retry_after_seconds() (plus jitter) and retry.
+class ServerBusy : public std::runtime_error {
+ public:
+  ServerBusy(const std::string& what, double retry_after_seconds)
+      : std::runtime_error(what), retry_after_seconds_(retry_after_seconds) {}
+  [[nodiscard]] double retry_after_seconds() const { return retry_after_seconds_; }
+
+ private:
+  double retry_after_seconds_ = 0.0;
+};
 
 class ClientSession {
  public:
@@ -51,7 +66,8 @@ class ClientSession {
 
   /// Registers with the server; returns its verdict.  Call once, before any
   /// other traffic.  Throws ProtocolError / the IoError family on transport
-  /// trouble (a rejection is a *reply*, not an exception).
+  /// trouble and ServerBusy on a transient admission refusal (a rejection is
+  /// a *reply*, not an exception).
   HelloReply hello(const HelloRequest& request, const Deadline& deadline);
 
   /// Blocks until a frame matching `matcher` arrives (or the deadline —

@@ -1,0 +1,46 @@
+#include "obs/process.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace fedkemf::obs {
+
+namespace {
+
+/// Reads one "<field>:  <n> kB" line from /proc/self/status; 0 on failure.
+std::size_t read_status_kb(const char* field) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 || line[field_len] != ':') continue;
+    unsigned long long value = 0;
+    if (std::sscanf(line + field_len + 1, "%llu", &value) == 1) {
+      kb = static_cast<std::size_t>(value);
+    }
+    break;
+  }
+  std::fclose(file);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t process_peak_rss_bytes() {
+  const std::size_t bytes = read_status_kb("VmHWM") * 1024;
+  if (bytes != 0) {
+    static Gauge& gauge = MetricsRegistry::global().gauge("process.peak_rss_bytes");
+    gauge.set(static_cast<double>(bytes));
+  }
+  return bytes;
+}
+
+std::size_t process_current_rss_bytes() {
+  return read_status_kb("VmRSS") * 1024;
+}
+
+}  // namespace fedkemf::obs

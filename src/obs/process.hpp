@@ -1,0 +1,19 @@
+#pragma once
+
+// Process-level resource introspection (Linux /proc).  The runner samples
+// peak RSS once per round into telemetry and the history table; benches use
+// it to prove memory stays flat as the registered population scales.
+
+#include <cstddef>
+
+namespace fedkemf::obs {
+
+/// Peak resident set size (VmHWM) of the current process in bytes, read from
+/// /proc/self/status.  Returns 0 when the field is unavailable (non-Linux).
+/// Also refreshes the `process.peak_rss_bytes` gauge on success.
+std::size_t process_peak_rss_bytes();
+
+/// Current resident set size (VmRSS) in bytes; 0 when unavailable.
+std::size_t process_current_rss_bytes();
+
+}  // namespace fedkemf::obs

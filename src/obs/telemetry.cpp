@@ -114,6 +114,9 @@ void RunTelemetry::record_round(const RoundTelemetry& round) {
   json.member("clients_joined", static_cast<std::uint64_t>(round.clients_joined));
   json.member("clients_left", static_cast<std::uint64_t>(round.clients_left));
   json.member("stale_applied", static_cast<std::uint64_t>(round.stale_applied));
+  json.member("fusion_degraded", round.fusion_degraded);
+  json.member("budget_used_bytes", static_cast<std::uint64_t>(round.budget_used_bytes));
+  json.member("peak_rss_bytes", static_cast<std::uint64_t>(round.peak_rss_bytes));
   json.member("evaluated", round.evaluated);
   if (round.evaluated) {
     json.member("accuracy", round.accuracy);

@@ -131,6 +131,11 @@ struct RoundTelemetry {
   std::size_t clients_left = 0;
   std::size_t stale_applied = 0;
 
+  // Overload policy (resource budgets and graceful degradation).
+  bool fusion_degraded = false;       ///< aggregation shed members this round
+  std::size_t budget_used_bytes = 0;  ///< MemoryBudget after aggregation
+  std::size_t peak_rss_bytes = 0;     ///< process VmHWM sampled after the round
+
   bool evaluated = false;  ///< accuracy is meaningful only when true
   double accuracy = 0.0;
   double train_loss = 0.0;

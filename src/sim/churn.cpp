@@ -36,10 +36,14 @@ ChurnModel::ChurnModel(const ChurnOptions& options, std::size_t num_clients,
   if (options_.max_staleness < options_.min_staleness) {
     throw std::invalid_argument("ChurnModel: max_staleness must be >= min_staleness");
   }
+  if (options_.population_scale == 0) {
+    throw std::invalid_argument("ChurnModel: population_scale must be positive");
+  }
 
-  states_.assign(num_clients, State::kPresent);
+  participating_ = num_clients;
+  states_.assign(num_clients * options_.population_scale, State::kPresent);
   if (options_.initial_fraction < 1.0) {
-    for (std::size_t id = 0; id < num_clients; ++id) {
+    for (std::size_t id = 0; id < states_.size(); ++id) {
       core::Rng draw = trace_rng_.fork(stream_tag({kEnrollStream, id}));
       if (draw.uniform() >= options_.initial_fraction) states_[id] = State::kNeverJoined;
     }
@@ -75,12 +79,16 @@ ChurnEvents ChurnModel::begin_round(std::size_t round) {
     }
   }
 
-  // A federation must never go empty: when every present client leaves in
-  // one round (and nobody joins), keep the lowest-id leaver.
+  // A federation must never go empty: when every present *participating*
+  // client leaves in one round (and nobody joins), keep the lowest-id leaver.
+  // Phantom registrations (ids >= participating_) never train, so their
+  // presence cannot keep the federation alive.
   bool any_present = false;
-  for (const State state : next) any_present |= (state == State::kPresent);
+  for (std::size_t id = 0; id < participating_; ++id) {
+    any_present |= (next[id] == State::kPresent);
+  }
   if (!any_present) {
-    for (std::size_t id = 0; id < states_.size(); ++id) {
+    for (std::size_t id = 0; id < participating_; ++id) {
       if (states_[id] == State::kPresent) {
         next[id] = State::kPresent;
         break;
@@ -88,7 +96,9 @@ ChurnEvents ChurnModel::begin_round(std::size_t round) {
     }
   }
 
-  for (std::size_t id = 0; id < states_.size(); ++id) {
+  // Events surface only participating clients — the runner turns them into
+  // on_client_joined/evicted calls, which index per-client slots.
+  for (std::size_t id = 0; id < participating_; ++id) {
     const bool was = states_[id] == State::kPresent;
     const bool now = next[id] == State::kPresent;
     if (!was && now) events.joined.push_back(id);
@@ -104,14 +114,22 @@ bool ChurnModel::present(std::size_t client_id) const {
 
 std::size_t ChurnModel::present_count() const {
   std::size_t count = 0;
+  for (std::size_t id = 0; id < participating_; ++id) {
+    count += (states_[id] == State::kPresent) ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t ChurnModel::registered_present_count() const {
+  std::size_t count = 0;
   for (const State state : states_) count += (state == State::kPresent) ? 1 : 0;
   return count;
 }
 
 std::vector<std::size_t> ChurnModel::present_clients() const {
   std::vector<std::size_t> ids;
-  ids.reserve(states_.size());
-  for (std::size_t id = 0; id < states_.size(); ++id) {
+  ids.reserve(participating_);
+  for (std::size_t id = 0; id < participating_; ++id) {
     if (states_[id] == State::kPresent) ids.push_back(id);
   }
   return ids;

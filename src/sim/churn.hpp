@@ -56,6 +56,15 @@ struct ChurnOptions {
   /// the longest-departed client's state is evicted.
   std::size_t departed_state_retention = 4;
 
+  /// Registered-population multiplier: the model tracks membership for
+  /// num_clients * population_scale registered clients, of which only the
+  /// first num_clients ever participate (train, upload, surface in events).
+  /// The phantom remainder exists to exercise server bookkeeping at fleet
+  /// scale — 10^5 registrations cost one byte each, and present counts /
+  /// traces for the participating prefix are bitwise identical to scale 1
+  /// (streams are keyed by client id).  1 = historical behavior.
+  std::size_t population_scale = 1;
+
   /// True when any membership dynamics are configured (a model with no
   /// dynamics keeps every client present forever, at zero cost).
   bool dynamic() const {
@@ -76,7 +85,10 @@ class ChurnModel {
   ChurnModel(const ChurnOptions& options, std::size_t num_clients, core::Rng rng);
 
   const ChurnOptions& options() const { return options_; }
-  std::size_t num_clients() const { return states_.size(); }
+  /// Participating clients (the federation's size, ids [0, num_clients)).
+  std::size_t num_clients() const { return participating_; }
+  /// All registered clients, phantoms included (num_clients * population_scale).
+  std::size_t registered_clients() const { return states_.size(); }
 
   /// Advances membership into `round` and returns who joined/left.  Rounds
   /// must be consumed strictly in order (round == next_round()); resumed
@@ -87,8 +99,11 @@ class ChurnModel {
   std::size_t next_round() const { return next_round_; }
 
   bool present(std::size_t client_id) const;
+  /// Present *participating* clients (phantom registrations excluded).
   std::size_t present_count() const;
-  /// Ids of all currently present clients, sorted ascending.
+  /// Present clients across the whole registered population.
+  std::size_t registered_present_count() const;
+  /// Ids of all currently present participating clients, sorted ascending.
   std::vector<std::size_t> present_clients() const;
 
   /// Extra rounds a straggling upload from (round, client) takes to arrive.
@@ -107,7 +122,8 @@ class ChurnModel {
 
   ChurnOptions options_;
   core::Rng trace_rng_;
-  std::vector<State> states_;
+  std::vector<State> states_;          ///< participating prefix + phantoms
+  std::size_t participating_ = 0;      ///< ids below this train and upload
   std::size_t next_round_ = 0;
 };
 

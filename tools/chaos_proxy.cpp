@@ -356,7 +356,13 @@ int main(int argc, char** argv) {
     threads.emplace_back([conn, conn_id, &rates] { pump_leg(conn, conn_id, 1, rates); });
   }
 
+  // Flush the stats the moment the accept loop exits: a pump leg wedged in a
+  // long injected delay (or a peer that never closes) can stall the joins
+  // below, and the harness must still find the counts on SIGTERM.  Counters
+  // are atomics, so this snapshot is safe while legs still run; the
+  // post-join rewrite below replaces it with the final totals.
   for (const auto& conn : conns) conn->kill();
+  write_stats(stats_path);
   for (auto& t : threads) t.join();
   write_stats(stats_path);
   return 0;

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: diff a bench JSON run against a checked-in baseline.
+"""Perf-regression gate: diff bench JSON runs against checked-in baselines.
 
 Both files use google-benchmark's JSON output shape (a "context" object plus a
 "benchmarks" array with name/real_time/time_unit entries) — bench_kernels
@@ -17,6 +17,11 @@ Benchmarks present in only one of the two files (a freshly added bench with no
 baseline yet, or a retired bench still in the baseline) are warned about and
 skipped — a one-sided name is a bookkeeping gap, not a perf regression, and
 must not break CI.
+
+Invocation: either one positional BASELINE CURRENT pair (the historical
+form), or any number of repeated `--compare BASELINE CURRENT` pairs so CI can
+gate every suite in a single run instead of one process per suite.  Every
+comparison is evaluated even after one fails; the worst exit code wins.
 
 Exit codes: 0 ok (including nothing comparable), 1 regression found,
 2 unreadable/unusable input file.
@@ -66,22 +71,10 @@ def load_benchmarks(path: str) -> dict[str, float]:
     return out
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="checked-in baseline BENCH json")
-    parser.add_argument("current", help="freshly produced BENCH json")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.30,
-        help="maximum tolerated normalized slowdown (0.30 = 30%%)",
-    )
-    args = parser.parse_args()
-    if args.threshold <= 0:
-        parser.error("--threshold must be positive")
-
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+def compare(baseline_path: str, current_path: str, threshold: float) -> int:
+    """One baseline/current comparison; returns the exit code for this pair."""
+    baseline = load_benchmarks(baseline_path)
+    current = load_benchmarks(current_path)
     shared = sorted(set(baseline) & set(current))
 
     # One-sided benchmarks are a bookkeeping gap (new bench without a recorded
@@ -127,7 +120,7 @@ def main() -> int:
     for name in shared:
         normalized = ratios[name] / median
         verdict = "ok"
-        if normalized > 1.0 + args.threshold:
+        if normalized > 1.0 + threshold:
             verdict = "REGRESSION"
             failures.append(name)
         print(f"  {name:<{width}}  raw x{ratios[name]:6.3f}  "
@@ -136,13 +129,59 @@ def main() -> int:
     if failures:
         print(
             f"FAIL: {len(failures)} benchmark(s) regressed more than "
-            f"{100 * args.threshold:.0f}% after machine normalization: "
+            f"{100 * threshold:.0f}% after machine normalization: "
             f"{', '.join(failures)}",
             file=sys.stderr,
         )
         return 1
-    print(f"OK: no benchmark regressed more than {100 * args.threshold:.0f}%")
+    print(f"OK: no benchmark regressed more than {100 * threshold:.0f}%")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="checked-in baseline BENCH json")
+    parser.add_argument("current", nargs="?", help="freshly produced BENCH json")
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("BASELINE", "CURRENT"),
+        help="an extra baseline/current pair; repeatable, so one invocation "
+        "gates every suite",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated normalized slowdown (0.30 = 30%%)",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+    if (args.baseline is None) != (args.current is None):
+        parser.error("positional baseline and current must be given together")
+
+    pairs: list[tuple[str, str]] = []
+    if args.baseline is not None:
+        pairs.append((args.baseline, args.current))
+    pairs.extend((baseline, current) for baseline, current in args.compare)
+    if not pairs:
+        parser.error("give a positional baseline/current pair or --compare")
+
+    # Evaluate every pair even after a failure so one CI run reports every
+    # regressed suite at once; the worst exit code wins.
+    worst = 0
+    for index, (baseline_path, current_path) in enumerate(pairs):
+        if len(pairs) > 1:
+            prefix = "\n" if index else ""
+            print(f"{prefix}== {baseline_path} vs {current_path} ==")
+        try:
+            worst = max(worst, compare(baseline_path, current_path, args.threshold))
+        except SystemExit as err:
+            worst = max(worst, err.code if isinstance(err.code, int) else 2)
+    return worst
 
 
 if __name__ == "__main__":

@@ -40,12 +40,25 @@ int main(int argc, char** argv) {
   double fault_delay = 0.0;
   double fault_delay_seconds = 0.05;
   std::size_t fault_seed = 0;
+  std::size_t max_connections = 0;
+  std::size_t max_inflight_uploads = 0;
+  std::size_t max_pending_upload_bytes = 0;
+  double busy_retry_after = 2.0;
+  std::size_t memory_budget_mb = 0;
+  std::size_t max_fusion_members = 0;
+  std::string spill_dir;
+  double churn_leave = 0.0;
+  double churn_rejoin = 0.0;
+  std::size_t departed_retention = 4;
+  std::size_t population_scale = 1;
   std::string results;
   bool quiet = false;
 
   utils::Cli cli("fed_server", "federation server (mirror | elastic | reference)");
   tools::register_spec_flags(cli, flags);
-  cli.flag("mode", &mode, "mirror | elastic | reference (in-process baseline)");
+  cli.flag("mode", &mode,
+           "mirror | elastic | reference (in-process baseline) | overload "
+           "(in-process churn + resource-limit soak)");
   cli.flag("endpoint", &endpoint, "tcp://host:port or unix:///path");
   cli.flag("expect-clients", &expect_clients,
            "mirror: remote replicas to wait for before round 0");
@@ -69,6 +82,26 @@ int main(int argc, char** argv) {
   cli.flag("fault-delay-seconds", &fault_delay_seconds,
            "elastic: seconds each injected delay sleeps");
   cli.flag("fault-seed", &fault_seed, "elastic: fault-injection stream seed");
+  cli.flag("max-connections", &max_connections,
+           "elastic: BUSY new HELLOs past this many sockets (0 = unlimited)");
+  cli.flag("max-inflight-uploads", &max_inflight_uploads,
+           "elastic: shed oldest parked uploads past this count (0 = unlimited)");
+  cli.flag("max-pending-upload-bytes", &max_pending_upload_bytes,
+           "elastic: shed oldest parked uploads past this many bytes (0 = unlimited)");
+  cli.flag("busy-retry-after", &busy_retry_after,
+           "elastic: retry-after hint (seconds) carried by BUSY frames");
+  cli.flag("memory-budget-mb", &memory_budget_mb,
+           "elastic: aggregation memory budget in MiB (0 = unlimited)");
+  cli.flag("max-fusion-members", &max_fusion_members,
+           "elastic: cap fusion cohort, shed stale members first (0 = unlimited)");
+  cli.flag("spill-dir", &spill_dir,
+           "elastic/overload: spill departed-client state to this directory");
+  cli.flag("churn-leave", &churn_leave, "overload: per-round departure probability");
+  cli.flag("churn-rejoin", &churn_rejoin, "overload: per-round re-enrollment probability");
+  cli.flag("departed-retention", &departed_retention,
+           "overload: departed clients whose state is retained before eviction");
+  cli.flag("population-scale", &population_scale,
+           "overload: registered-population multiplier (phantom clients)");
   cli.flag("results", &results, "write the run summary JSON here");
   cli.flag("quiet", &quiet, "suppress the history table");
   cli.parse(argc, argv);
@@ -80,6 +113,16 @@ int main(int argc, char** argv) {
   try {
     if (mode == "reference") {
       result = net::run_in_process(spec);
+    } else if (mode == "overload") {
+      net::OverloadSimOptions extra;
+      extra.resources.memory_budget_bytes = memory_budget_mb << 20;
+      extra.resources.max_fusion_members = max_fusion_members;
+      extra.resources.spill_dir = spill_dir;
+      extra.leave_prob = churn_leave;
+      extra.rejoin_prob = churn_rejoin;
+      extra.departed_state_retention = departed_retention;
+      extra.population_scale = population_scale;
+      result = net::run_overload_in_process(spec, extra);
     } else if (mode == "mirror") {
       net::MirrorServerOptions options;
       options.endpoint = net::Endpoint::parse(endpoint);
@@ -102,6 +145,17 @@ int main(int argc, char** argv) {
       options.fault.delay_rate = fault_delay;
       options.fault.delay_seconds = fault_delay_seconds;
       options.fault.seed = fault_seed;
+      options.resources.max_connections = max_connections;
+      options.resources.max_inflight_uploads = max_inflight_uploads;
+      options.resources.max_pending_upload_bytes = max_pending_upload_bytes;
+      options.resources.busy_retry_after_seconds = busy_retry_after;
+      if (memory_budget_mb > 0 || max_fusion_members > 0 || !spill_dir.empty()) {
+        fl::ResourceLimits aggregation;
+        aggregation.memory_budget_bytes = memory_budget_mb << 20;
+        aggregation.max_fusion_members = max_fusion_members;
+        aggregation.spill_dir = spill_dir;
+        options.aggregation = aggregation;
+      }
       result = net::run_elastic_server(spec, options);
     } else {
       std::fprintf(stderr, "fed_server: unknown --mode '%s'\n", mode.c_str());

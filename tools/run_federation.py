@@ -9,6 +9,7 @@ diffed bit-for-bit against the in-process reference (--check-parity).
     tools/run_federation.py --mode elastic --clients 4 --scenario kill-restart
     tools/run_federation.py --mode elastic --clients 4 --scenario sigterm
     tools/run_federation.py --mode elastic --clients 4 --scenario chaos
+    tools/run_federation.py --mode elastic --clients 4 --scenario overload
 
 The chaos scenario is the soak test for the hardened protocol: it first runs
 a clean same-seed elastic federation, then reruns it with every client
@@ -18,6 +19,15 @@ the liveness timeout), and asserts the chaotic run completes every round
 with accuracy within --chaos-accuracy-band of the clean run while every
 injected fault class shows up as a nonzero recovery counter in the server's
 net_counters telemetry and the proxy's injection stats.
+
+The overload scenario is the soak test for graceful degradation under
+resource pressure: a clean elastic run, then the same seed with resource
+limits engaged (an admission cap that BUSYs an over-quota probe client, a
+fusion-member cap that degrades every round, a memory budget), then an
+in-process fedkemf churn run with a spill directory.  It asserts every leg
+completes all rounds, the constrained run's accuracy stays within
+--overload-accuracy-band of the clean run, and the shed / degraded / spill
+counters are all nonzero.
 
 Exit code 0 iff every launched process exited cleanly and the requested
 checks passed.
@@ -211,6 +221,156 @@ def run_chaos(args, server_bin, client_bin, proxy_bin):
               "band, every fault class recovered and counted")
 
 
+def run_overload(args, server_bin, client_bin):
+    """Clean elastic run, then the same seed under resource limits, then an
+    in-process churn+spill soak; assert completion, an accuracy band, and
+    nonzero shed / degraded / spill counters."""
+    # The federation spec advertises one more client than the server admits:
+    # that extra id is the over-quota probe the admission control must BUSY.
+    spec = argparse.Namespace(**vars(args))
+    spec.clients = args.clients + 1
+    with tempfile.TemporaryDirectory(prefix="fedkemf_overload_") as tmp:
+        logs = {}
+
+        def launch(procs, name, argv):
+            log = os.path.join(tmp, name + ".log")
+            logs[name] = log
+            with open(log, "w") as f:
+                p = subprocess.Popen(argv, stdout=f, stderr=subprocess.STDOUT)
+            procs.append((name, p))
+            return p
+
+        def elastic_run(label, results_json, server_extra=(), client_extra=(),
+                        probe=False):
+            endpoint = f"unix://{tmp}/{label}.sock"
+            procs = []
+            launch(procs, f"{label}-server",
+                   [server_bin, "--mode", "elastic", "--endpoint", endpoint,
+                    "--min-clients", str(args.clients), "--quiet",
+                    "--upload-timeout", str(args.upload_timeout),
+                    "--results", results_json]
+                   + list(server_extra) + spec_args(spec))
+            for i in range(args.clients):
+                launch(procs, f"{label}-client{i}",
+                       [client_bin, "--mode", "elastic", "--endpoint", endpoint,
+                        "--id", str(i)] + list(client_extra) + spec_args(spec))
+            if probe:
+                # Let the legitimate cohort claim every admission slot first,
+                # then aim the probe at a deliberately full server.  Its small
+                # reconnect budget drains on BUSY backoffs and it exits.
+                time.sleep(1.2)
+                launch(procs, f"{label}-probe",
+                       [client_bin, "--mode", "elastic", "--endpoint", endpoint,
+                        "--id", str(args.clients), "--max-reconnects", "3",
+                        "--connect-timeout", "5"] + spec_args(spec))
+            codes = wait_all(procs, args.timeout)
+            if probe:
+                # The probe normally exhausts its reconnect budget and exits 0
+                # while the round is still running; if the federation finishes
+                # first the server vanishes mid-backoff and the probe reports
+                # the lost connection instead.  Either way the BUSY counter
+                # assertion below is what proves admission control fired.
+                for i, (name, code) in enumerate(codes):
+                    if name == f"{label}-probe" and code == 1:
+                        print("  note: probe outlived the run; treating its "
+                              "lost-server exit as expected")
+                        codes[i] = (name, 0)
+            if not report(codes, logs):
+                sys.exit(f"error: a {label} federation process failed")
+            return load_json(results_json)
+
+        print(f"overload soak 1/3: clean same-seed elastic run ({args.algorithm}, "
+              f"{args.clients} clients, {args.rounds} rounds)")
+        clean = elastic_run("clean", os.path.join(tmp, "clean.json"))
+
+        fusion_cap = max(2, args.clients - 1)
+        print(f"overload soak 2/3: rerunning with resource limits "
+              f"(max-connections={args.clients}, fusion cap {fusion_cap}, "
+              f"64 MiB budget) plus one over-quota probe client")
+        overloaded = elastic_run(
+            "overload", os.path.join(tmp, "overload.json"),
+            server_extra=["--max-connections", str(args.clients),
+                          "--max-inflight-uploads", "64",
+                          "--busy-retry-after", "0.3",
+                          "--max-fusion-members", str(fusion_cap),
+                          "--memory-budget-mb", "64"],
+            client_extra=["--train-delay", str(max(args.train_delay, 0.4))],
+            probe=True)
+
+        # In-process leg: only the knowledge-distillation algorithms retain
+        # per-client state worth spilling, so the spill path is exercised via
+        # a fedkemf churn run rather than the elastic fedavg server.
+        spill_spec = argparse.Namespace(**vars(args))
+        spill_spec.algorithm = "fedkemf"
+        spill_spec.clients = 8
+        spill_spec.rounds = max(args.rounds, 4)
+        spill_json = os.path.join(tmp, "spill.json")
+        print(f"overload soak 3/3: in-process fedkemf churn run "
+              f"({spill_spec.clients} clients x100 registered, {spill_spec.rounds} "
+              f"rounds, departed state spilled to disk)")
+        procs = []
+        launch(procs, "spill-run",
+               [server_bin, "--mode", "overload", "--quiet",
+                "--results", spill_json,
+                "--churn-leave", "0.3", "--churn-rejoin", "0.35",
+                "--departed-retention", "1", "--max-fusion-members", "3",
+                "--memory-budget-mb", "64",
+                "--spill-dir", os.path.join(tmp, "spill"),
+                "--population-scale", "100"] + spec_args(spill_spec))
+        if not report(wait_all(procs, args.timeout), logs):
+            sys.exit("error: the in-process overload run failed")
+        spill = load_json(spill_json)
+
+        failures = []
+        if overloaded["rounds_completed"] != args.rounds:
+            failures.append(f"constrained run completed "
+                            f"{overloaded['rounds_completed']} of "
+                            f"{args.rounds} rounds")
+        gap = abs(overloaded["final_accuracy"] - clean["final_accuracy"])
+        if gap > args.overload_accuracy_band:
+            failures.append(f"accuracy gap {gap:.4f} exceeds the "
+                            f"{args.overload_accuracy_band} band "
+                            f"(clean {clean['final_accuracy']:.4f}, "
+                            f"constrained {overloaded['final_accuracy']:.4f})")
+        counters = overloaded.get("net_counters", {})
+        busy = counters.get("net.server.shed.busy_hellos", 0)
+        shed_uploads = counters.get("net.server.shed.uploads", 0)
+        if busy + shed_uploads <= 0:
+            failures.append("nothing was shed: net.server.shed.busy_hellos and "
+                            "net.server.shed.uploads both stayed zero")
+        if counters.get("fl.fusion.degraded_rounds", 0) <= 0:
+            failures.append("fl.fusion.degraded_rounds stayed zero under the "
+                            "fusion-member cap")
+        if overloaded.get("total_degraded_rounds", 0) <= 0:
+            failures.append("the constrained run recorded no degraded rounds")
+        if spill["rounds_completed"] != spill_spec.rounds:
+            failures.append(f"spill run completed {spill['rounds_completed']} "
+                            f"of {spill_spec.rounds} rounds")
+        spill_counters = spill.get("net_counters", {})
+        if spill_counters.get("fl.spill.stored", 0) <= 0:
+            failures.append("fl.spill.stored stayed zero: departed-client "
+                            "state never reached the spill directory")
+        if spill.get("peak_rss_bytes", 0) <= 0:
+            failures.append("peak_rss_bytes missing from the spill-run summary")
+
+        print(f"  shed: busy_hellos={busy} uploads={shed_uploads}")
+        print(f"  degraded: rounds="
+              f"{counters.get('fl.fusion.degraded_rounds', 0)} "
+              f"members={counters.get('fl.fusion.shed_members', 0)}")
+        print(f"  spill: stored={spill_counters.get('fl.spill.stored', 0)} "
+              f"loaded={spill_counters.get('fl.spill.loaded', 0)} "
+              f"peak_rss_mb={spill.get('peak_rss_bytes', 0) / 1048576.0:.1f}")
+        print(f"  accuracy: clean={clean['final_accuracy']:.4f} "
+              f"constrained={overloaded['final_accuracy']:.4f} gap={gap:.4f} "
+              f"(band {args.overload_accuracy_band})")
+        if failures:
+            for f in failures:
+                print("  overload FAILED:", f)
+            sys.exit("error: overload soak failed")
+        print("overload OK: every leg completed, accuracy in band, admission "
+              "control / fusion cap / spill all engaged and counted")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", help="CMake build directory")
@@ -218,12 +378,14 @@ def main():
     ap.add_argument("--endpoint", default="", help="tcp://host:port or unix:///path "
                     "(default: a fresh unix socket in a temp dir)")
     ap.add_argument("--scenario", default="plain",
-                    choices=["plain", "kill-restart", "sigterm", "chaos"],
+                    choices=["plain", "kill-restart", "sigterm", "chaos", "overload"],
                     help="elastic fault scenarios")
     ap.add_argument("--chaos-seed", type=int, default=7,
                     help="chaos: fault-decision seed handed to chaos_proxy")
     ap.add_argument("--chaos-accuracy-band", type=float, default=0.02,
                     help="chaos: allowed |chaotic - clean| final-accuracy gap")
+    ap.add_argument("--overload-accuracy-band", type=float, default=0.02,
+                    help="overload: allowed |constrained - clean| final-accuracy gap")
     ap.add_argument("--check-parity", action=argparse.BooleanOptionalAction, default=None,
                     help="diff against the in-process reference (default: on for mirror)")
     ap.add_argument("--timeout", type=float, default=600.0, help="whole-run timeout seconds")
@@ -263,6 +425,13 @@ def main():
         if not os.path.exists(proxy_bin):
             sys.exit(f"error: {proxy_bin} not found (build the 'chaos_proxy' target)")
         run_chaos(args, server_bin, client_bin, proxy_bin)
+        print("run_federation: all checks passed")
+        return
+
+    if args.scenario == "overload":
+        if args.mode != "elastic":
+            sys.exit("error: --scenario overload requires --mode elastic")
+        run_overload(args, server_bin, client_bin)
         print("run_federation: all checks passed")
         return
 
