@@ -1,0 +1,302 @@
+// Durability-tax bench: sustained UPLOAD throughput against the epoll
+// server with the write-ahead log off vs on.
+//
+// Same traffic shape as bench_throughput (N client threads, serial
+// upload -> ACK loops, a drain thread sweeping parked uploads), run twice
+// per repetition: once volatile and once with a WriteAheadLog attached, so
+// every parked upload is journaled (payload included) and every drained
+// upload appends a stale-applied record — exactly what fed_server
+// --wal-dir pays per upload.  Checkpoint writes are round-granular, not
+// per-upload, so they are out of scope here (bench_recovery times round
+// wall-clock).
+//
+// The suite self-gates against the *recorded* throughput path: the run
+// exits nonzero when the WAL leg's median ns/upload exceeds the
+// `net_upload/<clients>clients/cost` entry of --baseline (the
+// bench_throughput numbers in results/bench_baseline.json) by more than
+// --max-overhead (default 15%).  Durability must stay within the known
+// transport envelope; the volatile leg is measured alongside and the
+// off-vs-on tax printed for information — on a single-core box that A/B
+// ratio is bounded below by disk bandwidth (every upload byte is written
+// once more), while against the recorded envelope the WAL leg has real
+// headroom.  Metrics land in results/BENCH_durability.json time-shaped
+// (ns per upload, RTT percentiles) for the perf-regression gate.
+
+#include "bench_common.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <thread>
+
+#include "net/server.hpp"
+#include "net/session.hpp"
+#include "net/wal.hpp"
+
+namespace {
+
+using namespace fedkemf;
+using namespace fedkemf::bench;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double index = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(index);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = index - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+struct SweepResult {
+  double elapsed_seconds = 0.0;  ///< measured phase, barrier to last ACK
+  std::size_t uploads = 0;       ///< measured uploads across all clients
+  std::vector<double> rtt_ns;    ///< pooled upload -> ACK round trips, sorted
+  std::size_t wal_records = 0;   ///< appended by this leg (0 when volatile)
+};
+
+/// One leg: `clients` concurrent sessions, each sending `warmup + uploads`
+/// payloads; with `wal_dir` non-empty the server journals every one.
+SweepResult run_sweep(const net::Endpoint& endpoint, std::size_t clients,
+                      std::size_t warmup, std::size_t uploads,
+                      std::size_t payload_bytes, const std::string& wal_dir) {
+  net::EpollServer server(endpoint);
+  std::optional<net::WriteAheadLog> wal;
+  if (!wal_dir.empty()) {
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    wal.emplace(wal_dir + "/wal.log");
+    server.set_wal(&*wal);
+  }
+  server.start();
+
+  // The parked-upload map would otherwise hold every frame of the run;
+  // sweeping it is what the elastic round loop does with late arrivals
+  // (and with a WAL attached each drain appends its stale-applied record).
+  std::atomic<bool> draining{true};
+  std::thread drainer([&] {
+    while (draining.load()) {
+      (void)server.take_stale_uploads(0xFFFFFFFFu);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 1315423911u >> 16);
+  }
+
+  std::atomic<std::size_t> warmed{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> rtts(clients);
+  std::vector<double> done_at(clients, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+
+  for (std::size_t id = 0; id < clients; ++id) {
+    threads.emplace_back([&, id] {
+      net::ClientSession session(endpoint, net::Deadline::after(30.0), net::FrameLimits{},
+                                 /*collect_acks=*/true);
+      net::HelloRequest hello;
+      hello.mode = 1;
+      hello.algorithm = "bench";
+      hello.owned_clients = {static_cast<std::uint32_t>(id)};
+      session.hello(hello, net::Deadline::after(30.0));
+
+      net::Frame frame;
+      frame.type = net::FrameType::kUpload;
+      frame.client = static_cast<std::uint32_t>(id);
+      frame.name = "payload";
+      frame.body = payload;
+
+      auto round_trip = [&](std::uint32_t round) {
+        frame.round = round;
+        const net::Deadline deadline = net::Deadline::after(60.0);
+        const double sent = now_seconds();
+        session.send(frame, deadline);
+        if (!session.await_ack(round, frame.client, frame.name, deadline)) {
+          throw net::IoTimeout("bench_durability: ACK never arrived");
+        }
+        return (now_seconds() - sent) * 1e9;
+      };
+
+      std::uint32_t round = 0;
+      for (std::size_t i = 0; i < warmup; ++i) (void)round_trip(round++);
+      warmed.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      rtts[id].reserve(uploads);
+      for (std::size_t i = 0; i < uploads; ++i) rtts[id].push_back(round_trip(round++));
+      done_at[id] = now_seconds();
+      session.close();
+    });
+  }
+
+  while (warmed.load() < clients) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double started = now_seconds();
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+  draining.store(false);
+  drainer.join();
+  server.stop();
+
+  SweepResult result;
+  result.elapsed_seconds = *std::max_element(done_at.begin(), done_at.end()) - started;
+  for (std::vector<double>& samples : rtts) {
+    result.uploads += samples.size();
+    result.rtt_ns.insert(result.rtt_ns.end(), samples.begin(), samples.end());
+  }
+  std::sort(result.rtt_ns.begin(), result.rtt_ns.end());
+  if (wal) result.wal_records = wal->records_appended();
+  return result;
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// Pulls `"name": "<entry>" ... "real_time": <value>` out of a
+/// google-benchmark-shaped baseline file.  Returns 0 when the file or the
+/// entry is missing (the caller skips the gate with a warning).
+double recorded_baseline_cost(const std::string& path, const std::string& entry) {
+  std::ifstream file(path);
+  if (!file) return 0.0;
+  const std::string blob((std::istreambuf_iterator<char>(file)),
+                         std::istreambuf_iterator<char>());
+  const std::size_t name_at = blob.find("\"" + entry + "\"");
+  if (name_at == std::string::npos) return 0.0;
+  const std::string key = "\"real_time\":";
+  const std::size_t key_at = blob.find(key, name_at);
+  if (key_at == std::string::npos) return 0.0;
+  return std::strtod(blob.c_str() + key_at + key.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t clients = 4;
+  std::size_t uploads = 300;
+  std::size_t warmup = 30;
+  std::size_t payload_bytes = 65536;
+  std::size_t reps = 3;
+  double max_overhead = 0.15;
+  std::string baseline = "results/bench_baseline.json";
+  std::string endpoint_uri;
+  std::string csv_dir = "results";
+
+  utils::Cli cli("bench_durability",
+                 "upload throughput with the write-ahead log off vs on");
+  cli.flag("clients", &clients, "concurrent client sessions");
+  cli.flag("uploads", &uploads, "measured uploads per client per leg");
+  cli.flag("warmup", &warmup, "untimed warmup uploads per client per leg");
+  cli.flag("payload-bytes", &payload_bytes, "UPLOAD body size in bytes");
+  cli.flag("reps", &reps, "alternating off/on repetitions (median decides)");
+  cli.flag("max-overhead", &max_overhead,
+           "fail when the median WAL-on cost exceeds the recorded "
+           "bench_throughput cost by more than this fraction (0 disables)");
+  cli.flag("baseline", &baseline,
+           "recorded bench numbers holding the net_upload/<N>clients/cost "
+           "entry the WAL leg is gated against ('' = skip the gate)");
+  cli.flag("endpoint", &endpoint_uri,
+           "tcp://host:port or unix:///path ('' = fresh unix socket in /tmp)");
+  cli.flag("csv-dir", &csv_dir, "directory for CSV dumps ('' = none)");
+  cli.parse(argc, argv);
+  reps = std::max<std::size_t>(1, reps);
+
+  const std::string wal_dir =
+      "/tmp/fedkemf_bench_durability_" + std::to_string(::getpid());
+  auto endpoint_for = [&](const std::string& tag) {
+    return net::Endpoint::parse(
+        endpoint_uri.empty() ? "unix:///tmp/fedkemf_bench_durability_" +
+                                   std::to_string(::getpid()) + "_" + tag + ".sock"
+                             : endpoint_uri);
+  };
+
+  // Alternate the legs so drift (thermal, cache, a noisy neighbor) lands on
+  // both sides; the median repetition decides the gate.
+  std::vector<double> cost_off, cost_on;
+  SweepResult last_off, last_on;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    last_off = run_sweep(endpoint_for("off"), clients, warmup, uploads,
+                         payload_bytes, "");
+    cost_off.push_back(last_off.elapsed_seconds * 1e9 /
+                       static_cast<double>(last_off.uploads));
+    last_on = run_sweep(endpoint_for("on"), clients, warmup, uploads,
+                        payload_bytes, wal_dir);
+    cost_on.push_back(last_on.elapsed_seconds * 1e9 /
+                      static_cast<double>(last_on.uploads));
+  }
+  std::filesystem::remove_all(wal_dir);
+
+  utils::Table table({"WAL", "Uploads/s", "MiB/s", "ns/upload", "p50 RTT", "p99 RTT"});
+  BenchReport report("durability");
+  const SweepResult* sweeps[2] = {&last_off, &last_on};
+  const double costs[2] = {median(cost_off), median(cost_on)};
+  const char* labels[2] = {"off", "on"};
+  for (int leg = 0; leg < 2; ++leg) {
+    const SweepResult& sweep = *sweeps[leg];
+    const double rate = 1e9 / costs[leg];
+    char rate_text[32], mib_text[32], cost_text[32], p50_text[32], p99_text[32];
+    std::snprintf(rate_text, sizeof(rate_text), "%.0f", rate);
+    std::snprintf(mib_text, sizeof(mib_text), "%.1f",
+                  rate * static_cast<double>(payload_bytes) / (1024.0 * 1024.0));
+    std::snprintf(cost_text, sizeof(cost_text), "%.0f", costs[leg]);
+    std::snprintf(p50_text, sizeof(p50_text), "%.1f us",
+                  percentile(sweep.rtt_ns, 0.50) / 1e3);
+    std::snprintf(p99_text, sizeof(p99_text), "%.1f us",
+                  percentile(sweep.rtt_ns, 0.99) / 1e3);
+    table.row()
+        .cell(labels[leg])
+        .cell(rate_text)
+        .cell(mib_text)
+        .cell(cost_text)
+        .cell(p50_text)
+        .cell(p99_text);
+    const std::string prefix = std::string("durability/wal_") + labels[leg] + "/";
+    report.add(prefix + "cost", costs[leg], "ns");
+    report.add(prefix + "p50_rtt", percentile(sweep.rtt_ns, 0.50), "ns");
+    report.add(prefix + "p99_rtt", percentile(sweep.rtt_ns, 0.99), "ns");
+  }
+
+  emit("Upload throughput, WAL off vs on (" + std::to_string(clients) +
+           " clients, " + std::to_string(payload_bytes) + "-byte payloads, " +
+           std::to_string(last_on.wal_records) + " records journaled per WAL leg)",
+       table, csv_dir.empty() ? "" : csv_dir + "/durability.csv");
+  report.write(csv_dir.empty() ? "results" : csv_dir);
+  std::printf("durability tax: %+.1f%% ns/upload over the volatile leg\n",
+              (costs[1] / costs[0] - 1.0) * 100.0);
+
+  if (max_overhead <= 0.0 || baseline.empty()) return 0;
+  const std::string entry = "net_upload/" + std::to_string(clients) + "clients/cost";
+  const double recorded = recorded_baseline_cost(baseline, entry);
+  if (recorded <= 0.0) {
+    std::fprintf(stderr,
+                 "bench_durability: no '%s' entry in '%s'; skipping the gate\n",
+                 entry.c_str(), baseline.c_str());
+    return 0;
+  }
+  const double vs_recorded = costs[1] / recorded - 1.0;
+  std::printf("gate: WAL-on %.0f ns/upload vs recorded %s %.0f ns (%+.1f%%, limit +%.0f%%)\n",
+              costs[1], entry.c_str(), recorded, vs_recorded * 100.0,
+              max_overhead * 100.0);
+  if (vs_recorded > max_overhead) {
+    std::fprintf(stderr,
+                 "bench_durability: WAL-on cost exceeds the recorded throughput "
+                 "path by %.1f%% (gate %.0f%%)\n",
+                 vs_recorded * 100.0, max_overhead * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,12 @@
 #include "core/serialize.hpp"
 
+#include <bit>
+#include <cstring>
 #include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
 
 namespace fedkemf::core {
 
@@ -133,27 +139,155 @@ std::size_t tensor_wire_size(const Tensor& tensor) {
 
 namespace {
 
-struct Crc32Table {
-  std::uint32_t entries[256];
-  constexpr Crc32Table() : entries() {
+// Slicing-by-8: eight derived tables let the loop fold 8 input bytes per
+// iteration (~6x the byte-at-a-time rate).  This is the portable path and
+// the sub-64-byte tail of the PCLMUL path below; table 0 is the classic
+// byte-wise table, so every path produces bit-identical CRCs.
+struct Crc32Tables {
+  std::uint32_t entries[8][256];
+  constexpr Crc32Tables() : entries() {
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int bit = 0; bit < 8; ++bit) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
       }
-      entries[i] = c;
+      entries[0][i] = c;
+    }
+    for (std::size_t table = 1; table < 8; ++table) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        const std::uint32_t prev = entries[table - 1][i];
+        entries[table][i] = entries[0][prev & 0xFFu] ^ (prev >> 8);
+      }
     }
   }
 };
 
-constexpr Crc32Table kCrc32Table;
+constexpr Crc32Tables kCrc32Tables;
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+// PCLMULQDQ folding (the classic carry-less-multiply reduction, using the
+// well-known folding constants for the reflected IEEE polynomial).  Four
+// 128-bit accumulators fold 64 input bytes per iteration, then collapse
+// through a 16-byte loop and a Barrett reduction — ~20 GB/s vs ~2 GB/s for
+// slicing-by-8.  Takes and returns the *raw* (pre-final-xor) CRC register;
+// consumes the longest multiple-of-16 prefix (caller guarantees >= 64 bytes)
+// and reports it through `consumed` so the table path can finish the tail.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t crc32_fold_pclmul(
+    std::uint32_t crc, const std::uint8_t* buf, std::size_t len, std::size_t* consumed) {
+  alignas(16) static const std::uint64_t k1k2[2] = {0x0154442bd4, 0x01c6e41596};
+  alignas(16) static const std::uint64_t k3k4[2] = {0x01751997d0, 0x00ccaa009e};
+  alignas(16) static const std::uint64_t k5k0[2] = {0x0163cd6124, 0x0000000000};
+  alignas(16) static const std::uint64_t poly[2] = {0x01db710641, 0x01f7011641};
+  const std::size_t total = len;
+  __m128i x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  buf += 64;
+  len -= 64;
+  while (len >= 64) {
+    __m128i x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    __m128i x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    __m128i x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    __m128i x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+    x1 = _mm_xor_si128(x1, x5);
+    x2 = _mm_xor_si128(x2, x6);
+    x3 = _mm_xor_si128(x3, x7);
+    x4 = _mm_xor_si128(x4, x8);
+    x1 = _mm_xor_si128(x1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0)));
+    x2 = _mm_xor_si128(x2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16)));
+    x3 = _mm_xor_si128(x3, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32)));
+    x4 = _mm_xor_si128(x4, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48)));
+    buf += 64;
+    len -= 64;
+  }
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+  __m128i x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(x1, x2);
+  x1 = _mm_xor_si128(x1, x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(x1, x3);
+  x1 = _mm_xor_si128(x1, x5);
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(x1, x4);
+  x1 = _mm_xor_si128(x1, x5);
+  while (len >= 16) {
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(x1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf)));
+    x1 = _mm_xor_si128(x1, x5);
+    buf += 16;
+    len -= 16;
+  }
+  // Fold the 128-bit accumulator to 64 bits, then Barrett-reduce to 32.
+  const __m128i mask = _mm_setr_epi32(~0, 0, ~0, 0);
+  x2 = _mm_clmulepi64_si128(x1, x0, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, x2);
+  x0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  x2 = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(poly));
+  x2 = _mm_and_si128(x1, mask);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x10);
+  x2 = _mm_and_si128(x2, mask);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+  *consumed = total - len;
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+bool crc32_pclmul_available() {
+  static const bool available =
+      __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+  return available;
+}
+
+#endif  // defined(__x86_64__) && defined(__GNUC__)
 
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  const auto& t = kCrc32Tables.entries;
   std::uint32_t c = crc ^ 0xFFFFFFFFu;
-  for (std::uint8_t byte : data) {
-    c = kCrc32Table.entries[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (n >= 64 && crc32_pclmul_available()) {
+    std::size_t consumed = 0;
+    c = crc32_fold_pclmul(c, p, n, &consumed);
+    p += consumed;
+    n -= consumed;
+  }
+#endif
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      c ^= lo;
+      c = t[7][c & 0xFFu] ^ t[6][(c >> 8) & 0xFFu] ^ t[5][(c >> 16) & 0xFFu] ^
+          t[4][c >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (; n > 0; ++p, --n) {
+    c = t[0][(c ^ *p) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -22,6 +22,7 @@ static_assert(sizeof(float) == 4, "fedkemf requires 32-bit IEEE floats");
 
 class ByteWriter {
  public:
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
   void write_u8(std::uint8_t v) { buffer_.push_back(v); }
   void write_u32(std::uint32_t v);
   void write_u64(std::uint64_t v);

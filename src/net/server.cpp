@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "net/wal.hpp"
 #include "obs/metrics.hpp"
 #include "utils/logging.hpp"
 
@@ -73,6 +74,10 @@ obs::Counter& counter_shed_uploads() {
   static auto& c = obs::MetricsRegistry::global().counter("net.server.shed.uploads");
   return c;
 }
+obs::Counter& counter_recovered_uploads() {
+  static auto& c = obs::MetricsRegistry::global().counter("net.server.recovered_uploads");
+  return c;
+}
 
 /// Resident cost of one parked UPLOAD (the payload plus its bookkeeping).
 std::size_t upload_frame_bytes(const Frame& frame) {
@@ -120,6 +125,25 @@ void EpollServer::set_write_queue_cap(std::size_t bytes) { write_queue_cap_ = by
 void EpollServer::set_resource_limits(ResourceLimits limits) { resource_limits_ = limits; }
 
 void EpollServer::set_memory_budget(core::MemoryBudget* budget) { memory_budget_ = budget; }
+
+void EpollServer::set_wal(WriteAheadLog* wal) { wal_ = wal; }
+
+void EpollServer::recover_upload(Frame frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = upload_key(frame.round, frame.client, frame.name);
+  const std::size_t bytes = upload_frame_bytes(frame);
+  pending_upload_bytes_ += bytes;
+  if (memory_budget_ != nullptr) {
+    memory_budget_->charge(core::BudgetCategory::kUploads, bytes);
+  }
+  pending_uploads_[key] = std::move(frame);
+  counter_recovered_uploads().add(1);
+}
+
+void EpollServer::mark_upload_applied(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  applied_upload_keys_.insert(key);
+}
 
 std::size_t EpollServer::pending_upload_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -222,6 +246,20 @@ std::optional<Frame> EpollServer::await_upload(std::uint32_t round, std::uint32_
         memory_budget_->release(core::BudgetCategory::kUploads, bytes);
       }
       applied_upload_keys_.insert(key);  // a redelivery must never re-apply
+      if (wal_ != nullptr) {
+        lock.unlock();  // file I/O must not hold the loop's mutex
+        // Journal the full frame: this caller (the round loop) is about to
+        // fuse it, and until a checkpoint covers this round, recovery needs
+        // the payload to redo that fusion without the client retraining.
+        WalRecord claim;
+        claim.type = WalRecordType::kUploadClaimed;
+        claim.round = round;
+        claim.client = client_id;
+        claim.name = name;
+        claim.scalars = frame.scalars;
+        claim.body = frame.body;
+        wal_->append(claim);
+      }
       return frame;
     }
     if (stopping_) return std::nullopt;
@@ -265,21 +303,38 @@ bool EpollServer::wait_for_clients(std::size_t count, const Deadline& deadline) 
 }
 
 std::vector<Frame> EpollServer::take_stale_uploads(std::uint32_t round) {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Frame> stale;
-  for (auto it = pending_uploads_.begin(); it != pending_uploads_.end();) {
-    if (it->second.round < round) {
-      const std::size_t bytes = upload_frame_bytes(it->second);
-      pending_upload_bytes_ -= std::min(pending_upload_bytes_, bytes);
-      if (memory_budget_ != nullptr) {
-        memory_budget_->release(core::BudgetCategory::kUploads, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = pending_uploads_.begin(); it != pending_uploads_.end();) {
+      if (it->second.round < round) {
+        const std::size_t bytes = upload_frame_bytes(it->second);
+        pending_upload_bytes_ -= std::min(pending_upload_bytes_, bytes);
+        if (memory_budget_ != nullptr) {
+          memory_budget_->release(core::BudgetCategory::kUploads, bytes);
+        }
+        applied_upload_keys_.insert(it->first);  // stale ingestion happens once
+        counter_stale_uploads().add(1);
+        stale.push_back(std::move(it->second));
+        it = pending_uploads_.erase(it);
+      } else {
+        ++it;
       }
-      applied_upload_keys_.insert(it->first);  // stale ingestion happens once
-      counter_stale_uploads().add(1);
-      stale.push_back(std::move(it->second));
-      it = pending_uploads_.erase(it);
-    } else {
-      ++it;
+    }
+  }
+  if (wal_ != nullptr) {
+    for (const Frame& frame : stale) {
+      // Full frame again: the stale-buffer blob holding this payload is only
+      // durable once a checkpoint covers the consuming round.
+      WalRecord drained;
+      drained.type = WalRecordType::kStaleApplied;
+      drained.round = frame.round;  // the origin key; aux = consuming round
+      drained.client = frame.client;
+      drained.name = frame.name;
+      drained.aux = round;
+      drained.scalars = frame.scalars;
+      drained.body = frame.body;
+      wal_->append(drained);
     }
   }
   // The key encodes (round, client, name) with zero-padded numbers, so map
@@ -553,6 +608,12 @@ void EpollServer::dispatch_frame(int fd, Connection& conn, Frame frame) {
         counter_duplicate_uploads().add(1);
         return;
       }
+      // Parking is deliberately NOT journaled: this runs on the epoll loop
+      // thread, the transport's throughput bottleneck, and an upload is only
+      // irreplaceable once aggregation consumes it — await_upload and
+      // take_stale_uploads journal the full frame then, on their callers'
+      // threads.  A parked-but-unconsumed upload lost to a crash is simply
+      // re-trained when the resumed round re-TASKs its reconnected client.
       {
         std::lock_guard<std::mutex> lock(mutex_);
         const std::size_t bytes = upload_frame_bytes(frame);
@@ -605,6 +666,7 @@ void EpollServer::dispatch_frame(int fd, Connection& conn, Frame frame) {
       return;
     case FrameType::kTask:
     case FrameType::kAck:
+    case FrameType::kBusy:
       close_connection(fd, "unexpected frame type from client");
       return;
   }

@@ -40,6 +40,13 @@
 //                   was already parked or already claimed is re-ACKed but
 //                   never re-applied, so client retries and chaos-proxy
 //                   frame duplication cannot double-count an update
+//   durability      with set_wal(), every upload *consumption* (claim /
+//                   stale drain, payload included) is appended to the
+//                   write-ahead log (net/wal.hpp) on the consuming caller's
+//                   thread — never the loop thread; on restart
+//                   recover_upload() / mark_upload_applied() replay the
+//                   planned suffix before start(), so a SIGKILLed server
+//                   resumes without clients retraining consumed work
 // Every recovery action increments a `net.server.*` counter in
 // obs::MetricsRegistry::global() so chaos runs can assert observability.
 
@@ -62,6 +69,8 @@
 #include "net/socket.hpp"
 
 namespace fedkemf::net {
+
+class WriteAheadLog;
 
 /// A registered client (re)connected or went away.
 struct MembershipEvent {
@@ -135,6 +144,28 @@ class EpollServer {
 
   /// Bytes currently parked in pending (unclaimed) UPLOAD frames.
   std::size_t pending_upload_bytes() const;
+
+  // ---- Durability (src/net/wal.hpp) ----
+
+  /// Logs upload claims and stale drains (full frames) to `wal` (nullptr
+  /// clears).  Install before start(); the caller owns the log and must
+  /// outlive the server (or stop() it first).
+  void set_wal(WriteAheadLog* wal);
+
+  /// Re-parks an upload recovered from the WAL, exactly as if it had just
+  /// arrived (budget charged, `net.server.recovered_uploads` incremented).
+  /// Call before start().
+  void recover_upload(Frame frame);
+
+  /// Seeds the idempotency set with a key the loaded checkpoint already
+  /// covers, so a client redelivery is re-ACKed but never re-applied.  Call
+  /// before start().
+  void mark_upload_applied(const std::string& key);
+
+  /// The canonical parked-upload key: zero-padded "(round)/(client)/name",
+  /// so lexicographic order is (round, client, name) order.
+  static std::string upload_key(std::uint32_t round, std::uint32_t client,
+                                const std::string& name);
 
   void start();
   /// Sends BYE to every connection, closes everything, joins the loop
@@ -210,9 +241,6 @@ class EpollServer {
   void post(std::function<void()> command);  ///< run `command` on the loop thread
   void wake();
 
-  static std::string upload_key(std::uint32_t round, std::uint32_t client,
-                                const std::string& name);
-
   Endpoint endpoint_;
   FrameLimits limits_;
   Fd listener_;
@@ -225,6 +253,7 @@ class EpollServer {
   std::size_t write_queue_cap_ = std::numeric_limits<std::size_t>::max();
   ResourceLimits resource_limits_;            ///< immutable after start()
   core::MemoryBudget* memory_budget_ = nullptr;  ///< immutable after start()
+  WriteAheadLog* wal_ = nullptr;                 ///< immutable after start()
 
   // Loop-thread-only state.
   std::map<int, std::unique_ptr<Connection>> connections_;

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 
 #include "comm/channel.hpp"
+#include "fl/checkpoint/format.hpp"
+#include "fl/checkpoint/run_state.hpp"
 #include "fl/feddf.hpp"
 #include "fl/fedkemf.hpp"
 #include "fl/fedmd.hpp"
@@ -19,6 +22,7 @@
 #include "fl/selection.hpp"
 #include "net/session.hpp"
 #include "net/transport.hpp"
+#include "net/wal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process.hpp"
 #include "sim/simulator.hpp"
@@ -297,6 +301,37 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
     }
   }
   server.set_resource_limits(options.resources);
+
+  // ---- Durability: load the newest valid checkpoint and replay the WAL
+  // suffix *before* the loop thread starts — recovered uploads must be
+  // parked (and checkpoint-covered keys remembered) before any reconnecting
+  // client can redeliver them. ----
+  const bool durable = !options.durability.wal_dir.empty();
+  std::optional<ckpt::CheckpointManager> checkpoints;
+  std::optional<ckpt::Checkpoint> resume_from;
+  std::optional<WriteAheadLog> wal;
+  if (durable) {
+    checkpoints.emplace(options.durability.wal_dir,
+                        std::max<std::size_t>(1, options.durability.checkpoint_retain));
+    resume_from = checkpoints->load_latest_valid();
+    const std::string wal_path =
+        (std::filesystem::path(options.durability.wal_dir) / "wal.log").string();
+    const WalScan scan = scan_wal(wal_path);
+    const std::uint64_t horizon = resume_from ? resume_from->next_round : 0;
+    WalRecovery plan = plan_wal_recovery(scan.records, horizon);
+    for (const std::string& key : plan.applied_keys) server.mark_upload_applied(key);
+    const std::size_t recovered = plan.uploads.size();
+    for (Frame& frame : plan.uploads) server.recover_upload(std::move(frame));
+    obs::MetricsRegistry::global().counter("wal.replayed").add(plan.replayed);
+    if (resume_from || !scan.records.empty()) {
+      utils::log_info("net") << "durable server: resuming at round " << horizon
+                             << ", replayed " << plan.replayed << " WAL record(s), re-parked "
+                             << recovered << " upload(s)"
+                             << (scan.torn ? " (torn tail truncated)" : "");
+    }
+    wal.emplace(wal_path);  // truncates the torn tail, then appends
+    server.set_wal(&*wal);
+  }
   server.start();
 
   fl::Federation federation(spec.federation);
@@ -345,7 +380,48 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
     server.stop();
   };
 
+  // ---- Restore: the checkpoint carries the algorithm state, the stale
+  // buffer, and the accumulated result/traffic/wall-clock; everything else a
+  // round consumes is a pure function of (seed, round). ----
   fl::RunResult result;
+  std::size_t start_round = 0;
+  std::uint64_t bytes_baseline = 0;
+  double wall_seconds_before = 0.0;
+  if (resume_from) {
+    try {
+      if (resume_from->algorithm != algorithm->name()) {
+        throw std::runtime_error("checkpoint was written by '" + resume_from->algorithm +
+                                 "', not '" + algorithm->name() + "'");
+      }
+      const ckpt::Section* runner_section = resume_from->find("runner");
+      const ckpt::Section* algorithm_section = resume_from->find("algorithm");
+      if (runner_section == nullptr || algorithm_section == nullptr) {
+        throw std::runtime_error("checkpoint is missing a required section");
+      }
+      {
+        core::ByteReader reader(algorithm_section->bytes);
+        algorithm->load_state(reader);
+        if (!reader.exhausted()) {
+          throw std::runtime_error(
+              "trailing bytes in the algorithm section (configuration mismatch)");
+        }
+      }
+      core::ByteReader reader(runner_section->bytes);
+      fl::RunnerState state = fl::decode_run_state(reader);
+      if (!state.stale_buffer_state.empty()) {
+        core::ByteReader buffer_reader(state.stale_buffer_state);
+        stale_buffer.load_state(buffer_reader);
+      }
+      start_round = static_cast<std::size_t>(state.next_round);
+      bytes_baseline = state.bytes_baseline;
+      wall_seconds_before = state.wall_seconds_before;
+      result = state.result;
+      result.interrupted = false;  // this process is continuing the run
+    } catch (...) {
+      cleanup();
+      throw;
+    }
+  }
   result.algorithm = algorithm->name();
   utils::Stopwatch run_clock;
   std::unique_ptr<fl::ClientSelector> selector = fl::make_selector(spec.selector);
@@ -353,10 +429,53 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
   core::Rng scratch_rng(0);
   const std::unique_ptr<nn::Module> scratch =
       models::build_model(spec.client_model, scratch_rng);
-  std::size_t bytes_before_round = 0;
+  std::size_t bytes_before_round = static_cast<std::size_t>(bytes_baseline);
+
+  // Full checkpoint at a round boundary: Algorithm::save_state plus the
+  // runner's elastic tail (the same vocabulary the in-process runner
+  // persists), then a WAL mark + fsync so replay knows the horizon.
+  const auto write_server_checkpoint = [&](std::size_t next_round) {
+    ckpt::Checkpoint checkpoint;
+    checkpoint.algorithm = algorithm->name();
+    checkpoint.next_round = next_round;
+    {
+      fl::RunnerState snapshot;
+      snapshot.next_round = next_round;
+      snapshot.result = result;
+      snapshot.result.total_bytes = bytes_baseline + federation.meter().total_bytes();
+      snapshot.result.wall_seconds = wall_seconds_before + run_clock.seconds();
+      snapshot.bytes_baseline = snapshot.result.total_bytes;
+      snapshot.wall_seconds_before = snapshot.result.wall_seconds;
+      snapshot.has_elastic = true;
+      core::ByteWriter buffer_writer;
+      stale_buffer.save_state(buffer_writer);
+      snapshot.stale_buffer_state = buffer_writer.take();
+      core::ByteWriter writer;
+      fl::encode_run_state(writer, snapshot);
+      checkpoint.section("runner") = writer.take();
+    }
+    {
+      core::ByteWriter writer;
+      algorithm->save_state(writer);
+      checkpoint.section("algorithm") = writer.take();
+    }
+    checkpoints->write(checkpoint);
+    WalRecord mark;
+    mark.type = WalRecordType::kCheckpointMark;
+    mark.round = static_cast<std::uint32_t>(next_round);
+    wal->append(mark);
+    wal->sync();
+  };
 
   try {
-    for (std::size_t round = 0; round < spec.rounds; ++round) {
+    for (std::size_t round = start_round; round < spec.rounds; ++round) {
+      if (wal) {
+        WalRecord start;
+        start.type = WalRecordType::kRoundStart;
+        start.round = static_cast<std::uint32_t>(round);
+        wal->append(start);
+        wal->sync();
+      }
       if (!server.wait_for_clients(options.min_clients,
                                    Deadline::after(options.join_wait_seconds))) {
         throw std::runtime_error(
@@ -369,12 +488,22 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
       std::size_t joined = 0;
       std::size_t left = 0;
       for (const MembershipEvent& event : server.take_membership_events()) {
-        if (event.kind == MembershipEvent::Kind::kJoined) {
+        const bool is_join = event.kind == MembershipEvent::Kind::kJoined;
+        if (is_join) {
           algorithm->on_client_joined(event.client_id);
           ++joined;
         } else {
           algorithm->on_client_evicted(event.client_id);
           ++left;
+        }
+        if (wal) {
+          WalRecord member;
+          member.type = WalRecordType::kMembership;
+          member.round = static_cast<std::uint32_t>(round);
+          member.client = event.client_id;
+          member.flag = static_cast<std::uint8_t>((is_join ? 1u : 0u) |
+                                                  (event.rejoin ? 2u : 0u));
+          wal->append(member);
         }
       }
 
@@ -421,7 +550,8 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
       record.round = round;
       record.train_loss = train_loss;
       record.round_seconds = round_clock.seconds();
-      const std::size_t bytes_now = federation.meter().total_bytes();
+      const std::size_t bytes_now =
+          static_cast<std::size_t>(bytes_baseline) + federation.meter().total_bytes();
       record.cumulative_bytes = bytes_now;
       record.round_bytes = bytes_now - bytes_before_round;
       bytes_before_round = bytes_now;
@@ -458,6 +588,13 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
         result.history.push_back(record);
       }
 
+      const std::size_t checkpoint_every =
+          std::max<std::size_t>(1, options.durability.checkpoint_every);
+      if (durable && (last_round || (round + 1) % checkpoint_every == 0 ||
+                      fl::shutdown_requested())) {
+        write_server_checkpoint(round + 1);
+      }
+
       if (fl::shutdown_requested()) {
         result.interrupted = true;
         break;
@@ -467,8 +604,9 @@ fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions
     cleanup();
     throw;
   }
-  result.total_bytes = federation.meter().total_bytes();
-  result.wall_seconds = run_clock.seconds();
+  result.total_bytes =
+      static_cast<std::size_t>(bytes_baseline) + federation.meter().total_bytes();
+  result.wall_seconds = wall_seconds_before + run_clock.seconds();
   cleanup();
   return result;
 }
@@ -709,6 +847,7 @@ ElasticClientResult run_elastic_client(const FedSpec& spec,
           reconnect_wait_seconds(backoff, consecutive_failures, jitter_seed)));
     }
   }
+  result.interrupted = fl::shutdown_requested() && !bye;
   return result;
 }
 
@@ -735,19 +874,36 @@ void write_result_json(const std::string& path, const std::string& mode,
   out << "  \"total_dropped\": " << result.total_dropped << ",\n";
   out << "  \"total_degraded_rounds\": " << result.total_degraded_rounds << ",\n";
   out << "  \"peak_rss_bytes\": " << result.peak_rss_bytes << ",\n";
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const auto counter_value = [&snap](const std::string& name) -> std::uint64_t {
+    for (const auto& counter : snap.counters) {
+      if (counter.name == name) return counter.value;
+    }
+    return 0;
+  };
+  // Durable-server recovery totals, surfaced explicitly (not just inside
+  // net_counters) so soak scripts assert on them by key.  Zero for volatile
+  // runs.
+  out << "  \"wal_replayed\": " << counter_value("wal.replayed") << ",\n";
+  out << "  \"recovered_uploads\": " << counter_value("net.server.recovered_uploads")
+      << ",\n";
+  out << "  \"total_reconnects\": "
+      << counter_value("net.client.reconnects") + counter_value("net.server.rejoins")
+      << ",\n";
   // Robustness observability: every net.* counter this process recorded, so
   // the chaos harness can assert each injected fault class produced its
   // detection/recovery signal.
   out << "  \"net_counters\": {";
   {
-    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
     bool first = true;
     for (const auto& counter : snap.counters) {
-      // net.* plus the overload family (shed/spill/degraded), so the
-      // overload scenario can assert graceful degradation actually engaged.
+      // net.* plus the overload (shed/spill/degraded) and durability (wal.*)
+      // families, so the overload and server-crash scenarios can assert their
+      // recovery paths actually engaged.
       const bool wanted = counter.name.rfind("net.", 0) == 0 ||
                           counter.name.rfind("fl.spill.", 0) == 0 ||
-                          counter.name.rfind("fl.fusion.", 0) == 0;
+                          counter.name.rfind("fl.fusion.", 0) == 0 ||
+                          counter.name.rfind("wal.", 0) == 0;
       if (!wanted) continue;
       out << (first ? "" : ", ") << "\"" << counter.name << "\": " << counter.value;
       first = false;
@@ -766,6 +922,33 @@ void write_result_json(const std::string& path, const std::string& mode,
   out << "  ]\n";
   out << "}\n";
   if (!out.good()) throw std::runtime_error("write_result_json: write failed: " + path);
+}
+
+void write_client_result_json(const std::string& path, const ElasticClientResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_client_result_json: cannot open '" + path + "'");
+  }
+  out << "{\n";
+  out << "  \"mode\": \"elastic-client\",\n";
+  out << "  \"rounds_served\": " << result.rounds_served << ",\n";
+  out << "  \"reconnects\": " << result.reconnects << ",\n";
+  out << "  \"interrupted\": " << (result.interrupted ? "true" : "false") << ",\n";
+  out << "  \"net_counters\": {";
+  {
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    bool first = true;
+    for (const auto& counter : snap.counters) {
+      if (counter.name.rfind("net.", 0) != 0) continue;
+      out << (first ? "" : ", ") << "\"" << counter.name << "\": " << counter.value;
+      first = false;
+    }
+  }
+  out << "}\n";
+  out << "}\n";
+  if (!out.good()) {
+    throw std::runtime_error("write_client_result_json: write failed: " + path);
+  }
 }
 
 }  // namespace fedkemf::net

@@ -116,6 +116,20 @@ struct MirrorClientOptions {
 
 fl::RunResult run_mirror_client(const FedSpec& spec, const MirrorClientOptions& options);
 
+/// Crash-resume policy of the elastic server (DESIGN.md "durable server").
+/// With a wal_dir, the server journals every applied upload / membership /
+/// stale application to an append-only CRC-framed log (net/wal.hpp) and
+/// writes a full checkpoint (Algorithm::save_state + the elastic-tail runner
+/// state, ckpt:: container) every `checkpoint_every` rounds.  A restarted
+/// server pointed at the same wal_dir loads the newest valid checkpoint,
+/// replays the WAL suffix idempotently, re-binds, and resumes the in-flight
+/// round as clients reconnect through the rejoin path.
+struct DurabilityOptions {
+  std::string wal_dir;                 ///< empty = volatile (historical)
+  std::size_t checkpoint_every = 1;    ///< rounds per full checkpoint
+  std::size_t checkpoint_retain = 3;   ///< newest checkpoints kept on disk
+};
+
 struct ElasticServerOptions {
   Endpoint endpoint;
   std::size_t min_clients = 1;        ///< wait for this many before each round
@@ -136,6 +150,8 @@ struct ElasticServerOptions {
   /// cap, spill directory — the same policy fl::RunOptions::resources carries
   /// in-process.  nullopt = unlimited (historical, bitwise identical).
   std::optional<fl::ResourceLimits> aggregation;
+  /// WAL + periodic checkpoints + crash-resume.  Empty wal_dir = disabled.
+  DurabilityOptions durability;
 };
 
 fl::RunResult run_elastic_server(const FedSpec& spec, const ElasticServerOptions& options);
@@ -162,7 +178,8 @@ struct ElasticClientOptions {
 /// What an elastic worker did before exiting.
 struct ElasticClientResult {
   std::size_t rounds_served = 0;
-  std::size_t reconnects = 0;  ///< successful re-registrations after a loss
+  std::size_t reconnects = 0;   ///< successful re-registrations after a loss
+  bool interrupted = false;     ///< left on SIGINT/SIGTERM, not on BYE
 };
 
 /// Serves TASK->train->UPLOAD until the server says BYE (or SIGTERM via the
@@ -177,5 +194,11 @@ ElasticClientResult run_elastic_client(const FedSpec& spec,
 /// written.
 void write_result_json(const std::string& path, const std::string& mode,
                        const fl::RunResult& result);
+
+/// The elastic worker's summary (rounds served, reconnects, interrupted, and
+/// every net.* counter) as JSON — what the soak scripts assert on instead of
+/// scraping stdout.  Throws std::runtime_error when the file cannot be
+/// written.
+void write_client_result_json(const std::string& path, const ElasticClientResult& result);
 
 }  // namespace fedkemf::net

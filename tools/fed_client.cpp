@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
            "elastic: reconnect when no frame arrives for this many seconds");
   cli.flag("auth-key", &auth_key,
            "shared secret for SipHash frame authentication (must match the server)");
-  cli.flag("results", &results, "mirror: write this replica's run summary JSON here");
+  cli.flag("results", &results,
+           "write this process's run summary JSON here (mirror and elastic)");
   cli.parse(argc, argv);
 
   fl::install_shutdown_handler();
@@ -98,8 +99,10 @@ int main(int argc, char** argv) {
       options.server_silence_timeout_seconds = server_silence;
       options.auth_key = auth_key;
       const net::ElasticClientResult served = net::run_elastic_client(spec, options);
-      std::printf("elastic client %zu done: rounds_served=%zu reconnects=%zu\n", id,
-                  served.rounds_served, served.reconnects);
+      std::printf("elastic client %zu done: rounds_served=%zu reconnects=%zu%s\n", id,
+                  served.rounds_served, served.reconnects,
+                  served.interrupted ? " (interrupted)" : "");
+      if (!results.empty()) net::write_client_result_json(results, served);
     } else {
       std::fprintf(stderr, "fed_client: unknown --mode '%s'\n", mode.c_str());
       return 2;

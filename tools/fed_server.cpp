@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   std::size_t memory_budget_mb = 0;
   std::size_t max_fusion_members = 0;
   std::string spill_dir;
+  std::string wal_dir;
+  std::size_t checkpoint_every = 1;
+  std::size_t checkpoint_retain = 3;
   double churn_leave = 0.0;
   double churn_rejoin = 0.0;
   std::size_t departed_retention = 4;
@@ -96,6 +99,13 @@ int main(int argc, char** argv) {
            "elastic: cap fusion cohort, shed stale members first (0 = unlimited)");
   cli.flag("spill-dir", &spill_dir,
            "elastic/overload: spill departed-client state to this directory");
+  cli.flag("wal-dir", &wal_dir,
+           "elastic: write-ahead log + checkpoints here; restart with the same "
+           "directory to crash-resume the run (empty = volatile)");
+  cli.flag("checkpoint-every", &checkpoint_every,
+           "elastic: rounds between full server checkpoints (needs --wal-dir)");
+  cli.flag("checkpoint-retain", &checkpoint_retain,
+           "elastic: newest checkpoints kept on disk");
   cli.flag("churn-leave", &churn_leave, "overload: per-round departure probability");
   cli.flag("churn-rejoin", &churn_rejoin, "overload: per-round re-enrollment probability");
   cli.flag("departed-retention", &departed_retention,
@@ -156,6 +166,9 @@ int main(int argc, char** argv) {
         aggregation.spill_dir = spill_dir;
         options.aggregation = aggregation;
       }
+      options.durability.wal_dir = wal_dir;
+      options.durability.checkpoint_every = checkpoint_every;
+      options.durability.checkpoint_retain = checkpoint_retain;
       result = net::run_elastic_server(spec, options);
     } else {
       std::fprintf(stderr, "fed_server: unknown --mode '%s'\n", mode.c_str());

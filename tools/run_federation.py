@@ -10,6 +10,7 @@ diffed bit-for-bit against the in-process reference (--check-parity).
     tools/run_federation.py --mode elastic --clients 4 --scenario sigterm
     tools/run_federation.py --mode elastic --clients 4 --scenario chaos
     tools/run_federation.py --mode elastic --clients 4 --scenario overload
+    tools/run_federation.py --mode elastic --clients 4 --scenario server-crash
 
 The chaos scenario is the soak test for the hardened protocol: it first runs
 a clean same-seed elastic federation, then reruns it with every client
@@ -29,6 +30,17 @@ completes all rounds, the constrained run's accuracy stays within
 --overload-accuracy-band of the clean run, and the shed / degraded / spill
 counters are all nonzero.
 
+The server-crash scenario is the soak test for the durable server: a clean
+same-seed elastic run, then the same federation with --wal-dir enabled while
+the *server* is SIGKILLed and restarted at three distinct phases — right
+after the first client registers, right after an upload is journaled, and
+right after a checkpoint plus a post-checkpoint upload.  The kill points are
+found by parsing the write-ahead log the server is appending, so each kill
+is guaranteed to land mid-recovery-relevant state.  It asserts the resumed
+run completes every round with accuracy within --crash-accuracy-band of the
+clean run and that the final server process actually exercised recovery
+(nonzero wal_replayed / recovered_uploads / total_reconnects).
+
 Exit code 0 iff every launched process exited cleanly and the requested
 checks passed.
 """
@@ -37,6 +49,7 @@ import argparse
 import json
 import os
 import signal
+import struct
 import subprocess
 import sys
 import tempfile
@@ -371,6 +384,181 @@ def run_overload(args, server_bin, client_bin):
               "control / fusion cap / spill all engaged and counted")
 
 
+# WAL record framing (src/net/wal.hpp): [magic u32][crc32 u32][length u32]
+# [payload], little-endian, payload byte 0 is the record type.  The crash
+# scenario parses the log the server is writing to aim each SIGKILL at a
+# phase that forces the restarted server down a distinct recovery path.
+WAL_MAGIC = 0xFEDAF11E
+WAL_ROUND_START = 1
+WAL_UPLOAD_CLAIMED = 2
+WAL_STALE_APPLIED = 3
+WAL_MEMBERSHIP = 4
+WAL_CHECKPOINT_MARK = 5
+# Either consumption record carries a full upload payload the recovery path
+# must re-park (or remember) after a kill.
+WAL_CONSUMED = (WAL_UPLOAD_CLAIMED, WAL_STALE_APPLIED)
+
+
+def wal_record_types(path):
+    """Types of the whole records currently in the WAL, in append order."""
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError:
+        return []
+    types, off = [], 0
+    while off + 12 <= len(blob):
+        magic, _crc, length = struct.unpack_from("<III", blob, off)
+        if magic != WAL_MAGIC or length < 1 or off + 12 + length > len(blob):
+            break  # torn tail — same stop rule as the server's scan
+        types.append(blob[off + 12])
+        off += 12 + length
+    return types
+
+
+# (phase name, predicate over the record types appended SINCE the last kill,
+# what the kill forces the next recovery to prove).
+CRASH_PHASES = [
+    ("first-join", lambda t: WAL_MEMBERSHIP in t,
+     "membership replay from an empty checkpoint horizon"),
+    ("mid-upload", lambda t: any(r in WAL_CONSUMED for r in t),
+     "a consumed upload whose fusion was lost must be re-parked"),
+    ("post-checkpoint", lambda t: WAL_CHECKPOINT_MARK in t
+     and any(r in WAL_CONSUMED
+             for r in t[len(t) - 1 - t[::-1].index(WAL_CHECKPOINT_MARK):]),
+     "checkpoint load plus WAL-suffix replay of a newer upload"),
+]
+
+
+def run_server_crash(args, server_bin, client_bin):
+    """Clean elastic run, then the same seed with a WAL while the server is
+    SIGKILLed + restarted at three phases; assert the resumed run completes,
+    stays in the accuracy band, and the recovery counters are nonzero."""
+    spec = argparse.Namespace(**vars(args))
+    spec.rounds = max(args.rounds, 4)  # room for kills in three distinct rounds
+    with tempfile.TemporaryDirectory(prefix="fedkemf_crash_") as tmp:
+        logs = {}
+
+        def launch(procs, name, argv):
+            log = os.path.join(tmp, name + ".log")
+            logs[name] = log
+            with open(log, "w") as f:
+                p = subprocess.Popen(argv, stdout=f, stderr=subprocess.STDOUT)
+            procs.append((name, p))
+            return p
+
+        print(f"server-crash soak 1/2: clean same-seed elastic run "
+              f"({args.algorithm}, {args.clients} clients, {spec.rounds} rounds)")
+        clean_json = os.path.join(tmp, "clean.json")
+        procs = []
+        launch(procs, "clean-server",
+               [server_bin, "--mode", "elastic",
+                "--endpoint", f"unix://{tmp}/clean.sock",
+                "--min-clients", str(args.clients), "--quiet",
+                "--upload-timeout", str(args.upload_timeout),
+                "--results", clean_json] + spec_args(spec))
+        for i in range(args.clients):
+            launch(procs, f"clean-client{i}",
+                   [client_bin, "--mode", "elastic",
+                    "--endpoint", f"unix://{tmp}/clean.sock",
+                    "--id", str(i)] + spec_args(spec))
+        if not report(wait_all(procs, args.timeout), logs):
+            sys.exit("error: a clean federation process failed")
+        clean = load_json(clean_json)
+
+        endpoint = f"unix://{tmp}/crash.sock"
+        wal_dir = os.path.join(tmp, "wal")
+        wal_log = os.path.join(wal_dir, "wal.log")
+        crash_json = os.path.join(tmp, "crash.json")
+        server_argv = [server_bin, "--mode", "elastic", "--endpoint", endpoint,
+                       "--min-clients", str(args.clients), "--quiet",
+                       "--upload-timeout", str(args.upload_timeout),
+                       "--wal-dir", wal_dir, "--checkpoint-every", "1",
+                       "--results", crash_json] + spec_args(spec)
+        print(f"server-crash soak 2/2: durable run, SIGKILLing the server at "
+              f"{len(CRASH_PHASES)} WAL-detected phases")
+        procs = []
+        server = launch(procs, "crash-server-leg0", server_argv)
+        for i in range(args.clients):
+            # Generous reconnect budget: every server kill costs each worker
+            # one (or more) reconnect attempts.
+            extra = ["--results", os.path.join(tmp, "client0.json")] if i == 0 else []
+            launch(procs, f"crash-client{i}",
+                   [client_bin, "--mode", "elastic", "--endpoint", endpoint,
+                    "--id", str(i), "--connect-timeout", "10",
+                    "--server-silence", "3", "--max-reconnects", "60",
+                    "--train-delay", str(max(args.train_delay, 0.3))]
+                   + extra + spec_args(spec))
+
+        killed = []
+        baseline = 0  # records already in the WAL at the last restart
+        for leg, (phase, reached, proves) in enumerate(CRASH_PHASES):
+            deadline = time.monotonic() + args.timeout / (len(CRASH_PHASES) + 1)
+            while time.monotonic() < deadline:
+                if server.poll() is not None:
+                    # Satellite of the kill-restart rule: a scenario whose
+                    # kill never landed proved nothing and must not pass.
+                    sys.exit(f"error: durable run finished before the "
+                             f"'{phase}' kill landed; raise --train-delay or "
+                             f"--rounds so every phase stays reachable")
+                types = wal_record_types(wal_log)
+                if reached(types[baseline:]):
+                    break
+                time.sleep(0.02)
+            else:
+                sys.exit(f"error: phase '{phase}' never appeared in the WAL "
+                         f"(see {logs[f'crash-server-leg{leg}']})")
+            server.kill()
+            server.wait()
+            killed.append(f"crash-server-leg{leg}")
+            print(f"  kill {leg + 1}/{len(CRASH_PHASES)} at phase '{phase}' "
+                  f"({len(types)} WAL records): next recovery must prove {proves}")
+            baseline = len(types)
+            time.sleep(0.3)
+            server = launch(procs, f"crash-server-leg{leg + 1}", server_argv)
+
+        codes = wait_all(procs, args.timeout)
+        codes = [(n, 0 if (n in killed and c == -9) else c) for n, c in codes]
+        if not report(codes, logs):
+            sys.exit("error: a server-crash federation process failed")
+        result = load_json(crash_json)
+        worker = load_json(os.path.join(tmp, "client0.json"))
+
+        failures = []
+        if result["rounds_completed"] != spec.rounds:
+            failures.append(f"resumed run completed {result['rounds_completed']} "
+                            f"of {spec.rounds} rounds")
+        if result["interrupted"]:
+            failures.append("the final server leg still reports interrupted=true")
+        gap = abs(result["final_accuracy"] - clean["final_accuracy"])
+        if gap > args.crash_accuracy_band:
+            failures.append(f"accuracy gap {gap:.4f} exceeds the "
+                            f"{args.crash_accuracy_band} band "
+                            f"(clean {clean['final_accuracy']:.4f}, "
+                            f"resumed {result['final_accuracy']:.4f})")
+        for counter in ("wal_replayed", "recovered_uploads", "total_reconnects"):
+            if result.get(counter, 0) <= 0:
+                failures.append(f"{counter} stayed zero in the final server leg")
+        if worker.get("interrupted", True):
+            failures.append("client0 reports interrupted=true after the run")
+        if worker.get("reconnects", 0) <= 0:
+            failures.append("client0 never reconnected despite the server kills")
+
+        print(f"  recovery: wal_replayed={result.get('wal_replayed', 0)} "
+              f"recovered_uploads={result.get('recovered_uploads', 0)} "
+              f"total_reconnects={result.get('total_reconnects', 0)} "
+              f"client0_reconnects={worker.get('reconnects', 0)}")
+        print(f"  accuracy: clean={clean['final_accuracy']:.4f} "
+              f"resumed={result['final_accuracy']:.4f} gap={gap:.4f} "
+              f"(band {args.crash_accuracy_band})")
+        if failures:
+            for f in failures:
+                print("  server-crash FAILED:", f)
+            sys.exit("error: server-crash soak failed")
+        print("server-crash OK: the run survived three server SIGKILLs, resumed "
+              "from the WAL + checkpoints, accuracy in band, recovery counted")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", help="CMake build directory")
@@ -378,7 +566,8 @@ def main():
     ap.add_argument("--endpoint", default="", help="tcp://host:port or unix:///path "
                     "(default: a fresh unix socket in a temp dir)")
     ap.add_argument("--scenario", default="plain",
-                    choices=["plain", "kill-restart", "sigterm", "chaos", "overload"],
+                    choices=["plain", "kill-restart", "sigterm", "chaos", "overload",
+                             "server-crash"],
                     help="elastic fault scenarios")
     ap.add_argument("--chaos-seed", type=int, default=7,
                     help="chaos: fault-decision seed handed to chaos_proxy")
@@ -386,6 +575,8 @@ def main():
                     help="chaos: allowed |chaotic - clean| final-accuracy gap")
     ap.add_argument("--overload-accuracy-band", type=float, default=0.02,
                     help="overload: allowed |constrained - clean| final-accuracy gap")
+    ap.add_argument("--crash-accuracy-band", type=float, default=0.02,
+                    help="server-crash: allowed |resumed - clean| final-accuracy gap")
     ap.add_argument("--check-parity", action=argparse.BooleanOptionalAction, default=None,
                     help="diff against the in-process reference (default: on for mirror)")
     ap.add_argument("--timeout", type=float, default=600.0, help="whole-run timeout seconds")
@@ -435,6 +626,13 @@ def main():
         print("run_federation: all checks passed")
         return
 
+    if args.scenario == "server-crash":
+        if args.mode != "elastic":
+            sys.exit("error: --scenario server-crash requires --mode elastic")
+        run_server_crash(args, server_bin, client_bin)
+        print("run_federation: all checks passed")
+        return
+
     with tempfile.TemporaryDirectory(prefix="fedkemf_") as tmp:
         endpoint = args.endpoint or f"unix://{tmp}/fed.sock"
         logs, procs = {}, []
@@ -477,32 +675,48 @@ def main():
 
         print(f"launching {args.mode} federation: 1 server + {args.clients} clients "
               f"over {endpoint}")
-        server = launch("server", server_argv)
-        clients = [launch(f"client{i}", argv) for i, argv in enumerate(client_argvs)]
-
+        victim_name = None
         if args.scenario == "kill-restart":
-            victim = clients[-1]
-            time.sleep(1.5)
-            if victim.poll() is None:
-                victim.kill()
-                print("  killed client (SIGKILL); restarting with --rejoin in 0.5s")
-                time.sleep(0.5)
-                launch("client-rejoin",
-                       client_argvs[-1] + ["--rejoin"])
+            # A kill-restart whose kill never landed proved nothing: retry
+            # with an earlier kill, and fail the scenario outright if even
+            # the shortest delay loses the race.
+            for attempt, kill_after in enumerate((1.5, 0.5, 0.15)):
+                prefix = "" if attempt == 0 else f"retry{attempt}-"
+                if attempt:
+                    wait_all(procs, args.timeout)  # drain the no-op run
+                    procs.clear()
+                    print(f"  retrying with an earlier kill ({kill_after}s)")
+                server = launch(prefix + "server", server_argv)
+                clients = [launch(f"{prefix}client{i}", argv)
+                           for i, argv in enumerate(client_argvs)]
+                time.sleep(kill_after)
+                victim = clients[-1]
+                if victim.poll() is None:
+                    victim.kill()
+                    victim_name = f"{prefix}client{args.clients - 1}"
+                    print("  killed client (SIGKILL); restarting with --rejoin in 0.5s")
+                    time.sleep(0.5)
+                    launch(prefix + "client-rejoin", client_argvs[-1] + ["--rejoin"])
+                    break
+                print("  run finished before the kill landed")
             else:
-                print("  warning: run finished before the kill landed; scenario was a no-op")
-        elif args.scenario == "sigterm":
-            time.sleep(1.5)
-            if server.poll() is None:
-                print("  sending SIGTERM to the server (graceful shutdown)")
-                server.send_signal(signal.SIGTERM)
+                sys.exit("error: the kill-restart kill never landed, even at "
+                         "the shortest delay; raise --train-delay or --rounds")
+        else:
+            server = launch("server", server_argv)
+            clients = [launch(f"client{i}", argv) for i, argv in enumerate(client_argvs)]
+            if args.scenario == "sigterm":
+                time.sleep(1.5)
+                if server.poll() is None:
+                    print("  sending SIGTERM to the server (graceful shutdown)")
+                    server.send_signal(signal.SIGTERM)
 
         codes = wait_all(procs, args.timeout)
         # An elastic client that was deliberately SIGKILLed reports -9; that is
         # the scenario, not a failure.  Same for workers cut off by a sigterm'd
         # or finished server (they exit 0 via BYE handling).
         if args.scenario == "kill-restart":
-            codes = [(n, 0 if (n == f"client{args.clients - 1}" and c == -9) else c)
+            codes = [(n, 0 if (n == victim_name and c == -9) else c)
                      for n, c in codes]
         if not report(codes, logs):
             sys.exit("error: a federation process failed")
